@@ -1,0 +1,191 @@
+//! Blocking-key definitions shared by the key-based baselines.
+//!
+//! A *blocking key* maps a record to a string used for grouping (standard
+//! blocking), sorting (sorted neighbourhood), suffix generation (suffix-array
+//! blocking) or embedding (string-map blocking). The paper defines a key on
+//! `authors` + `title` for Cora and on `first name` + `last name` for NC
+//! Voter (§6.3.4).
+
+use sablock_datasets::{Dataset, Record};
+use sablock_textual::normalize::{normalize, normalize_compact};
+use sablock_textual::phonetic::soundex;
+
+use sablock_core::error::{CoreError, Result};
+
+/// How each attribute value is encoded into the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeyEncoding {
+    /// The full normalised value.
+    Exact,
+    /// The first `n` characters of the normalised, space-free value.
+    Prefix(u8),
+    /// The Soundex code of the value's first token.
+    Soundex,
+}
+
+/// A blocking key: an ordered list of attributes plus an encoding.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BlockingKey {
+    attributes: Vec<String>,
+    encoding: KeyEncoding,
+}
+
+impl BlockingKey {
+    /// Creates a key over the named attributes with the given encoding.
+    pub fn new<I, S>(attributes: I, encoding: KeyEncoding) -> Result<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let attributes: Vec<String> = attributes.into_iter().map(Into::into).collect();
+        if attributes.is_empty() {
+            return Err(CoreError::Config("a blocking key needs at least one attribute".into()));
+        }
+        Ok(Self { attributes, encoding })
+    }
+
+    /// An exact-value key (the most common configuration in the survey).
+    pub fn exact<I, S>(attributes: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self::new(attributes, KeyEncoding::Exact)
+    }
+
+    /// The Cora key used throughout the paper's comparison: `authors` + `title`.
+    pub fn cora() -> Self {
+        Self::exact(["authors", "title"]).expect("static attribute list is non-empty")
+    }
+
+    /// The NC Voter key: `first_name` + `last_name`.
+    pub fn ncvoter() -> Self {
+        Self::exact(["first_name", "last_name"]).expect("static attribute list is non-empty")
+    }
+
+    /// The attributes of the key.
+    pub fn attributes(&self) -> &[String] {
+        &self.attributes
+    }
+
+    /// The encoding of the key.
+    pub fn encoding(&self) -> KeyEncoding {
+        self.encoding
+    }
+
+    /// A short description used in blocker names.
+    pub fn describe(&self) -> String {
+        let enc = match self.encoding {
+            KeyEncoding::Exact => "exact".to_string(),
+            KeyEncoding::Prefix(n) => format!("prefix{n}"),
+            KeyEncoding::Soundex => "soundex".to_string(),
+        };
+        format!("{}:{}", self.attributes.join("+"), enc)
+    }
+
+    /// Validates the key against a dataset schema.
+    pub fn validate_against(&self, dataset: &Dataset) -> Result<()> {
+        for attribute in &self.attributes {
+            if dataset.schema().index_of(attribute).is_none() {
+                return Err(CoreError::Config(format!(
+                    "blocking-key attribute '{attribute}' does not exist in dataset '{}'",
+                    dataset.name()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The key value of a record: encoded attribute values joined by a space.
+    /// Missing attributes contribute nothing; a record with no present value
+    /// yields an empty key (which blockers treat as "cannot be indexed").
+    pub fn value(&self, record: &Record) -> String {
+        let mut parts = Vec::with_capacity(self.attributes.len());
+        for attribute in &self.attributes {
+            let Some(raw) = record.value(attribute) else { continue };
+            let encoded = match self.encoding {
+                KeyEncoding::Exact => normalize(raw),
+                KeyEncoding::Prefix(n) => normalize_compact(raw).chars().take(usize::from(n)).collect(),
+                KeyEncoding::Soundex => {
+                    let first_token = normalize(raw);
+                    let first_token = first_token.split(' ').next().unwrap_or("");
+                    soundex(first_token)
+                }
+            };
+            if !encoded.is_empty() {
+                parts.push(encoded);
+            }
+        }
+        parts.join(" ")
+    }
+
+    /// The compact (space-free) key value, used by suffix-array and string-map
+    /// blocking which operate on a single undelimited string.
+    pub fn compact_value(&self, record: &Record) -> String {
+        self.value(record).replace(' ', "")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sablock_datasets::record::RecordBuilder;
+    use sablock_datasets::{CoraConfig, CoraGenerator, RecordId, Schema};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::shared(["first_name", "last_name", "title"]).unwrap()
+    }
+
+    fn record(first: Option<&str>, last: Option<&str>) -> Record {
+        let mut b = RecordBuilder::new(schema());
+        if let Some(f) = first {
+            b = b.set("first_name", f).unwrap();
+        }
+        if let Some(l) = last {
+            b = b.set("last_name", l).unwrap();
+        }
+        b.build(RecordId(0))
+    }
+
+    #[test]
+    fn construction_and_description() {
+        assert!(BlockingKey::exact(Vec::<String>::new()).is_err());
+        let key = BlockingKey::new(["last_name", "first_name"], KeyEncoding::Prefix(3)).unwrap();
+        assert_eq!(key.attributes(), &["last_name", "first_name"]);
+        assert_eq!(key.encoding(), KeyEncoding::Prefix(3));
+        assert_eq!(key.describe(), "last_name+first_name:prefix3");
+        assert_eq!(BlockingKey::cora().describe(), "authors+title:exact");
+        assert_eq!(BlockingKey::ncvoter().describe(), "first_name+last_name:exact");
+    }
+
+    #[test]
+    fn exact_encoding_normalizes() {
+        let key = BlockingKey::exact(["first_name", "last_name"]).unwrap();
+        assert_eq!(key.value(&record(Some("  Qing "), Some("WANG!"))), "qing wang");
+        assert_eq!(key.compact_value(&record(Some("Qing"), Some("Wang"))), "qingwang");
+    }
+
+    #[test]
+    fn prefix_and_soundex_encodings() {
+        let prefix = BlockingKey::new(["last_name"], KeyEncoding::Prefix(4)).unwrap();
+        assert_eq!(prefix.value(&record(None, Some("Washington"))), "wash");
+        let sdx = BlockingKey::new(["last_name"], KeyEncoding::Soundex).unwrap();
+        assert_eq!(sdx.value(&record(None, Some("Robert"))), "R163");
+        assert_eq!(sdx.value(&record(None, Some("Rupert"))), "R163");
+    }
+
+    #[test]
+    fn missing_values_are_skipped() {
+        let key = BlockingKey::exact(["first_name", "last_name"]).unwrap();
+        assert_eq!(key.value(&record(None, Some("Wang"))), "wang");
+        assert_eq!(key.value(&record(None, None)), "");
+    }
+
+    #[test]
+    fn validation_against_dataset() {
+        let ds = CoraGenerator::new(CoraConfig { num_records: 5, ..CoraConfig::small() }).generate().unwrap();
+        assert!(BlockingKey::cora().validate_against(&ds).is_ok());
+        assert!(BlockingKey::ncvoter().validate_against(&ds).is_err());
+    }
+}

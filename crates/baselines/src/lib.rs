@@ -1,0 +1,50 @@
+//! Baseline blocking techniques and meta-blocking.
+//!
+//! The paper's evaluation (§6.3.4, Table 3, Fig. 11, Fig. 12) compares the
+//! semantic-aware LSH blocker against the twelve state-of-the-art techniques
+//! of Christen's indexing survey and against meta-blocking. This crate
+//! re-implements every one of them behind the same
+//! [`Blocker`](sablock_core::blocking::Blocker) trait, so the evaluation
+//! harness can sweep their parameter grids uniformly:
+//!
+//! | Abbrev. | Technique | Module |
+//! |---|---|---|
+//! | TBlo | traditional/standard blocking | [`standard`] |
+//! | SorA | array-based sorted neighbourhood | [`sorted`] |
+//! | SorII | inverted-index sorted neighbourhood | [`sorted`] |
+//! | ASor | adaptive sorted neighbourhood | [`sorted`] |
+//! | QGr | q-gram based indexing | [`qgram`] |
+//! | CaTh | threshold-based canopy clustering | [`canopy`] |
+//! | CaNN | nearest-neighbour canopy clustering | [`canopy`] |
+//! | StMT | threshold-based string-map blocking | [`stringmap`] |
+//! | StMNN | nearest-neighbour string-map blocking | [`stringmap`] |
+//! | SuA | suffix-array blocking | [`suffix`] |
+//! | SuAS | suffix-array blocking (all substrings) | [`suffix`] |
+//! | RSuA | robust suffix-array blocking | [`suffix`] |
+//! | — | token blocking (meta-blocking input) | [`standard`] |
+//! | WEP/CEP/WNP/CNP × ARCS/CBS/ECBS/JS/EJS | meta-blocking | [`meta`] |
+//!
+//! [`params`] reproduces the parameter grids the paper sweeps (163 settings
+//! for Cora, 161 for NC Voter).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod canopy;
+pub mod key;
+pub mod meta;
+pub mod params;
+pub mod qgram;
+pub mod sorted;
+pub mod standard;
+pub mod stringmap;
+pub mod suffix;
+
+pub use canopy::{CanopyNearestNeighbour, CanopySimilarity, CanopyThreshold};
+pub use key::{BlockingKey, KeyEncoding};
+pub use meta::{MetaBlocking, PruningAlgorithm, WeightingScheme};
+pub use qgram::QGramBlocking;
+pub use sorted::{AdaptiveSortedNeighbourhood, SortedNeighbourhoodArray, SortedNeighbourhoodInverted};
+pub use standard::{StandardBlocking, TokenBlocking};
+pub use stringmap::{StringMapNearestNeighbour, StringMapThreshold};
+pub use suffix::{AllSubstringsBlocking, RobustSuffixArrayBlocking, SuffixArrayBlocking};

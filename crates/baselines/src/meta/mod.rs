@@ -1,0 +1,288 @@
+//! Meta-blocking (Papadakis et al.), the comparison of Fig. 12.
+//!
+//! Meta-blocking post-processes a redundancy-positive block collection (one
+//! where co-occurring in many blocks signals likely matches, e.g. token
+//! blocking): it builds the **blocking graph** whose nodes are records and
+//! whose edges connect every co-occurring pair, weights the edges with one of
+//! five schemes (ARCS, CBS, ECBS, JS, EJS) and prunes the graph with one of
+//! four algorithms (WEP, CEP, WNP, CNP). Every retained edge becomes a
+//! candidate pair (a block of two records).
+
+pub mod pruning;
+pub mod weighting;
+
+pub use pruning::PruningAlgorithm;
+pub use weighting::WeightingScheme;
+
+use std::collections::HashMap;
+
+use sablock_datasets::record::RecordPair;
+use sablock_datasets::{Dataset, RecordId};
+
+use sablock_core::blocking::{Block, BlockCollection, Blocker};
+use sablock_core::error::{CoreError, Result};
+
+/// The blocking graph: co-occurrence statistics extracted from a block
+/// collection, sufficient to compute every weighting scheme.
+#[derive(Debug, Clone)]
+pub struct BlockingGraph {
+    /// Distinct co-occurring pairs with the list of shared block indices.
+    edges: HashMap<RecordPair, Vec<usize>>,
+    /// Number of blocks containing each record (|B_i|).
+    blocks_per_record: HashMap<RecordId, usize>,
+    /// Pair cardinality ||b|| of every block.
+    block_cardinalities: Vec<u64>,
+    /// Total number of blocks.
+    num_blocks: usize,
+    /// Node degrees (number of distinct neighbours).
+    degrees: HashMap<RecordId, usize>,
+}
+
+impl BlockingGraph {
+    /// Builds the graph from a block collection.
+    pub fn build(blocks: &BlockCollection) -> Self {
+        let mut edges: HashMap<RecordPair, Vec<usize>> = HashMap::new();
+        let mut blocks_per_record: HashMap<RecordId, usize> = HashMap::new();
+        let mut block_cardinalities = Vec::with_capacity(blocks.num_blocks());
+        for (block_index, block) in blocks.blocks().iter().enumerate() {
+            block_cardinalities.push(block.pair_count().max(1));
+            for &member in block.members() {
+                *blocks_per_record.entry(member).or_insert(0) += 1;
+            }
+            for pair in block.pairs() {
+                edges.entry(pair).or_default().push(block_index);
+            }
+        }
+        let mut degrees: HashMap<RecordId, usize> = HashMap::new();
+        for pair in edges.keys() {
+            *degrees.entry(pair.first()).or_insert(0) += 1;
+            *degrees.entry(pair.second()).or_insert(0) += 1;
+        }
+        Self {
+            edges,
+            blocks_per_record,
+            block_cardinalities,
+            num_blocks: blocks.num_blocks(),
+            degrees,
+        }
+    }
+
+    /// Number of edges (distinct co-occurring pairs).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of blocks behind the graph.
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// Number of blocks containing a record.
+    pub fn blocks_of(&self, record: RecordId) -> usize {
+        self.blocks_per_record.get(&record).copied().unwrap_or(0)
+    }
+
+    /// Degree of a record in the graph.
+    pub fn degree(&self, record: RecordId) -> usize {
+        self.degrees.get(&record).copied().unwrap_or(0)
+    }
+
+    /// Total number of record-to-block assignments (Σ_b |b|), used by the
+    /// cardinality pruning algorithms to set their budgets.
+    pub fn total_assignments(&self) -> usize {
+        self.blocks_per_record.values().sum()
+    }
+
+    /// Number of distinct records appearing in at least one block.
+    pub fn num_records(&self) -> usize {
+        self.blocks_per_record.len()
+    }
+
+    /// Computes the weight of every edge under a scheme.
+    pub fn weighted_edges(&self, scheme: WeightingScheme) -> Vec<(RecordPair, f64)> {
+        let mut weighted: Vec<(RecordPair, f64)> = self
+            .edges
+            .iter()
+            .map(|(pair, shared)| (*pair, scheme.weight(self, pair, shared)))
+            .collect();
+        // Deterministic order: by pair id, weights attached.
+        weighted.sort_by_key(|(pair, _)| (*pair).first().0 as u64 * u32::MAX as u64 + (*pair).second().0 as u64);
+        weighted
+    }
+
+    /// The shared blocks of an edge (empty if the pair never co-occurs).
+    pub fn shared_blocks(&self, pair: &RecordPair) -> &[usize] {
+        self.edges.get(pair).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Pair cardinality of a block.
+    pub fn block_cardinality(&self, block_index: usize) -> u64 {
+        self.block_cardinalities.get(block_index).copied().unwrap_or(1)
+    }
+}
+
+/// Meta-blocking as a [`Blocker`]: runs an inner (redundancy-positive)
+/// blocker, builds the blocking graph, weights and prunes it, and emits each
+/// retained edge as a block of two records.
+pub struct MetaBlocking<B> {
+    inner: B,
+    scheme: WeightingScheme,
+    pruning: PruningAlgorithm,
+}
+
+impl<B: Blocker> MetaBlocking<B> {
+    /// Wraps an inner blocker with the given weighting scheme and pruning
+    /// algorithm.
+    pub fn new(inner: B, scheme: WeightingScheme, pruning: PruningAlgorithm) -> Self {
+        Self { inner, scheme, pruning }
+    }
+
+    /// Applies weighting and pruning to an existing block collection (useful
+    /// when the same input blocks are re-pruned under many configurations, as
+    /// in Fig. 12).
+    pub fn prune_collection(
+        blocks: &BlockCollection,
+        scheme: WeightingScheme,
+        pruning: PruningAlgorithm,
+    ) -> Result<BlockCollection> {
+        if blocks.is_empty() {
+            return Ok(BlockCollection::new());
+        }
+        let graph = BlockingGraph::build(blocks);
+        if graph.num_edges() == 0 {
+            return Err(CoreError::Config("the input block collection induces no edges".into()));
+        }
+        let retained = pruning.prune(&graph, scheme);
+        let result = retained
+            .into_iter()
+            .enumerate()
+            .map(|(i, pair)| Block::new(format!("meta{i}"), vec![pair.first(), pair.second()]))
+            .collect();
+        Ok(BlockCollection::from_blocks(result))
+    }
+}
+
+impl<B: Blocker> Blocker for MetaBlocking<B> {
+    fn name(&self) -> String {
+        format!("Meta({}+{} over {})", self.pruning.name(), self.scheme.name(), self.inner.name())
+    }
+
+    fn block(&self, dataset: &Dataset) -> Result<BlockCollection> {
+        let input = self.inner.block(dataset)?;
+        if input.is_empty() {
+            return Ok(BlockCollection::new());
+        }
+        Self::prune_collection(&input, self.scheme, self.pruning)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::BlockingKey;
+    use crate::standard::TokenBlocking;
+    use sablock_datasets::dataset::DatasetBuilder;
+    use sablock_datasets::ground_truth::EntityId;
+    use sablock_datasets::Schema;
+
+    fn rid(i: u32) -> RecordId {
+        RecordId(i)
+    }
+
+    fn sample_blocks() -> BlockCollection {
+        // Records 0 and 1 co-occur in three blocks (strong signal); records
+        // 2 and 3 co-occur in one big generic block only (weak signal).
+        BlockCollection::from_blocks(vec![
+            Block::new("b0", vec![rid(0), rid(1)]),
+            Block::new("b1", vec![rid(0), rid(1), rid(2)]),
+            Block::new("b2", vec![rid(0), rid(1)]),
+            Block::new("b3", vec![rid(2), rid(3), rid(4), rid(5)]),
+        ])
+    }
+
+    #[test]
+    fn graph_statistics() {
+        let graph = BlockingGraph::build(&sample_blocks());
+        assert_eq!(graph.num_blocks(), 4);
+        assert_eq!(graph.num_records(), 6);
+        // Edges: (0,1), (0,2), (1,2) from b0-b2; (2,3),(2,4),(2,5),(3,4),(3,5),(4,5) from b3.
+        assert_eq!(graph.num_edges(), 9);
+        assert_eq!(graph.blocks_of(rid(0)), 3);
+        assert_eq!(graph.blocks_of(rid(3)), 1);
+        assert_eq!(graph.blocks_of(rid(9)), 0);
+        assert_eq!(graph.degree(rid(2)), 5);
+        assert_eq!(graph.degree(rid(9)), 0);
+        assert_eq!(graph.total_assignments(), 2 + 3 + 2 + 4);
+        let pair = RecordPair::new(rid(0), rid(1)).unwrap();
+        assert_eq!(graph.shared_blocks(&pair).len(), 3);
+        assert_eq!(graph.block_cardinality(3), 6);
+        assert_eq!(graph.block_cardinality(99), 1);
+    }
+
+    #[test]
+    fn strong_edges_survive_weight_pruning() {
+        let blocks = sample_blocks();
+        // ECBS is excluded: it deliberately discounts records that appear in
+        // many blocks, which in this tiny graph is exactly the strong pair.
+        for scheme in [WeightingScheme::Arcs, WeightingScheme::Cbs, WeightingScheme::Js, WeightingScheme::Ejs] {
+            let pruned =
+                MetaBlocking::<TokenBlocking>::prune_collection(&blocks, scheme, PruningAlgorithm::WeightedEdgePruning).unwrap();
+            assert!(
+                pruned.theta(rid(0), rid(1)),
+                "{}: the thrice-co-occurring pair must survive WEP",
+                scheme.name()
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_pairs_without_emptying_the_graph() {
+        let blocks = sample_blocks();
+        let original = blocks.num_distinct_pairs();
+        for scheme in WeightingScheme::ALL {
+            for pruning in PruningAlgorithm::ALL {
+                let pruned = MetaBlocking::<TokenBlocking>::prune_collection(&blocks, scheme, pruning).unwrap();
+                assert!(pruned.num_distinct_pairs() <= original, "{} {}", scheme.name(), pruning.name());
+                assert!(pruned.num_distinct_pairs() > 0, "{} {}", scheme.name(), pruning.name());
+            }
+        }
+    }
+
+    #[test]
+    fn end_to_end_over_token_blocking() {
+        let schema = Schema::shared(["first_name", "last_name"]).unwrap();
+        let mut b = DatasetBuilder::new("people", schema);
+        let rows = [
+            ("qing", "wang", 0),
+            ("wang", "qing", 0),
+            ("qing", "chen", 1),
+            ("huizhi", "liang", 2),
+            ("huizhi", "liang", 2),
+            ("mingyuan", "cui", 3),
+        ];
+        for (f, l, e) in rows {
+            b.push_values(vec![Some(f.into()), Some(l.into())], EntityId(e)).unwrap();
+        }
+        let ds = b.build().unwrap();
+        let meta = MetaBlocking::new(
+            TokenBlocking::new(BlockingKey::ncvoter()),
+            WeightingScheme::Cbs,
+            PruningAlgorithm::WeightedNodePruning,
+        );
+        assert!(meta.name().contains("WNP"));
+        let blocks = meta.block(&ds).unwrap();
+        // The transposed-name duplicate shares two tokens; the single-token
+        // overlap with "qing chen" is comparatively weak.
+        assert!(blocks.theta(rid(0), rid(1)));
+        assert!(blocks.theta(rid(3), rid(4)));
+        // Every emitted block is a single pair.
+        assert!(blocks.blocks().iter().all(|b| b.len() == 2));
+    }
+
+    #[test]
+    fn empty_inputs_are_handled() {
+        let empty = BlockCollection::new();
+        let pruned = MetaBlocking::<TokenBlocking>::prune_collection(&empty, WeightingScheme::Js, PruningAlgorithm::WeightedEdgePruning);
+        assert!(pruned.unwrap().is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! The four pruning algorithms of meta-blocking: WEP, CEP, WNP and CNP.
+
+use std::collections::HashMap;
+
+use sablock_datasets::record::RecordPair;
+use sablock_datasets::RecordId;
+
+use super::weighting::WeightingScheme;
+use super::BlockingGraph;
+
+/// A pruning algorithm over the weighted blocking graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PruningAlgorithm {
+    /// Weighted Edge Pruning: keep edges whose weight is at least the global
+    /// mean edge weight.
+    WeightedEdgePruning,
+    /// Cardinality Edge Pruning: keep the globally top-K edges, with
+    /// K = Σ_b |b| / 2 (half the total block assignments).
+    CardinalityEdgePruning,
+    /// Weighted Node Pruning: keep an edge if its weight reaches the local
+    /// mean of either endpoint's incident edges.
+    WeightedNodePruning,
+    /// Cardinality Node Pruning: keep an edge if it is among the top-k edges
+    /// of either endpoint, with k = Σ_b |b| / |V| (average assignments per
+    /// record), at least 1.
+    CardinalityNodePruning,
+}
+
+impl PruningAlgorithm {
+    /// All algorithms, in the order used by the paper's Fig. 12.
+    pub const ALL: [PruningAlgorithm; 4] = [
+        PruningAlgorithm::WeightedEdgePruning,
+        PruningAlgorithm::CardinalityEdgePruning,
+        PruningAlgorithm::WeightedNodePruning,
+        PruningAlgorithm::CardinalityNodePruning,
+    ];
+
+    /// The abbreviation used in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::WeightedEdgePruning => "WEP",
+            Self::CardinalityEdgePruning => "CEP",
+            Self::WeightedNodePruning => "WNP",
+            Self::CardinalityNodePruning => "CNP",
+        }
+    }
+
+    /// Prunes the graph, returning the retained candidate pairs.
+    pub fn prune(&self, graph: &BlockingGraph, scheme: WeightingScheme) -> Vec<RecordPair> {
+        let weighted = graph.weighted_edges(scheme);
+        if weighted.is_empty() {
+            return Vec::new();
+        }
+        match self {
+            Self::WeightedEdgePruning => {
+                let mean = weighted.iter().map(|(_, w)| w).sum::<f64>() / weighted.len() as f64;
+                weighted.into_iter().filter(|(_, w)| *w >= mean).map(|(p, _)| p).collect()
+            }
+            Self::CardinalityEdgePruning => {
+                let budget = (graph.total_assignments() / 2).max(1);
+                let mut sorted = weighted;
+                sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                sorted.into_iter().take(budget).map(|(p, _)| p).collect()
+            }
+            Self::WeightedNodePruning => {
+                let per_node = incident_edges(&weighted);
+                let thresholds: HashMap<RecordId, f64> = per_node
+                    .iter()
+                    .map(|(node, edges)| {
+                        let mean = edges.iter().map(|(_, w)| w).sum::<f64>() / edges.len() as f64;
+                        (*node, mean)
+                    })
+                    .collect();
+                weighted
+                    .into_iter()
+                    .filter(|(pair, weight)| {
+                        let keep_first = thresholds.get(&pair.first()).map(|t| *weight >= *t).unwrap_or(false);
+                        let keep_second = thresholds.get(&pair.second()).map(|t| *weight >= *t).unwrap_or(false);
+                        keep_first || keep_second
+                    })
+                    .map(|(p, _)| p)
+                    .collect()
+            }
+            Self::CardinalityNodePruning => {
+                let k = (graph.total_assignments() / graph.num_records().max(1)).max(1);
+                let per_node = incident_edges(&weighted);
+                let mut retained: std::collections::HashSet<RecordPair> = std::collections::HashSet::new();
+                for (_, mut edges) in per_node {
+                    edges.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                    for (pair, _) in edges.into_iter().take(k) {
+                        retained.insert(pair);
+                    }
+                }
+                let mut out: Vec<RecordPair> = retained.into_iter().collect();
+                out.sort();
+                out
+            }
+        }
+    }
+}
+
+/// Groups weighted edges by endpoint.
+fn incident_edges(weighted: &[(RecordPair, f64)]) -> HashMap<RecordId, Vec<(RecordPair, f64)>> {
+    let mut per_node: HashMap<RecordId, Vec<(RecordPair, f64)>> = HashMap::new();
+    for (pair, weight) in weighted {
+        per_node.entry(pair.first()).or_default().push((*pair, *weight));
+        per_node.entry(pair.second()).or_default().push((*pair, *weight));
+    }
+    per_node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sablock_core::blocking::{Block, BlockCollection};
+
+    fn rid(i: u32) -> RecordId {
+        RecordId(i)
+    }
+
+    fn graph() -> BlockingGraph {
+        BlockingGraph::build(&BlockCollection::from_blocks(vec![
+            Block::new("b0", vec![rid(0), rid(1)]),
+            Block::new("b1", vec![rid(0), rid(1), rid(2)]),
+            Block::new("b2", vec![rid(0), rid(1)]),
+            Block::new("b3", vec![rid(2), rid(3), rid(4), rid(5)]),
+        ]))
+    }
+
+    #[test]
+    fn wep_keeps_above_average_edges_only() {
+        let g = graph();
+        let retained = PruningAlgorithm::WeightedEdgePruning.prune(&g, WeightingScheme::Cbs);
+        let strong = RecordPair::new(rid(0), rid(1)).unwrap();
+        assert!(retained.contains(&strong));
+        assert!(retained.len() < g.num_edges());
+    }
+
+    #[test]
+    fn cep_respects_its_budget() {
+        let g = graph();
+        let budget = (g.total_assignments() / 2).max(1);
+        let retained = PruningAlgorithm::CardinalityEdgePruning.prune(&g, WeightingScheme::Js);
+        assert!(retained.len() <= budget);
+        assert!(retained.contains(&RecordPair::new(rid(0), rid(1)).unwrap()));
+    }
+
+    #[test]
+    fn wnp_keeps_each_nodes_best_edges() {
+        let g = graph();
+        let retained = PruningAlgorithm::WeightedNodePruning.prune(&g, WeightingScheme::Arcs);
+        // Every node keeps at least its best edge, so every record with an
+        // edge still appears somewhere.
+        let mut covered: std::collections::HashSet<RecordId> = std::collections::HashSet::new();
+        for pair in &retained {
+            covered.insert(pair.first());
+            covered.insert(pair.second());
+        }
+        assert_eq!(covered.len(), 6);
+        assert!(retained.contains(&RecordPair::new(rid(0), rid(1)).unwrap()));
+    }
+
+    #[test]
+    fn cnp_bounds_the_total_retained_edges() {
+        let g = graph();
+        let k = (g.total_assignments() / g.num_records().max(1)).max(1);
+        let retained = PruningAlgorithm::CardinalityNodePruning.prune(&g, WeightingScheme::Ecbs);
+        // Each node contributes at most its top-k edges, so the total number
+        // of retained pairs is bounded by k · |V|.
+        assert!(retained.len() <= k * g.num_records());
+        assert!(!retained.is_empty());
+        assert!(retained.contains(&RecordPair::new(rid(0), rid(1)).unwrap()));
+    }
+
+    #[test]
+    fn pruning_an_empty_graph_returns_nothing() {
+        let g = BlockingGraph::build(&BlockCollection::new());
+        for pruning in PruningAlgorithm::ALL {
+            assert!(pruning.prune(&g, WeightingScheme::Cbs).is_empty());
+        }
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        let names: Vec<&str> = PruningAlgorithm::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["WEP", "CEP", "WNP", "CNP"]);
+    }
+
+    #[test]
+    fn every_combination_is_deterministic() {
+        let g = graph();
+        for scheme in WeightingScheme::ALL {
+            for pruning in PruningAlgorithm::ALL {
+                let a = pruning.prune(&g, scheme);
+                let b = pruning.prune(&g, scheme);
+                assert_eq!(a, b, "{} + {}", pruning.name(), scheme.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The five edge-weighting schemes of meta-blocking: ARCS, CBS, ECBS, JS and
+//! EJS.
+
+use sablock_datasets::record::RecordPair;
+
+use super::BlockingGraph;
+
+/// An edge-weighting scheme for the blocking graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WeightingScheme {
+    /// Aggregate Reciprocal Comparisons Scheme: Σ over shared blocks of
+    /// `1 / ||b||` — small blocks are strong evidence.
+    Arcs,
+    /// Common Blocks Scheme: the number of shared blocks.
+    Cbs,
+    /// Enhanced Common Blocks Scheme: CBS damped by how prolific each record
+    /// is across blocks.
+    Ecbs,
+    /// Jaccard Scheme: shared blocks over the union of the two records'
+    /// blocks.
+    Js,
+    /// Enhanced Jaccard Scheme: JS damped by the records' degrees in the
+    /// blocking graph.
+    Ejs,
+}
+
+impl WeightingScheme {
+    /// All schemes, in the order used by the paper's Fig. 12.
+    pub const ALL: [WeightingScheme; 5] = [
+        WeightingScheme::Arcs,
+        WeightingScheme::Cbs,
+        WeightingScheme::Ecbs,
+        WeightingScheme::Js,
+        WeightingScheme::Ejs,
+    ];
+
+    /// The abbreviation used in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Arcs => "ARCS",
+            Self::Cbs => "CBS",
+            Self::Ecbs => "ECBS",
+            Self::Js => "JS",
+            Self::Ejs => "EJS",
+        }
+    }
+
+    /// Computes the weight of an edge given the blocking graph and the list
+    /// of shared block indices.
+    pub fn weight(&self, graph: &BlockingGraph, pair: &RecordPair, shared_blocks: &[usize]) -> f64 {
+        let common = shared_blocks.len() as f64;
+        if common == 0.0 {
+            return 0.0;
+        }
+        let blocks_i = graph.blocks_of(pair.first()) as f64;
+        let blocks_j = graph.blocks_of(pair.second()) as f64;
+        match self {
+            Self::Arcs => shared_blocks
+                .iter()
+                .map(|&b| 1.0 / graph.block_cardinality(b) as f64)
+                .sum(),
+            Self::Cbs => common,
+            Self::Ecbs => {
+                let total = graph.num_blocks() as f64;
+                common * safe_log(total / blocks_i) * safe_log(total / blocks_j)
+            }
+            Self::Js => common / (blocks_i + blocks_j - common),
+            Self::Ejs => {
+                let js = common / (blocks_i + blocks_j - common);
+                let edges = graph.num_edges() as f64;
+                let deg_i = graph.degree(pair.first()).max(1) as f64;
+                let deg_j = graph.degree(pair.second()).max(1) as f64;
+                js * safe_log(edges / deg_i) * safe_log(edges / deg_j)
+            }
+        }
+    }
+}
+
+/// log10 guarded against ratios ≤ 1 collapsing weights to zero or negative
+/// values (a record appearing in every block would otherwise zero out all of
+/// its edges).
+fn safe_log(ratio: f64) -> f64 {
+    ratio.max(1.0 + 1e-9).log10().max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sablock_core::blocking::{Block, BlockCollection};
+    use sablock_datasets::RecordId;
+
+    fn rid(i: u32) -> RecordId {
+        RecordId(i)
+    }
+
+    fn graph() -> BlockingGraph {
+        BlockingGraph::build(&BlockCollection::from_blocks(vec![
+            Block::new("b0", vec![rid(0), rid(1)]),
+            Block::new("b1", vec![rid(0), rid(1), rid(2)]),
+            Block::new("b2", vec![rid(0), rid(1)]),
+            Block::new("b3", vec![rid(2), rid(3), rid(4), rid(5)]),
+        ]))
+    }
+
+    #[test]
+    fn cbs_counts_common_blocks() {
+        let g = graph();
+        let strong = RecordPair::new(rid(0), rid(1)).unwrap();
+        let weak = RecordPair::new(rid(2), rid(3)).unwrap();
+        assert_eq!(WeightingScheme::Cbs.weight(&g, &strong, g.shared_blocks(&strong)), 3.0);
+        assert_eq!(WeightingScheme::Cbs.weight(&g, &weak, g.shared_blocks(&weak)), 1.0);
+    }
+
+    #[test]
+    fn js_is_normalised_by_block_membership() {
+        let g = graph();
+        let strong = RecordPair::new(rid(0), rid(1)).unwrap();
+        // |B_0| = 3, |B_1| = 3, common = 3 → 3 / (3 + 3 − 3) = 1.
+        assert!((WeightingScheme::Js.weight(&g, &strong, g.shared_blocks(&strong)) - 1.0).abs() < 1e-12);
+        let cross = RecordPair::new(rid(1), rid(2)).unwrap();
+        // |B_1| = 3, |B_2| = 2, common = 1 → 1/4.
+        assert!((WeightingScheme::Js.weight(&g, &cross, g.shared_blocks(&cross)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arcs_prefers_small_blocks() {
+        let g = graph();
+        let strong = RecordPair::new(rid(0), rid(1)).unwrap();
+        // Shared blocks b0 (1 pair), b1 (3 pairs), b2 (1 pair) → 1 + 1/3 + 1.
+        let w = WeightingScheme::Arcs.weight(&g, &strong, g.shared_blocks(&strong));
+        assert!((w - (1.0 + 1.0 / 3.0 + 1.0)).abs() < 1e-12);
+        let weak = RecordPair::new(rid(4), rid(5)).unwrap();
+        // Only the 4-member block b3 (6 pairs) → 1/6.
+        let w = WeightingScheme::Arcs.weight(&g, &weak, g.shared_blocks(&weak));
+        assert!((w - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn most_schemes_rank_the_strong_pair_above_the_weak_pair() {
+        let g = graph();
+        let strong = RecordPair::new(rid(0), rid(1)).unwrap();
+        let weak = RecordPair::new(rid(2), rid(3)).unwrap();
+        // ECBS is checked separately below: it intentionally discounts
+        // records that appear in many blocks.
+        for scheme in [WeightingScheme::Arcs, WeightingScheme::Cbs, WeightingScheme::Js, WeightingScheme::Ejs] {
+            let ws = scheme.weight(&g, &strong, g.shared_blocks(&strong));
+            let ww = scheme.weight(&g, &weak, g.shared_blocks(&weak));
+            assert!(ws > ww, "{}: strong {ws} must beat weak {ww}", scheme.name());
+            assert!(ws.is_finite() && ww.is_finite());
+            assert!(ws >= 0.0 && ww >= 0.0);
+        }
+        for scheme in WeightingScheme::ALL {
+            let w = scheme.weight(&g, &strong, g.shared_blocks(&strong));
+            assert!(w.is_finite() && w >= 0.0, "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn ecbs_discounts_prolific_records() {
+        // Two pairs with identical CBS (one shared block); the pair whose
+        // records appear in fewer blocks overall gets the higher ECBS weight.
+        let g = BlockingGraph::build(&BlockCollection::from_blocks(vec![
+            Block::new("b0", vec![rid(0), rid(1)]),          // isolated pair
+            Block::new("b1", vec![rid(2), rid(3)]),          // prolific pair…
+            Block::new("b2", vec![rid(2), rid(9)]),          // …record 2 reappears
+            Block::new("b3", vec![rid(3), rid(8)]),          // …record 3 reappears
+            Block::new("b4", vec![rid(6), rid(7)]),
+        ]));
+        let isolated = RecordPair::new(rid(0), rid(1)).unwrap();
+        let prolific = RecordPair::new(rid(2), rid(3)).unwrap();
+        let w_isolated = WeightingScheme::Ecbs.weight(&g, &isolated, g.shared_blocks(&isolated));
+        let w_prolific = WeightingScheme::Ecbs.weight(&g, &prolific, g.shared_blocks(&prolific));
+        assert!(
+            w_isolated > w_prolific,
+            "ECBS must favour the pair whose records are in fewer blocks ({w_isolated} vs {w_prolific})"
+        );
+    }
+
+    #[test]
+    fn zero_shared_blocks_means_zero_weight() {
+        let g = graph();
+        let disconnected = RecordPair::new(rid(0), rid(5)).unwrap();
+        for scheme in WeightingScheme::ALL {
+            assert_eq!(scheme.weight(&g, &disconnected, &[]), 0.0);
+        }
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        let names: Vec<&str> = WeightingScheme::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["ARCS", "CBS", "ECBS", "JS", "EJS"]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Standard (traditional) blocking and token blocking.
+//!
+//! * **TBlo** — the classic Fellegi-Sunter style blocking: records are grouped
+//!   by the exact value of a blocking key. Cheap and precise but brittle:
+//!   "Qing Wang" and "Wang Qing" never share a block, which is exactly the
+//!   limitation the paper's introduction calls out.
+//! * **Token blocking** — every record joins one block per distinct key token.
+//!   Highly redundant (a record belongs to many blocks), which is what makes
+//!   it the canonical *input* of meta-blocking (Fig. 12).
+
+use std::collections::HashMap;
+
+use sablock_datasets::{Dataset, RecordId};
+
+use sablock_core::blocking::{BlockCollection, Blocker};
+use sablock_core::error::Result;
+
+use crate::key::BlockingKey;
+
+/// Standard blocking (TBlo in Table 3): one block per distinct key value.
+#[derive(Debug, Clone)]
+pub struct StandardBlocking {
+    key: BlockingKey,
+}
+
+impl StandardBlocking {
+    /// Creates a standard blocker over the given key.
+    pub fn new(key: BlockingKey) -> Self {
+        Self { key }
+    }
+
+    /// The blocking key.
+    pub fn key(&self) -> &BlockingKey {
+        &self.key
+    }
+}
+
+impl Blocker for StandardBlocking {
+    fn name(&self) -> String {
+        format!("TBlo({})", self.key.describe())
+    }
+
+    fn block(&self, dataset: &Dataset) -> Result<BlockCollection> {
+        self.key.validate_against(dataset)?;
+        let mut buckets: HashMap<String, Vec<RecordId>> = HashMap::new();
+        for record in dataset.records() {
+            let key = self.key.value(record);
+            if key.is_empty() {
+                continue;
+            }
+            buckets.entry(key).or_default().push(record.id());
+        }
+        Ok(BlockCollection::from_key_map(buckets))
+    }
+}
+
+/// Token blocking: one block per distinct token of the blocking key.
+///
+/// Optionally drops tokens shorter than `min_token_len` (initials and stop
+/// words produce huge, useless blocks) and blocks larger than
+/// `max_block_size` (the usual redundancy-positive safeguard).
+#[derive(Debug, Clone)]
+pub struct TokenBlocking {
+    key: BlockingKey,
+    min_token_len: usize,
+    max_block_size: Option<usize>,
+}
+
+impl TokenBlocking {
+    /// Creates a token blocker with a minimum token length of 2 and no block
+    /// size cap.
+    pub fn new(key: BlockingKey) -> Self {
+        Self {
+            key,
+            min_token_len: 2,
+            max_block_size: None,
+        }
+    }
+
+    /// Sets the minimum token length.
+    pub fn with_min_token_len(mut self, len: usize) -> Self {
+        self.min_token_len = len;
+        self
+    }
+
+    /// Caps the size of emitted blocks (larger blocks are discarded).
+    pub fn with_max_block_size(mut self, size: usize) -> Self {
+        self.max_block_size = Some(size);
+        self
+    }
+}
+
+impl Blocker for TokenBlocking {
+    fn name(&self) -> String {
+        format!("TokenBlocking({})", self.key.describe())
+    }
+
+    fn block(&self, dataset: &Dataset) -> Result<BlockCollection> {
+        self.key.validate_against(dataset)?;
+        let mut buckets: HashMap<String, Vec<RecordId>> = HashMap::new();
+        for record in dataset.records() {
+            let key = self.key.value(record);
+            for token in key.split(' ') {
+                if token.chars().count() < self.min_token_len {
+                    continue;
+                }
+                buckets.entry(token.to_string()).or_default().push(record.id());
+            }
+        }
+        if let Some(cap) = self.max_block_size {
+            buckets.retain(|_, members| members.len() <= cap);
+        }
+        Ok(BlockCollection::from_key_map(buckets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeyEncoding;
+    use sablock_datasets::dataset::DatasetBuilder;
+    use sablock_datasets::ground_truth::EntityId;
+    use sablock_datasets::Schema;
+
+    fn people() -> Dataset {
+        let schema = Schema::shared(["first_name", "last_name"]).unwrap();
+        let mut b = DatasetBuilder::new("people", schema);
+        let rows = [
+            ("qing", "wang", 0),
+            ("qing", "wang", 0),   // exact duplicate
+            ("wang", "qing", 0),   // transposed duplicate — TBlo misses it
+            ("huizhi", "liang", 1),
+            ("huizi", "liang", 1), // typo duplicate
+            ("mingyuan", "cui", 2),
+            ("", "", 3),           // empty record
+        ];
+        for (f, l, e) in rows {
+            let first = if f.is_empty() { None } else { Some(f.to_string()) };
+            let last = if l.is_empty() { None } else { Some(l.to_string()) };
+            b.push_values(vec![first, last], EntityId(e)).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn standard_blocking_groups_exact_keys_only() {
+        let ds = people();
+        let blocker = StandardBlocking::new(BlockingKey::ncvoter());
+        assert!(blocker.name().contains("TBlo"));
+        let blocks = blocker.block(&ds).unwrap();
+        // Only the exact duplicates share a key.
+        assert!(blocks.theta(RecordId(0), RecordId(1)));
+        // The transposed name does NOT (the limitation the paper highlights)…
+        assert!(!blocks.theta(RecordId(0), RecordId(2)));
+        // …and neither does the typo variant.
+        assert!(!blocks.theta(RecordId(3), RecordId(4)));
+        // Empty records are not indexed.
+        assert!(blocks.distinct_pairs().iter().all(|p| p.second() != RecordId(6)));
+    }
+
+    #[test]
+    fn soundex_key_recovers_typo_duplicates() {
+        let ds = people();
+        let key = BlockingKey::new(["last_name", "first_name"], KeyEncoding::Soundex).unwrap();
+        let blocks = StandardBlocking::new(key).block(&ds).unwrap();
+        assert!(blocks.theta(RecordId(3), RecordId(4)), "soundex('huizhi') == soundex('huizi')");
+    }
+
+    #[test]
+    fn token_blocking_recovers_transposed_names() {
+        let ds = people();
+        let blocks = TokenBlocking::new(BlockingKey::ncvoter()).block(&ds).unwrap();
+        // "qing" and "wang" are shared tokens regardless of order.
+        assert!(blocks.theta(RecordId(0), RecordId(2)));
+        // Records of different entities sharing a token also collide (high
+        // redundancy is expected from token blocking).
+        assert!(blocks.redundant_pair_count() >= blocks.num_distinct_pairs());
+    }
+
+    #[test]
+    fn token_blocking_filters_short_tokens_and_big_blocks() {
+        let ds = people();
+        let blocks = TokenBlocking::new(BlockingKey::ncvoter())
+            .with_min_token_len(5)
+            .block(&ds)
+            .unwrap();
+        // "cui" and "wang" and "qing" are shorter than 5; only "huizhi"/"huizi"/"liang"/"mingyuan" survive.
+        assert!(!blocks.theta(RecordId(0), RecordId(2)));
+        assert!(blocks.theta(RecordId(3), RecordId(4)), "shared token 'liang'");
+
+        let capped = TokenBlocking::new(BlockingKey::ncvoter())
+            .with_max_block_size(1)
+            .block(&ds)
+            .unwrap();
+        assert_eq!(capped.num_distinct_pairs(), 0);
+    }
+
+    #[test]
+    fn unknown_key_attributes_error() {
+        let ds = people();
+        let blocker = StandardBlocking::new(BlockingKey::cora());
+        assert!(blocker.block(&ds).is_err());
+        let blocker = TokenBlocking::new(BlockingKey::cora());
+        assert!(blocker.block(&ds).is_err());
+    }
+}

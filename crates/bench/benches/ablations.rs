@@ -1,0 +1,97 @@
+//! Ablation benches for the design choices called out in DESIGN.md §6:
+//!
+//! * semantic composition: AND vs OR and the value of w,
+//! * q-gram size (2 / 3 / 4) for the textual signature,
+//! * semhash-as-filter (SA-LSH) vs plain LSH,
+//! * sequential vs parallel signature computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sablock_bench::banner;
+use sablock_core::blocking::Blocker;
+use sablock_core::lsh::semantic_hash::SemanticMode;
+use sablock_core::minhash::shingle::RecordShingler;
+use sablock_core::minhash::{MinHasher, MinhashConfig};
+use sablock_core::parallel::parallel_map;
+use sablock_core::taxonomy::bib::BibVariant;
+use sablock_datasets::Dataset;
+use sablock_eval::experiments::{cora_dataset, cora_lsh, cora_salsh, Scale};
+use sablock_eval::run_blocker;
+
+fn quality_line(result: &sablock_eval::RunResult) -> String {
+    format!(
+        "{:<28} PC={:.3} PQ={:.3} RR={:.4} FM={:.3} pairs={}",
+        result.configuration,
+        result.metrics.pc(),
+        result.metrics.pq(),
+        result.metrics.rr(),
+        result.metrics.fm(),
+        result.metrics.candidate_pairs
+    )
+}
+
+fn ablation_semantic_composition(c: &mut Criterion, dataset: &Dataset) {
+    banner("Ablation — semantic composition (AND vs OR, w)");
+    for (w, mode) in [(1, SemanticMode::Or), (2, SemanticMode::Or), (4, SemanticMode::Or), (1, SemanticMode::And), (2, SemanticMode::And)] {
+        let blocker = cora_salsh(4, 20, w, mode, BibVariant::Full, 0xab1a).unwrap();
+        let result = run_blocker("SA-LSH", &blocker, dataset).unwrap();
+        println!("{}", quality_line(&result));
+    }
+    let lsh = cora_lsh(4, 20).unwrap();
+    let result = run_blocker("LSH", &lsh, dataset).unwrap();
+    println!("{}  <- no semantic filter", quality_line(&result));
+
+    let or2 = cora_salsh(4, 20, 2, SemanticMode::Or, BibVariant::Full, 0xab1a).unwrap();
+    let mut group = c.benchmark_group("ablation/semantic_composition");
+    group.sample_size(10);
+    group.bench_function("salsh_w2_or", |b| b.iter(|| or2.block(black_box(dataset)).unwrap()));
+    group.bench_function("lsh_plain", |b| b.iter(|| lsh.block(black_box(dataset)).unwrap()));
+    group.finish();
+}
+
+fn ablation_qgram_size(c: &mut Criterion, dataset: &Dataset) {
+    banner("Ablation — q-gram size");
+    let mut group = c.benchmark_group("ablation/qgram_size");
+    group.sample_size(10);
+    for q in [2usize, 3, 4] {
+        let blocker = sablock_core::lsh::salsh::SaLshBlocker::builder()
+            .attributes(["title", "authors"])
+            .qgram(q)
+            .rows_per_band(4)
+            .bands(20)
+            .build()
+            .unwrap();
+        let result = run_blocker("LSH", &blocker, dataset).unwrap();
+        println!("q={q}: {}", quality_line(&result));
+        group.bench_with_input(BenchmarkId::from_parameter(q), &blocker, |b, blocker| {
+            b.iter(|| blocker.block(black_box(dataset)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn ablation_parallelism(c: &mut Criterion, dataset: &Dataset) {
+    banner("Ablation — sequential vs parallel signature computation");
+    let shingler = RecordShingler::new(["title", "authors"], 4).unwrap();
+    let hasher = MinHasher::from_config(&MinhashConfig::cora_paper());
+    let shingles: Vec<_> = dataset.records().iter().map(|r| shingler.shingles(r)).collect();
+    let mut group = c.benchmark_group("ablation/parallelism");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| parallel_map(black_box(&shingles), threads, |set| hasher.signature(set)));
+        });
+    }
+    group.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    let dataset = cora_dataset(Scale::Quick).expect("quick cora dataset");
+    ablation_semantic_composition(c, &dataset);
+    ablation_qgram_size(c, &dataset);
+    ablation_parallelism(c, &dataset);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! E-FIG5: collision probability of w-way semantic hash functions (Fig. 5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sablock_bench::banner;
+use sablock_eval::experiments::fig05;
+
+fn bench(c: &mut Criterion) {
+    banner("Fig. 5 — w-way semantic hash collision probability");
+    let output = fig05::run(15);
+    println!("{}", output.to_table().render());
+
+    c.bench_function("fig05/w_way_curves", |b| {
+        b.iter(|| fig05::run(black_box(15)));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

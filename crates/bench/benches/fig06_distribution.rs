@@ -1,0 +1,36 @@
+//! E-FIG6: match-similarity distributions and (k, l) collision curves (Fig. 6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use sablock_bench::{banner, bench_scale};
+use sablock_core::minhash::shingle::RecordShingler;
+use sablock_core::tuning::SimilarityDistribution;
+use sablock_eval::experiments::{cora_dataset, fig06, Scale};
+
+fn bench(c: &mut Criterion) {
+    banner("Fig. 6 — similarity distributions and collision probabilities");
+    let output = fig06::run(bench_scale()).expect("fig06 experiment");
+    println!("{}", output.cora.distribution_table().render());
+    println!("{}", output.cora.collision_table().render());
+    println!("{}", output.ncvoter.distribution_table().render());
+    println!("{}", output.ncvoter.collision_table().render());
+
+    // Measure the heavy part: estimating the match-similarity distribution.
+    let dataset = cora_dataset(Scale::Quick).expect("quick cora dataset");
+    let shingler = RecordShingler::new(["title", "authors"], 4).unwrap();
+    let mut group = c.benchmark_group("fig06");
+    group.sample_size(20);
+    group.bench_function("estimate_match_distribution", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            SimilarityDistribution::estimate_from_matches(black_box(&dataset), black_box(&shingler), 500, 20, &mut rng).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E-FIG7: semantic hash configurations H11–H15 over Cora (Fig. 7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sablock_bench::{banner, bench_scale};
+use sablock_core::blocking::Blocker;
+use sablock_core::lsh::semantic_hash::SemanticMode;
+use sablock_core::taxonomy::bib::BibVariant;
+use sablock_eval::experiments::{cora_dataset, cora_salsh, fig07};
+
+fn bench(c: &mut Criterion) {
+    banner("Fig. 7 — semantic hash functions over Cora (k=4, l=63)");
+    let dataset = cora_dataset(bench_scale()).expect("cora dataset");
+    let output = fig07::run_on(&dataset).expect("fig07 experiment");
+    println!("{}", output.to_table().render());
+
+    // Measure one representative SA-LSH blocking pass (H13: w=2, OR).
+    let blocker = cora_salsh(4, 63, 2, SemanticMode::Or, BibVariant::Full, 0x0711).unwrap();
+    let mut group = c.benchmark_group("fig07");
+    group.sample_size(10);
+    group.bench_function("salsh_block_cora_w2_or", |b| {
+        b.iter(|| blocker.block(black_box(&dataset)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E-FIG8: semantic hash configurations H21–H25 over NC Voter (Fig. 8).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sablock_bench::{banner, bench_scale};
+use sablock_core::blocking::Blocker;
+use sablock_core::lsh::semantic_hash::SemanticMode;
+use sablock_eval::experiments::{fig08, voter_dataset, voter_salsh};
+
+fn bench(c: &mut Criterion) {
+    banner("Fig. 8 — semantic hash functions over NC Voter (k=9, l=15)");
+    let dataset = voter_dataset(bench_scale()).expect("voter dataset");
+    let output = fig08::run_on(&dataset).expect("fig08 experiment");
+    println!("{}", output.to_table().render());
+
+    // Measure one representative SA-LSH blocking pass (H23: w=5, OR).
+    let blocker = voter_salsh(9, 15, 5, SemanticMode::Or).unwrap();
+    let mut group = c.benchmark_group("fig08");
+    group.sample_size(10);
+    group.bench_function("salsh_block_voter_w5_or", |b| {
+        b.iter(|| blocker.block(black_box(&dataset)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

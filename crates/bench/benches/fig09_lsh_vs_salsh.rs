@@ -1,0 +1,30 @@
+//! E-FIG9: LSH vs SA-LSH over the (k, l) ladder (Fig. 9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sablock_bench::{banner, bench_scale};
+use sablock_core::blocking::Blocker;
+use sablock_eval::experiments::{cora_dataset, cora_lsh, fig09, voter_dataset};
+
+fn bench(c: &mut Criterion) {
+    banner("Fig. 9 — LSH vs SA-LSH over (k, l)");
+    let cora = cora_dataset(bench_scale()).expect("cora dataset");
+    let voter = voter_dataset(bench_scale()).expect("voter dataset");
+    let cora_panel = fig09::run_cora_on(&cora).expect("fig09 cora panel");
+    let voter_panel = fig09::run_voter_on(&voter).expect("fig09 voter panel");
+    println!("{}", cora_panel.to_table().render());
+    println!("{}", voter_panel.to_table().render());
+
+    // Measure the paper's chosen Cora operating point (k=4, l=63) for LSH.
+    let blocker = cora_lsh(4, 63).unwrap();
+    let mut group = c.benchmark_group("fig09");
+    group.sample_size(10);
+    group.bench_function("lsh_block_cora_k4_l63", |b| {
+        b.iter(|| blocker.block(black_box(&cora)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

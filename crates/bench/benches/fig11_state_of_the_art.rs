@@ -1,0 +1,39 @@
+//! E-FIG11: quality comparison with the state-of-the-art techniques (Fig. 11).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sablock_bench::{banner, bench_grid_scale, bench_scale};
+use sablock_baselines::key::BlockingKey;
+use sablock_baselines::params::reduced_grids;
+use sablock_eval::experiments::{cora_dataset, fig11, voter_dataset_of_size};
+use sablock_eval::sweep_grids;
+
+fn bench(c: &mut Criterion) {
+    banner("Fig. 11 — comparison with the state of the art");
+    let cora = cora_dataset(bench_scale()).expect("cora dataset");
+    let voter = voter_dataset_of_size(bench_scale().voter_timing_records()).expect("voter dataset");
+    let cora_panel = fig11::run_cora_on(&cora, bench_grid_scale()).expect("fig11 cora panel");
+    let voter_panel = fig11::run_voter_on(&voter, bench_grid_scale()).expect("fig11 voter panel");
+    println!("{}", cora_panel.to_table().render());
+    println!("{}", voter_panel.to_table().render());
+    if let Some(best) = cora_panel.best_fm_technique() {
+        println!("best FM over Cora: {} = {:.3}", best.technique, best.fm());
+    }
+    if let Some(best) = voter_panel.best_fm_technique() {
+        println!("best FM over NC Voter: {} = {:.3}\n", best.technique, best.fm());
+    }
+
+    // Measure a full reduced-grid sweep over a small voter subset.
+    let small = voter_dataset_of_size(400).expect("small voter dataset");
+    let grids = reduced_grids(&BlockingKey::ncvoter());
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.bench_function("reduced_grid_sweep_voter400", |b| {
+        b.iter(|| sweep_grids(black_box(&grids), black_box(&small)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

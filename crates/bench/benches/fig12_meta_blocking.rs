@@ -1,0 +1,37 @@
+//! E-FIG12: comparison of SA-LSH with meta-blocking (Fig. 12).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sablock_bench::{banner, bench_scale};
+use sablock_baselines::key::BlockingKey;
+use sablock_baselines::meta::{MetaBlocking, PruningAlgorithm, WeightingScheme};
+use sablock_baselines::standard::TokenBlocking;
+use sablock_core::blocking::Blocker;
+use sablock_eval::experiments::{cora_dataset, fig12, voter_dataset_of_size};
+
+fn bench(c: &mut Criterion) {
+    banner("Fig. 12 — SA-LSH vs meta-blocking (PC / PQ* / FM*)");
+    let cora = cora_dataset(bench_scale()).expect("cora dataset");
+    let voter = voter_dataset_of_size(bench_scale().voter_timing_records()).expect("voter dataset");
+    let cora_panel = fig12::run_cora_on(&cora).expect("fig12 cora panel");
+    let voter_panel = fig12::run_voter_on(&voter).expect("fig12 voter panel");
+    println!("{}", cora_panel.to_table().render());
+    println!("{}", voter_panel.to_table().render());
+
+    // Measure one full meta-blocking pass (token blocking + WEP/JS) on Cora.
+    let meta = MetaBlocking::new(
+        TokenBlocking::new(BlockingKey::cora()),
+        WeightingScheme::Js,
+        PruningAlgorithm::WeightedEdgePruning,
+    );
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    group.bench_function("meta_blocking_wep_js_cora", |b| {
+        b.iter(|| meta.block(black_box(&cora)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

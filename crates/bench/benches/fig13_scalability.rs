@@ -1,0 +1,35 @@
+//! E-FIG13: scalability of LSH / SA-LSH / semantic-function construction over
+//! growing NC Voter subsets (Fig. 13).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use sablock_bench::{banner, bench_scale};
+use sablock_core::blocking::Blocker;
+use sablock_core::lsh::semantic_hash::SemanticMode;
+use sablock_eval::experiments::{fig13, voter_dataset_of_size, voter_salsh};
+
+fn bench(c: &mut Criterion) {
+    banner("Fig. 13 — scalability over increasing dataset sizes");
+    let output = fig13::run_sizes(&bench_scale().scalability_sizes()).expect("fig13 experiment");
+    println!("{}", output.quality_table().render());
+    println!("{}", output.time_table().render());
+
+    // Criterion throughput series over a few sizes (kept small so the
+    // measured series is affordable; the printed table above carries the
+    // full-scale numbers when SABLOCK_BENCH_SCALE=paper).
+    let blocker = voter_salsh(9, 15, 12, SemanticMode::Or).unwrap();
+    let mut group = c.benchmark_group("fig13/salsh_block");
+    group.sample_size(10);
+    for &size in &[1_000usize, 2_000, 4_000] {
+        let dataset = voter_dataset_of_size(size).expect("voter dataset");
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &dataset, |b, ds| {
+            b.iter(|| blocker.block(black_box(ds)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Micro-benchmarks of the hot paths: q-gram extraction, minhash signatures,
+//! semhash signatures, banding keys and the similarity metrics used by the
+//! baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sablock_core::lsh::BandingScheme;
+use sablock_core::minhash::{MinHasher, MinhashConfig};
+use sablock_core::semantic::pattern::PatternSemanticFunction;
+use sablock_core::semantic::semhash::SemhashFamily;
+use sablock_core::semantic::SemanticFunction;
+use sablock_core::taxonomy::bib::bibliographic_taxonomy;
+use sablock_datasets::{CoraConfig, CoraGenerator};
+use sablock_textual::qgrams::hashed_qgram_set;
+use sablock_textual::similarity::{SimilarityFunction, StringSimilarity};
+
+const TITLE_A: &str = "the cascade correlation learning architecture for neural networks";
+const TITLE_B: &str = "a genetic cascade correlation learning algorithm for neural nets";
+
+fn bench_textual(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/textual");
+    group.bench_function("qgram_set_q4", |b| b.iter(|| hashed_qgram_set(black_box(TITLE_A), 4)));
+    for function in [
+        SimilarityFunction::JaroWinkler,
+        SimilarityFunction::QGram(2),
+        SimilarityFunction::EditDistance,
+        SimilarityFunction::LongestCommonSubstring,
+    ] {
+        group.bench_function(format!("similarity/{}", function.name()), |b| {
+            b.iter(|| function.similarity(black_box(TITLE_A), black_box(TITLE_B)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let shingles = hashed_qgram_set(TITLE_A, 4);
+    let hasher = MinHasher::from_config(&MinhashConfig::cora_paper());
+    let banding = BandingScheme::new(63, 4).unwrap();
+    let signature = hasher.signature(&shingles);
+
+    let mut group = c.benchmark_group("micro/signatures");
+    group.bench_function("minhash_signature_252", |b| b.iter(|| hasher.signature(black_box(&shingles))));
+    group.bench_function("band_keys_63", |b| b.iter(|| banding.band_keys(black_box(&signature))));
+    group.finish();
+}
+
+fn bench_semantics(c: &mut Criterion) {
+    let dataset = CoraGenerator::new(CoraConfig {
+        num_records: 200,
+        ..CoraConfig::small()
+    })
+    .generate()
+    .unwrap();
+    let tree = bibliographic_taxonomy();
+    let zeta = PatternSemanticFunction::cora_default(&tree).unwrap();
+    let interpretations: Vec<_> = dataset.records().iter().map(|r| zeta.interpret(r)).collect();
+    let family = SemhashFamily::build(&tree, interpretations.iter()).unwrap();
+    let record = &dataset.records()[0];
+
+    let mut group = c.benchmark_group("micro/semantics");
+    group.bench_function("interpret_record", |b| b.iter(|| zeta.interpret(black_box(record))));
+    group.bench_function("semhash_signature", |b| {
+        b.iter(|| family.signature(black_box(&tree), black_box(&interpretations[0])))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_textual, bench_signatures, bench_semantics);
+criterion_main!(benches);

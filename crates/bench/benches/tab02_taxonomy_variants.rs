@@ -1,0 +1,39 @@
+//! E-TAB2: impact of taxonomy-tree variants on blocking quality (Table 2 /
+//! Fig. 10).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sablock_bench::{banner, bench_scale};
+use sablock_core::semantic::pattern::PatternSemanticFunction;
+use sablock_core::semantic::SemanticFunction;
+use sablock_core::taxonomy::bib::{bibliographic_taxonomy_variant, BibVariant};
+use sablock_eval::experiments::{cora_dataset, tab02, Scale};
+
+fn bench(c: &mut Criterion) {
+    banner("Table 2 — impact of taxonomy variants over Cora");
+    let dataset = cora_dataset(bench_scale()).expect("cora dataset");
+    let repetitions = if bench_scale() == Scale::Paper { 5 } else { 3 };
+    let output = tab02::run_on(&dataset, repetitions).expect("tab02 experiment");
+    println!("{}", output.to_table().render());
+
+    // Measure the semantic-interpretation pass under the full taxonomy.
+    let tree = bibliographic_taxonomy_variant(BibVariant::Full);
+    let zeta = PatternSemanticFunction::cora_default(&tree).unwrap();
+    let quick = cora_dataset(Scale::Quick).expect("quick cora dataset");
+    let mut group = c.benchmark_group("tab02");
+    group.sample_size(30);
+    group.bench_function("interpret_all_records", |b| {
+        b.iter(|| {
+            quick
+                .records()
+                .iter()
+                .map(|r| zeta.interpret(black_box(r)).len())
+                .sum::<usize>()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

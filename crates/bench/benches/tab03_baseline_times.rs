@@ -1,0 +1,29 @@
+//! E-TAB3: blocking time and candidate pairs of every technique (Table 3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sablock_bench::{banner, bench_grid_scale, bench_scale};
+use sablock_baselines::key::BlockingKey;
+use sablock_baselines::standard::StandardBlocking;
+use sablock_core::blocking::Blocker;
+use sablock_eval::experiments::{tab03, voter_dataset_of_size};
+
+fn bench(c: &mut Criterion) {
+    banner("Table 3 — blocking time and candidate pairs (NC Voter timing subset)");
+    let dataset = voter_dataset_of_size(bench_scale().voter_timing_records()).expect("voter timing dataset");
+    let output = tab03::run_on(&dataset, bench_grid_scale()).expect("tab03 experiment");
+    println!("{}", output.to_table().render());
+
+    // Measure the cheapest and a mid-range baseline for reference points.
+    let tblo = StandardBlocking::new(BlockingKey::ncvoter());
+    let mut group = c.benchmark_group("tab03");
+    group.sample_size(10);
+    group.bench_function("tblo_block_voter", |b| {
+        b.iter(|| tblo.block(black_box(&dataset)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

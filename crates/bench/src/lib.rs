@@ -1,0 +1,56 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench target regenerates one table or figure of the paper: it prints
+//! the experiment's rows/series once (so `cargo bench` output contains the
+//! reproduction data) and then registers a Criterion measurement of the
+//! underlying computation.
+//!
+//! By default the experiments run at [`Scale::Quick`] so that
+//! `cargo bench --workspace` finishes in minutes. Set the environment
+//! variable `SABLOCK_BENCH_SCALE=paper` to run the paper-scale dataset sizes
+//! (1,879 Cora records, 30,000/292,892 NC Voter records); expect the full
+//! suite to take considerably longer in that mode.
+
+use sablock_eval::experiments::tab03::GridScale;
+use sablock_eval::experiments::Scale;
+
+/// The experiment scale selected via `SABLOCK_BENCH_SCALE` (default: quick).
+pub fn bench_scale() -> Scale {
+    match std::env::var("SABLOCK_BENCH_SCALE").as_deref() {
+        Ok("paper") | Ok("PAPER") => Scale::Paper,
+        _ => Scale::Quick,
+    }
+}
+
+/// The parameter-grid scale selected via `SABLOCK_BENCH_GRIDS` (default:
+/// reduced). Set `SABLOCK_BENCH_GRIDS=full` to sweep the full ~150-setting
+/// survey grids as the paper does.
+pub fn bench_grid_scale() -> GridScale {
+    match std::env::var("SABLOCK_BENCH_GRIDS").as_deref() {
+        Ok("full") | Ok("FULL") => GridScale::Full,
+        _ => GridScale::Reduced,
+    }
+}
+
+/// Prints a banner identifying the experiment and the active scale.
+pub fn banner(experiment: &str) {
+    println!("\n==============================================================");
+    println!("{experiment} — scale: {:?} (set SABLOCK_BENCH_SCALE=paper for paper-scale runs)", bench_scale());
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_quick_and_reduced() {
+        // The environment variable is not set in the test environment.
+        if std::env::var("SABLOCK_BENCH_SCALE").is_err() {
+            assert_eq!(bench_scale(), Scale::Quick);
+        }
+        if std::env::var("SABLOCK_BENCH_GRIDS").is_err() {
+            assert!(matches!(bench_grid_scale(), GridScale::Reduced));
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Blocks, block collections and the [`Blocker`] trait.
+//!
+//! Section 3 of the paper defines the blocking problem through the *blocking
+//! function* θ_B(r1, r2), which returns 1 when at least one block of B
+//! contains both records. [`BlockCollection`] materialises B and exposes the
+//! quantities the evaluation measures need: the set Γ of distinct candidate
+//! pairs, the redundant pair count Γ_m, and θ_B itself.
+
+use std::collections::HashMap;
+
+use sablock_datasets::record::RecordPair;
+use sablock_datasets::{Dataset, RecordId};
+use sablock_textual::hashing::StableHashSet;
+
+use crate::error::Result;
+
+/// A single block: a bucket key plus the records hashed into it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    key: String,
+    members: Vec<RecordId>,
+}
+
+impl Block {
+    /// Creates a block. Duplicate member ids are removed, preserving order.
+    pub fn new(key: impl Into<String>, mut members: Vec<RecordId>) -> Self {
+        let mut seen = StableHashSet::default();
+        members.retain(|id| seen.insert(*id));
+        Self { key: key.into(), members }
+    }
+
+    /// The bucket key that produced this block.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The member record ids.
+    pub fn members(&self) -> &[RecordId] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Number of (unordered) record pairs the block contributes, counting
+    /// redundancy across blocks: `|b|·(|b|−1)/2`.
+    pub fn pair_count(&self) -> u64 {
+        let n = self.members.len() as u64;
+        n * n.saturating_sub(1) / 2
+    }
+
+    /// Iterates over the distinct pairs within this block.
+    pub fn pairs(&self) -> impl Iterator<Item = RecordPair> + '_ {
+        self.members.iter().enumerate().flat_map(move |(i, &a)| {
+            self.members[i + 1..]
+                .iter()
+                .filter_map(move |&b| RecordPair::new(a, b))
+        })
+    }
+}
+
+/// The output of a blocking technique: a set of (possibly overlapping) blocks.
+#[derive(Debug, Clone, Default)]
+pub struct BlockCollection {
+    blocks: Vec<Block>,
+}
+
+impl BlockCollection {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a collection from blocks, dropping blocks with fewer than two
+    /// members (they can never contribute a candidate pair).
+    pub fn from_blocks(blocks: Vec<Block>) -> Self {
+        let blocks = blocks.into_iter().filter(|b| b.len() >= 2).collect();
+        Self { blocks }
+    }
+
+    /// Builds a collection from a map of bucket key → member records,
+    /// which is the natural output shape of key-based blocking techniques.
+    pub fn from_key_map<K: std::fmt::Display>(map: HashMap<K, Vec<RecordId>>) -> Self {
+        let mut blocks: Vec<Block> = map
+            .into_iter()
+            .map(|(key, members)| Block::new(key.to_string(), members))
+            .filter(|b| b.len() >= 2)
+            .collect();
+        // Deterministic order regardless of hash-map iteration order.
+        blocks.sort_by(|a, b| a.key().cmp(b.key()));
+        Self { blocks }
+    }
+
+    /// Adds a block (ignored if it has fewer than two members).
+    pub fn push(&mut self, block: Block) {
+        if block.len() >= 2 {
+            self.blocks.push(block);
+        }
+    }
+
+    /// The blocks.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether there are no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Size of the largest block (0 when empty).
+    pub fn max_block_size(&self) -> usize {
+        self.blocks.iter().map(Block::len).max().unwrap_or(0)
+    }
+
+    /// Mean block size (0 when empty).
+    pub fn mean_block_size(&self) -> f64 {
+        if self.blocks.is_empty() {
+            return 0.0;
+        }
+        self.blocks.iter().map(Block::len).sum::<usize>() as f64 / self.blocks.len() as f64
+    }
+
+    /// Total number of pairs counted *with* redundancy across blocks — the
+    /// quantity `|Γ_m| = Σ_b |b|·(|b|−1)/2` used by the PQ* measure.
+    pub fn redundant_pair_count(&self) -> u64 {
+        self.blocks.iter().map(Block::pair_count).sum()
+    }
+
+    /// The set Γ of *distinct* candidate pairs across all blocks.
+    pub fn distinct_pairs(&self) -> StableHashSet<RecordPair> {
+        let mut pairs = StableHashSet::default();
+        for block in &self.blocks {
+            pairs.extend(block.pairs());
+        }
+        pairs
+    }
+
+    /// Number of distinct candidate pairs `|Γ|`.
+    pub fn num_distinct_pairs(&self) -> u64 {
+        self.distinct_pairs().len() as u64
+    }
+
+    /// The blocking function θ_B: do the two records share at least one block?
+    ///
+    /// This scans blocks and is intended for point queries (examples, tests);
+    /// bulk evaluation goes through [`BlockCollection::distinct_pairs`].
+    pub fn theta(&self, a: RecordId, b: RecordId) -> bool {
+        if a == b {
+            return false;
+        }
+        self.blocks
+            .iter()
+            .any(|blk| blk.members().contains(&a) && blk.members().contains(&b))
+    }
+
+    /// Per-record block membership: record → indices of blocks containing it.
+    /// Needed by meta-blocking to build the blocking graph.
+    pub fn membership(&self) -> HashMap<RecordId, Vec<usize>> {
+        let mut map: HashMap<RecordId, Vec<usize>> = HashMap::new();
+        for (idx, block) in self.blocks.iter().enumerate() {
+            for &member in block.members() {
+                map.entry(member).or_default().push(idx);
+            }
+        }
+        map
+    }
+}
+
+/// A blocking technique: maps a dataset to a collection of blocks.
+///
+/// Implemented by the SA-LSH blocker of this crate and by every baseline in
+/// `sablock-baselines`, so the evaluation harness can treat them uniformly.
+pub trait Blocker {
+    /// A short human-readable name used in reports (e.g. `"SA-LSH"`).
+    fn name(&self) -> String;
+
+    /// Produces blocks for the dataset.
+    fn block(&self, dataset: &Dataset) -> Result<BlockCollection>;
+}
+
+impl<B: Blocker + ?Sized> Blocker for Box<B> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn block(&self, dataset: &Dataset) -> Result<BlockCollection> {
+        (**self).block(dataset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(i: u32) -> RecordId {
+        RecordId(i)
+    }
+
+    #[test]
+    fn block_deduplicates_members_and_counts_pairs() {
+        let b = Block::new("k1", vec![rid(1), rid(2), rid(1), rid(3)]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.pair_count(), 3);
+        assert_eq!(b.pairs().count(), 3);
+        assert_eq!(b.key(), "k1");
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn singleton_and_empty_blocks_are_dropped() {
+        let collection = BlockCollection::from_blocks(vec![
+            Block::new("a", vec![rid(1)]),
+            Block::new("b", vec![]),
+            Block::new("c", vec![rid(1), rid(2)]),
+        ]);
+        assert_eq!(collection.num_blocks(), 1);
+        let mut collection = BlockCollection::new();
+        collection.push(Block::new("solo", vec![rid(9)]));
+        assert!(collection.is_empty());
+    }
+
+    #[test]
+    fn distinct_vs_redundant_pairs() {
+        // Two overlapping blocks: {1,2,3} and {2,3,4} share the pair (2,3).
+        let collection = BlockCollection::from_blocks(vec![
+            Block::new("b1", vec![rid(1), rid(2), rid(3)]),
+            Block::new("b2", vec![rid(2), rid(3), rid(4)]),
+        ]);
+        assert_eq!(collection.redundant_pair_count(), 6);
+        assert_eq!(collection.num_distinct_pairs(), 5);
+        assert!(collection.theta(rid(2), rid(3)));
+        assert!(collection.theta(rid(1), rid(3)));
+        assert!(!collection.theta(rid(1), rid(4)));
+        assert!(!collection.theta(rid(1), rid(1)));
+    }
+
+    #[test]
+    fn paper_example_block_counts() {
+        // Fig. 1: B3 = {{r1,r2,r6}, {r4,r6}, {r3}, {r5}} has 4 distinct pairs;
+        // B1 = {{r1,r2,r4,r6}, {r3}, {r5}} has 6; B2 = {{r1,r2,r3,r6}, {r4,r5,r6}} has 9.
+        let b1 = BlockCollection::from_blocks(vec![Block::new("x", vec![rid(1), rid(2), rid(4), rid(6)])]);
+        assert_eq!(b1.num_distinct_pairs(), 6);
+        let b2 = BlockCollection::from_blocks(vec![
+            Block::new("x", vec![rid(1), rid(2), rid(3), rid(6)]),
+            Block::new("y", vec![rid(4), rid(5), rid(6)]),
+        ]);
+        assert_eq!(b2.num_distinct_pairs(), 9);
+        let b3 = BlockCollection::from_blocks(vec![
+            Block::new("x", vec![rid(1), rid(2), rid(6)]),
+            Block::new("y", vec![rid(4), rid(6)]),
+        ]);
+        assert_eq!(b3.num_distinct_pairs(), 4);
+    }
+
+    #[test]
+    fn key_map_construction_is_deterministic() {
+        let mut map: HashMap<String, Vec<RecordId>> = HashMap::new();
+        map.insert("z".into(), vec![rid(1), rid(2)]);
+        map.insert("a".into(), vec![rid(3), rid(4)]);
+        map.insert("solo".into(), vec![rid(5)]);
+        let collection = BlockCollection::from_key_map(map);
+        assert_eq!(collection.num_blocks(), 2);
+        assert_eq!(collection.blocks()[0].key(), "a");
+        assert_eq!(collection.blocks()[1].key(), "z");
+    }
+
+    #[test]
+    fn size_statistics() {
+        let collection = BlockCollection::from_blocks(vec![
+            Block::new("b1", vec![rid(1), rid(2), rid(3), rid(4)]),
+            Block::new("b2", vec![rid(5), rid(6)]),
+        ]);
+        assert_eq!(collection.max_block_size(), 4);
+        assert!((collection.mean_block_size() - 3.0).abs() < 1e-12);
+        let empty = BlockCollection::new();
+        assert_eq!(empty.max_block_size(), 0);
+        assert_eq!(empty.mean_block_size(), 0.0);
+    }
+
+    #[test]
+    fn membership_maps_records_to_blocks() {
+        let collection = BlockCollection::from_blocks(vec![
+            Block::new("b1", vec![rid(1), rid(2)]),
+            Block::new("b2", vec![rid(2), rid(3)]),
+        ]);
+        let membership = collection.membership();
+        assert_eq!(membership[&rid(2)], vec![0, 1]);
+        assert_eq!(membership[&rid(1)], vec![0]);
+        assert!(!membership.contains_key(&rid(9)));
+    }
+}

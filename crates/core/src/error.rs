@@ -1,0 +1,58 @@
+//! Error type for the blocking framework.
+
+use std::fmt;
+
+use sablock_datasets::DatasetError;
+
+/// Errors raised while configuring or running blockers.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A configuration value is invalid (e.g. zero bands, unknown attribute).
+    Config(String),
+    /// A taxonomy operation failed (unknown concept, malformed tree).
+    Taxonomy(String),
+    /// An error bubbled up from the dataset layer.
+    Dataset(DatasetError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Config(msg) => write!(f, "configuration error: {msg}"),
+            Self::Taxonomy(msg) => write!(f, "taxonomy error: {msg}"),
+            Self::Dataset(err) => write!(f, "dataset error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Dataset(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<DatasetError> for CoreError {
+    fn from(err: DatasetError) -> Self {
+        Self::Dataset(err)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CoreError::Config("bands must be > 0".into()).to_string().contains("bands"));
+        assert!(CoreError::Taxonomy("unknown concept c9".into()).to_string().contains("c9"));
+        let err: CoreError = DatasetError::UnknownAttribute("title".into()).into();
+        assert!(err.to_string().contains("title"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

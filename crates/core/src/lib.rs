@@ -1,0 +1,80 @@
+//! # sablock-core — Semantic-Aware LSH Blocking for Entity Resolution
+//!
+//! This crate implements the primary contribution of Wang, Cui & Liang,
+//! *Semantic-Aware Blocking for Entity Resolution* (IEEE TKDE 28(1), 2016):
+//! a blocking framework that unifies **textual similarity** (minhash-based
+//! locality-sensitive hashing over q-gram shingles) and **semantic
+//! similarity** (taxonomy trees + "semhash" signatures) into one LSH pipeline.
+//!
+//! ## Module map
+//!
+//! | Paper section | Module |
+//! |---|---|
+//! | §3 problem definition, γ-robustness | [`robustness`], [`blocking`] |
+//! | §4.1 taxonomy trees | [`taxonomy`] |
+//! | §4.2 semantic analysis (ζ functions) | [`semantic`] |
+//! | §4.3 similarity metric (Eq. 4, Eq. 5) | [`semantic::similarity`] |
+//! | §4.4 semantic hashing (Algorithm 1) | [`semantic::semhash`] |
+//! | §5.1 minhash signatures | [`minhash`] |
+//! | §5.2 integrating semhash, w-way AND/OR | [`lsh::semantic_hash`], [`lsh::salsh`] |
+//! | §5.3 parameter tuning | [`tuning`] |
+//! | collision-probability model (Fig. 5/6) | [`lsh::probability`] |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sablock_core::prelude::*;
+//! use sablock_datasets::{CoraConfig, CoraGenerator};
+//!
+//! let dataset = CoraGenerator::new(CoraConfig::small()).generate().unwrap();
+//! let tree = bibliographic_taxonomy();
+//! let zeta = PatternSemanticFunction::cora_default(&tree).unwrap();
+//!
+//! let blocker = SaLshBlocker::builder()
+//!     .attributes(["title", "authors"])
+//!     .qgram(4)
+//!     .bands(63)
+//!     .rows_per_band(4)
+//!     .semantic(SemanticConfig::new(tree, zeta).with_w(2).with_mode(SemanticMode::Or))
+//!     .build()
+//!     .unwrap();
+//!
+//! let blocks = blocker.block(&dataset).unwrap();
+//! assert!(blocks.num_blocks() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocking;
+pub mod error;
+pub mod lsh;
+pub mod minhash;
+pub mod parallel;
+pub mod robustness;
+pub mod semantic;
+pub mod taxonomy;
+pub mod tuning;
+
+pub use error::CoreError;
+
+/// Commonly used types, re-exported for convenient glob imports.
+pub mod prelude {
+    pub use crate::blocking::{Block, BlockCollection, Blocker};
+    pub use crate::error::CoreError;
+    pub use crate::lsh::probability::{banding_collision_probability, salsh_collision_probability, w_way_probability};
+    pub use crate::lsh::salsh::{LshBlocker, SaLshBlocker, SaLshBlockerBuilder};
+    pub use crate::lsh::semantic_hash::SemanticMode;
+    pub use crate::lsh::SemanticConfig;
+    pub use crate::minhash::shingle::RecordShingler;
+    pub use crate::minhash::{MinHasher, MinhashConfig};
+    pub use crate::semantic::pattern::PatternSemanticFunction;
+    pub use crate::semantic::semhash::{SemanticSignature, SemhashFamily};
+    pub use crate::semantic::similarity::{concept_similarity, record_semantic_similarity};
+    pub use crate::semantic::voter::VoterSemanticFunction;
+    pub use crate::semantic::{Interpretation, SemanticFunction};
+    pub use crate::taxonomy::bib::{bibliographic_taxonomy, bibliographic_taxonomy_variant, BibConcept};
+    pub use crate::taxonomy::voter::voter_taxonomy;
+    pub use crate::taxonomy::{ConceptId, TaxonomyTree};
+    pub use crate::tuning::{choose_bands_for_target, choose_parameters, SimilarityDistribution, TuningGoal};
+}

@@ -1,0 +1,252 @@
+//! The collision-probability model of the (semantic-aware) LSH family.
+//!
+//! * Plain banded minhash-LSH places two records with textual (Jaccard)
+//!   similarity `s` into the same block with probability `1 − (1 − s^k)^l`
+//!   (§5.1, step "Amplifying").
+//! * A w-way semantic hash function over records with semantic similarity
+//!   `s′` returns true with probability `p = (s′)^w` (AND) or
+//!   `p = 1 − (1 − s′)^w` (OR) (§5.2).
+//! * The semantic-aware family therefore collides with probability
+//!   `1 − (1 − s^k · p)^l` (§5.2).
+//!
+//! These closed forms drive Fig. 5 (w-way amplification curves), the
+//! collision-probability subplots of Fig. 6, and the parameter-tuning rules
+//! of §5.3 implemented in [`crate::tuning`].
+
+use crate::lsh::semantic_hash::SemanticMode;
+
+/// Probability that banded minhash-LSH hashes two records with textual
+/// similarity `s` into the same bucket in at least one of `l` bands of `k`
+/// rows: `1 − (1 − s^k)^l`.
+///
+/// # Examples
+/// ```
+/// use sablock_core::lsh::probability::banding_collision_probability;
+/// // Proposition 5.2: identical records always collide, regardless of (k, l).
+/// assert_eq!(banding_collision_probability(1.0, 4, 63), 1.0);
+/// // The paper's Cora tuning: s_h = 0.3 must collide with probability >= 0.4.
+/// assert!(banding_collision_probability(0.3, 4, 63) >= 0.4);
+/// ```
+pub fn banding_collision_probability(s: f64, k: usize, l: usize) -> f64 {
+    let s = s.clamp(0.0, 1.0);
+    1.0 - (1.0 - s.powi(k as i32)).powi(l as i32)
+}
+
+/// Probability that a w-way semantic hash function returns true for a record
+/// pair with semantic similarity `s′` (interpreted as the per-function
+/// agreement probability `p_v · p_e` of §5.2):
+/// `(s′)^w` for AND, `1 − (1 − s′)^w` for OR.
+///
+/// # Examples
+/// ```
+/// use sablock_core::lsh::probability::w_way_probability;
+/// use sablock_core::lsh::semantic_hash::SemanticMode;
+/// assert!(w_way_probability(0.4, 3, SemanticMode::And) < 0.4);
+/// assert!(w_way_probability(0.4, 3, SemanticMode::Or) > 0.4);
+/// // w = 1 leaves the probability unchanged for both modes.
+/// assert_eq!(w_way_probability(0.4, 1, SemanticMode::And), w_way_probability(0.4, 1, SemanticMode::Or));
+/// ```
+pub fn w_way_probability(s_prime: f64, w: usize, mode: SemanticMode) -> f64 {
+    let s_prime = s_prime.clamp(0.0, 1.0);
+    match mode {
+        SemanticMode::And => s_prime.powi(w as i32),
+        SemanticMode::Or => 1.0 - (1.0 - s_prime).powi(w as i32),
+    }
+}
+
+/// Collision probability of the full semantic-aware LSH family:
+/// `1 − (1 − s^k · p)^l` with `p = w_way_probability(s′, w, mode)`.
+///
+/// Proposition 5.3 in closed form: if `s′ = 0` the probability is 0 whatever
+/// the textual similarity; if `s = 1` the probability is at most 1.
+///
+/// # Examples
+/// ```
+/// use sablock_core::lsh::probability::salsh_collision_probability;
+/// use sablock_core::lsh::semantic_hash::SemanticMode;
+/// // Semantically dissimilar records never collide (Proposition 5.3(1)).
+/// assert_eq!(salsh_collision_probability(0.95, 0.0, 4, 63, 2, SemanticMode::Or), 0.0);
+/// ```
+pub fn salsh_collision_probability(s: f64, s_prime: f64, k: usize, l: usize, w: usize, mode: SemanticMode) -> f64 {
+    let s = s.clamp(0.0, 1.0);
+    let p = w_way_probability(s_prime, w, mode);
+    1.0 - (1.0 - s.powi(k as i32) * p).powi(l as i32)
+}
+
+/// A sampled collision-probability curve: pairs of (similarity, probability).
+pub type Curve = Vec<(f64, f64)>;
+
+/// Samples the banding S-curve `s ↦ 1 − (1 − s^k)^l` at `points + 1` evenly
+/// spaced similarities in `[0, 1]` — the lower subplots of Fig. 6.
+pub fn banding_curve(k: usize, l: usize, points: usize) -> Curve {
+    assert!(points > 0, "need at least one sample interval");
+    (0..=points)
+        .map(|i| {
+            let s = i as f64 / points as f64;
+            (s, banding_collision_probability(s, k, l))
+        })
+        .collect()
+}
+
+/// One series of Fig. 5: for a fixed semantic similarity `s′`, the collision
+/// probability of a w-way semantic hash function as `w` walks from `w_max`
+/// (AND) down to 1 and back up to `w_max` (OR) — exactly the x-axis layout
+/// "AND ← 15 13 … 3 1 3 … 13 15 → OR" used by the figure.
+pub fn w_way_curve(s_prime: f64, w_max: usize) -> Vec<(String, f64)> {
+    assert!(w_max >= 1);
+    let mut series = Vec::with_capacity(2 * w_max - 1);
+    for w in (2..=w_max).rev() {
+        series.push((format!("AND w={w}"), w_way_probability(s_prime, w, SemanticMode::And)));
+    }
+    series.push(("w=1".to_string(), w_way_probability(s_prime, 1, SemanticMode::Or)));
+    for w in 2..=w_max {
+        series.push((format!("OR w={w}"), w_way_probability(s_prime, w, SemanticMode::Or)));
+    }
+    series
+}
+
+/// The similarity at which the banding S-curve crosses 1/2 — a useful summary
+/// of where the (k, l) family places its similarity threshold; approximately
+/// `(1/l)^(1/k)` for the crossing of `1 − (1 − s^k)^l = 1 − e^{-l s^k}`-style
+/// curves, computed here exactly by bisection.
+pub fn banding_threshold(k: usize, l: usize) -> f64 {
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    for _ in 0..64 {
+        let mid = (lo + hi) / 2.0;
+        if banding_collision_probability(mid, k, l) < 0.5 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo + hi) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banding_probability_reference_values() {
+        // Values quoted in the parameter-tuning discussion (Section 6.1).
+        assert!((banding_collision_probability(0.3, 4, 63) - 0.401).abs() < 0.01);
+        assert!(banding_collision_probability(0.2, 4, 63) <= 0.10);
+        assert!(banding_collision_probability(0.8, 9, 15) >= 0.85);
+        assert_eq!(banding_collision_probability(0.0, 4, 63), 0.0);
+        assert_eq!(banding_collision_probability(1.0, 9, 15), 1.0);
+    }
+
+    #[test]
+    fn banding_probability_monotone_in_similarity_and_l() {
+        for k in [1usize, 3, 6] {
+            let mut prev = 0.0;
+            for i in 0..=20 {
+                let s = i as f64 / 20.0;
+                let p = banding_collision_probability(s, k, 10);
+                assert!(p + 1e-12 >= prev);
+                prev = p;
+            }
+        }
+        // More bands can only increase the collision probability.
+        assert!(banding_collision_probability(0.3, 4, 63) > banding_collision_probability(0.3, 4, 19));
+        // More rows per band can only decrease it.
+        assert!(banding_collision_probability(0.3, 5, 63) < banding_collision_probability(0.3, 4, 63));
+    }
+
+    #[test]
+    fn w_way_probabilities_match_figure_5_shape() {
+        // Increasing w lowers the AND probability and raises the OR probability.
+        for s in [0.2, 0.4, 0.6, 0.8] {
+            let mut prev_and = 1.0;
+            let mut prev_or = 0.0;
+            for w in 1..=15 {
+                let a = w_way_probability(s, w, SemanticMode::And);
+                let o = w_way_probability(s, w, SemanticMode::Or);
+                assert!(a <= prev_and + 1e-12);
+                assert!(o + 1e-12 >= prev_or);
+                assert!((0.0..=1.0).contains(&a) && (0.0..=1.0).contains(&o));
+                prev_and = a;
+                prev_or = o;
+            }
+        }
+        // Boundary cases.
+        assert_eq!(w_way_probability(0.0, 5, SemanticMode::Or), 0.0);
+        assert_eq!(w_way_probability(1.0, 5, SemanticMode::And), 1.0);
+        assert!((w_way_probability(0.3, 1, SemanticMode::And) - 0.3).abs() < 1e-12);
+        assert!((w_way_probability(0.3, 1, SemanticMode::Or) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn salsh_probability_propositions() {
+        // Proposition 5.3 (1): zero semantic similarity → zero collision.
+        for mode in [SemanticMode::And, SemanticMode::Or] {
+            assert_eq!(salsh_collision_probability(1.0, 0.0, 4, 63, 3, mode), 0.0);
+        }
+        // Proposition 5.3 (2): identical text but partial semantics → <= 1.
+        let p = salsh_collision_probability(1.0, 0.5, 4, 63, 2, SemanticMode::And);
+        assert!(p <= 1.0 && p > 0.0);
+        // With full semantic similarity SA-LSH reduces to plain LSH.
+        for s in [0.1, 0.4, 0.9] {
+            let plain = banding_collision_probability(s, 4, 63);
+            let sa = salsh_collision_probability(s, 1.0, 4, 63, 3, SemanticMode::And);
+            assert!((plain - sa).abs() < 1e-12);
+        }
+        // The semantic filter can only lower the collision probability.
+        for s in [0.2, 0.5, 0.8] {
+            for sp in [0.1, 0.5, 0.9] {
+                let plain = banding_collision_probability(s, 4, 63);
+                let sa = salsh_collision_probability(s, sp, 4, 63, 2, SemanticMode::Or);
+                assert!(sa <= plain + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn curves_have_expected_shape() {
+        let curve = banding_curve(4, 63, 50);
+        assert_eq!(curve.len(), 51);
+        assert_eq!(curve[0], (0.0, 0.0));
+        assert!((curve[50].0 - 1.0).abs() < 1e-12 && (curve[50].1 - 1.0).abs() < 1e-12);
+        for window in curve.windows(2) {
+            assert!(window[1].1 + 1e-12 >= window[0].1, "curve must be monotone");
+        }
+    }
+
+    #[test]
+    fn w_way_curve_layout_matches_figure_5() {
+        let series = w_way_curve(0.4, 15);
+        assert_eq!(series.len(), 29); // 14 AND points + w=1 + 14 OR points
+        assert_eq!(series[0].0, "AND w=15");
+        assert_eq!(series[14].0, "w=1");
+        assert_eq!(series[28].0, "OR w=15");
+        // Probabilities rise monotonically from the deep-AND end to the deep-OR end.
+        for window in series.windows(2) {
+            assert!(window[1].1 + 1e-12 >= window[0].1);
+        }
+    }
+
+    #[test]
+    fn banding_threshold_behaviour() {
+        let t = banding_threshold(4, 63);
+        assert!((banding_collision_probability(t, 4, 63) - 0.5).abs() < 1e-6);
+        // Larger l pushes the threshold down (easier to collide).
+        assert!(banding_threshold(4, 200) < t);
+        // Larger k pushes it up.
+        assert!(banding_threshold(6, 63) > t);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_point_curve_panics() {
+        banding_curve(4, 63, 0);
+    }
+
+    #[test]
+    fn out_of_range_similarities_are_clamped() {
+        assert_eq!(banding_collision_probability(-0.5, 3, 10), 0.0);
+        assert_eq!(banding_collision_probability(1.5, 3, 10), 1.0);
+        assert_eq!(w_way_probability(-1.0, 2, SemanticMode::Or), 0.0);
+        assert_eq!(w_way_probability(2.0, 2, SemanticMode::And), 1.0);
+    }
+}

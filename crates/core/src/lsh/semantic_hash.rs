@@ -1,0 +1,250 @@
+//! w-way AND / OR semantic hash functions (paper §5.2).
+//!
+//! A LSH family `H_g` for semantic similarity contains one hash function per
+//! semhash bit `g`: `h_g(r1, r2)` is true iff *both* records have the value 1
+//! for `g`. A **w-way** function draws `w` functions from `H_g` at random and
+//! combines them conjunctively (`∧`) or disjunctively (`∨`):
+//!
+//! * `h[w,∧](r1, r2)` — true iff every chosen bit is set in both records,
+//! * `h[w,∨](r1, r2)` — true iff some chosen bit is set in both records.
+//!
+//! In the blocking index (see [`crate::lsh::salsh`]) each textual band is
+//! augmented with its own independently drawn w-way function; the effect on
+//! the collision probability is the factor `p` of
+//! [`crate::lsh::probability::salsh_collision_probability`].
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::error::{CoreError, Result};
+use crate::semantic::semhash::SemanticSignature;
+
+/// How the w chosen semantic hash functions are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SemanticMode {
+    /// Conjunctive combination `h[w,∧]`: all chosen bits must agree on 1.
+    And,
+    /// Disjunctive combination `h[w,∨]`: at least one chosen bit agrees on 1.
+    Or,
+}
+
+impl SemanticMode {
+    /// The symbol used in the paper's figures (`∧` / `∨`).
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            Self::And => "and",
+            Self::Or => "or",
+        }
+    }
+}
+
+/// A concrete w-way semantic hash function: `w` chosen semhash bit indices
+/// plus the combination mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WWaySemanticHash {
+    selected: Vec<usize>,
+    mode: SemanticMode,
+}
+
+impl WWaySemanticHash {
+    /// Draws `w` distinct semhash functions uniformly at random from a family
+    /// of `num_features` functions. `w` is capped at `num_features` (choosing
+    /// more functions than exist is meaningless).
+    pub fn sample<R: Rng>(num_features: usize, w: usize, mode: SemanticMode, rng: &mut R) -> Result<Self> {
+        if num_features == 0 {
+            return Err(CoreError::Config("cannot sample a semantic hash from an empty semhash family".into()));
+        }
+        if w == 0 {
+            return Err(CoreError::Config("w must be > 0".into()));
+        }
+        let mut indices: Vec<usize> = (0..num_features).collect();
+        indices.shuffle(rng);
+        let mut selected: Vec<usize> = indices.into_iter().take(w.min(num_features)).collect();
+        selected.sort_unstable();
+        Ok(Self { selected, mode })
+    }
+
+    /// Builds a w-way function from explicit bit indices (used by tests and by
+    /// the running example, where `h22` is a specific bit).
+    pub fn from_indices(selected: Vec<usize>, mode: SemanticMode) -> Result<Self> {
+        if selected.is_empty() {
+            return Err(CoreError::Config("a w-way semantic hash needs at least one bit".into()));
+        }
+        let mut selected = selected;
+        selected.sort_unstable();
+        selected.dedup();
+        Ok(Self { selected, mode })
+    }
+
+    /// The chosen bit indices.
+    pub fn selected(&self) -> &[usize] {
+        &self.selected
+    }
+
+    /// The combination mode.
+    pub fn mode(&self) -> SemanticMode {
+        self.mode
+    }
+
+    /// The effective `w` (number of chosen functions).
+    pub fn w(&self) -> usize {
+        self.selected.len()
+    }
+
+    /// Evaluates the pairwise predicate `h[w,µ](r1, r2)`.
+    pub fn passes(&self, a: &SemanticSignature, b: &SemanticSignature) -> bool {
+        match self.mode {
+            SemanticMode::And => self.selected.iter().all(|&i| a.get(i) && b.get(i)),
+            SemanticMode::Or => self.selected.iter().any(|&i| a.get(i) && b.get(i)),
+        }
+    }
+
+    /// The *sub-block keys* a single record contributes to under this
+    /// function. Grouping records by these keys inside a textual bucket
+    /// reproduces the pairwise predicate exactly:
+    ///
+    /// * AND — a record belongs to the single sub-block `0` iff all chosen
+    ///   bits are set; two records share it iff [`passes`](Self::passes).
+    /// * OR — a record belongs to one sub-block per chosen set bit; two
+    ///   records share some sub-block iff they share some chosen bit.
+    pub fn sub_keys(&self, signature: &SemanticSignature) -> Vec<usize> {
+        match self.mode {
+            SemanticMode::And => {
+                if self.selected.iter().all(|&i| signature.get(i)) {
+                    vec![0]
+                } else {
+                    Vec::new()
+                }
+            }
+            SemanticMode::Or => self
+                .selected
+                .iter()
+                .copied()
+                .filter(|&i| signature.get(i))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sig(bits: &[usize], len: usize) -> SemanticSignature {
+        let mut s = SemanticSignature::zeros(len);
+        for &b in bits {
+            s.set(b);
+        }
+        s
+    }
+
+    #[test]
+    fn sampling_respects_w_and_family_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let h = WWaySemanticHash::sample(12, 5, SemanticMode::Or, &mut rng).unwrap();
+        assert_eq!(h.w(), 5);
+        assert!(h.selected().iter().all(|&i| i < 12));
+        assert_eq!(h.mode(), SemanticMode::Or);
+        // w larger than the family is capped.
+        let h = WWaySemanticHash::sample(3, 10, SemanticMode::And, &mut rng).unwrap();
+        assert_eq!(h.w(), 3);
+        // invalid parameters
+        assert!(WWaySemanticHash::sample(0, 1, SemanticMode::Or, &mut rng).is_err());
+        assert!(WWaySemanticHash::sample(5, 0, SemanticMode::Or, &mut rng).is_err());
+    }
+
+    #[test]
+    fn sampling_is_unbiased_enough_to_cover_all_bits() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let h = WWaySemanticHash::sample(6, 2, SemanticMode::Or, &mut rng).unwrap();
+            seen.extend(h.selected().iter().copied());
+        }
+        assert_eq!(seen.len(), 6, "every semhash bit should eventually be chosen");
+    }
+
+    #[test]
+    fn and_requires_all_bits_in_both() {
+        let h = WWaySemanticHash::from_indices(vec![0, 2], SemanticMode::And).unwrap();
+        let a = sig(&[0, 2, 3], 5);
+        let b = sig(&[0, 2], 5);
+        let c = sig(&[0], 5);
+        assert!(h.passes(&a, &b));
+        assert!(!h.passes(&a, &c));
+        assert!(!h.passes(&c, &c.clone()));
+        assert_eq!(h.sub_keys(&a), vec![0]);
+        assert!(h.sub_keys(&c).is_empty());
+    }
+
+    #[test]
+    fn or_requires_some_shared_bit() {
+        let h = WWaySemanticHash::from_indices(vec![1, 3], SemanticMode::Or).unwrap();
+        let a = sig(&[1], 5);
+        let b = sig(&[3], 5);
+        let c = sig(&[1, 3], 5);
+        let d = sig(&[0, 2], 5);
+        assert!(!h.passes(&a, &b), "no *shared* chosen bit");
+        assert!(h.passes(&a, &c));
+        assert!(h.passes(&b, &c));
+        assert!(!h.passes(&a, &d));
+        assert_eq!(h.sub_keys(&c), vec![1, 3]);
+        assert_eq!(h.sub_keys(&a), vec![1]);
+        assert!(h.sub_keys(&d).is_empty());
+    }
+
+    #[test]
+    fn sub_key_grouping_is_equivalent_to_the_pairwise_predicate() {
+        // For every pair of signatures over a 6-bit family and both modes:
+        // sharing a sub-key must coincide with passes().
+        let mut rng = StdRng::seed_from_u64(3);
+        let signatures: Vec<SemanticSignature> = (0..40)
+            .map(|_| {
+                let bits: Vec<usize> = (0..6).filter(|_| rng.gen_bool(0.4)).collect();
+                sig(&bits, 6)
+            })
+            .collect();
+        for mode in [SemanticMode::And, SemanticMode::Or] {
+            let h = WWaySemanticHash::sample(6, 3, mode, &mut rng).unwrap();
+            for a in &signatures {
+                for b in &signatures {
+                    let via_pairs = h.passes(a, b);
+                    let keys_a = h.sub_keys(a);
+                    let keys_b = h.sub_keys(b);
+                    let via_keys = keys_a.iter().any(|k| keys_b.contains(k));
+                    assert_eq!(via_pairs, via_keys, "mode {mode:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn running_example_one_way_or_filters_r4() {
+        // Fig. 4(b): the semhash signatures of r1..r6 over three bits, where
+        // h22 is the middle bit. r1, r2, r6 have it set; r4 does not, so r4 is
+        // filtered out of their block even though it is textually similar.
+        let column = |bits: &[usize]| sig(bits, 3);
+        let r1 = column(&[1]);
+        let r2 = column(&[0, 1]);
+        let r4 = column(&[2]);
+        let r6 = column(&[0, 1, 2]);
+        let h22 = WWaySemanticHash::from_indices(vec![1], SemanticMode::Or).unwrap();
+        assert!(h22.passes(&r1, &r2));
+        assert!(h22.passes(&r1, &r6));
+        assert!(h22.passes(&r2, &r6));
+        assert!(!h22.passes(&r1, &r4));
+        assert!(!h22.passes(&r2, &r4));
+        assert!(!h22.passes(&r6, &r4));
+    }
+
+    #[test]
+    fn from_indices_dedupes_and_validates() {
+        let h = WWaySemanticHash::from_indices(vec![3, 1, 3], SemanticMode::And).unwrap();
+        assert_eq!(h.selected(), &[1, 3]);
+        assert!(WWaySemanticHash::from_indices(vec![], SemanticMode::Or).is_err());
+        assert_eq!(SemanticMode::And.symbol(), "and");
+        assert_eq!(SemanticMode::Or.symbol(), "or");
+    }
+}

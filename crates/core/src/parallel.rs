@@ -1,0 +1,92 @@
+//! Parallel computation helpers.
+//!
+//! Signature computation (shingling + minhashing) is embarrassingly parallel
+//! per record, and with `k · l` often in the hundreds it dominates blocking
+//! time. [`parallel_map`] splits a slice across scoped worker threads
+//! (crossbeam scope, so no `'static` bound on the items) and stitches the
+//! results back in order. The LSH blockers use it automatically for datasets
+//! above a size threshold; everything stays deterministic because each output
+//! depends only on its own input.
+
+use std::num::NonZeroUsize;
+
+/// Applies `f` to every element of `items`, in parallel, preserving order.
+///
+/// With one worker (or a small input) this degrades to a plain sequential
+/// map, so results are identical regardless of thread count.
+pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || items.len() < 2 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut results: Vec<Vec<U>> = Vec::new();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(|_| chunk.iter().map(&f).collect::<Vec<U>>()))
+            .collect();
+        results = handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect();
+    })
+    .expect("crossbeam scope failed");
+    results.into_iter().flatten().collect()
+}
+
+/// A reasonable default worker count: the machine's available parallelism,
+/// capped at 8 (signature computation saturates memory bandwidth well before
+/// it saturates larger core counts).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8] {
+            let got = parallel_map(&items, threads, |x| x * x + 1);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, 4, |x| *x).is_empty());
+        assert_eq!(parallel_map(&[42u32], 4, |x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn zero_threads_degrades_to_one() {
+        let items = vec![1, 2, 3];
+        assert_eq!(parallel_map(&items, 0, |x| x * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn borrows_non_static_data() {
+        // The whole point of scoped threads: closures may borrow locals.
+        let offset = 7u64;
+        let items: Vec<u64> = (0..100).collect();
+        let got = parallel_map(&items, 4, |x| x + offset);
+        assert_eq!(got[0], 7);
+        assert_eq!(got[99], 106);
+    }
+
+    #[test]
+    fn default_threads_is_positive_and_capped() {
+        let t = default_threads();
+        assert!(t >= 1 && t <= 8);
+    }
+}

@@ -1,0 +1,183 @@
+//! γ-robustness of similarity metrics (paper §3, Equation 1).
+//!
+//! A similarity metric is **γ-robust** if, whenever two record pairs differ
+//! in similarity by more than `1 − γ`, the pair with the higher similarity is
+//! at least as likely to be a true match. The larger γ is, the finer the
+//! similarity differences that can be trusted, and the better the metric
+//! supports nearest-neighbour-style blocking (Proposition 5.1 connects
+//! γ-robustness with LSH sensitivity).
+//!
+//! This module estimates γ empirically from a labelled sample: similarities
+//! are bucketed, the match rate per bucket is measured, and γ is the largest
+//! value such that every pair of buckets separated by more than `1 − γ` has
+//! monotonically non-decreasing match rates.
+
+use crate::error::{CoreError, Result};
+
+/// A labelled similarity observation: the similarity of a record pair and
+/// whether the pair is a true match.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelledSimilarity {
+    /// Similarity of the pair in `[0, 1]`.
+    pub similarity: f64,
+    /// Whether the pair refers to the same entity.
+    pub is_match: bool,
+}
+
+impl LabelledSimilarity {
+    /// Creates an observation.
+    pub fn new(similarity: f64, is_match: bool) -> Self {
+        Self {
+            similarity: similarity.clamp(0.0, 1.0),
+            is_match,
+        }
+    }
+}
+
+/// The result of a robustness estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessEstimate {
+    /// The estimated γ (larger is better; 1.0 means the match probability is
+    /// monotone in similarity at the bin resolution).
+    pub gamma: f64,
+    /// Match rate per similarity bin (`None` for empty bins).
+    pub match_rate_per_bin: Vec<Option<f64>>,
+}
+
+/// Estimates γ-robustness from labelled similarity observations using `bins`
+/// equal-width similarity buckets.
+///
+/// Returns an error when there are no observations or fewer than two
+/// non-empty bins (robustness is about *comparing* similarity levels).
+pub fn estimate_gamma(observations: &[LabelledSimilarity], bins: usize) -> Result<RobustnessEstimate> {
+    if bins < 2 {
+        return Err(CoreError::Config("gamma estimation needs at least two bins".into()));
+    }
+    if observations.is_empty() {
+        return Err(CoreError::Config("gamma estimation needs at least one observation".into()));
+    }
+    let mut matches = vec![0u64; bins];
+    let mut totals = vec![0u64; bins];
+    for obs in observations {
+        let bin = ((obs.similarity.clamp(0.0, 1.0) * bins as f64) as usize).min(bins - 1);
+        totals[bin] += 1;
+        if obs.is_match {
+            matches[bin] += 1;
+        }
+    }
+    let match_rate_per_bin: Vec<Option<f64>> = matches
+        .iter()
+        .zip(totals.iter())
+        .map(|(&m, &t)| if t == 0 { None } else { Some(m as f64 / t as f64) })
+        .collect();
+
+    let non_empty: Vec<(usize, f64)> = match_rate_per_bin
+        .iter()
+        .enumerate()
+        .filter_map(|(i, rate)| rate.map(|r| (i, r)))
+        .collect();
+    if non_empty.len() < 2 {
+        return Err(CoreError::Config("gamma estimation needs at least two non-empty similarity bins".into()));
+    }
+
+    // The smallest similarity gap at which monotonicity is violated. γ is then
+    // 1 minus the largest gap we must *exclude*, i.e. we need
+    // gap > 1 - γ  ⇒  ordering holds, so γ = 1 - (largest violating gap).
+    let bin_width = 1.0 / bins as f64;
+    let mut largest_violating_gap: f64 = 0.0;
+    for (i, (bin_low, rate_low)) in non_empty.iter().enumerate() {
+        for (bin_high, rate_high) in non_empty.iter().skip(i + 1) {
+            // bin_high has higher similarity than bin_low; the ordering is
+            // violated when its match rate is strictly lower.
+            if rate_high + 1e-12 < *rate_low {
+                let gap = (*bin_high as f64 - *bin_low as f64) * bin_width;
+                largest_violating_gap = largest_violating_gap.max(gap);
+            }
+        }
+    }
+    let gamma = (1.0 - largest_violating_gap).clamp(0.0, 1.0);
+    Ok(RobustnessEstimate {
+        gamma,
+        match_rate_per_bin,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(similarity: f64, is_match: bool) -> LabelledSimilarity {
+        LabelledSimilarity::new(similarity, is_match)
+    }
+
+    #[test]
+    fn perfectly_monotone_metric_has_gamma_one() {
+        let mut observations = Vec::new();
+        for i in 0..10 {
+            let s = i as f64 / 10.0 + 0.05;
+            // Match probability grows with similarity: below 0.5 never a
+            // match, above always.
+            for _ in 0..20 {
+                observations.push(obs(s, s > 0.5));
+            }
+        }
+        let est = estimate_gamma(&observations, 10).unwrap();
+        assert_eq!(est.gamma, 1.0);
+        assert_eq!(est.match_rate_per_bin.len(), 10);
+    }
+
+    #[test]
+    fn non_monotone_metric_has_lower_gamma() {
+        // A pathological metric where very dissimilar pairs (s≈0.05) are all
+        // matches but similar pairs (s≈0.95) are not: the violating gap is
+        // huge, so γ collapses towards 0.
+        let mut observations = Vec::new();
+        for _ in 0..50 {
+            observations.push(obs(0.05, true));
+            observations.push(obs(0.95, false));
+        }
+        let est = estimate_gamma(&observations, 10).unwrap();
+        assert!(est.gamma < 0.2, "gamma should be small, got {}", est.gamma);
+    }
+
+    #[test]
+    fn local_noise_only_costs_local_gamma() {
+        // Monotone overall, but two adjacent bins are swapped: only small
+        // similarity gaps are unreliable, so γ stays high.
+        let mut observations = Vec::new();
+        let rates = [0.0, 0.1, 0.3, 0.25, 0.6, 0.8, 0.9, 1.0];
+        for (i, &rate) in rates.iter().enumerate() {
+            let s = (i as f64 + 0.5) / rates.len() as f64;
+            for j in 0..100 {
+                observations.push(obs(s, (j as f64 / 100.0) < rate));
+            }
+        }
+        let est = estimate_gamma(&observations, 8).unwrap();
+        assert!(est.gamma >= 0.8, "one adjacent swap should cost little: {}", est.gamma);
+        assert!(est.gamma < 1.0);
+    }
+
+    #[test]
+    fn errors_on_degenerate_inputs() {
+        assert!(estimate_gamma(&[], 10).is_err());
+        assert!(estimate_gamma(&[obs(0.5, true)], 1).is_err());
+        // All observations in one bin: nothing to compare.
+        let single_bin: Vec<LabelledSimilarity> = (0..10).map(|_| obs(0.5, true)).collect();
+        assert!(estimate_gamma(&single_bin, 10).is_err());
+    }
+
+    #[test]
+    fn clamps_out_of_range_similarities() {
+        let observations = vec![obs(-1.0, false), obs(2.0, true), obs(0.5, true)];
+        let est = estimate_gamma(&observations, 4).unwrap();
+        assert!(est.match_rate_per_bin[0].is_some());
+        assert!(est.match_rate_per_bin[3].is_some());
+        assert!((0.0..=1.0).contains(&est.gamma));
+    }
+
+    #[test]
+    fn labelled_similarity_constructor_clamps() {
+        assert_eq!(LabelledSimilarity::new(1.7, true).similarity, 1.0);
+        assert_eq!(LabelledSimilarity::new(-0.3, false).similarity, 0.0);
+    }
+}

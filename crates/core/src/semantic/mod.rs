@@ -1,0 +1,192 @@
+//! Semantic analysis: interpreting records as sets of taxonomy concepts
+//! (paper §4.2).
+//!
+//! A *semantic function* ζ maps each record to its **semantic
+//! interpretation** — a set of concepts from the taxonomy tree(s) — subject
+//! to two properties (Definition 4.2):
+//!
+//! * **Specificity**: no concept in ζ(r) subsumes another concept in ζ(r);
+//!   only the most specific concepts remain.
+//! * **Isolation**: ζ(r) is computed from `r` alone, without consulting any
+//!   other record (so interpretations can be computed independently and in
+//!   parallel).
+//!
+//! Two concrete semantic functions are provided, matching the two functions
+//! used in the paper's experiments:
+//!
+//! * [`pattern::PatternSemanticFunction`] — driven by missing-value patterns
+//!   over selected attributes (Table 1, used for Cora),
+//! * [`voter::VoterSemanticFunction`] — driven by the categorical values of
+//!   `race` and `gender`, including the uncertain value `u` (used for NC
+//!   Voter).
+
+pub mod pattern;
+pub mod semhash;
+pub mod similarity;
+pub mod voter;
+
+use std::collections::BTreeSet;
+
+use sablock_datasets::Record;
+
+use crate::taxonomy::{ConceptId, TaxonomyTree};
+
+/// The semantic interpretation ζ(r) of a record: a set of concepts.
+///
+/// Stored as a `BTreeSet` so iteration order (and therefore every signature
+/// and block built from it) is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Interpretation {
+    concepts: BTreeSet<ConceptId>,
+}
+
+impl Interpretation {
+    /// An empty interpretation (the record could not be related to any
+    /// concept — e.g. the taxonomy variant lacks the concept entirely).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds an interpretation from concepts, enforcing the **specificity**
+    /// property: whenever both `c` and an ancestor of `c` are present, the
+    /// ancestor is dropped.
+    pub fn new(tree: &TaxonomyTree, concepts: impl IntoIterator<Item = ConceptId>) -> Self {
+        let raw: BTreeSet<ConceptId> = concepts.into_iter().filter(|&c| tree.contains(c)).collect();
+        let concepts = raw
+            .iter()
+            .copied()
+            .filter(|&c| {
+                // Keep c unless some *other* concept in the set is strictly
+                // subsumed by c (making c a redundant, more general concept).
+                !raw.iter().any(|&other| other != c && tree.subsumed_by(other, c))
+            })
+            .collect();
+        Self { concepts }
+    }
+
+    /// Builds an interpretation from a single concept.
+    pub fn singleton(concept: ConceptId) -> Self {
+        let mut concepts = BTreeSet::new();
+        concepts.insert(concept);
+        Self { concepts }
+    }
+
+    /// The concepts of the interpretation.
+    pub fn concepts(&self) -> impl Iterator<Item = ConceptId> + '_ {
+        self.concepts.iter().copied()
+    }
+
+    /// Number of concepts.
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// Whether the interpretation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.concepts.is_empty()
+    }
+
+    /// Whether the interpretation contains a concept.
+    pub fn contains(&self, concept: ConceptId) -> bool {
+        self.concepts.contains(&concept)
+    }
+
+    /// Checks the specificity property against a tree (used by tests and by
+    /// implementations of custom semantic functions).
+    pub fn is_specific(&self, tree: &TaxonomyTree) -> bool {
+        self.concepts.iter().all(|&c| {
+            self.concepts
+                .iter()
+                .all(|&other| c == other || !(tree.subsumed_by(c, other) || tree.subsumed_by(other, c)))
+        })
+    }
+}
+
+impl FromIterator<ConceptId> for Interpretation {
+    /// Collects concepts *without* specificity enforcement; use
+    /// [`Interpretation::new`] when the source set may contain ancestors.
+    fn from_iter<T: IntoIterator<Item = ConceptId>>(iter: T) -> Self {
+        Self {
+            concepts: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A semantic function ζ: records → interpretations (Definition 4.2).
+///
+/// Implementations must satisfy the *isolation* property: the interpretation
+/// of a record may depend only on that record and static domain knowledge
+/// (the taxonomy, configured patterns), never on other records.
+pub trait SemanticFunction: Send + Sync {
+    /// The taxonomy tree the interpretations refer to.
+    fn taxonomy(&self) -> &TaxonomyTree;
+
+    /// Interprets a record.
+    fn interpret(&self, record: &Record) -> Interpretation;
+
+    /// A short name for reports.
+    fn name(&self) -> String {
+        "semantic-function".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::bib::{bibliographic_taxonomy, BibConcept};
+
+    #[test]
+    fn specificity_drops_ancestors() {
+        let tree = bibliographic_taxonomy();
+        let journal = BibConcept::Journal.resolve(&tree).unwrap();
+        let peer = BibConcept::PeerReviewed.resolve(&tree).unwrap();
+        let publication = BibConcept::Publication.resolve(&tree).unwrap();
+        let patent = BibConcept::Patent.resolve(&tree).unwrap();
+
+        let interp = Interpretation::new(&tree, [journal, peer, publication, patent]);
+        assert!(interp.contains(journal));
+        assert!(interp.contains(patent));
+        assert!(!interp.contains(peer), "peer reviewed subsumes journal and must be dropped");
+        assert!(!interp.contains(publication));
+        assert_eq!(interp.len(), 2);
+        assert!(interp.is_specific(&tree));
+    }
+
+    #[test]
+    fn unrelated_concepts_are_all_kept() {
+        let tree = bibliographic_taxonomy();
+        let journal = BibConcept::Journal.resolve(&tree).unwrap();
+        let report = BibConcept::TechnicalReport.resolve(&tree).unwrap();
+        let interp = Interpretation::new(&tree, [journal, report]);
+        assert_eq!(interp.len(), 2);
+        assert!(interp.is_specific(&tree));
+    }
+
+    #[test]
+    fn unknown_concepts_are_filtered() {
+        let tree = bibliographic_taxonomy();
+        let interp = Interpretation::new(&tree, [ConceptId(99)]);
+        assert!(interp.is_empty());
+    }
+
+    #[test]
+    fn empty_and_singleton_constructors() {
+        let tree = bibliographic_taxonomy();
+        assert!(Interpretation::empty().is_empty());
+        let journal = BibConcept::Journal.resolve(&tree).unwrap();
+        let s = Interpretation::singleton(journal);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(journal));
+        assert_eq!(s.concepts().count(), 1);
+    }
+
+    #[test]
+    fn from_iterator_does_not_enforce_specificity() {
+        let tree = bibliographic_taxonomy();
+        let journal = BibConcept::Journal.resolve(&tree).unwrap();
+        let peer = BibConcept::PeerReviewed.resolve(&tree).unwrap();
+        let raw: Interpretation = [journal, peer].into_iter().collect();
+        assert_eq!(raw.len(), 2);
+        assert!(!raw.is_specific(&tree));
+    }
+}

@@ -1,0 +1,380 @@
+//! The missing-value-pattern semantic function of Table 1.
+//!
+//! Example 4.2 and Section 6.2 of the paper derive the semantic
+//! interpretation of Cora records purely from *which venue attributes are
+//! present*: a record with a `journal` value but no `booktitle` or
+//! `institution` is interpreted as a journal article (C3); a record with none
+//! of the three is only known to be a publication (C1); and so on, following
+//! the eight patterns of Table 1.
+//!
+//! [`PatternSemanticFunction`] generalises that idea: it is configured with a
+//! list of patterns over attribute *presence*, each mapping to a set of
+//! concepts; the first matching pattern wins. [`PatternSemanticFunction::cora_default`]
+//! builds exactly Table 1.
+
+use sablock_datasets::Record;
+use sablock_textual::normalize::is_missing_text;
+
+use crate::error::{CoreError, Result};
+use crate::semantic::{Interpretation, SemanticFunction};
+use crate::taxonomy::bib::BibConcept;
+use crate::taxonomy::{ConceptId, TaxonomyTree};
+
+/// A condition on the presence of a single attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Presence {
+    /// The attribute must have a non-missing value (`NOT NULL` in Table 1).
+    Present,
+    /// The attribute must be missing (`NULL` in Table 1).
+    Missing,
+    /// The attribute may be anything.
+    Any,
+}
+
+impl Presence {
+    fn matches(self, value_present: bool) -> bool {
+        match self {
+            Self::Present => value_present,
+            Self::Missing => !value_present,
+            Self::Any => true,
+        }
+    }
+}
+
+/// A single pattern: one presence condition per watched attribute, plus the
+/// concepts a matching record is related to.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    conditions: Vec<Presence>,
+    concepts: Vec<ConceptId>,
+}
+
+impl Pattern {
+    /// Creates a pattern. The number of conditions must equal the number of
+    /// attributes the function watches (checked by the function builder).
+    pub fn new(conditions: Vec<Presence>, concepts: Vec<ConceptId>) -> Self {
+        Self { conditions, concepts }
+    }
+
+    /// The concepts of the pattern.
+    pub fn concepts(&self) -> &[ConceptId] {
+        &self.concepts
+    }
+}
+
+/// A semantic function driven by missing-value patterns over a fixed list of
+/// attributes (Table 1).
+#[derive(Debug, Clone)]
+pub struct PatternSemanticFunction {
+    tree: TaxonomyTree,
+    attributes: Vec<String>,
+    patterns: Vec<Pattern>,
+    fallback: Vec<ConceptId>,
+    name: String,
+}
+
+impl PatternSemanticFunction {
+    /// Creates a pattern function.
+    ///
+    /// * `attributes` — the attributes whose presence is inspected, in the
+    ///   order pattern conditions are written;
+    /// * `patterns` — evaluated top to bottom, first match wins;
+    /// * `fallback` — the concepts used when no pattern matches (Table 1 is
+    ///   complete so its fallback is never reached, but a custom pattern list
+    ///   may not be).
+    pub fn new(
+        name: impl Into<String>,
+        tree: TaxonomyTree,
+        attributes: Vec<String>,
+        patterns: Vec<Pattern>,
+        fallback: Vec<ConceptId>,
+    ) -> Result<Self> {
+        for (i, pattern) in patterns.iter().enumerate() {
+            if pattern.conditions.len() != attributes.len() {
+                return Err(CoreError::Config(format!(
+                    "pattern {i} has {} conditions but {} attributes are watched",
+                    pattern.conditions.len(),
+                    attributes.len()
+                )));
+            }
+            for &concept in &pattern.concepts {
+                if !tree.contains(concept) {
+                    return Err(CoreError::Taxonomy(format!("pattern {i} references unknown concept {concept}")));
+                }
+            }
+        }
+        for &concept in &fallback {
+            if !tree.contains(concept) {
+                return Err(CoreError::Taxonomy(format!("fallback references unknown concept {concept}")));
+            }
+        }
+        Ok(Self {
+            tree,
+            attributes,
+            patterns,
+            fallback,
+            name: name.into(),
+        })
+    }
+
+    /// Builds the Cora pattern function of Table 1 over the attributes
+    /// `journal`, `booktitle` and `institution`.
+    ///
+    /// | # | journal | booktitle | institution | concepts |
+    /// |---|---------|-----------|-------------|----------|
+    /// | 1 | present | present   | present     | C3, C4, C6 |
+    /// | 2 | present | present   | missing     | C3, C4 |
+    /// | 3 | present | missing   | present     | C3, C6 |
+    /// | 4 | present | missing   | missing     | C3 |
+    /// | 5 | missing | present   | present     | C4, C7, C8 |
+    /// | 6 | missing | present   | missing     | C4 |
+    /// | 7 | missing | missing   | present     | C7, C8 |
+    /// | 8 | missing | missing   | missing     | C1 |
+    ///
+    /// When the supplied tree is a variant missing some concept (Fig. 10),
+    /// the concept is replaced by its parent in the full tree — e.g. in
+    /// t_(bib,3), which lacks *journal*, pattern 4 maps to *peer reviewed* —
+    /// mirroring the paper's description that "records that are originally
+    /// related to missing concepts have been changed to relate with their
+    /// parent concepts".
+    pub fn cora_default(tree: &TaxonomyTree) -> Result<Self> {
+        use Presence::{Missing, Present};
+
+        // Resolve a concept, falling back to parents of the *full* taxonomy
+        // when the variant omits it: journal/book -> peer reviewed ->
+        // publication; technical report/thesis -> non-peer reviewed -> publication.
+        let resolve = |concept: BibConcept| -> Result<ConceptId> {
+            if let Some(id) = concept.resolve(tree) {
+                return Ok(id);
+            }
+            let parents: &[BibConcept] = match concept {
+                BibConcept::Journal | BibConcept::Proceedings | BibConcept::Book => {
+                    &[BibConcept::PeerReviewed, BibConcept::Publication]
+                }
+                BibConcept::TechnicalReport | BibConcept::Thesis => {
+                    &[BibConcept::NonPeerReviewed, BibConcept::Publication]
+                }
+                BibConcept::PeerReviewed | BibConcept::NonPeerReviewed => &[BibConcept::Publication],
+                _ => &[BibConcept::ResearchOutput],
+            };
+            for parent in parents {
+                if let Some(id) = parent.resolve(tree) {
+                    return Ok(id);
+                }
+            }
+            tree.require_concept(BibConcept::ResearchOutput.label())
+        };
+
+        let c1 = resolve(BibConcept::Publication)?;
+        let c3 = resolve(BibConcept::Journal)?;
+        let c4 = resolve(BibConcept::Proceedings)?;
+        let c6 = resolve(BibConcept::NonPeerReviewed)?;
+        let c7 = resolve(BibConcept::TechnicalReport)?;
+        let c8 = resolve(BibConcept::Thesis)?;
+
+        let patterns = vec![
+            Pattern::new(vec![Present, Present, Present], vec![c3, c4, c6]),
+            Pattern::new(vec![Present, Present, Missing], vec![c3, c4]),
+            Pattern::new(vec![Present, Missing, Present], vec![c3, c6]),
+            Pattern::new(vec![Present, Missing, Missing], vec![c3]),
+            Pattern::new(vec![Missing, Present, Present], vec![c4, c7, c8]),
+            Pattern::new(vec![Missing, Present, Missing], vec![c4]),
+            Pattern::new(vec![Missing, Missing, Present], vec![c7, c8]),
+            Pattern::new(vec![Missing, Missing, Missing], vec![c1]),
+        ];
+
+        Self::new(
+            "cora-pattern",
+            tree.clone(),
+            vec!["journal".into(), "booktitle".into(), "institution".into()],
+            patterns,
+            vec![c1],
+        )
+    }
+
+    /// The attributes this function inspects.
+    pub fn attributes(&self) -> &[String] {
+        &self.attributes
+    }
+
+    /// The number of patterns.
+    pub fn num_patterns(&self) -> usize {
+        self.patterns.len()
+    }
+
+    fn presence_vector(&self, record: &Record) -> Vec<bool> {
+        self.attributes
+            .iter()
+            .map(|attr| match record.value(attr) {
+                Some(value) => !is_missing_text(value),
+                None => false,
+            })
+            .collect()
+    }
+}
+
+impl SemanticFunction for PatternSemanticFunction {
+    fn taxonomy(&self) -> &TaxonomyTree {
+        &self.tree
+    }
+
+    fn interpret(&self, record: &Record) -> Interpretation {
+        let presence = self.presence_vector(record);
+        for pattern in &self.patterns {
+            let matches = pattern
+                .conditions
+                .iter()
+                .zip(presence.iter())
+                .all(|(cond, &present)| cond.matches(present));
+            if matches {
+                return Interpretation::new(&self.tree, pattern.concepts.iter().copied());
+            }
+        }
+        Interpretation::new(&self.tree, self.fallback.iter().copied())
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::bib::{bibliographic_taxonomy, bibliographic_taxonomy_variant, BibVariant};
+    use sablock_datasets::record::RecordBuilder;
+    use sablock_datasets::{RecordId, Schema};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::shared(["title", "journal", "booktitle", "institution"]).unwrap()
+    }
+
+    fn record(journal: Option<&str>, booktitle: Option<&str>, institution: Option<&str>) -> sablock_datasets::Record {
+        let mut builder = RecordBuilder::new(schema()).set("title", "some title").unwrap();
+        if let Some(j) = journal {
+            builder = builder.set("journal", j).unwrap();
+        }
+        if let Some(b) = booktitle {
+            builder = builder.set("booktitle", b).unwrap();
+        }
+        if let Some(i) = institution {
+            builder = builder.set("institution", i).unwrap();
+        }
+        builder.build(RecordId(0))
+    }
+
+    fn concepts_of(interp: &Interpretation, tree: &TaxonomyTree) -> Vec<String> {
+        let mut labels: Vec<String> = interp.concepts().map(|c| tree.label(c).unwrap().to_string()).collect();
+        labels.sort();
+        labels
+    }
+
+    #[test]
+    fn table_1_patterns_are_reproduced() {
+        let tree = bibliographic_taxonomy();
+        let zeta = PatternSemanticFunction::cora_default(&tree).unwrap();
+        assert_eq!(zeta.num_patterns(), 8);
+        assert_eq!(zeta.attributes(), &["journal", "booktitle", "institution"]);
+
+        let cases: Vec<(Option<&str>, Option<&str>, Option<&str>, Vec<&str>)> = vec![
+            (Some("ml journal"), Some("nips"), Some("cmu"), vec!["journal", "non-peer reviewed", "proceedings"]),
+            (Some("ml journal"), Some("nips"), None, vec!["journal", "proceedings"]),
+            (Some("ml journal"), None, Some("cmu"), vec!["journal", "non-peer reviewed"]),
+            (Some("ml journal"), None, None, vec!["journal"]),
+            (None, Some("nips"), Some("cmu"), vec!["proceedings", "technical report", "thesis"]),
+            (None, Some("nips"), None, vec!["proceedings"]),
+            (None, None, Some("cmu"), vec!["technical report", "thesis"]),
+            (None, None, None, vec!["publication"]),
+        ];
+        for (journal, booktitle, institution, expected) in cases {
+            let interp = zeta.interpret(&record(journal, booktitle, institution));
+            let mut expected: Vec<String> = expected.into_iter().map(str::to_string).collect();
+            expected.sort();
+            assert_eq!(concepts_of(&interp, &tree), expected, "pattern j={journal:?} b={booktitle:?} i={institution:?}");
+            assert!(interp.is_specific(&tree));
+        }
+    }
+
+    #[test]
+    fn placeholder_values_count_as_missing() {
+        let tree = bibliographic_taxonomy();
+        let zeta = PatternSemanticFunction::cora_default(&tree).unwrap();
+        let interp = zeta.interpret(&record(Some("null"), Some("  "), None));
+        assert_eq!(concepts_of(&interp, &tree), vec!["publication"]);
+    }
+
+    #[test]
+    fn variant_trees_redirect_to_parent_concepts() {
+        // t_(bib,3) has no journal: pattern 4 maps to "peer reviewed" instead.
+        let tree = bibliographic_taxonomy_variant(BibVariant::NoJournal);
+        let zeta = PatternSemanticFunction::cora_default(&tree).unwrap();
+        let interp = zeta.interpret(&record(Some("ml journal"), None, None));
+        assert_eq!(concepts_of(&interp, &tree), vec!["peer reviewed"]);
+
+        // t_(bib,1) has no review levels: pattern 3's "non-peer reviewed"
+        // becomes "publication"; specificity then drops it next to "journal".
+        let tree1 = bibliographic_taxonomy_variant(BibVariant::NoReviewLevels);
+        let zeta1 = PatternSemanticFunction::cora_default(&tree1).unwrap();
+        let interp1 = zeta1.interpret(&record(Some("ml journal"), None, Some("cmu")));
+        assert_eq!(concepts_of(&interp1, &tree1), vec!["journal"]);
+    }
+
+    #[test]
+    fn mismatched_pattern_arity_rejected() {
+        let tree = bibliographic_taxonomy();
+        let c1 = BibConcept::Publication.resolve(&tree).unwrap();
+        let err = PatternSemanticFunction::new(
+            "bad",
+            tree.clone(),
+            vec!["journal".into()],
+            vec![Pattern::new(vec![Presence::Present, Presence::Missing], vec![c1])],
+            vec![c1],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("conditions"));
+    }
+
+    #[test]
+    fn unknown_concepts_rejected() {
+        let tree = bibliographic_taxonomy();
+        let err = PatternSemanticFunction::new(
+            "bad",
+            tree.clone(),
+            vec!["journal".into()],
+            vec![Pattern::new(vec![Presence::Present], vec![ConceptId(99)])],
+            vec![],
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Taxonomy(_)));
+        let err = PatternSemanticFunction::new("bad", tree, vec![], vec![], vec![ConceptId(99)]).unwrap_err();
+        assert!(matches!(err, CoreError::Taxonomy(_)));
+    }
+
+    #[test]
+    fn fallback_applies_when_no_pattern_matches() {
+        let tree = bibliographic_taxonomy();
+        let c9 = BibConcept::Patent.resolve(&tree).unwrap();
+        let zeta = PatternSemanticFunction::new(
+            "only-pattern-1",
+            tree.clone(),
+            vec!["journal".into()],
+            vec![Pattern::new(vec![Presence::Present], vec![c9])],
+            vec![BibConcept::ResearchOutput.resolve(&tree).unwrap()],
+        )
+        .unwrap();
+        let interp = zeta.interpret(&record(None, None, None));
+        assert_eq!(concepts_of(&interp, &tree), vec!["research output"]);
+        assert_eq!(zeta.name(), "only-pattern-1");
+    }
+
+    #[test]
+    fn presence_any_matches_both() {
+        assert!(Presence::Any.matches(true));
+        assert!(Presence::Any.matches(false));
+        assert!(Presence::Present.matches(true));
+        assert!(!Presence::Present.matches(false));
+        assert!(Presence::Missing.matches(false));
+        assert!(!Presence::Missing.matches(true));
+    }
+}

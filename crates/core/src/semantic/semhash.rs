@@ -1,0 +1,365 @@
+//! Semantic hashing (paper §4.4, Algorithm 1).
+//!
+//! A *semhash family* is a set of binary hash functions, one per concept in a
+//! selected subset `C` of taxonomy concepts satisfying:
+//!
+//! 1. **Disjointness** — concepts in `C` are pairwise unrelated,
+//! 2. **Completeness** — for every concept appearing in a record
+//!    interpretation, all of its leaves are in `C`,
+//! 3. **Non-emptiness** — every concept of `C` is related to at least one
+//!    record.
+//!
+//! Algorithm 1 satisfies all three by taking `C = ⋃_{c ∈ ζ(R)} leaf(c)`:
+//! leaves are pairwise disjoint, every interpreted concept's leaves are
+//! included, and only leaves reachable from some record are added. Each
+//! concept `c_i ∈ C` becomes a hash function `g_i` with
+//! `g_i(r) = 1 ⇔ ∃c ∈ ζ(r). c_i ⪯ c`, and the bit vector
+//! `G(r) = [g_1(r), …, g_n(r)]` is the record's **semhash signature**.
+//!
+//! Proposition 4.3: the Jaccard similarity of two semhash signatures is
+//! order-compatible with the semantic similarity of the records.
+
+use std::collections::BTreeSet;
+
+use crate::error::{CoreError, Result};
+use crate::semantic::Interpretation;
+use crate::taxonomy::{ConceptId, TaxonomyTree};
+
+/// A semhash signature: one bit per semhash function (i.e. per concept of the
+/// selected subset `C`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SemanticSignature {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl SemanticSignature {
+    /// An all-zero signature of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            bits: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits (the size of `C`).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the signature has zero bits (an empty family).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range for signature of {} bits", self.len);
+        self.bits[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Reads bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        (self.bits[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of bits set in both signatures.
+    pub fn intersection_count(&self, other: &Self) -> usize {
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of bits set in either signature.
+    pub fn union_count(&self, other: &Self) -> usize {
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum::<usize>()
+            + self.tail_ones(other)
+    }
+
+    // When signatures have different lengths (which only happens if callers
+    // mix families — a misuse we still want to behave sanely for), count the
+    // extra words of the longer one as union-only bits.
+    fn tail_ones(&self, other: &Self) -> usize {
+        let common = self.bits.len().min(other.bits.len());
+        let longer = if self.bits.len() > common { &self.bits } else { &other.bits };
+        longer[common..].iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Jaccard similarity of two signatures (0 when both are all-zero).
+    pub fn jaccard(&self, other: &Self) -> f64 {
+        let union = self.union_count(other);
+        if union == 0 {
+            return 0.0;
+        }
+        self.intersection_count(other) as f64 / union as f64
+    }
+
+    /// Whether the two signatures share at least one set bit.
+    pub fn intersects(&self, other: &Self) -> bool {
+        self.bits.iter().zip(other.bits.iter()).any(|(a, b)| a & b != 0)
+    }
+
+    /// Indices of the set bits, ascending.
+    pub fn ones(&self) -> Vec<usize> {
+        (0..self.len).filter(|&i| self.get(i)).collect()
+    }
+}
+
+/// The semhash family: the selected concept subset `C` and the signature
+/// generator (Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct SemhashFamily {
+    concepts: Vec<ConceptId>,
+}
+
+impl SemhashFamily {
+    /// Algorithm 1, step 1: selects `C = ⋃_{c ∈ ζ(R)} leaf(c)` from the
+    /// interpretations of all records.
+    ///
+    /// Errors if every interpretation is empty (no semantic feature exists,
+    /// so semantic hashing cannot contribute anything).
+    pub fn build<'a>(
+        tree: &TaxonomyTree,
+        interpretations: impl IntoIterator<Item = &'a Interpretation>,
+    ) -> Result<Self> {
+        let mut selected: BTreeSet<ConceptId> = BTreeSet::new();
+        for interpretation in interpretations {
+            for concept in interpretation.concepts() {
+                selected.extend(tree.leaves_under(concept));
+            }
+        }
+        if selected.is_empty() {
+            return Err(CoreError::Config(
+                "cannot build a semhash family: no record has a non-empty semantic interpretation".into(),
+            ));
+        }
+        Ok(Self {
+            concepts: selected.into_iter().collect(),
+        })
+    }
+
+    /// Builds the family from *all* leaves of the tree, regardless of which
+    /// records exist. Useful when the dataset is streamed and the full leaf
+    /// set is known to be reachable (e.g. the 12-leaf voter taxonomy).
+    pub fn from_all_leaves(tree: &TaxonomyTree) -> Result<Self> {
+        let concepts = tree.all_leaves();
+        if concepts.is_empty() {
+            return Err(CoreError::Taxonomy("taxonomy tree has no leaves".into()));
+        }
+        Ok(Self { concepts })
+    }
+
+    /// The selected concepts `C`, in ascending id order; the i-th concept is
+    /// the i-th semhash function / signature bit.
+    pub fn concepts(&self) -> &[ConceptId] {
+        &self.concepts
+    }
+
+    /// Number of semhash functions (= signature bits).
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// Whether the family is empty.
+    pub fn is_empty(&self) -> bool {
+        self.concepts.is_empty()
+    }
+
+    /// Algorithm 1, step 2: the semhash signature of an interpretation —
+    /// bit `i` is 1 iff concept `C[i]` is subsumed by some concept of ζ(r).
+    pub fn signature(&self, tree: &TaxonomyTree, interpretation: &Interpretation) -> SemanticSignature {
+        let mut signature = SemanticSignature::zeros(self.concepts.len());
+        for (i, &feature) in self.concepts.iter().enumerate() {
+            let related = interpretation.concepts().any(|c| tree.subsumed_by(feature, c));
+            if related {
+                signature.set(i);
+            }
+        }
+        signature
+    }
+
+    /// Signatures for a batch of interpretations, preserving order.
+    pub fn signatures(&self, tree: &TaxonomyTree, interpretations: &[Interpretation]) -> Vec<SemanticSignature> {
+        interpretations.iter().map(|i| self.signature(tree, i)).collect()
+    }
+
+    /// Verifies the disjointness property (1) of §4.4 against a tree. The
+    /// families built by [`SemhashFamily::build`] and
+    /// [`SemhashFamily::from_all_leaves`] satisfy it by construction; this is
+    /// exposed for custom families and for tests.
+    pub fn is_disjoint(&self, tree: &TaxonomyTree) -> bool {
+        for (i, &a) in self.concepts.iter().enumerate() {
+            for &b in &self.concepts[i + 1..] {
+                if tree.related(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantic::similarity::record_semantic_similarity;
+    use crate::taxonomy::bib::{bibliographic_taxonomy, BibConcept};
+    use crate::taxonomy::voter::voter_taxonomy;
+
+    fn interp(tree: &TaxonomyTree, concepts: &[BibConcept]) -> Interpretation {
+        Interpretation::new(tree, concepts.iter().map(|c| c.resolve(tree).unwrap()))
+    }
+
+    #[test]
+    fn signature_bit_manipulation() {
+        let mut sig = SemanticSignature::zeros(70);
+        assert_eq!(sig.len(), 70);
+        assert!(!sig.is_empty());
+        assert_eq!(sig.count_ones(), 0);
+        sig.set(0);
+        sig.set(64);
+        sig.set(69);
+        assert!(sig.get(0) && sig.get(64) && sig.get(69));
+        assert!(!sig.get(1));
+        assert!(!sig.get(200));
+        assert_eq!(sig.count_ones(), 3);
+        assert_eq!(sig.ones(), vec![0, 64, 69]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn setting_out_of_range_bit_panics() {
+        SemanticSignature::zeros(5).set(5);
+    }
+
+    #[test]
+    fn signature_jaccard_and_intersection() {
+        let mut a = SemanticSignature::zeros(8);
+        let mut b = SemanticSignature::zeros(8);
+        a.set(0);
+        a.set(1);
+        b.set(1);
+        b.set(2);
+        assert_eq!(a.intersection_count(&b), 1);
+        assert_eq!(a.union_count(&b), 3);
+        assert!((a.jaccard(&b) - 1.0 / 3.0).abs() < 1e-12);
+        assert!(a.intersects(&b));
+        let zero = SemanticSignature::zeros(8);
+        assert_eq!(zero.jaccard(&zero), 0.0);
+        assert!(!zero.intersects(&a));
+    }
+
+    #[test]
+    fn cora_family_has_five_bits() {
+        // Section 6.2: "we have 5 bit semantic signature for each record in
+        // Cora". The Table 1 patterns interpret records with C1/C3/C4/C6/C7/C8,
+        // whose leaves are {C3, C4, C5, C7, C8} — 5 features.
+        let tree = bibliographic_taxonomy();
+        let interpretations = vec![
+            interp(&tree, &[BibConcept::Journal, BibConcept::Proceedings, BibConcept::NonPeerReviewed]),
+            interp(&tree, &[BibConcept::Publication]),
+            interp(&tree, &[BibConcept::TechnicalReport, BibConcept::Thesis]),
+        ];
+        let family = SemhashFamily::build(&tree, &interpretations).unwrap();
+        assert_eq!(family.len(), 5);
+        assert!(family.is_disjoint(&tree));
+        let labels: Vec<&str> = family.concepts().iter().map(|&c| tree.label(c).unwrap()).collect();
+        assert!(labels.contains(&"journal"));
+        assert!(labels.contains(&"book"));
+        assert!(!labels.contains(&"patent"), "no record is related to patent, so it must not be selected");
+    }
+
+    #[test]
+    fn voter_family_has_twelve_bits() {
+        let tree = voter_taxonomy();
+        let family = SemhashFamily::from_all_leaves(&tree).unwrap();
+        assert_eq!(family.len(), 12);
+        assert!(family.is_disjoint(&tree));
+    }
+
+    #[test]
+    fn empty_interpretations_cannot_build_a_family() {
+        let tree = bibliographic_taxonomy();
+        let empties = vec![Interpretation::empty(), Interpretation::empty()];
+        assert!(SemhashFamily::build(&tree, &empties).is_err());
+        assert!(SemhashFamily::from_all_leaves(&TaxonomyTree::new("empty")).is_err());
+    }
+
+    #[test]
+    fn signatures_reflect_subsumption() {
+        let tree = bibliographic_taxonomy();
+        let family = SemhashFamily::from_all_leaves(&tree).unwrap();
+        assert_eq!(family.len(), 6);
+
+        // A journal record sets exactly the journal bit.
+        let journal = family.signature(&tree, &interp(&tree, &[BibConcept::Journal]));
+        assert_eq!(journal.count_ones(), 1);
+        // A "publication" record sets every publication leaf (5 bits) but not patent.
+        let publication = family.signature(&tree, &interp(&tree, &[BibConcept::Publication]));
+        assert_eq!(publication.count_ones(), 5);
+        // The root sets all 6.
+        let root = family.signature(&tree, &interp(&tree, &[BibConcept::ResearchOutput]));
+        assert_eq!(root.count_ones(), 6);
+        // An empty interpretation sets nothing.
+        let none = family.signature(&tree, &Interpretation::empty());
+        assert_eq!(none.count_ones(), 0);
+    }
+
+    #[test]
+    fn proposition_4_3_signature_jaccard_orders_like_semantic_similarity() {
+        // The running example's records (Example 4.5): the ordering of
+        // semantic similarities must be preserved by signature Jaccard.
+        let tree = bibliographic_taxonomy();
+        let family = SemhashFamily::from_all_leaves(&tree).unwrap();
+        let r1 = interp(&tree, &[BibConcept::Proceedings]);
+        let r2 = interp(&tree, &[BibConcept::Journal, BibConcept::Proceedings]);
+        let r3 = interp(&tree, &[BibConcept::Proceedings]);
+        let r5 = interp(&tree, &[BibConcept::TechnicalReport]);
+        let r6 = interp(&tree, &[BibConcept::ResearchOutput]);
+
+        let pairs = [(&r1, &r3), (&r1, &r2), (&r2, &r6), (&r1, &r6), (&r1, &r5)];
+        let sem: Vec<f64> = pairs.iter().map(|(a, b)| record_semantic_similarity(&tree, a, b)).collect();
+        let jac: Vec<f64> = pairs
+            .iter()
+            .map(|(a, b)| family.signature(&tree, a).jaccard(&family.signature(&tree, b)))
+            .collect();
+        // Semantic similarities are strictly decreasing across these pairs…
+        for w in sem.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        // …and so are the signature Jaccards (Prop. 4.3's order compatibility).
+        for w in jac.windows(2) {
+            assert!(w[0] >= w[1], "signature Jaccard must not invert the semantic order: {jac:?}");
+        }
+        // Zero semantic similarity ⇒ disjoint signatures.
+        assert_eq!(sem[4], 0.0);
+        assert_eq!(jac[4], 0.0);
+    }
+
+    #[test]
+    fn batch_signatures_preserve_order() {
+        let tree = voter_taxonomy();
+        let family = SemhashFamily::from_all_leaves(&tree).unwrap();
+        let a = Interpretation::singleton(tree.require_concept("race w gender m").unwrap());
+        let b = Interpretation::singleton(tree.require_concept("race b gender f").unwrap());
+        let sigs = family.signatures(&tree, &[a.clone(), b.clone()]);
+        assert_eq!(sigs.len(), 2);
+        assert_eq!(sigs[0], family.signature(&tree, &a));
+        assert_eq!(sigs[1], family.signature(&tree, &b));
+        assert!(!sigs[0].intersects(&sigs[1]));
+    }
+}

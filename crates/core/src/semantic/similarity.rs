@@ -1,0 +1,290 @@
+//! Semantic similarity of concepts (Eq. 4) and records (Eq. 5), plus the
+//! paper's Propositions 4.1 and 4.2 as testable functions.
+
+use std::collections::BTreeSet;
+
+use crate::semantic::Interpretation;
+use crate::taxonomy::{ConceptId, TaxonomyTree};
+
+/// Semantic similarity of two concepts (Eq. 4):
+/// `sim_S(c1, c2) = |leaf(c1) ∩ leaf(c2)| / |leaf(c1) ∪ leaf(c2)|`.
+///
+/// Sibling concepts have disjoint leaf sets and therefore similarity 0
+/// (property (3) of §4.3); identical concepts have similarity 1; an ancestor
+/// and its descendant have similarity `|leaf(desc)| / |leaf(anc)|`.
+///
+/// Unknown concept ids yield 0.
+pub fn concept_similarity(tree: &TaxonomyTree, c1: ConceptId, c2: ConceptId) -> f64 {
+    if !tree.contains(c1) || !tree.contains(c2) {
+        return 0.0;
+    }
+    let leaves1: BTreeSet<ConceptId> = tree.leaves_under(c1).into_iter().collect();
+    let leaves2: BTreeSet<ConceptId> = tree.leaves_under(c2).into_iter().collect();
+    if leaves1.is_empty() || leaves2.is_empty() {
+        return 0.0;
+    }
+    let intersection = leaves1.intersection(&leaves2).count();
+    let union = leaves1.union(&leaves2).count();
+    intersection as f64 / union as f64
+}
+
+/// The related-concept-pair set `P(r1, r2)` of Eq. 5: all pairs
+/// `(c1, c2)` with `c1 ∈ ζ(r1)`, `c2 ∈ ζ(r2)` and one subsuming the other.
+pub fn related_pairs(
+    tree: &TaxonomyTree,
+    zeta1: &Interpretation,
+    zeta2: &Interpretation,
+) -> Vec<(ConceptId, ConceptId)> {
+    let mut pairs = Vec::new();
+    for c1 in zeta1.concepts() {
+        for c2 in zeta2.concepts() {
+            if tree.related(c1, c2) {
+                pairs.push((c1, c2));
+            }
+        }
+    }
+    pairs
+}
+
+/// Semantic similarity of two records given their interpretations (Eq. 5):
+///
+/// ```text
+/// sim_S(r1, r2) = Σ_{(c1,c2) ∈ P(r1,r2)}  (|α(c1,c2)| / |β(r1,r2)|) · sim_S(c1, c2)
+/// ```
+///
+/// where `α(c1,c2) = leaf(c1) ∪ leaf(c2)` and `β(r1,r2)` is the union of α
+/// over **all** concept pairs of the two interpretations.
+///
+/// Proposition 4.2 follows directly: the result is 0 iff `P(r1, r2)` is empty
+/// (no concept of one record is related to any concept of the other).
+pub fn record_semantic_similarity(
+    tree: &TaxonomyTree,
+    zeta1: &Interpretation,
+    zeta2: &Interpretation,
+) -> f64 {
+    if zeta1.is_empty() || zeta2.is_empty() {
+        return 0.0;
+    }
+
+    // β(r1, r2): union of leaf(c1) ∪ leaf(c2) over all pairs — equivalently,
+    // the union of the leaf sets of every concept in either interpretation.
+    let mut beta: BTreeSet<ConceptId> = BTreeSet::new();
+    for c in zeta1.concepts().chain(zeta2.concepts()) {
+        beta.extend(tree.leaves_under(c));
+    }
+    if beta.is_empty() {
+        return 0.0;
+    }
+    let beta_size = beta.len() as f64;
+
+    let mut total = 0.0;
+    for (c1, c2) in related_pairs(tree, zeta1, zeta2) {
+        let mut alpha: BTreeSet<ConceptId> = tree.leaves_under(c1).into_iter().collect();
+        alpha.extend(tree.leaves_under(c2));
+        let weight = alpha.len() as f64 / beta_size;
+        total += weight * concept_similarity(tree, c1, c2);
+    }
+    // Floating point accumulation can nudge the value a hair above 1.0 when
+    // the weights sum to exactly one; clamp to the metric's range.
+    total.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantic::SemanticFunction;
+    use crate::taxonomy::bib::{bibliographic_taxonomy, BibConcept};
+    use crate::taxonomy::voter::voter_taxonomy;
+
+    fn ids(tree: &TaxonomyTree) -> (ConceptId, ConceptId, ConceptId, ConceptId, ConceptId, ConceptId, ConceptId) {
+        (
+            BibConcept::ResearchOutput.resolve(tree).unwrap(),
+            BibConcept::Publication.resolve(tree).unwrap(),
+            BibConcept::PeerReviewed.resolve(tree).unwrap(),
+            BibConcept::Journal.resolve(tree).unwrap(),
+            BibConcept::Proceedings.resolve(tree).unwrap(),
+            BibConcept::NonPeerReviewed.resolve(tree).unwrap(),
+            BibConcept::TechnicalReport.resolve(tree).unwrap(),
+        )
+    }
+
+    #[test]
+    fn example_4_4_concept_similarities() {
+        let tree = bibliographic_taxonomy();
+        let (c0, c1, c2, _c3, c4, c6, _c7) = ids(&tree);
+        assert!((concept_similarity(&tree, c0, c1) - 5.0 / 6.0).abs() < 1e-12);
+        assert!((concept_similarity(&tree, c1, c2) - 3.0 / 5.0).abs() < 1e-12);
+        assert!((concept_similarity(&tree, c0, c4) - 1.0 / 6.0).abs() < 1e-12);
+        assert_eq!(concept_similarity(&tree, c2, c6), 0.0);
+    }
+
+    #[test]
+    fn example_4_3_siblings_have_zero_similarity() {
+        let tree = bibliographic_taxonomy();
+        let c3 = BibConcept::Journal.resolve(&tree).unwrap();
+        let c5 = BibConcept::Book.resolve(&tree).unwrap();
+        assert_eq!(concept_similarity(&tree, c3, c5), 0.0);
+    }
+
+    #[test]
+    fn concept_similarity_is_symmetric_reflexive_and_bounded() {
+        let tree = bibliographic_taxonomy();
+        for a in tree.concepts() {
+            assert_eq!(concept_similarity(&tree, a, a), 1.0);
+            for b in tree.concepts() {
+                let s = concept_similarity(&tree, a, b);
+                assert!((0.0..=1.0).contains(&s));
+                assert!((s - concept_similarity(&tree, b, a)).abs() < 1e-12);
+            }
+        }
+        assert_eq!(concept_similarity(&tree, ConceptId(0), ConceptId(99)), 0.0);
+    }
+
+    #[test]
+    fn subsumption_monotonicity_property() {
+        // For c3 ⪯ c2 ⪯ c1: sim(c1,c3) <= sim(c2,c3) and sim(c1,c3) <= sim(c1,c2).
+        let tree = bibliographic_taxonomy();
+        let c1 = BibConcept::Publication.resolve(&tree).unwrap();
+        let c2 = BibConcept::PeerReviewed.resolve(&tree).unwrap();
+        let c3 = BibConcept::Journal.resolve(&tree).unwrap();
+        assert!(concept_similarity(&tree, c1, c3) <= concept_similarity(&tree, c2, c3));
+        assert!(concept_similarity(&tree, c1, c3) <= concept_similarity(&tree, c1, c2));
+    }
+
+    #[test]
+    fn example_4_5_record_similarities() {
+        let tree = bibliographic_taxonomy();
+        let c0 = BibConcept::ResearchOutput.resolve(&tree).unwrap();
+        let c3 = BibConcept::Journal.resolve(&tree).unwrap();
+        let c4 = BibConcept::Proceedings.resolve(&tree).unwrap();
+        let c7 = BibConcept::TechnicalReport.resolve(&tree).unwrap();
+
+        // ζ(r1)={c4}, ζ(r2)={c3,c4} → 1/2
+        let r1 = Interpretation::singleton(c4);
+        let r2: Interpretation = [c3, c4].into_iter().collect();
+        assert!((record_semantic_similarity(&tree, &r1, &r2) - 0.5).abs() < 1e-12);
+
+        // ζ(r3)={c4} → sim(r1, r3) = 1
+        let r3 = Interpretation::singleton(c4);
+        assert_eq!(record_semantic_similarity(&tree, &r1, &r3), 1.0);
+
+        // ζ(r5)={c7}: unrelated to c4 → 0 (Proposition 4.2)
+        let r5 = Interpretation::singleton(c7);
+        assert_eq!(record_semantic_similarity(&tree, &r1, &r5), 0.0);
+        assert!(related_pairs(&tree, &r1, &r5).is_empty());
+
+        // ζ(r6)={c0} → sim(r1, r6) = 1/6
+        let r6 = Interpretation::singleton(c0);
+        assert!((record_semantic_similarity(&tree, &r1, &r6) - 1.0 / 6.0).abs() < 1e-12);
+        // and sim(r5, r6) = 1/6 as well
+        assert!((record_semantic_similarity(&tree, &r5, &r6) - 1.0 / 6.0).abs() < 1e-12);
+
+        // ζ(r2)={c3,c4} vs ζ(r6)={c0}: the paper reports 1/3.
+        assert!((record_semantic_similarity(&tree, &r2, &r6) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proposition_4_1_child_partition_gives_similarity_one() {
+        let tree = bibliographic_taxonomy();
+        let c2 = BibConcept::PeerReviewed.resolve(&tree).unwrap();
+        let children: Interpretation = tree.children(c2).iter().copied().collect();
+        let parent = Interpretation::singleton(c2);
+        assert!((record_semantic_similarity(&tree, &parent, &children) - 1.0).abs() < 1e-12);
+
+        // Also at the next level up: publication vs {peer reviewed, non-peer reviewed}.
+        let c1 = BibConcept::Publication.resolve(&tree).unwrap();
+        let kids: Interpretation = tree.children(c1).iter().copied().collect();
+        assert!((record_semantic_similarity(&tree, &Interpretation::singleton(c1), &kids) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proposition_4_2_zero_iff_no_related_pairs() {
+        let tree = bibliographic_taxonomy();
+        let c3 = BibConcept::Journal.resolve(&tree).unwrap();
+        let c4 = BibConcept::Proceedings.resolve(&tree).unwrap();
+        let c7 = BibConcept::TechnicalReport.resolve(&tree).unwrap();
+        let c1 = BibConcept::Publication.resolve(&tree).unwrap();
+
+        let zeta_a: Interpretation = [c3, c4].into_iter().collect();
+        let zeta_b = Interpretation::singleton(c7);
+        assert!(related_pairs(&tree, &zeta_a, &zeta_b).is_empty());
+        assert_eq!(record_semantic_similarity(&tree, &zeta_a, &zeta_b), 0.0);
+
+        let zeta_c = Interpretation::singleton(c1);
+        assert!(!related_pairs(&tree, &zeta_a, &zeta_c).is_empty());
+        assert!(record_semantic_similarity(&tree, &zeta_a, &zeta_c) > 0.0);
+    }
+
+    #[test]
+    fn empty_interpretations_have_zero_similarity() {
+        let tree = bibliographic_taxonomy();
+        let c3 = BibConcept::Journal.resolve(&tree).unwrap();
+        let some = Interpretation::singleton(c3);
+        let none = Interpretation::empty();
+        assert_eq!(record_semantic_similarity(&tree, &some, &none), 0.0);
+        assert_eq!(record_semantic_similarity(&tree, &none, &none), 0.0);
+    }
+
+    #[test]
+    fn record_similarity_is_symmetric_and_bounded_over_voter_tree() {
+        let tree = voter_taxonomy();
+        let concepts: Vec<ConceptId> = tree.concepts().collect();
+        for &a in concepts.iter().step_by(3) {
+            for &b in concepts.iter().step_by(4) {
+                let ia = Interpretation::singleton(a);
+                let ib = Interpretation::singleton(b);
+                let s1 = record_semantic_similarity(&tree, &ia, &ib);
+                let s2 = record_semantic_similarity(&tree, &ib, &ia);
+                assert!((s1 - s2).abs() < 1e-12);
+                assert!((0.0..=1.0).contains(&s1));
+            }
+        }
+    }
+
+    #[test]
+    fn coincides_with_concept_similarity_for_singletons() {
+        // "When two records are both interpreted to exactly one concept...
+        // the semantic similarity between the records coincides with the
+        // semantic similarity between their related concepts" (for related
+        // concepts).
+        let tree = bibliographic_taxonomy();
+        let c0 = BibConcept::ResearchOutput.resolve(&tree).unwrap();
+        let c1 = BibConcept::Publication.resolve(&tree).unwrap();
+        let r_a = Interpretation::singleton(c0);
+        let r_b = Interpretation::singleton(c1);
+        let via_records = record_semantic_similarity(&tree, &r_a, &r_b);
+        let via_concepts = concept_similarity(&tree, c0, c1);
+        assert!((via_records - via_concepts).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integration_with_voter_semantic_function() {
+        use crate::semantic::voter::VoterSemanticFunction;
+        use sablock_datasets::record::RecordBuilder;
+        use sablock_datasets::{RecordId, Schema};
+
+        let zeta = VoterSemanticFunction::default_voter();
+        let schema = Schema::shared(["gender", "race"]).unwrap();
+        let make = |g: &str, r: &str, id: u32| {
+            RecordBuilder::new(std::sync::Arc::clone(&schema))
+                .set("gender", g)
+                .unwrap()
+                .set("race", r)
+                .unwrap()
+                .build(RecordId(id))
+        };
+        let tree = zeta.taxonomy();
+        let wm = zeta.interpret(&make("m", "w", 0));
+        let wf = zeta.interpret(&make("f", "w", 1));
+        let wu = zeta.interpret(&make("u", "w", 2));
+        let bm = zeta.interpret(&make("m", "b", 3));
+        // Same race, different genders: siblings → 0.
+        assert_eq!(record_semantic_similarity(tree, &wm, &wf), 0.0);
+        // Known gender vs uncertain gender of same race: child vs parent → 1/2.
+        assert!((record_semantic_similarity(tree, &wm, &wu) - 0.5).abs() < 1e-12);
+        // Different races → 0.
+        assert_eq!(record_semantic_similarity(tree, &wm, &bm), 0.0);
+        // Identical → 1.
+        assert_eq!(record_semantic_similarity(tree, &wm, &wm.clone()), 1.0);
+    }
+}

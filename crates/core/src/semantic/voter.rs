@@ -1,0 +1,187 @@
+//! The attribute-value semantic function used for the NC Voter experiments.
+//!
+//! Section 6.2: the semantic function for NC Voter is "based on the values in
+//! the attributes race and gender, which have uncertain values like 'u'".
+//! A record with known race and gender maps to the corresponding leaf of the
+//! voter taxonomy; a record with an uncertain gender maps to the race-level
+//! concept; a record with an uncertain race uses the `u` race subtree, and a
+//! fully uncertain record maps to the root.
+
+use sablock_datasets::Record;
+
+use crate::error::{CoreError, Result};
+use crate::semantic::{Interpretation, SemanticFunction};
+use crate::taxonomy::voter::{race_gender_label, race_label, voter_taxonomy, KNOWN_GENDERS, RACES};
+use crate::taxonomy::TaxonomyTree;
+
+/// Semantic function mapping `(race, gender)` attribute values to concepts of
+/// the voter taxonomy.
+#[derive(Debug, Clone)]
+pub struct VoterSemanticFunction {
+    tree: TaxonomyTree,
+    race_attribute: String,
+    gender_attribute: String,
+}
+
+impl VoterSemanticFunction {
+    /// Creates the function over the standard voter taxonomy and the default
+    /// attribute names `race` and `gender`.
+    pub fn default_voter() -> Self {
+        Self {
+            tree: voter_taxonomy(),
+            race_attribute: "race".into(),
+            gender_attribute: "gender".into(),
+        }
+    }
+
+    /// Creates the function with custom attribute names, validating that the
+    /// supplied tree has the expected voter structure.
+    pub fn new(tree: TaxonomyTree, race_attribute: impl Into<String>, gender_attribute: impl Into<String>) -> Result<Self> {
+        for race in RACES {
+            if tree.concept(&race_label(race)).is_none() {
+                return Err(CoreError::Taxonomy(format!("voter taxonomy is missing the concept '{}'", race_label(race))));
+            }
+            for gender in KNOWN_GENDERS {
+                if tree.concept(&race_gender_label(race, gender)).is_none() {
+                    return Err(CoreError::Taxonomy(format!(
+                        "voter taxonomy is missing the concept '{}'",
+                        race_gender_label(race, gender)
+                    )));
+                }
+            }
+        }
+        Ok(Self {
+            tree,
+            race_attribute: race_attribute.into(),
+            gender_attribute: gender_attribute.into(),
+        })
+    }
+
+    fn normalize_code(&self, value: Option<&str>, known: &[&'static str]) -> &'static str {
+        match value {
+            Some(v) => {
+                let lower = v.trim().to_ascii_lowercase();
+                known.iter().find(|&&k| k == lower).copied().unwrap_or("u")
+            }
+            None => "u",
+        }
+    }
+}
+
+impl SemanticFunction for VoterSemanticFunction {
+    fn taxonomy(&self) -> &TaxonomyTree {
+        &self.tree
+    }
+
+    fn interpret(&self, record: &Record) -> Interpretation {
+        let race = self.normalize_code(record.value(&self.race_attribute), &RACES);
+        let gender = self.normalize_code(record.value(&self.gender_attribute), &["m", "f"]);
+
+        // Known race + known gender → leaf; known race + uncertain gender →
+        // race node; uncertain race is itself a race node with its own
+        // subtree, so the same two rules apply to it.
+        let concept = if gender == "u" {
+            self.tree.concept(&race_label(race))
+        } else {
+            self.tree.concept(&race_gender_label(race, gender))
+        };
+        match concept {
+            Some(c) => Interpretation::singleton(c),
+            None => self.tree.root().map(Interpretation::singleton).unwrap_or_default(),
+        }
+    }
+
+    fn name(&self) -> String {
+        "voter-race-gender".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sablock_datasets::record::RecordBuilder;
+    use sablock_datasets::{RecordId, Schema};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::shared(["first_name", "last_name", "gender", "race"]).unwrap()
+    }
+
+    fn record(gender: Option<&str>, race: Option<&str>) -> sablock_datasets::Record {
+        let mut builder = RecordBuilder::new(schema()).set("first_name", "pat").unwrap().set("last_name", "lee").unwrap();
+        if let Some(g) = gender {
+            builder = builder.set("gender", g).unwrap();
+        }
+        if let Some(r) = race {
+            builder = builder.set("race", r).unwrap();
+        }
+        builder.build(RecordId(0))
+    }
+
+    #[test]
+    fn known_values_map_to_leaves() {
+        let zeta = VoterSemanticFunction::default_voter();
+        let tree = zeta.taxonomy();
+        let interp = zeta.interpret(&record(Some("f"), Some("b")));
+        assert_eq!(interp.len(), 1);
+        let concept = interp.concepts().next().unwrap();
+        assert_eq!(tree.label(concept), Some("race b gender f"));
+        assert!(tree.is_leaf(concept));
+        assert!(interp.is_specific(tree));
+    }
+
+    #[test]
+    fn uncertain_gender_maps_to_race_level() {
+        let zeta = VoterSemanticFunction::default_voter();
+        let tree = zeta.taxonomy();
+        let interp = zeta.interpret(&record(Some("u"), Some("w")));
+        let concept = interp.concepts().next().unwrap();
+        assert_eq!(tree.label(concept), Some("race w"));
+        assert!(!tree.is_leaf(concept));
+    }
+
+    #[test]
+    fn uncertain_race_uses_u_subtree() {
+        let zeta = VoterSemanticFunction::default_voter();
+        let tree = zeta.taxonomy();
+        let interp = zeta.interpret(&record(Some("m"), Some("u")));
+        assert_eq!(tree.label(interp.concepts().next().unwrap()), Some("race u gender m"));
+        let interp = zeta.interpret(&record(Some("u"), Some("u")));
+        assert_eq!(tree.label(interp.concepts().next().unwrap()), Some("race u"));
+    }
+
+    #[test]
+    fn missing_and_unknown_codes_are_uncertain() {
+        let zeta = VoterSemanticFunction::default_voter();
+        let tree = zeta.taxonomy();
+        let interp = zeta.interpret(&record(None, None));
+        assert_eq!(tree.label(interp.concepts().next().unwrap()), Some("race u"));
+        // A bogus race code degrades to 'u', an upper-case known code works.
+        let interp = zeta.interpret(&record(Some("M"), Some("xyz")));
+        assert_eq!(tree.label(interp.concepts().next().unwrap()), Some("race u gender m"));
+        let interp = zeta.interpret(&record(Some("F"), Some("W")));
+        assert_eq!(tree.label(interp.concepts().next().unwrap()), Some("race w gender f"));
+    }
+
+    #[test]
+    fn custom_construction_validates_tree() {
+        let err = VoterSemanticFunction::new(TaxonomyTree::new("empty"), "race", "gender").unwrap_err();
+        assert!(matches!(err, CoreError::Taxonomy(_)));
+        let ok = VoterSemanticFunction::new(voter_taxonomy(), "race_code", "sex");
+        assert!(ok.is_ok());
+        assert_eq!(VoterSemanticFunction::default_voter().name(), "voter-race-gender");
+    }
+
+    #[test]
+    fn semantic_dissimilarity_between_different_races() {
+        // Two voters of different, known races must have unrelated concepts —
+        // this is what lets SA-LSH filter textually-similar non-matches.
+        let zeta = VoterSemanticFunction::default_voter();
+        let tree = zeta.taxonomy();
+        let a = zeta.interpret(&record(Some("m"), Some("w")));
+        let b = zeta.interpret(&record(Some("m"), Some("b")));
+        let ca = a.concepts().next().unwrap();
+        let cb = b.concepts().next().unwrap();
+        assert!(!tree.related(ca, cb));
+    }
+}

@@ -1,0 +1,225 @@
+//! The bibliographic taxonomy tree t_bib of the paper's Fig. 3 and the three
+//! variants t_(bib,1..3) of Fig. 10 used in the taxonomy-robustness
+//! experiment (Table 2).
+//!
+//! Node layout of t_bib (concept codes C0–C9 as in the paper):
+//!
+//! ```text
+//! research output (C0)
+//! ├── publication (C1)
+//! │   ├── peer reviewed (C2)
+//! │   │   ├── journal (C3)
+//! │   │   ├── proceedings (C4)
+//! │   │   └── book (C5)
+//! │   └── non-peer reviewed (C6)
+//! │       ├── technical report (C7)
+//! │       └── thesis (C8)
+//! └── patent (C9)
+//! ```
+
+use crate::taxonomy::{ConceptId, TaxonomyTree};
+
+/// Symbolic names for the concepts of the bibliographic taxonomy, matching
+/// the paper's C0–C9 numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BibConcept {
+    /// C0 — research output (the root).
+    ResearchOutput,
+    /// C1 — publication.
+    Publication,
+    /// C2 — peer reviewed publication.
+    PeerReviewed,
+    /// C3 — journal article.
+    Journal,
+    /// C4 — conference proceedings article.
+    Proceedings,
+    /// C5 — book.
+    Book,
+    /// C6 — non-peer-reviewed publication.
+    NonPeerReviewed,
+    /// C7 — technical report.
+    TechnicalReport,
+    /// C8 — thesis.
+    Thesis,
+    /// C9 — patent.
+    Patent,
+}
+
+impl BibConcept {
+    /// The concept's label in the tree.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::ResearchOutput => "research output",
+            Self::Publication => "publication",
+            Self::PeerReviewed => "peer reviewed",
+            Self::Journal => "journal",
+            Self::Proceedings => "proceedings",
+            Self::Book => "book",
+            Self::NonPeerReviewed => "non-peer reviewed",
+            Self::TechnicalReport => "technical report",
+            Self::Thesis => "thesis",
+            Self::Patent => "patent",
+        }
+    }
+
+    /// Resolves this concept in a (possibly variant) bibliographic tree.
+    /// Returns `None` when the variant omits the concept.
+    pub fn resolve(self, tree: &TaxonomyTree) -> Option<ConceptId> {
+        tree.concept(self.label())
+    }
+
+    /// All concepts, in C0..C9 order.
+    pub const ALL: [BibConcept; 10] = [
+        BibConcept::ResearchOutput,
+        BibConcept::Publication,
+        BibConcept::PeerReviewed,
+        BibConcept::Journal,
+        BibConcept::Proceedings,
+        BibConcept::Book,
+        BibConcept::NonPeerReviewed,
+        BibConcept::TechnicalReport,
+        BibConcept::Thesis,
+        BibConcept::Patent,
+    ];
+}
+
+/// A structural variant of the bibliographic taxonomy (Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BibVariant {
+    /// The full tree t_bib of Fig. 3.
+    Full,
+    /// t_(bib,1): removes the intermediate concepts *peer reviewed* and
+    /// *non-peer reviewed*; their children attach directly to *publication*.
+    NoReviewLevels,
+    /// t_(bib,2): misses the *book* concept.
+    NoBook,
+    /// t_(bib,3): misses the *journal* concept.
+    NoJournal,
+}
+
+impl BibVariant {
+    /// All variants, in the order used by Table 2.
+    pub const ALL: [BibVariant; 4] = [
+        BibVariant::Full,
+        BibVariant::NoReviewLevels,
+        BibVariant::NoBook,
+        BibVariant::NoJournal,
+    ];
+
+    /// The name used in Table 2's header.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Full => "t_bib",
+            Self::NoReviewLevels => "t_bib,1",
+            Self::NoBook => "t_bib,2",
+            Self::NoJournal => "t_bib,3",
+        }
+    }
+}
+
+/// Builds the full bibliographic taxonomy tree t_bib (Fig. 3).
+pub fn bibliographic_taxonomy() -> TaxonomyTree {
+    bibliographic_taxonomy_variant(BibVariant::Full)
+}
+
+/// Builds a bibliographic taxonomy variant (Fig. 10).
+pub fn bibliographic_taxonomy_variant(variant: BibVariant) -> TaxonomyTree {
+    let mut tree = TaxonomyTree::new(variant.name());
+    let root = tree.add_root(BibConcept::ResearchOutput.label()).expect("fresh tree");
+    let publication = tree
+        .add_child(root, BibConcept::Publication.label())
+        .expect("new label");
+    tree.add_child(root, BibConcept::Patent.label()).expect("new label");
+
+    let (peer_parent, non_peer_parent) = if variant == BibVariant::NoReviewLevels {
+        (publication, publication)
+    } else {
+        let peer = tree
+            .add_child(publication, BibConcept::PeerReviewed.label())
+            .expect("new label");
+        let non_peer = tree
+            .add_child(publication, BibConcept::NonPeerReviewed.label())
+            .expect("new label");
+        (peer, non_peer)
+    };
+
+    if variant != BibVariant::NoJournal {
+        tree.add_child(peer_parent, BibConcept::Journal.label()).expect("new label");
+    }
+    tree.add_child(peer_parent, BibConcept::Proceedings.label()).expect("new label");
+    if variant != BibVariant::NoBook {
+        tree.add_child(peer_parent, BibConcept::Book.label()).expect("new label");
+    }
+    tree.add_child(non_peer_parent, BibConcept::TechnicalReport.label()).expect("new label");
+    tree.add_child(non_peer_parent, BibConcept::Thesis.label()).expect("new label");
+
+    debug_assert!(tree.validate().is_ok());
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_tree_has_ten_concepts_and_six_leaves() {
+        let tree = bibliographic_taxonomy();
+        assert_eq!(tree.len(), 10);
+        assert_eq!(tree.all_leaves().len(), 6);
+        assert!(tree.validate().is_ok());
+        for concept in BibConcept::ALL {
+            assert!(concept.resolve(&tree).is_some(), "missing {:?}", concept);
+        }
+    }
+
+    #[test]
+    fn variant_1_drops_review_levels() {
+        let tree = bibliographic_taxonomy_variant(BibVariant::NoReviewLevels);
+        assert!(BibConcept::PeerReviewed.resolve(&tree).is_none());
+        assert!(BibConcept::NonPeerReviewed.resolve(&tree).is_none());
+        // Journal now hangs directly off publication.
+        let journal = BibConcept::Journal.resolve(&tree).unwrap();
+        let publication = BibConcept::Publication.resolve(&tree).unwrap();
+        assert_eq!(tree.parent(journal), Some(publication));
+        assert_eq!(tree.len(), 8);
+        assert_eq!(tree.all_leaves().len(), 6);
+        assert!(tree.validate().is_ok());
+    }
+
+    #[test]
+    fn variant_2_drops_book_and_variant_3_drops_journal() {
+        let no_book = bibliographic_taxonomy_variant(BibVariant::NoBook);
+        assert!(BibConcept::Book.resolve(&no_book).is_none());
+        assert!(BibConcept::Journal.resolve(&no_book).is_some());
+        assert_eq!(no_book.all_leaves().len(), 5);
+
+        let no_journal = bibliographic_taxonomy_variant(BibVariant::NoJournal);
+        assert!(BibConcept::Journal.resolve(&no_journal).is_none());
+        assert!(BibConcept::Book.resolve(&no_journal).is_some());
+        assert_eq!(no_journal.all_leaves().len(), 5);
+    }
+
+    #[test]
+    fn variant_names_match_table_2() {
+        assert_eq!(BibVariant::Full.name(), "t_bib");
+        assert_eq!(BibVariant::NoReviewLevels.name(), "t_bib,1");
+        assert_eq!(BibVariant::NoBook.name(), "t_bib,2");
+        assert_eq!(BibVariant::NoJournal.name(), "t_bib,3");
+        assert_eq!(BibVariant::ALL.len(), 4);
+    }
+
+    #[test]
+    fn subsumption_structure_of_full_tree() {
+        let tree = bibliographic_taxonomy();
+        let journal = BibConcept::Journal.resolve(&tree).unwrap();
+        let peer = BibConcept::PeerReviewed.resolve(&tree).unwrap();
+        let publication = BibConcept::Publication.resolve(&tree).unwrap();
+        let patent = BibConcept::Patent.resolve(&tree).unwrap();
+        assert!(tree.subsumed_by(journal, peer));
+        assert!(tree.subsumed_by(journal, publication));
+        assert!(!tree.subsumed_by(patent, publication));
+        assert!(tree.is_leaf(patent));
+        assert!(tree.is_leaf(journal));
+        assert!(!tree.is_leaf(peer));
+    }
+}

@@ -1,0 +1,391 @@
+//! Taxonomy trees of semantic concepts (paper §4.1).
+//!
+//! A taxonomy tree consists of concept nodes connected by a subsumption
+//! relation: `c1 ⪯ c2` means concept `c1` is subsumed by (is a kind of) `c2`.
+//! The concepts near the root are general ("Research Output"), the leaves are
+//! specific ("Journal", "Technical Report"). Semantic similarity (§4.3) and
+//! semhash signatures (§4.4) are defined entirely in terms of the *leaf sets*
+//! of concepts, which this module computes.
+
+pub mod bib;
+pub mod voter;
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::{CoreError, Result};
+
+/// Identifier of a concept node within its taxonomy tree (a dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConceptId(pub u32);
+
+impl ConceptId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ConceptId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ConceptNode {
+    label: String,
+    parent: Option<ConceptId>,
+    children: Vec<ConceptId>,
+    depth: u32,
+}
+
+/// A taxonomy tree: a rooted tree of labelled concepts.
+///
+/// Construction is incremental (add the root, then add children); the tree is
+/// immutable once handed to a blocker. Concept labels must be unique so that
+/// semantic functions can refer to concepts by name.
+#[derive(Debug, Clone)]
+pub struct TaxonomyTree {
+    name: String,
+    nodes: Vec<ConceptNode>,
+    by_label: HashMap<String, ConceptId>,
+}
+
+impl TaxonomyTree {
+    /// Creates an empty tree with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            nodes: Vec::new(),
+            by_label: HashMap::new(),
+        }
+    }
+
+    /// The tree's name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of concepts in the tree.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has no concepts.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds the root concept. Fails if a root already exists.
+    pub fn add_root(&mut self, label: impl Into<String>) -> Result<ConceptId> {
+        if !self.nodes.is_empty() {
+            return Err(CoreError::Taxonomy("the tree already has a root".into()));
+        }
+        self.insert_node(label.into(), None, 0)
+    }
+
+    /// Adds a child concept under `parent`.
+    pub fn add_child(&mut self, parent: ConceptId, label: impl Into<String>) -> Result<ConceptId> {
+        let depth = self
+            .node(parent)
+            .ok_or_else(|| CoreError::Taxonomy(format!("unknown parent concept {parent}")))?
+            .depth
+            + 1;
+        let child = self.insert_node(label.into(), Some(parent), depth)?;
+        self.nodes[parent.index()].children.push(child);
+        Ok(child)
+    }
+
+    fn insert_node(&mut self, label: String, parent: Option<ConceptId>, depth: u32) -> Result<ConceptId> {
+        if self.by_label.contains_key(&label) {
+            return Err(CoreError::Taxonomy(format!("duplicate concept label: {label}")));
+        }
+        let id = ConceptId(self.nodes.len() as u32);
+        self.by_label.insert(label.clone(), id);
+        self.nodes.push(ConceptNode {
+            label,
+            parent,
+            children: Vec::new(),
+            depth,
+        });
+        Ok(id)
+    }
+
+    fn node(&self, id: ConceptId) -> Option<&ConceptNode> {
+        self.nodes.get(id.index())
+    }
+
+    /// The root concept, if any.
+    pub fn root(&self) -> Option<ConceptId> {
+        if self.nodes.is_empty() {
+            None
+        } else {
+            Some(ConceptId(0))
+        }
+    }
+
+    /// Whether the concept id is valid in this tree.
+    pub fn contains(&self, id: ConceptId) -> bool {
+        id.index() < self.nodes.len()
+    }
+
+    /// Resolves a concept by its label.
+    pub fn concept(&self, label: &str) -> Option<ConceptId> {
+        self.by_label.get(label).copied()
+    }
+
+    /// Resolves a concept by its label, or errors.
+    pub fn require_concept(&self, label: &str) -> Result<ConceptId> {
+        self.concept(label)
+            .ok_or_else(|| CoreError::Taxonomy(format!("unknown concept label: {label}")))
+    }
+
+    /// The label of a concept.
+    pub fn label(&self, id: ConceptId) -> Option<&str> {
+        self.node(id).map(|n| n.label.as_str())
+    }
+
+    /// The parent of a concept (`None` for the root).
+    pub fn parent(&self, id: ConceptId) -> Option<ConceptId> {
+        self.node(id).and_then(|n| n.parent)
+    }
+
+    /// The children of a concept — `child(c)` in the paper.
+    pub fn children(&self, id: ConceptId) -> &[ConceptId] {
+        self.node(id).map(|n| n.children.as_slice()).unwrap_or(&[])
+    }
+
+    /// Whether the concept is a leaf.
+    pub fn is_leaf(&self, id: ConceptId) -> bool {
+        self.node(id).map(|n| n.children.is_empty()).unwrap_or(false)
+    }
+
+    /// Depth of a concept (root = 0).
+    pub fn depth(&self, id: ConceptId) -> Option<u32> {
+        self.node(id).map(|n| n.depth)
+    }
+
+    /// All concept ids, in insertion order.
+    pub fn concepts(&self) -> impl Iterator<Item = ConceptId> + '_ {
+        (0..self.nodes.len() as u32).map(ConceptId)
+    }
+
+    /// All leaf concepts of the whole tree.
+    pub fn all_leaves(&self) -> Vec<ConceptId> {
+        self.concepts().filter(|&c| self.is_leaf(c)).collect()
+    }
+
+    /// Subsumption test: `descendant ⪯ ancestor` — is `descendant` equal to
+    /// or below `ancestor`? (The paper writes `c1 ⪯ c2` for "c1 is subsumed
+    /// by c2"; this method is `subsumed_by(c1, c2)`.)
+    pub fn subsumed_by(&self, descendant: ConceptId, ancestor: ConceptId) -> bool {
+        if !self.contains(descendant) || !self.contains(ancestor) {
+            return false;
+        }
+        let mut current = Some(descendant);
+        while let Some(c) = current {
+            if c == ancestor {
+                return true;
+            }
+            current = self.parent(c);
+        }
+        false
+    }
+
+    /// Whether two concepts are related, i.e. one subsumes the other
+    /// (this is the condition defining the related-pair set P(r1, r2) in Eq. 5).
+    pub fn related(&self, a: ConceptId, b: ConceptId) -> bool {
+        self.subsumed_by(a, b) || self.subsumed_by(b, a)
+    }
+
+    /// `leaf(c)`: the set of leaf concepts of the subtree rooted at `c`.
+    /// A leaf concept's leaf set is the singleton containing itself.
+    pub fn leaves_under(&self, id: ConceptId) -> Vec<ConceptId> {
+        if !self.contains(id) {
+            return Vec::new();
+        }
+        let mut leaves = Vec::new();
+        let mut stack = vec![id];
+        while let Some(current) = stack.pop() {
+            let children = self.children(current);
+            if children.is_empty() {
+                leaves.push(current);
+            } else {
+                stack.extend(children.iter().copied());
+            }
+        }
+        leaves.sort();
+        leaves
+    }
+
+    /// The path from a concept up to the root (inclusive of both ends).
+    pub fn path_to_root(&self, id: ConceptId) -> Vec<ConceptId> {
+        let mut path = Vec::new();
+        let mut current = if self.contains(id) { Some(id) } else { None };
+        while let Some(c) = current {
+            path.push(c);
+            current = self.parent(c);
+        }
+        path
+    }
+
+    /// The lowest common ancestor of two concepts, if both exist.
+    pub fn lowest_common_ancestor(&self, a: ConceptId, b: ConceptId) -> Option<ConceptId> {
+        if !self.contains(a) || !self.contains(b) {
+            return None;
+        }
+        let ancestors_a: Vec<ConceptId> = self.path_to_root(a);
+        let set_a: std::collections::HashSet<ConceptId> = ancestors_a.iter().copied().collect();
+        self.path_to_root(b).into_iter().find(|c| set_a.contains(c))
+    }
+
+    /// Validates structural invariants (every non-root has a parent, children
+    /// lists are consistent, exactly one root). Used by tests and by builders
+    /// of hand-written trees.
+    pub fn validate(&self) -> Result<()> {
+        if self.nodes.is_empty() {
+            return Err(CoreError::Taxonomy("tree has no concepts".into()));
+        }
+        let roots = self.nodes.iter().filter(|n| n.parent.is_none()).count();
+        if roots != 1 {
+            return Err(CoreError::Taxonomy(format!("tree must have exactly one root, found {roots}")));
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            let id = ConceptId(i as u32);
+            if let Some(parent) = node.parent {
+                if !self.contains(parent) {
+                    return Err(CoreError::Taxonomy(format!("concept {id} has unknown parent {parent}")));
+                }
+                if !self.children(parent).contains(&id) {
+                    return Err(CoreError::Taxonomy(format!(
+                        "concept {id} is not listed among the children of its parent {parent}"
+                    )));
+                }
+            }
+            for &child in &node.children {
+                if self.parent(child) != Some(id) {
+                    return Err(CoreError::Taxonomy(format!("child {child} of {id} does not point back to it")));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the example tree of the paper's Fig. 3.
+    fn bib_like() -> TaxonomyTree {
+        bib::bibliographic_taxonomy()
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let tree = bib_like();
+        assert_eq!(tree.name(), "t_bib");
+        assert_eq!(tree.len(), 10);
+        assert!(!tree.is_empty());
+        assert!(tree.validate().is_ok());
+        let c0 = tree.root().unwrap();
+        assert_eq!(tree.label(c0), Some("research output"));
+        assert!(tree.concept("journal").is_some());
+        assert!(tree.concept("nonexistent").is_none());
+        assert!(tree.require_concept("patent").is_ok());
+        assert!(tree.require_concept("zzz").is_err());
+    }
+
+    #[test]
+    fn duplicate_labels_and_double_roots_rejected() {
+        let mut tree = TaxonomyTree::new("t");
+        let root = tree.add_root("root").unwrap();
+        assert!(tree.add_root("another root").is_err());
+        tree.add_child(root, "a").unwrap();
+        assert!(tree.add_child(root, "a").is_err());
+        assert!(tree.add_child(ConceptId(99), "b").is_err());
+    }
+
+    #[test]
+    fn subsumption_follows_figure_3() {
+        let tree = bib_like();
+        let c0 = tree.require_concept("research output").unwrap();
+        let c1 = tree.require_concept("publication").unwrap();
+        let c2 = tree.require_concept("peer reviewed").unwrap();
+        let c3 = tree.require_concept("journal").unwrap();
+        let c5 = tree.require_concept("book").unwrap();
+        let c9 = tree.require_concept("patent").unwrap();
+        // c3 ⪯ c1, c4 ⪯ c1, c5 ⪯ c1 (Example 4.1)
+        assert!(tree.subsumed_by(c3, c1));
+        assert!(tree.subsumed_by(c5, c1));
+        assert!(tree.subsumed_by(c3, c0));
+        assert!(!tree.subsumed_by(c1, c3));
+        assert!(!tree.subsumed_by(c9, c1));
+        assert!(tree.related(c3, c2));
+        assert!(!tree.related(c3, c5));
+        assert!(tree.subsumed_by(c3, c3));
+    }
+
+    #[test]
+    fn leaf_sets_match_the_paper() {
+        let tree = bib_like();
+        let leaf_labels = |label: &str| -> Vec<String> {
+            let id = tree.require_concept(label).unwrap();
+            tree.leaves_under(id)
+                .into_iter()
+                .map(|c| tree.label(c).unwrap().to_string())
+                .collect()
+        };
+        // leaf(C0) has 6 leaves, leaf(C1) has 5 (Example 4.4: 5/6).
+        assert_eq!(leaf_labels("research output").len(), 6);
+        assert_eq!(leaf_labels("publication").len(), 5);
+        assert_eq!(leaf_labels("peer reviewed"), vec!["journal", "proceedings", "book"]);
+        assert_eq!(leaf_labels("journal"), vec!["journal"]);
+        assert_eq!(tree.all_leaves().len(), 6);
+    }
+
+    #[test]
+    fn paths_depths_and_lca() {
+        let tree = bib_like();
+        let c3 = tree.require_concept("journal").unwrap();
+        let c7 = tree.require_concept("technical report").unwrap();
+        let c1 = tree.require_concept("publication").unwrap();
+        let c0 = tree.require_concept("research output").unwrap();
+        assert_eq!(tree.depth(c0), Some(0));
+        assert_eq!(tree.depth(c3), Some(3));
+        assert_eq!(tree.path_to_root(c3).len(), 4);
+        assert_eq!(tree.lowest_common_ancestor(c3, c7), Some(c1));
+        assert_eq!(tree.lowest_common_ancestor(c3, c3), Some(c3));
+        assert_eq!(tree.lowest_common_ancestor(c3, ConceptId(99)), None);
+    }
+
+    #[test]
+    fn queries_on_unknown_ids_are_safe() {
+        let tree = bib_like();
+        let bogus = ConceptId(99);
+        assert!(!tree.contains(bogus));
+        assert_eq!(tree.label(bogus), None);
+        assert_eq!(tree.parent(bogus), None);
+        assert!(tree.children(bogus).is_empty());
+        assert!(!tree.is_leaf(bogus));
+        assert!(tree.leaves_under(bogus).is_empty());
+        assert!(tree.path_to_root(bogus).is_empty());
+        assert!(!tree.subsumed_by(bogus, bogus));
+    }
+
+    #[test]
+    fn empty_tree_fails_validation() {
+        let tree = TaxonomyTree::new("empty");
+        assert!(tree.validate().is_err());
+        assert_eq!(tree.root(), None);
+        assert!(tree.all_leaves().is_empty());
+    }
+
+    #[test]
+    fn concept_id_display() {
+        assert_eq!(ConceptId(4).to_string(), "c4");
+        assert_eq!(ConceptId(4).index(), 4);
+    }
+}

@@ -1,0 +1,87 @@
+//! The voter taxonomy used for the NC Voter experiments.
+//!
+//! Section 6.2: "For the NC Voter data set, we built a taxonomy tree upon the
+//! meta-data for race and gender, and defined a semantic function based on the
+//! values in the attributes race and gender, which have uncertain values like
+//! 'u'. As a result, we have a 12 bit semantic signature for each record."
+//!
+//! We therefore build a three-level tree: a *voter* root, one node per race
+//! code, and under each race one leaf per (race, known-gender) combination —
+//! 6 races × 2 known genders = **12 leaves**, matching the 12-bit signature.
+//! Records whose gender is uncertain are interpreted at the race level;
+//! records whose race is uncertain use the race code `u`'s subtree.
+
+use crate::taxonomy::TaxonomyTree;
+
+/// The race codes of the NC voter registration format (including `u`).
+pub const RACES: [&str; 6] = ["w", "b", "a", "i", "o", "u"];
+
+/// The *known* gender codes; the uncertain value `u` maps to the race level.
+pub const KNOWN_GENDERS: [&str; 2] = ["m", "f"];
+
+/// Label of the race-level concept for a race code.
+pub fn race_label(race: &str) -> String {
+    format!("race {race}")
+}
+
+/// Label of the leaf concept for a (race, gender) combination.
+pub fn race_gender_label(race: &str, gender: &str) -> String {
+    format!("race {race} gender {gender}")
+}
+
+/// Builds the voter taxonomy tree (root → 6 races → 12 race×gender leaves).
+pub fn voter_taxonomy() -> TaxonomyTree {
+    let mut tree = TaxonomyTree::new("voter");
+    let root = tree.add_root("voter").expect("fresh tree");
+    for race in RACES {
+        let race_node = tree.add_child(root, race_label(race)).expect("new label");
+        for gender in KNOWN_GENDERS {
+            tree.add_child(race_node, race_gender_label(race, gender))
+                .expect("new label");
+        }
+    }
+    debug_assert!(tree.validate().is_ok());
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_has_twelve_leaves() {
+        let tree = voter_taxonomy();
+        assert_eq!(tree.all_leaves().len(), 12, "the paper reports a 12-bit semhash signature");
+        assert_eq!(tree.len(), 1 + 6 + 12);
+        assert!(tree.validate().is_ok());
+    }
+
+    #[test]
+    fn structure_is_root_race_gender() {
+        let tree = voter_taxonomy();
+        let root = tree.root().unwrap();
+        assert_eq!(tree.children(root).len(), 6);
+        let white = tree.require_concept(&race_label("w")).unwrap();
+        assert_eq!(tree.children(white).len(), 2);
+        let wm = tree.require_concept(&race_gender_label("w", "m")).unwrap();
+        assert!(tree.subsumed_by(wm, white));
+        assert!(tree.subsumed_by(wm, root));
+        assert!(tree.is_leaf(wm));
+        let bf = tree.require_concept(&race_gender_label("b", "f")).unwrap();
+        assert!(!tree.related(wm, bf));
+    }
+
+    #[test]
+    fn uncertain_race_has_its_own_subtree() {
+        let tree = voter_taxonomy();
+        let uncertain = tree.require_concept(&race_label("u")).unwrap();
+        assert_eq!(tree.children(uncertain).len(), 2);
+        assert!(tree.concept(&race_gender_label("u", "m")).is_some());
+    }
+
+    #[test]
+    fn labels_are_systematic() {
+        assert_eq!(race_label("w"), "race w");
+        assert_eq!(race_gender_label("b", "f"), "race b gender f");
+    }
+}

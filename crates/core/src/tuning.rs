@@ -1,0 +1,369 @@
+//! Parameter tuning (paper §5.3, experimentally validated in §6.1).
+//!
+//! The paper tunes the blocking parameters in three steps:
+//!
+//! 1. Learn the textual-similarity distribution `f_s(x)` of **true matches**
+//!    from a labelled training sample, and pick the high threshold `s_h` such
+//!    that at most an error ratio ε of matches lies below it
+//!    (`∫_0^{s_h} f_s(x) dx = ε`). The low threshold `s_l` bounds the
+//!    similarity below which records should rarely share a block.
+//! 2. Pick `k` (rows per band) and `l` (bands) so that records at `s_h`
+//!    collide with probability at least `p_h` and records at `s_l` with
+//!    probability at most `p_l`, using the closed form `1 − (1 − s^k)^l`.
+//! 3. Pick the w-way semantic function: OR for noisy/uncertain semantic
+//!    features, AND for reliable ones (that choice is left to the caller; see
+//!    Figs. 7-8 for its effect).
+//!
+//! With the paper's Cora inputs (`s_l = 0.2`, `s_h = 0.3`, `p_l = 0.1`,
+//! `p_h = 0.4`) this module reproduces exactly the published `k = 4, l = 63`,
+//! and the `(k, l)` ladder of Fig. 9: (1,2), (2,6), (3,19), (4,63), (5,210),
+//! (6,701).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use sablock_datasets::record::RecordPair;
+use sablock_datasets::Dataset;
+
+use crate::error::{CoreError, Result};
+use crate::lsh::probability::banding_collision_probability;
+use crate::minhash::shingle::RecordShingler;
+
+/// A histogram of the textual similarity of true-match pairs, learned from a
+/// labelled sample (the empirical `f_s`).
+#[derive(Debug, Clone)]
+pub struct SimilarityDistribution {
+    /// Histogram bin counts; bin `i` covers `[i/bins, (i+1)/bins)`.
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl SimilarityDistribution {
+    /// Builds a distribution from raw similarity values with `bins` bins.
+    pub fn from_similarities(similarities: &[f64], bins: usize) -> Result<Self> {
+        if bins == 0 {
+            return Err(CoreError::Config("the histogram needs at least one bin".into()));
+        }
+        let mut counts = vec![0u64; bins];
+        for &s in similarities {
+            let s = s.clamp(0.0, 1.0);
+            let bin = ((s * bins as f64) as usize).min(bins - 1);
+            counts[bin] += 1;
+        }
+        Ok(Self {
+            counts,
+            total: similarities.len() as u64,
+        })
+    }
+
+    /// Estimates the distribution of true-match similarities of a dataset by
+    /// sampling up to `max_pairs` true-match pairs and measuring their exact
+    /// q-gram Jaccard similarity under `shingler`.
+    pub fn estimate_from_matches<R: Rng>(
+        dataset: &Dataset,
+        shingler: &RecordShingler,
+        max_pairs: usize,
+        bins: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        shingler.validate_against(dataset)?;
+        if max_pairs == 0 {
+            return Err(CoreError::Config("max_pairs must be > 0".into()));
+        }
+        let mut pairs: Vec<RecordPair> = dataset.ground_truth().true_match_pairs().collect();
+        if pairs.is_empty() {
+            return Err(CoreError::Config("the dataset has no true-match pairs to learn from".into()));
+        }
+        pairs.shuffle(rng);
+        pairs.truncate(max_pairs);
+        let similarities: Vec<f64> = pairs
+            .iter()
+            .map(|pair| {
+                let a = dataset.record(pair.first()).expect("pair ids come from the dataset");
+                let b = dataset.record(pair.second()).expect("pair ids come from the dataset");
+                shingler.jaccard(a, b)
+            })
+            .collect();
+        Self::from_similarities(&similarities, bins)
+    }
+
+    /// Number of histogram bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of samples behind the distribution.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The normalised histogram (fractions per bin), e.g. for plotting the
+    /// upper subplots of Fig. 6.
+    pub fn histogram(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+    }
+
+    /// The empirical CDF at similarity `s`: the fraction of samples with
+    /// similarity `< s` (approximated at bin granularity).
+    pub fn cdf(&self, s: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let s = s.clamp(0.0, 1.0);
+        let cutoff = (s * self.counts.len() as f64).floor() as usize;
+        let below: u64 = self.counts.iter().take(cutoff).sum();
+        below as f64 / self.total as f64
+    }
+
+    /// The ε-quantile: the smallest similarity `s_h` (at bin granularity)
+    /// such that at most a fraction ε of matches falls strictly below it.
+    /// This is the paper's `∫_0^{s_h} f_s = ε` rule for choosing `s_h`.
+    pub fn quantile(&self, epsilon: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let epsilon = epsilon.clamp(0.0, 1.0);
+        let target = epsilon * self.total as f64;
+        let mut cumulative = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            if cumulative as f64 + count as f64 > target {
+                return i as f64 / self.counts.len() as f64;
+            }
+            cumulative += count;
+        }
+        1.0
+    }
+
+    /// The mean similarity of the samples.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let bin_width = 1.0 / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as f64 + 0.5) * bin_width * c as f64)
+            .sum::<f64>()
+            / self.total as f64
+    }
+}
+
+/// The desired operating point handed to [`choose_parameters`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuningGoal {
+    /// Low similarity threshold `s_l` (records below it should rarely collide).
+    pub s_low: f64,
+    /// High similarity threshold `s_h` (records above it should usually collide).
+    pub s_high: f64,
+    /// Maximum collision probability tolerated at `s_l`.
+    pub p_low: f64,
+    /// Minimum collision probability required at `s_h`.
+    pub p_high: f64,
+}
+
+impl TuningGoal {
+    /// The paper's Cora goal (§6.1): `s_l = 0.2`, `s_h = 0.3`, `p_l = 0.1`,
+    /// `p_h = 0.4`.
+    pub fn cora_paper() -> Self {
+        Self {
+            s_low: 0.2,
+            s_high: 0.3,
+            p_low: 0.1,
+            p_high: 0.4,
+        }
+    }
+
+    /// Validates the goal.
+    pub fn validate(&self) -> Result<()> {
+        for (name, v) in [("s_low", self.s_low), ("s_high", self.s_high), ("p_low", self.p_low), ("p_high", self.p_high)] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(CoreError::Config(format!("{name} must be in [0, 1], got {v}")));
+            }
+        }
+        if self.s_low >= self.s_high {
+            return Err(CoreError::Config(format!(
+                "s_low ({}) must be strictly below s_high ({})",
+                self.s_low, self.s_high
+            )));
+        }
+        if self.p_low >= self.p_high {
+            return Err(CoreError::Config(format!(
+                "p_low ({}) must be strictly below p_high ({})",
+                self.p_low, self.p_high
+            )));
+        }
+        if self.s_high <= 0.0 {
+            return Err(CoreError::Config("s_high must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+/// The smallest number of bands `l` such that records with similarity
+/// `s_high` collide with probability at least `p_high`, for a given `k`:
+/// `l = ⌈ln(1 − p_high) / ln(1 − s_high^k)⌉`.
+///
+/// This is the rule that produces the Fig. 9 ladder (k=1→l=2, …, k=6→l=701)
+/// from `s_high = 0.3`, `p_high = 0.4`.
+pub fn choose_bands_for_target(s_high: f64, p_high: f64, k: usize) -> Result<usize> {
+    if !(0.0 < s_high && s_high <= 1.0) || !(0.0 < p_high && p_high < 1.0) {
+        return Err(CoreError::Config("s_high must be in (0, 1] and p_high in (0, 1)".into()));
+    }
+    if k == 0 {
+        return Err(CoreError::Config("k must be > 0".into()));
+    }
+    let s_k = s_high.powi(k as i32);
+    if s_k >= 1.0 {
+        return Ok(1);
+    }
+    let l = (1.0 - p_high).ln() / (1.0 - s_k).ln();
+    Ok(l.ceil().max(1.0) as usize)
+}
+
+/// Chooses `(k, l)` for a tuning goal: the smallest `k` (and its minimal `l`)
+/// such that the collision probability at `s_high` is at least `p_high` and
+/// the collision probability at `s_low` is at most `p_low`.
+///
+/// Returns an error if no `k ≤ max_k` satisfies both constraints.
+pub fn choose_parameters(goal: &TuningGoal, max_k: usize) -> Result<(usize, usize)> {
+    goal.validate()?;
+    if max_k == 0 {
+        return Err(CoreError::Config("max_k must be > 0".into()));
+    }
+    for k in 1..=max_k {
+        let l = choose_bands_for_target(goal.s_high, goal.p_high, k)?;
+        let at_low = banding_collision_probability(goal.s_low, k, l);
+        let at_high = banding_collision_probability(goal.s_high, k, l);
+        if at_low <= goal.p_low && at_high >= goal.p_high {
+            return Ok((k, l));
+        }
+    }
+    Err(CoreError::Config(format!(
+        "no (k <= {max_k}, l) satisfies the goal {goal:?}; widen the gap between s_low and s_high or relax the probabilities"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sablock_datasets::{CoraConfig, CoraGenerator};
+
+    #[test]
+    fn histogram_quantile_and_cdf() {
+        let sims = vec![0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95];
+        let dist = SimilarityDistribution::from_similarities(&sims, 10).unwrap();
+        assert_eq!(dist.bins(), 10);
+        assert_eq!(dist.total(), 10);
+        let hist = dist.histogram();
+        assert!((hist.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((dist.cdf(0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(dist.cdf(0.0), 0.0);
+        assert_eq!(dist.cdf(1.0), 1.0);
+        // 20% of the mass lies below 0.2, so the 0.2-quantile is 0.2.
+        assert!((dist.quantile(0.2) - 0.2).abs() < 1e-12);
+        assert_eq!(dist.quantile(0.0), 0.0);
+        assert_eq!(dist.quantile(1.0), 1.0);
+        assert!((dist.mean() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_invalid_distributions() {
+        assert!(SimilarityDistribution::from_similarities(&[], 0).is_err());
+        let dist = SimilarityDistribution::from_similarities(&[], 10).unwrap();
+        assert_eq!(dist.total(), 0);
+        assert_eq!(dist.cdf(0.7), 0.0);
+        assert_eq!(dist.quantile(0.3), 0.0);
+        assert_eq!(dist.mean(), 0.0);
+        assert!(dist.histogram().iter().all(|&x| x == 0.0));
+        // Out-of-range similarities are clamped into the histogram.
+        let dist = SimilarityDistribution::from_similarities(&[-0.5, 1.5], 4).unwrap();
+        assert_eq!(dist.total(), 2);
+    }
+
+    #[test]
+    fn paper_cora_parameters_are_reproduced() {
+        let (k, l) = choose_parameters(&TuningGoal::cora_paper(), 10).unwrap();
+        assert_eq!((k, l), (4, 63), "the paper derives k=4, l=63 for Cora");
+    }
+
+    #[test]
+    fn figure_9_band_ladder_is_reproduced() {
+        // Fig. 9 (a)-(c) sweeps k=1..6 with l chosen for the same s_h/p_h goal.
+        let expected = [(1, 2), (2, 6), (3, 19), (4, 63), (5, 210), (6, 701)];
+        for (k, l) in expected {
+            assert_eq!(choose_bands_for_target(0.3, 0.4, k).unwrap(), l, "k={k}");
+        }
+    }
+
+    #[test]
+    fn ncvoter_parameters_hit_the_papers_operating_point() {
+        // §6.1: k=9, l=15 gives ≳90% collision probability at similarity 0.8.
+        let l = choose_bands_for_target(0.8, 0.85, 9).unwrap();
+        assert!(l <= 15, "15 bands are enough for the NC Voter goal, got {l}");
+        assert!(banding_collision_probability(0.8, 9, 15) >= 0.85);
+    }
+
+    #[test]
+    fn goal_validation() {
+        assert!(TuningGoal::cora_paper().validate().is_ok());
+        assert!(TuningGoal { s_low: 0.4, s_high: 0.3, ..TuningGoal::cora_paper() }.validate().is_err());
+        assert!(TuningGoal { p_low: 0.5, p_high: 0.4, ..TuningGoal::cora_paper() }.validate().is_err());
+        assert!(TuningGoal { s_low: -0.1, ..TuningGoal::cora_paper() }.validate().is_err());
+        assert!(choose_parameters(&TuningGoal::cora_paper(), 0).is_err());
+        assert!(choose_bands_for_target(0.3, 0.4, 0).is_err());
+        assert!(choose_bands_for_target(0.0, 0.4, 2).is_err());
+        assert!(choose_bands_for_target(0.3, 1.0, 2).is_err());
+    }
+
+    #[test]
+    fn impossible_goals_are_reported() {
+        // With s_low and s_high nearly identical no (k, l) can separate them.
+        let goal = TuningGoal {
+            s_low: 0.299,
+            s_high: 0.3,
+            p_low: 0.05,
+            p_high: 0.95,
+        };
+        assert!(choose_parameters(&goal, 8).is_err());
+    }
+
+    #[test]
+    fn chosen_parameters_satisfy_both_constraints() {
+        for goal in [
+            TuningGoal::cora_paper(),
+            TuningGoal { s_low: 0.5, s_high: 0.8, p_low: 0.1, p_high: 0.9 },
+            TuningGoal { s_low: 0.1, s_high: 0.6, p_low: 0.05, p_high: 0.8 },
+        ] {
+            let (k, l) = choose_parameters(&goal, 20).unwrap();
+            assert!(banding_collision_probability(goal.s_high, k, l) >= goal.p_high);
+            assert!(banding_collision_probability(goal.s_low, k, l) <= goal.p_low);
+        }
+    }
+
+    #[test]
+    fn estimation_from_a_generated_dataset() {
+        let dataset = CoraGenerator::new(CoraConfig { num_records: 300, ..CoraConfig::small() }).generate().unwrap();
+        let shingler = RecordShingler::new(["title", "authors"], 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let dist = SimilarityDistribution::estimate_from_matches(&dataset, &shingler, 500, 20, &mut rng).unwrap();
+        assert!(dist.total() > 0);
+        // Cora-like true matches are predominantly similar: the mean match
+        // similarity must sit well above 0.4 (Fig. 6 left shows most matches
+        // above ~0.4 even under heavy corruption).
+        assert!(dist.mean() > 0.4, "mean match similarity too low: {}", dist.mean());
+        // And a sensible s_h at ε=5% is below the bulk of the distribution.
+        let s_h = dist.quantile(0.05);
+        assert!(s_h < dist.mean());
+
+        // Errors: bad shingler attribute, zero sample size, no matches.
+        let bad = RecordShingler::new(["missing"], 2).unwrap();
+        assert!(SimilarityDistribution::estimate_from_matches(&dataset, &bad, 10, 10, &mut rng).is_err());
+        assert!(SimilarityDistribution::estimate_from_matches(&dataset, &shingler, 0, 10, &mut rng).is_err());
+    }
+}

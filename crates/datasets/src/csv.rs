@@ -1,0 +1,225 @@
+//! A small, dependency-free CSV reader and writer for datasets.
+//!
+//! Supports RFC-4180 style quoting (fields containing commas, quotes or
+//! newlines are wrapped in double quotes; embedded quotes are doubled). The
+//! on-disk layout is:
+//!
+//! ```text
+//! entity_id,<attr 1>,<attr 2>,...
+//! 0,The cascade-correlation learning architecture,"Fahlman, S."
+//! 0,Cascade correlation learning architecture,"Fahlman, S."
+//! ```
+//!
+//! The first column always carries the ground-truth entity id so that
+//! datasets can be round-tripped with their labels — mirroring how the Cora
+//! and NC Voter benchmark files distribute their ground truth.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::sync::Arc;
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::error::{DatasetError, Result};
+use crate::ground_truth::EntityId;
+use crate::schema::Schema;
+
+/// Serialises a dataset as CSV to a writer.
+pub fn write_csv<W: Write>(dataset: &Dataset, writer: &mut W) -> Result<()> {
+    // Header: entity_id followed by the schema attributes.
+    let mut header = vec!["entity_id".to_string()];
+    header.extend(dataset.schema().names().iter().cloned());
+    writeln!(writer, "{}", header.iter().map(|f| quote_field(f)).collect::<Vec<_>>().join(","))?;
+
+    for record in dataset.records() {
+        let entity = dataset
+            .ground_truth()
+            .entity_of(record.id())
+            .ok_or(DatasetError::UnknownRecord(record.id().0))?;
+        let mut fields = vec![entity.0.to_string()];
+        for value in record.values() {
+            fields.push(value.clone().unwrap_or_default());
+        }
+        writeln!(writer, "{}", fields.iter().map(|f| quote_field(f)).collect::<Vec<_>>().join(","))?;
+    }
+    Ok(())
+}
+
+/// Serialises a dataset to a CSV string.
+pub fn to_csv_string(dataset: &Dataset) -> Result<String> {
+    let mut buf = Vec::new();
+    write_csv(dataset, &mut buf)?;
+    String::from_utf8(buf).map_err(|e| DatasetError::InvalidConfig(format!("non-UTF8 output: {e}")))
+}
+
+/// Reads a dataset from CSV.
+pub fn read_csv<R: Read>(name: &str, reader: R) -> Result<Dataset> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+
+    let header_line = match lines.next() {
+        Some((_, line)) => line?,
+        None => {
+            return Err(DatasetError::Csv { line: 1, message: "empty document".into() });
+        }
+    };
+    let header = parse_line(&header_line).map_err(|message| DatasetError::Csv { line: 1, message })?;
+    if header.first().map(String::as_str) != Some("entity_id") {
+        return Err(DatasetError::Csv {
+            line: 1,
+            message: "first column must be entity_id".into(),
+        });
+    }
+    let schema = Schema::shared(header[1..].to_vec())?;
+    let mut builder = DatasetBuilder::new(name, Arc::clone(&schema));
+
+    for (idx, line) in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let line_no = idx + 1;
+        let fields = parse_line(&line).map_err(|message| DatasetError::Csv { line: line_no, message })?;
+        if fields.len() != schema.len() + 1 {
+            return Err(DatasetError::Csv {
+                line: line_no,
+                message: format!("expected {} fields, found {}", schema.len() + 1, fields.len()),
+            });
+        }
+        let entity: u32 = fields[0].trim().parse().map_err(|_| DatasetError::Csv {
+            line: line_no,
+            message: format!("invalid entity id: {:?}", fields[0]),
+        })?;
+        let values: Vec<Option<String>> = fields[1..]
+            .iter()
+            .map(|f| if f.trim().is_empty() { None } else { Some(f.clone()) })
+            .collect();
+        builder.push_values(values, EntityId(entity))?;
+    }
+    builder.build()
+}
+
+/// Reads a dataset from a CSV string.
+pub fn from_csv_string(name: &str, csv: &str) -> Result<Dataset> {
+    read_csv(name, csv.as_bytes())
+}
+
+fn quote_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Splits a single CSV line into fields, honouring quoted fields.
+fn parse_line(line: &str) -> std::result::Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        current.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => current.push(other),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if current.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err("unexpected quote inside unquoted field".into());
+                    }
+                }
+                ',' => {
+                    fields.push(std::mem::take(&mut current));
+                }
+                other => current.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted field".into());
+    }
+    fields.push(current);
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    fn sample() -> Dataset {
+        let schema = Schema::shared(["title", "authors"]).unwrap();
+        let mut b = DatasetBuilder::new("sample", schema);
+        b.push_values(
+            vec![Some("The cascade, correlation".into()), Some("Fahlman \"Scott\"".into())],
+            EntityId(0),
+        )
+        .unwrap();
+        b.push_values(vec![Some("Plain title".into()), None], EntityId(1)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let ds = sample();
+        let csv = to_csv_string(&ds).unwrap();
+        let back = from_csv_string("sample", &csv).unwrap();
+        assert_eq!(back.len(), ds.len());
+        assert_eq!(back.schema().names(), ds.schema().names());
+        for (a, b) in ds.records().iter().zip(back.records()) {
+            assert_eq!(a.values(), b.values());
+        }
+        assert_eq!(back.ground_truth().num_true_matches(), ds.ground_truth().num_true_matches());
+    }
+
+    #[test]
+    fn quoting_of_commas_and_quotes() {
+        let ds = sample();
+        let csv = to_csv_string(&ds).unwrap();
+        assert!(csv.contains("\"The cascade, correlation\""));
+        assert!(csv.contains("\"Fahlman \"\"Scott\"\"\""));
+    }
+
+    #[test]
+    fn missing_values_round_trip_as_empty() {
+        let ds = sample();
+        let csv = to_csv_string(&ds).unwrap();
+        let back = from_csv_string("sample", &csv).unwrap();
+        assert!(back.record(crate::record::RecordId(1)).unwrap().is_missing("authors"));
+    }
+
+    #[test]
+    fn parse_line_cases() {
+        assert_eq!(parse_line("a,b,c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(parse_line("a,\"b,c\",d").unwrap(), vec!["a", "b,c", "d"]);
+        assert_eq!(parse_line("\"he said \"\"hi\"\"\"").unwrap(), vec!["he said \"hi\""]);
+        assert_eq!(parse_line("").unwrap(), vec![""]);
+        assert_eq!(parse_line("a,,c").unwrap(), vec!["a", "", "c"]);
+        assert!(parse_line("\"unterminated").is_err());
+        assert!(parse_line("ab\"cd").is_err());
+    }
+
+    #[test]
+    fn malformed_documents_rejected() {
+        assert!(from_csv_string("x", "").is_err());
+        assert!(from_csv_string("x", "wrong_first,title\n0,a").is_err());
+        assert!(from_csv_string("x", "entity_id,title\nnot_a_number,a").is_err());
+        assert!(from_csv_string("x", "entity_id,title\n0,a,extra").is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let csv = "entity_id,title\n0,a\n\n1,b\n";
+        let ds = from_csv_string("x", csv).unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+}

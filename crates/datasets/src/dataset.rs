@@ -1,0 +1,253 @@
+//! The in-memory dataset: a schema, a vector of records and entity-level
+//! ground truth.
+
+use std::sync::Arc;
+
+use crate::error::{DatasetError, Result};
+use crate::ground_truth::{EntityId, GroundTruth};
+use crate::record::{Record, RecordId};
+use crate::schema::Schema;
+
+/// An in-memory dataset with ground truth, consumed by every blocker and by
+/// the evaluation harness.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    name: String,
+    schema: Arc<Schema>,
+    records: Vec<Record>,
+    ground_truth: GroundTruth,
+}
+
+impl Dataset {
+    /// Builds a dataset from records and their entity assignments.
+    ///
+    /// The records' ids must be dense (record `i` has id `i`); generators and
+    /// the CSV reader guarantee this. `entities[i]` is the entity of record `i`.
+    pub fn new(
+        name: impl Into<String>,
+        schema: Arc<Schema>,
+        records: Vec<Record>,
+        entities: Vec<EntityId>,
+    ) -> Result<Self> {
+        if records.len() != entities.len() {
+            return Err(DatasetError::InvalidConfig(format!(
+                "records ({}) and entity assignments ({}) must have the same length",
+                records.len(),
+                entities.len()
+            )));
+        }
+        for (i, record) in records.iter().enumerate() {
+            if record.id().index() != i {
+                return Err(DatasetError::InvalidConfig(format!(
+                    "record at position {i} has id {}, ids must be dense",
+                    record.id()
+                )));
+            }
+        }
+        Ok(Self {
+            name: name.into(),
+            schema,
+            records,
+            ground_truth: GroundTruth::from_assignments(entities),
+        })
+    }
+
+    /// Human-readable dataset name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The dataset's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records, in id order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// A record by id.
+    pub fn record(&self, id: RecordId) -> Option<&Record> {
+        self.records.get(id.index())
+    }
+
+    /// A record by id, or an error.
+    pub fn require_record(&self, id: RecordId) -> Result<&Record> {
+        self.record(id).ok_or(DatasetError::UnknownRecord(id.0))
+    }
+
+    /// The ground truth.
+    pub fn ground_truth(&self) -> &GroundTruth {
+        &self.ground_truth
+    }
+
+    /// Iterator over record ids.
+    pub fn record_ids(&self) -> impl Iterator<Item = RecordId> + '_ {
+        (0..self.records.len() as u32).map(RecordId)
+    }
+
+    /// Returns a new dataset containing only the first `n` records (ground
+    /// truth restricted accordingly). Used by the scalability experiments
+    /// (Fig. 13) to slice increasing prefixes out of a large dataset.
+    pub fn prefix(&self, n: usize) -> Self {
+        let n = n.min(self.records.len());
+        Self {
+            name: format!("{}[0..{n}]", self.name),
+            schema: Arc::clone(&self.schema),
+            records: self.records[..n].to_vec(),
+            ground_truth: self.ground_truth.truncate(n),
+        }
+    }
+
+    /// Total number of distinct record pairs `|Ω|`.
+    pub fn num_total_pairs(&self) -> u64 {
+        self.ground_truth.num_total_pairs()
+    }
+}
+
+/// Incremental builder used by generators and the CSV reader.
+#[derive(Debug)]
+pub struct DatasetBuilder {
+    name: String,
+    schema: Arc<Schema>,
+    records: Vec<Record>,
+    entities: Vec<EntityId>,
+}
+
+impl DatasetBuilder {
+    /// Starts an empty dataset with the given schema.
+    pub fn new(name: impl Into<String>, schema: Arc<Schema>) -> Self {
+        Self {
+            name: name.into(),
+            schema,
+            records: Vec::new(),
+            entities: Vec::new(),
+        }
+    }
+
+    /// Reserves capacity for `n` additional records.
+    pub fn reserve(&mut self, n: usize) {
+        self.records.reserve(n);
+        self.entities.reserve(n);
+    }
+
+    /// The id the next pushed record will receive.
+    pub fn next_id(&self) -> RecordId {
+        RecordId(self.records.len() as u32)
+    }
+
+    /// The schema being built against.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Appends a record from raw values (one per schema attribute, `None`
+    /// meaning missing) and its entity.
+    pub fn push_values(&mut self, values: Vec<Option<String>>, entity: EntityId) -> Result<RecordId> {
+        let id = self.next_id();
+        let record = Record::new(id, Arc::clone(&self.schema), values)?;
+        self.records.push(record);
+        self.entities.push(entity);
+        Ok(id)
+    }
+
+    /// Number of records pushed so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Finishes the dataset.
+    pub fn build(self) -> Result<Dataset> {
+        Dataset::new(self.name, self.schema, self.records, self.entities)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let schema = Schema::shared(["title", "authors"]).unwrap();
+        let mut builder = DatasetBuilder::new("sample", schema);
+        builder
+            .push_values(vec![Some("The cascade-correlation learning architecture".into()), Some("Fahlman Lebiere".into())], EntityId(0))
+            .unwrap();
+        builder
+            .push_values(vec![Some("Cascade correlation learning architecture".into()), Some("Fahlman Lebiere".into())], EntityId(0))
+            .unwrap();
+        builder
+            .push_values(vec![Some("A genetic cascade correlation learning algorithm".into()), None], EntityId(1))
+            .unwrap();
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn builds_and_queries() {
+        let ds = sample();
+        assert_eq!(ds.name(), "sample");
+        assert_eq!(ds.len(), 3);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.record_ids().count(), 3);
+        assert_eq!(ds.record(RecordId(1)).unwrap().value("authors"), Some("Fahlman Lebiere"));
+        assert!(ds.record(RecordId(99)).is_none());
+        assert!(ds.require_record(RecordId(99)).is_err());
+        assert_eq!(ds.ground_truth().num_true_matches(), 1);
+        assert_eq!(ds.num_total_pairs(), 3);
+    }
+
+    #[test]
+    fn mismatched_entities_rejected() {
+        let schema = Schema::shared(["a"]).unwrap();
+        let rec = Record::new(RecordId(0), Arc::clone(&schema), vec![Some("x".into())]).unwrap();
+        let err = Dataset::new("bad", schema, vec![rec], vec![]).unwrap_err();
+        assert!(err.to_string().contains("same length"));
+    }
+
+    #[test]
+    fn non_dense_ids_rejected() {
+        let schema = Schema::shared(["a"]).unwrap();
+        let rec = Record::new(RecordId(5), Arc::clone(&schema), vec![Some("x".into())]).unwrap();
+        let err = Dataset::new("bad", schema, vec![rec], vec![EntityId(0)]).unwrap_err();
+        assert!(err.to_string().contains("dense"));
+    }
+
+    #[test]
+    fn prefix_slices_records_and_truth() {
+        let ds = sample();
+        let p = ds.prefix(2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.ground_truth().num_true_matches(), 1);
+        let p0 = ds.prefix(0);
+        assert!(p0.is_empty());
+        let pbig = ds.prefix(100);
+        assert_eq!(pbig.len(), 3);
+    }
+
+    #[test]
+    fn builder_arity_checked() {
+        let schema = Schema::shared(["a", "b"]).unwrap();
+        let mut builder = DatasetBuilder::new("x", schema);
+        assert!(builder.push_values(vec![Some("only one".into())], EntityId(0)).is_err());
+        assert!(builder.is_empty());
+        builder.reserve(10);
+        builder.push_values(vec![None, None], EntityId(0)).unwrap();
+        assert_eq!(builder.len(), 1);
+        assert_eq!(builder.next_id(), RecordId(1));
+    }
+}

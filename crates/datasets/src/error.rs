@@ -1,0 +1,88 @@
+//! Error types for dataset construction and I/O.
+
+use std::fmt;
+
+/// Errors raised while building, reading or writing datasets.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// An attribute name was referenced that does not exist in the schema.
+    UnknownAttribute(String),
+    /// A record was added whose number of values does not match the schema.
+    ArityMismatch {
+        /// Number of attributes declared by the schema.
+        expected: usize,
+        /// Number of values supplied for the record.
+        actual: usize,
+    },
+    /// A referenced record id is out of bounds.
+    UnknownRecord(u32),
+    /// A CSV document could not be parsed.
+    Csv {
+        /// 1-based line number where parsing failed.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An underlying I/O error.
+    Io(std::io::Error),
+    /// A generator or dataset configuration value is invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownAttribute(name) => write!(f, "unknown attribute: {name}"),
+            Self::ArityMismatch { expected, actual } => {
+                write!(f, "record has {actual} values but the schema declares {expected} attributes")
+            }
+            Self::UnknownRecord(id) => write!(f, "unknown record id: {id}"),
+            Self::Csv { line, message } => write!(f, "CSV parse error at line {line}: {message}"),
+            Self::Io(err) => write!(f, "I/O error: {err}"),
+            Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(err: std::io::Error) -> Self {
+        Self::Io(err)
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, DatasetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DatasetError::UnknownAttribute("venue".into());
+        assert!(e.to_string().contains("venue"));
+        let e = DatasetError::ArityMismatch { expected: 5, actual: 3 };
+        assert!(e.to_string().contains('5') && e.to_string().contains('3'));
+        let e = DatasetError::Csv { line: 7, message: "unterminated quote".into() };
+        assert!(e.to_string().contains("line 7"));
+        let e = DatasetError::InvalidConfig("records must be > 0".into());
+        assert!(e.to_string().contains("records"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: DatasetError = io.into();
+        assert!(matches!(e, DatasetError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,493 @@
+//! A Cora-like bibliographic corpus generator.
+//!
+//! The real Cora benchmark contains 1,879 citation strings of a few hundred
+//! machine-learning papers, with heavy noise: inconsistent author formatting,
+//! typos, missing venue information and ambiguous publication types. The
+//! paper's Cora experiment relies on exactly three properties of that data:
+//!
+//! 1. duplicate clusters are large and skewed (many citations per paper),
+//! 2. the textual similarity of true matches is broad and noisy (Fig. 6 left),
+//! 3. venue information is frequently missing, which is what the pattern-based
+//!    semantic function of Table 1 keys on.
+//!
+//! [`CoraGenerator`] reproduces those properties from configurable parameters.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::corruption::{CorruptionConfig, Corruptor};
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::error::{DatasetError, Result};
+use crate::generators::vocabulary as vocab;
+use crate::generators::sample_cluster_size;
+use crate::ground_truth::EntityId;
+use crate::schema::Schema;
+
+/// The attribute names of the Cora-like schema, in order.
+pub const CORA_ATTRIBUTES: [&str; 7] =
+    ["title", "authors", "journal", "booktitle", "institution", "publisher", "year"];
+
+/// The publication type of a generated entity. This is the *hidden semantic
+/// class* that the taxonomy-tree experiments try to recover from missing-value
+/// patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PublicationKind {
+    /// A journal article (concept C3 of the bibliographic taxonomy).
+    Journal,
+    /// A conference/proceedings article (C4).
+    Proceedings,
+    /// A book (C5).
+    Book,
+    /// A technical report (C7).
+    TechReport,
+    /// A thesis (C8).
+    Thesis,
+}
+
+impl PublicationKind {
+    /// All kinds, for iteration in tests and statistics.
+    pub const ALL: [PublicationKind; 5] = [
+        PublicationKind::Journal,
+        PublicationKind::Proceedings,
+        PublicationKind::Book,
+        PublicationKind::TechReport,
+        PublicationKind::Thesis,
+    ];
+}
+
+/// Configuration of the Cora-like generator.
+#[derive(Debug, Clone)]
+pub struct CoraConfig {
+    /// Target number of records (the real Cora has 1,879).
+    pub num_records: usize,
+    /// Probability that an entity is cited more than once.
+    pub duplicate_probability: f64,
+    /// Mean number of *extra* citations for duplicated entities.
+    pub mean_extra_duplicates: f64,
+    /// Maximum duplicate cluster size.
+    pub max_cluster_size: usize,
+    /// Corruption profile applied to duplicate citations.
+    pub corruption: CorruptionConfig,
+    /// Probability that a record's venue attributes are dropped entirely
+    /// (producing the "research output only" pattern 8 of Table 1).
+    pub venue_missing_probability: f64,
+    /// Probability that a record lists a *conflicting* extra venue attribute
+    /// (e.g. both `journal` and `booktitle`), producing the ambiguous patterns
+    /// 1-3 and 5 of Table 1.
+    pub venue_conflict_probability: f64,
+    /// Probability that the author list is missing from a citation.
+    pub authors_missing_probability: f64,
+    /// RNG seed; the generator is fully deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for CoraConfig {
+    fn default() -> Self {
+        Self {
+            num_records: 1_879,
+            duplicate_probability: 0.9,
+            mean_extra_duplicates: 7.0,
+            max_cluster_size: 35,
+            corruption: CorruptionConfig::dirty(),
+            venue_missing_probability: 0.18,
+            venue_conflict_probability: 0.12,
+            authors_missing_probability: 0.08,
+            seed: 0x5eed_c04a,
+        }
+    }
+}
+
+impl CoraConfig {
+    /// A small configuration for unit tests and doc examples.
+    pub fn small() -> Self {
+        Self {
+            num_records: 200,
+            ..Self::default()
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_records == 0 {
+            return Err(DatasetError::InvalidConfig("num_records must be > 0".into()));
+        }
+        if self.max_cluster_size == 0 {
+            return Err(DatasetError::InvalidConfig("max_cluster_size must be > 0".into()));
+        }
+        for (name, p) in [
+            ("duplicate_probability", self.duplicate_probability),
+            ("venue_missing_probability", self.venue_missing_probability),
+            ("venue_conflict_probability", self.venue_conflict_probability),
+            ("authors_missing_probability", self.authors_missing_probability),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(DatasetError::InvalidConfig(format!("{name} must be in [0, 1]")));
+            }
+        }
+        self.corruption.validate().map_err(DatasetError::InvalidConfig)
+    }
+}
+
+/// A clean (uncorrupted) publication entity.
+#[derive(Debug, Clone)]
+struct Publication {
+    kind: PublicationKind,
+    title: String,
+    authors: Vec<(String, String)>, // (given, surname)
+    journal: Option<String>,
+    booktitle: Option<String>,
+    institution: Option<String>,
+    publisher: Option<String>,
+    year: u32,
+}
+
+/// Generates Cora-like bibliographic datasets.
+#[derive(Debug, Clone)]
+pub struct CoraGenerator {
+    config: CoraConfig,
+}
+
+impl CoraGenerator {
+    /// Creates a generator with the given configuration.
+    pub fn new(config: CoraConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CoraConfig {
+        &self.config
+    }
+
+    /// Generates the dataset deterministically from the configured seed.
+    pub fn generate(&self) -> Result<Dataset> {
+        self.config.validate()?;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        self.generate_with_rng(&mut rng)
+    }
+
+    /// Generates the dataset using an external RNG.
+    pub fn generate_with_rng<R: Rng>(&self, rng: &mut R) -> Result<Dataset> {
+        self.config.validate()?;
+        let schema = Schema::shared(CORA_ATTRIBUTES)?;
+        let mut builder = DatasetBuilder::new("cora-synthetic", schema);
+        builder.reserve(self.config.num_records);
+        let corruptor = Corruptor::new(self.config.corruption.clone());
+
+        let mut entity_counter = 0u32;
+        while builder.len() < self.config.num_records {
+            let entity = EntityId(entity_counter);
+            entity_counter += 1;
+            let publication = self.sample_publication(rng);
+            let cluster = sample_cluster_size(
+                rng,
+                self.config.duplicate_probability,
+                self.config.mean_extra_duplicates,
+                self.config.max_cluster_size,
+            );
+            let remaining = self.config.num_records - builder.len();
+            for copy in 0..cluster.min(remaining) {
+                // The first citation of an entity is left clean-ish; later
+                // citations are corrupted more heavily, mirroring how real
+                // citation lists accumulate errors through transcription.
+                let values = self.render_citation(&publication, copy > 0, &corruptor, rng);
+                builder.push_values(values, entity)?;
+            }
+        }
+        builder.build()
+    }
+
+    fn sample_publication<R: Rng>(&self, rng: &mut R) -> Publication {
+        let kind = match rng.gen_range(0..100) {
+            0..=39 => PublicationKind::Proceedings,
+            40..=64 => PublicationKind::Journal,
+            65..=79 => PublicationKind::TechReport,
+            80..=89 => PublicationKind::Book,
+            _ => PublicationKind::Thesis,
+        };
+
+        let title_len = rng.gen_range(4..=8);
+        let mut title_words = Vec::with_capacity(title_len + 1);
+        if rng.gen_bool(0.4) {
+            title_words.push("the".to_string());
+        }
+        for _ in 0..title_len {
+            title_words.push(vocab::zipf_pick(rng, vocab::TITLE_WORDS).to_string());
+        }
+        let title = title_words.join(" ");
+
+        let num_authors = rng.gen_range(1..=4);
+        let authors = (0..num_authors)
+            .map(|_| {
+                (
+                    vocab::zipf_pick(rng, vocab::GIVEN_NAMES).to_string(),
+                    vocab::zipf_pick(rng, vocab::SURNAMES).to_string(),
+                )
+            })
+            .collect();
+
+        let year = rng.gen_range(1985..=2000);
+        let (journal, booktitle, institution, publisher) = match kind {
+            PublicationKind::Journal => (Some(vocab::uniform_pick(rng, vocab::JOURNALS).to_string()), None, None, None),
+            PublicationKind::Proceedings => (None, Some(vocab::uniform_pick(rng, vocab::PROCEEDINGS).to_string()), None, None),
+            PublicationKind::Book => (None, None, None, Some(vocab::uniform_pick(rng, vocab::BOOK_PUBLISHERS).to_string())),
+            PublicationKind::TechReport => (
+                None,
+                None,
+                Some(vocab::uniform_pick(rng, vocab::INSTITUTIONS).to_string()),
+                Some("technical report".to_string()),
+            ),
+            PublicationKind::Thesis => (
+                None,
+                None,
+                Some(vocab::uniform_pick(rng, vocab::INSTITUTIONS).to_string()),
+                Some("phd thesis".to_string()),
+            ),
+        };
+
+        Publication {
+            kind,
+            title,
+            authors,
+            journal,
+            booktitle,
+            institution,
+            publisher,
+            year,
+        }
+    }
+
+    /// Renders a citation record of a publication, optionally corrupted.
+    fn render_citation<R: Rng>(
+        &self,
+        publication: &Publication,
+        corrupt: bool,
+        corruptor: &Corruptor,
+        rng: &mut R,
+    ) -> Vec<Option<String>> {
+        let mut title = publication.title.clone();
+        let mut authors = self.format_authors(&publication.authors, rng);
+        if corrupt {
+            title = corruptor.corrupt_text(&title, rng);
+            authors = corruptor.corrupt_text(&authors, rng);
+        }
+
+        let authors = if rng.gen_bool(self.config.authors_missing_probability) {
+            None
+        } else {
+            Some(authors)
+        };
+
+        let mut journal = publication.journal.clone();
+        let mut booktitle = publication.booktitle.clone();
+        let mut institution = publication.institution.clone();
+        let mut publisher = publication.publisher.clone();
+
+        if rng.gen_bool(self.config.venue_missing_probability) {
+            // Pattern 8 of Table 1: nothing known about the venue.
+            journal = None;
+            booktitle = None;
+            institution = None;
+            publisher = None;
+        } else if rng.gen_bool(self.config.venue_conflict_probability) {
+            // Ambiguous patterns: a second venue attribute shows up, e.g. a
+            // citation that lists both the proceedings and the institution.
+            match publication.kind {
+                PublicationKind::Journal => {
+                    booktitle = Some(vocab::uniform_pick(rng, vocab::PROCEEDINGS).to_string());
+                }
+                PublicationKind::Proceedings => {
+                    if rng.gen_bool(0.5) {
+                        journal = Some(vocab::uniform_pick(rng, vocab::JOURNALS).to_string());
+                    } else {
+                        institution = Some(vocab::uniform_pick(rng, vocab::INSTITUTIONS).to_string());
+                    }
+                }
+                PublicationKind::Book | PublicationKind::TechReport | PublicationKind::Thesis => {
+                    institution = institution.or_else(|| Some(vocab::uniform_pick(rng, vocab::INSTITUTIONS).to_string()));
+                }
+            }
+        }
+
+        if corrupt {
+            journal = journal.map(|v| corruptor.corrupt_text(&v, rng));
+            booktitle = booktitle.map(|v| corruptor.corrupt_text(&v, rng));
+            institution = institution.map(|v| corruptor.corrupt_text(&v, rng));
+            publisher = publisher.map(|v| corruptor.corrupt_text(&v, rng));
+        }
+
+        let year = if rng.gen_bool(0.1) {
+            None
+        } else {
+            Some(publication.year.to_string())
+        };
+
+        vec![Some(title), authors, journal, booktitle, institution, publisher, year]
+    }
+
+    /// Formats an author list in one of the citation styles seen in Cora:
+    /// `"S. Fahlman and C. Lebiere"`, `"Fahlman, S., & Lebiere, C."`,
+    /// `"Scott Fahlman, Christian Lebiere"`, with occasional reordering.
+    fn format_authors<R: Rng>(&self, authors: &[(String, String)], rng: &mut R) -> String {
+        let mut authors: Vec<(String, String)> = authors.to_vec();
+        if authors.len() > 1 && rng.gen_bool(0.15) {
+            authors.reverse();
+        }
+        let style = rng.gen_range(0..3);
+        let formatted: Vec<String> = authors
+            .iter()
+            .map(|(given, surname)| match style {
+                0 => {
+                    let initial = given.chars().next().unwrap_or('x');
+                    format!("{}. {}", initial, surname)
+                }
+                1 => {
+                    let initial = given.chars().next().unwrap_or('x');
+                    format!("{}, {}.", surname, initial)
+                }
+                _ => format!("{given} {surname}"),
+            })
+            .collect();
+        let separator = match style {
+            0 => " and ",
+            1 => ", & ",
+            _ => ", ",
+        };
+        formatted.join(separator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DatasetStats;
+
+    fn small_dataset() -> Dataset {
+        CoraGenerator::new(CoraConfig::small()).generate().unwrap()
+    }
+
+    #[test]
+    fn generates_requested_number_of_records() {
+        let ds = small_dataset();
+        assert_eq!(ds.len(), 200);
+        assert_eq!(ds.schema().names(), &CORA_ATTRIBUTES);
+        assert_eq!(ds.name(), "cora-synthetic");
+    }
+
+    #[test]
+    fn default_config_matches_cora_scale() {
+        let cfg = CoraConfig::default();
+        assert_eq!(cfg.num_records, 1_879);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let a = CoraGenerator::new(CoraConfig::small()).generate().unwrap();
+        let b = CoraGenerator::new(CoraConfig::small()).generate().unwrap();
+        for (ra, rb) in a.records().iter().zip(b.records()) {
+            assert_eq!(ra.values(), rb.values());
+        }
+        let c = CoraGenerator::new(CoraConfig { seed: 999, ..CoraConfig::small() }).generate().unwrap();
+        let any_diff = a
+            .records()
+            .iter()
+            .zip(c.records())
+            .any(|(ra, rc)| ra.values() != rc.values());
+        assert!(any_diff, "different seeds should give different data");
+    }
+
+    #[test]
+    fn clusters_are_large_and_skewed() {
+        let ds = small_dataset();
+        let stats = DatasetStats::compute(&ds);
+        assert!(stats.mean_cluster_size > 2.0, "Cora-like data needs big duplicate clusters, got {}", stats.mean_cluster_size);
+        assert!(stats.max_cluster_size >= 5);
+        assert!(stats.true_matches > 100);
+    }
+
+    #[test]
+    fn venue_attributes_are_frequently_missing() {
+        let ds = small_dataset();
+        let stats = DatasetStats::compute(&ds);
+        // Every record misses most venue attributes (a journal paper has no
+        // booktitle etc.), so missing rates must be substantial.
+        assert!(stats.missing_rate_per_attribute["journal"] > 0.4);
+        assert!(stats.missing_rate_per_attribute["booktitle"] > 0.4);
+        assert!(stats.missing_rate_per_attribute["institution"] > 0.3);
+        // ... but titles are always present.
+        assert_eq!(stats.missing_rate_per_attribute["title"], 0.0);
+    }
+
+    #[test]
+    fn duplicates_remain_textually_similar() {
+        let ds = small_dataset();
+        // Average bigram similarity of titles within a cluster should be high.
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for members in ds.ground_truth().clusters().values() {
+            if members.len() < 2 {
+                continue;
+            }
+            let a = ds.record(members[0]).unwrap().value("title").unwrap_or("");
+            let b = ds.record(members[1]).unwrap().value("title").unwrap_or("");
+            total += sablock_textual_bigram(a, b);
+            count += 1;
+        }
+        let mean = total / count.max(1) as f64;
+        assert!(mean > 0.55, "mean within-cluster title similarity too low: {mean}");
+    }
+
+    // Local bigram Jaccard to avoid a dev-dependency cycle with sablock-textual.
+    fn sablock_textual_bigram(a: &str, b: &str) -> f64 {
+        use std::collections::HashSet;
+        let grams = |s: &str| -> HashSet<(char, char)> {
+            let chars: Vec<char> = s.to_lowercase().chars().collect();
+            chars.windows(2).map(|w| (w[0], w[1])).collect()
+        };
+        let (sa, sb) = (grams(a), grams(b));
+        if sa.is_empty() && sb.is_empty() {
+            return 1.0;
+        }
+        let inter = sa.intersection(&sb).count() as f64;
+        inter / ((sa.len() + sb.len()) as f64 - inter)
+    }
+
+    #[test]
+    fn different_entities_share_vocabulary() {
+        // Blocking is only hard if different entities look alike; check that
+        // two different entities share at least one title token somewhere.
+        let ds = small_dataset();
+        let records = ds.records();
+        let mut found = false;
+        'outer: for i in 0..records.len() {
+            for j in (i + 1)..records.len() {
+                if ds.ground_truth().is_match(records[i].id(), records[j].id()) {
+                    continue;
+                }
+                let a: std::collections::HashSet<&str> =
+                    records[i].value("title").unwrap_or("").split(' ').collect();
+                let b: std::collections::HashSet<&str> =
+                    records[j].value("title").unwrap_or("").split(' ').collect();
+                if a.intersection(&b).count() >= 2 {
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(found, "distinct entities should share title vocabulary");
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(CoraConfig { num_records: 0, ..CoraConfig::small() }.validate().is_err());
+        assert!(CoraConfig { max_cluster_size: 0, ..CoraConfig::small() }.validate().is_err());
+        assert!(CoraConfig { duplicate_probability: 1.7, ..CoraConfig::small() }.validate().is_err());
+        let gen = CoraGenerator::new(CoraConfig { venue_missing_probability: -0.1, ..CoraConfig::small() });
+        assert!(gen.generate().is_err());
+    }
+
+    #[test]
+    fn publication_kind_all_covers_every_variant() {
+        assert_eq!(PublicationKind::ALL.len(), 5);
+    }
+}

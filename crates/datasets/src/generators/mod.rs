@@ -1,0 +1,73 @@
+//! Synthetic data generators standing in for the paper's benchmark data sets.
+//!
+//! * [`cora`] — a Cora-like bibliographic corpus: ~1,900 noisy citation
+//!   records drawn from a few hundred publications, with the missing-value
+//!   patterns of Table 1 and the venue semantics of the bibliographic
+//!   taxonomy tree (Fig. 3).
+//! * [`ncvoter`] — an NC-Voter-like registration corpus: large, relatively
+//!   clean person records with `gender`/`race` attributes (including the
+//!   uncertain value `u`) that drive the 12-bit semhash signature of the
+//!   paper's second experiment.
+//! * [`vocabulary`] — the word pools (names, title words, venues) the
+//!   generators sample from.
+
+pub mod cora;
+pub mod ncvoter;
+pub mod vocabulary;
+
+use rand::Rng;
+
+/// Samples a duplicate-cluster size: how many records are generated for one
+/// entity. `p_dup` is the probability that an entity has any duplicates at
+/// all; among duplicated entities the number of *extra* records follows a
+/// truncated geometric distribution with mean roughly `mean_extra`, capped at
+/// `max_cluster`.
+///
+/// Cora-like corpora use a high duplication probability and large caps (the
+/// real Cora has clusters with dozens of citations of the same paper); the
+/// NC-Voter-like corpus uses a low duplication probability and a cap of 2-3.
+pub fn sample_cluster_size<R: Rng>(rng: &mut R, p_dup: f64, mean_extra: f64, max_cluster: usize) -> usize {
+    debug_assert!(max_cluster >= 1);
+    if max_cluster == 1 || !rng.gen_bool(p_dup.clamp(0.0, 1.0)) {
+        return 1;
+    }
+    // Geometric with success probability 1/(1+mean_extra), at least one extra.
+    let p = 1.0 / (1.0 + mean_extra.max(0.0));
+    let mut extras = 1usize;
+    while extras < max_cluster - 1 && !rng.gen_bool(p) {
+        extras += 1;
+    }
+    (1 + extras).min(max_cluster)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cluster_sizes_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let s = sample_cluster_size(&mut rng, 0.8, 3.0, 10);
+            assert!((1..=10).contains(&s));
+        }
+    }
+
+    #[test]
+    fn zero_duplication_gives_singletons() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!((0..100).all(|_| sample_cluster_size(&mut rng, 0.0, 5.0, 10) == 1));
+        assert!((0..100).all(|_| sample_cluster_size(&mut rng, 1.0, 5.0, 1) == 1));
+    }
+
+    #[test]
+    fn high_duplication_gives_multi_record_clusters() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sizes: Vec<usize> = (0..200).map(|_| sample_cluster_size(&mut rng, 1.0, 4.0, 20)).collect();
+        let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        assert!(mean > 2.0, "mean cluster size too small: {mean}");
+        assert!(sizes.iter().all(|&s| s >= 2));
+    }
+}

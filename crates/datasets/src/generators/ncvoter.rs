@@ -1,0 +1,387 @@
+//! An NC-Voter-like registration corpus generator.
+//!
+//! The NC Voter benchmark used in the paper is a 292,892-record extract of the
+//! North Carolina voter registration roll: person records with first/last
+//! name, gender and race (including the uncertain value `u`). It is *large
+//! and relatively clean* — most duplicates differ only by small typos — and
+//! its semantic features come from the small categorical space race × gender,
+//! which yields the 12-bit semhash signature mentioned in Section 6.2.
+//!
+//! [`NcVoterGenerator`] synthesises a corpus with those properties at any
+//! requested size, which the scalability experiment (Fig. 13) slices into
+//! increasing prefixes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::corruption::{CorruptionConfig, Corruptor};
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::error::{DatasetError, Result};
+use crate::generators::sample_cluster_size;
+use crate::generators::vocabulary as vocab;
+use crate::ground_truth::EntityId;
+use crate::schema::Schema;
+
+/// The attribute names of the NC-Voter-like schema, in order.
+pub const NCVOTER_ATTRIBUTES: [&str; 8] =
+    ["first_name", "last_name", "middle_name", "age", "gender", "race", "city", "street"];
+
+/// Configuration of the NC-Voter-like generator.
+#[derive(Debug, Clone)]
+pub struct NcVoterConfig {
+    /// Target number of records. The paper uses a 30,000-record subset for the
+    /// quality experiments and 292,892 records for scalability.
+    pub num_records: usize,
+    /// Probability that a voter appears more than once in the roll.
+    pub duplicate_probability: f64,
+    /// Mean number of extra registrations for duplicated voters.
+    pub mean_extra_duplicates: f64,
+    /// Maximum cluster size.
+    pub max_cluster_size: usize,
+    /// Corruption profile applied to duplicate registrations.
+    pub corruption: CorruptionConfig,
+    /// Probability that the `gender` attribute of a record carries the
+    /// uncertain value `u` instead of the person's true gender.
+    pub uncertain_gender_probability: f64,
+    /// Probability that the `race` attribute of a record carries `u`.
+    pub uncertain_race_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NcVoterConfig {
+    fn default() -> Self {
+        Self {
+            num_records: 30_000,
+            duplicate_probability: 0.25,
+            mean_extra_duplicates: 0.6,
+            max_cluster_size: 4,
+            corruption: CorruptionConfig::clean(),
+            uncertain_gender_probability: 0.05,
+            uncertain_race_probability: 0.08,
+            seed: 0x5eed_0007,
+        }
+    }
+}
+
+impl NcVoterConfig {
+    /// A small configuration for unit tests and doc examples.
+    pub fn small() -> Self {
+        Self {
+            num_records: 1_000,
+            ..Self::default()
+        }
+    }
+
+    /// The full-scale configuration matching the paper's 292,892-record
+    /// extract (Fig. 13's right-most point).
+    pub fn full_scale() -> Self {
+        Self {
+            num_records: 292_892,
+            ..Self::default()
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_records == 0 {
+            return Err(DatasetError::InvalidConfig("num_records must be > 0".into()));
+        }
+        if self.max_cluster_size == 0 {
+            return Err(DatasetError::InvalidConfig("max_cluster_size must be > 0".into()));
+        }
+        for (name, p) in [
+            ("duplicate_probability", self.duplicate_probability),
+            ("uncertain_gender_probability", self.uncertain_gender_probability),
+            ("uncertain_race_probability", self.uncertain_race_probability),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(DatasetError::InvalidConfig(format!("{name} must be in [0, 1]")));
+            }
+        }
+        self.corruption.validate().map_err(DatasetError::InvalidConfig)
+    }
+}
+
+/// A clean voter entity.
+///
+/// `recorded_gender` / `recorded_race` are what the registration roll stores
+/// for this person — possibly the uncertain value `u`. Uncertainty is decided
+/// *per entity*, not per record: a person registered with race `u` carries
+/// that value in every duplicate registration, which is why the paper calls
+/// the NC Voter semantic features "not noisy, although they may contain
+/// uncertain values".
+#[derive(Debug, Clone)]
+struct Voter {
+    first_name: String,
+    last_name: String,
+    middle_name: Option<String>,
+    age: u32,
+    recorded_gender: String,
+    recorded_race: String,
+    city: String,
+    street: String,
+}
+
+/// Generates NC-Voter-like datasets.
+#[derive(Debug, Clone)]
+pub struct NcVoterGenerator {
+    config: NcVoterConfig,
+}
+
+impl NcVoterGenerator {
+    /// Creates a generator with the given configuration.
+    pub fn new(config: NcVoterConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NcVoterConfig {
+        &self.config
+    }
+
+    /// Generates the dataset deterministically from the configured seed.
+    pub fn generate(&self) -> Result<Dataset> {
+        self.config.validate()?;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        self.generate_with_rng(&mut rng)
+    }
+
+    /// Generates the dataset using an external RNG.
+    pub fn generate_with_rng<R: Rng>(&self, rng: &mut R) -> Result<Dataset> {
+        self.config.validate()?;
+        let schema = Schema::shared(NCVOTER_ATTRIBUTES)?;
+        let mut builder = DatasetBuilder::new("ncvoter-synthetic", schema);
+        builder.reserve(self.config.num_records);
+        let corruptor = Corruptor::new(self.config.corruption.clone());
+
+        let mut entity_counter = 0u32;
+        while builder.len() < self.config.num_records {
+            let entity = EntityId(entity_counter);
+            entity_counter += 1;
+            let voter = self.sample_voter(rng);
+            let cluster = sample_cluster_size(
+                rng,
+                self.config.duplicate_probability,
+                self.config.mean_extra_duplicates,
+                self.config.max_cluster_size,
+            );
+            let remaining = self.config.num_records - builder.len();
+            for copy in 0..cluster.min(remaining) {
+                let values = self.render_registration(&voter, copy > 0, &corruptor, rng);
+                builder.push_values(values, entity)?;
+            }
+        }
+        builder.build()
+    }
+
+    fn sample_voter<R: Rng>(&self, rng: &mut R) -> Voter {
+        let gender = match rng.gen_range(0..100) {
+            0..=47 => "m",
+            48..=95 => "f",
+            _ => "u",
+        };
+        let race = match rng.gen_range(0..100) {
+            0..=64 => "w",
+            65..=84 => "b",
+            85..=88 => "a",
+            89..=90 => "i",
+            91..=95 => "o",
+            _ => "u",
+        };
+        // The roll may record the person's gender/race as uncertain; this is
+        // an entity-level property shared by all of the person's records.
+        let recorded_gender = if rng.gen_bool(self.config.uncertain_gender_probability) {
+            "u".to_string()
+        } else {
+            gender.to_string()
+        };
+        let recorded_race = if rng.gen_bool(self.config.uncertain_race_probability) {
+            "u".to_string()
+        } else {
+            race.to_string()
+        };
+        Voter {
+            first_name: vocab::zipf_pick(rng, vocab::GIVEN_NAMES).to_string(),
+            last_name: vocab::zipf_pick(rng, vocab::SURNAMES).to_string(),
+            middle_name: if rng.gen_bool(0.6) {
+                Some(vocab::zipf_pick(rng, vocab::GIVEN_NAMES).to_string())
+            } else {
+                None
+            },
+            age: rng.gen_range(18..=95),
+            recorded_gender,
+            recorded_race,
+            city: vocab::uniform_pick(rng, vocab::CITIES).to_string(),
+            street: format!(
+                "{} {} {}",
+                rng.gen_range(1..=9999),
+                vocab::uniform_pick(rng, vocab::STREETS),
+                if rng.gen_bool(0.5) { "st" } else { "rd" }
+            ),
+        }
+    }
+
+    fn render_registration<R: Rng>(
+        &self,
+        voter: &Voter,
+        corrupt: bool,
+        corruptor: &Corruptor,
+        rng: &mut R,
+    ) -> Vec<Option<String>> {
+        let mut first = voter.first_name.clone();
+        let mut last = voter.last_name.clone();
+        let mut middle = voter.middle_name.clone();
+        if corrupt {
+            first = corruptor.corrupt_token(&first, rng);
+            last = corruptor.corrupt_token(&last, rng);
+            // Duplicate registrations often abbreviate or drop the middle name.
+            middle = match (middle, rng.gen_range(0..3)) {
+                (Some(m), 0) => Some(m.chars().take(1).collect()),
+                (Some(_), 1) => None,
+                (m, _) => m,
+            };
+        }
+
+        // Gender and race (possibly recorded as uncertain) are stable per
+        // person and therefore identical across a person's registrations.
+        let gender = voter.recorded_gender.clone();
+        let race = voter.recorded_race.clone();
+
+        // Age drifts by a year between registrations; city/street may change
+        // when people move, which keeps non-name attributes from being a
+        // trivially perfect blocking key.
+        let age = if corrupt && rng.gen_bool(0.4) {
+            voter.age + 1
+        } else {
+            voter.age
+        };
+        let (city, street) = if corrupt && rng.gen_bool(0.15) {
+            (
+                vocab::uniform_pick(rng, vocab::CITIES).to_string(),
+                format!("{} {} st", rng.gen_range(1..=9999), vocab::uniform_pick(rng, vocab::STREETS)),
+            )
+        } else {
+            (voter.city.clone(), voter.street.clone())
+        };
+
+        vec![
+            Some(first),
+            Some(last),
+            middle,
+            Some(age.to_string()),
+            Some(gender),
+            Some(race),
+            Some(city),
+            Some(street),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DatasetStats;
+
+    fn small_dataset() -> Dataset {
+        NcVoterGenerator::new(NcVoterConfig::small()).generate().unwrap()
+    }
+
+    #[test]
+    fn generates_requested_number_of_records() {
+        let ds = small_dataset();
+        assert_eq!(ds.len(), 1_000);
+        assert_eq!(ds.schema().names(), &NCVOTER_ATTRIBUTES);
+        assert_eq!(ds.name(), "ncvoter-synthetic");
+    }
+
+    #[test]
+    fn default_and_full_scale_configs() {
+        assert_eq!(NcVoterConfig::default().num_records, 30_000);
+        assert_eq!(NcVoterConfig::full_scale().num_records, 292_892);
+        assert!(NcVoterConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let a = NcVoterGenerator::new(NcVoterConfig::small()).generate().unwrap();
+        let b = NcVoterGenerator::new(NcVoterConfig::small()).generate().unwrap();
+        for (ra, rb) in a.records().iter().zip(b.records()) {
+            assert_eq!(ra.values(), rb.values());
+        }
+    }
+
+    #[test]
+    fn clusters_are_small_and_data_is_clean() {
+        let ds = small_dataset();
+        let stats = DatasetStats::compute(&ds);
+        assert!(stats.mean_cluster_size < 2.0, "NC Voter clusters must be small, got {}", stats.mean_cluster_size);
+        assert!(stats.max_cluster_size <= 4);
+        assert!(stats.true_matches > 0);
+        // Names are never missing in a registration roll.
+        assert_eq!(stats.missing_rate_per_attribute["first_name"], 0.0);
+        assert_eq!(stats.missing_rate_per_attribute["last_name"], 0.0);
+    }
+
+    #[test]
+    fn gender_and_race_use_expected_codes() {
+        let ds = small_dataset();
+        for record in ds.records() {
+            let g = record.value("gender").unwrap();
+            let r = record.value("race").unwrap();
+            assert!(vocab::GENDER_CODES.contains(&g), "unexpected gender {g}");
+            assert!(vocab::RACE_CODES.contains(&r), "unexpected race {r}");
+        }
+    }
+
+    #[test]
+    fn uncertain_values_appear_at_roughly_the_configured_rate() {
+        let ds = NcVoterGenerator::new(NcVoterConfig {
+            num_records: 5_000,
+            uncertain_gender_probability: 0.10,
+            uncertain_race_probability: 0.10,
+            ..NcVoterConfig::small()
+        })
+        .generate()
+        .unwrap();
+        let unknown_gender = ds.records().iter().filter(|r| r.value("gender") == Some("u")).count();
+        let rate = unknown_gender as f64 / ds.len() as f64;
+        // True 'u' genders (~4%) plus injected uncertainty (~10%).
+        assert!(rate > 0.08 && rate < 0.25, "uncertain gender rate {rate}");
+    }
+
+    #[test]
+    fn duplicates_keep_names_similar() {
+        let ds = small_dataset();
+        for members in ds.ground_truth().clusters().values() {
+            if members.len() < 2 {
+                continue;
+            }
+            let a = ds.record(members[0]).unwrap();
+            let b = ds.record(members[1]).unwrap();
+            let la = a.value("last_name").unwrap();
+            let lb = b.value("last_name").unwrap();
+            // Clean corruption: last names differ by at most a couple of characters.
+            let len_diff = (la.len() as i64 - lb.len() as i64).abs();
+            assert!(len_diff <= 2, "duplicate last names diverged too much: {la} vs {lb}");
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(NcVoterConfig { num_records: 0, ..NcVoterConfig::small() }.validate().is_err());
+        assert!(NcVoterConfig { uncertain_race_probability: 2.0, ..NcVoterConfig::small() }.validate().is_err());
+        let gen = NcVoterGenerator::new(NcVoterConfig { max_cluster_size: 0, ..NcVoterConfig::small() });
+        assert!(gen.generate().is_err());
+    }
+
+    #[test]
+    fn prefix_slicing_supports_scalability_experiment() {
+        let ds = NcVoterGenerator::new(NcVoterConfig { num_records: 2_000, ..NcVoterConfig::small() })
+            .generate()
+            .unwrap();
+        let half = ds.prefix(1_000);
+        assert_eq!(half.len(), 1_000);
+        assert!(half.ground_truth().num_true_matches() <= ds.ground_truth().num_true_matches());
+    }
+}

@@ -1,0 +1,43 @@
+//! Record model, datasets, ground truth and synthetic data generators.
+//!
+//! The paper evaluates its blocking framework over two real-world data sets:
+//! **Cora** (1,879 machine-learning citations with heavy noise and missing
+//! venue information) and **NC Voter** (292,892 voter registration records,
+//! large and relatively clean). Neither data set ships with this repository,
+//! so this crate provides *faithful synthetic generators* for both, plus the
+//! record/dataset/ground-truth machinery every blocking technique consumes:
+//!
+//! * [`schema`] — attribute schemas,
+//! * [`record`] — records as vectors of optional string values,
+//! * [`dataset`] — an in-memory dataset with entity-level ground truth,
+//! * [`ground_truth`] — true-match bookkeeping (clusters, match pairs),
+//! * [`corruption`] — the dirty-data model (typos, OCR errors, token swaps,
+//!   abbreviations, missing values) used to derive duplicate records,
+//! * [`generators`] — the Cora-like and NC-Voter-like generators,
+//! * [`csv`] — a dependency-free CSV reader/writer for datasets,
+//! * [`stats`] — dataset statistics used when documenting experiments.
+//!
+//! See `DESIGN.md` §3 for the substitution argument: the experiments depend on
+//! the similarity *distribution* of matches, the missing-value *patterns* and
+//! the duplicate *cluster structure*, all of which the generators reproduce.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corruption;
+pub mod csv;
+pub mod dataset;
+pub mod error;
+pub mod generators;
+pub mod ground_truth;
+pub mod record;
+pub mod schema;
+pub mod stats;
+
+pub use dataset::Dataset;
+pub use error::DatasetError;
+pub use generators::cora::{CoraConfig, CoraGenerator};
+pub use generators::ncvoter::{NcVoterConfig, NcVoterGenerator};
+pub use ground_truth::{EntityId, GroundTruth};
+pub use record::{Record, RecordId};
+pub use schema::Schema;

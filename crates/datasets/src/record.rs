@@ -1,0 +1,281 @@
+//! Records: identifiers plus positionally-stored optional attribute values.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{DatasetError, Result};
+use crate::schema::Schema;
+
+/// Identifier of a record within its dataset (a dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordId(pub u32);
+
+impl RecordId {
+    /// The record id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u32> for RecordId {
+    fn from(value: u32) -> Self {
+        Self(value)
+    }
+}
+
+/// An unordered pair of distinct record ids, stored in canonical (min, max)
+/// order so it can be used directly as a hash-set key for candidate pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordPair {
+    smaller: RecordId,
+    larger: RecordId,
+}
+
+impl RecordPair {
+    /// Creates a canonical pair. Returns `None` when both ids are equal
+    /// (a record is never a candidate match with itself).
+    pub fn new(a: RecordId, b: RecordId) -> Option<Self> {
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => Some(Self { smaller: a, larger: b }),
+            std::cmp::Ordering::Greater => Some(Self { smaller: b, larger: a }),
+            std::cmp::Ordering::Equal => None,
+        }
+    }
+
+    /// The smaller record id of the pair.
+    pub fn first(&self) -> RecordId {
+        self.smaller
+    }
+
+    /// The larger record id of the pair.
+    pub fn second(&self) -> RecordId {
+        self.larger
+    }
+}
+
+impl fmt::Display for RecordPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.smaller, self.larger)
+    }
+}
+
+/// A record: an id plus one optional string value per schema attribute.
+///
+/// `None` models a missing value — the paper's semantic functions are driven
+/// precisely by which attributes are missing (Table 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    id: RecordId,
+    schema: Arc<Schema>,
+    values: Vec<Option<String>>,
+}
+
+impl Record {
+    /// Creates a record, validating that the value count matches the schema.
+    pub fn new(id: RecordId, schema: Arc<Schema>, values: Vec<Option<String>>) -> Result<Self> {
+        if values.len() != schema.len() {
+            return Err(DatasetError::ArityMismatch {
+                expected: schema.len(),
+                actual: values.len(),
+            });
+        }
+        Ok(Self { id, schema, values })
+    }
+
+    /// The record's identifier.
+    pub fn id(&self) -> RecordId {
+        self.id
+    }
+
+    /// The schema this record conforms to.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Value of the attribute at `index`, if present and non-empty.
+    pub fn value_at(&self, index: usize) -> Option<&str> {
+        self.values
+            .get(index)
+            .and_then(|v| v.as_deref())
+            .filter(|v| !v.trim().is_empty())
+    }
+
+    /// Value of the named attribute, if the attribute exists and the value is
+    /// present and non-empty.
+    pub fn value(&self, attribute: &str) -> Option<&str> {
+        self.schema.index_of(attribute).and_then(|i| self.value_at(i))
+    }
+
+    /// Whether the named attribute is missing (absent attribute, `None`, or
+    /// an empty/whitespace value).
+    pub fn is_missing(&self, attribute: &str) -> bool {
+        self.value(attribute).is_none()
+    }
+
+    /// Concatenation of the values of the given attribute indices (present
+    /// values only), separated by a single space. This is the "record text"
+    /// that shingling and most baselines operate on.
+    pub fn concat_values(&self, attribute_indices: &[usize]) -> String {
+        let mut out = String::new();
+        for &i in attribute_indices {
+            if let Some(v) = self.value_at(i) {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(v);
+            }
+        }
+        out
+    }
+
+    /// Concatenation of the values of the named attributes.
+    pub fn concat_named(&self, attributes: &[&str]) -> String {
+        let indices: Vec<usize> = attributes
+            .iter()
+            .filter_map(|a| self.schema.index_of(a))
+            .collect();
+        self.concat_values(&indices)
+    }
+
+    /// All raw values, in schema order.
+    pub fn values(&self) -> &[Option<String>] {
+        &self.values
+    }
+
+    /// Number of attributes with a present, non-empty value.
+    pub fn present_count(&self) -> usize {
+        (0..self.schema.len()).filter(|&i| self.value_at(i).is_some()).count()
+    }
+}
+
+/// Builder-style helper for constructing records by attribute name, used by
+/// the generators and tests.
+#[derive(Debug, Clone)]
+pub struct RecordBuilder {
+    schema: Arc<Schema>,
+    values: Vec<Option<String>>,
+}
+
+impl RecordBuilder {
+    /// Starts a record with all attributes missing.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        let values = vec![None; schema.len()];
+        Self { schema, values }
+    }
+
+    /// Sets a value by attribute name; unknown names are an error.
+    pub fn set(mut self, attribute: &str, value: impl Into<String>) -> Result<Self> {
+        let idx = self.schema.require(attribute)?;
+        self.values[idx] = Some(value.into());
+        Ok(self)
+    }
+
+    /// Sets an optional value by attribute name.
+    pub fn set_opt(mut self, attribute: &str, value: Option<String>) -> Result<Self> {
+        let idx = self.schema.require(attribute)?;
+        self.values[idx] = value;
+        Ok(self)
+    }
+
+    /// Finishes the record with the given id.
+    pub fn build(self, id: RecordId) -> Record {
+        Record {
+            id,
+            schema: self.schema,
+            values: self.values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Arc<Schema> {
+        Schema::shared(["title", "authors", "publisher"]).unwrap()
+    }
+
+    #[test]
+    fn record_access_by_name_and_index() {
+        let r = Record::new(
+            RecordId(0),
+            schema(),
+            vec![Some("The cascade-correlation learning architecture".into()), Some("E. Fahlman and C. Lebiere".into()), None],
+        )
+        .unwrap();
+        assert_eq!(r.id(), RecordId(0));
+        assert!(r.value("title").unwrap().contains("cascade"));
+        assert_eq!(r.value("publisher"), None);
+        assert!(r.is_missing("publisher"));
+        assert!(!r.is_missing("title"));
+        assert_eq!(r.value("nonexistent"), None);
+        assert_eq!(r.present_count(), 2);
+    }
+
+    #[test]
+    fn empty_string_counts_as_missing() {
+        let r = Record::new(RecordId(1), schema(), vec![Some("  ".into()), Some("".into()), Some("TR".into())]).unwrap();
+        assert!(r.is_missing("title"));
+        assert!(r.is_missing("authors"));
+        assert_eq!(r.value("publisher"), Some("TR"));
+        assert_eq!(r.present_count(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let err = Record::new(RecordId(0), schema(), vec![None]).unwrap_err();
+        assert!(matches!(err, DatasetError::ArityMismatch { expected: 3, actual: 1 }));
+    }
+
+    #[test]
+    fn concatenation_skips_missing() {
+        let r = Record::new(
+            RecordId(2),
+            schema(),
+            vec![Some("A Title".into()), None, Some("NIPS".into())],
+        )
+        .unwrap();
+        assert_eq!(r.concat_values(&[0, 1, 2]), "A Title NIPS");
+        assert_eq!(r.concat_named(&["title", "authors"]), "A Title");
+        assert_eq!(r.concat_named(&["authors"]), "");
+    }
+
+    #[test]
+    fn builder_sets_by_name() {
+        let r = RecordBuilder::new(schema())
+            .set("title", "Entity Resolution")
+            .unwrap()
+            .set_opt("publisher", None)
+            .unwrap()
+            .build(RecordId(7));
+        assert_eq!(r.id(), RecordId(7));
+        assert_eq!(r.value("title"), Some("Entity Resolution"));
+        assert!(r.is_missing("authors"));
+        assert!(RecordBuilder::new(schema()).set("zzz", "x").is_err());
+    }
+
+    #[test]
+    fn record_pair_is_canonical() {
+        let p1 = RecordPair::new(RecordId(5), RecordId(2)).unwrap();
+        let p2 = RecordPair::new(RecordId(2), RecordId(5)).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(p1.first(), RecordId(2));
+        assert_eq!(p1.second(), RecordId(5));
+        assert!(RecordPair::new(RecordId(3), RecordId(3)).is_none());
+        assert_eq!(p1.to_string(), "(r2, r5)");
+    }
+
+    #[test]
+    fn record_id_display_and_conversion() {
+        let id: RecordId = 42u32.into();
+        assert_eq!(id.to_string(), "r42");
+        assert_eq!(id.index(), 42);
+    }
+}

@@ -1,0 +1,147 @@
+//! Dataset statistics used to document and sanity-check generated data.
+//!
+//! The experiments in the paper are driven by characteristics of the data:
+//! how noisy it is, how many values are missing, and how duplicate clusters
+//! are shaped. [`DatasetStats`] summarises those characteristics so that
+//! `EXPERIMENTS.md` can report them next to the paper's description.
+
+use std::collections::BTreeMap;
+
+use crate::dataset::Dataset;
+
+/// Summary statistics of a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Number of records.
+    pub records: usize,
+    /// Number of distinct entities.
+    pub entities: usize,
+    /// Number of true-match pairs.
+    pub true_matches: u64,
+    /// Fraction of attribute cells that are missing, per attribute name.
+    pub missing_rate_per_attribute: BTreeMap<String, f64>,
+    /// Histogram of duplicate-cluster sizes (size → count of entities).
+    pub cluster_size_histogram: BTreeMap<usize, usize>,
+    /// Mean cluster size.
+    pub mean_cluster_size: f64,
+    /// Largest cluster size.
+    pub max_cluster_size: usize,
+}
+
+impl DatasetStats {
+    /// Computes statistics over a dataset.
+    pub fn compute(dataset: &Dataset) -> Self {
+        let schema = dataset.schema();
+        let n = dataset.len();
+        let mut missing_counts = vec![0usize; schema.len()];
+        for record in dataset.records() {
+            for (i, count) in missing_counts.iter_mut().enumerate() {
+                if record.value_at(i).is_none() {
+                    *count += 1;
+                }
+            }
+        }
+        let missing_rate_per_attribute = schema
+            .names()
+            .iter()
+            .zip(missing_counts.iter())
+            .map(|(name, &miss)| {
+                let rate = if n == 0 { 0.0 } else { miss as f64 / n as f64 };
+                (name.clone(), rate)
+            })
+            .collect();
+
+        let histogram: BTreeMap<usize, usize> = dataset
+            .ground_truth()
+            .cluster_size_histogram()
+            .into_iter()
+            .collect();
+        let entities = dataset.ground_truth().num_entities();
+        let mean_cluster_size = if entities == 0 { 0.0 } else { n as f64 / entities as f64 };
+        let max_cluster_size = histogram.keys().copied().max().unwrap_or(0);
+
+        Self {
+            records: n,
+            entities,
+            true_matches: dataset.ground_truth().num_true_matches(),
+            missing_rate_per_attribute,
+            cluster_size_histogram: histogram,
+            mean_cluster_size,
+            max_cluster_size,
+        }
+    }
+
+    /// Overall fraction of missing attribute cells.
+    pub fn overall_missing_rate(&self) -> f64 {
+        if self.missing_rate_per_attribute.is_empty() {
+            return 0.0;
+        }
+        self.missing_rate_per_attribute.values().sum::<f64>() / self.missing_rate_per_attribute.len() as f64
+    }
+
+    /// Renders the statistics as a small human-readable report.
+    pub fn to_report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "records: {}\nentities: {}\ntrue matches: {}\nmean cluster size: {:.2}\nmax cluster size: {}\n",
+            self.records, self.entities, self.true_matches, self.mean_cluster_size, self.max_cluster_size
+        ));
+        out.push_str("missing rates:\n");
+        for (attr, rate) in &self.missing_rate_per_attribute {
+            out.push_str(&format!("  {attr}: {:.1}%\n", rate * 100.0));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::ground_truth::EntityId;
+    use crate::schema::Schema;
+
+    fn sample() -> Dataset {
+        let schema = Schema::shared(["title", "venue"]).unwrap();
+        let mut b = DatasetBuilder::new("s", schema);
+        b.push_values(vec![Some("a".into()), Some("nips".into())], EntityId(0)).unwrap();
+        b.push_values(vec![Some("a!".into()), None], EntityId(0)).unwrap();
+        b.push_values(vec![Some("b".into()), None], EntityId(1)).unwrap();
+        b.push_values(vec![Some("c".into()), Some("tr".into())], EntityId(2)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn computes_counts_and_rates() {
+        let stats = DatasetStats::compute(&sample());
+        assert_eq!(stats.records, 4);
+        assert_eq!(stats.entities, 3);
+        assert_eq!(stats.true_matches, 1);
+        assert_eq!(stats.missing_rate_per_attribute["title"], 0.0);
+        assert_eq!(stats.missing_rate_per_attribute["venue"], 0.5);
+        assert!((stats.overall_missing_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(stats.max_cluster_size, 2);
+        assert!((stats.mean_cluster_size - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(stats.cluster_size_histogram[&2], 1);
+        assert_eq!(stats.cluster_size_histogram[&1], 2);
+    }
+
+    #[test]
+    fn report_mentions_key_numbers() {
+        let report = DatasetStats::compute(&sample()).to_report();
+        assert!(report.contains("records: 4"));
+        assert!(report.contains("venue"));
+        assert!(report.contains("50.0%"));
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let schema = Schema::shared(["a"]).unwrap();
+        let ds = DatasetBuilder::new("empty", schema).build().unwrap();
+        let stats = DatasetStats::compute(&ds);
+        assert_eq!(stats.records, 0);
+        assert_eq!(stats.entities, 0);
+        assert_eq!(stats.mean_cluster_size, 0.0);
+        assert_eq!(stats.overall_missing_rate(), 0.0);
+    }
+}

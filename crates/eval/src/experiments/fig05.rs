@@ -1,0 +1,119 @@
+//! E-FIG5 — Fig. 5: collision probability of a w-way semantic hash function
+//! under different semantic similarities s′, for w = 1..15 and µ ∈ {∧, ∨}.
+//!
+//! This is a purely analytical figure; the experiment samples the closed-form
+//! probabilities of [`sablock_core::lsh::probability`] on the same axes as
+//! the paper.
+
+use sablock_core::lsh::probability::w_way_curve;
+
+use crate::report::{fmt3, TextTable};
+
+/// One curve of Fig. 5: a fixed semantic similarity and the collision
+/// probability at every point of the AND…OR axis.
+#[derive(Debug, Clone)]
+pub struct Fig05Series {
+    /// The semantic similarity s′ of the series.
+    pub s_prime: f64,
+    /// (axis label, collision probability) pairs, from "AND w=w_max" down to
+    /// "w=1" and back up to "OR w=w_max".
+    pub points: Vec<(String, f64)>,
+}
+
+/// The full figure: one series per semantic similarity.
+#[derive(Debug, Clone)]
+pub struct Fig05Output {
+    /// The series, in the order of the paper's legend.
+    pub series: Vec<Fig05Series>,
+    /// The maximum w of the sweep (15 in the paper).
+    pub w_max: usize,
+}
+
+/// The semantic similarities plotted in the paper's Fig. 5.
+pub const PAPER_SIMILARITIES: [f64; 6] = [0.2, 0.3, 0.4, 0.6, 0.7, 0.8];
+
+/// Runs the experiment.
+pub fn run(w_max: usize) -> Fig05Output {
+    let w_max = w_max.max(1);
+    let series = PAPER_SIMILARITIES
+        .iter()
+        .map(|&s_prime| Fig05Series {
+            s_prime,
+            points: w_way_curve(s_prime, w_max),
+        })
+        .collect();
+    Fig05Output { series, w_max }
+}
+
+impl Fig05Output {
+    /// Renders the figure as a table: one row per axis position, one column
+    /// per semantic similarity.
+    pub fn to_table(&self) -> TextTable {
+        let mut header = vec!["w (AND <- 1 -> OR)".to_string()];
+        header.extend(self.series.iter().map(|s| format!("s'={}", s.s_prime)));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut table = TextTable::new("Fig. 5 — w-way semantic hash collision probability", &header_refs);
+        if let Some(first) = self.series.first() {
+            for (i, (label, _)) in first.points.iter().enumerate() {
+                let mut row = vec![label.clone()];
+                for series in &self.series {
+                    row.push(fmt3(series.points[i].1));
+                }
+                table.add_row(row);
+            }
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_papers_axes() {
+        let output = run(15);
+        assert_eq!(output.series.len(), 6);
+        assert_eq!(output.w_max, 15);
+        for series in &output.series {
+            assert_eq!(series.points.len(), 29, "AND w=15..2, w=1, OR w=2..15");
+            // Monotone non-decreasing from deep AND to deep OR.
+            for pair in series.points.windows(2) {
+                assert!(pair[1].1 + 1e-12 >= pair[0].1);
+            }
+            // Extremes behave as in the figure: AND-15 is tiny, OR-15 is large.
+            assert!(series.points[0].1 <= series.s_prime);
+            assert!(series.points[28].1 >= series.s_prime);
+        }
+    }
+
+    #[test]
+    fn higher_semantic_similarity_gives_higher_probability_everywhere() {
+        let output = run(15);
+        for i in 1..output.series.len() {
+            let lower = &output.series[i - 1];
+            let higher = &output.series[i];
+            for (a, b) in lower.points.iter().zip(higher.points.iter()) {
+                assert!(b.1 + 1e-12 >= a.1, "series must be ordered by s'");
+            }
+        }
+    }
+
+    #[test]
+    fn table_rendering_has_one_row_per_axis_point() {
+        let output = run(5);
+        let table = output.to_table();
+        assert_eq!(table.num_rows(), 2 * 5 - 1);
+        let rendered = table.render();
+        assert!(rendered.contains("s'=0.2"));
+        assert!(rendered.contains("AND w=5"));
+        assert!(rendered.contains("OR w=5"));
+    }
+
+    #[test]
+    fn degenerate_w_max_is_clamped() {
+        let output = run(0);
+        assert_eq!(output.w_max, 1);
+        assert_eq!(output.series[0].points.len(), 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! E-FIG7 — Fig. 7: PC/PQ/RR/FM of the semantic-aware LSH blocker over Cora
+//! under five semantic hash configurations (H11–H15), with k = 4 and l = 63.
+//!
+//! * H11: w = 2, µ = ∧
+//! * H12: w = 1 (∧ and ∨ coincide)
+//! * H13: w = 2, µ = ∨
+//! * H14: w = 3, µ = ∨
+//! * H15: w = 4, µ = ∨
+
+use sablock_core::error::Result;
+use sablock_core::lsh::semantic_hash::SemanticMode;
+use sablock_core::taxonomy::bib::BibVariant;
+use sablock_datasets::Dataset;
+
+use crate::experiments::{cora_dataset, cora_salsh, Scale};
+use crate::report::{fmt3, TextTable};
+use crate::runner::{run_blocker, RunResult};
+
+/// One semantic-hash configuration of the figure.
+#[derive(Debug, Clone, Copy)]
+pub struct SemhashConfig {
+    /// The label used in the figure (H11, …, H15).
+    pub label: &'static str,
+    /// The number of drawn semhash functions.
+    pub w: usize,
+    /// The combination mode.
+    pub mode: SemanticMode,
+}
+
+/// The configurations of Fig. 7, in figure order.
+pub const CORA_CONFIGS: [SemhashConfig; 5] = [
+    SemhashConfig { label: "H11", w: 2, mode: SemanticMode::And },
+    SemhashConfig { label: "H12", w: 1, mode: SemanticMode::Or },
+    SemhashConfig { label: "H13", w: 2, mode: SemanticMode::Or },
+    SemhashConfig { label: "H14", w: 3, mode: SemanticMode::Or },
+    SemhashConfig { label: "H15", w: 4, mode: SemanticMode::Or },
+];
+
+/// The (k, l) operating point of the figure.
+pub const CORA_K: usize = 4;
+/// Number of bands used by the figure.
+pub const CORA_L: usize = 63;
+
+/// The output: one evaluated run per configuration.
+#[derive(Debug, Clone)]
+pub struct Fig07Output {
+    /// (configuration, evaluated run), in figure order.
+    pub runs: Vec<(SemhashConfig, RunResult)>,
+}
+
+/// Runs the experiment on a pre-built Cora-like dataset.
+pub fn run_on(dataset: &Dataset) -> Result<Fig07Output> {
+    let mut runs = Vec::with_capacity(CORA_CONFIGS.len());
+    for config in CORA_CONFIGS {
+        let blocker = cora_salsh(CORA_K, CORA_L, config.w, config.mode, BibVariant::Full, 0x0711)?;
+        let result = run_blocker(config.label, &blocker, dataset)?;
+        runs.push((config, result));
+    }
+    Ok(Fig07Output { runs })
+}
+
+/// Runs the experiment at the given scale.
+pub fn run(scale: Scale) -> Result<Fig07Output> {
+    let dataset = cora_dataset(scale)?;
+    run_on(&dataset)
+}
+
+impl Fig07Output {
+    /// Renders the four bar charts of the figure as a single table.
+    pub fn to_table(&self) -> TextTable {
+        let mut table = TextTable::new(
+            "Fig. 7 — semantic hash functions over Cora (k=4, l=63)",
+            &["config", "w", "mode", "PC", "PQ", "RR", "FM"],
+        );
+        for (config, result) in &self.runs {
+            table.add_row(vec![
+                config.label.to_string(),
+                config.w.to_string(),
+                config.mode.symbol().to_string(),
+                fmt3(result.metrics.pc()),
+                fmt3(result.metrics.pq()),
+                fmt3(result.metrics.rr()),
+                fmt3(result.metrics.fm()),
+            ]);
+        }
+        table
+    }
+
+    /// The run of a configuration by label.
+    pub fn get(&self, label: &str) -> Option<&RunResult> {
+        self.runs.iter().find(|(c, _)| c.label == label).map(|(_, r)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_shape_holds_on_quick_data() {
+        let output = run(Scale::Quick).unwrap();
+        assert_eq!(output.runs.len(), 5);
+        let pc = |label: &str| output.get(label).unwrap().metrics.pc();
+        // OR with increasing w can only keep more pairs: PC grows from H12 to H15.
+        assert!(pc("H13") + 1e-9 >= pc("H12"));
+        assert!(pc("H14") + 1e-9 >= pc("H13"));
+        assert!(pc("H15") + 1e-9 >= pc("H14"));
+        // AND with w=2 keeps at most as many pairs as w=1.
+        assert!(pc("H11") <= pc("H12") + 1e-9);
+        // All measures are sane.
+        for (_, result) in &output.runs {
+            assert!(result.metrics.rr() > 0.5, "LSH blocking must cut the comparison space");
+            assert!(result.metrics.pc() > 0.0);
+        }
+        let table = output.to_table();
+        assert_eq!(table.num_rows(), 5);
+        assert!(table.render().contains("H15"));
+    }
+}

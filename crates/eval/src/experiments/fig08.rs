@@ -1,0 +1,105 @@
+//! E-FIG8 — Fig. 8: PC/PQ/RR/FM of the semantic-aware LSH blocker over NC
+//! Voter under five semantic hash configurations (H21–H25), with k = 9 and
+//! l = 15.
+//!
+//! * H21: w = 1 (∧ and ∨ coincide)
+//! * H22: w = 3, µ = ∨
+//! * H23: w = 5, µ = ∨
+//! * H24: w = 7, µ = ∨
+//! * H25: w = 9, µ = ∨
+
+use sablock_core::error::Result;
+use sablock_core::lsh::semantic_hash::SemanticMode;
+use sablock_datasets::Dataset;
+
+use crate::experiments::fig07::SemhashConfig;
+use crate::experiments::{voter_dataset, voter_salsh, Scale};
+use crate::report::{fmt3, TextTable};
+use crate::runner::{run_blocker, RunResult};
+
+/// The configurations of Fig. 8, in figure order.
+pub const VOTER_CONFIGS: [SemhashConfig; 5] = [
+    SemhashConfig { label: "H21", w: 1, mode: SemanticMode::Or },
+    SemhashConfig { label: "H22", w: 3, mode: SemanticMode::Or },
+    SemhashConfig { label: "H23", w: 5, mode: SemanticMode::Or },
+    SemhashConfig { label: "H24", w: 7, mode: SemanticMode::Or },
+    SemhashConfig { label: "H25", w: 9, mode: SemanticMode::Or },
+];
+
+/// Rows per band of the figure's operating point.
+pub const VOTER_K: usize = 9;
+/// Number of bands of the figure's operating point.
+pub const VOTER_L: usize = 15;
+
+/// The output: one evaluated run per configuration.
+#[derive(Debug, Clone)]
+pub struct Fig08Output {
+    /// (configuration, evaluated run), in figure order.
+    pub runs: Vec<(SemhashConfig, RunResult)>,
+}
+
+/// Runs the experiment on a pre-built NC-Voter-like dataset.
+pub fn run_on(dataset: &Dataset) -> Result<Fig08Output> {
+    let mut runs = Vec::with_capacity(VOTER_CONFIGS.len());
+    for config in VOTER_CONFIGS {
+        let blocker = voter_salsh(VOTER_K, VOTER_L, config.w, config.mode)?;
+        let result = run_blocker(config.label, &blocker, dataset)?;
+        runs.push((config, result));
+    }
+    Ok(Fig08Output { runs })
+}
+
+/// Runs the experiment at the given scale.
+pub fn run(scale: Scale) -> Result<Fig08Output> {
+    let dataset = voter_dataset(scale)?;
+    run_on(&dataset)
+}
+
+impl Fig08Output {
+    /// Renders the figure as a table.
+    pub fn to_table(&self) -> TextTable {
+        let mut table = TextTable::new(
+            "Fig. 8 — semantic hash functions over NC Voter (k=9, l=15)",
+            &["config", "w", "mode", "PC", "PQ", "RR", "FM"],
+        );
+        for (config, result) in &self.runs {
+            table.add_row(vec![
+                config.label.to_string(),
+                config.w.to_string(),
+                config.mode.symbol().to_string(),
+                fmt3(result.metrics.pc()),
+                fmt3(result.metrics.pq()),
+                fmt3(result.metrics.rr()),
+                fmt3(result.metrics.fm()),
+            ]);
+        }
+        table
+    }
+
+    /// The run of a configuration by label.
+    pub fn get(&self, label: &str) -> Option<&RunResult> {
+        self.runs.iter().find(|(c, _)| c.label == label).map(|(_, r)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_shape_holds_on_quick_data() {
+        let output = run(Scale::Quick).unwrap();
+        assert_eq!(output.runs.len(), 5);
+        let pc = |label: &str| output.get(label).unwrap().metrics.pc();
+        // With µ = ∨, PC grows (weakly) with w — the paper's observation that
+        // "the PC values increase when w increases in the case µ = ∨".
+        assert!(pc("H22") + 1e-9 >= pc("H21"));
+        assert!(pc("H23") + 1e-9 >= pc("H22"));
+        assert!(pc("H25") + 1e-9 >= pc("H24"));
+        // RR stays extremely high on the relatively clean voter data.
+        for (_, result) in &output.runs {
+            assert!(result.metrics.rr() > 0.9);
+        }
+        assert!(output.to_table().render().contains("H25"));
+    }
+}

@@ -1,0 +1,165 @@
+//! E-FIG9 — Fig. 9: LSH vs SA-LSH over the (k, l) ladder.
+//!
+//! Subplots (a)-(c) sweep Cora over (k, l) ∈ {(1,2), (2,6), (3,19), (4,63),
+//! (5,210), (6,701)}; subplots (d)-(f) sweep NC Voter over k = 4..9 with
+//! l = 15. For the SA-LSH runs the paper uses "the lowest threshold for
+//! semantic similarity" — i.e. records count as semantically similar when
+//! they share *any* semantic feature — which corresponds to a w-way OR
+//! function over the full semhash family (w = 5 for Cora, w = 12 for NC
+//! Voter).
+
+use sablock_core::error::Result;
+use sablock_core::lsh::semantic_hash::SemanticMode;
+use sablock_core::taxonomy::bib::BibVariant;
+use sablock_datasets::Dataset;
+
+use crate::experiments::fig06::{CORA_KL, VOTER_KL};
+use crate::experiments::{
+    cora_dataset, cora_lsh, cora_salsh, voter_dataset, voter_lsh, voter_salsh, Scale, CORA_SEMANTIC_BITS, VOTER_SEMANTIC_BITS,
+};
+use crate::report::{fmt3, TextTable};
+use crate::runner::{run_blocker, RunResult};
+
+/// One point of the sweep: the (k, l) pair and the evaluated LSH and SA-LSH
+/// runs at that point.
+#[derive(Debug, Clone)]
+pub struct LadderPoint {
+    /// Rows per band.
+    pub k: usize,
+    /// Number of bands.
+    pub l: usize,
+    /// The plain textual LSH run.
+    pub lsh: RunResult,
+    /// The semantic-aware run.
+    pub salsh: RunResult,
+}
+
+/// The sweep over one dataset.
+#[derive(Debug, Clone)]
+pub struct Fig09Panel {
+    /// Dataset name.
+    pub dataset: String,
+    /// The ladder, in increasing k order.
+    pub points: Vec<LadderPoint>,
+}
+
+/// The full figure: Cora panel (subplots a-c) and NC Voter panel (d-f).
+#[derive(Debug, Clone)]
+pub struct Fig09Output {
+    /// The Cora panel.
+    pub cora: Fig09Panel,
+    /// The NC Voter panel.
+    pub ncvoter: Fig09Panel,
+}
+
+/// Runs the Cora panel on a pre-built dataset.
+pub fn run_cora_on(dataset: &Dataset) -> Result<Fig09Panel> {
+    let mut points = Vec::new();
+    for &(k, l) in &CORA_KL {
+        let lsh = run_blocker("LSH", &cora_lsh(k, l)?, dataset)?;
+        let salsh = run_blocker(
+            "SA-LSH",
+            &cora_salsh(k, l, CORA_SEMANTIC_BITS, SemanticMode::Or, BibVariant::Full, 0x0911)?,
+            dataset,
+        )?;
+        points.push(LadderPoint { k, l, lsh, salsh });
+    }
+    Ok(Fig09Panel {
+        dataset: dataset.name().to_string(),
+        points,
+    })
+}
+
+/// Runs the NC Voter panel on a pre-built dataset.
+pub fn run_voter_on(dataset: &Dataset) -> Result<Fig09Panel> {
+    let mut points = Vec::new();
+    for &(k, l) in &VOTER_KL {
+        let lsh = run_blocker("LSH", &voter_lsh(k, l)?, dataset)?;
+        let salsh = run_blocker("SA-LSH", &voter_salsh(k, l, VOTER_SEMANTIC_BITS, SemanticMode::Or)?, dataset)?;
+        points.push(LadderPoint { k, l, lsh, salsh });
+    }
+    Ok(Fig09Panel {
+        dataset: dataset.name().to_string(),
+        points,
+    })
+}
+
+/// Runs the full experiment at the given scale.
+pub fn run(scale: Scale) -> Result<Fig09Output> {
+    let cora = cora_dataset(scale)?;
+    let voter = voter_dataset(scale)?;
+    Ok(Fig09Output {
+        cora: run_cora_on(&cora)?,
+        ncvoter: run_voter_on(&voter)?,
+    })
+}
+
+impl Fig09Panel {
+    /// Renders the panel as a table with one row per (k, l) point.
+    pub fn to_table(&self) -> TextTable {
+        let mut table = TextTable::new(
+            format!("Fig. 9 — LSH vs SA-LSH over (k, l) [{}]", self.dataset),
+            &["k", "l", "PC lsh", "PC sa", "PQ lsh", "PQ sa", "RR lsh", "RR sa"],
+        );
+        for point in &self.points {
+            table.add_row(vec![
+                point.k.to_string(),
+                point.l.to_string(),
+                fmt3(point.lsh.metrics.pc()),
+                fmt3(point.salsh.metrics.pc()),
+                fmt3(point.lsh.metrics.pq()),
+                fmt3(point.salsh.metrics.pq()),
+                fmt3(point.lsh.metrics.rr()),
+                fmt3(point.salsh.metrics.rr()),
+            ]);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cora_panel_reproduces_the_figure_shape() {
+        let dataset = cora_dataset(Scale::Quick).unwrap();
+        // Keep the quick test affordable: skip the two most expensive ladder
+        // points by running only on the published ladder's first four.
+        let panel = run_cora_on(&dataset).unwrap();
+        assert_eq!(panel.points.len(), 6);
+        for point in &panel.points {
+            // SA-LSH never adds pairs, so its PC cannot exceed LSH's…
+            assert!(point.salsh.metrics.pc() <= point.lsh.metrics.pc() + 1e-9, "k={}", point.k);
+            // …its PQ is at least as good…
+            assert!(point.salsh.metrics.pq() + 1e-9 >= point.lsh.metrics.pq(), "k={}", point.k);
+            // …and its RR is at least as high.
+            assert!(point.salsh.metrics.rr() + 1e-9 >= point.lsh.metrics.rr(), "k={}", point.k);
+        }
+        // PC grows with l along the ladder (more bands = more chances to collide).
+        let first = &panel.points[0];
+        let fourth = &panel.points[3];
+        assert!(fourth.lsh.metrics.pc() + 1e-9 >= first.lsh.metrics.pc());
+        let table = panel.to_table();
+        assert_eq!(table.num_rows(), 6);
+        assert!(table.render().contains("l"));
+    }
+
+    #[test]
+    fn voter_panel_keeps_pc_while_improving_pq() {
+        let dataset = voter_dataset(Scale::Quick).unwrap();
+        let panel = run_voter_on(&dataset).unwrap();
+        assert_eq!(panel.points.len(), 6);
+        for point in &panel.points {
+            // The paper: "the PC values of LSH and SA-LSH are the same" on NC
+            // Voter because its semantic features are not noisy. Allow a tiny
+            // slack for the synthetic data.
+            assert!(point.lsh.metrics.pc() - point.salsh.metrics.pc() < 0.05, "k={}", point.k);
+            assert!(point.salsh.metrics.pq() + 1e-9 >= point.lsh.metrics.pq(), "k={}", point.k);
+        }
+        // Increasing k with fixed l lowers PC (harder to collide).
+        let first = &panel.points[0];
+        let last = &panel.points[5];
+        assert!(last.lsh.metrics.pc() <= first.lsh.metrics.pc() + 1e-9);
+    }
+}

@@ -1,0 +1,152 @@
+//! E-FIG11 — Fig. 11: FM / PQ / PC / RR of every blocking technique (best-FM
+//! parameter setting) over both datasets.
+
+use sablock_baselines::key::BlockingKey;
+use sablock_baselines::params::{full_grids, reduced_grids};
+use sablock_core::error::Result;
+use sablock_core::lsh::semantic_hash::SemanticMode;
+use sablock_core::taxonomy::bib::BibVariant;
+use sablock_datasets::Dataset;
+
+use crate::experiments::tab03::GridScale;
+use crate::experiments::{
+    cora_dataset, cora_lsh, cora_salsh, voter_dataset_of_size, voter_lsh, voter_salsh, Scale, CORA_SEMANTIC_BITS,
+    VOTER_SEMANTIC_BITS,
+};
+use crate::report::{fmt3, TextTable};
+use crate::runner::{run_blocker, RunResult};
+use crate::sweep::sweep_grids;
+
+/// The comparison over one dataset: the best run per technique.
+#[derive(Debug, Clone)]
+pub struct Fig11Panel {
+    /// Dataset name.
+    pub dataset: String,
+    /// Best-FM run per technique, in Table 3 order, then LSH and SA-LSH.
+    pub results: Vec<RunResult>,
+}
+
+/// The full figure: one panel per dataset.
+#[derive(Debug, Clone)]
+pub struct Fig11Output {
+    /// The Cora panel.
+    pub cora: Fig11Panel,
+    /// The NC Voter panel.
+    pub ncvoter: Fig11Panel,
+}
+
+fn panel(
+    dataset: &Dataset,
+    key: &BlockingKey,
+    grid_scale: GridScale,
+    lsh: RunResult,
+    salsh: RunResult,
+) -> Result<Fig11Panel> {
+    let grids = match grid_scale {
+        GridScale::Reduced => reduced_grids(key),
+        GridScale::Full => full_grids(key),
+    };
+    let mut results = sweep_grids(&grids, dataset)?;
+    results.push(lsh);
+    results.push(salsh);
+    Ok(Fig11Panel {
+        dataset: dataset.name().to_string(),
+        results,
+    })
+}
+
+/// Runs the Cora panel on a pre-built dataset.
+pub fn run_cora_on(dataset: &Dataset, grid_scale: GridScale) -> Result<Fig11Panel> {
+    let lsh = run_blocker("LSH", &cora_lsh(4, 63)?, dataset)?;
+    let salsh = run_blocker(
+        "SA-LSH",
+        &cora_salsh(4, 63, CORA_SEMANTIC_BITS, SemanticMode::Or, BibVariant::Full, 0x1111)?,
+        dataset,
+    )?;
+    panel(dataset, &BlockingKey::cora(), grid_scale, lsh, salsh)
+}
+
+/// Runs the NC Voter panel on a pre-built dataset.
+pub fn run_voter_on(dataset: &Dataset, grid_scale: GridScale) -> Result<Fig11Panel> {
+    let lsh = run_blocker("LSH", &voter_lsh(9, 15)?, dataset)?;
+    let salsh = run_blocker("SA-LSH", &voter_salsh(9, 15, VOTER_SEMANTIC_BITS, SemanticMode::Or)?, dataset)?;
+    panel(dataset, &BlockingKey::ncvoter(), grid_scale, lsh, salsh)
+}
+
+/// Runs the full figure at the given scale.
+pub fn run(scale: Scale, grid_scale: GridScale) -> Result<Fig11Output> {
+    let cora = cora_dataset(scale)?;
+    let voter = voter_dataset_of_size(scale.voter_timing_records())?;
+    Ok(Fig11Output {
+        cora: run_cora_on(&cora, grid_scale)?,
+        ncvoter: run_voter_on(&voter, grid_scale)?,
+    })
+}
+
+impl Fig11Panel {
+    /// Renders the panel as a table with one row per technique.
+    pub fn to_table(&self) -> TextTable {
+        let mut table = TextTable::new(
+            format!("Fig. 11 — comparison with the state of the art [{}]", self.dataset),
+            &["technique", "FM", "PQ", "PC", "RR", "best setting"],
+        );
+        for result in &self.results {
+            table.add_row(vec![
+                result.technique.clone(),
+                fmt3(result.metrics.fm()),
+                fmt3(result.metrics.pq()),
+                fmt3(result.metrics.pc()),
+                fmt3(result.metrics.rr()),
+                result.configuration.clone(),
+            ]);
+        }
+        table
+    }
+
+    /// A result by technique name.
+    pub fn get(&self, technique: &str) -> Option<&RunResult> {
+        self.results.iter().find(|r| r.technique == technique)
+    }
+
+    /// The technique with the highest FM.
+    pub fn best_fm_technique(&self) -> Option<&RunResult> {
+        self.results
+            .iter()
+            .max_by(|a, b| a.fm().partial_cmp(&b.fm()).unwrap_or(std::cmp::Ordering::Equal))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cora_panel_places_the_lsh_family_near_the_top() {
+        let dataset = cora_dataset(Scale::Quick).unwrap();
+        let panel = run_cora_on(&dataset, GridScale::Reduced).unwrap();
+        assert_eq!(panel.results.len(), 14);
+        let salsh_fm = panel.get("SA-LSH").unwrap().fm();
+        let lsh_fm = panel.get("LSH").unwrap().fm();
+        // The paper's headline result is that the FM of LSH/SA-LSH is the
+        // best over the real Cora corpus. On the small synthetic quick-scale
+        // corpus the exact ranking can shift (that comparison lives in the
+        // benchmark harness / EXPERIMENTS.md), so the test asserts the robust
+        // part of the shape: the LSH family is competitive with the best
+        // baseline and SA-LSH does not trail LSH on quality.
+        let best_baseline_fm = panel
+            .results
+            .iter()
+            .filter(|r| r.technique != "LSH" && r.technique != "SA-LSH")
+            .map(RunResult::fm)
+            .fold(0.0f64, f64::max);
+        assert!(
+            salsh_fm.max(lsh_fm) >= 0.75 * best_baseline_fm,
+            "LSH family ({lsh_fm:.3}/{salsh_fm:.3}) should be competitive with the best baseline ({best_baseline_fm:.3})"
+        );
+        // And SA-LSH should improve (or at least not hurt) PQ vs LSH.
+        assert!(panel.get("SA-LSH").unwrap().metrics.pq() + 1e-9 >= panel.get("LSH").unwrap().metrics.pq());
+        let rendered = panel.to_table().render();
+        assert!(rendered.contains("SA-LSH"));
+        assert!(panel.best_fm_technique().is_some());
+    }
+}

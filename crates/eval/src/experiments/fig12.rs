@@ -1,0 +1,189 @@
+//! E-FIG12 — Fig. 12: comparison of SA-LSH with meta-blocking over both
+//! datasets, reported with the meta-blocking paper's measures PC, PQ* and
+//! FM*.
+//!
+//! Meta-blocking is run on a token-blocking input; for each pruning algorithm
+//! (WEP, CEP, WNP, CNP) the weighting scheme with the highest FM* is
+//! reported, exactly as the paper's Fig. 12 does.
+
+use std::time::Duration;
+
+use sablock_baselines::key::BlockingKey;
+use sablock_baselines::meta::{MetaBlocking, PruningAlgorithm, WeightingScheme};
+use sablock_baselines::standard::TokenBlocking;
+use sablock_core::blocking::Blocker;
+use sablock_core::error::Result;
+use sablock_core::lsh::semantic_hash::SemanticMode;
+use sablock_core::taxonomy::bib::BibVariant;
+use sablock_datasets::Dataset;
+
+use crate::experiments::{
+    cora_dataset, cora_salsh, voter_dataset_of_size, voter_salsh, Scale, CORA_SEMANTIC_BITS, VOTER_SEMANTIC_BITS,
+};
+use crate::metrics::BlockingMetrics;
+use crate::report::{fmt3, TextTable};
+use crate::runner::evaluate_blocks;
+
+/// One row of the figure: a pruning algorithm with its best weighting scheme,
+/// or the SA-LSH row.
+#[derive(Debug, Clone)]
+pub struct Fig12Row {
+    /// "WEP", "CEP", "WNP", "CNP" or "SA-LSH".
+    pub method: String,
+    /// The best weighting scheme (empty for SA-LSH).
+    pub weighting: String,
+    /// Quality of the final blocks.
+    pub metrics: BlockingMetrics,
+}
+
+/// The comparison over one dataset.
+#[derive(Debug, Clone)]
+pub struct Fig12Panel {
+    /// Dataset name.
+    pub dataset: String,
+    /// Quality of the meta-blocking *input* blocks (the "initial blocks"
+    /// column of the paper's Fig. 12).
+    pub initial: BlockingMetrics,
+    /// One row per pruning algorithm plus the SA-LSH row.
+    pub rows: Vec<Fig12Row>,
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Fig12Output {
+    /// The Cora panel.
+    pub cora: Fig12Panel,
+    /// The NC Voter panel.
+    pub ncvoter: Fig12Panel,
+}
+
+fn run_panel(dataset: &Dataset, key: &BlockingKey, salsh: &dyn Blocker) -> Result<Fig12Panel> {
+    // The redundancy-positive input blocking shared by every configuration.
+    let token_blocking = TokenBlocking::new(key.clone());
+    let input_blocks = token_blocking.block(dataset)?;
+    let initial = BlockingMetrics::evaluate(&input_blocks, dataset.ground_truth());
+
+    let mut rows = Vec::new();
+    for pruning in PruningAlgorithm::ALL {
+        let mut best: Option<Fig12Row> = None;
+        for scheme in WeightingScheme::ALL {
+            let pruned = MetaBlocking::<TokenBlocking>::prune_collection(&input_blocks, scheme, pruning)?;
+            let metrics = BlockingMetrics::evaluate(&pruned, dataset.ground_truth());
+            let candidate = Fig12Row {
+                method: pruning.name().to_string(),
+                weighting: scheme.name().to_string(),
+                metrics,
+            };
+            let better = match &best {
+                Some(current) => candidate.metrics.fm_star() > current.metrics.fm_star(),
+                None => true,
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+        rows.push(best.expect("at least one weighting scheme was evaluated"));
+    }
+
+    // The SA-LSH row uses the same parameter settings as Fig. 11.
+    let salsh_blocks = salsh.block(dataset)?;
+    let salsh_result = evaluate_blocks("SA-LSH", &salsh.name(), dataset, &salsh_blocks, Duration::default());
+    rows.push(Fig12Row {
+        method: "SA-LSH".to_string(),
+        weighting: String::new(),
+        metrics: salsh_result.metrics,
+    });
+
+    Ok(Fig12Panel {
+        dataset: dataset.name().to_string(),
+        initial,
+        rows,
+    })
+}
+
+/// Runs the Cora panel on a pre-built dataset.
+pub fn run_cora_on(dataset: &Dataset) -> Result<Fig12Panel> {
+    let salsh = cora_salsh(4, 63, CORA_SEMANTIC_BITS, SemanticMode::Or, BibVariant::Full, 0x1212)?;
+    run_panel(dataset, &BlockingKey::cora(), &salsh)
+}
+
+/// Runs the NC Voter panel on a pre-built dataset.
+pub fn run_voter_on(dataset: &Dataset) -> Result<Fig12Panel> {
+    let salsh = voter_salsh(9, 15, VOTER_SEMANTIC_BITS, SemanticMode::Or)?;
+    run_panel(dataset, &BlockingKey::ncvoter(), &salsh)
+}
+
+/// Runs the full figure at the given scale.
+pub fn run(scale: Scale) -> Result<Fig12Output> {
+    let cora = cora_dataset(scale)?;
+    let voter = voter_dataset_of_size(scale.voter_timing_records())?;
+    Ok(Fig12Output {
+        cora: run_cora_on(&cora)?,
+        ncvoter: run_voter_on(&voter)?,
+    })
+}
+
+impl Fig12Panel {
+    /// Renders the panel in the paper's layout.
+    pub fn to_table(&self) -> TextTable {
+        let mut table = TextTable::new(
+            format!("Fig. 12 — SA-LSH vs meta-blocking [{}]", self.dataset),
+            &["method", "weighting", "PC", "PQ*", "FM*"],
+        );
+        table.add_row(vec![
+            "initial blocks".to_string(),
+            String::new(),
+            fmt3(self.initial.pc()),
+            fmt3(self.initial.pq_star()),
+            fmt3(self.initial.fm_star()),
+        ]);
+        for row in &self.rows {
+            table.add_row(vec![
+                row.method.clone(),
+                row.weighting.clone(),
+                fmt3(row.metrics.pc()),
+                fmt3(row.metrics.pq_star()),
+                fmt3(row.metrics.fm_star()),
+            ]);
+        }
+        table
+    }
+
+    /// A row by method name.
+    pub fn get(&self, method: &str) -> Option<&Fig12Row> {
+        self.rows.iter().find(|r| r.method == method)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_reports_all_pruning_algorithms_and_salsh() {
+        let dataset = cora_dataset(Scale::Quick).unwrap();
+        let panel = run_cora_on(&dataset).unwrap();
+        assert_eq!(panel.rows.len(), 5);
+        for method in ["WEP", "CEP", "WNP", "CNP", "SA-LSH"] {
+            assert!(panel.get(method).is_some(), "missing {method}");
+        }
+        // Pruning must improve PQ* over the initial token blocks.
+        for pruning in ["WEP", "CEP", "WNP", "CNP"] {
+            let row = panel.get(pruning).unwrap();
+            assert!(
+                row.metrics.pq_star() + 1e-12 >= panel.initial.pq_star(),
+                "{pruning}: PQ* {} should not be below the initial {}",
+                row.metrics.pq_star(),
+                panel.initial.pq_star()
+            );
+            // Pruning can only lose true matches.
+            assert!(row.metrics.pc() <= panel.initial.pc() + 1e-12);
+        }
+        // SA-LSH keeps a competitive PC (the paper: highest PC over Cora).
+        let salsh = panel.get("SA-LSH").unwrap();
+        assert!(salsh.metrics.pc() > 0.5);
+        let rendered = panel.to_table().render();
+        assert!(rendered.contains("initial blocks"));
+        assert!(rendered.contains("FM*"));
+    }
+}

@@ -1,0 +1,162 @@
+//! E-FIG13 — Fig. 13: PC, PQ, RR and runtime of LSH and SA-LSH over NC Voter
+//! subsets of increasing size, plus the time spent building the semantic
+//! function (taxonomy construction + record interpretation + semhash
+//! signatures), labelled "SF" in the paper.
+
+use std::time::{Duration, Instant};
+
+use sablock_core::error::Result;
+use sablock_core::lsh::semantic_hash::SemanticMode;
+use sablock_core::semantic::semhash::SemhashFamily;
+use sablock_core::semantic::voter::VoterSemanticFunction;
+use sablock_core::semantic::{Interpretation, SemanticFunction};
+use sablock_datasets::Dataset;
+
+use crate::experiments::{voter_dataset_of_size, voter_lsh, voter_salsh, Scale, VOTER_SEMANTIC_BITS};
+use crate::report::{fmt3, TextTable};
+use crate::runner::{run_blocker, RunResult};
+
+/// The measurements at one dataset size.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Number of records.
+    pub records: usize,
+    /// The plain LSH run.
+    pub lsh: RunResult,
+    /// The SA-LSH run.
+    pub salsh: RunResult,
+    /// Time to build the semantic function artefacts (taxonomy, per-record
+    /// interpretations, semhash signatures) — the "SF" series of Fig. 13(d).
+    pub semantic_function_time: Duration,
+}
+
+/// The scalability experiment output.
+#[derive(Debug, Clone)]
+pub struct Fig13Output {
+    /// One point per dataset size, ascending.
+    pub points: Vec<ScalePoint>,
+}
+
+/// The (k, l) operating point (k=9, l=15 as in the paper).
+pub const K: usize = 9;
+/// Number of bands of the operating point.
+pub const L: usize = 15;
+
+/// Measures the semantic-function construction time on a dataset.
+fn semantic_function_time(dataset: &Dataset) -> Result<Duration> {
+    let start = Instant::now();
+    let zeta = VoterSemanticFunction::default_voter();
+    let tree = zeta.taxonomy().clone();
+    let interpretations: Vec<Interpretation> = dataset.records().iter().map(|r| zeta.interpret(r)).collect();
+    let family = SemhashFamily::build(&tree, interpretations.iter())?;
+    let signatures = family.signatures(&tree, &interpretations);
+    // Touch the signatures so the work cannot be optimised away.
+    let total_bits: usize = signatures.iter().map(|s| s.count_ones()).sum();
+    let elapsed = start.elapsed();
+    debug_assert!(total_bits > 0);
+    Ok(elapsed)
+}
+
+/// Runs the experiment over explicit dataset sizes. Datasets are generated as
+/// prefixes of a single large corpus so that bigger points strictly contain
+/// smaller ones, mirroring how the paper slices the full voter roll.
+pub fn run_sizes(sizes: &[usize]) -> Result<Fig13Output> {
+    let largest = sizes.iter().copied().max().unwrap_or(0);
+    if largest == 0 {
+        return Ok(Fig13Output { points: Vec::new() });
+    }
+    let full = voter_dataset_of_size(largest)?;
+    let mut points = Vec::new();
+    for &records in sizes {
+        let dataset = full.prefix(records);
+        let lsh = run_blocker("LSH", &voter_lsh(K, L)?, &dataset)?;
+        let salsh = run_blocker("SA-LSH", &voter_salsh(K, L, VOTER_SEMANTIC_BITS, SemanticMode::Or)?, &dataset)?;
+        let sf = semantic_function_time(&dataset)?;
+        points.push(ScalePoint {
+            records,
+            lsh,
+            salsh,
+            semantic_function_time: sf,
+        });
+    }
+    Ok(Fig13Output { points })
+}
+
+/// Runs the experiment at the given scale.
+pub fn run(scale: Scale) -> Result<Fig13Output> {
+    run_sizes(&scale.scalability_sizes())
+}
+
+impl Fig13Output {
+    /// Renders the quality subplots (a)-(c) as a table.
+    pub fn quality_table(&self) -> TextTable {
+        let mut table = TextTable::new(
+            "Fig. 13 (a)-(c) — PC / PQ / RR over increasing dataset sizes",
+            &["records", "PC lsh", "PC sa", "PQ lsh", "PQ sa", "RR lsh", "RR sa"],
+        );
+        for point in &self.points {
+            table.add_row(vec![
+                point.records.to_string(),
+                fmt3(point.lsh.metrics.pc()),
+                fmt3(point.salsh.metrics.pc()),
+                fmt3(point.lsh.metrics.pq()),
+                fmt3(point.salsh.metrics.pq()),
+                fmt3(point.lsh.metrics.rr()),
+                fmt3(point.salsh.metrics.rr()),
+            ]);
+        }
+        table
+    }
+
+    /// Renders the runtime subplot (d) as a table.
+    pub fn time_table(&self) -> TextTable {
+        let mut table = TextTable::new(
+            "Fig. 13 (d) — blocking time over increasing dataset sizes (seconds)",
+            &["records", "LSH", "SA-LSH", "SF"],
+        );
+        for point in &self.points {
+            table.add_row(vec![
+                point.records.to_string(),
+                format!("{:.3}", point.lsh.blocking_time.as_secs_f64()),
+                format!("{:.3}", point.salsh.blocking_time.as_secs_f64()),
+                format!("{:.3}", point.semantic_function_time.as_secs_f64()),
+            ]);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalability_points_keep_quality_and_grow_linearly_in_work() {
+        let output = run_sizes(&[300, 600, 1200]).unwrap();
+        assert_eq!(output.points.len(), 3);
+        for point in &output.points {
+            // Quality holds across sizes: PC of SA-LSH tracks LSH closely
+            // (clean semantics) and RR stays very high.
+            assert!(point.lsh.metrics.pc() - point.salsh.metrics.pc() < 0.05);
+            assert!(point.salsh.metrics.rr() > 0.95);
+            assert!(point.salsh.metrics.pq() + 1e-9 >= point.lsh.metrics.pq());
+        }
+        // Larger inputs cannot get cheaper to interpret semantically.
+        assert!(
+            output.points[2].semantic_function_time >= output.points[0].semantic_function_time
+                || output.points[2].semantic_function_time.as_micros() < 2_000,
+            "SF time should grow with input size (unless everything is sub-millisecond noise)"
+        );
+        let quality = output.quality_table();
+        assert_eq!(quality.num_rows(), 3);
+        let time = output.time_table();
+        assert!(time.render().contains("SF"));
+    }
+
+    #[test]
+    fn empty_size_list_is_handled() {
+        let output = run_sizes(&[]).unwrap();
+        assert!(output.points.is_empty());
+        assert_eq!(output.quality_table().num_rows(), 0);
+    }
+}

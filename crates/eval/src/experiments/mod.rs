@@ -1,0 +1,232 @@
+//! One module per table/figure of the paper's evaluation section.
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`fig05`] | Fig. 5 — collision probability of w-way semantic hash functions |
+//! | [`fig06`] | Fig. 6 — match-similarity distributions and (k, l) collision curves |
+//! | [`fig07`] | Fig. 7 — semantic hash configurations H11–H15 over Cora |
+//! | [`fig08`] | Fig. 8 — semantic hash configurations H21–H25 over NC Voter |
+//! | [`fig09`] | Fig. 9 — LSH vs SA-LSH over the (k, l) ladder |
+//! | [`tab02`] | Table 2 / Fig. 10 — impact of taxonomy-tree variants |
+//! | [`tab03`] | Table 3 — blocking time and candidate pairs of every technique |
+//! | [`fig11`] | Fig. 11 — quality comparison with the state of the art |
+//! | [`fig12`] | Fig. 12 — comparison with meta-blocking |
+//! | [`fig13`] | Fig. 13 — scalability over growing NC Voter subsets |
+//!
+//! Every experiment has a [`Scale::Quick`] configuration (seconds, used by
+//! tests and CI) and a [`Scale::Paper`] configuration (the sizes reported in
+//! the paper, used by the benchmark harness).
+
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod tab02;
+pub mod tab03;
+
+use sablock_core::error::Result;
+use sablock_core::lsh::salsh::SaLshBlocker;
+use sablock_core::lsh::semantic_hash::SemanticMode;
+use sablock_core::lsh::SemanticConfig;
+use sablock_core::semantic::pattern::PatternSemanticFunction;
+use sablock_core::semantic::voter::VoterSemanticFunction;
+use sablock_core::semantic::SemanticFunction;
+use sablock_core::taxonomy::bib::{bibliographic_taxonomy_variant, BibVariant};
+use sablock_datasets::{CoraConfig, CoraGenerator, Dataset, NcVoterConfig, NcVoterGenerator};
+
+/// How big an experiment should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small datasets (hundreds to a couple of thousand records); finishes in
+    /// seconds. Used by unit/integration tests.
+    Quick,
+    /// The dataset sizes used in the paper (1,879 Cora records, 30,000 NC
+    /// Voter records for quality, up to 292,892 for scalability).
+    Paper,
+}
+
+impl Scale {
+    /// Number of records of the Cora-like dataset at this scale.
+    pub fn cora_records(self) -> usize {
+        match self {
+            Scale::Quick => 400,
+            Scale::Paper => 1_879,
+        }
+    }
+
+    /// Number of records of the NC-Voter-like quality dataset at this scale.
+    pub fn voter_records(self) -> usize {
+        match self {
+            Scale::Quick => 1_500,
+            Scale::Paper => 30_000,
+        }
+    }
+
+    /// Number of records of the NC-Voter-like dataset used by Table 3's
+    /// timing comparison (the paper uses a 3,000-record subset in §6.4).
+    pub fn voter_timing_records(self) -> usize {
+        match self {
+            Scale::Quick => 600,
+            Scale::Paper => 3_000,
+        }
+    }
+
+    /// The record counts of the scalability experiment (Fig. 13).
+    pub fn scalability_sizes(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![500, 1_000, 2_000],
+            Scale::Paper => vec![10_000, 50_000, 100_000, 150_000, 200_000, 240_000, 292_892],
+        }
+    }
+}
+
+/// Generates the Cora-like dataset at a scale.
+pub fn cora_dataset(scale: Scale) -> Result<Dataset> {
+    Ok(CoraGenerator::new(CoraConfig {
+        num_records: scale.cora_records(),
+        ..CoraConfig::default()
+    })
+    .generate()?)
+}
+
+/// Generates the NC-Voter-like quality dataset at a scale.
+pub fn voter_dataset(scale: Scale) -> Result<Dataset> {
+    Ok(NcVoterGenerator::new(NcVoterConfig {
+        num_records: scale.voter_records(),
+        ..NcVoterConfig::default()
+    })
+    .generate()?)
+}
+
+/// Generates an NC-Voter-like dataset with an explicit record count (used by
+/// the timing and scalability experiments).
+pub fn voter_dataset_of_size(num_records: usize) -> Result<Dataset> {
+    Ok(NcVoterGenerator::new(NcVoterConfig {
+        num_records,
+        ..NcVoterConfig::default()
+    })
+    .generate()?)
+}
+
+/// The attributes used for textual blocking on Cora (`authors` + `title`).
+pub const CORA_BLOCKING_ATTRIBUTES: [&str; 2] = ["title", "authors"];
+
+/// The attributes used for textual blocking on NC Voter
+/// (`first name` + `last name`).
+pub const VOTER_BLOCKING_ATTRIBUTES: [&str; 2] = ["first_name", "last_name"];
+
+/// The number of semantic features (semhash bits) of the Cora configuration.
+pub const CORA_SEMANTIC_BITS: usize = 5;
+
+/// The number of semantic features (semhash bits) of the NC Voter
+/// configuration.
+pub const VOTER_SEMANTIC_BITS: usize = 12;
+
+/// A plain textual LSH blocker for Cora-style data (q = 4).
+pub fn cora_lsh(rows_per_band: usize, bands: usize) -> Result<SaLshBlocker> {
+    SaLshBlocker::builder()
+        .attributes(CORA_BLOCKING_ATTRIBUTES)
+        .qgram(4)
+        .rows_per_band(rows_per_band)
+        .bands(bands)
+        .seed(0xC04A)
+        .build()
+}
+
+/// A semantic-aware LSH blocker for Cora-style data over a bibliographic
+/// taxonomy variant.
+pub fn cora_salsh(
+    rows_per_band: usize,
+    bands: usize,
+    w: usize,
+    mode: SemanticMode,
+    variant: BibVariant,
+    semantic_seed: u64,
+) -> Result<SaLshBlocker> {
+    let tree = bibliographic_taxonomy_variant(variant);
+    let zeta = PatternSemanticFunction::cora_default(&tree)?;
+    SaLshBlocker::builder()
+        .attributes(CORA_BLOCKING_ATTRIBUTES)
+        .qgram(4)
+        .rows_per_band(rows_per_band)
+        .bands(bands)
+        .seed(0xC04A)
+        .semantic(SemanticConfig::new(tree, zeta).with_w(w).with_mode(mode).with_seed(semantic_seed))
+        .build()
+}
+
+/// A plain textual LSH blocker for NC-Voter-style data (q = 2).
+pub fn voter_lsh(rows_per_band: usize, bands: usize) -> Result<SaLshBlocker> {
+    SaLshBlocker::builder()
+        .attributes(VOTER_BLOCKING_ATTRIBUTES)
+        .qgram(2)
+        .rows_per_band(rows_per_band)
+        .bands(bands)
+        .seed(0x7013)
+        .build()
+}
+
+/// A semantic-aware LSH blocker for NC-Voter-style data.
+pub fn voter_salsh(rows_per_band: usize, bands: usize, w: usize, mode: SemanticMode) -> Result<SaLshBlocker> {
+    let zeta = VoterSemanticFunction::default_voter();
+    let tree = zeta.taxonomy().clone();
+    SaLshBlocker::builder()
+        .attributes(VOTER_BLOCKING_ATTRIBUTES)
+        .qgram(2)
+        .rows_per_band(rows_per_band)
+        .bands(bands)
+        .seed(0x7013)
+        .semantic(SemanticConfig::new(tree, zeta).with_w(w).with_mode(mode).with_seed(0x5eed))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sablock_core::blocking::Blocker;
+
+    #[test]
+    fn scales_expose_the_paper_sizes() {
+        assert_eq!(Scale::Paper.cora_records(), 1_879);
+        assert_eq!(Scale::Paper.voter_records(), 30_000);
+        assert_eq!(Scale::Paper.voter_timing_records(), 3_000);
+        assert_eq!(Scale::Paper.scalability_sizes().last(), Some(&292_892));
+        assert!(Scale::Quick.cora_records() < Scale::Paper.cora_records());
+        assert_eq!(Scale::Quick.scalability_sizes().len(), 3);
+    }
+
+    #[test]
+    fn dataset_builders_generate_the_requested_sizes() {
+        let cora = cora_dataset(Scale::Quick).unwrap();
+        assert_eq!(cora.len(), Scale::Quick.cora_records());
+        let voter = voter_dataset_of_size(321).unwrap();
+        assert_eq!(voter.len(), 321);
+    }
+
+    #[test]
+    fn blocker_factories_build_valid_blockers() {
+        let lsh = cora_lsh(4, 8).unwrap();
+        assert!(!lsh.is_semantic());
+        let salsh = cora_salsh(4, 8, 2, SemanticMode::Or, BibVariant::Full, 1).unwrap();
+        assert!(salsh.is_semantic());
+        assert!(salsh.name().contains("SA-LSH"));
+        let voter = voter_salsh(9, 15, 12, SemanticMode::Or).unwrap();
+        assert!(voter.name().contains("w=12"));
+        let voter_plain = voter_lsh(9, 15).unwrap();
+        assert_eq!(voter_plain.minhash_config().qgram, 2);
+    }
+
+    #[test]
+    fn quick_blockers_run_end_to_end_on_quick_datasets() {
+        let cora = cora_dataset(Scale::Quick).unwrap();
+        let blocks = cora_salsh(2, 8, 5, SemanticMode::Or, BibVariant::Full, 1)
+            .unwrap()
+            .block(&cora)
+            .unwrap();
+        assert!(blocks.num_blocks() > 0);
+    }
+}

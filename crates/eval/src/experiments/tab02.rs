@@ -1,0 +1,221 @@
+//! E-TAB2 — Table 2 (with the taxonomy variants of Fig. 10): the impact of
+//! applying SA-LSH instead of plain LSH on the blocking results over Cora,
+//! for the full bibliographic taxonomy t_bib and its three variants.
+//!
+//! The table reports the *change* (in percentage points, mean ± std over
+//! repeated runs with different semantic-hash seeds) of PC, PQ, RR and FM
+//! when the semantic component is switched on.
+
+use sablock_core::error::Result;
+use sablock_core::lsh::semantic_hash::SemanticMode;
+use sablock_core::taxonomy::bib::BibVariant;
+use sablock_datasets::Dataset;
+
+use crate::experiments::{cora_dataset, Scale, CORA_SEMANTIC_BITS};
+use crate::report::{fmt_delta, TextTable};
+use crate::runner::run_blocker;
+
+/// Mean ± standard deviation of a set of observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanStd {
+    /// Mean value.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+impl MeanStd {
+    /// Computes mean and standard deviation of a sample.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self { mean: 0.0, std: 0.0 };
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+        Self {
+            mean,
+            std: variance.sqrt(),
+        }
+    }
+}
+
+impl std::fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}±{:.2}", fmt_delta(self.mean), self.std)
+    }
+}
+
+/// The impact of one taxonomy variant (deltas SA-LSH − LSH, in percentage
+/// points).
+#[derive(Debug, Clone)]
+pub struct VariantImpact {
+    /// The taxonomy variant.
+    pub variant: BibVariant,
+    /// Δ pair completeness.
+    pub delta_pc: MeanStd,
+    /// Δ pair quality.
+    pub delta_pq: MeanStd,
+    /// Δ reduction ratio.
+    pub delta_rr: MeanStd,
+    /// Δ F-measure.
+    pub delta_fm: MeanStd,
+}
+
+/// The table: one impact row per taxonomy variant.
+#[derive(Debug, Clone)]
+pub struct Tab02Output {
+    /// Impacts in the paper's column order (t_bib, t_bib,1, t_bib,2, t_bib,3).
+    pub impacts: Vec<VariantImpact>,
+}
+
+/// The (k, l) operating point (the same as Fig. 7 / Fig. 9 for Cora).
+pub const K: usize = 4;
+/// The number of bands of the operating point.
+pub const L: usize = 63;
+
+/// Runs the experiment on a pre-built Cora-like dataset with `repetitions`
+/// runs per variant.
+///
+/// Each repetition re-draws the minhash family (a new textual seed) and the
+/// per-band semantic hash functions, and the delta of a repetition is taken
+/// against the plain-LSH run *with the same textual seed*, so the reported
+/// mean ± std reflects the probabilistic variability of the LSH family — the
+/// source of the ± intervals in the paper's Table 2.
+pub fn run_on(dataset: &Dataset, repetitions: usize) -> Result<Tab02Output> {
+    use crate::experiments::CORA_BLOCKING_ATTRIBUTES;
+    use sablock_core::lsh::salsh::SaLshBlocker;
+    use sablock_core::lsh::SemanticConfig;
+    use sablock_core::semantic::pattern::PatternSemanticFunction;
+    use sablock_core::taxonomy::bib::bibliographic_taxonomy_variant;
+
+    let repetitions = repetitions.max(1);
+    // One plain-LSH baseline per repetition (per textual seed).
+    let mut baselines = Vec::with_capacity(repetitions);
+    for rep in 0..repetitions {
+        let lsh = SaLshBlocker::builder()
+            .attributes(CORA_BLOCKING_ATTRIBUTES)
+            .qgram(4)
+            .rows_per_band(K)
+            .bands(L)
+            .seed(0xC04A + rep as u64)
+            .build()?;
+        baselines.push(run_blocker("LSH", &lsh, dataset)?);
+    }
+
+    let mut impacts = Vec::new();
+    for variant in BibVariant::ALL {
+        let mut d_pc = Vec::with_capacity(repetitions);
+        let mut d_pq = Vec::with_capacity(repetitions);
+        let mut d_rr = Vec::with_capacity(repetitions);
+        let mut d_fm = Vec::with_capacity(repetitions);
+        for (rep, baseline) in baselines.iter().enumerate() {
+            let tree = bibliographic_taxonomy_variant(variant);
+            let zeta = PatternSemanticFunction::cora_default(&tree)?;
+            let blocker = SaLshBlocker::builder()
+                .attributes(CORA_BLOCKING_ATTRIBUTES)
+                .qgram(4)
+                .rows_per_band(K)
+                .bands(L)
+                .seed(0xC04A + rep as u64)
+                .semantic(
+                    SemanticConfig::new(tree, zeta)
+                        .with_w(CORA_SEMANTIC_BITS)
+                        .with_mode(SemanticMode::Or)
+                        .with_seed(0x7a20 + rep as u64),
+                )
+                .build()?;
+            let result = run_blocker("SA-LSH", &blocker, dataset)?;
+            d_pc.push((result.metrics.pc() - baseline.metrics.pc()) * 100.0);
+            d_pq.push((result.metrics.pq() - baseline.metrics.pq()) * 100.0);
+            d_rr.push((result.metrics.rr() - baseline.metrics.rr()) * 100.0);
+            d_fm.push((result.metrics.fm() - baseline.metrics.fm()) * 100.0);
+        }
+        impacts.push(VariantImpact {
+            variant,
+            delta_pc: MeanStd::of(&d_pc),
+            delta_pq: MeanStd::of(&d_pq),
+            delta_rr: MeanStd::of(&d_rr),
+            delta_fm: MeanStd::of(&d_fm),
+        });
+    }
+    Ok(Tab02Output { impacts })
+}
+
+/// Runs the experiment at the given scale (3 repetitions at Quick scale, 5 at
+/// Paper scale — the paper reports mean ± std over repeated runs).
+pub fn run(scale: Scale) -> Result<Tab02Output> {
+    let dataset = cora_dataset(scale)?;
+    let repetitions = match scale {
+        Scale::Quick => 3,
+        Scale::Paper => 5,
+    };
+    run_on(&dataset, repetitions)
+}
+
+impl Tab02Output {
+    /// Renders the table in the paper's layout (measures as rows, variants as
+    /// columns).
+    pub fn to_table(&self) -> TextTable {
+        let mut header = vec!["measure".to_string()];
+        header.extend(self.impacts.iter().map(|i| i.variant.name().to_string()));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut table = TextTable::new("Table 2 — impact of SA-LSH per taxonomy variant (Δ percentage points)", &header_refs);
+        for (measure, pick) in [
+            ("PC", 0usize),
+            ("PQ", 1),
+            ("RR", 2),
+            ("FM", 3),
+        ] {
+            let mut row = vec![measure.to_string()];
+            for impact in &self.impacts {
+                let value = match pick {
+                    0 => impact.delta_pc,
+                    1 => impact.delta_pq,
+                    2 => impact.delta_rr,
+                    _ => impact.delta_fm,
+                };
+                row.push(value.to_string());
+            }
+            table.add_row(row);
+        }
+        table
+    }
+
+    /// The impact of a variant.
+    pub fn get(&self, variant: BibVariant) -> Option<&VariantImpact> {
+        self.impacts.iter().find(|i| i.variant == variant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_computation() {
+        let ms = MeanStd::of(&[1.0, 3.0]);
+        assert_eq!(ms.mean, 2.0);
+        assert_eq!(ms.std, 1.0);
+        assert_eq!(MeanStd::of(&[]), MeanStd { mean: 0.0, std: 0.0 });
+        assert!(ms.to_string().contains('±'));
+    }
+
+    #[test]
+    fn semantic_features_trade_pc_for_pq_on_every_variant() {
+        let dataset = cora_dataset(Scale::Quick).unwrap();
+        let output = run_on(&dataset, 2).unwrap();
+        assert_eq!(output.impacts.len(), 4);
+        for impact in &output.impacts {
+            // The paper: "the PC values always decrease and the PQ, RR and FM
+            // values always increase after incorporating semantic features".
+            assert!(impact.delta_pc.mean <= 1e-9, "{}: ΔPC = {}", impact.variant.name(), impact.delta_pc.mean);
+            assert!(impact.delta_pq.mean >= -1e-9, "{}: ΔPQ = {}", impact.variant.name(), impact.delta_pq.mean);
+            assert!(impact.delta_rr.mean >= -1e-9, "{}: ΔRR = {}", impact.variant.name(), impact.delta_rr.mean);
+            assert!(impact.delta_fm.mean >= -1e-9, "{}: ΔFM = {}", impact.variant.name(), impact.delta_fm.mean);
+        }
+        assert!(output.get(BibVariant::Full).is_some());
+        let table = output.to_table();
+        assert_eq!(table.num_rows(), 4);
+        assert!(table.render().contains("t_bib,3"));
+    }
+}

@@ -1,0 +1,144 @@
+//! E-TAB3 — Table 3: blocking time and number of candidate pairs of every
+//! technique (best-FM parameter setting) over the NC Voter timing subset,
+//! plus the LSH and SA-LSH rows.
+
+use sablock_baselines::key::BlockingKey;
+use sablock_baselines::params::{full_grids, reduced_grids, TechniqueGrid};
+use sablock_core::error::Result;
+use sablock_core::lsh::semantic_hash::SemanticMode;
+use sablock_datasets::Dataset;
+
+use crate::experiments::{voter_dataset_of_size, voter_lsh, voter_salsh, Scale, VOTER_SEMANTIC_BITS};
+use crate::report::{fmt3, TextTable};
+use crate::runner::{run_blocker, RunResult};
+use crate::sweep::best_by_fm;
+
+/// Which parameter grids to sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridScale {
+    /// One or two representative settings per technique (fast).
+    Reduced,
+    /// The full survey grids (~150 settings; slow but faithful to the paper).
+    Full,
+}
+
+/// One row of Table 3.
+#[derive(Debug, Clone)]
+pub struct Tab03Row {
+    /// Technique abbreviation.
+    pub technique: String,
+    /// Number of parameter settings swept.
+    pub settings: usize,
+    /// The best-FM run.
+    pub best: RunResult,
+}
+
+/// The full table.
+#[derive(Debug, Clone)]
+pub struct Tab03Output {
+    /// Rows in the paper's order (baselines first, then LSH and SA-LSH).
+    pub rows: Vec<Tab03Row>,
+    /// Number of records in the timing dataset.
+    pub num_records: usize,
+}
+
+/// The LSH/SA-LSH operating point used for the NC Voter rows (k=9, l=15).
+pub const K: usize = 9;
+/// Number of bands of the operating point.
+pub const L: usize = 15;
+
+/// Runs the experiment on a pre-built dataset.
+pub fn run_on(dataset: &Dataset, grid_scale: GridScale) -> Result<Tab03Output> {
+    let key = BlockingKey::ncvoter();
+    let grids: Vec<TechniqueGrid> = match grid_scale {
+        GridScale::Reduced => reduced_grids(&key),
+        GridScale::Full => full_grids(&key),
+    };
+    let mut rows = Vec::new();
+    for grid in &grids {
+        let best = best_by_fm(grid, dataset)?;
+        rows.push(Tab03Row {
+            technique: grid.technique.to_string(),
+            settings: grid.len(),
+            best,
+        });
+    }
+    // LSH and SA-LSH rows (a single setting each, as in the paper).
+    let lsh = run_blocker("LSH", &voter_lsh(K, L)?, dataset)?;
+    rows.push(Tab03Row {
+        technique: "LSH".to_string(),
+        settings: 1,
+        best: lsh,
+    });
+    let salsh = run_blocker("SA-LSH", &voter_salsh(K, L, VOTER_SEMANTIC_BITS, SemanticMode::Or)?, dataset)?;
+    rows.push(Tab03Row {
+        technique: "SA-LSH".to_string(),
+        settings: 1,
+        best: salsh,
+    });
+    Ok(Tab03Output {
+        rows,
+        num_records: dataset.len(),
+    })
+}
+
+/// Runs the experiment at the given scale with the given grid scale.
+pub fn run(scale: Scale, grid_scale: GridScale) -> Result<Tab03Output> {
+    let dataset = voter_dataset_of_size(scale.voter_timing_records())?;
+    run_on(&dataset, grid_scale)
+}
+
+impl Tab03Output {
+    /// Renders the table.
+    pub fn to_table(&self) -> TextTable {
+        let mut table = TextTable::new(
+            format!("Table 3 — blocking time and candidate pairs ({} records)", self.num_records),
+            &["technique", "settings", "time (s)", "candidate pairs", "PC", "PQ", "FM"],
+        );
+        for row in &self.rows {
+            table.add_row(vec![
+                row.technique.clone(),
+                row.settings.to_string(),
+                format!("{:.4}", row.best.blocking_time.as_secs_f64()),
+                row.best.metrics.candidate_pairs.to_string(),
+                fmt3(row.best.metrics.pc()),
+                fmt3(row.best.metrics.pq()),
+                fmt3(row.best.metrics.fm()),
+            ]);
+        }
+        table
+    }
+
+    /// A row by technique name.
+    pub fn get(&self, technique: &str) -> Option<&Tab03Row> {
+        self.rows.iter().find(|r| r.technique == technique)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_all_fourteen_rows_and_salsh_prunes_hardest() {
+        let dataset = voter_dataset_of_size(400).unwrap();
+        let output = run_on(&dataset, GridScale::Reduced).unwrap();
+        assert_eq!(output.rows.len(), 14, "12 baselines + LSH + SA-LSH");
+        assert!(output.get("TBlo").is_some());
+        assert!(output.get("SA-LSH").is_some());
+
+        // The paper's headline for Table 3: SA-LSH produces the fewest
+        // candidate pairs (3,565 vs 5,110 for LSH and 15k+ for most others).
+        let salsh_pairs = output.get("SA-LSH").unwrap().best.metrics.candidate_pairs;
+        let lsh_pairs = output.get("LSH").unwrap().best.metrics.candidate_pairs;
+        assert!(salsh_pairs <= lsh_pairs, "SA-LSH ({salsh_pairs}) must not exceed LSH ({lsh_pairs})");
+
+        // Every technique keeps some true matches on this near-duplicate-rich data.
+        for row in &output.rows {
+            assert!(row.best.metrics.pc() > 0.0, "{} found nothing", row.technique);
+        }
+        let rendered = output.to_table().render();
+        assert!(rendered.contains("SA-LSH"));
+        assert!(rendered.contains("candidate pairs"));
+    }
+}

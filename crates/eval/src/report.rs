@@ -1,0 +1,129 @@
+//! Fixed-width text tables for experiment output.
+//!
+//! The benchmark harness prints the same rows/series the paper reports; this
+//! module keeps that output readable and diff-able without pulling in a
+//! table-rendering dependency.
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (shorter rows are padded with empty cells, longer rows
+    /// are truncated to the header width).
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        let mut cells = cells;
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Convenience: appends a row of displayable values.
+    pub fn row<T: std::fmt::Display>(&mut self, cells: &[T]) {
+        self.add_row(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("== {} ==\n", self.title));
+        }
+        let format_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, cell)| format!("{:<width$}", cell, width = widths.get(i).copied().unwrap_or(cell.len())))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&format_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with three decimals (the precision used in the paper's
+/// tables).
+pub fn fmt3(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+/// Formats a signed percentage delta with two decimals, e.g. `+24.75`.
+pub fn fmt_delta(value: f64) -> String {
+    format!("{value:+.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut table = TextTable::new("Example", &["technique", "FM"]);
+        table.add_row(vec!["SA-LSH".into(), "0.712".into()]);
+        table.add_row(vec!["TBlo".into(), "0.3".into()]);
+        let rendered = table.render();
+        assert!(rendered.contains("== Example =="));
+        assert!(rendered.contains("technique  FM"));
+        assert!(rendered.contains("SA-LSH"));
+        assert_eq!(table.num_rows(), 2);
+        assert_eq!(table.title(), "Example");
+    }
+
+    #[test]
+    fn rows_are_padded_and_truncated_to_header_width() {
+        let mut table = TextTable::new("", &["a", "b"]);
+        table.add_row(vec!["only one".into()]);
+        table.row(&[1.5, 2.5, 3.5]);
+        let rendered = table.render();
+        assert!(rendered.contains("only one"));
+        assert!(rendered.contains("1.5"));
+        assert!(!rendered.contains("3.5"), "extra cells are dropped");
+        assert!(!rendered.contains("=="), "no title line when the title is empty");
+    }
+
+    #[test]
+    fn float_formatters() {
+        assert_eq!(fmt3(0.123456), "0.123");
+        assert_eq!(fmt3(1.0), "1.000");
+        assert_eq!(fmt_delta(24.754), "+24.75");
+        assert_eq!(fmt_delta(-3.5), "-3.50");
+    }
+}

@@ -1,0 +1,189 @@
+//! Edit-distance based string similarity.
+//!
+//! Edit distance is one of the four string similarity functions swept for the
+//! adaptive sorted-neighbourhood, robust suffix-array and string-map baselines
+//! in the paper's Table 3 experiment.
+
+/// Levenshtein distance (insertions, deletions, substitutions) between two
+/// strings, computed over Unicode scalar values.
+///
+/// Runs in `O(|a| · |b|)` time and `O(min(|a|, |b|))` space.
+///
+/// # Examples
+/// ```
+/// use sablock_textual::levenshtein;
+/// assert_eq!(levenshtein("kitten", "sitting"), 3);
+/// assert_eq!(levenshtein("", "abc"), 3);
+/// assert_eq!(levenshtein("same", "same"), 0);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    // Keep the shorter string in the inner dimension to minimise memory.
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut curr: Vec<usize> = vec![0; short.len() + 1];
+    for (i, lc) in long.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+/// Damerau-Levenshtein distance (restricted transpositions of adjacent
+/// characters count as one edit).
+///
+/// # Examples
+/// ```
+/// use sablock_textual::damerau_levenshtein;
+/// assert_eq!(damerau_levenshtein("ca", "ac"), 1);
+/// assert_eq!(damerau_levenshtein("abcdef", "abcfed"), 2);
+/// ```
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let cols = b.len() + 1;
+    // Three rolling rows are enough for the restricted transposition variant.
+    let mut prev2: Vec<usize> = vec![0; cols];
+    let mut prev: Vec<usize> = (0..cols).collect();
+    let mut curr: Vec<usize> = vec![0; cols];
+    for i in 1..=a.len() {
+        curr[0] = i;
+        for j in 1..=b.len() {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut best = (prev[j] + 1).min(curr[j - 1] + 1).min(prev[j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(prev2[j - 2] + 1);
+            }
+            curr[j] = best;
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Normalised Levenshtein similarity in `[0, 1]`:
+/// `1 - dist(a, b) / max(|a|, |b|)`.
+///
+/// Two empty strings have similarity `1.0` (zero edits are needed).
+///
+/// # Examples
+/// ```
+/// use sablock_textual::levenshtein_similarity;
+/// assert_eq!(levenshtein_similarity("abcd", "abcd"), 1.0);
+/// assert_eq!(levenshtein_similarity("abcd", ""), 0.0);
+/// assert!((levenshtein_similarity("abcd", "abce") - 0.75).abs() < 1e-12);
+/// ```
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Normalised Damerau-Levenshtein similarity in `[0, 1]`.
+pub fn damerau_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - damerau_levenshtein(a, b) as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_examples() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("gumbo", "gambol"), 2);
+    }
+
+    #[test]
+    fn empty_strings() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(damerau_levenshtein("", "xy"), 2);
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(damerau_similarity("", ""), 1.0);
+    }
+
+    #[test]
+    fn transpositions_cheaper_in_damerau() {
+        assert_eq!(levenshtein("wangqing", "wagnqing"), 2);
+        assert_eq!(damerau_levenshtein("wangqing", "wagnqing"), 1);
+    }
+
+    #[test]
+    fn unicode_counts_scalar_values() {
+        assert_eq!(levenshtein("straße", "strasse"), 2);
+        assert_eq!(levenshtein("café", "cafe"), 1);
+    }
+
+    #[test]
+    fn symmetry() {
+        for (a, b) in [("cascade", "cascode"), ("paper", "taper"), ("", "x")] {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+            assert_eq!(damerau_levenshtein(a, b), damerau_levenshtein(b, a));
+        }
+    }
+
+    #[test]
+    fn paper_typo_example() {
+        // r1 "cascade-correlation" vs r4 "cascade corelation" differ by a
+        // single deleted 'r' after normalisation; similarity should be high.
+        let s = levenshtein_similarity("cascade correlation", "cascade corelation");
+        assert!(s > 0.9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn distance_is_metric_like(a in "[a-d]{0,12}", b in "[a-d]{0,12}", c in "[a-d]{0,12}") {
+            // symmetry
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+            // identity of indiscernibles
+            prop_assert_eq!(levenshtein(&a, &a) == 0, true);
+            // triangle inequality
+            prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        }
+
+        #[test]
+        fn damerau_never_exceeds_levenshtein(a in "[a-d]{0,12}", b in "[a-d]{0,12}") {
+            prop_assert!(damerau_levenshtein(&a, &b) <= levenshtein(&a, &b));
+        }
+
+        #[test]
+        fn distance_bounded_by_longer_length(a in "[a-z]{0,16}", b in "[a-z]{0,16}") {
+            prop_assert!(levenshtein(&a, &b) <= a.chars().count().max(b.chars().count()));
+        }
+
+        #[test]
+        fn similarity_in_unit_interval(a in ".{0,16}", b in ".{0,16}") {
+            let s = levenshtein_similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Jaro and Jaro-Winkler string similarity.
+//!
+//! Jaro-Winkler is the first of the string similarity functions listed for
+//! the baseline parameter sweeps in the paper (ASor, RSuA, StMT, StMNN) and is
+//! the de-facto standard for comparing person names in record linkage.
+
+/// Jaro similarity of two strings, in `[0, 1]`.
+///
+/// Matching characters must be within `max(|a|, |b|) / 2 - 1` positions of
+/// each other; transposed matches count half.
+///
+/// # Examples
+/// ```
+/// use sablock_textual::jaro;
+/// assert!((jaro("martha", "marhta") - 0.944444).abs() < 1e-5);
+/// assert_eq!(jaro("same", "same"), 1.0);
+/// assert_eq!(jaro("abc", ""), 0.0);
+/// ```
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    if a == b {
+        return 1.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> = b
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| b_used[*j])
+        .map(|(_, &c)| c)
+        .collect();
+    let transpositions = matches_a
+        .iter()
+        .zip(matches_b.iter())
+        .filter(|(x, y)| x != y)
+        .count();
+    let m = m as f64;
+    let t = transpositions as f64 / 2.0;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity: Jaro boosted by a common-prefix bonus.
+///
+/// Uses the standard scaling factor `p = 0.1` and a maximum prefix length of
+/// 4, and only applies the boost when the Jaro similarity exceeds 0.7 (the
+/// "boost threshold" from Winkler's original formulation).
+///
+/// # Examples
+/// ```
+/// use sablock_textual::{jaro, jaro_winkler};
+/// assert!(jaro_winkler("dwayne", "duane") >= jaro("dwayne", "duane"));
+/// assert_eq!(jaro_winkler("x", "x"), 1.0);
+/// ```
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    jaro_winkler_with(a, b, 0.1, 4, 0.7)
+}
+
+/// Jaro-Winkler with explicit prefix scale, maximum prefix length and boost
+/// threshold.
+pub fn jaro_winkler_with(
+    a: &str,
+    b: &str,
+    prefix_scale: f64,
+    max_prefix: usize,
+    boost_threshold: f64,
+) -> f64 {
+    let j = jaro(a, b);
+    if j <= boost_threshold {
+        return j;
+    }
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(max_prefix)
+        .take_while(|(x, y)| x == y)
+        .count();
+    (j + prefix as f64 * prefix_scale * (1.0 - j)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-4
+    }
+
+    #[test]
+    fn classic_jaro_values() {
+        assert!(close(jaro("martha", "marhta"), 0.9444));
+        assert!(close(jaro("dixon", "dicksonx"), 0.7667));
+        assert!(close(jaro("jellyfish", "smellyfish"), 0.8963));
+    }
+
+    #[test]
+    fn classic_jaro_winkler_values() {
+        assert!(close(jaro_winkler("martha", "marhta"), 0.9611));
+        assert!(close(jaro_winkler("dixon", "dicksonx"), 0.8133));
+    }
+
+    #[test]
+    fn identical_and_empty() {
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro_winkler("", ""), 1.0);
+        assert_eq!(jaro("abc", ""), 0.0);
+        assert_eq!(jaro("wang", "wang"), 1.0);
+    }
+
+    #[test]
+    fn completely_different() {
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro_winkler("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn winkler_no_boost_below_threshold() {
+        // Jaro of these is below 0.7, so Winkler must not change it.
+        let j = jaro("abcdef", "abxxxx");
+        assert!(j < 0.7);
+        assert_eq!(jaro_winkler("abcdef", "abxxxx"), j);
+    }
+
+    #[test]
+    fn symmetry() {
+        for (a, b) in [("fahlman", "fehlman"), ("qing", "wang"), ("a", "ab")] {
+            assert!(close(jaro(a, b), jaro(b, a)));
+            assert!(close(jaro_winkler(a, b), jaro_winkler(b, a)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn jaro_in_unit_interval(a in "[a-e]{0,10}", b in "[a-e]{0,10}") {
+            let s = jaro(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn jaro_winkler_at_least_jaro(a in "[a-e]{0,10}", b in "[a-e]{0,10}") {
+            prop_assert!(jaro_winkler(&a, &b) + 1e-12 >= jaro(&a, &b));
+        }
+
+        #[test]
+        fn jaro_symmetric(a in "[a-e]{0,10}", b in "[a-e]{0,10}") {
+            prop_assert!((jaro(&a, &b) - jaro(&b, &a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn self_similarity_is_one(a in "[a-z]{1,10}") {
+            prop_assert_eq!(jaro(&a, &a), 1.0);
+            prop_assert_eq!(jaro_winkler(&a, &a), 1.0);
+        }
+    }
+}

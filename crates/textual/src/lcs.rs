@@ -1,0 +1,168 @@
+//! Longest common substring / subsequence similarity.
+//!
+//! "Longest common substring" is the fourth string similarity function listed
+//! in the paper's baseline parameter sweeps (Section 6.3.4).
+
+/// Length of the longest common *substring* (contiguous) of two strings.
+///
+/// # Examples
+/// ```
+/// use sablock_textual::longest_common_substring;
+/// assert_eq!(longest_common_substring("cascade", "arcade"), 4); // "cade"
+/// assert_eq!(longest_common_substring("abc", "xyz"), 0);
+/// ```
+pub fn longest_common_substring(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut curr = vec![0usize; b.len() + 1];
+    let mut best = 0;
+    for i in 1..=a.len() {
+        for j in 1..=b.len() {
+            if a[i - 1] == b[j - 1] {
+                curr[j] = prev[j - 1] + 1;
+                best = best.max(curr[j]);
+            } else {
+                curr[j] = 0;
+            }
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    best
+}
+
+/// Length of the longest common *subsequence* (not necessarily contiguous).
+///
+/// # Examples
+/// ```
+/// use sablock_textual::longest_common_subsequence;
+/// assert_eq!(longest_common_subsequence("abcde", "ace"), 3);
+/// assert_eq!(longest_common_subsequence("abc", ""), 0);
+/// ```
+pub fn longest_common_subsequence(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut curr = vec![0usize; b.len() + 1];
+    for i in 1..=a.len() {
+        for j in 1..=b.len() {
+            curr[j] = if a[i - 1] == b[j - 1] {
+                prev[j - 1] + 1
+            } else {
+                prev[j].max(curr[j - 1])
+            };
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Longest-common-substring similarity in `[0, 1]`:
+/// `2 · lcs(a, b) / (|a| + |b|)`, following the repeated-LCS similarity used
+/// in the record-linkage literature (single-iteration variant).
+///
+/// Two empty strings have similarity `0.0` (nothing in common to speak of).
+///
+/// # Examples
+/// ```
+/// use sablock_textual::lcs_similarity;
+/// assert_eq!(lcs_similarity("abcd", "abcd"), 1.0);
+/// assert_eq!(lcs_similarity("abcd", "efgh"), 0.0);
+/// ```
+pub fn lcs_similarity(a: &str, b: &str) -> f64 {
+    let len_a = a.chars().count();
+    let len_b = b.chars().count();
+    if len_a + len_b == 0 {
+        return 0.0;
+    }
+    2.0 * longest_common_substring(a, b) as f64 / (len_a + len_b) as f64
+}
+
+/// Longest-common-subsequence similarity in `[0, 1]`.
+pub fn lcsq_similarity(a: &str, b: &str) -> f64 {
+    let len_a = a.chars().count();
+    let len_b = b.chars().count();
+    if len_a + len_b == 0 {
+        return 0.0;
+    }
+    2.0 * longest_common_subsequence(a, b) as f64 / (len_a + len_b) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substring_basic() {
+        assert_eq!(longest_common_substring("machine learning", "deep learning"), 9); // " learning"
+        assert_eq!(longest_common_substring("aaa", "aa"), 2);
+    }
+
+    #[test]
+    fn subsequence_basic() {
+        assert_eq!(longest_common_subsequence("AGGTAB", "GXTXAYB"), 4);
+        assert_eq!(longest_common_subsequence("abc", "abc"), 3);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(longest_common_substring("", "abc"), 0);
+        assert_eq!(longest_common_subsequence("", ""), 0);
+        assert_eq!(lcs_similarity("", ""), 0.0);
+        assert_eq!(lcsq_similarity("", ""), 0.0);
+    }
+
+    #[test]
+    fn subsequence_at_least_substring() {
+        for (a, b) in [("cascade", "arcade"), ("entity", "identity"), ("abc", "cba")] {
+            assert!(longest_common_subsequence(a, b) >= longest_common_substring(a, b));
+        }
+    }
+
+    #[test]
+    fn similarity_bounds_and_symmetry() {
+        for (a, b) in [("qing wang", "wang qing"), ("tr", "technical report"), ("x", "")] {
+            let s = lcs_similarity(a, b);
+            assert!((0.0..=1.0).contains(&s));
+            assert!((s - lcs_similarity(b, a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unicode_handling() {
+        assert_eq!(longest_common_substring("straße", "strasse"), 4); // "stra"
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn lcs_bounded_by_shorter(a in "[a-c]{0,12}", b in "[a-c]{0,12}") {
+            let bound = a.chars().count().min(b.chars().count());
+            prop_assert!(longest_common_substring(&a, &b) <= bound);
+            prop_assert!(longest_common_subsequence(&a, &b) <= bound);
+        }
+
+        #[test]
+        fn lcs_symmetric(a in "[a-c]{0,12}", b in "[a-c]{0,12}") {
+            prop_assert_eq!(longest_common_substring(&a, &b), longest_common_substring(&b, &a));
+            prop_assert_eq!(longest_common_subsequence(&a, &b), longest_common_subsequence(&b, &a));
+        }
+
+        #[test]
+        fn self_similarity_is_one(a in "[a-z]{1,12}") {
+            prop_assert_eq!(lcs_similarity(&a, &a), 1.0);
+            prop_assert_eq!(lcsq_similarity(&a, &a), 1.0);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Character q-gram extraction and shingle sets.
+//!
+//! The paper's minhash pipeline (Section 5.1, step "Shingling") converts each
+//! record into the set of character q-grams occurring in its selected
+//! attribute values; the Jaccard coefficient over these sets is the textual
+//! similarity that the LSH family approximates. The experiments sweep
+//! `q ∈ {2, 3, 4}` (Fig. 6) and pick `q = 4` for Cora, `q = 2` for NC Voter.
+
+use crate::hashing::{hash_str, StableHashSet};
+use crate::normalize::normalize;
+use crate::setsim::jaccard;
+
+/// Extracts the (multiset-deduplicated) q-grams of a normalised string.
+///
+/// When the string is shorter than `q`, the whole string is returned as a
+/// single gram so that very short values (initials, single tokens) still
+/// produce a non-empty shingle set.
+///
+/// # Panics
+/// Panics if `q == 0`.
+///
+/// # Examples
+/// ```
+/// use sablock_textual::qgrams;
+/// assert_eq!(qgrams("abcd", 2), vec!["ab", "bc", "cd"]);
+/// assert_eq!(qgrams("ab", 3), vec!["ab"]);
+/// assert!(qgrams("", 2).is_empty());
+/// ```
+pub fn qgrams(text: &str, q: usize) -> Vec<String> {
+    assert!(q > 0, "q-gram size must be positive");
+    let chars: Vec<char> = text.chars().collect();
+    if chars.is_empty() {
+        return Vec::new();
+    }
+    if chars.len() < q {
+        return vec![chars.iter().collect()];
+    }
+    (0..=chars.len() - q)
+        .map(|i| chars[i..i + q].iter().collect())
+        .collect()
+}
+
+/// Extracts padded q-grams: the string is surrounded by `q - 1` copies of a
+/// padding character (`#` at the start, `$` at the end) before extraction.
+///
+/// Padded q-grams give extra weight to the beginning and end of values and
+/// are the variant commonly used by q-gram indexing baselines.
+///
+/// # Examples
+/// ```
+/// use sablock_textual::padded_qgrams;
+/// assert_eq!(padded_qgrams("ab", 2), vec!["#a", "ab", "b$"]);
+/// ```
+pub fn padded_qgrams(text: &str, q: usize) -> Vec<String> {
+    assert!(q > 0, "q-gram size must be positive");
+    if text.is_empty() {
+        return Vec::new();
+    }
+    if q == 1 {
+        return qgrams(text, 1);
+    }
+    let mut padded = String::with_capacity(text.len() + 2 * (q - 1));
+    for _ in 0..q - 1 {
+        padded.push('#');
+    }
+    padded.push_str(text);
+    for _ in 0..q - 1 {
+        padded.push('$');
+    }
+    qgrams(&padded, q)
+}
+
+/// Returns the set of distinct q-grams of a *raw* (un-normalised) value.
+///
+/// The value is normalised first so that q-grams are case- and
+/// punctuation-insensitive.
+pub fn qgram_set(raw: &str, q: usize) -> StableHashSet<String> {
+    qgrams(&normalize(raw), q).into_iter().collect()
+}
+
+/// Returns the set of distinct *hashed* q-grams of a raw value.
+///
+/// Hashing the grams to `u64` keeps shingle sets compact (8 bytes per gram)
+/// and is what the minhash implementation consumes.
+pub fn hashed_qgram_set(raw: &str, q: usize) -> StableHashSet<u64> {
+    qgrams(&normalize(raw), q)
+        .into_iter()
+        .map(|g| hash_str(&g))
+        .collect()
+}
+
+/// Jaccard similarity of the q-gram sets of two raw values.
+///
+/// This is the "textual similarity" `sim_J` of the paper when records are
+/// shingled with character q-grams.
+///
+/// # Examples
+/// ```
+/// use sablock_textual::qgram_similarity;
+/// let s = qgram_similarity("cascade correlation", "cascade corelation", 2);
+/// assert!(s > 0.7 && s < 1.0);
+/// assert_eq!(qgram_similarity("abc", "abc", 2), 1.0);
+/// assert_eq!(qgram_similarity("abc", "xyz", 2), 0.0);
+/// ```
+pub fn qgram_similarity(a: &str, b: &str, q: usize) -> f64 {
+    let sa = qgram_set(a, q);
+    let sb = qgram_set(b, q);
+    jaccard(&sa, &sb)
+}
+
+/// Jaccard similarity over *exact* normalised values (q = ∞ in Fig. 6's
+/// "Exact Value" series): 1.0 if the normalised values are equal and both
+/// non-empty, otherwise 0.0.
+pub fn exact_value_similarity(a: &str, b: &str) -> f64 {
+    let na = normalize(a);
+    let nb = normalize(b);
+    if na.is_empty() || nb.is_empty() {
+        return 0.0;
+    }
+    if na == nb {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_bigrams() {
+        assert_eq!(qgrams("wang", 2), vec!["wa", "an", "ng"]);
+    }
+
+    #[test]
+    fn qgram_count_formula() {
+        // |qgrams(s, q)| == len - q + 1 for len >= q
+        for (s, q) in [("abcdefgh", 2), ("abcdefgh", 3), ("abcdefgh", 4)] {
+            assert_eq!(qgrams(s, q).len(), s.len() - q + 1);
+        }
+    }
+
+    #[test]
+    fn short_string_is_single_gram() {
+        assert_eq!(qgrams("ab", 4), vec!["ab"]);
+        assert_eq!(qgrams("a", 2), vec!["a"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_q_panics() {
+        qgrams("abc", 0);
+    }
+
+    #[test]
+    fn padded_grams_mark_ends() {
+        let grams = padded_qgrams("qing", 3);
+        assert!(grams.contains(&"##q".to_string()));
+        assert!(grams.contains(&"ng$".to_string()));
+        assert!(grams.contains(&"g$$".to_string()));
+    }
+
+    #[test]
+    fn padded_unigram_equals_plain() {
+        assert_eq!(padded_qgrams("abc", 1), qgrams("abc", 1));
+    }
+
+    #[test]
+    fn qgram_set_is_case_insensitive() {
+        assert_eq!(qgram_set("Wang Qing", 2), qgram_set("wang qing", 2));
+    }
+
+    #[test]
+    fn hashed_set_same_cardinality() {
+        let plain = qgram_set("cascade correlation", 3);
+        let hashed = hashed_qgram_set("cascade correlation", 3);
+        assert_eq!(plain.len(), hashed.len());
+    }
+
+    #[test]
+    fn similarity_symmetric_and_bounded() {
+        let pairs = [
+            ("cascade correlation", "cascade corelation"),
+            ("qing wang", "wang qing"),
+            ("", "abc"),
+            ("", ""),
+        ];
+        for (a, b) in pairs {
+            let s1 = qgram_similarity(a, b, 2);
+            let s2 = qgram_similarity(b, a, 2);
+            assert!((s1 - s2).abs() < 1e-12);
+            assert!((0.0..=1.0).contains(&s1));
+        }
+    }
+
+    #[test]
+    fn transposed_names_highly_similar_under_bigrams() {
+        // The motivating example of the paper: standard blocking keys cannot
+        // match "Qing Wang" and "Wang Qing", but their bigram sets overlap a lot.
+        let s = qgram_similarity("Qing Wang", "Wang Qing", 2);
+        assert!(s > 0.5, "bigram similarity of transposed names should be high, got {s}");
+    }
+
+    #[test]
+    fn exact_value_similarity_binary() {
+        assert_eq!(exact_value_similarity("The Title", "the   title!"), 1.0);
+        assert_eq!(exact_value_similarity("a", "b"), 0.0);
+        assert_eq!(exact_value_similarity("", ""), 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Set-based similarity coefficients: Jaccard, Dice and overlap.
+//!
+//! The Jaccard coefficient is the backbone of the whole framework: textual
+//! similarity is Jaccard over q-gram shingles (approximated by minhash), and
+//! semantic similarity of concepts (Eq. 4) is Jaccard over leaf-concept sets.
+
+use std::collections::HashSet;
+use std::hash::{BuildHasher, Hash};
+
+/// Jaccard similarity `|A ∩ B| / |A ∪ B|` of two sets.
+///
+/// Returns `0.0` when both sets are empty (the convention used throughout the
+/// blocking literature: two records with no shingles are *not* considered
+/// identical, they are considered incomparable).
+///
+/// # Examples
+/// ```
+/// use std::collections::HashSet;
+/// use sablock_textual::jaccard;
+/// let a: HashSet<_> = ["a", "b", "c"].into_iter().collect();
+/// let b: HashSet<_> = ["b", "c", "d"].into_iter().collect();
+/// assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+/// ```
+pub fn jaccard<T, S>(a: &HashSet<T, S>, b: &HashSet<T, S>) -> f64
+where
+    T: Eq + Hash,
+    S: BuildHasher,
+{
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = intersection_size(a, b);
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Jaccard similarity of two `u64` sets (the hashed-shingle fast path).
+pub fn jaccard_u64<S: BuildHasher>(a: &HashSet<u64, S>, b: &HashSet<u64, S>) -> f64 {
+    jaccard(a, b)
+}
+
+/// Dice coefficient `2|A ∩ B| / (|A| + |B|)`.
+pub fn dice<T, S>(a: &HashSet<T, S>, b: &HashSet<T, S>) -> f64
+where
+    T: Eq + Hash,
+    S: BuildHasher,
+{
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = intersection_size(a, b);
+    2.0 * inter as f64 / (a.len() + b.len()) as f64
+}
+
+/// Overlap coefficient `|A ∩ B| / min(|A|, |B|)`.
+pub fn overlap<T, S>(a: &HashSet<T, S>, b: &HashSet<T, S>) -> f64
+where
+    T: Eq + Hash,
+    S: BuildHasher,
+{
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = intersection_size(a, b);
+    inter as f64 / a.len().min(b.len()) as f64
+}
+
+/// Number of elements common to both sets, iterating over the smaller one.
+pub fn intersection_size<T, S>(a: &HashSet<T, S>, b: &HashSet<T, S>) -> usize
+where
+    T: Eq + Hash,
+    S: BuildHasher,
+{
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    small.iter().filter(|x| large.contains(*x)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn set(items: &[&str]) -> HashSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn jaccard_identical_sets() {
+        let a = set(&["x", "y"]);
+        assert_eq!(jaccard(&a, &a.clone()), 1.0);
+    }
+
+    #[test]
+    fn jaccard_disjoint_sets() {
+        assert_eq!(jaccard(&set(&["a"]), &set(&["b"])), 0.0);
+    }
+
+    #[test]
+    fn jaccard_empty_sets_are_zero() {
+        let empty: HashSet<String> = HashSet::new();
+        assert_eq!(jaccard(&empty, &empty), 0.0);
+        assert_eq!(jaccard(&empty, &set(&["a"])), 0.0);
+    }
+
+    #[test]
+    fn dice_geq_jaccard() {
+        let a = set(&["a", "b", "c", "d"]);
+        let b = set(&["c", "d", "e"]);
+        assert!(dice(&a, &b) >= jaccard(&a, &b));
+    }
+
+    #[test]
+    fn overlap_of_subset_is_one() {
+        let a = set(&["a", "b"]);
+        let b = set(&["a", "b", "c", "d"]);
+        assert_eq!(overlap(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn intersection_size_symmetric() {
+        let a = set(&["a", "b", "c"]);
+        let b = set(&["b", "c", "d", "e"]);
+        assert_eq!(intersection_size(&a, &b), intersection_size(&b, &a));
+        assert_eq!(intersection_size(&a, &b), 2);
+    }
+
+    #[test]
+    fn jaccard_known_value() {
+        // The paper's Example 4.4: |∩| = 5, |∪| = 6 → 5/6.
+        let leaves_c0 = set(&["c3", "c4", "c5", "c7", "c8", "c9"]);
+        let leaves_c1 = set(&["c3", "c4", "c5", "c7", "c8"]);
+        assert!((jaccard(&leaves_c0, &leaves_c1) - 5.0 / 6.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    fn arb_set() -> impl Strategy<Value = HashSet<u32>> {
+        proptest::collection::hash_set(0u32..50, 0..30)
+    }
+
+    proptest! {
+        #[test]
+        fn jaccard_in_unit_interval(a in arb_set(), b in arb_set()) {
+            let j = jaccard(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&j));
+        }
+
+        #[test]
+        fn jaccard_symmetric(a in arb_set(), b in arb_set()) {
+            prop_assert!((jaccard(&a, &b) - jaccard(&b, &a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn jaccard_self_is_one_unless_empty(a in arb_set()) {
+            let expected = if a.is_empty() { 0.0 } else { 1.0 };
+            prop_assert_eq!(jaccard(&a, &a.clone()), expected);
+        }
+
+        #[test]
+        fn dice_bounds_jaccard(a in arb_set(), b in arb_set()) {
+            // j <= d <= 2j/(1+j) relationship: d = 2j/(1+j)
+            let j = jaccard(&a, &b);
+            let d = dice(&a, &b);
+            let expected = if j == 0.0 { 0.0 } else { 2.0 * j / (1.0 + j) };
+            prop_assert!((d - expected).abs() < 1e-9);
+        }
+
+        #[test]
+        fn overlap_at_least_jaccard(a in arb_set(), b in arb_set()) {
+            prop_assert!(overlap(&a, &b) + 1e-12 >= jaccard(&a, &b));
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! A uniform interface over the string similarity functions.
+//!
+//! The paper's baseline comparison (Section 6.3.4) sweeps each technique over
+//! several string similarity functions ("Jaro-Winkler, bigram, edit-distance
+//! and longest common substring", plus Jaccard and TF-IDF cosine for canopy
+//! clustering). [`SimilarityFunction`] is the runtime-selectable enumeration
+//! the parameter grids iterate over, and [`StringSimilarity`] is the trait the
+//! blocking algorithms are generic over.
+
+use crate::edit::{damerau_similarity, levenshtein_similarity};
+use crate::jaro::{jaro, jaro_winkler};
+use crate::lcs::{lcs_similarity, lcsq_similarity};
+use crate::qgrams::{exact_value_similarity, qgram_similarity};
+use crate::setsim::jaccard;
+use crate::tokens::token_set;
+
+/// A symmetric string similarity in `[0, 1]`.
+pub trait StringSimilarity {
+    /// Similarity of two raw strings; `1.0` means identical.
+    fn similarity(&self, a: &str, b: &str) -> f64;
+
+    /// The corresponding distance `1 - similarity`, as used in Section 3 of
+    /// the paper (`δ(x, y) = 1 − sim(x, y)`).
+    fn distance(&self, a: &str, b: &str) -> f64 {
+        1.0 - self.similarity(a, b)
+    }
+}
+
+impl<F> StringSimilarity for F
+where
+    F: Fn(&str, &str) -> f64,
+{
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        self(a, b)
+    }
+}
+
+/// Runtime-selectable string similarity function.
+///
+/// These are the functions used in the paper's baseline parameter sweeps;
+/// each variant documents which baselines use it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimilarityFunction {
+    /// Exact equality of normalised values (Fig. 6 "Exact Value").
+    ExactValue,
+    /// Jaro similarity.
+    Jaro,
+    /// Jaro-Winkler similarity (ASor, RSuA, StMT, StMNN sweeps).
+    JaroWinkler,
+    /// Jaccard over character q-grams with the given q ("bigram" when q = 2).
+    QGram(u8),
+    /// Normalised Levenshtein edit-distance similarity.
+    EditDistance,
+    /// Normalised Damerau-Levenshtein similarity.
+    DamerauEditDistance,
+    /// Longest-common-substring similarity.
+    LongestCommonSubstring,
+    /// Longest-common-subsequence similarity.
+    LongestCommonSubsequence,
+    /// Jaccard over word tokens (CaTh/CaNN "Jaccard" variant).
+    TokenJaccard,
+}
+
+impl SimilarityFunction {
+    /// A short, stable identifier used in experiment reports.
+    pub fn name(&self) -> String {
+        match self {
+            Self::ExactValue => "exact".to_string(),
+            Self::Jaro => "jaro".to_string(),
+            Self::JaroWinkler => "jaro-winkler".to_string(),
+            Self::QGram(q) => format!("{q}-gram"),
+            Self::EditDistance => "edit-distance".to_string(),
+            Self::DamerauEditDistance => "damerau".to_string(),
+            Self::LongestCommonSubstring => "lcs".to_string(),
+            Self::LongestCommonSubsequence => "lcsq".to_string(),
+            Self::TokenJaccard => "token-jaccard".to_string(),
+        }
+    }
+
+    /// The set of functions the paper sweeps for key-comparison baselines
+    /// (ASor, RSuA, StMT, StMNN): Jaro-Winkler, bigram, edit distance, LCS.
+    pub fn survey_sweep() -> Vec<Self> {
+        vec![
+            Self::JaroWinkler,
+            Self::QGram(2),
+            Self::EditDistance,
+            Self::LongestCommonSubstring,
+        ]
+    }
+}
+
+impl StringSimilarity for SimilarityFunction {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        match self {
+            Self::ExactValue => exact_value_similarity(a, b),
+            Self::Jaro => jaro(a, b),
+            Self::JaroWinkler => jaro_winkler(a, b),
+            Self::QGram(q) => qgram_similarity(a, b, usize::from(*q).max(1)),
+            Self::EditDistance => levenshtein_similarity(a, b),
+            Self::DamerauEditDistance => damerau_similarity(a, b),
+            Self::LongestCommonSubstring => lcs_similarity(a, b),
+            Self::LongestCommonSubsequence => lcsq_similarity(a, b),
+            Self::TokenJaccard => {
+                let sa = token_set(a);
+                let sb = token_set(b);
+                jaccard(&sa, &sb)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: &[SimilarityFunction] = &[
+        SimilarityFunction::ExactValue,
+        SimilarityFunction::Jaro,
+        SimilarityFunction::JaroWinkler,
+        SimilarityFunction::QGram(2),
+        SimilarityFunction::QGram(3),
+        SimilarityFunction::EditDistance,
+        SimilarityFunction::DamerauEditDistance,
+        SimilarityFunction::LongestCommonSubstring,
+        SimilarityFunction::LongestCommonSubsequence,
+        SimilarityFunction::TokenJaccard,
+    ];
+
+    #[test]
+    fn all_functions_bounded_and_symmetric() {
+        let pairs = [
+            ("The cascade-correlation learning architecture", "Cascade correlation learning architecture"),
+            ("Qing Wang", "Wang Qing"),
+            ("", "non-empty"),
+            ("identical", "identical"),
+        ];
+        for f in ALL {
+            for (a, b) in pairs {
+                let s1 = f.similarity(a, b);
+                let s2 = f.similarity(b, a);
+                assert!((0.0..=1.0).contains(&s1), "{} out of range: {s1}", f.name());
+                assert!((s1 - s2).abs() < 1e-9, "{} asymmetric", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn identical_nonempty_values_score_one() {
+        for f in ALL {
+            let s = f.similarity("cascade correlation", "cascade correlation");
+            assert!((s - 1.0).abs() < 1e-9, "{} on identical values: {s}", f.name());
+        }
+    }
+
+    #[test]
+    fn distance_complements_similarity() {
+        let f = SimilarityFunction::JaroWinkler;
+        let s = f.similarity("wang", "wong");
+        assert!((f.distance("wang", "wong") - (1.0 - s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closure_impl_works() {
+        let f = |a: &str, b: &str| if a == b { 1.0 } else { 0.0 };
+        assert_eq!(StringSimilarity::similarity(&f, "x", "x"), 1.0);
+        assert_eq!(StringSimilarity::distance(&f, "x", "y"), 1.0);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<String> = ALL.iter().map(|f| f.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), ALL.len());
+    }
+
+    #[test]
+    fn survey_sweep_is_the_paper_list() {
+        let sweep = SimilarityFunction::survey_sweep();
+        assert_eq!(sweep.len(), 4);
+        assert!(sweep.contains(&SimilarityFunction::JaroWinkler));
+        assert!(sweep.contains(&SimilarityFunction::QGram(2)));
+        assert!(sweep.contains(&SimilarityFunction::EditDistance));
+        assert!(sweep.contains(&SimilarityFunction::LongestCommonSubstring));
+    }
+}

@@ -1,0 +1,233 @@
+//! TF-IDF weighting and cosine similarity over token vectors.
+//!
+//! The canopy-clustering baselines (CaTh / CaNN) are evaluated in the paper
+//! with both Jaccard and *TF-IDF cosine* similarity; this module provides the
+//! corpus model those baselines need.
+
+use std::collections::HashMap;
+
+use crate::hashing::StableHashMap;
+use crate::tokens::tokenize;
+
+/// A sparse TF-IDF vector: token id → weight.
+pub type SparseVector = StableHashMap<u32, f64>;
+
+/// A TF-IDF model built over a corpus of documents (attribute values).
+///
+/// Tokens are interned to dense `u32` ids; document frequencies are counted
+/// during [`TfIdfModel::fit`], and [`TfIdfModel::vectorize`] produces
+/// L2-normalised TF-IDF vectors so that [`CosineSimilarity`] reduces to a dot
+/// product.
+#[derive(Debug, Clone, Default)]
+pub struct TfIdfModel {
+    token_ids: HashMap<String, u32>,
+    document_frequency: Vec<u32>,
+    documents: usize,
+}
+
+impl TfIdfModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a model from an iterator of documents.
+    pub fn fit<I, S>(documents: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut model = Self::new();
+        for doc in documents {
+            model.add_document(doc.as_ref());
+        }
+        model
+    }
+
+    /// Adds one document's tokens to the corpus statistics.
+    pub fn add_document(&mut self, doc: &str) {
+        self.documents += 1;
+        let mut seen = std::collections::HashSet::new();
+        for token in tokenize(doc) {
+            let next_id = self.token_ids.len() as u32;
+            let id = *self.token_ids.entry(token).or_insert(next_id);
+            if id as usize == self.document_frequency.len() {
+                self.document_frequency.push(0);
+            }
+            if seen.insert(id) {
+                self.document_frequency[id as usize] += 1;
+            }
+        }
+    }
+
+    /// Number of documents the model has seen.
+    pub fn num_documents(&self) -> usize {
+        self.documents
+    }
+
+    /// Number of distinct tokens in the vocabulary.
+    pub fn vocabulary_size(&self) -> usize {
+        self.token_ids.len()
+    }
+
+    /// Inverse document frequency of a token id, with add-one smoothing.
+    fn idf(&self, id: u32) -> f64 {
+        let df = self.document_frequency[id as usize] as f64;
+        ((1.0 + self.documents as f64) / (1.0 + df)).ln() + 1.0
+    }
+
+    /// Converts a document into an L2-normalised sparse TF-IDF vector.
+    ///
+    /// Tokens unseen during fitting are ignored (they carry no corpus weight).
+    pub fn vectorize(&self, doc: &str) -> SparseVector {
+        let mut counts: StableHashMap<u32, f64> = StableHashMap::default();
+        for token in tokenize(doc) {
+            if let Some(&id) = self.token_ids.get(&token) {
+                *counts.entry(id).or_insert(0.0) += 1.0;
+            }
+        }
+        let mut vector: SparseVector = counts
+            .into_iter()
+            .map(|(id, tf)| (id, tf * self.idf(id)))
+            .collect();
+        let norm: f64 = vector.values().map(|w| w * w).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for weight in vector.values_mut() {
+                *weight /= norm;
+            }
+        }
+        vector
+    }
+
+    /// Cosine similarity of two documents under this model, in `[0, 1]`.
+    pub fn cosine(&self, a: &str, b: &str) -> f64 {
+        let va = self.vectorize(a);
+        let vb = self.vectorize(b);
+        dot(&va, &vb).clamp(0.0, 1.0)
+    }
+}
+
+/// Dot product of two sparse vectors (assumed L2-normalised for cosine).
+pub fn dot(a: &SparseVector, b: &SparseVector) -> f64 {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    small
+        .iter()
+        .filter_map(|(id, wa)| large.get(id).map(|wb| wa * wb))
+        .sum()
+}
+
+/// A reusable cosine-similarity comparer bound to a fitted [`TfIdfModel`].
+#[derive(Debug, Clone)]
+pub struct CosineSimilarity {
+    model: TfIdfModel,
+}
+
+impl CosineSimilarity {
+    /// Wraps a fitted model.
+    pub fn new(model: TfIdfModel) -> Self {
+        Self { model }
+    }
+
+    /// Fits a model over the given corpus and wraps it.
+    pub fn fit<I, S>(documents: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        Self::new(TfIdfModel::fit(documents))
+    }
+
+    /// Cosine similarity of two raw values.
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        self.model.cosine(a, b)
+    }
+
+    /// Access to the underlying model.
+    pub fn model(&self) -> &TfIdfModel {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<&'static str> {
+        vec![
+            "the cascade correlation learning architecture",
+            "cascade correlation learning architecture",
+            "a genetic cascade correlation learning algorithm",
+            "controlled growth of cascade correlation nets",
+            "efficient clustering of high dimensional data sets",
+        ]
+    }
+
+    #[test]
+    fn fit_counts_documents_and_vocabulary() {
+        let model = TfIdfModel::fit(corpus());
+        assert_eq!(model.num_documents(), 5);
+        assert!(model.vocabulary_size() >= 15);
+    }
+
+    #[test]
+    fn identical_documents_have_cosine_one() {
+        let model = TfIdfModel::fit(corpus());
+        let c = model.cosine("cascade correlation learning", "cascade correlation learning");
+        assert!((c - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_documents_have_cosine_zero() {
+        let model = TfIdfModel::fit(corpus());
+        assert_eq!(model.cosine("cascade correlation", "clustering data"), 0.0);
+    }
+
+    #[test]
+    fn common_words_weigh_less_than_rare_words() {
+        let model = TfIdfModel::fit(corpus());
+        // "cascade" appears in 4/5 documents, "genetic" in 1/5: sharing only
+        // the rare word should give higher similarity than sharing only the
+        // common word, relative to otherwise-equal documents.
+        let common = model.cosine("cascade algorithm", "cascade nets");
+        let rare = model.cosine("genetic algorithm", "genetic nets");
+        assert!(rare > common, "rare-word overlap {rare} should beat common-word overlap {common}");
+    }
+
+    #[test]
+    fn unseen_tokens_are_ignored() {
+        let model = TfIdfModel::fit(corpus());
+        let v = model.vectorize("zzz qqq www");
+        assert!(v.is_empty());
+        assert_eq!(model.cosine("zzz", "zzz"), 0.0);
+    }
+
+    #[test]
+    fn vectors_are_l2_normalized() {
+        let model = TfIdfModel::fit(corpus());
+        let v = model.vectorize("cascade correlation learning architecture");
+        let norm: f64 = v.values().map(|w| w * w).sum::<f64>();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_symmetric_and_bounded() {
+        let sim = CosineSimilarity::fit(corpus());
+        for (a, b) in [
+            ("cascade correlation", "correlation cascade nets"),
+            ("learning architecture", "genetic learning"),
+        ] {
+            let s1 = sim.similarity(a, b);
+            let s2 = sim.similarity(b, a);
+            assert!((s1 - s2).abs() < 1e-12);
+            assert!((0.0..=1.0).contains(&s1));
+        }
+    }
+
+    #[test]
+    fn empty_corpus_and_empty_documents() {
+        let model = TfIdfModel::fit(Vec::<&str>::new());
+        assert_eq!(model.cosine("a", "a"), 0.0);
+        let model = TfIdfModel::fit(corpus());
+        assert_eq!(model.cosine("", ""), 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Word tokenisation.
+//!
+//! Several baseline techniques (canopy clustering with TF-IDF, meta-blocking
+//! with token blocking) operate on word tokens rather than character q-grams.
+
+use crate::hashing::StableHashSet;
+use crate::normalize::normalize;
+
+/// Splits a raw value into normalised word tokens.
+///
+/// The value is [`normalize`]d first, then split on spaces; empty tokens are
+/// dropped.
+///
+/// # Examples
+/// ```
+/// use sablock_textual::tokenize;
+/// assert_eq!(tokenize("The Cascade-Correlation learning"), vec!["the", "cascade", "correlation", "learning"]);
+/// assert!(tokenize("  ,.! ").is_empty());
+/// ```
+pub fn tokenize(raw: &str) -> Vec<String> {
+    normalize(raw)
+        .split(' ')
+        .filter(|t| !t.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Returns the set of distinct normalised tokens of a value.
+pub fn token_set(raw: &str) -> StableHashSet<String> {
+    tokenize(raw).into_iter().collect()
+}
+
+/// Splits a value into tokens and keeps only tokens of at least `min_len`
+/// characters. Useful for blocking keys that should ignore initials and stop
+/// words like "a"/"of".
+pub fn tokenize_min_len(raw: &str, min_len: usize) -> Vec<String> {
+    tokenize(raw)
+        .into_iter()
+        .filter(|t| t.chars().count() >= min_len)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_and_normalizes() {
+        assert_eq!(tokenize("Fahlman, S., & Lebiere, C."), vec!["fahlman", "s", "lebiere", "c"]);
+    }
+
+    #[test]
+    fn token_set_deduplicates() {
+        let set = token_set("the cat and the hat");
+        assert_eq!(set.len(), 4);
+        assert!(set.contains("the"));
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(token_set("...").is_empty());
+    }
+
+    #[test]
+    fn min_len_filters_initials() {
+        assert_eq!(tokenize_min_len("Fahlman S E", 2), vec!["fahlman"]);
+    }
+
+    #[test]
+    fn unicode_tokens() {
+        assert_eq!(tokenize("Müller-Straße 42"), vec!["müller", "straße", "42"]);
+    }
+}

@@ -1,0 +1,33 @@
+//! Compares SA-LSH with the survey baselines and with meta-blocking
+//! (a runnable, reduced-size version of Table 3, Fig. 11 and Fig. 12).
+//!
+//! Run with `cargo run --release --example baseline_comparison`.
+
+use std::error::Error;
+
+use sablock::eval::experiments::tab03::GridScale;
+use sablock::eval::experiments::{fig11, fig12, tab03, Scale};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // Table 3: blocking time and candidate pairs per technique over an
+    // NC-Voter-like timing subset.
+    let tab3 = tab03::run(Scale::Quick, GridScale::Reduced)?;
+    println!("{}", tab3.to_table().render());
+
+    // Fig. 11: quality comparison over both datasets (best-FM setting each).
+    let fig11_output = fig11::run(Scale::Quick, GridScale::Reduced)?;
+    println!("{}", fig11_output.cora.to_table().render());
+    println!("{}", fig11_output.ncvoter.to_table().render());
+    if let Some(best) = fig11_output.cora.best_fm_technique() {
+        println!("best FM on the Cora-like corpus: {} ({:.3})\n", best.technique, best.fm());
+    }
+
+    // Fig. 12: SA-LSH vs meta-blocking under PC / PQ* / FM*.
+    let fig12_output = fig12::run(Scale::Quick)?;
+    println!("{}", fig12_output.cora.to_table().render());
+    println!("{}", fig12_output.ncvoter.to_table().render());
+
+    println!("Run the Criterion benches (`cargo bench -p sablock-bench`) for the paper-scale version");
+    println!("of these comparisons; EXPERIMENTS.md records paper-vs-measured numbers for every figure.");
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Bibliographic deduplication scenario (the paper's Cora workload).
+//!
+//! Run with `cargo run --release --example cora_blocking`.
+//!
+//! This example exercises the semantic machinery in more depth than the
+//! quickstart:
+//!
+//! 1. It inspects the semantic interpretation and semhash signature of a few
+//!    records (Table 1 / Algorithm 1 in action).
+//! 2. It sweeps the five semantic hash configurations of Fig. 7 (H11-H15).
+//! 3. It compares the full bibliographic taxonomy with the three degraded
+//!    variants of Fig. 10 (Table 2's experiment).
+
+use std::error::Error;
+
+use sablock::core::semantic::semhash::SemhashFamily;
+use sablock::core::semantic::SemanticFunction;
+use sablock::eval::experiments::{fig07, tab02};
+use sablock::prelude::*;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let dataset = CoraGenerator::new(CoraConfig {
+        num_records: 800,
+        ..CoraConfig::default()
+    })
+    .generate()?;
+
+    // --- 1. Semantic interpretations and semhash signatures -----------------
+    let tree = bibliographic_taxonomy();
+    let zeta = PatternSemanticFunction::cora_default(&tree)?;
+    let interpretations: Vec<_> = dataset.records().iter().map(|r| zeta.interpret(r)).collect();
+    let family = SemhashFamily::build(&tree, interpretations.iter())?;
+    println!(
+        "semhash family: {} features (the paper reports a 5-bit signature for Cora)\n",
+        family.len()
+    );
+    println!("first five records, their interpretations and signatures:");
+    for record in dataset.records().iter().take(5) {
+        let interp = zeta.interpret(record);
+        let labels: Vec<&str> = interp.concepts().filter_map(|c| tree.label(c)).collect();
+        let signature = family.signature(&tree, &interp);
+        println!(
+            "  {}: venue=[j:{} b:{} i:{}] -> concepts {:?} bits {:?}",
+            record.id(),
+            record.value("journal").unwrap_or("-"),
+            record.value("booktitle").unwrap_or("-"),
+            record.value("institution").unwrap_or("-"),
+            labels,
+            signature.ones()
+        );
+    }
+
+    // --- 2. The semantic hash configurations of Fig. 7 ----------------------
+    let fig07_output = fig07::run_on(&dataset)?;
+    println!("\n{}", fig07_output.to_table().render());
+
+    // --- 3. Taxonomy variants (Table 2 / Fig. 10) ---------------------------
+    let tab02_output = tab02::run_on(&dataset, 3)?;
+    println!("{}", tab02_output.to_table().render());
+    println!("Positive ΔPQ/ΔRR/ΔFM with a small negative ΔPC is the trade-off the paper reports;");
+    println!("removing concepts from the taxonomy (t_bib,1..3) shrinks but does not destroy the gain.");
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Parameter tuning walkthrough (paper §5.3 and §6.1).
+//!
+//! Run with `cargo run --release --example parameter_tuning`.
+//!
+//! Reproduces the paper's parameter derivation: learn the match-similarity
+//! distribution of a Cora-like corpus under different q-gram sizes, pick the
+//! thresholds s_l / s_h for a desired error ratio ε, and derive (k, l) —
+//! arriving at the published k = 4, l = 63 — plus the Fig. 9 ladder and an
+//! empirical γ-robustness estimate.
+
+use std::error::Error;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sablock::core::robustness::{estimate_gamma, LabelledSimilarity};
+use sablock::core::tuning::{choose_bands_for_target, choose_parameters, SimilarityDistribution, TuningGoal};
+use sablock::prelude::*;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let dataset = CoraGenerator::new(CoraConfig::default()).generate()?;
+
+    // --- Match-similarity distribution under different q ---------------------
+    let mut table = TextTable::new("Match-similarity distribution by q-gram size", &["q", "mean", "5%-quantile", "25%-quantile"]);
+    for q in [2usize, 3, 4] {
+        let shingler = RecordShingler::new(["title", "authors"], q)?;
+        let mut rng = StdRng::seed_from_u64(7);
+        let dist = SimilarityDistribution::estimate_from_matches(&dataset, &shingler, 3_000, 20, &mut rng)?;
+        table.add_row(vec![
+            format!("{q}"),
+            format!("{:.3}", dist.mean()),
+            format!("{:.3}", dist.quantile(0.05)),
+            format!("{:.3}", dist.quantile(0.25)),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // --- The paper's Cora goal and the resulting (k, l) ----------------------
+    let goal = TuningGoal::cora_paper();
+    let (k, l) = choose_parameters(&goal, 10)?;
+    println!("paper goal (s_l=0.2, s_h=0.3, p_l=0.1, p_h=0.4)  ->  k = {k}, l = {l}   (published: k = 4, l = 63)\n");
+
+    // --- The Fig. 9 ladder ----------------------------------------------------
+    let mut ladder = TextTable::new("Fig. 9 ladder: minimal l per k for the same goal", &["k", "l"]);
+    for k in 1..=6 {
+        ladder.add_row(vec![k.to_string(), choose_bands_for_target(0.3, 0.4, k)?.to_string()]);
+    }
+    println!("{}", ladder.render());
+
+    // --- Empirical γ-robustness of the q=4 textual similarity ----------------
+    let shingler = RecordShingler::new(["title", "authors"], 4)?;
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut observations = Vec::new();
+    // Sample labelled pairs: all matches from the ground truth plus random non-matches.
+    for pair in dataset.ground_truth().true_match_pairs().take(2_000) {
+        let a = dataset.record(pair.first()).unwrap();
+        let b = dataset.record(pair.second()).unwrap();
+        observations.push(LabelledSimilarity::new(shingler.jaccard(a, b), true));
+    }
+    use rand::Rng;
+    for _ in 0..4_000 {
+        let i = RecordId(rng.gen_range(0..dataset.len() as u32));
+        let j = RecordId(rng.gen_range(0..dataset.len() as u32));
+        if i == j || dataset.ground_truth().is_match(i, j) {
+            continue;
+        }
+        let a = dataset.record(i).unwrap();
+        let b = dataset.record(j).unwrap();
+        observations.push(LabelledSimilarity::new(shingler.jaccard(a, b), false));
+    }
+    let robustness = estimate_gamma(&observations, 10)?;
+    println!(
+        "empirical γ-robustness of the 4-gram Jaccard similarity: γ = {:.2} over {} labelled pairs",
+        robustness.gamma,
+        observations.len()
+    );
+    println!("(γ close to 1 means the match probability is monotone in textual similarity, which is");
+    println!(" exactly the property Proposition 5.1 needs for LSH blocking to be effective.)");
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Quickstart: block a noisy bibliographic dataset with semantic-aware LSH.
+//!
+//! Run with `cargo run --release --example quickstart`.
+//!
+//! The example walks through the whole pipeline of the paper:
+//! generate a Cora-like corpus, build the bibliographic taxonomy (Fig. 3) and
+//! the missing-value-pattern semantic function (Table 1), block with plain
+//! LSH and with SA-LSH, and compare the blocking quality (PC/PQ/RR/FM).
+
+use std::error::Error;
+
+use sablock::prelude::*;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. A Cora-like corpus: ~1,900 citations of a few hundred papers, with
+    //    typos, reordered authors and missing venue information.
+    let dataset = CoraGenerator::new(CoraConfig::default()).generate()?;
+    println!(
+        "dataset: {} records, {} entities, {} true-match pairs",
+        dataset.len(),
+        dataset.ground_truth().num_entities(),
+        dataset.ground_truth().num_true_matches()
+    );
+
+    // 2. Domain knowledge: taxonomy tree + semantic function.
+    let tree = bibliographic_taxonomy();
+    let zeta = PatternSemanticFunction::cora_default(&tree)?;
+
+    // 3. Two blockers with the paper's Cora parameters (k=4, l=63, q=4):
+    //    plain textual LSH, and SA-LSH with a 2-way OR semantic hash.
+    let lsh = SaLshBlocker::builder()
+        .attributes(["title", "authors"])
+        .qgram(4)
+        .rows_per_band(4)
+        .bands(63)
+        .build()?;
+    let salsh = SaLshBlocker::builder()
+        .attributes(["title", "authors"])
+        .qgram(4)
+        .rows_per_band(4)
+        .bands(63)
+        .semantic(SemanticConfig::new(tree, zeta).with_w(2).with_mode(SemanticMode::Or))
+        .build()?;
+
+    // 4. Block and evaluate.
+    let mut table = TextTable::new("LSH vs SA-LSH on a Cora-like corpus", &["blocker", "PC", "PQ", "RR", "FM", "pairs", "time (s)"]);
+    for blocker in [&lsh, &salsh] {
+        let result = run_blocker(if blocker.is_semantic() { "SA-LSH" } else { "LSH" }, blocker, &dataset)?;
+        println!("{}", result.summary());
+        table.add_row(vec![
+            result.technique.clone(),
+            format!("{:.3}", result.metrics.pc()),
+            format!("{:.3}", result.metrics.pq()),
+            format!("{:.4}", result.metrics.rr()),
+            format!("{:.3}", result.metrics.fm()),
+            result.metrics.candidate_pairs.to_string(),
+            format!("{:.3}", result.blocking_time.as_secs_f64()),
+        ]);
+    }
+    println!("\n{}", table.render());
+
+    println!("The semantic component removes textually-similar but semantically-different candidates");
+    println!("(e.g. a technical report citing the same title as a conference paper), so PQ and FM rise");
+    println!("while PC drops only slightly — the trade-off reported in Fig. 7 and Fig. 9 of the paper.");
+    Ok(())
+}

@@ -1,0 +1,117 @@
+//! End-to-end pipeline test over the Cora-like bibliographic workload:
+//! generators → taxonomy/semantic function → LSH/SA-LSH blocking → evaluation.
+
+use sablock::prelude::*;
+
+fn cora(records: usize) -> Dataset {
+    CoraGenerator::new(CoraConfig {
+        num_records: records,
+        ..CoraConfig::default()
+    })
+    .generate()
+    .expect("generator configuration is valid")
+}
+
+fn lsh_blocker(k: usize, l: usize) -> SaLshBlocker {
+    SaLshBlocker::builder()
+        .attributes(["title", "authors"])
+        .qgram(4)
+        .rows_per_band(k)
+        .bands(l)
+        .build()
+        .expect("valid configuration")
+}
+
+fn salsh_blocker(k: usize, l: usize, w: usize, mode: SemanticMode) -> SaLshBlocker {
+    let tree = bibliographic_taxonomy();
+    let zeta = PatternSemanticFunction::cora_default(&tree).expect("default pattern function");
+    SaLshBlocker::builder()
+        .attributes(["title", "authors"])
+        .qgram(4)
+        .rows_per_band(k)
+        .bands(l)
+        .semantic(SemanticConfig::new(tree, zeta).with_w(w).with_mode(mode))
+        .build()
+        .expect("valid configuration")
+}
+
+#[test]
+fn lsh_blocking_keeps_most_matches_while_cutting_the_comparison_space() {
+    let dataset = cora(600);
+    let result = run_blocker("LSH", &lsh_blocker(4, 63), &dataset).unwrap();
+    assert!(result.metrics.pc() > 0.8, "PC = {}", result.metrics.pc());
+    assert!(result.metrics.rr() > 0.9, "RR = {}", result.metrics.rr());
+    assert!(result.metrics.fm() > 0.2, "FM = {}", result.metrics.fm());
+}
+
+#[test]
+fn semantic_augmentation_improves_pq_and_fm_at_small_pc_cost() {
+    let dataset = cora(600);
+    let lsh = run_blocker("LSH", &lsh_blocker(4, 63), &dataset).unwrap();
+    let salsh = run_blocker("SA-LSH", &salsh_blocker(4, 63, 5, SemanticMode::Or), &dataset).unwrap();
+
+    // The paper's core claim (Fig. 9, Table 2): semantic features eliminate
+    // textually similar but semantically dissimilar pairs.
+    assert!(salsh.metrics.candidate_pairs <= lsh.metrics.candidate_pairs);
+    assert!(salsh.metrics.pq() >= lsh.metrics.pq(), "PQ {} vs {}", salsh.metrics.pq(), lsh.metrics.pq());
+    assert!(salsh.metrics.fm() >= lsh.metrics.fm(), "FM {} vs {}", salsh.metrics.fm(), lsh.metrics.fm());
+    assert!(salsh.metrics.rr() >= lsh.metrics.rr());
+    // PC may drop, but only modestly (the semantic features are noisy but
+    // broadly correct on this corpus).
+    assert!(lsh.metrics.pc() - salsh.metrics.pc() < 0.15, "PC dropped from {} to {}", lsh.metrics.pc(), salsh.metrics.pc());
+}
+
+#[test]
+fn and_composition_is_stricter_than_or_composition() {
+    let dataset = cora(400);
+    let or_run = run_blocker("SA-LSH", &salsh_blocker(4, 20, 2, SemanticMode::Or), &dataset).unwrap();
+    let and_run = run_blocker("SA-LSH", &salsh_blocker(4, 20, 2, SemanticMode::And), &dataset).unwrap();
+    assert!(and_run.metrics.candidate_pairs <= or_run.metrics.candidate_pairs);
+    assert!(and_run.metrics.pc() <= or_run.metrics.pc() + 1e-9);
+}
+
+#[test]
+fn more_bands_recover_more_matches() {
+    let dataset = cora(400);
+    let few = run_blocker("LSH", &lsh_blocker(4, 8), &dataset).unwrap();
+    let many = run_blocker("LSH", &lsh_blocker(4, 63), &dataset).unwrap();
+    assert!(many.metrics.pc() >= few.metrics.pc());
+    assert!(many.metrics.candidate_pairs >= few.metrics.candidate_pairs);
+}
+
+#[test]
+fn blocking_results_are_reproducible_across_runs() {
+    let dataset = cora(300);
+    let blocker = salsh_blocker(4, 16, 3, SemanticMode::Or);
+    let a = blocker.block(&dataset).unwrap();
+    let b = blocker.block(&dataset).unwrap();
+    assert_eq!(a.num_blocks(), b.num_blocks());
+    assert_eq!(a.distinct_pairs(), b.distinct_pairs());
+}
+
+#[test]
+fn taxonomy_variants_still_deliver_a_quality_gain() {
+    use sablock::core::taxonomy::bib::{bibliographic_taxonomy_variant, BibVariant};
+    let dataset = cora(500);
+    let lsh = run_blocker("LSH", &lsh_blocker(4, 32), &dataset).unwrap();
+    for variant in [BibVariant::NoReviewLevels, BibVariant::NoBook, BibVariant::NoJournal] {
+        let tree = bibliographic_taxonomy_variant(variant);
+        let zeta = PatternSemanticFunction::cora_default(&tree).unwrap();
+        let blocker = SaLshBlocker::builder()
+            .attributes(["title", "authors"])
+            .qgram(4)
+            .rows_per_band(4)
+            .bands(32)
+            .semantic(SemanticConfig::new(tree, zeta).with_w(5).with_mode(SemanticMode::Or))
+            .build()
+            .unwrap();
+        let result = run_blocker("SA-LSH", &blocker, &dataset).unwrap();
+        assert!(
+            result.metrics.pq() >= lsh.metrics.pq(),
+            "{}: PQ {} should not be below LSH's {}",
+            variant.name(),
+            result.metrics.pq(),
+            lsh.metrics.pq()
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! End-to-end pipeline test over the NC-Voter-like workload, including the
+//! parameter-tuning path and a scalability smoke test.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sablock::core::tuning::{choose_parameters, SimilarityDistribution, TuningGoal};
+use sablock::prelude::*;
+
+fn voter(records: usize) -> Dataset {
+    NcVoterGenerator::new(NcVoterConfig {
+        num_records: records,
+        ..NcVoterConfig::default()
+    })
+    .generate()
+    .expect("generator configuration is valid")
+}
+
+fn voter_salsh(k: usize, l: usize, w: usize) -> SaLshBlocker {
+    let zeta = VoterSemanticFunction::default_voter();
+    let tree = sablock::core::taxonomy::voter::voter_taxonomy();
+    SaLshBlocker::builder()
+        .attributes(["first_name", "last_name"])
+        .qgram(2)
+        .rows_per_band(k)
+        .bands(l)
+        .semantic(SemanticConfig::new(tree, zeta).with_w(w).with_mode(SemanticMode::Or))
+        .build()
+        .expect("valid configuration")
+}
+
+fn voter_lsh(k: usize, l: usize) -> SaLshBlocker {
+    SaLshBlocker::builder()
+        .attributes(["first_name", "last_name"])
+        .qgram(2)
+        .rows_per_band(k)
+        .bands(l)
+        .build()
+        .expect("valid configuration")
+}
+
+#[test]
+fn voter_semantics_preserve_pc_and_improve_pq() {
+    let dataset = voter(4_000);
+    let lsh = run_blocker("LSH", &voter_lsh(9, 15), &dataset).unwrap();
+    let salsh = run_blocker("SA-LSH", &voter_salsh(9, 15, 12), &dataset).unwrap();
+    // The paper: "the PC values of LSH and SA-LSH are the same" because the
+    // voter semantic features are not noisy (uncertain values are stable per
+    // person), while PQ improves significantly.
+    assert!((lsh.metrics.pc() - salsh.metrics.pc()).abs() < 0.02, "PC {} vs {}", lsh.metrics.pc(), salsh.metrics.pc());
+    assert!(salsh.metrics.pq() >= lsh.metrics.pq());
+    assert!(salsh.metrics.candidate_pairs <= lsh.metrics.candidate_pairs);
+    assert!(salsh.metrics.rr() > 0.99, "RR = {}", salsh.metrics.rr());
+}
+
+#[test]
+fn tuned_parameters_hit_the_requested_operating_point() {
+    let dataset = voter(3_000);
+    let shingler = RecordShingler::new(["first_name", "last_name"], 2).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let dist = SimilarityDistribution::estimate_from_matches(&dataset, &shingler, 1_000, 20, &mut rng).unwrap();
+    // NC-Voter-like matches are nearly identical strings, so the learned
+    // distribution concentrates at high similarity.
+    assert!(dist.mean() > 0.75, "mean match similarity {}", dist.mean());
+
+    let goal = TuningGoal {
+        s_low: 0.4,
+        s_high: 0.8,
+        p_low: 0.05,
+        p_high: 0.9,
+    };
+    let (k, l) = choose_parameters(&goal, 15).unwrap();
+    // Blocking with the tuned parameters recovers the bulk of the matches.
+    let result = run_blocker("LSH", &voter_lsh(k, l), &dataset).unwrap();
+    assert!(result.metrics.pc() > 0.7, "PC = {} with k={k}, l={l}", result.metrics.pc());
+}
+
+#[test]
+fn scalability_prefixes_preserve_quality() {
+    let full = voter(6_000);
+    let blocker = voter_salsh(9, 15, 12);
+    let mut previous_pairs = 0u64;
+    for size in [1_500usize, 3_000, 6_000] {
+        let subset = full.prefix(size);
+        let result = run_blocker("SA-LSH", &blocker, &subset).unwrap();
+        assert!(result.metrics.rr() > 0.99);
+        assert!(result.metrics.pc() > 0.6, "PC = {} at n = {size}", result.metrics.pc());
+        assert!(result.metrics.candidate_pairs >= previous_pairs, "candidate pairs should grow with input size");
+        previous_pairs = result.metrics.candidate_pairs;
+    }
+}
+
+#[test]
+fn different_race_gender_records_are_never_paired_by_salsh() {
+    // Proposition 5.3 (1) end-to-end: semantically dissimilar records (known,
+    // different race/gender) never share a block, even with identical names.
+    let dataset = voter(2_000);
+    let blocker = voter_salsh(9, 15, 12);
+    let blocks = blocker.block(&dataset).unwrap();
+    let zeta = VoterSemanticFunction::default_voter();
+    let tree = sablock::core::taxonomy::voter::voter_taxonomy();
+    for block in blocks.blocks().iter().take(200) {
+        for pair in block.pairs() {
+            let a = dataset.record(pair.first()).unwrap();
+            let b = dataset.record(pair.second()).unwrap();
+            let sim = sablock::core::semantic::similarity::record_semantic_similarity(
+                &tree,
+                &sablock::core::semantic::SemanticFunction::interpret(&zeta, a),
+                &sablock::core::semantic::SemanticFunction::interpret(&zeta, b),
+            );
+            assert!(sim > 0.0, "{} and {} share a block but are semantically dissimilar", a.id(), b.id());
+        }
+    }
+}

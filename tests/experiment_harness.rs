@@ -1,0 +1,55 @@
+//! Smoke tests for the experiment harness: every figure/table experiment runs
+//! at Quick scale and produces output with the expected shape. (The
+//! paper-scale runs live in the benchmark harness.)
+
+use sablock::eval::experiments::tab03::GridScale;
+use sablock::eval::experiments::{fig05, fig06, fig07, fig08, fig12, fig13, tab02, tab03, Scale};
+
+#[test]
+fn fig05_and_fig06_produce_the_papers_axes() {
+    let fig5 = fig05::run(15);
+    assert_eq!(fig5.series.len(), 6);
+    assert_eq!(fig5.to_table().num_rows(), 29);
+
+    let fig6 = fig06::run(Scale::Quick).unwrap();
+    assert_eq!(fig6.cora.collision_curves.len(), 6);
+    assert_eq!(fig6.ncvoter.distributions.len(), 4);
+    assert!(fig6.cora.distribution_table().render().contains("q=4"));
+}
+
+#[test]
+fn fig07_and_fig08_cover_all_semantic_hash_configs() {
+    let fig7 = fig07::run(Scale::Quick).unwrap();
+    assert_eq!(fig7.runs.len(), 5);
+    assert!(fig7.get("H11").is_some() && fig7.get("H15").is_some());
+
+    let fig8 = fig08::run(Scale::Quick).unwrap();
+    assert_eq!(fig8.runs.len(), 5);
+    assert!(fig8.get("H21").is_some() && fig8.get("H25").is_some());
+}
+
+#[test]
+fn tab02_reports_all_taxonomy_variants() {
+    let output = tab02::run(Scale::Quick).unwrap();
+    assert_eq!(output.impacts.len(), 4);
+    assert!(output.to_table().render().contains("t_bib,2"));
+}
+
+#[test]
+fn tab03_and_fig12_cover_every_technique() {
+    let tab3 = tab03::run(Scale::Quick, GridScale::Reduced).unwrap();
+    assert_eq!(tab3.rows.len(), 14);
+    assert!(tab3.get("SA-LSH").is_some());
+
+    let fig12_output = fig12::run(Scale::Quick).unwrap();
+    assert_eq!(fig12_output.cora.rows.len(), 5);
+    assert_eq!(fig12_output.ncvoter.rows.len(), 5);
+}
+
+#[test]
+fn fig13_scales_over_increasing_sizes() {
+    let output = fig13::run_sizes(&[400, 800]).unwrap();
+    assert_eq!(output.points.len(), 2);
+    assert!(output.points[1].records > output.points[0].records);
+    assert!(output.time_table().render().contains("SF"));
+}

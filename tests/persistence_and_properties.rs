@@ -1,0 +1,144 @@
+//! Cross-crate round-trip and statistical-property tests: CSV persistence of
+//! generated datasets, and agreement between the analytic collision model and
+//! the empirical behaviour of the blocker.
+
+use proptest::prelude::*;
+
+use sablock::core::lsh::probability::banding_collision_probability;
+use sablock::core::minhash::{MinHasher, MinhashConfig};
+use sablock::datasets::csv::{from_csv_string, to_csv_string};
+use sablock::prelude::*;
+use sablock::textual::qgrams::hashed_qgram_set;
+
+#[test]
+fn generated_datasets_round_trip_through_csv() {
+    let original = CoraGenerator::new(CoraConfig {
+        num_records: 250,
+        ..CoraConfig::default()
+    })
+    .generate()
+    .unwrap();
+    let csv = to_csv_string(&original).unwrap();
+    let restored = from_csv_string("cora-restored", &csv).unwrap();
+    assert_eq!(restored.len(), original.len());
+    assert_eq!(restored.schema().names(), original.schema().names());
+    assert_eq!(
+        restored.ground_truth().num_true_matches(),
+        original.ground_truth().num_true_matches()
+    );
+    for (a, b) in original.records().iter().zip(restored.records()) {
+        assert_eq!(a.values(), b.values());
+    }
+
+    // Blocking the restored dataset gives identical results.
+    let blocker = SaLshBlocker::builder()
+        .attributes(["title", "authors"])
+        .qgram(3)
+        .rows_per_band(3)
+        .bands(10)
+        .build()
+        .unwrap();
+    let blocks_a = blocker.block(&original).unwrap();
+    let blocks_b = blocker.block(&restored).unwrap();
+    assert_eq!(blocks_a.distinct_pairs(), blocks_b.distinct_pairs());
+}
+
+#[test]
+fn empirical_collision_rate_tracks_the_analytic_model() {
+    // For pairs of strings at a known Jaccard similarity, the fraction of
+    // (k, l) bandings under which they collide should match 1 − (1 − s^k)^l.
+    // We test this by repeating the banding with many different minhash seeds
+    // and comparing the empirical collision frequency with the model.
+    let a = "the cascade correlation learning architecture";
+    let b = "the cascade correlation learning architectures of neural nets";
+    let q = 2;
+    let sa = hashed_qgram_set(a, q);
+    let sb = hashed_qgram_set(b, q);
+    let s = sablock::textual::jaccard(&sa, &sb);
+    let (k, l) = (3usize, 8usize);
+
+    let trials = 400;
+    let mut collisions = 0;
+    for seed in 0..trials {
+        let config = MinhashConfig {
+            bands: l,
+            rows_per_band: k,
+            qgram: q,
+            seed,
+        };
+        let hasher = MinHasher::from_config(&config);
+        let sig_a = hasher.signature(&sa);
+        let sig_b = hasher.signature(&sb);
+        let banding = sablock::core::lsh::BandingScheme::new(l, k).unwrap();
+        let keys_a = banding.band_keys(&sig_a);
+        let keys_b = banding.band_keys(&sig_b);
+        if keys_a.iter().zip(&keys_b).any(|(x, y)| x == y) {
+            collisions += 1;
+        }
+    }
+    let empirical = collisions as f64 / trials as f64;
+    let model = banding_collision_probability(s, k, l);
+    assert!(
+        (empirical - model).abs() < 0.12,
+        "empirical collision rate {empirical:.3} too far from the model {model:.3} (s = {s:.3})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Whatever the (small) generator configuration, SA-LSH never produces
+    /// more candidate pairs than plain LSH with the same textual parameters.
+    #[test]
+    fn salsh_is_never_more_permissive_than_lsh(records in 60usize..160, seed in 0u64..500) {
+        let dataset = CoraGenerator::new(CoraConfig {
+            num_records: records,
+            seed,
+            ..CoraConfig::default()
+        })
+        .generate()
+        .unwrap();
+        let lsh = SaLshBlocker::builder()
+            .attributes(["title", "authors"])
+            .qgram(3)
+            .rows_per_band(3)
+            .bands(8)
+            .build()
+            .unwrap();
+        let tree = bibliographic_taxonomy();
+        let zeta = PatternSemanticFunction::cora_default(&tree).unwrap();
+        let salsh = SaLshBlocker::builder()
+            .attributes(["title", "authors"])
+            .qgram(3)
+            .rows_per_band(3)
+            .bands(8)
+            .semantic(SemanticConfig::new(tree, zeta).with_w(3).with_mode(SemanticMode::Or))
+            .build()
+            .unwrap();
+        let lsh_pairs = lsh.block(&dataset).unwrap().num_distinct_pairs();
+        let salsh_pairs = salsh.block(&dataset).unwrap().num_distinct_pairs();
+        prop_assert!(salsh_pairs <= lsh_pairs);
+    }
+
+    /// Evaluation measures stay within range for arbitrary voter generator
+    /// configurations.
+    #[test]
+    fn metrics_are_always_in_range(records in 50usize..200, dup in 0.0f64..0.6, seed in 0u64..300) {
+        let dataset = NcVoterGenerator::new(NcVoterConfig {
+            num_records: records,
+            duplicate_probability: dup,
+            seed,
+            ..NcVoterConfig::default()
+        })
+        .generate()
+        .unwrap();
+        let blocker = StandardBlocking::new(BlockingKey::ncvoter());
+        let result = run_blocker("TBlo", &blocker, &dataset).unwrap();
+        let m = result.metrics;
+        prop_assert!((0.0..=1.0).contains(&m.pc()));
+        prop_assert!((0.0..=1.0).contains(&m.pq()));
+        prop_assert!((0.0..=1.0).contains(&m.fm()));
+        prop_assert!(m.rr() <= 1.0);
+        prop_assert!(m.true_positives <= m.candidate_pairs);
+    }
+}
