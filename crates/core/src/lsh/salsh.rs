@@ -197,21 +197,11 @@ impl Blocker for SaLshBlocker {
 }
 
 /// Builder for [`SaLshBlocker`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SaLshBlockerBuilder {
     attributes: Vec<String>,
     minhash: MinhashConfig,
     semantic: Option<SemanticConfig>,
-}
-
-impl Default for SaLshBlockerBuilder {
-    fn default() -> Self {
-        Self {
-            attributes: Vec::new(),
-            minhash: MinhashConfig::default(),
-            semantic: None,
-        }
-    }
 }
 
 impl SaLshBlockerBuilder {

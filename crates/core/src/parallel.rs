@@ -3,10 +3,10 @@
 //! Signature computation (shingling + minhashing) is embarrassingly parallel
 //! per record, and with `k · l` often in the hundreds it dominates blocking
 //! time. [`parallel_map`] splits a slice across scoped worker threads
-//! (crossbeam scope, so no `'static` bound on the items) and stitches the
-//! results back in order. The LSH blockers use it automatically for datasets
-//! above a size threshold; everything stays deterministic because each output
-//! depends only on its own input.
+//! (`std::thread::scope`, so no `'static` bound on the items) and stitches
+//! the results back in order. The LSH blockers use it automatically for
+//! datasets above a size threshold; everything stays deterministic because
+//! each output depends only on its own input.
 
 use std::num::NonZeroUsize;
 
@@ -25,15 +25,13 @@ where
         return items.iter().map(&f).collect();
     }
     let chunk_size = items.len().div_ceil(threads);
-    let mut results: Vec<Vec<U>> = Vec::new();
-    crossbeam::scope(|scope| {
+    let results: Vec<Vec<U>> = std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk_size)
-            .map(|chunk| scope.spawn(|_| chunk.iter().map(&f).collect::<Vec<U>>()))
+            .map(|chunk| scope.spawn(|| chunk.iter().map(&f).collect::<Vec<U>>()))
             .collect();
-        results = handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect();
-    })
-    .expect("crossbeam scope failed");
+        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+    });
     results.into_iter().flatten().collect()
 }
 
@@ -87,6 +85,6 @@ mod tests {
     #[test]
     fn default_threads_is_positive_and_capped() {
         let t = default_threads();
-        assert!(t >= 1 && t <= 8);
+        assert!((1..=8).contains(&t));
     }
 }

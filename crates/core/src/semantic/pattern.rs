@@ -277,7 +277,8 @@ mod tests {
         assert_eq!(zeta.num_patterns(), 8);
         assert_eq!(zeta.attributes(), &["journal", "booktitle", "institution"]);
 
-        let cases: Vec<(Option<&str>, Option<&str>, Option<&str>, Vec<&str>)> = vec![
+        type Case<'a> = (Option<&'a str>, Option<&'a str>, Option<&'a str>, Vec<&'a str>);
+        let cases: Vec<Case> = vec![
             (Some("ml journal"), Some("nips"), Some("cmu"), vec!["journal", "non-peer reviewed", "proceedings"]),
             (Some("ml journal"), Some("nips"), None, vec!["journal", "proceedings"]),
             (Some("ml journal"), None, Some("cmu"), vec!["journal", "non-peer reviewed"]),

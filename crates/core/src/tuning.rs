@@ -210,7 +210,7 @@ impl TuningGoal {
 /// This is the rule that produces the Fig. 9 ladder (k=1→l=2, …, k=6→l=701)
 /// from `s_high = 0.3`, `p_high = 0.4`.
 pub fn choose_bands_for_target(s_high: f64, p_high: f64, k: usize) -> Result<usize> {
-    if !(0.0 < s_high && s_high <= 1.0) || !(0.0 < p_high && p_high < 1.0) {
+    if !(s_high > 0.0 && s_high <= 1.0 && p_high > 0.0 && p_high < 1.0) {
         return Err(CoreError::Config("s_high must be in (0, 1] and p_high in (0, 1)".into()));
     }
     if k == 0 {

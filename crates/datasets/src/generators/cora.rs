@@ -205,7 +205,7 @@ impl CoraGenerator {
             _ => PublicationKind::Thesis,
         };
 
-        let title_len = rng.gen_range(4..=8);
+        let title_len: usize = rng.gen_range(4..=8);
         let mut title_words = Vec::with_capacity(title_len + 1);
         if rng.gen_bool(0.4) {
             title_words.push("the".to_string());

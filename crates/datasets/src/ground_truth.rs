@@ -6,7 +6,7 @@
 //! represent the same entity. We store ground truth as an entity id per
 //! record; true-match pairs follow from equality of entity ids.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use crate::record::{RecordId, RecordPair};
@@ -22,17 +22,21 @@ impl fmt::Display for EntityId {
 }
 
 /// Ground truth: the entity each record represents.
+///
+/// Clusters are kept in a `BTreeMap` so that every iteration — most
+/// importantly [`GroundTruth::true_match_pairs`] — enumerates in a stable,
+/// reproducible order across runs and platforms.
 #[derive(Debug, Clone, Default)]
 pub struct GroundTruth {
     entity_of: Vec<EntityId>,
-    clusters: HashMap<EntityId, Vec<RecordId>>,
+    clusters: BTreeMap<EntityId, Vec<RecordId>>,
 }
 
 impl GroundTruth {
     /// Builds ground truth from a per-record entity assignment, where element
     /// `i` is the entity of record `i`.
     pub fn from_assignments(entity_of: Vec<EntityId>) -> Self {
-        let mut clusters: HashMap<EntityId, Vec<RecordId>> = HashMap::new();
+        let mut clusters: BTreeMap<EntityId, Vec<RecordId>> = BTreeMap::new();
         for (i, &entity) in entity_of.iter().enumerate() {
             clusters.entry(entity).or_default().push(RecordId(i as u32));
         }
@@ -100,7 +104,7 @@ impl GroundTruth {
     }
 
     /// The duplicate clusters (entity → member records), for statistics.
-    pub fn clusters(&self) -> &HashMap<EntityId, Vec<RecordId>> {
+    pub fn clusters(&self) -> &BTreeMap<EntityId, Vec<RecordId>> {
         &self.clusters
     }
 
@@ -180,7 +184,7 @@ mod tests {
         let gt = sample().truncate(4);
         assert_eq!(gt.num_records(), 4);
         assert_eq!(gt.num_entities(), 2);
-        assert_eq!(gt.num_true_matches(), 3 + 0); // C(3,2) + C(1,2)
+        assert_eq!(gt.num_true_matches(), 3); // C(3,2) + C(1,2) = 3 + 0
     }
 
     #[test]

@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("{}", fig12_output.cora.to_table().render());
     println!("{}", fig12_output.ncvoter.to_table().render());
 
-    println!("Run the Criterion benches (`cargo bench -p sablock-bench`) for the paper-scale version");
+    println!("Run the Criterion benches (`cargo bench -p sablock_bench`) for the paper-scale version");
     println!("of these comparisons; EXPERIMENTS.md records paper-vs-measured numbers for every figure.");
     Ok(())
 }

@@ -39,11 +39,14 @@
 //!     .build()
 //!     .unwrap();
 //!
-//! // 4. Block and evaluate.
+//! // 4. Block and evaluate. With the deterministic small Cora config this
+//! //    yields PC ≈ 0.78, RR ≈ 0.95, FM ≈ 0.86; the thresholds below leave
+//! //    a small margin while still witnessing the paper's trade-off.
 //! let blocks = blocker.block(&dataset).unwrap();
 //! let metrics = BlockingMetrics::evaluate(&blocks, dataset.ground_truth());
-//! assert!(metrics.pc() > 0.5);
-//! assert!(metrics.rr() > 0.9);
+//! assert!(metrics.pc() > 0.7);
+//! assert!(metrics.rr() > 0.93);
+//! assert!(metrics.fm() > 0.8);
 //! ```
 
 #![forbid(unsafe_code)]

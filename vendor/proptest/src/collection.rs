@@ -1,0 +1,125 @@
+//! Collection strategies: random-length vectors and hash sets.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::Strategy;
+
+/// An inclusive size bound for collection strategies, mirroring proptest's
+/// `SizeRange`. Built from `usize`, `a..b` or `a..=b`.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.min..=self.max)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange { min: exact, max: exact }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(!range.is_empty(), "collection strategy needs a non-empty size range");
+        SizeRange { min: range.start, max: range.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        assert!(!range.is_empty(), "collection strategy needs a non-empty size range");
+        SizeRange { min: *range.start(), max: *range.end() }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from a range.
+pub struct VecStrategy<S> {
+    element: S,
+    len: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = self.len.draw(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy producing vectors whose length lies in `len`.
+pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, len: len.into() }
+}
+
+/// Strategy for `HashSet<S::Value>` with a target size drawn from a range.
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for HashSetStrategy<S>
+where
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+        let target = self.size.draw(rng);
+        let mut set = HashSet::with_capacity(target);
+        // Bounded retries: with a narrow element domain the target size may be
+        // unreachable, in which case the set is simply smaller.
+        let mut attempts = 0;
+        while set.len() < target && attempts < target * 20 + 100 {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+/// A strategy producing hash sets whose size aims for the `size` range.
+pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy { element, size: size.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+    use crate::test_rng;
+
+    #[test]
+    fn vec_lengths_stay_in_range() {
+        let mut rng = test_rng("vec_lengths_stay_in_range");
+        let strategy = vec(any::<u8>(), 2..6);
+        for _ in 0..200 {
+            let v = strategy.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn hash_sets_respect_target() {
+        let mut rng = test_rng("hash_sets_respect_target");
+        let strategy = hash_set(0u32..1000, 3..8);
+        for _ in 0..100 {
+            let s = strategy.generate(&mut rng);
+            assert!(s.len() < 8);
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this vendored
+//! crate provides the subset of the proptest 1.x API the sablock test suite
+//! uses: the [`proptest!`] macro with `#![proptest_config(...)]`, the
+//! [`Strategy`] trait with [`Strategy::prop_map`], numeric range strategies,
+//! [`any`], [`collection::vec`] / [`collection::hash_set`], and the
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Semantics differ from real proptest in one important way: there is **no
+//! shrinking**. A failing case panics immediately with the case number; the
+//! whole run is deterministic (the per-test RNG is seeded from the test's
+//! name), so failures reproduce exactly across runs and machines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+mod pattern;
+
+/// Generates values of an output type from a seeded RNG.
+///
+/// This is the no-shrinking analogue of proptest's `Strategy`: `generate`
+/// plays the role of `new_tree(..).current()`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+impl Strategy for &str {
+    type Value = String;
+
+    /// String-pattern strategy: interprets the pattern as a small regex
+    /// subset (character classes, `.`, literals, `{m,n}` / `*` / `+` / `?`
+    /// quantifiers) and generates a random matching string, like proptest's
+    /// regex string strategies.
+    fn generate(&self, rng: &mut StdRng) -> String {
+        pattern::generate_matching(self, rng)
+    }
+}
+
+/// Types with a canonical "generate any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_uniform_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                let word: u64 = rng.gen();
+                word as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        // Real proptest generates the full bit-space including NaN; the test
+        // suite only relies on "some spread of finite values".
+        rng.gen_range(-1.0e9..1.0e9)
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// A strategy that always yields a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Builds the deterministic RNG for one property test (seeded from the test
+/// name, overridable with the `PROPTEST_SEED` environment variable).
+#[doc(hidden)]
+pub fn test_rng(test_name: &str) -> StdRng {
+    if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+        if let Ok(seed) = seed.parse::<u64>() {
+            return StdRng::seed_from_u64(seed);
+        }
+    }
+    // FNV-1a over the test name: stable across runs, platforms and compilers.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// The usual imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Arbitrary, Just, ProptestConfig, Strategy};
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...)` block
+/// runs `cases` times with freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests! { config = $config; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_tests! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( config = $config:expr; ) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::test_rng(stringify!($name));
+            for case in 0..config.cases {
+                $( let $arg = $crate::Strategy::generate(&($strategy), &mut rng); )+
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest `{}`: case {}/{} failed (set PROPTEST_SEED to override the deterministic seed)",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_tests! { config = $config; $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+// Lets `proptest::...` paths inside this crate's own tests resolve the same
+// way they do in downstream crates.
+#[cfg(test)]
+use crate as proptest;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = test_rng("ranges_generate_in_bounds");
+        for _ in 0..500 {
+            let x = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&x));
+            let f = (0.0f64..1.0).generate(&mut rng);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn prop_map_composes() {
+        let mut rng = test_rng("prop_map_composes");
+        let strategy = (1u32..5).prop_map(|x| x * 10);
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!(v % 10 == 0 && (10..50).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let a: Vec<u32> = (0..10).map(|_| (0u32..1000).generate(&mut test_rng("same"))).collect();
+        let b: Vec<u32> = (0..10).map(|_| (0u32..1000).generate(&mut test_rng("same"))).collect();
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0u8..10, y in proptest::collection::vec(any::<u8>(), 1..4)) {
+            prop_assert!(x < 10);
+            prop_assert!(!y.is_empty() && y.len() < 4);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Random string generation from a small regex subset, backing the
+//! `&str`-as-strategy feature of real proptest.
+//!
+//! Supported syntax: literal characters, `.` (printable ASCII), character
+//! classes `[abc]` / `[a-z0-9_]`, and the quantifiers `{n}`, `{m,n}`, `{m,}`
+//! (capped), `*`, `+`, `?`. Anything fancier (alternation, groups, anchors)
+//! panics loudly rather than generating wrong strings silently.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One parsed pattern element: the set of characters it can produce.
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// The cap applied to open-ended quantifiers (`*`, `+`, `{m,}`).
+const OPEN_REPEAT_CAP: usize = 16;
+
+/// Generates one random string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut StdRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let count = rng.gen_range(atom.min..=atom.max);
+        for _ in 0..count {
+            out.push(atom.choices[rng.gen_range(0..atom.choices.len())]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed character class in pattern {pattern:?}"));
+                let class: Vec<char> = chars[i + 1..i + close].to_vec();
+                i += close + 1;
+                expand_class(&class, pattern)
+            }
+            '.' => {
+                i += 1;
+                (' '..='~').collect()
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "dangling escape in pattern {pattern:?}");
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            c @ ('(' | ')' | '|' | '^' | '$') => {
+                panic!("unsupported regex construct {c:?} in pattern {pattern:?} (vendored proptest supports only classes, '.', literals and quantifiers)")
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
+    assert!(!class.is_empty(), "empty character class in pattern {pattern:?}");
+    assert!(class[0] != '^', "negated classes are unsupported in pattern {pattern:?}");
+    let mut choices = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            assert!(class[i] <= class[i + 2], "inverted range in class of pattern {pattern:?}");
+            for c in class[i]..=class[i + 2] {
+                choices.push(c);
+            }
+            i += 3;
+        } else {
+            choices.push(class[i]);
+            i += 1;
+        }
+    }
+    choices
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    if *i >= chars.len() {
+        return (1, 1);
+    }
+    match chars[*i] {
+        '*' => {
+            *i += 1;
+            (0, OPEN_REPEAT_CAP)
+        }
+        '+' => {
+            *i += 1;
+            (1, OPEN_REPEAT_CAP)
+        }
+        '?' => {
+            *i += 1;
+            (0, 1)
+        }
+        '{' => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed quantifier in pattern {pattern:?}"));
+            let body: String = chars[*i + 1..*i + close].iter().collect();
+            *i += close + 1;
+            let parse_num = |s: &str| {
+                s.trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("bad quantifier bound {s:?} in pattern {pattern:?}"))
+            };
+            match body.split_once(',') {
+                None => {
+                    let n = parse_num(&body);
+                    (n, n)
+                }
+                Some((lo, "")) => {
+                    let m = parse_num(lo);
+                    (m, m + OPEN_REPEAT_CAP)
+                }
+                Some((lo, hi)) => (parse_num(lo), parse_num(hi)),
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_rng;
+
+    #[test]
+    fn class_with_bounds() {
+        let mut rng = test_rng("class_with_bounds");
+        for _ in 0..200 {
+            let s = generate_matching("[a-d]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn nonempty_lower_bound_is_respected() {
+        let mut rng = test_rng("nonempty_lower_bound_is_respected");
+        for _ in 0..200 {
+            let s = generate_matching("[a-z]{1,10}", &mut rng);
+            assert!((1..=10).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn dot_generates_printable_ascii() {
+        let mut rng = test_rng("dot_generates_printable_ascii");
+        for _ in 0..100 {
+            let s = generate_matching(".{0,16}", &mut rng);
+            assert!(s.len() <= 16);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literals_quantifiers_and_escapes() {
+        let mut rng = test_rng("literals_quantifiers_and_escapes");
+        let s = generate_matching("ab{3}c?", &mut rng);
+        assert!(s.starts_with("abbb"));
+        let t = generate_matching(r"\.x+", &mut rng);
+        assert!(t.starts_with('.') && t[1..].chars().all(|c| c == 'x'));
+    }
+}

@@ -1,0 +1,33 @@
+//! Concrete generators. Only [`StdRng`] is provided.
+
+use crate::{RngCore, SeedableRng};
+
+/// A deterministic 64-bit generator (SplitMix64).
+///
+/// Unlike upstream rand's ChaCha-based `StdRng`, this produces a different
+/// stream — but it is equally deterministic for a fixed seed, which is the
+/// only property the workspace relies on.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // One warm-up scramble so that small seeds (0, 1, 2, ...) do not start
+        // from visibly correlated states.
+        let mut rng = StdRng { state: seed ^ 0x6A09_E667_F3BC_C909 };
+        let _ = rng.next_u64();
+        rng
+    }
+}
