@@ -5,11 +5,32 @@
 //! reproduction data) and then registers a Criterion measurement of the
 //! underlying computation.
 //!
+//! # The `SABLOCK_BENCH_SCALE` size ladder
+//!
 //! By default the experiments run at [`Scale::Quick`] so that
 //! `cargo bench --workspace` finishes in minutes. Set the environment
-//! variable `SABLOCK_BENCH_SCALE=paper` to run the paper-scale dataset sizes
-//! (1,879 Cora records, 30,000/292,892 NC Voter records); expect the full
-//! suite to take considerably longer in that mode.
+//! variable `SABLOCK_BENCH_SCALE=paper` to run the paper-scale dataset sizes:
+//! 1,879 Cora records, 30,000 NC Voter records for the quality experiments,
+//! and the Fig. 13 scalability ladder that tops out at the full 292,892-record
+//! voter roll (generated through the bounded-memory streaming path of
+//! `NcVoterGenerator::stream`). Expect the full suite to take considerably
+//! longer in that mode; `BENCH_NOTES.md` at the workspace root records
+//! reference runtimes.
+//!
+//! ```
+//! use sablock_bench::bench_scale;
+//! use sablock_eval::experiments::Scale;
+//!
+//! // Without SABLOCK_BENCH_SCALE=paper in the environment, benches run quick…
+//! std::env::remove_var("SABLOCK_BENCH_SCALE");
+//! assert_eq!(bench_scale(), Scale::Quick);
+//!
+//! // …and the paper scale tops out at the full NC Voter roll of Fig. 13.
+//! std::env::set_var("SABLOCK_BENCH_SCALE", "paper");
+//! assert_eq!(bench_scale(), Scale::Paper);
+//! assert_eq!(bench_scale().scalability_sizes().last(), Some(&292_892));
+//! std::env::remove_var("SABLOCK_BENCH_SCALE");
+//! ```
 
 use sablock_eval::experiments::tab03::GridScale;
 use sablock_eval::experiments::Scale;

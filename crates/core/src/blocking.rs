@@ -13,6 +13,51 @@ use sablock_datasets::{Dataset, RecordId};
 use sablock_textual::hashing::StableHashSet;
 
 use crate::error::Result;
+use crate::parallel::{default_threads, parallel_map};
+
+/// How many blocks one shard of the pair-enumeration covers. Shards are
+/// enumerated and sorted independently (in parallel for large collections)
+/// and then combined by a sorted merge.
+const PAIR_SHARD_BLOCKS: usize = 256;
+
+/// Enumerates, sorts and dedups the pairs of a slice of blocks — one sorted
+/// run of the shard-then-merge pair enumeration.
+fn sorted_pair_run(blocks: &[Block]) -> Vec<RecordPair> {
+    let mut pairs: Vec<RecordPair> = blocks.iter().flat_map(Block::pairs).collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// Merges two sorted, deduplicated runs into one, dropping duplicates that
+/// appear in both (the classic sorted-merge of merge sort, with set union
+/// semantics).
+fn merge_sorted_dedup(a: Vec<RecordPair>, b: Vec<RecordPair>) -> Vec<RecordPair> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut ia = a.into_iter().peekable();
+    let mut ib = b.into_iter().peekable();
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (Some(x), Some(y)) => match x.cmp(y) {
+                std::cmp::Ordering::Less => out.push(ia.next().expect("peeked")),
+                std::cmp::Ordering::Greater => out.push(ib.next().expect("peeked")),
+                std::cmp::Ordering::Equal => {
+                    out.push(ia.next().expect("peeked"));
+                    ib.next();
+                }
+            },
+            (Some(_), None) => {
+                out.extend(ia);
+                break;
+            }
+            (None, _) => {
+                out.extend(ib);
+                break;
+            }
+        }
+    }
+    out
+}
 
 /// A single block: a bucket key plus the records hashed into it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -139,13 +184,36 @@ impl BlockCollection {
         self.blocks.iter().map(Block::pair_count).sum()
     }
 
-    /// The set Γ of *distinct* candidate pairs across all blocks.
-    pub fn distinct_pairs(&self) -> StableHashSet<RecordPair> {
-        let mut pairs = StableHashSet::default();
-        for block in &self.blocks {
-            pairs.extend(block.pairs());
+    /// The set Γ of *distinct* candidate pairs across all blocks, returned as
+    /// a vector sorted in ascending [`RecordPair`] order.
+    ///
+    /// Enumeration is sort-dedup based rather than hash-set based: blocks are
+    /// split into shards, each shard's pairs are enumerated, sorted and
+    /// deduplicated independently (in parallel for large collections), and the
+    /// sorted runs are combined by a duplicate-dropping sorted merge. This
+    /// keeps bulk evaluation cache-friendly and allocation-light on
+    /// paper-scale block collections, and the output order is deterministic
+    /// regardless of thread count.
+    pub fn distinct_pairs(&self) -> Vec<RecordPair> {
+        let mut runs: Vec<Vec<RecordPair>> = if self.blocks.len() > PAIR_SHARD_BLOCKS {
+            let shards: Vec<&[Block]> = self.blocks.chunks(PAIR_SHARD_BLOCKS).collect();
+            parallel_map(&shards, default_threads(), |shard| sorted_pair_run(shard))
+        } else {
+            vec![sorted_pair_run(&self.blocks)]
+        };
+        // Balanced binary sorted-merge of the runs.
+        while runs.len() > 1 {
+            let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+            let mut iter = runs.into_iter();
+            while let Some(a) = iter.next() {
+                match iter.next() {
+                    Some(b) => next.push(merge_sorted_dedup(a, b)),
+                    None => next.push(a),
+                }
+            }
+            runs = next;
         }
-        pairs
+        runs.pop().unwrap_or_default()
     }
 
     /// Number of distinct candidate pairs `|Γ|`.
@@ -288,6 +356,47 @@ mod tests {
         let empty = BlockCollection::new();
         assert_eq!(empty.max_block_size(), 0);
         assert_eq!(empty.mean_block_size(), 0.0);
+    }
+
+    #[test]
+    fn distinct_pairs_are_sorted_and_deduplicated() {
+        let collection = BlockCollection::from_blocks(vec![
+            Block::new("b1", vec![rid(3), rid(1), rid(2)]),
+            Block::new("b2", vec![rid(2), rid(1)]),
+            Block::new("b3", vec![rid(9), rid(1)]),
+        ]);
+        let pairs = collection.distinct_pairs();
+        assert!(pairs.windows(2).all(|w| w[0] < w[1]), "sorted strictly ascending (deduped)");
+        assert_eq!(pairs.len() as u64, collection.num_distinct_pairs());
+        // (1,2) appears in two blocks but only once in Γ.
+        let p12 = RecordPair::new(rid(1), rid(2)).unwrap();
+        assert_eq!(pairs.iter().filter(|&&p| p == p12).count(), 1);
+    }
+
+    #[test]
+    fn sharded_enumeration_matches_single_run() {
+        // More blocks than one shard (PAIR_SHARD_BLOCKS) with heavy overlap:
+        // the sharded, merged enumeration must equal a single sort-dedup pass.
+        let blocks: Vec<Block> = (0..(PAIR_SHARD_BLOCKS * 2 + 7))
+            .map(|i| {
+                let base = (i % 13) as u32;
+                Block::new(format!("b{i}"), vec![rid(base), rid(base + 1), rid(base + 2)])
+            })
+            .collect();
+        let collection = BlockCollection::from_blocks(blocks);
+        let reference = sorted_pair_run(collection.blocks());
+        assert_eq!(collection.distinct_pairs(), reference);
+    }
+
+    #[test]
+    fn merge_sorted_dedup_unions_runs() {
+        let pair = |a: u32, b: u32| RecordPair::new(rid(a), rid(b)).unwrap();
+        let a = vec![pair(0, 1), pair(1, 2), pair(5, 6)];
+        let b = vec![pair(0, 2), pair(1, 2), pair(7, 8)];
+        let merged = merge_sorted_dedup(a, b);
+        assert_eq!(merged, vec![pair(0, 1), pair(0, 2), pair(1, 2), pair(5, 6), pair(7, 8)]);
+        assert_eq!(merge_sorted_dedup(vec![], vec![pair(2, 3)]), vec![pair(2, 3)]);
+        assert!(merge_sorted_dedup(vec![], vec![]).is_empty());
     }
 
     #[test]

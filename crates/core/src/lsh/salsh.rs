@@ -18,6 +18,14 @@
 //! Omitting the semantic component yields the plain textual LSH blocker used
 //! as the "LSH" comparison point throughout the paper's evaluation
 //! ([`LshBlocker`] is an alias for that configuration).
+//!
+//! Both hot phases run in parallel on large datasets: signatures are
+//! computed per record and the banding/bucket phase is sharded per band
+//! (each band builds and sorts its own bucket map, and the shards are merged
+//! back in ascending band order). Every phase stitches results in a fixed
+//! order, so blocking output is byte-identical for any worker count — a
+//! property `tests/determinism.rs` enforces by diffing 1-thread and 4-thread
+//! runs.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -46,6 +54,7 @@ pub struct SaLshBlocker {
     minhash: MinhashConfig,
     banding: BandingScheme,
     semantic: Option<SemanticConfig>,
+    threads: Option<usize>,
 }
 
 /// The paper's plain textual LSH blocker: an [`SaLshBlocker`] without a
@@ -84,10 +93,10 @@ impl SaLshBlocker {
     }
 
     fn threads_for(&self, dataset: &Dataset) -> usize {
-        if dataset.len() >= PARALLEL_THRESHOLD {
-            default_threads()
-        } else {
-            1
+        match self.threads {
+            Some(n) => n.max(1),
+            None if dataset.len() >= PARALLEL_THRESHOLD => default_threads(),
+            None => 1,
         }
     }
 
@@ -149,8 +158,14 @@ impl Blocker for SaLshBlocker {
         // Step 4: banding. Records with an empty shingle set carry no textual
         // evidence and are not indexed (they would otherwise all collide on
         // the all-sentinel signature).
-        let mut blocks = Vec::new();
-        for band in 0..self.banding.bands() {
+        //
+        // Each band's bucket index is independent of every other band's, so
+        // the bucket phase shards per band: `parallel_map` builds one bucket
+        // map per band concurrently, each shard sorts its buckets by key, and
+        // the shards are merged back in ascending band order. The merged
+        // output is therefore byte-identical for any worker count.
+        let bands: Vec<usize> = (0..self.banding.bands()).collect();
+        let per_band: Vec<Vec<Block>> = parallel_map(&bands, threads, |&band| {
             let mut buckets: HashMap<u64, Vec<RecordId>> = HashMap::new();
             for (idx, signature) in signatures.iter().enumerate() {
                 if shingles[idx].is_empty() {
@@ -163,6 +178,7 @@ impl Blocker for SaLshBlocker {
             let mut bucket_entries: Vec<(u64, Vec<RecordId>)> = buckets.into_iter().collect();
             bucket_entries.sort_by_key(|(key, _)| *key);
 
+            let mut blocks = Vec::new();
             for (bucket_key, members) in bucket_entries {
                 if members.len() < 2 {
                     continue;
@@ -191,8 +207,9 @@ impl Blocker for SaLshBlocker {
                     }
                 }
             }
-        }
-        Ok(BlockCollection::from_blocks(blocks))
+            blocks
+        });
+        Ok(BlockCollection::from_blocks(per_band.into_iter().flatten().collect()))
     }
 }
 
@@ -202,6 +219,7 @@ pub struct SaLshBlockerBuilder {
     attributes: Vec<String>,
     minhash: MinhashConfig,
     semantic: Option<SemanticConfig>,
+    threads: Option<usize>,
 }
 
 impl SaLshBlockerBuilder {
@@ -251,6 +269,16 @@ impl SaLshBlockerBuilder {
         self
     }
 
+    /// Pins the worker-thread count for the signature and bucket phases
+    /// (clamped to at least 1). Without this, the blocker picks a count from
+    /// the dataset size and the machine's parallelism. Output is identical
+    /// for every thread count; the knob exists for benchmarking and for the
+    /// determinism tests that compare 1-thread and 4-thread runs.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
     /// Builds the blocker, validating every component.
     pub fn build(self) -> Result<SaLshBlocker> {
         self.minhash.validate()?;
@@ -264,6 +292,7 @@ impl SaLshBlockerBuilder {
             minhash: self.minhash,
             banding,
             semantic: self.semantic,
+            threads: self.threads,
         })
     }
 }
@@ -416,6 +445,33 @@ mod tests {
         let pa = a.distinct_pairs();
         let pb = b.distinct_pairs();
         assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn bucket_phase_is_thread_count_invariant() {
+        // The sharded bucket phase must merge to byte-identical blocks no
+        // matter how many workers built it.
+        let dataset = running_example();
+        for (w, mode) in [(0, SemanticMode::Or), (2, SemanticMode::Or), (2, SemanticMode::And)] {
+            let build = |threads: usize| {
+                let mut builder = SaLshBlocker::builder()
+                    .attributes(["title", "authors"])
+                    .qgram(2)
+                    .bands(16)
+                    .rows_per_band(2)
+                    .seed(7)
+                    .threads(threads);
+                if w > 0 {
+                    let tree = bibliographic_taxonomy();
+                    let zeta = PatternSemanticFunction::cora_default(&tree).unwrap();
+                    builder = builder.semantic(SemanticConfig::new(tree, zeta).with_w(w).with_mode(mode).with_seed(11));
+                }
+                builder.build().unwrap().block(&dataset).unwrap()
+            };
+            let single = build(1);
+            let quad = build(4);
+            assert_eq!(single.blocks(), quad.blocks(), "w={w} {mode:?}");
+        }
     }
 
     #[test]

@@ -1,12 +1,21 @@
 //! Parallel computation helpers.
 //!
-//! Signature computation (shingling + minhashing) is embarrassingly parallel
-//! per record, and with `k · l` often in the hundreds it dominates blocking
-//! time. [`parallel_map`] splits a slice across scoped worker threads
+//! [`parallel_map`] splits a slice across scoped worker threads
 //! (`std::thread::scope`, so no `'static` bound on the items) and stitches
-//! the results back in order. The LSH blockers use it automatically for
-//! datasets above a size threshold; everything stays deterministic because
-//! each output depends only on its own input.
+//! the results back in order. Three hot paths ride on it:
+//!
+//! * **signatures** — shingling + minhashing is embarrassingly parallel per
+//!   record, and with `k · l` often in the hundreds it dominates small-scale
+//!   blocking time;
+//! * **banding/buckets** — each of the `l` bands builds an independent
+//!   bucket index, so the bucket phase shards per band and merges the
+//!   per-band block lists back in ascending band order;
+//! * **pair enumeration** — `BlockCollection::distinct_pairs` sorts and
+//!   dedups pair shards independently before a sorted merge.
+//!
+//! The LSH blockers engage it automatically for datasets above a size
+//! threshold; everything stays deterministic because each output depends
+//! only on its own input and results are always stitched in input order.
 
 use std::num::NonZeroUsize;
 

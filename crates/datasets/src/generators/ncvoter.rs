@@ -9,7 +9,16 @@
 //!
 //! [`NcVoterGenerator`] synthesises a corpus with those properties at any
 //! requested size, which the scalability experiment (Fig. 13) slices into
-//! increasing prefixes.
+//! increasing prefixes. At paper scale (292,892 records) the generator
+//! streams: [`NcVoterGenerator::stream`] yields records in duplicate-cluster
+//! order with only one cluster buffered at a time, and
+//! [`NcVoterStream::next_chunk`] hands them out in bounded-size chunks, so
+//! generation-side transient memory stays constant no matter how large the
+//! corpus grows. [`NcVoterGenerator::generate`] is built on the same stream
+//! and therefore produces identical records.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -21,6 +30,11 @@ use crate::generators::sample_cluster_size;
 use crate::generators::vocabulary as vocab;
 use crate::ground_truth::EntityId;
 use crate::schema::Schema;
+
+/// Default number of records per streamed chunk — small enough to keep the
+/// working set of chunk consumers in cache, large enough to amortise
+/// per-chunk overhead at paper scale.
+pub const DEFAULT_STREAM_CHUNK: usize = 16_384;
 
 /// The attribute names of the NC-Voter-like schema, in order.
 pub const NCVOTER_ATTRIBUTES: [&str; 8] =
@@ -141,10 +155,20 @@ impl NcVoterGenerator {
     }
 
     /// Generates the dataset deterministically from the configured seed.
+    ///
+    /// Implemented on top of [`NcVoterGenerator::stream`], consuming the
+    /// record stream in [`DEFAULT_STREAM_CHUNK`]-sized chunks, so the only
+    /// unbounded allocation is the returned [`Dataset`] itself.
     pub fn generate(&self) -> Result<Dataset> {
-        self.config.validate()?;
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        self.generate_with_rng(&mut rng)
+        let mut stream = self.stream()?;
+        let mut builder = DatasetBuilder::new("ncvoter-synthetic", Arc::clone(stream.schema()));
+        builder.reserve(self.config.num_records);
+        while let Some(chunk) = stream.next_chunk(DEFAULT_STREAM_CHUNK) {
+            for (values, entity) in chunk {
+                builder.push_values(values, entity)?;
+            }
+        }
+        builder.build()
     }
 
     /// Generates the dataset using an external RNG.
@@ -159,20 +183,55 @@ impl NcVoterGenerator {
         while builder.len() < self.config.num_records {
             let entity = EntityId(entity_counter);
             entity_counter += 1;
-            let voter = self.sample_voter(rng);
-            let cluster = sample_cluster_size(
-                rng,
-                self.config.duplicate_probability,
-                self.config.mean_extra_duplicates,
-                self.config.max_cluster_size,
-            );
             let remaining = self.config.num_records - builder.len();
-            for copy in 0..cluster.min(remaining) {
-                let values = self.render_registration(&voter, copy > 0, &corruptor, rng);
+            for (values, entity) in self.next_cluster(rng, &corruptor, entity, remaining) {
                 builder.push_values(values, entity)?;
             }
         }
         builder.build()
+    }
+
+    /// Opens a record stream over this configuration: an iterator of
+    /// `(values, entity)` rows in exactly the order [`generate`] would store
+    /// them, holding at most one duplicate cluster of transient state.
+    ///
+    /// [`generate`]: NcVoterGenerator::generate
+    pub fn stream(&self) -> Result<NcVoterStream> {
+        self.config.validate()?;
+        Ok(NcVoterStream {
+            rng: StdRng::seed_from_u64(self.config.seed),
+            corruptor: Corruptor::new(self.config.corruption.clone()),
+            schema: Schema::shared(NCVOTER_ATTRIBUTES)?,
+            pending: VecDeque::new(),
+            emitted: 0,
+            entity_counter: 0,
+            generator: self.clone(),
+        })
+    }
+
+    /// Generates one duplicate cluster: samples a voter, draws a cluster
+    /// size, and renders `min(cluster, remaining)` registrations. The single
+    /// source of RNG-draw ordering shared by [`generate_with_rng`] and the
+    /// streaming path, which is what keeps the two byte-identical.
+    ///
+    /// [`generate_with_rng`]: NcVoterGenerator::generate_with_rng
+    fn next_cluster<R: Rng>(
+        &self,
+        rng: &mut R,
+        corruptor: &Corruptor,
+        entity: EntityId,
+        remaining: usize,
+    ) -> Vec<(Vec<Option<String>>, EntityId)> {
+        let voter = self.sample_voter(rng);
+        let cluster = sample_cluster_size(
+            rng,
+            self.config.duplicate_probability,
+            self.config.mean_extra_duplicates,
+            self.config.max_cluster_size,
+        );
+        (0..cluster.min(remaining))
+            .map(|copy| (self.render_registration(&voter, copy > 0, corruptor, rng), entity))
+            .collect()
     }
 
     fn sample_voter<R: Rng>(&self, rng: &mut R) -> Voter {
@@ -278,6 +337,74 @@ impl NcVoterGenerator {
     }
 }
 
+/// A bounded-memory record stream over an NC-Voter-like configuration.
+///
+/// Created by [`NcVoterGenerator::stream`]. Yields `(values, entity)` rows in
+/// the exact order [`NcVoterGenerator::generate`] would store them; the only
+/// buffered state is the current duplicate cluster (at most
+/// `max_cluster_size` rows), so streaming 292,892 records costs the same
+/// transient memory as streaming 1,000.
+#[derive(Debug)]
+pub struct NcVoterStream {
+    rng: StdRng,
+    corruptor: Corruptor,
+    schema: Arc<Schema>,
+    pending: VecDeque<(Vec<Option<String>>, EntityId)>,
+    emitted: usize,
+    entity_counter: u32,
+    generator: NcVoterGenerator,
+}
+
+impl NcVoterStream {
+    /// The schema every streamed row conforms to.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of records still to be streamed.
+    pub fn records_remaining(&self) -> usize {
+        self.generator.config.num_records - self.emitted
+    }
+
+    /// Pulls the next chunk of up to `chunk_size` records, or `None` once the
+    /// stream is exhausted. The final chunk may be shorter.
+    pub fn next_chunk(&mut self, chunk_size: usize) -> Option<Vec<(Vec<Option<String>>, EntityId)>> {
+        let chunk: Vec<_> = self.by_ref().take(chunk_size.max(1)).collect();
+        if chunk.is_empty() {
+            None
+        } else {
+            Some(chunk)
+        }
+    }
+}
+
+impl Iterator for NcVoterStream {
+    type Item = (Vec<Option<String>>, EntityId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let total = self.generator.config.num_records;
+        while self.pending.is_empty() {
+            if self.emitted >= total {
+                return None;
+            }
+            let entity = EntityId(self.entity_counter);
+            self.entity_counter += 1;
+            let remaining = total - self.emitted;
+            let cluster = self
+                .generator
+                .next_cluster(&mut self.rng, &self.corruptor, entity, remaining);
+            self.pending.extend(cluster);
+        }
+        self.emitted += 1;
+        self.pending.pop_front()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.records_remaining();
+        (remaining, Some(remaining))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,6 +500,52 @@ mod tests {
         assert!(NcVoterConfig { uncertain_race_probability: 2.0, ..NcVoterConfig::small() }.validate().is_err());
         let gen = NcVoterGenerator::new(NcVoterConfig { max_cluster_size: 0, ..NcVoterConfig::small() });
         assert!(gen.generate().is_err());
+    }
+
+    #[test]
+    fn stream_matches_generate_exactly() {
+        let generator = NcVoterGenerator::new(NcVoterConfig { num_records: 1_500, ..NcVoterConfig::small() });
+        let dataset = generator.generate().unwrap();
+        let streamed: Vec<_> = generator.stream().unwrap().collect();
+        assert_eq!(streamed.len(), dataset.len());
+        for (i, (values, entity)) in streamed.iter().enumerate() {
+            let record = dataset.record(crate::RecordId(i as u32)).unwrap();
+            assert_eq!(values, record.values(), "record {i}");
+            assert_eq!(Some(*entity), dataset.ground_truth().entity_of(record.id()), "entity of record {i}");
+        }
+        // And the streaming path agrees with the legacy external-RNG path.
+        let mut rng = StdRng::seed_from_u64(generator.config().seed);
+        let external = generator.generate_with_rng(&mut rng).unwrap();
+        for (a, b) in dataset.records().iter().zip(external.records()) {
+            assert_eq!(a.values(), b.values());
+        }
+    }
+
+    #[test]
+    fn stream_chunks_are_bounded_and_cover_everything() {
+        let generator = NcVoterGenerator::new(NcVoterConfig { num_records: 1_000, ..NcVoterConfig::small() });
+        let mut stream = generator.stream().unwrap();
+        assert_eq!(stream.records_remaining(), 1_000);
+        assert_eq!(stream.size_hint(), (1_000, Some(1_000)));
+        assert_eq!(stream.schema().names(), &NCVOTER_ATTRIBUTES);
+        let mut total = 0;
+        while let Some(chunk) = stream.next_chunk(256) {
+            assert!(chunk.len() <= 256);
+            total += chunk.len();
+            assert_eq!(stream.records_remaining(), 1_000 - total);
+        }
+        assert_eq!(total, 1_000);
+        assert!(stream.next_chunk(256).is_none(), "exhausted stream stays exhausted");
+        // A zero chunk size is clamped rather than looping forever.
+        let mut tiny = generator.stream().unwrap();
+        assert_eq!(tiny.next_chunk(0).map(|c| c.len()), Some(1));
+    }
+
+    #[test]
+    fn invalid_config_fails_to_stream() {
+        let generator = NcVoterGenerator::new(NcVoterConfig { num_records: 0, ..NcVoterConfig::small() });
+        assert!(generator.stream().is_err());
+        assert!(generator.generate().is_err());
     }
 
     #[test]

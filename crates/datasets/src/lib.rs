@@ -37,7 +37,7 @@ pub mod stats;
 pub use dataset::Dataset;
 pub use error::DatasetError;
 pub use generators::cora::{CoraConfig, CoraGenerator};
-pub use generators::ncvoter::{NcVoterConfig, NcVoterGenerator};
+pub use generators::ncvoter::{NcVoterConfig, NcVoterGenerator, NcVoterStream};
 pub use ground_truth::{EntityId, GroundTruth};
 pub use record::{Record, RecordId};
 pub use schema::Schema;

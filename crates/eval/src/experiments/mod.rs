@@ -104,6 +104,11 @@ pub fn voter_dataset(scale: Scale) -> Result<Dataset> {
 
 /// Generates an NC-Voter-like dataset with an explicit record count (used by
 /// the timing and scalability experiments).
+///
+/// Generation goes through [`NcVoterGenerator::stream`]'s chunked streaming
+/// path, so building the 292,892-record corpus of
+/// [`Scale::Paper`]`.scalability_sizes()` keeps transient memory bounded:
+/// only the final [`Dataset`] plus one in-flight chunk is ever resident.
 pub fn voter_dataset_of_size(num_records: usize) -> Result<Dataset> {
     Ok(NcVoterGenerator::new(NcVoterConfig {
         num_records,

@@ -1,4 +1,29 @@
 //! Running a blocker over a dataset with timing and evaluation.
+//!
+//! Every experiment — from the quick configurations used by tests up to the
+//! paper-scale runs selected with `SABLOCK_BENCH_SCALE=paper` in
+//! `sablock_bench` — funnels through [`run_blocker`]: it times
+//! [`Blocker::block`], then scores the resulting collection against ground
+//! truth. The dataset sizes the two ends of that ladder use are defined by
+//! [`Scale`](crate::experiments::Scale): `Scale::Quick` stays in the
+//! hundreds-to-thousands range, `Scale::Paper` reproduces the paper's sizes
+//! (1,879 Cora records, 30,000 NC Voter records, and Fig. 13's scalability
+//! ladder ending at the full 292,892-record voter roll).
+//!
+//! ```
+//! use sablock_eval::experiments::{voter_dataset_of_size, voter_lsh, Scale};
+//! use sablock_eval::runner::run_blocker;
+//!
+//! // The quick end of the ladder is small enough for a doctest…
+//! let dataset = voter_dataset_of_size(300)?;
+//! let result = run_blocker("LSH", &voter_lsh(3, 10)?, &dataset)?;
+//! assert_eq!(result.technique, "LSH");
+//! assert!(result.num_blocks > 0);
+//!
+//! // …while the paper end tops out at the full NC Voter roll.
+//! assert_eq!(Scale::Paper.scalability_sizes().last(), Some(&292_892));
+//! # Ok::<(), sablock_core::error::CoreError>(())
+//! ```
 
 use std::time::{Duration, Instant};
 

@@ -9,21 +9,21 @@
 //!
 //! This crate implements all of that substrate from scratch:
 //!
-//! * [`normalize`] — text canonicalisation used before any comparison,
+//! * [`mod@normalize`] — text canonicalisation used before any comparison,
 //! * [`tokens`] — whitespace/word tokenisation,
-//! * [`qgrams`] — character q-gram extraction and shingle sets,
+//! * [`mod@qgrams`] — character q-gram extraction and shingle sets,
 //! * [`setsim`] — Jaccard / Dice / overlap coefficients over sets,
 //! * [`edit`] — Levenshtein and Damerau-Levenshtein distances,
-//! * [`jaro`] — Jaro and Jaro-Winkler similarity,
+//! * [`mod@jaro`] — Jaro and Jaro-Winkler similarity,
 //! * [`lcs`] — longest common substring / subsequence similarity,
 //! * [`tfidf`] — corpus vocabulary, IDF weighting and cosine similarity,
 //! * [`phonetic`] — Soundex and a simplified NYSIIS encoding (used by the
 //!   standard-blocking baseline to build phonetic blocking keys),
 //! * [`hashing`] — a small, fast, deterministic 64-bit string hasher used for
 //!   shingle universes and LSH bucket keys,
-//! * [`similarity`] — a [`StringSimilarity`](similarity::StringSimilarity)
-//!   trait plus a runtime-selectable [`SimilarityFunction`](similarity::SimilarityFunction)
-//!   enumeration, which is what the baseline parameter grids sweep over.
+//! * [`similarity`] — a [`similarity::StringSimilarity`] trait plus a
+//!   runtime-selectable [`similarity::SimilarityFunction`] enumeration, which
+//!   is what the baseline parameter grids sweep over.
 //!
 //! All similarity functions return values in `[0, 1]`, where `1.0` means
 //! "identical" — matching the convention `sim = 1 - distance` used in the

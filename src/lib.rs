@@ -65,8 +65,8 @@ pub mod prelude {
     pub use sablock_baselines::standard::{StandardBlocking, TokenBlocking};
     pub use sablock_core::prelude::*;
     pub use sablock_datasets::{
-        CoraConfig, CoraGenerator, Dataset, DatasetError, EntityId, GroundTruth, NcVoterConfig, NcVoterGenerator, Record,
-        RecordId, Schema,
+        CoraConfig, CoraGenerator, Dataset, DatasetError, EntityId, GroundTruth, NcVoterConfig, NcVoterGenerator,
+        NcVoterStream, Record, RecordId, Schema,
     };
     pub use sablock_eval::experiments::Scale;
     pub use sablock_eval::{run_blocker, BlockingMetrics, RunResult, TextTable};

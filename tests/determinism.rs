@@ -77,6 +77,35 @@ fn parallel_map_is_thread_count_invariant() {
     assert_eq!(signatures_1, signatures_4);
 }
 
+/// The sharded bucket phase must be thread-count invariant: blocking with 1
+/// worker and with 4 workers produces byte-identical block collections
+/// (same keys, same members, same order), for both plain LSH and SA-LSH.
+#[test]
+fn bucket_phase_is_thread_count_invariant() {
+    let dataset = small_cora();
+    let blocker_with = |threads: usize, semantic: bool| {
+        let mut builder = SaLshBlocker::builder()
+            .attributes(["title", "authors"])
+            .qgram(3)
+            .rows_per_band(3)
+            .bands(12)
+            .seed(0xB10C)
+            .threads(threads);
+        if semantic {
+            let tree = bibliographic_taxonomy();
+            let zeta = PatternSemanticFunction::cora_default(&tree).unwrap();
+            builder = builder.semantic(SemanticConfig::new(tree, zeta).with_w(2).with_mode(SemanticMode::Or));
+        }
+        builder.build().unwrap()
+    };
+    for semantic in [false, true] {
+        let single = blocker_with(1, semantic).block(&dataset).unwrap();
+        let quad = blocker_with(4, semantic).block(&dataset).unwrap();
+        assert_eq!(single.blocks(), quad.blocks(), "semantic={semantic}");
+        assert_eq!(single.distinct_pairs(), quad.distinct_pairs(), "semantic={semantic}");
+    }
+}
+
 /// End-to-end: the full SA-LSH pipeline (which decides its own worker count
 /// from the dataset size) produces the same blocks as a rerun, and its
 /// evaluation metrics are stable.

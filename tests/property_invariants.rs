@@ -130,6 +130,35 @@ proptest! {
         );
     }
 
+    /// The sort-dedup/sorted-merge pair enumeration is a drop-in replacement
+    /// for the old per-collection HashSet: on random block collections —
+    /// including empty blocks, singleton blocks and overlap-heavy collections
+    /// drawn from a tiny record universe so most pairs repeat across blocks —
+    /// `distinct_pairs` yields exactly the reference set, in sorted order.
+    #[test]
+    fn sorted_merge_enumeration_matches_hashset_semantics(
+        // Up to 600 blocks of 0..6 members over only 9 records: heavy overlap,
+        // with empty and singleton blocks mixed in. 600 blocks also exceeds
+        // one enumeration shard, exercising the parallel merge path.
+        blocks in proptest::collection::vec(proptest::collection::vec(0u32..9, 0..6), 0..600),
+    ) {
+        let collection = BlockCollection::from_blocks(
+            blocks
+                .iter()
+                .enumerate()
+                .map(|(i, members)| Block::new(format!("b{i}"), members.iter().copied().map(RecordId).collect()))
+                .collect(),
+        );
+        // Reference: the pre-refactor semantics — a hash set accumulated
+        // per block, here ordered through a BTreeSet for comparison.
+        let reference: std::collections::BTreeSet<_> =
+            collection.blocks().iter().flat_map(|b| b.pairs()).collect();
+        let enumerated = collection.distinct_pairs();
+        prop_assert!(enumerated.windows(2).all(|w| w[0] < w[1]), "sorted and deduplicated");
+        prop_assert_eq!(enumerated.len(), reference.len());
+        prop_assert_eq!(enumerated, reference.into_iter().collect::<Vec<_>>());
+    }
+
     /// BlockCollection algebra on random block structures: θ is symmetric and
     /// consistent with the distinct-pair set, counts are consistent, and the
     /// membership index covers exactly the blocked records.
