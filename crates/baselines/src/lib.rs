@@ -48,3 +48,41 @@ pub use sorted::{AdaptiveSortedNeighbourhood, SortedNeighbourhoodArray, SortedNe
 pub use standard::{StandardBlocking, TokenBlocking};
 pub use stringmap::{StringMapNearestNeighbour, StringMapThreshold};
 pub use suffix::{AllSubstringsBlocking, RobustSuffixArrayBlocking, SuffixArrayBlocking};
+
+/// How many records one chunk of a parallel bucket/index construction
+/// covers (suffix-array and q-gram blocking).
+pub(crate) const INDEX_CHUNK_RECORDS: usize = 1_024;
+
+/// Builds a record-keyed index in parallel: `index_chunk` indexes one run of
+/// records into a fresh map, chunks are processed via
+/// [`parallel_map`](sablock_core::parallel::parallel_map), and `merge_into`
+/// folds the per-chunk maps together **in ascending chunk order** — so as
+/// long as `merge_into` appends posting lists, the merged index is
+/// byte-identical to a sequential build for every worker count. The worker
+/// count comes from [`resolve_threads`](sablock_core::parallel::resolve_threads):
+/// explicit configuration wins, otherwise datasets of at least
+/// [`PARALLEL_THRESHOLD`](sablock_core::parallel::PARALLEL_THRESHOLD)
+/// records parallelise automatically.
+pub(crate) fn build_index_chunked<M, F, G>(
+    records: &[sablock_datasets::Record],
+    threads: Option<usize>,
+    index_chunk: F,
+    mut merge_into: G,
+) -> M
+where
+    M: Send,
+    F: Fn(&[sablock_datasets::Record]) -> M + Sync,
+    G: FnMut(&mut M, M),
+{
+    let threads = sablock_core::parallel::resolve_threads(threads, records.len());
+    if threads <= 1 || records.len() <= INDEX_CHUNK_RECORDS {
+        return index_chunk(records);
+    }
+    let chunks: Vec<&[sablock_datasets::Record]> = records.chunks(INDEX_CHUNK_RECORDS).collect();
+    let mut partials = sablock_core::parallel::parallel_map(&chunks, threads, |chunk| index_chunk(chunk)).into_iter();
+    let mut merged = partials.next().expect("at least one chunk");
+    for partial in partials {
+        merge_into(&mut merged, partial);
+    }
+    merged
+}

@@ -11,12 +11,13 @@
 
 use std::collections::{HashMap, HashSet};
 
-use sablock_datasets::{Dataset, RecordId};
+use sablock_datasets::{Dataset, Record, RecordId};
 use sablock_textual::qgrams::qgrams;
 
 use sablock_core::blocking::{BlockCollection, Blocker};
 use sablock_core::error::{CoreError, Result};
 
+use crate::build_index_chunked;
 use crate::key::BlockingKey;
 
 /// Q-gram indexing.
@@ -26,6 +27,7 @@ pub struct QGramBlocking {
     q: usize,
     threshold: f64,
     max_sublists_per_record: usize,
+    threads: Option<usize>,
 }
 
 impl QGramBlocking {
@@ -43,7 +45,15 @@ impl QGramBlocking {
             q,
             threshold,
             max_sublists_per_record: 64,
+            threads: None,
         })
+    }
+
+    /// Fixes the worker count of the bucket construction (by default large
+    /// datasets parallelise automatically; blocks are identical either way).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
     }
 
     /// Caps the number of sub-lists generated per record (default 64); keys
@@ -95,16 +105,30 @@ impl Blocker for QGramBlocking {
 
     fn block(&self, dataset: &Dataset) -> Result<BlockCollection> {
         self.key.validate_against(dataset)?;
-        let mut buckets: HashMap<String, Vec<RecordId>> = HashMap::new();
-        for record in dataset.records() {
-            let key_value = self.key.compact_value(record);
-            if key_value.is_empty() {
-                continue;
+        // Sub-list generation is independent per record: chunks of records
+        // are indexed in parallel via `build_index_chunked` and the
+        // per-chunk buckets merged in ascending chunk order, preserving the
+        // sequential build's posting-list order exactly (`from_key_map` then
+        // sorts by key, so the final blocks are identical for every worker
+        // count).
+        let bucket_chunk = |records: &[Record]| {
+            let mut buckets: HashMap<String, Vec<RecordId>> = HashMap::new();
+            for record in records {
+                let key_value = self.key.compact_value(record);
+                if key_value.is_empty() {
+                    continue;
+                }
+                for index_key in self.index_keys(&key_value) {
+                    buckets.entry(index_key).or_default().push(record.id());
+                }
             }
-            for index_key in self.index_keys(&key_value) {
-                buckets.entry(index_key).or_default().push(record.id());
+            buckets
+        };
+        let buckets = build_index_chunked(dataset.records(), self.threads, bucket_chunk, |buckets, partial| {
+            for (k, mut ids) in partial {
+                buckets.entry(k).or_default().append(&mut ids);
             }
-        }
+        });
         Ok(BlockCollection::from_key_map(buckets))
     }
 }

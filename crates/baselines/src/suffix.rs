@@ -11,12 +11,13 @@
 
 use std::collections::{BTreeMap, HashSet};
 
-use sablock_datasets::{Dataset, RecordId};
+use sablock_datasets::{Dataset, Record, RecordId};
 use sablock_textual::similarity::{SimilarityFunction, StringSimilarity};
 
 use sablock_core::blocking::{Block, BlockCollection, Blocker};
 use sablock_core::error::{CoreError, Result};
 
+use crate::build_index_chunked;
 use crate::key::BlockingKey;
 
 fn validate_lengths(min_suffix_len: usize, max_block_size: usize) -> Result<()> {
@@ -59,29 +60,43 @@ fn substrings(value: &str, min_len: usize, cap: usize) -> Vec<String> {
 }
 
 /// Builds a suffix (or substring) inverted index: key string → record ids.
+///
+/// Suffix generation is independent per record, so construction goes through
+/// [`build_index_chunked`]: record chunks are indexed in parallel and the
+/// per-chunk indexes merged in ascending chunk order, which preserves the
+/// exact posting-list order (record order) of a sequential build — the index
+/// is byte-identical for every worker count.
 fn build_index(
     dataset: &Dataset,
     key: &BlockingKey,
     min_len: usize,
     all_substrings: bool,
     substring_cap: usize,
+    threads: Option<usize>,
 ) -> BTreeMap<String, Vec<RecordId>> {
-    let mut index: BTreeMap<String, Vec<RecordId>> = BTreeMap::new();
-    for record in dataset.records() {
-        let value = key.compact_value(record);
-        if value.is_empty() {
-            continue;
+    let index_chunk = |records: &[Record]| {
+        let mut index: BTreeMap<String, Vec<RecordId>> = BTreeMap::new();
+        for record in records {
+            let value = key.compact_value(record);
+            if value.is_empty() {
+                continue;
+            }
+            let keys = if all_substrings {
+                substrings(&value, min_len, substring_cap)
+            } else {
+                suffixes(&value, min_len)
+            };
+            for k in keys {
+                index.entry(k).or_default().push(record.id());
+            }
         }
-        let keys = if all_substrings {
-            substrings(&value, min_len, substring_cap)
-        } else {
-            suffixes(&value, min_len)
-        };
-        for k in keys {
-            index.entry(k).or_default().push(record.id());
+        index
+    };
+    build_index_chunked(dataset.records(), threads, index_chunk, |index, partial| {
+        for (k, mut ids) in partial {
+            index.entry(k).or_default().append(&mut ids);
         }
-    }
-    index
+    })
 }
 
 /// Suffix-array blocking (SuA).
@@ -90,6 +105,7 @@ pub struct SuffixArrayBlocking {
     key: BlockingKey,
     min_suffix_len: usize,
     max_block_size: usize,
+    threads: Option<usize>,
 }
 
 impl SuffixArrayBlocking {
@@ -101,7 +117,15 @@ impl SuffixArrayBlocking {
             key,
             min_suffix_len,
             max_block_size,
+            threads: None,
         })
+    }
+
+    /// Fixes the worker count of the index construction (by default large
+    /// datasets parallelise automatically; blocks are identical either way).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
     }
 }
 
@@ -112,7 +136,7 @@ impl Blocker for SuffixArrayBlocking {
 
     fn block(&self, dataset: &Dataset) -> Result<BlockCollection> {
         self.key.validate_against(dataset)?;
-        let index = build_index(dataset, &self.key, self.min_suffix_len, false, usize::MAX);
+        let index = build_index(dataset, &self.key, self.min_suffix_len, false, usize::MAX, self.threads);
         let blocks = index
             .into_iter()
             .filter(|(_, members)| members.len() >= 2 && members.len() <= self.max_block_size)
@@ -129,6 +153,7 @@ pub struct AllSubstringsBlocking {
     min_suffix_len: usize,
     max_block_size: usize,
     substring_cap: usize,
+    threads: Option<usize>,
 }
 
 impl AllSubstringsBlocking {
@@ -140,12 +165,20 @@ impl AllSubstringsBlocking {
             min_suffix_len,
             max_block_size,
             substring_cap: 512,
+            threads: None,
         })
     }
 
     /// Caps the number of substrings generated per record (default 512).
     pub fn with_substring_cap(mut self, cap: usize) -> Self {
         self.substring_cap = cap.max(1);
+        self
+    }
+
+    /// Fixes the worker count of the index construction (by default large
+    /// datasets parallelise automatically; blocks are identical either way).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
         self
     }
 }
@@ -157,7 +190,7 @@ impl Blocker for AllSubstringsBlocking {
 
     fn block(&self, dataset: &Dataset) -> Result<BlockCollection> {
         self.key.validate_against(dataset)?;
-        let index = build_index(dataset, &self.key, self.min_suffix_len, true, self.substring_cap);
+        let index = build_index(dataset, &self.key, self.min_suffix_len, true, self.substring_cap, self.threads);
         let blocks = index
             .into_iter()
             .filter(|(_, members)| members.len() >= 2 && members.len() <= self.max_block_size)
@@ -175,6 +208,7 @@ pub struct RobustSuffixArrayBlocking {
     max_block_size: usize,
     similarity: SimilarityFunction,
     threshold: f64,
+    threads: Option<usize>,
 }
 
 impl RobustSuffixArrayBlocking {
@@ -198,7 +232,15 @@ impl RobustSuffixArrayBlocking {
             max_block_size,
             similarity,
             threshold,
+            threads: None,
         })
+    }
+
+    /// Fixes the worker count of the index construction (by default large
+    /// datasets parallelise automatically; blocks are identical either way).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
     }
 }
 
@@ -218,7 +260,7 @@ impl Blocker for RobustSuffixArrayBlocking {
         self.key.validate_against(dataset)?;
         // BTreeMap keeps the suffix array sorted, which is what "adjacent
         // suffixes" refers to.
-        let index = build_index(dataset, &self.key, self.min_suffix_len, false, usize::MAX);
+        let index = build_index(dataset, &self.key, self.min_suffix_len, false, usize::MAX, self.threads);
         let entries: Vec<(String, Vec<RecordId>)> = index.into_iter().collect();
 
         let mut blocks: Vec<Block> = Vec::new();

@@ -6,7 +6,8 @@
 //! quantities the evaluation measures need: the set Γ of distinct candidate
 //! pairs, the redundant pair count Γ_m, and θ_B itself.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use sablock_datasets::record::RecordPair;
 use sablock_datasets::{Dataset, RecordId};
@@ -19,6 +20,17 @@ use crate::parallel::{default_threads, parallel_map};
 /// enumerated and sorted independently (in parallel for large collections)
 /// and then combined by a sorted merge.
 const PAIR_SHARD_BLOCKS: usize = 256;
+
+/// Target number of (redundant) pairs per pair-space slice of the streaming
+/// counter. Collections whose redundant pair count stays below this are
+/// counted in a single slice; larger ones are split so that only
+/// `threads × slice` pairs are ever resident at once.
+const STREAM_SLICE_TARGET_PAIRS: u64 = 32_000_000;
+
+/// Upper bound on the number of pair-space slices of the streaming counter.
+/// Every slice re-scans the block headers (cheap), so an excessive slice
+/// count would trade memory nobody needs saved for wasted scans.
+const MAX_STREAM_SLICES: usize = 64;
 
 /// Enumerates, sorts and dedups the pairs of a slice of blocks — one sorted
 /// run of the shard-then-merge pair enumeration.
@@ -57,6 +69,112 @@ fn merge_sorted_dedup(a: Vec<RecordPair>, b: Vec<RecordPair>) -> Vec<RecordPair>
         }
     }
     out
+}
+
+/// Counts accumulated by one streaming pass over the distinct candidate-pair
+/// set Γ (see [`BlockCollection::stream_pair_counts`]): the pairs themselves
+/// are never materialised, only counted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PairCounts {
+    /// Number of distinct candidate pairs `|Γ|`.
+    pub distinct: u64,
+    /// Number of distinct candidate pairs the probe accepted — `|Γ_tp|` when
+    /// probed with ground-truth matching.
+    pub matching: u64,
+}
+
+impl PairCounts {
+    fn add(self, other: Self) -> Self {
+        Self {
+            distinct: self.distinct + other.distinct,
+            matching: self.matching + other.matching,
+        }
+    }
+}
+
+/// Folds sorted, individually-deduplicated pair runs through a k-way
+/// sorted-merge counter: pops pairs in ascending order across all runs,
+/// drops cross-run duplicates on the fly, and probes each emitted distinct
+/// pair exactly once. Nothing beyond the runs themselves is ever allocated.
+fn merge_count_runs<F>(runs: Vec<Vec<RecordPair>>, probe: &F) -> PairCounts
+where
+    F: Fn(&RecordPair) -> bool,
+{
+    let mut counts = PairCounts::default();
+    if runs.len() == 1 {
+        // Single run: already sorted and deduplicated, no merge needed.
+        for pair in &runs[0] {
+            counts.distinct += 1;
+            if probe(pair) {
+                counts.matching += 1;
+            }
+        }
+        return counts;
+    }
+    let mut iters: Vec<_> = runs.iter().map(|run| run.iter().copied()).collect();
+    let mut heap: BinaryHeap<Reverse<(RecordPair, usize)>> = BinaryHeap::with_capacity(iters.len());
+    for (idx, iter) in iters.iter_mut().enumerate() {
+        if let Some(pair) = iter.next() {
+            heap.push(Reverse((pair, idx)));
+        }
+    }
+    let mut last: Option<RecordPair> = None;
+    while let Some(Reverse((pair, idx))) = heap.pop() {
+        if last != Some(pair) {
+            counts.distinct += 1;
+            if probe(&pair) {
+                counts.matching += 1;
+            }
+            last = Some(pair);
+        }
+        if let Some(next) = iters[idx].next() {
+            heap.push(Reverse((next, idx)));
+        }
+    }
+    counts
+}
+
+/// Cuts pair space into `slices` id ranges of roughly equal *anchored-pair
+/// mass*: a record anchors the pairs in which it is the smaller id, so in a
+/// sorted member list the member at position `i` anchors `len − 1 − i`
+/// pairs. Boundaries are placed on the cumulative anchor weight rather than
+/// on raw id values, so the per-slice memory bound holds under arbitrary id
+/// layouts (skewed, sparse, or outlier-heavy distributions alike).
+///
+/// Returns `slices + 1` non-decreasing bounds; slice `s` owns the pairs
+/// whose smaller id lies in `[bounds[s], bounds[s + 1])`, and together the
+/// slices cover pair space exactly once.
+fn slice_bounds(sorted_members: &[Vec<RecordId>], slices: usize) -> Vec<u64> {
+    let mut weights: Vec<(RecordId, u64)> = sorted_members
+        .iter()
+        .flat_map(|members| {
+            let n = members.len();
+            members.iter().enumerate().map(move |(i, &id)| (id, (n - 1 - i) as u64))
+        })
+        .collect();
+    weights.sort_unstable_by_key(|&(id, _)| id);
+    let total: u64 = weights.iter().map(|&(_, w)| w).sum();
+    let min_id = weights.first().map_or(0, |&(id, _)| u64::from(id.0));
+    let end = weights.last().map_or(0, |&(id, _)| u64::from(id.0) + 1);
+    let mut bounds = Vec::with_capacity(slices + 1);
+    bounds.push(min_id);
+    // A bound is emitted once the cumulative weight crosses s·total/slices;
+    // it always lands *after* the current id, so an id's anchored pairs are
+    // never split across slices (a heavy single id simply keeps its slice).
+    let mut cumulative = 0u64;
+    let mut next_cut = 1usize;
+    for &(id, weight) in &weights {
+        cumulative += weight;
+        while next_cut < slices && u128::from(cumulative) * slices as u128 >= u128::from(total) * next_cut as u128 {
+            bounds.push(u64::from(id.0) + 1);
+            next_cut += 1;
+        }
+    }
+    while bounds.len() < slices + 1 {
+        bounds.push(end);
+    }
+    bounds[slices] = end;
+    bounds
 }
 
 /// A single block: a bucket key plus the records hashed into it.
@@ -191,9 +309,13 @@ impl BlockCollection {
     /// split into shards, each shard's pairs are enumerated, sorted and
     /// deduplicated independently (in parallel for large collections), and the
     /// sorted runs are combined by a duplicate-dropping sorted merge. This
-    /// keeps bulk evaluation cache-friendly and allocation-light on
-    /// paper-scale block collections, and the output order is deterministic
-    /// regardless of thread count.
+    /// keeps bulk enumeration cache-friendly and allocation-light, and the
+    /// output order is deterministic regardless of thread count.
+    ///
+    /// This materialises all of Γ — at paper scale that is gigabytes. Callers
+    /// that only need counts (metrics, `|Γ|`, true-positive tallies) should
+    /// use [`BlockCollection::stream_pair_counts`], which is semantically
+    /// identical but never holds the full set.
     pub fn distinct_pairs(&self) -> Vec<RecordPair> {
         let mut runs: Vec<Vec<RecordPair>> = if self.blocks.len() > PAIR_SHARD_BLOCKS {
             let shards: Vec<&[Block]> = self.blocks.chunks(PAIR_SHARD_BLOCKS).collect();
@@ -216,15 +338,121 @@ impl BlockCollection {
         runs.pop().unwrap_or_default()
     }
 
-    /// Number of distinct candidate pairs `|Γ|`.
+    /// Number of distinct candidate pairs `|Γ|`, computed by the streaming
+    /// counter — the full pair set is never materialised.
     pub fn num_distinct_pairs(&self) -> u64 {
-        self.distinct_pairs().len() as u64
+        self.stream_pair_counts(|_| false).distinct
+    }
+
+    /// Streams the distinct candidate-pair set Γ through a counting fold
+    /// instead of materialising it: returns `|Γ|` plus the number of distinct
+    /// pairs the probe accepts (with ground truth as the probe, `|Γ_tp|`).
+    /// Each distinct pair is probed exactly once, in ascending order within
+    /// its pair-space slice.
+    ///
+    /// Semantically this is `distinct_pairs()` followed by a count/filter,
+    /// but the memory high-water mark is one pair-space *slice* per worker
+    /// rather than the whole Γ: pair space is range-partitioned by the
+    /// smaller record id into slices sized off the redundant pair count
+    /// (boundaries cut on cumulative anchored-pair mass, so the bound holds
+    /// for skewed id layouts too), and each slice independently enumerates
+    /// per-shard sorted runs (the PR-2 sort-dedup shards) and folds them
+    /// through a k-way sorted-merge counter
+    /// that deduplicates on the fly. Slices are disjoint in pair space, so
+    /// their counts add up exactly; [`parallel_map`] drives the slice (or,
+    /// for single-slice collections, shard) enumeration, and the result is
+    /// identical for every thread count.
+    pub fn stream_pair_counts<F>(&self, probe: F) -> PairCounts
+    where
+        F: Fn(&RecordPair) -> bool + Sync,
+    {
+        self.stream_pair_counts_with_threads(default_threads(), probe)
+    }
+
+    /// [`BlockCollection::stream_pair_counts`] with an explicit worker count
+    /// (the result never depends on it — see `tests/determinism.rs`).
+    pub fn stream_pair_counts_with_threads<F>(&self, threads: usize, probe: F) -> PairCounts
+    where
+        F: Fn(&RecordPair) -> bool + Sync,
+    {
+        let slices = self
+            .redundant_pair_count()
+            .div_ceil(STREAM_SLICE_TARGET_PAIRS)
+            .clamp(1, MAX_STREAM_SLICES as u64) as usize;
+        self.stream_pair_counts_sliced(threads, slices, probe)
+    }
+
+    /// The streaming counter with an explicit slice count, exposed so tests
+    /// can force the multi-slice path on small collections. `slices` only
+    /// affects the memory/rescan trade-off, never the counts.
+    pub fn stream_pair_counts_sliced<F>(&self, threads: usize, slices: usize, probe: F) -> PairCounts
+    where
+        F: Fn(&RecordPair) -> bool + Sync,
+    {
+        if self.blocks.is_empty() {
+            return PairCounts::default();
+        }
+        if slices <= 1 {
+            // One slice covering all of pair space: build the sorted shard
+            // runs in parallel (exactly as `distinct_pairs` does) and fold
+            // them through the merge counter instead of merging into a vector.
+            let runs: Vec<Vec<RecordPair>> = if self.blocks.len() > PAIR_SHARD_BLOCKS {
+                let shards: Vec<&[Block]> = self.blocks.chunks(PAIR_SHARD_BLOCKS).collect();
+                parallel_map(&shards, threads, |shard| sorted_pair_run(shard))
+            } else {
+                vec![sorted_pair_run(&self.blocks)]
+            };
+            return merge_count_runs(runs, &probe);
+        }
+
+        // Sort each block's members once so that, inside every block, the
+        // members owning a slice (as the smaller id of a pair) form one
+        // contiguous range — enumeration then touches each pair exactly once
+        // across all slices, plus two binary searches per block per slice.
+        let sorted_members: Vec<Vec<RecordId>> = parallel_map(&self.blocks, threads, |block| {
+            let mut members = block.members().to_vec();
+            members.sort_unstable();
+            members
+        });
+        let slices = slices.clamp(1, MAX_STREAM_SLICES);
+        let bounds = slice_bounds(&sorted_members, slices);
+
+        let slice_ids: Vec<usize> = (0..slices).collect();
+        let counts = parallel_map(&slice_ids, threads, |&slice| {
+            let lo = bounds[slice];
+            let hi = bounds[slice + 1];
+            let mut runs: Vec<Vec<RecordPair>> = Vec::new();
+            for shard in sorted_members.chunks(PAIR_SHARD_BLOCKS) {
+                let mut pairs: Vec<RecordPair> = Vec::new();
+                for members in shard {
+                    // Members are sorted and deduplicated, so the pairs whose
+                    // *smaller* id falls in [lo, hi) are exactly those anchored
+                    // at positions [start, end).
+                    let start = members.partition_point(|id| u64::from(id.0) < lo);
+                    let end = members.partition_point(|id| u64::from(id.0) < hi);
+                    for i in start..end {
+                        for j in i + 1..members.len() {
+                            if let Some(pair) = RecordPair::new(members[i], members[j]) {
+                                pairs.push(pair);
+                            }
+                        }
+                    }
+                }
+                pairs.sort_unstable();
+                pairs.dedup();
+                if !pairs.is_empty() {
+                    runs.push(pairs);
+                }
+            }
+            merge_count_runs(runs, &probe)
+        });
+        counts.into_iter().fold(PairCounts::default(), PairCounts::add)
     }
 
     /// The blocking function θ_B: do the two records share at least one block?
     ///
     /// This scans blocks and is intended for point queries (examples, tests);
-    /// bulk evaluation goes through [`BlockCollection::distinct_pairs`].
+    /// bulk evaluation goes through [`BlockCollection::stream_pair_counts`].
     pub fn theta(&self, a: RecordId, b: RecordId) -> bool {
         if a == b {
             return false;
@@ -397,6 +625,101 @@ mod tests {
         assert_eq!(merged, vec![pair(0, 1), pair(0, 2), pair(1, 2), pair(5, 6), pair(7, 8)]);
         assert_eq!(merge_sorted_dedup(vec![], vec![pair(2, 3)]), vec![pair(2, 3)]);
         assert!(merge_sorted_dedup(vec![], vec![]).is_empty());
+    }
+
+    #[test]
+    fn streaming_counts_match_materialised_enumeration() {
+        // Overlap-heavy collection spanning several enumeration shards.
+        let blocks: Vec<Block> = (0..(PAIR_SHARD_BLOCKS * 2 + 7))
+            .map(|i| {
+                let base = (i % 13) as u32;
+                Block::new(format!("b{i}"), vec![rid(base), rid(base + 1), rid(base + 2)])
+            })
+            .collect();
+        let collection = BlockCollection::from_blocks(blocks);
+        let pairs = collection.distinct_pairs();
+        let expected_matching = pairs.iter().filter(|p| p.first().0 % 2 == 0).count() as u64;
+        // Every slice count and every thread count yields identical counts.
+        for slices in [1, 2, 3, 7, 64] {
+            for threads in [1, 4] {
+                let counts =
+                    collection.stream_pair_counts_sliced(threads, slices, |p| p.first().0 % 2 == 0);
+                assert_eq!(counts.distinct, pairs.len() as u64, "slices={slices} threads={threads}");
+                assert_eq!(counts.matching, expected_matching, "slices={slices} threads={threads}");
+            }
+        }
+        let auto = collection.stream_pair_counts(|p| p.first().0 % 2 == 0);
+        assert_eq!(auto.distinct, pairs.len() as u64);
+        assert_eq!(auto.matching, expected_matching);
+    }
+
+    #[test]
+    fn streaming_counts_handle_degenerate_collections() {
+        let empty = BlockCollection::new();
+        assert_eq!(empty.stream_pair_counts(|_| true), PairCounts::default());
+        assert_eq!(empty.num_distinct_pairs(), 0);
+        // Singleton-only input: every block is dropped at construction.
+        let singletons = BlockCollection::from_blocks(vec![
+            Block::new("a", vec![rid(1)]),
+            Block::new("b", vec![rid(2)]),
+        ]);
+        assert_eq!(singletons.stream_pair_counts_sliced(4, 8, |_| true), PairCounts::default());
+        // A collection whose ids all collapse onto one value of pair space
+        // still splits safely (the slice count is capped by the id span).
+        let narrow = BlockCollection::from_blocks(vec![Block::new("n", vec![rid(5), rid(6)])]);
+        let counts = narrow.stream_pair_counts_sliced(4, 64, |_| true);
+        assert_eq!(counts, PairCounts { distinct: 1, matching: 1 });
+    }
+
+    #[test]
+    fn streaming_counts_survive_skewed_id_layouts() {
+        // Dense ids plus one outlier near u32::MAX: mass-based boundaries
+        // must still spread the work and count exactly.
+        let mut blocks: Vec<Block> = (0..40)
+            .map(|i| Block::new(format!("d{i}"), vec![rid(i), rid(i + 1), rid(i + 2)]))
+            .collect();
+        blocks.push(Block::new("outlier", vec![rid(7), rid(u32::MAX - 1)]));
+        let collection = BlockCollection::from_blocks(blocks);
+        let expected = collection.distinct_pairs().len() as u64;
+        for slices in [2usize, 8, 64] {
+            let counts = collection.stream_pair_counts_sliced(4, slices, |_| false);
+            assert_eq!(counts.distinct, expected, "slices={slices}");
+        }
+    }
+
+    #[test]
+    fn slice_bounds_balance_anchor_mass() {
+        // 64 two-member blocks with distinct anchors: 64 units of anchor
+        // mass. Four slices must cover everything, stay non-decreasing and
+        // put a fair share (here: exactly a quarter) in each slice.
+        let members: Vec<Vec<RecordId>> = (0..64u32).map(|i| vec![rid(10 * i), rid(10 * i + 1)]).collect();
+        let bounds = slice_bounds(&members, 4);
+        assert_eq!(bounds.len(), 5);
+        assert_eq!(bounds[0], 0);
+        assert_eq!(*bounds.last().unwrap(), u64::from(10u32 * 63 + 1) + 1);
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+        for slice in 0..4 {
+            let anchored = members
+                .iter()
+                .flat_map(|m| m.first())
+                .filter(|id| (bounds[slice]..bounds[slice + 1]).contains(&u64::from(id.0)))
+                .count();
+            assert_eq!(anchored, 16, "slice {slice} holds a quarter of the anchor mass");
+        }
+    }
+
+    #[test]
+    fn merge_count_runs_deduplicates_across_runs() {
+        let pair = |a: u32, b: u32| RecordPair::new(rid(a), rid(b)).unwrap();
+        let runs = vec![
+            vec![pair(0, 1), pair(1, 2), pair(5, 6)],
+            vec![pair(0, 2), pair(1, 2), pair(7, 8)],
+            vec![pair(0, 1), pair(7, 8)],
+        ];
+        let counts = merge_count_runs(runs, &|p: &RecordPair| p.second().0 >= 6);
+        assert_eq!(counts.distinct, 5);
+        assert_eq!(counts.matching, 2);
+        assert_eq!(merge_count_runs(vec![], &|_: &RecordPair| true), PairCounts::default());
     }
 
     #[test]

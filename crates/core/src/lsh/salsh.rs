@@ -39,12 +39,8 @@ use crate::lsh::semantic_hash::WWaySemanticHash;
 use crate::lsh::{BandingScheme, SemanticConfig};
 use crate::minhash::shingle::RecordShingler;
 use crate::minhash::{MinHasher, MinhashConfig};
-use crate::parallel::{default_threads, parallel_map};
+use crate::parallel::{parallel_map, resolve_threads};
 use crate::semantic::semhash::{SemanticSignature, SemhashFamily};
-
-/// Datasets with at least this many records use parallel signature
-/// computation.
-const PARALLEL_THRESHOLD: usize = 2_000;
 
 /// The semantic-aware LSH blocker (and, without a semantic component, the
 /// plain textual LSH blocker).
@@ -93,11 +89,7 @@ impl SaLshBlocker {
     }
 
     fn threads_for(&self, dataset: &Dataset) -> usize {
-        match self.threads {
-            Some(n) => n.max(1),
-            None if dataset.len() >= PARALLEL_THRESHOLD => default_threads(),
-            None => 1,
-        }
+        resolve_threads(self.threads, dataset.len())
     }
 
     /// Computes the semhash signatures of every record, or `None` when no

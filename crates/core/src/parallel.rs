@@ -2,7 +2,7 @@
 //!
 //! [`parallel_map`] splits a slice across scoped worker threads
 //! (`std::thread::scope`, so no `'static` bound on the items) and stitches
-//! the results back in order. Three hot paths ride on it:
+//! the results back in order. Four hot paths ride on it:
 //!
 //! * **signatures** — shingling + minhashing is embarrassingly parallel per
 //!   record, and with `k · l` often in the hundreds it dominates small-scale
@@ -10,8 +10,14 @@
 //! * **banding/buckets** — each of the `l` bands builds an independent
 //!   bucket index, so the bucket phase shards per band and merges the
 //!   per-band block lists back in ascending band order;
-//! * **pair enumeration** — `BlockCollection::distinct_pairs` sorts and
-//!   dedups pair shards independently before a sorted merge.
+//! * **pair enumeration and counting** — `BlockCollection::distinct_pairs`
+//!   sorts and dedups pair shards independently before a sorted merge, and
+//!   the streaming counter `BlockCollection::stream_pair_counts` runs one
+//!   worker per pair-space slice, each folding its shard runs through a
+//!   deduplicating k-way merge;
+//! * **baseline bucket construction** — the suffix-array and q-gram
+//!   baselines index record chunks in parallel and merge the per-chunk
+//!   buckets back in chunk order.
 //!
 //! The LSH blockers engage it automatically for datasets above a size
 //! threshold; everything stays deterministic because each output depends
@@ -42,6 +48,23 @@ where
         handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
     });
     results.into_iter().flatten().collect()
+}
+
+/// Workloads over at least this many records engage parallel execution when
+/// no explicit worker count is configured (below it, thread spawn overhead
+/// outweighs the win). Shared by the SA-LSH blocker and the parallel
+/// baselines so they all flip to parallel at the same input size.
+pub const PARALLEL_THRESHOLD: usize = 2_000;
+
+/// Resolves a worker count: an explicitly configured count always wins;
+/// otherwise inputs of at least [`PARALLEL_THRESHOLD`] records use
+/// [`default_threads`] and smaller ones stay sequential.
+pub fn resolve_threads(explicit: Option<usize>, num_records: usize) -> usize {
+    match explicit {
+        Some(threads) => threads.max(1),
+        None if num_records >= PARALLEL_THRESHOLD => default_threads(),
+        None => 1,
+    }
 }
 
 /// A reasonable default worker count: the machine's available parallelism,

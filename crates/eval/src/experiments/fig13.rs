@@ -2,6 +2,11 @@
 //! subsets of increasing size, plus the time spent building the semantic
 //! function (taxonomy construction + record interpretation + semhash
 //! signatures), labelled "SF" in the paper.
+//!
+//! Every point of the ladder is scored through the streaming Γ evaluation
+//! ([`run_blocker`] → `BlockingMetrics::evaluate`), so even the right-most
+//! 292,892-record point — whose plain-LSH candidate set exceeds 236M pairs —
+//! is evaluated without materialising any pair vector.
 
 use std::time::{Duration, Instant};
 

@@ -13,6 +13,7 @@
 //! * FM* = harmonic mean of PC and PQ*.
 
 use sablock_core::blocking::BlockCollection;
+use sablock_core::parallel::default_threads;
 use sablock_datasets::GroundTruth;
 
 /// The evaluation measures of one blocking result.
@@ -32,7 +33,36 @@ pub struct BlockingMetrics {
 
 impl BlockingMetrics {
     /// Evaluates a block collection against ground truth.
+    ///
+    /// Γ is never materialised: `|Γ|` and `|Γ_tp|` come from
+    /// [`BlockCollection::stream_pair_counts`], which folds per-shard sorted
+    /// pair runs through a deduplicating k-way merge counter and probes
+    /// [`GroundTruth::is_match_pair`] once per distinct pair. The memory
+    /// high-water mark of evaluating paper-scale collections is therefore one
+    /// pair-space slice per worker instead of the whole candidate-pair set.
     pub fn evaluate(blocks: &BlockCollection, truth: &GroundTruth) -> Self {
+        Self::evaluate_with_threads(blocks, truth, default_threads())
+    }
+
+    /// [`BlockingMetrics::evaluate`] with an explicit worker count for the
+    /// streaming pair counter. The result never depends on `threads`
+    /// (enforced by `tests/determinism.rs`).
+    pub fn evaluate_with_threads(blocks: &BlockCollection, truth: &GroundTruth, threads: usize) -> Self {
+        let counts = blocks.stream_pair_counts_with_threads(threads, |pair| truth.is_match_pair(pair));
+        Self {
+            candidate_pairs: counts.distinct,
+            redundant_pairs: blocks.redundant_pair_count(),
+            true_positives: counts.matching,
+            total_true_matches: truth.num_true_matches(),
+            total_pairs: truth.num_total_pairs(),
+        }
+    }
+
+    /// The pre-streaming reference implementation: materialises Γ as a sorted
+    /// vector and counts over it. Kept public so tests (and callers that
+    /// already hold the pair set) can pin the streaming path's equivalence;
+    /// prefer [`BlockingMetrics::evaluate`] everywhere else.
+    pub fn evaluate_materialised(blocks: &BlockCollection, truth: &GroundTruth) -> Self {
         let distinct = blocks.distinct_pairs();
         let true_positives = distinct.iter().filter(|pair| truth.is_match_pair(pair)).count() as u64;
         Self {
@@ -252,6 +282,15 @@ mod proptests {
             prop_assert!(m.fm() <= hi + 1e-12);
             // PQ* <= PQ, and the harmonic mean is monotone in each argument.
             prop_assert!(m.fm_star() <= m.fm() + 1e-12);
+        }
+
+        #[test]
+        fn streaming_evaluation_equals_materialised(blocks in arb_blocks(12), truth in arb_truth(12, 4)) {
+            let streamed = BlockingMetrics::evaluate(&blocks, &truth);
+            prop_assert_eq!(streamed, BlockingMetrics::evaluate_materialised(&blocks, &truth));
+            for threads in [1usize, 4] {
+                prop_assert_eq!(streamed, BlockingMetrics::evaluate_with_threads(&blocks, &truth, threads));
+            }
         }
 
         #[test]

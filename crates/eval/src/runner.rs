@@ -4,7 +4,12 @@
 //! paper-scale runs selected with `SABLOCK_BENCH_SCALE=paper` in
 //! `sablock_bench` — funnels through [`run_blocker`]: it times
 //! [`Blocker::block`], then scores the resulting collection against ground
-//! truth. The dataset sizes the two ends of that ladder use are defined by
+//! truth. Scoring goes through the *streaming* evaluation path
+//! ([`BlockingMetrics::evaluate`] →
+//! [`BlockCollection::stream_pair_counts`](sablock_core::blocking::BlockCollection::stream_pair_counts)),
+//! so even the candidate-pair sets of the full 292,892-record voter roll are
+//! counted without ever being materialised. The dataset sizes the two ends
+//! of that ladder use are defined by
 //! [`Scale`](crate::experiments::Scale): `Scale::Quick` stays in the
 //! hundreds-to-thousands range, `Scale::Paper` reproduces the paper's sizes
 //! (1,879 Cora records, 30,000 NC Voter records, and Fig. 13's scalability
@@ -84,7 +89,9 @@ pub fn run_blocker(technique: &str, blocker: &dyn Blocker, dataset: &Dataset) ->
 }
 
 /// Evaluates an existing block collection (used when the blocks were produced
-/// elsewhere, e.g. by meta-blocking re-pruning a shared input).
+/// elsewhere, e.g. by meta-blocking re-pruning a shared input). Metrics come
+/// from the streaming pair counter, so the collection's Γ is never
+/// materialised here.
 pub fn evaluate_blocks(
     technique: &str,
     configuration: &str,

@@ -1,6 +1,10 @@
 //! Parameter sweeps: run every setting of a technique grid and keep the
 //! best-FM configuration, mirroring how Table 3 and Fig. 11 report "the
 //! result with the best-performing parameter setting".
+//!
+//! Each setting is scored through [`run_blocker`]'s streaming evaluation, so
+//! sweeping a grid never materialises any setting's candidate-pair set — the
+//! sweep's memory footprint stays flat no matter how many settings run.
 
 use sablock_baselines::params::TechniqueGrid;
 use sablock_core::error::{CoreError, Result};

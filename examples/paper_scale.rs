@@ -17,8 +17,10 @@
 //!    bounded chunks; only the assembled dataset itself is ever resident.
 //! 2. **Parallel blocking** — signatures are computed per record and the
 //!    banding/bucket phase is sharded per band, merged deterministically.
-//! 3. **Sorted-merge pair enumeration** — candidate pairs come out of a
-//!    sort-dedup/sorted-merge pipeline, in ascending order.
+//! 3. **Streaming Γ evaluation** — candidate pairs are counted (and probed
+//!    against ground truth) by a deduplicating sorted-merge fold over
+//!    pair-space slices; the full pair set is never materialised, so peak
+//!    memory stays at one slice per worker even at 236M+ LSH pairs.
 
 use std::error::Error;
 use std::time::Instant;
@@ -80,15 +82,28 @@ fn main() -> Result<(), Box<dyn Error>> {
         sablock::eval::runner::evaluate_blocks("SA-LSH", &salsh.name(), &dataset, &blocks, blocking_time);
     println!("{}", salsh_result.summary());
 
-    // --- 3. Inspect the sorted pair enumeration ------------------------------
-    let pairs = blocks.distinct_pairs();
+    // --- 3. Stream the candidate-pair counts ---------------------------------
+    // `stream_pair_counts` folds per-shard sorted runs through a k-way
+    // deduplicating merge counter, probing ground truth per distinct pair —
+    // Γ itself is never resident.
+    let stream_start = Instant::now();
+    let truth = dataset.ground_truth();
+    let counts = blocks.stream_pair_counts(|pair| truth.is_match_pair(pair));
     println!(
-        "{} blocks → {} distinct candidate pairs (sorted: first = {}, last = {})",
+        "{} blocks → {} distinct candidate pairs, {} true positives (streamed in {:.2}s, Γ never materialised)",
         blocks.num_blocks(),
-        pairs.len(),
-        pairs.first().map(|p| p.to_string()).unwrap_or_else(|| "-".into()),
-        pairs.last().map(|p| p.to_string()).unwrap_or_else(|| "-".into()),
+        counts.distinct,
+        counts.matching,
+        stream_start.elapsed().as_secs_f64(),
     );
-    assert!(pairs.windows(2).all(|w| w[0] < w[1]), "enumeration is sorted and deduplicated");
+    assert_eq!(counts.distinct, salsh_result.metrics.candidate_pairs);
+    assert_eq!(counts.matching, salsh_result.metrics.true_positives);
+    if !full {
+        // At the quick scale it is affordable to cross-check the streaming
+        // counts against the materialised enumeration.
+        let pairs = blocks.distinct_pairs();
+        assert_eq!(pairs.len() as u64, counts.distinct, "streaming counts match the materialised Γ");
+        assert!(pairs.windows(2).all(|w| w[0] < w[1]), "enumeration is sorted and deduplicated");
+    }
     Ok(())
 }

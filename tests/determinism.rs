@@ -108,15 +108,85 @@ fn bucket_phase_is_thread_count_invariant() {
 
 /// End-to-end: the full SA-LSH pipeline (which decides its own worker count
 /// from the dataset size) produces the same blocks as a rerun, and its
-/// evaluation metrics are stable.
+/// evaluation metrics are stable — same seed ⇒ the same `BlockingMetrics`,
+/// field for field.
 #[test]
 fn end_to_end_metrics_are_reproducible() {
     let dataset = small_cora();
     let blocker = salsh_blocker();
     let first = BlockingMetrics::evaluate(&blocker.block(&dataset).unwrap(), dataset.ground_truth());
     let second = BlockingMetrics::evaluate(&blocker.block(&dataset).unwrap(), dataset.ground_truth());
+    assert_eq!(first, second, "same seed must reproduce every metric field");
     assert_eq!(first.pc(), second.pc());
     assert_eq!(first.pq(), second.pq());
     assert_eq!(first.rr(), second.rr());
     assert_eq!(first.candidate_pairs, second.candidate_pairs);
+}
+
+/// The streaming Γ evaluation is thread-count invariant: counting the same
+/// block collection with 1 worker and with 4 workers produces identical
+/// `BlockingMetrics` (and both agree with the materialised reference), for
+/// every slice count of the pair-space partitioning.
+#[test]
+fn streaming_evaluation_is_thread_count_invariant() {
+    let dataset = small_cora();
+    let blocks = salsh_blocker().block(&dataset).unwrap();
+    let truth = dataset.ground_truth();
+    let reference = BlockingMetrics::evaluate_materialised(&blocks, truth);
+    let single = BlockingMetrics::evaluate_with_threads(&blocks, truth, 1);
+    let quad = BlockingMetrics::evaluate_with_threads(&blocks, truth, 4);
+    assert_eq!(single, quad, "1 vs 4 streaming workers");
+    assert_eq!(single, reference, "streaming vs materialised");
+    // The same invariance holds when the pair space is force-split into
+    // slices far smaller than the automatic heuristic would pick.
+    for slices in [2usize, 5, 16] {
+        for threads in [1usize, 4] {
+            let counts = blocks.stream_pair_counts_sliced(threads, slices, |p| truth.is_match_pair(p));
+            assert_eq!(counts.distinct, reference.candidate_pairs, "slices={slices} threads={threads}");
+            assert_eq!(counts.matching, reference.true_positives, "slices={slices} threads={threads}");
+        }
+    }
+}
+
+/// The parallel suffix-array and q-gram bucket constructions are thread-count
+/// invariant: 1 worker and 4 workers produce byte-identical block output on a
+/// dataset large enough to engage the chunked parallel path.
+#[test]
+fn baseline_bucket_construction_is_thread_count_invariant() {
+    use sablock::baselines::{
+        AllSubstringsBlocking, BlockingKey, QGramBlocking, RobustSuffixArrayBlocking, SuffixArrayBlocking,
+    };
+    use sablock::textual::similarity::SimilarityFunction;
+
+    // > 1,024 records so the chunked parallel index construction engages.
+    let dataset = NcVoterGenerator::new(NcVoterConfig { num_records: 2_500, ..NcVoterConfig::small() })
+        .generate()
+        .unwrap();
+
+    type BlockerFactory = Box<dyn Fn(usize) -> Box<dyn Blocker>>;
+    let blockers: Vec<(&str, BlockerFactory)> = vec![
+        ("SuA", Box::new(|t| Box::new(SuffixArrayBlocking::new(BlockingKey::ncvoter(), 3, 10).unwrap().with_threads(t)))),
+        ("SuAS", Box::new(|t| Box::new(AllSubstringsBlocking::new(BlockingKey::ncvoter(), 3, 10).unwrap().with_threads(t)))),
+        (
+            "RSuA",
+            Box::new(|t| {
+                Box::new(
+                    RobustSuffixArrayBlocking::new(BlockingKey::ncvoter(), 3, 10, SimilarityFunction::JaroWinkler, 0.9)
+                        .unwrap()
+                        .with_threads(t),
+                )
+            }),
+        ),
+        ("QGr", Box::new(|t| Box::new(QGramBlocking::new(BlockingKey::ncvoter(), 2, 0.8).unwrap().with_threads(t)))),
+    ];
+    for (name, build) in blockers {
+        let single = build(1).block(&dataset).unwrap();
+        let quad = build(4).block(&dataset).unwrap();
+        assert_eq!(single.blocks(), quad.blocks(), "{name}: 1 vs 4 worker block output");
+        assert_eq!(
+            single.stream_pair_counts_with_threads(1, |_| false),
+            quad.stream_pair_counts_with_threads(4, |_| false),
+            "{name}: streamed pair counts"
+        );
+    }
 }

@@ -159,6 +159,69 @@ proptest! {
         prop_assert_eq!(enumerated, reference.into_iter().collect::<Vec<_>>());
     }
 
+    /// Streaming Γ evaluation is a drop-in replacement for the materialised
+    /// computation: on random block collections — overlap-heavy (blocks drawn
+    /// from a 9-record universe), with singleton and empty blocks mixed in,
+    /// and spanning multiple enumeration shards — `BlockingMetrics::evaluate`
+    /// equals `evaluate_materialised` field for field, for every thread count
+    /// and every forced pair-space slice count.
+    #[test]
+    fn streaming_evaluation_matches_materialised_evaluation(
+        blocks in proptest::collection::vec(proptest::collection::vec(0u32..9, 0..6), 0..600),
+        entities in proptest::collection::vec(0u32..4, 9),
+    ) {
+        let collection = BlockCollection::from_blocks(
+            blocks
+                .iter()
+                .enumerate()
+                .map(|(i, members)| Block::new(format!("b{i}"), members.iter().copied().map(RecordId).collect()))
+                .collect(),
+        );
+        let truth = GroundTruth::from_assignments(entities.into_iter().map(EntityId).collect());
+        let reference = BlockingMetrics::evaluate_materialised(&collection, &truth);
+        let streamed = BlockingMetrics::evaluate(&collection, &truth);
+        prop_assert_eq!(streamed, reference);
+        for threads in [1usize, 4] {
+            prop_assert_eq!(BlockingMetrics::evaluate_with_threads(&collection, &truth, threads), reference);
+        }
+        // Forcing the sliced pair-space partitioning (which the automatic
+        // heuristic only engages at paper scale) must not change any count.
+        for slices in [2usize, 3, 8, 64] {
+            let counts = collection.stream_pair_counts_sliced(4, slices, |p| truth.is_match_pair(p));
+            prop_assert_eq!(counts.distinct, reference.candidate_pairs, "slices={}", slices);
+            prop_assert_eq!(counts.matching, reference.true_positives, "slices={}", slices);
+        }
+    }
+
+    /// Degenerate inputs of the streaming evaluation: singleton-only and
+    /// empty block collections yield all-zero pair counts no matter how the
+    /// counter is partitioned.
+    #[test]
+    fn streaming_evaluation_handles_degenerate_collections(
+        singletons in proptest::collection::vec(0u32..50, 0..12),
+        entities in proptest::collection::vec(0u32..4, 50),
+    ) {
+        let collection = BlockCollection::from_blocks(
+            singletons
+                .iter()
+                .enumerate()
+                .map(|(i, &m)| Block::new(format!("s{i}"), vec![RecordId(m)]))
+                .collect(),
+        );
+        prop_assert!(collection.is_empty(), "singleton blocks are dropped at construction");
+        let truth = GroundTruth::from_assignments(entities.into_iter().map(EntityId).collect());
+        let streamed = BlockingMetrics::evaluate(&collection, &truth);
+        prop_assert_eq!(streamed, BlockingMetrics::evaluate_materialised(&collection, &truth));
+        prop_assert_eq!(streamed.candidate_pairs, 0);
+        prop_assert_eq!(streamed.true_positives, 0);
+        let empty = BlockCollection::new();
+        for slices in [1usize, 4] {
+            let counts = empty.stream_pair_counts_sliced(2, slices, |_| true);
+            prop_assert_eq!(counts.distinct, 0);
+            prop_assert_eq!(counts.matching, 0);
+        }
+    }
+
     /// BlockCollection algebra on random block structures: θ is symmetric and
     /// consistent with the distinct-pair set, counts are consistent, and the
     /// membership index covers exactly the blocked records.
