@@ -21,13 +21,46 @@ use sablock_datasets::{Dataset, RecordId};
 
 use sablock_core::blocking::{Block, BlockCollection, Blocker};
 use sablock_core::error::{CoreError, Result};
+use sablock_core::parallel::{default_threads, merge_sorted_runs, parallel_map};
+
+/// How many blocks one chunk of the parallel graph construction enumerates
+/// before its `(packed pair, block index)` run is sorted and merged.
+const GRAPH_CHUNK_BLOCKS: usize = 256;
+
+/// Enumerates one chunk's `(packed pair, block index)` entries, sorted.
+/// Within a chunk the tuple sort orders entries by packed pair key and, for
+/// equal pairs, by ascending block index; chunks cover disjoint ascending
+/// block-index ranges, so the duplicate-keeping cross-chunk merge preserves
+/// both orders.
+fn chunk_entries(first_block_index: usize, blocks: &[Block]) -> Vec<(u64, u32)> {
+    let mut entries: Vec<(u64, u32)> =
+        Vec::with_capacity(blocks.iter().map(|b| b.pair_count() as usize).sum());
+    for (offset, block) in blocks.iter().enumerate() {
+        let block_index = (first_block_index + offset) as u32;
+        for pair in block.pairs() {
+            entries.push((pair.pack(), block_index));
+        }
+    }
+    entries.sort_unstable();
+    entries
+}
 
 /// The blocking graph: co-occurrence statistics extracted from a block
 /// collection, sufficient to compute every weighting scheme.
+///
+/// Edges are stored as sorted packed pair keys with a CSR (compressed sparse
+/// row) list of shared block indices, built by the same sorted packed-run
+/// merge the core pair enumeration uses — no hashing of pair space, cache-
+/// friendly bulk construction, and a deterministic edge order for free.
 #[derive(Debug, Clone)]
 pub struct BlockingGraph {
-    /// Distinct co-occurring pairs with the list of shared block indices.
-    edges: HashMap<RecordPair, Vec<usize>>,
+    /// Distinct co-occurring pairs as packed keys, strictly ascending.
+    edge_keys: Vec<u64>,
+    /// CSR offsets into `shared`: edge `i`'s shared blocks are
+    /// `shared[edge_offsets[i]..edge_offsets[i + 1]]`.
+    edge_offsets: Vec<usize>,
+    /// Concatenated shared-block indices, ascending within each edge.
+    shared: Vec<u32>,
     /// Number of blocks containing each record (|B_i|).
     blocks_per_record: HashMap<RecordId, usize>,
     /// Pair cardinality ||b|| of every block.
@@ -41,25 +74,54 @@ pub struct BlockingGraph {
 impl BlockingGraph {
     /// Builds the graph from a block collection.
     pub fn build(blocks: &BlockCollection) -> Self {
-        let mut edges: HashMap<RecordPair, Vec<usize>> = HashMap::new();
         let mut blocks_per_record: HashMap<RecordId, usize> = HashMap::new();
         let mut block_cardinalities = Vec::with_capacity(blocks.num_blocks());
-        for (block_index, block) in blocks.blocks().iter().enumerate() {
+        for block in blocks.blocks() {
             block_cardinalities.push(block.pair_count().max(1));
             for &member in block.members() {
                 *blocks_per_record.entry(member).or_insert(0) += 1;
             }
-            for pair in block.pairs() {
-                edges.entry(pair).or_default().push(block_index);
-            }
         }
+
+        // Sorted packed-run construction of the edge list: per-chunk sorted
+        // `(pair, block)` runs (in parallel for large collections), combined
+        // by the shared duplicate-keeping balanced binary merge.
+        let runs: Vec<Vec<(u64, u32)>> = if blocks.num_blocks() > GRAPH_CHUNK_BLOCKS {
+            let chunks: Vec<(usize, &[Block])> = blocks
+                .blocks()
+                .chunks(GRAPH_CHUNK_BLOCKS)
+                .enumerate()
+                .map(|(i, chunk)| (i * GRAPH_CHUNK_BLOCKS, chunk))
+                .collect();
+            parallel_map(&chunks, default_threads(), |&(base, chunk)| chunk_entries(base, chunk))
+        } else {
+            vec![chunk_entries(0, blocks.blocks())]
+        };
+        let entries = merge_sorted_runs(runs);
+
+        // One grouping pass over the sorted entries builds the CSR arrays.
+        let mut edge_keys: Vec<u64> = Vec::new();
+        let mut edge_offsets: Vec<usize> = vec![0];
+        let mut shared: Vec<u32> = Vec::with_capacity(entries.len());
+        for (key, block_index) in entries {
+            if edge_keys.last() != Some(&key) {
+                edge_keys.push(key);
+                edge_offsets.push(shared.len());
+            }
+            shared.push(block_index);
+            *edge_offsets.last_mut().expect("offsets start non-empty") = shared.len();
+        }
+
         let mut degrees: HashMap<RecordId, usize> = HashMap::new();
-        for pair in edges.keys() {
+        for &key in &edge_keys {
+            let pair = RecordPair::from_packed(key);
             *degrees.entry(pair.first()).or_insert(0) += 1;
             *degrees.entry(pair.second()).or_insert(0) += 1;
         }
         Self {
-            edges,
+            edge_keys,
+            edge_offsets,
+            shared,
             blocks_per_record,
             block_cardinalities,
             num_blocks: blocks.num_blocks(),
@@ -69,7 +131,7 @@ impl BlockingGraph {
 
     /// Number of edges (distinct co-occurring pairs).
     pub fn num_edges(&self) -> usize {
-        self.edges.len()
+        self.edge_keys.len()
     }
 
     /// Number of blocks behind the graph.
@@ -98,21 +160,27 @@ impl BlockingGraph {
         self.blocks_per_record.len()
     }
 
-    /// Computes the weight of every edge under a scheme.
+    /// Computes the weight of every edge under a scheme. Edges are emitted
+    /// in ascending pair order (the CSR layout is already sorted).
     pub fn weighted_edges(&self, scheme: WeightingScheme) -> Vec<(RecordPair, f64)> {
-        let mut weighted: Vec<(RecordPair, f64)> = self
-            .edges
+        self.edge_keys
             .iter()
-            .map(|(pair, shared)| (*pair, scheme.weight(self, pair, shared)))
-            .collect();
-        // Deterministic order: by pair id, weights attached.
-        weighted.sort_by_key(|(pair, _)| (*pair).first().0 as u64 * u32::MAX as u64 + (*pair).second().0 as u64);
-        weighted
+            .enumerate()
+            .map(|(i, &key)| {
+                let pair = RecordPair::from_packed(key);
+                let shared = &self.shared[self.edge_offsets[i]..self.edge_offsets[i + 1]];
+                let weight = scheme.weight(self, &pair, shared);
+                (pair, weight)
+            })
+            .collect()
     }
 
     /// The shared blocks of an edge (empty if the pair never co-occurs).
-    pub fn shared_blocks(&self, pair: &RecordPair) -> &[usize] {
-        self.edges.get(pair).map(Vec::as_slice).unwrap_or(&[])
+    pub fn shared_blocks(&self, pair: &RecordPair) -> &[u32] {
+        match self.edge_keys.binary_search(&pair.pack()) {
+            Ok(i) => &self.shared[self.edge_offsets[i]..self.edge_offsets[i + 1]],
+            Err(_) => &[],
+        }
     }
 
     /// Pair cardinality of a block.

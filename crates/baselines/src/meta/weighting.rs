@@ -46,8 +46,9 @@ impl WeightingScheme {
     }
 
     /// Computes the weight of an edge given the blocking graph and the list
-    /// of shared block indices.
-    pub fn weight(&self, graph: &BlockingGraph, pair: &RecordPair, shared_blocks: &[usize]) -> f64 {
+    /// of shared block indices (a borrowed slice of the graph's CSR edge
+    /// storage).
+    pub fn weight(&self, graph: &BlockingGraph, pair: &RecordPair, shared_blocks: &[u32]) -> f64 {
         let common = shared_blocks.len() as f64;
         if common == 0.0 {
             return 0.0;
@@ -57,7 +58,7 @@ impl WeightingScheme {
         match self {
             Self::Arcs => shared_blocks
                 .iter()
-                .map(|&b| 1.0 / graph.block_cardinality(b) as f64)
+                .map(|&b| 1.0 / graph.block_cardinality(b as usize) as f64)
                 .sum(),
             Self::Cbs => common,
             Self::Ecbs => {

@@ -15,31 +15,50 @@
 
 use std::collections::HashMap;
 
-use sablock_datasets::{Dataset, RecordId};
+use sablock_datasets::{Dataset, Record, RecordId};
 use sablock_textual::similarity::{SimilarityFunction, StringSimilarity};
 
 use sablock_core::blocking::{Block, BlockCollection, Blocker};
 use sablock_core::error::{CoreError, Result};
 
+use sablock_core::parallel::{merge_sorted_runs, parallel_map, resolve_threads};
+
 use crate::key::BlockingKey;
+use crate::{build_index_chunked, INDEX_CHUNK_RECORDS};
 
 /// Sorts records by their key value; records with empty keys are excluded.
 /// Ties are broken by record id so the order is total and deterministic.
-fn sorted_by_key(dataset: &Dataset, key: &BlockingKey) -> Vec<(String, RecordId)> {
-    let mut entries: Vec<(String, RecordId)> = dataset
-        .records()
-        .iter()
-        .filter_map(|record| {
-            let value = key.value(record);
-            if value.is_empty() {
-                None
-            } else {
-                Some((value, record.id()))
-            }
-        })
-        .collect();
-    entries.sort();
-    entries
+///
+/// Large datasets extract and sort 1,024-record chunks in parallel
+/// ([`parallel_map`]) and combine the per-chunk runs with the shared
+/// balanced binary merge ([`merge_sorted_runs`]) — `log₂ chunks` passes, so
+/// the merge stays cheap at any chunk count, and the result is
+/// byte-identical to a sequential extract-and-sort for every worker count
+/// (ties between equal keys resolve by record id, which the chunking never
+/// reorders).
+fn sorted_by_key(dataset: &Dataset, key: &BlockingKey, threads: Option<usize>) -> Vec<(String, RecordId)> {
+    let records = dataset.records();
+    let extract = |records: &[Record]| -> Vec<(String, RecordId)> {
+        let mut entries: Vec<(String, RecordId)> = records
+            .iter()
+            .filter_map(|record| {
+                let value = key.value(record);
+                if value.is_empty() {
+                    None
+                } else {
+                    Some((value, record.id()))
+                }
+            })
+            .collect();
+        entries.sort();
+        entries
+    };
+    let threads = resolve_threads(threads, records.len());
+    if threads <= 1 || records.len() <= INDEX_CHUNK_RECORDS {
+        return extract(records);
+    }
+    let chunks: Vec<&[Record]> = records.chunks(INDEX_CHUNK_RECORDS).collect();
+    merge_sorted_runs(parallel_map(&chunks, threads, |chunk| extract(chunk)))
 }
 
 /// Array-based sorted neighbourhood (SorA).
@@ -47,6 +66,7 @@ fn sorted_by_key(dataset: &Dataset, key: &BlockingKey) -> Vec<(String, RecordId)
 pub struct SortedNeighbourhoodArray {
     key: BlockingKey,
     window: usize,
+    threads: Option<usize>,
 }
 
 impl SortedNeighbourhoodArray {
@@ -56,7 +76,14 @@ impl SortedNeighbourhoodArray {
         if window < 2 {
             return Err(CoreError::Config("the sorted-neighbourhood window must be at least 2".into()));
         }
-        Ok(Self { key, window })
+        Ok(Self { key, window, threads: None })
+    }
+
+    /// Fixes the worker count of the sort-key extraction (by default large
+    /// datasets parallelise automatically; blocks are identical either way).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
     }
 
     /// The window size.
@@ -72,7 +99,7 @@ impl Blocker for SortedNeighbourhoodArray {
 
     fn block(&self, dataset: &Dataset) -> Result<BlockCollection> {
         self.key.validate_against(dataset)?;
-        let sorted = sorted_by_key(dataset, &self.key);
+        let sorted = sorted_by_key(dataset, &self.key, self.threads);
         let mut blocks = Vec::new();
         if sorted.len() >= 2 {
             for (i, window) in sorted.windows(self.window.min(sorted.len())).enumerate() {
@@ -89,6 +116,7 @@ impl Blocker for SortedNeighbourhoodArray {
 pub struct SortedNeighbourhoodInverted {
     key: BlockingKey,
     window: usize,
+    threads: Option<usize>,
 }
 
 impl SortedNeighbourhoodInverted {
@@ -97,7 +125,15 @@ impl SortedNeighbourhoodInverted {
         if window < 2 {
             return Err(CoreError::Config("the sorted-neighbourhood window must be at least 2".into()));
         }
-        Ok(Self { key, window })
+        Ok(Self { key, window, threads: None })
+    }
+
+    /// Fixes the worker count of the inverted-index construction (by default
+    /// large datasets parallelise automatically; blocks are identical either
+    /// way).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
     }
 }
 
@@ -109,14 +145,29 @@ impl Blocker for SortedNeighbourhoodInverted {
     fn block(&self, dataset: &Dataset) -> Result<BlockCollection> {
         self.key.validate_against(dataset)?;
         // Inverted index: distinct key value → records, in sorted key order.
-        let mut index: HashMap<String, Vec<RecordId>> = HashMap::new();
-        for record in dataset.records() {
-            let value = self.key.value(record);
-            if value.is_empty() {
-                continue;
-            }
-            index.entry(value).or_default().push(record.id());
-        }
+        // Chunks index independently (in parallel for large datasets) and
+        // posting lists merge in ascending chunk order, so each key's record
+        // list stays in record order for every worker count.
+        let index: HashMap<String, Vec<RecordId>> = build_index_chunked(
+            dataset.records(),
+            self.threads,
+            |records: &[Record]| {
+                let mut index: HashMap<String, Vec<RecordId>> = HashMap::new();
+                for record in records {
+                    let value = self.key.value(record);
+                    if value.is_empty() {
+                        continue;
+                    }
+                    index.entry(value).or_default().push(record.id());
+                }
+                index
+            },
+            |merged, partial| {
+                for (value, ids) in partial {
+                    merged.entry(value).or_default().extend(ids);
+                }
+            },
+        );
         let mut distinct: Vec<(String, Vec<RecordId>)> = index.into_iter().collect();
         distinct.sort_by(|a, b| a.0.cmp(&b.0));
 
@@ -143,6 +194,7 @@ pub struct AdaptiveSortedNeighbourhood {
     similarity: SimilarityFunction,
     threshold: f64,
     max_block_size: usize,
+    threads: Option<usize>,
 }
 
 impl AdaptiveSortedNeighbourhood {
@@ -158,6 +210,7 @@ impl AdaptiveSortedNeighbourhood {
             similarity,
             threshold,
             max_block_size: 100,
+            threads: None,
         })
     }
 
@@ -165,6 +218,14 @@ impl AdaptiveSortedNeighbourhood {
     /// cannot degenerate into one giant block.
     pub fn with_max_block_size(mut self, size: usize) -> Self {
         self.max_block_size = size.max(2);
+        self
+    }
+
+    /// Fixes the worker count of the sort-key extraction (the adaptive
+    /// window scan itself is inherently sequential; blocks are identical for
+    /// every worker count).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
         self
     }
 }
@@ -181,7 +242,7 @@ impl Blocker for AdaptiveSortedNeighbourhood {
 
     fn block(&self, dataset: &Dataset) -> Result<BlockCollection> {
         self.key.validate_against(dataset)?;
-        let sorted = sorted_by_key(dataset, &self.key);
+        let sorted = sorted_by_key(dataset, &self.key, self.threads);
         let mut blocks = Vec::new();
         let mut current: Vec<RecordId> = Vec::new();
         let mut previous_key: Option<&str> = None;
@@ -334,6 +395,33 @@ mod tests {
             .unwrap();
         assert!(blocks.max_block_size() <= 10);
         assert!(blocks.num_blocks() >= 5);
+    }
+
+    #[test]
+    fn with_threads_does_not_change_blocks() {
+        let ds = people();
+        for window in [2usize, 4] {
+            let sequential = SortedNeighbourhoodArray::new(last_first_key(), window).unwrap().block(&ds).unwrap();
+            let threaded = SortedNeighbourhoodArray::new(last_first_key(), window)
+                .unwrap()
+                .with_threads(4)
+                .block(&ds)
+                .unwrap();
+            assert_eq!(sequential.blocks(), threaded.blocks(), "SorA w={window}");
+        }
+        let sequential = SortedNeighbourhoodInverted::new(last_first_key(), 2).unwrap().block(&ds).unwrap();
+        let threaded = SortedNeighbourhoodInverted::new(last_first_key(), 2).unwrap().with_threads(4).block(&ds).unwrap();
+        assert_eq!(sequential.blocks(), threaded.blocks(), "SorII");
+        let adaptive = |t: Option<usize>| {
+            let blocker = AdaptiveSortedNeighbourhood::new(last_first_key(), SimilarityFunction::JaroWinkler, 0.8).unwrap();
+            match t {
+                Some(t) => blocker.with_threads(t),
+                None => blocker,
+            }
+            .block(&ds)
+            .unwrap()
+        };
+        assert_eq!(adaptive(None).blocks(), adaptive(Some(4)).blocks(), "ASor");
     }
 
     #[test]

@@ -3,17 +3,58 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::path::Path;
 
 use sablock_bench::{banner, bench_scale};
 use sablock_core::blocking::Blocker;
 use sablock_core::lsh::semantic_hash::SemanticMode;
-use sablock_eval::experiments::{fig13, voter_dataset_of_size, voter_salsh};
+use sablock_eval::experiments::{fig13, voter_dataset_of_size, voter_salsh, Scale};
+use sablock_eval::perf::{peak_rss_bytes, upsert_section, JsonValue};
+
+/// Writes the ladder measurements to `BENCH_fig13.json` next to
+/// `BENCH_NOTES.md`, so the perf trajectory is diffable across PRs. Paper
+/// runs own the `"ladder"` section; quick smoke runs write `"ladder_quick"`
+/// so they never clobber committed paper-scale numbers.
+fn record_ladder(output: &fig13::Fig13Output) {
+    let points: Vec<JsonValue> = output
+        .points
+        .iter()
+        .map(|p| {
+            JsonValue::Object(vec![
+                ("records".into(), JsonValue::UInt(p.records as u64)),
+                ("lsh_blocking_s".into(), JsonValue::Float(p.lsh.blocking_time.as_secs_f64())),
+                ("salsh_blocking_s".into(), JsonValue::Float(p.salsh.blocking_time.as_secs_f64())),
+                ("sf_s".into(), JsonValue::Float(p.semantic_function_time.as_secs_f64())),
+                ("lsh_candidate_pairs".into(), JsonValue::UInt(p.lsh.metrics.candidate_pairs)),
+                ("salsh_candidate_pairs".into(), JsonValue::UInt(p.salsh.metrics.candidate_pairs)),
+                ("pc_salsh".into(), JsonValue::Float(p.salsh.metrics.pc())),
+                ("rr_salsh".into(), JsonValue::Float(p.salsh.metrics.rr())),
+            ])
+        })
+        .collect();
+    let section = JsonValue::Object(vec![
+        ("points".into(), JsonValue::Array(points)),
+        (
+            "peak_rss_bytes".into(),
+            peak_rss_bytes().map_or(JsonValue::Null, JsonValue::UInt),
+        ),
+    ]);
+    let name = if bench_scale() == Scale::Paper { "ladder" } else { "ladder_quick" };
+    // Anchor on the crate manifest: bench binaries run with the package
+    // directory as CWD, and the report lives at the workspace root.
+    let path = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fig13.json"));
+    match upsert_section(path, name, &section) {
+        Ok(()) => println!("wrote the ladder measurements to {} (section \"{name}\")", path.display()),
+        Err(err) => eprintln!("could not write {}: {err}", path.display()),
+    }
+}
 
 fn bench(c: &mut Criterion) {
     banner("Fig. 13 — scalability over increasing dataset sizes");
     let output = fig13::run_sizes(&bench_scale().scalability_sizes()).expect("fig13 experiment");
     println!("{}", output.quality_table().render());
     println!("{}", output.time_table().render());
+    record_ladder(&output);
 
     // Criterion throughput series over a few sizes (kept small so the
     // measured series is affordable; the printed table above carries the

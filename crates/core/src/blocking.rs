@@ -5,10 +5,23 @@
 //! contains both records. [`BlockCollection`] materialises B and exposes the
 //! quantities the evaluation measures need: the set Γ of distinct candidate
 //! pairs, the redundant pair count Γ_m, and θ_B itself.
+//!
+//! # The packed pair representation
+//!
+//! Every bulk pair path — enumeration, deduplication and the streaming
+//! Γ counter — operates on *packed* pair keys ([`RecordPair::pack`]): the
+//! smaller record id in the high 32 bits of a `u64`, the larger in the low
+//! 32. Packed keys order exactly like [`RecordPair`]s, so sorted runs are
+//! plain `Vec<u64>`, run construction is an LSB radix sort
+//! ([`radix_sort_packed`]), and every comparison of the k-way merge is a
+//! single integer compare. The merge itself is a flat loser (tournament)
+//! tree with a galloping fast path ([`merge_count_packed_runs`]): one
+//! path-to-root update per *segment* of pairs instead of a heap pop + push
+//! per redundant pair.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
+use sablock_datasets::ground_truth::EntityId;
 use sablock_datasets::record::RecordPair;
 use sablock_datasets::{Dataset, RecordId};
 use sablock_textual::hashing::StableHashSet;
@@ -18,7 +31,7 @@ use crate::parallel::{default_threads, parallel_map};
 
 /// How many blocks one shard of the pair-enumeration covers. Shards are
 /// enumerated and sorted independently (in parallel for large collections)
-/// and then combined by a sorted merge.
+/// and then combined by the loser-tree merge.
 const PAIR_SHARD_BLOCKS: usize = 256;
 
 /// Target number of (redundant) pairs per pair-space slice of the streaming
@@ -32,43 +45,64 @@ const STREAM_SLICE_TARGET_PAIRS: u64 = 32_000_000;
 /// count would trade memory nobody needs saved for wasted scans.
 const MAX_STREAM_SLICES: usize = 64;
 
-/// Enumerates, sorts and dedups the pairs of a slice of blocks — one sorted
-/// run of the shard-then-merge pair enumeration.
-fn sorted_pair_run(blocks: &[Block]) -> Vec<RecordPair> {
-    let mut pairs: Vec<RecordPair> = blocks.iter().flat_map(Block::pairs).collect();
-    pairs.sort_unstable();
-    pairs.dedup();
-    pairs
-}
+/// Below this length the scatter passes of the radix sort cost more than a
+/// comparison sort's cache locality buys back, so short runs fall through to
+/// `sort_unstable`.
+const RADIX_SORT_MIN: usize = 1 << 10;
 
-/// Merges two sorted, deduplicated runs into one, dropping duplicates that
-/// appear in both (the classic sorted-merge of merge sort, with set union
-/// semantics).
-fn merge_sorted_dedup(a: Vec<RecordPair>, b: Vec<RecordPair>) -> Vec<RecordPair> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
-    let mut ia = a.into_iter().peekable();
-    let mut ib = b.into_iter().peekable();
-    loop {
-        match (ia.peek(), ib.peek()) {
-            (Some(x), Some(y)) => match x.cmp(y) {
-                std::cmp::Ordering::Less => out.push(ia.next().expect("peeked")),
-                std::cmp::Ordering::Greater => out.push(ib.next().expect("peeked")),
-                std::cmp::Ordering::Equal => {
-                    out.push(ia.next().expect("peeked"));
-                    ib.next();
-                }
-            },
-            (Some(_), None) => {
-                out.extend(ia);
-                break;
-            }
-            (None, _) => {
-                out.extend(ib);
-                break;
-            }
+/// Sorts packed pair keys with an LSB radix sort: one histogram pre-scan
+/// over all eight byte digits, then one counting-scatter pass per digit that
+/// actually varies (a digit whose value is shared by every key — common when
+/// record ids span far fewer than 32 bits — is skipped outright). Short
+/// inputs (under 1,024 keys) fall back to `sort_unstable`, whose branchy
+/// pattern-defeating pdqsort wins at that size.
+///
+/// Exposed (with [`merge_count_packed_runs`]) so benches and property tests
+/// can pin the packed run construction against the tuple-sorting reference.
+pub fn radix_sort_packed(keys: &mut Vec<u64>) {
+    let len = keys.len();
+    if len < RADIX_SORT_MIN || len > u32::MAX as usize {
+        keys.sort_unstable();
+        return;
+    }
+    let mut hist = vec![[0u32; 256]; 8];
+    for &key in keys.iter() {
+        let mut k = key;
+        for digit in &mut hist {
+            digit[(k & 0xFF) as usize] += 1;
+            k >>= 8;
         }
     }
-    out
+    let mut src = std::mem::take(keys);
+    let mut dst = vec![0u64; len];
+    for (digit, counts) in hist.iter().enumerate() {
+        if counts.iter().any(|&count| count as usize == len) {
+            continue;
+        }
+        let shift = digit * 8;
+        let mut offsets = [0u32; 256];
+        let mut running = 0u32;
+        for (offset, &count) in offsets.iter_mut().zip(counts.iter()) {
+            *offset = running;
+            running += count;
+        }
+        for &key in &src {
+            let bucket = ((key >> shift) & 0xFF) as usize;
+            dst[offsets[bucket] as usize] = key;
+            offsets[bucket] += 1;
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    *keys = src;
+}
+
+/// Enumerates, radix-sorts and dedups the packed pairs of a slice of blocks —
+/// one sorted run of the shard-then-merge pair enumeration.
+fn packed_pair_run(blocks: &[Block]) -> Vec<u64> {
+    let mut keys: Vec<u64> = blocks.iter().flat_map(|b| b.pairs().map(RecordPair::pack)).collect();
+    radix_sort_packed(&mut keys);
+    keys.dedup();
+    keys
 }
 
 /// Counts accumulated by one streaming pass over the distinct candidate-pair
@@ -92,45 +126,227 @@ impl PairCounts {
     }
 }
 
-/// Folds sorted, individually-deduplicated pair runs through a k-way
-/// sorted-merge counter: pops pairs in ascending order across all runs,
-/// drops cross-run duplicates on the fly, and probes each emitted distinct
-/// pair exactly once. Nothing beyond the runs themselves is ever allocated.
-fn merge_count_runs<F>(runs: Vec<Vec<RecordPair>>, probe: &F) -> PairCounts
+/// A predicate over packed pair keys, monomorphised into the merge-counting
+/// loop (no boxing, no per-pair virtual dispatch).
+///
+/// The blanket impl lets any `Fn(&RecordPair) -> bool` closure serve as a
+/// probe (unpacking costs two shifts); [`EntityTableProbe`] is the fast path
+/// for ground-truth matching — two array loads and one compare per pair.
+pub trait PackedProbe: Sync {
+    /// Whether the packed pair matches.
+    fn matches(&self, key: u64) -> bool;
+}
+
+impl<F> PackedProbe for F
 where
-    F: Fn(&RecordPair) -> bool,
+    F: Fn(&RecordPair) -> bool + Sync,
 {
+    #[inline]
+    fn matches(&self, key: u64) -> bool {
+        self(&RecordPair::from_packed(key))
+    }
+}
+
+/// Ground-truth matching as a [`PackedProbe`]: a dense per-record entity
+/// table (`GroundTruth::entity_table`), so the match test inside the merge
+/// loop is two bounds-checked loads and an integer compare. Records beyond
+/// the table never match (the blocks may cover ids the truth does not).
+#[derive(Debug, Clone, Copy)]
+pub struct EntityTableProbe<'a> {
+    entity_of: &'a [EntityId],
+}
+
+impl<'a> EntityTableProbe<'a> {
+    /// Wraps a dense record → entity assignment.
+    pub fn new(entity_of: &'a [EntityId]) -> Self {
+        Self { entity_of }
+    }
+}
+
+impl PackedProbe for EntityTableProbe<'_> {
+    #[inline]
+    fn matches(&self, key: u64) -> bool {
+        match (self.entity_of.get((key >> 32) as usize), self.entity_of.get((key as u32) as usize)) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// A flat loser (tournament) tree over the current heads of `cap` runs
+/// (`cap` a power of two; surplus leaves carry the `u64::MAX` sentinel).
+/// `node[0]` holds the run index of the overall winner; `node[1..cap]` hold
+/// the loser of each internal match. Advancing the winner replays one
+/// leaf-to-root path — ⌈log₂ cap⌉ integer compares — instead of the pop +
+/// push (two heap walks over tuple keys) of a binary heap.
+struct LoserTree {
+    node: Vec<u32>,
+    cap: usize,
+}
+
+impl LoserTree {
+    /// Builds the tree over initial head keys (`keys.len()` == `cap`).
+    fn new(keys: &[u64]) -> Self {
+        let cap = keys.len();
+        debug_assert!(cap.is_power_of_two());
+        let mut node = vec![0u32; cap];
+        let mut winner = vec![0u32; 2 * cap];
+        for (i, slot) in winner.iter_mut().skip(cap).enumerate() {
+            *slot = i as u32;
+        }
+        for n in (1..cap).rev() {
+            let a = winner[2 * n];
+            let b = winner[2 * n + 1];
+            let (win, lose) = if keys[b as usize] < keys[a as usize] { (b, a) } else { (a, b) };
+            winner[n] = win;
+            node[n] = lose;
+        }
+        node[0] = if cap > 1 { winner[1] } else { 0 };
+        Self { node, cap }
+    }
+
+    /// The run index holding the smallest current head.
+    #[inline]
+    fn winner(&self) -> usize {
+        self.node[0] as usize
+    }
+
+    /// Replays the path from run `run`'s leaf to the root after its head key
+    /// changed, restoring the winner at `node[0]`.
+    #[inline]
+    fn replay(&mut self, run: usize, keys: &[u64]) {
+        let mut winner = run as u32;
+        let mut n = (self.cap + run) >> 1;
+        while n >= 1 {
+            let contender = self.node[n];
+            if keys[contender as usize] < keys[winner as usize] {
+                self.node[n] = winner;
+                winner = contender;
+            }
+            n >>= 1;
+        }
+        self.node[0] = winner;
+    }
+
+    /// The runner-up's head key: the losers stored on the winner's path are
+    /// exactly the winners of every opposing subtree, so their minimum is the
+    /// smallest head outside the winning run — the bound below which the
+    /// winner's run can be emitted wholesale without touching the tree.
+    #[inline]
+    fn challenger(&self, keys: &[u64]) -> u64 {
+        let winner = self.node[0] as usize;
+        let mut best = u64::MAX;
+        let mut n = (self.cap + winner) >> 1;
+        while n >= 1 {
+            best = best.min(keys[self.node[n] as usize]);
+            n >>= 1;
+        }
+        best
+    }
+}
+
+/// Merges sorted, individually-deduplicated packed runs and feeds the
+/// globally deduplicated output to `emit` as strictly-ascending segments
+/// (each segment a borrowed slice of one input run).
+///
+/// The merge is comparison-minimal and adaptive. A [`LoserTree`] keeps the
+/// smallest head; the common advance is one leaf-to-root replay — ⌈log₂ k⌉
+/// single-`u64` compares. When the same run wins twice in a row (a locally
+/// dominating run: blocks cluster pairs by anchor id, so this is frequent),
+/// the merge switches to the **galloping fast path**: it computes the
+/// runner-up's head once ([`LoserTree::challenger`]) and bulk-emits the
+/// winning run's entire prefix below that bound with a single tree update,
+/// however long the prefix. When only one run remains alive
+/// (`challenger == u64::MAX`), its whole tail goes out as one segment.
+/// Finely interleaved runs therefore pay one replay per key — never the
+/// challenger walk — while skewed run shapes collapse to segment-sized
+/// work.
+fn merge_packed_runs_into<E: FnMut(&[u64])>(runs: &[Vec<u64>], mut emit: E) {
+    let live: Vec<&[u64]> = runs.iter().map(Vec::as_slice).filter(|r| !r.is_empty()).collect();
+    match live.len() {
+        0 => return,
+        1 => {
+            emit(live[0]);
+            return;
+        }
+        _ => {}
+    }
+    let cap = live.len().next_power_of_two();
+    let mut pos = vec![0usize; live.len()];
+    let mut keys = vec![u64::MAX; cap];
+    for (key, run) in keys.iter_mut().zip(live.iter()) {
+        *key = run[0];
+    }
+    let mut tree = LoserTree::new(&keys);
+    // No valid packed pair is `u64::MAX` (the smaller id is < u32::MAX), so
+    // it doubles as both the exhausted-run sentinel and "nothing emitted yet".
+    let mut last = u64::MAX;
+    let mut prev_winner = usize::MAX;
+    loop {
+        let w = tree.winner();
+        let head = keys[w];
+        if head == u64::MAX {
+            break;
+        }
+        let run = live[w];
+        let mut p = pos[w];
+        if w == prev_winner {
+            // The run won twice in a row — gallop: everything below the
+            // runner-up's head is below every other run's current and future
+            // keys, so the prefix is globally next and — runs being
+            // deduplicated — unique except possibly its first key repeating
+            // `last`.
+            let bound = tree.challenger(&keys);
+            if head < bound {
+                let start = if head == last { p + 1 } else { p };
+                while p < run.len() && run[p] < bound {
+                    p += 1;
+                }
+                if start < p {
+                    emit(&run[start..p]);
+                    last = run[p - 1];
+                }
+            } else {
+                // head == bound: a cross-run tie; emit one key and let the
+                // other run's equal head be dropped as a duplicate.
+                if head != last {
+                    emit(&run[p..p + 1]);
+                    last = head;
+                }
+                p += 1;
+            }
+        } else {
+            // Single-step advance: emit the winner and replay — no
+            // challenger walk on the interleaved fast path.
+            if head != last {
+                emit(&run[p..p + 1]);
+                last = head;
+            }
+            p += 1;
+        }
+        pos[w] = p;
+        keys[w] = if p < run.len() { run[p] } else { u64::MAX };
+        tree.replay(w, &keys);
+        prev_winner = w;
+    }
+}
+
+/// Folds sorted, individually-deduplicated packed runs through the
+/// loser-tree merge, counting distinct keys and probing each emitted key
+/// exactly once. Nothing beyond the runs themselves is ever allocated.
+///
+/// Public (with [`radix_sort_packed`]) so benches and property tests can pin
+/// it against a heap-merge reference on adversarial run shapes.
+pub fn merge_count_packed_runs<P: PackedProbe>(runs: &[Vec<u64>], probe: &P) -> PairCounts {
     let mut counts = PairCounts::default();
-    if runs.len() == 1 {
-        // Single run: already sorted and deduplicated, no merge needed.
-        for pair in &runs[0] {
-            counts.distinct += 1;
-            if probe(pair) {
+    merge_packed_runs_into(runs, |segment| {
+        counts.distinct += segment.len() as u64;
+        for &key in segment {
+            if probe.matches(key) {
                 counts.matching += 1;
             }
         }
-        return counts;
-    }
-    let mut iters: Vec<_> = runs.iter().map(|run| run.iter().copied()).collect();
-    let mut heap: BinaryHeap<Reverse<(RecordPair, usize)>> = BinaryHeap::with_capacity(iters.len());
-    for (idx, iter) in iters.iter_mut().enumerate() {
-        if let Some(pair) = iter.next() {
-            heap.push(Reverse((pair, idx)));
-        }
-    }
-    let mut last: Option<RecordPair> = None;
-    while let Some(Reverse((pair, idx))) = heap.pop() {
-        if last != Some(pair) {
-            counts.distinct += 1;
-            if probe(&pair) {
-                counts.matching += 1;
-            }
-            last = Some(pair);
-        }
-        if let Some(next) = iters[idx].next() {
-            heap.push(Reverse((next, idx)));
-        }
-    }
+    });
     counts
 }
 
@@ -302,13 +518,25 @@ impl BlockCollection {
         self.blocks.iter().map(Block::pair_count).sum()
     }
 
+    /// The per-shard sorted, deduplicated packed pair runs of the whole
+    /// collection (the PR-2 sort-dedup shards, now radix-sorted `Vec<u64>`).
+    fn packed_runs(&self, threads: usize) -> Vec<Vec<u64>> {
+        if self.blocks.len() > PAIR_SHARD_BLOCKS {
+            let shards: Vec<&[Block]> = self.blocks.chunks(PAIR_SHARD_BLOCKS).collect();
+            parallel_map(&shards, threads, |shard| packed_pair_run(shard))
+        } else {
+            vec![packed_pair_run(&self.blocks)]
+        }
+    }
+
     /// The set Γ of *distinct* candidate pairs across all blocks, returned as
     /// a vector sorted in ascending [`RecordPair`] order.
     ///
     /// Enumeration is sort-dedup based rather than hash-set based: blocks are
-    /// split into shards, each shard's pairs are enumerated, sorted and
-    /// deduplicated independently (in parallel for large collections), and the
-    /// sorted runs are combined by a duplicate-dropping sorted merge. This
+    /// split into shards, each shard's packed pairs are radix-sorted and
+    /// deduplicated independently (in parallel for large collections), the
+    /// runs are merged once through the loser-tree/galloping merge into a
+    /// single packed vector, and the keys are unpacked once at the end. This
     /// keeps bulk enumeration cache-friendly and allocation-light, and the
     /// output order is deterministic regardless of thread count.
     ///
@@ -317,31 +545,16 @@ impl BlockCollection {
     /// use [`BlockCollection::stream_pair_counts`], which is semantically
     /// identical but never holds the full set.
     pub fn distinct_pairs(&self) -> Vec<RecordPair> {
-        let mut runs: Vec<Vec<RecordPair>> = if self.blocks.len() > PAIR_SHARD_BLOCKS {
-            let shards: Vec<&[Block]> = self.blocks.chunks(PAIR_SHARD_BLOCKS).collect();
-            parallel_map(&shards, default_threads(), |shard| sorted_pair_run(shard))
-        } else {
-            vec![sorted_pair_run(&self.blocks)]
-        };
-        // Balanced binary sorted-merge of the runs.
-        while runs.len() > 1 {
-            let mut next = Vec::with_capacity(runs.len().div_ceil(2));
-            let mut iter = runs.into_iter();
-            while let Some(a) = iter.next() {
-                match iter.next() {
-                    Some(b) => next.push(merge_sorted_dedup(a, b)),
-                    None => next.push(a),
-                }
-            }
-            runs = next;
-        }
-        runs.pop().unwrap_or_default()
+        let runs = self.packed_runs(default_threads());
+        let mut packed: Vec<u64> = Vec::with_capacity(runs.iter().map(Vec::len).sum());
+        merge_packed_runs_into(&runs, |segment| packed.extend_from_slice(segment));
+        packed.into_iter().map(RecordPair::from_packed).collect()
     }
 
     /// Number of distinct candidate pairs `|Γ|`, computed by the streaming
     /// counter — the full pair set is never materialised.
     pub fn num_distinct_pairs(&self) -> u64 {
-        self.stream_pair_counts(|_| false).distinct
+        self.stream_pair_counts(|_: &RecordPair| false).distinct
     }
 
     /// Streams the distinct candidate-pair set Γ through a counting fold
@@ -350,23 +563,16 @@ impl BlockCollection {
     /// Each distinct pair is probed exactly once, in ascending order within
     /// its pair-space slice.
     ///
-    /// Semantically this is `distinct_pairs()` followed by a count/filter,
-    /// but the memory high-water mark is one pair-space *slice* per worker
-    /// rather than the whole Γ: pair space is range-partitioned by the
-    /// smaller record id into slices sized off the redundant pair count
-    /// (boundaries cut on cumulative anchored-pair mass, so the bound holds
-    /// for skewed id layouts too), and each slice independently enumerates
-    /// per-shard sorted runs (the PR-2 sort-dedup shards) and folds them
-    /// through a k-way sorted-merge counter
-    /// that deduplicates on the fly. Slices are disjoint in pair space, so
-    /// their counts add up exactly; [`parallel_map`] drives the slice (or,
-    /// for single-slice collections, shard) enumeration, and the result is
-    /// identical for every thread count.
+    /// Closure-probe convenience wrapper around
+    /// [`BlockCollection::stream_packed_counts`]; bulk callers that can
+    /// phrase their probe over packed keys (such as
+    /// [`EntityTableProbe`] for ground truth) should use the packed entry
+    /// points directly.
     pub fn stream_pair_counts<F>(&self, probe: F) -> PairCounts
     where
         F: Fn(&RecordPair) -> bool + Sync,
     {
-        self.stream_pair_counts_with_threads(default_threads(), probe)
+        self.stream_packed_counts(probe)
     }
 
     /// [`BlockCollection::stream_pair_counts`] with an explicit worker count
@@ -375,11 +581,7 @@ impl BlockCollection {
     where
         F: Fn(&RecordPair) -> bool + Sync,
     {
-        let slices = self
-            .redundant_pair_count()
-            .div_ceil(STREAM_SLICE_TARGET_PAIRS)
-            .clamp(1, MAX_STREAM_SLICES as u64) as usize;
-        self.stream_pair_counts_sliced(threads, slices, probe)
+        self.stream_packed_counts_with_threads(threads, probe)
     }
 
     /// The streaming counter with an explicit slice count, exposed so tests
@@ -389,6 +591,40 @@ impl BlockCollection {
     where
         F: Fn(&RecordPair) -> bool + Sync,
     {
+        self.stream_packed_counts_sliced(threads, slices, probe)
+    }
+
+    /// The streaming Γ counter over a [`PackedProbe`].
+    ///
+    /// Semantically this is `distinct_pairs()` followed by a count/filter,
+    /// but the memory high-water mark is one pair-space *slice* per worker
+    /// rather than the whole Γ: pair space is range-partitioned by the
+    /// smaller record id into slices sized off the redundant pair count
+    /// (boundaries cut on cumulative anchored-pair mass, so the bound holds
+    /// for skewed id layouts too), and each slice independently radix-sorts
+    /// per-shard packed runs and folds them through the loser-tree/galloping
+    /// merge counter, which deduplicates on the fly. Slices are disjoint in
+    /// pair space, so their counts add up exactly; [`parallel_map`] drives
+    /// the slice (or, for single-slice collections, shard) enumeration, and
+    /// the result is identical for every thread count.
+    pub fn stream_packed_counts<P: PackedProbe>(&self, probe: P) -> PairCounts {
+        self.stream_packed_counts_with_threads(default_threads(), probe)
+    }
+
+    /// [`BlockCollection::stream_packed_counts`] with an explicit worker
+    /// count (the result never depends on it).
+    pub fn stream_packed_counts_with_threads<P: PackedProbe>(&self, threads: usize, probe: P) -> PairCounts {
+        let slices = self
+            .redundant_pair_count()
+            .div_ceil(STREAM_SLICE_TARGET_PAIRS)
+            .clamp(1, MAX_STREAM_SLICES as u64) as usize;
+        self.stream_packed_counts_sliced(threads, slices, probe)
+    }
+
+    /// [`BlockCollection::stream_packed_counts`] with an explicit slice
+    /// count. `slices` only affects the memory/rescan trade-off, never the
+    /// counts.
+    pub fn stream_packed_counts_sliced<P: PackedProbe>(&self, threads: usize, slices: usize, probe: P) -> PairCounts {
         if self.blocks.is_empty() {
             return PairCounts::default();
         }
@@ -396,13 +632,8 @@ impl BlockCollection {
             // One slice covering all of pair space: build the sorted shard
             // runs in parallel (exactly as `distinct_pairs` does) and fold
             // them through the merge counter instead of merging into a vector.
-            let runs: Vec<Vec<RecordPair>> = if self.blocks.len() > PAIR_SHARD_BLOCKS {
-                let shards: Vec<&[Block]> = self.blocks.chunks(PAIR_SHARD_BLOCKS).collect();
-                parallel_map(&shards, threads, |shard| sorted_pair_run(shard))
-            } else {
-                vec![sorted_pair_run(&self.blocks)]
-            };
-            return merge_count_runs(runs, &probe);
+            let runs = self.packed_runs(threads);
+            return merge_count_packed_runs(&runs, &probe);
         }
 
         // Sort each block's members once so that, inside every block, the
@@ -421,30 +652,43 @@ impl BlockCollection {
         let counts = parallel_map(&slice_ids, threads, |&slice| {
             let lo = bounds[slice];
             let hi = bounds[slice + 1];
-            let mut runs: Vec<Vec<RecordPair>> = Vec::new();
+            let mut runs: Vec<Vec<u64>> = Vec::new();
+            let mut anchor_ranges: Vec<(usize, usize)> = Vec::with_capacity(PAIR_SHARD_BLOCKS);
             for shard in sorted_members.chunks(PAIR_SHARD_BLOCKS) {
-                let mut pairs: Vec<RecordPair> = Vec::new();
+                // Members are sorted and deduplicated, so the pairs whose
+                // *smaller* id falls in [lo, hi) are exactly those anchored
+                // at positions [start, end) — and `members[i] < members[j]`
+                // for i < j, so the packed key needs no canonicalisation.
+                // The anchor at position i owns `len − 1 − i` pairs, which
+                // sizes the run exactly up front (no growth reallocations).
+                anchor_ranges.clear();
+                let mut capacity = 0usize;
                 for members in shard {
-                    // Members are sorted and deduplicated, so the pairs whose
-                    // *smaller* id falls in [lo, hi) are exactly those anchored
-                    // at positions [start, end).
                     let start = members.partition_point(|id| u64::from(id.0) < lo);
                     let end = members.partition_point(|id| u64::from(id.0) < hi);
+                    anchor_ranges.push((start, end));
+                    let anchors = end - start;
+                    if anchors > 0 {
+                        capacity += anchors * (members.len() - 1) - anchors * (2 * start + anchors - 1) / 2;
+                    }
+                }
+                let mut keys: Vec<u64> = Vec::with_capacity(capacity);
+                for (members, &(start, end)) in shard.iter().zip(&anchor_ranges) {
                     for i in start..end {
-                        for j in i + 1..members.len() {
-                            if let Some(pair) = RecordPair::new(members[i], members[j]) {
-                                pairs.push(pair);
-                            }
+                        let anchor = u64::from(members[i].0) << 32;
+                        for &other in &members[i + 1..] {
+                            keys.push(anchor | u64::from(other.0));
                         }
                     }
                 }
-                pairs.sort_unstable();
-                pairs.dedup();
-                if !pairs.is_empty() {
-                    runs.push(pairs);
+                debug_assert_eq!(keys.len(), capacity);
+                radix_sort_packed(&mut keys);
+                keys.dedup();
+                if !keys.is_empty() {
+                    runs.push(keys);
                 }
             }
-            merge_count_runs(runs, &probe)
+            merge_count_packed_runs(&runs, &probe)
         });
         counts.into_iter().fold(PairCounts::default(), PairCounts::add)
     }
@@ -503,6 +747,10 @@ mod tests {
 
     fn rid(i: u32) -> RecordId {
         RecordId(i)
+    }
+
+    fn pk(a: u32, b: u32) -> u64 {
+        RecordPair::new(rid(a), rid(b)).unwrap().pack()
     }
 
     #[test]
@@ -612,19 +860,39 @@ mod tests {
             })
             .collect();
         let collection = BlockCollection::from_blocks(blocks);
-        let reference = sorted_pair_run(collection.blocks());
+        let reference: Vec<RecordPair> = packed_pair_run(collection.blocks())
+            .into_iter()
+            .map(RecordPair::from_packed)
+            .collect();
         assert_eq!(collection.distinct_pairs(), reference);
     }
 
     #[test]
-    fn merge_sorted_dedup_unions_runs() {
-        let pair = |a: u32, b: u32| RecordPair::new(rid(a), rid(b)).unwrap();
-        let a = vec![pair(0, 1), pair(1, 2), pair(5, 6)];
-        let b = vec![pair(0, 2), pair(1, 2), pair(7, 8)];
-        let merged = merge_sorted_dedup(a, b);
-        assert_eq!(merged, vec![pair(0, 1), pair(0, 2), pair(1, 2), pair(5, 6), pair(7, 8)]);
-        assert_eq!(merge_sorted_dedup(vec![], vec![pair(2, 3)]), vec![pair(2, 3)]);
-        assert!(merge_sorted_dedup(vec![], vec![]).is_empty());
+    fn radix_sort_matches_comparison_sort() {
+        // Mixed magnitudes (small ids, huge ids, shared high halves) across
+        // the fallback threshold and beyond it.
+        let mut keys: Vec<u64> = Vec::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for _ in 0..(RADIX_SORT_MIN * 3) {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = (state >> 40) as u32 % 50_000;
+            let b = a + 1 + (state as u32 % 1_000);
+            keys.push(RecordPair::pack_ascending(rid(a), rid(b)));
+        }
+        keys.push(pk(0, u32::MAX));
+        keys.push(pk(u32::MAX - 1, u32::MAX));
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        radix_sort_packed(&mut keys);
+        assert_eq!(keys, expected);
+
+        // Short input takes the comparison fallback; result is identical.
+        let mut short = vec![pk(5, 9), pk(0, 1), pk(5, 6)];
+        radix_sort_packed(&mut short);
+        assert_eq!(short, vec![pk(0, 1), pk(5, 6), pk(5, 9)]);
+        let mut empty: Vec<u64> = Vec::new();
+        radix_sort_packed(&mut empty);
+        assert!(empty.is_empty());
     }
 
     #[test]
@@ -643,12 +911,12 @@ mod tests {
         for slices in [1, 2, 3, 7, 64] {
             for threads in [1, 4] {
                 let counts =
-                    collection.stream_pair_counts_sliced(threads, slices, |p| p.first().0 % 2 == 0);
+                    collection.stream_pair_counts_sliced(threads, slices, |p: &RecordPair| p.first().0 % 2 == 0);
                 assert_eq!(counts.distinct, pairs.len() as u64, "slices={slices} threads={threads}");
                 assert_eq!(counts.matching, expected_matching, "slices={slices} threads={threads}");
             }
         }
-        let auto = collection.stream_pair_counts(|p| p.first().0 % 2 == 0);
+        let auto = collection.stream_pair_counts(|p: &RecordPair| p.first().0 % 2 == 0);
         assert_eq!(auto.distinct, pairs.len() as u64);
         assert_eq!(auto.matching, expected_matching);
     }
@@ -656,18 +924,18 @@ mod tests {
     #[test]
     fn streaming_counts_handle_degenerate_collections() {
         let empty = BlockCollection::new();
-        assert_eq!(empty.stream_pair_counts(|_| true), PairCounts::default());
+        assert_eq!(empty.stream_pair_counts(|_: &RecordPair| true), PairCounts::default());
         assert_eq!(empty.num_distinct_pairs(), 0);
         // Singleton-only input: every block is dropped at construction.
         let singletons = BlockCollection::from_blocks(vec![
             Block::new("a", vec![rid(1)]),
             Block::new("b", vec![rid(2)]),
         ]);
-        assert_eq!(singletons.stream_pair_counts_sliced(4, 8, |_| true), PairCounts::default());
+        assert_eq!(singletons.stream_pair_counts_sliced(4, 8, |_: &RecordPair| true), PairCounts::default());
         // A collection whose ids all collapse onto one value of pair space
         // still splits safely (the slice count is capped by the id span).
         let narrow = BlockCollection::from_blocks(vec![Block::new("n", vec![rid(5), rid(6)])]);
-        let counts = narrow.stream_pair_counts_sliced(4, 64, |_| true);
+        let counts = narrow.stream_pair_counts_sliced(4, 64, |_: &RecordPair| true);
         assert_eq!(counts, PairCounts { distinct: 1, matching: 1 });
     }
 
@@ -682,7 +950,7 @@ mod tests {
         let collection = BlockCollection::from_blocks(blocks);
         let expected = collection.distinct_pairs().len() as u64;
         for slices in [2usize, 8, 64] {
-            let counts = collection.stream_pair_counts_sliced(4, slices, |_| false);
+            let counts = collection.stream_pair_counts_sliced(4, slices, |_: &RecordPair| false);
             assert_eq!(counts.distinct, expected, "slices={slices}");
         }
     }
@@ -709,17 +977,49 @@ mod tests {
     }
 
     #[test]
-    fn merge_count_runs_deduplicates_across_runs() {
-        let pair = |a: u32, b: u32| RecordPair::new(rid(a), rid(b)).unwrap();
+    fn loser_tree_merge_deduplicates_across_runs() {
         let runs = vec![
-            vec![pair(0, 1), pair(1, 2), pair(5, 6)],
-            vec![pair(0, 2), pair(1, 2), pair(7, 8)],
-            vec![pair(0, 1), pair(7, 8)],
+            vec![pk(0, 1), pk(1, 2), pk(5, 6)],
+            vec![pk(0, 2), pk(1, 2), pk(7, 8)],
+            vec![pk(0, 1), pk(7, 8)],
         ];
-        let counts = merge_count_runs(runs, &|p: &RecordPair| p.second().0 >= 6);
+        let counts = merge_count_packed_runs(&runs, &|p: &RecordPair| p.second().0 >= 6);
         assert_eq!(counts.distinct, 5);
         assert_eq!(counts.matching, 2);
-        assert_eq!(merge_count_runs(vec![], &|_: &RecordPair| true), PairCounts::default());
+        assert_eq!(merge_count_packed_runs(&[], &|_: &RecordPair| true), PairCounts::default());
+        // Empty runs in the middle are skipped, not merged.
+        let with_empties = vec![vec![], vec![pk(0, 1)], vec![], vec![pk(0, 1), pk(2, 3)]];
+        let counts = merge_count_packed_runs(&with_empties, &|_: &RecordPair| false);
+        assert_eq!(counts.distinct, 2);
+    }
+
+    #[test]
+    fn loser_tree_merge_gallops_across_disjoint_runs() {
+        // Runs whose key ranges never interleave: the gallop path must emit
+        // each run wholesale and still produce the exact union.
+        let runs: Vec<Vec<u64>> = (0..5u32)
+            .map(|r| (0..200u32).map(|i| pk(1000 * r + i, 1000 * r + i + 1)).collect())
+            .collect();
+        let counts = merge_count_packed_runs(&runs, &|_: &RecordPair| true);
+        assert_eq!(counts.distinct, 1000);
+        assert_eq!(counts.matching, 1000);
+        // And interleaved single-element ties across many runs.
+        let tied: Vec<Vec<u64>> = (0..9).map(|_| vec![pk(3, 4)]).collect();
+        let counts = merge_count_packed_runs(&tied, &|_: &RecordPair| false);
+        assert_eq!(counts.distinct, 1);
+    }
+
+    #[test]
+    fn entity_table_probe_matches_ground_truth_semantics() {
+        use sablock_datasets::ground_truth::EntityId;
+        let table = vec![EntityId(0), EntityId(0), EntityId(1), EntityId(1), EntityId(2)];
+        let probe = EntityTableProbe::new(&table);
+        assert!(probe.matches(pk(0, 1)));
+        assert!(probe.matches(pk(2, 3)));
+        assert!(!probe.matches(pk(1, 2)));
+        // Records beyond the table never match — not even each other.
+        assert!(!probe.matches(pk(3, 17)));
+        assert!(!probe.matches(pk(17, 18)));
     }
 
     #[test]

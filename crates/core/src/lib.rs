@@ -60,7 +60,7 @@ pub use error::CoreError;
 
 /// Commonly used types, re-exported for convenient glob imports.
 pub mod prelude {
-    pub use crate::blocking::{Block, BlockCollection, Blocker};
+    pub use crate::blocking::{Block, BlockCollection, Blocker, EntityTableProbe, PackedProbe, PairCounts};
     pub use crate::error::CoreError;
     pub use crate::lsh::probability::{banding_collision_probability, salsh_collision_probability, w_way_probability};
     pub use crate::lsh::salsh::{LshBlocker, SaLshBlocker, SaLshBlockerBuilder};

@@ -77,6 +77,45 @@ pub fn default_threads() -> usize {
         .min(8)
 }
 
+/// Merges two sorted runs into one, *keeping* duplicates and taking from the
+/// left run on ties — so concatenating runs produced from ascending input
+/// chunks preserves the sequential total order exactly.
+pub fn merge_two_sorted<T: Ord>(a: Vec<T>, b: Vec<T>) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut ia = a.into_iter().peekable();
+    let mut ib = b.into_iter().peekable();
+    while let (Some(x), Some(y)) = (ia.peek(), ib.peek()) {
+        if x <= y {
+            out.push(ia.next().expect("peeked"));
+        } else {
+            out.push(ib.next().expect("peeked"));
+        }
+    }
+    out.extend(ia);
+    out.extend(ib);
+    out
+}
+
+/// Combines sorted runs (e.g. the per-chunk outputs of a [`parallel_map`])
+/// into one sorted vector by a balanced binary merge: ⌈log₂ runs⌉ passes,
+/// each element moved once per pass, duplicates kept, ties taken from the
+/// earlier run. The shape every chunk-then-merge construction in the
+/// workspace shares.
+pub fn merge_sorted_runs<T: Ord>(mut runs: Vec<Vec<T>>) -> Vec<T> {
+    while runs.len() > 1 {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut iter = runs.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => next.push(merge_two_sorted(a, b)),
+                None => next.push(a),
+            }
+        }
+        runs = next;
+    }
+    runs.pop().unwrap_or_default()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +157,19 @@ mod tests {
     fn default_threads_is_positive_and_capped() {
         let t = default_threads();
         assert!((1..=8).contains(&t));
+    }
+
+    #[test]
+    fn merge_sorted_runs_keeps_duplicates_and_sorts() {
+        let runs = vec![vec![1u32, 3, 3, 9], vec![2, 3], vec![], vec![0, 3, 9]];
+        let expected = {
+            let mut all: Vec<u32> = runs.iter().flatten().copied().collect();
+            all.sort_unstable();
+            all
+        };
+        assert_eq!(merge_sorted_runs(runs), expected);
+        assert!(merge_sorted_runs::<u32>(vec![]).is_empty());
+        assert_eq!(merge_sorted_runs(vec![vec![7u32, 9]]), vec![7, 9]);
+        assert_eq!(merge_two_sorted(vec![1u32, 4], vec![2, 4]), vec![1, 2, 4, 4]);
     }
 }

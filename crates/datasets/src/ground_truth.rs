@@ -75,6 +75,15 @@ impl GroundTruth {
         self.is_match(pair.first(), pair.second())
     }
 
+    /// The dense per-record entity table: element `i` is the entity of record
+    /// `i`. Records beyond the table (ids the ground truth never covered) are
+    /// unmatched by definition, so a bulk matching probe is two bounds-checked
+    /// loads and one compare — the representation the streaming Γ counter
+    /// monomorphises into its merge loop instead of a per-pair closure call.
+    pub fn entity_table(&self) -> &[EntityId] {
+        &self.entity_of
+    }
+
     /// Total number of true-match pairs `|Ω_tp| = Σ_c |c|·(|c|−1)/2`.
     pub fn num_true_matches(&self) -> u64 {
         self.clusters

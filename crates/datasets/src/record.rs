@@ -58,6 +58,37 @@ impl RecordPair {
     pub fn second(&self) -> RecordId {
         self.larger
     }
+
+    /// Packs the pair into a single `u64`: the smaller id in the high 32
+    /// bits, the larger in the low 32. Because the smaller id occupies the
+    /// more significant half, the numeric order of packed keys equals the
+    /// derived [`Ord`] on pairs — sorting, deduplicating and merging packed
+    /// keys is therefore a single integer compare per step, which is what
+    /// the bulk pair-enumeration and merge-counting paths run on.
+    #[inline]
+    pub fn pack(self) -> u64 {
+        (u64::from(self.smaller.0) << 32) | u64::from(self.larger.0)
+    }
+
+    /// Packs two *distinct, ascending* record ids directly. Callers must
+    /// guarantee `a < b` (e.g. ids drawn from a sorted, deduplicated member
+    /// list); [`RecordPair::new`] remains the checked constructor.
+    #[inline]
+    pub fn pack_ascending(a: RecordId, b: RecordId) -> u64 {
+        debug_assert!(a < b, "pack_ascending requires a < b");
+        (u64::from(a.0) << 32) | u64::from(b.0)
+    }
+
+    /// Reverses [`RecordPair::pack`]. The key must come from a packed valid
+    /// pair (high half strictly below low half); this is checked in debug
+    /// builds only, keeping the unpack on the counting hot path two shifts.
+    #[inline]
+    pub fn from_packed(key: u64) -> Self {
+        let smaller = RecordId((key >> 32) as u32);
+        let larger = RecordId(key as u32);
+        debug_assert!(smaller < larger, "packed key {key:#x} does not encode a canonical pair");
+        Self { smaller, larger }
+    }
 }
 
 impl fmt::Display for RecordPair {
@@ -270,6 +301,25 @@ mod tests {
         assert_eq!(p1.second(), RecordId(5));
         assert!(RecordPair::new(RecordId(3), RecordId(3)).is_none());
         assert_eq!(p1.to_string(), "(r2, r5)");
+    }
+
+    #[test]
+    fn packed_keys_round_trip_and_preserve_order() {
+        let pairs = [
+            RecordPair::new(RecordId(0), RecordId(1)).unwrap(),
+            RecordPair::new(RecordId(0), RecordId(u32::MAX)).unwrap(),
+            RecordPair::new(RecordId(7), RecordId(9)).unwrap(),
+            RecordPair::new(RecordId(u32::MAX - 1), RecordId(u32::MAX)).unwrap(),
+        ];
+        for &p in &pairs {
+            assert_eq!(RecordPair::from_packed(p.pack()), p);
+            assert_eq!(RecordPair::pack_ascending(p.first(), p.second()), p.pack());
+        }
+        for &a in &pairs {
+            for &b in &pairs {
+                assert_eq!(a.cmp(&b), a.pack().cmp(&b.pack()), "{a} vs {b}");
+            }
+        }
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!   best-FM setting (the selection rule of Table 3 / Fig. 11).
 //! * [`report`] — fixed-width text tables for printing results that mirror
 //!   the paper's tables and figure series.
+//! * [`perf`] — machine-readable perf reports (`BENCH_fig13.json`): a tiny
+//!   JSON writer, per-producer section upserts and peak-RSS readout.
 //! * [`experiments`] — one module per table/figure of the evaluation section
 //!   (E-FIG5 … E-FIG13 in `DESIGN.md`), each with a paper-scale and a quick
 //!   configuration.
@@ -19,6 +21,7 @@
 
 pub mod experiments;
 pub mod metrics;
+pub mod perf;
 pub mod report;
 pub mod runner;
 pub mod sweep;

@@ -12,7 +12,7 @@
 //!   the meta-blocking paper, Fig. 12),
 //! * FM* = harmonic mean of PC and PQ*.
 
-use sablock_core::blocking::BlockCollection;
+use sablock_core::blocking::{BlockCollection, EntityTableProbe};
 use sablock_core::parallel::default_threads;
 use sablock_datasets::GroundTruth;
 
@@ -35,11 +35,14 @@ impl BlockingMetrics {
     /// Evaluates a block collection against ground truth.
     ///
     /// Γ is never materialised: `|Γ|` and `|Γ_tp|` come from
-    /// [`BlockCollection::stream_pair_counts`], which folds per-shard sorted
-    /// pair runs through a deduplicating k-way merge counter and probes
-    /// [`GroundTruth::is_match_pair`] once per distinct pair. The memory
-    /// high-water mark of evaluating paper-scale collections is therefore one
-    /// pair-space slice per worker instead of the whole candidate-pair set.
+    /// [`BlockCollection::stream_packed_counts`], which folds per-shard
+    /// radix-sorted packed pair runs through the deduplicating
+    /// loser-tree/galloping merge counter and probes ground truth once per
+    /// distinct pair through [`EntityTableProbe`] — a dense record → entity
+    /// table, so the match test inside the merge loop is two array loads and
+    /// one compare. The memory high-water mark of evaluating paper-scale
+    /// collections is one pair-space slice per worker instead of the whole
+    /// candidate-pair set.
     pub fn evaluate(blocks: &BlockCollection, truth: &GroundTruth) -> Self {
         Self::evaluate_with_threads(blocks, truth, default_threads())
     }
@@ -48,7 +51,7 @@ impl BlockingMetrics {
     /// streaming pair counter. The result never depends on `threads`
     /// (enforced by `tests/determinism.rs`).
     pub fn evaluate_with_threads(blocks: &BlockCollection, truth: &GroundTruth, threads: usize) -> Self {
-        let counts = blocks.stream_pair_counts_with_threads(threads, |pair| truth.is_match_pair(pair));
+        let counts = blocks.stream_packed_counts_with_threads(threads, EntityTableProbe::new(truth.entity_table()));
         Self {
             candidate_pairs: counts.distinct,
             redundant_pairs: blocks.redundant_pair_count(),

@@ -1,0 +1,320 @@
+//! Machine-readable performance reports.
+//!
+//! `BENCH_NOTES.md` narrates the paper-scale reference runs for humans; the
+//! helpers here emit the same numbers as JSON (`BENCH_fig13.json` at the
+//! workspace root) so that the perf trajectory is *diffable* across PRs:
+//! each producer — the `examples/paper_scale.rs` walk-through and the
+//! Fig. 13 scalability ladder — writes its own top-level section and leaves
+//! every other section untouched ([`upsert_section`]).
+//!
+//! The workspace has no JSON dependency (the build environment is offline),
+//! so this module carries a deliberately tiny writer ([`JsonValue`]) and a
+//! top-level-section splitter that only needs to understand documents this
+//! module itself produced. Peak memory comes from [`peak_rss_bytes`]
+//! (`VmHWM` of `/proc/self/status` — `None` off Linux).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A JSON value, sufficient for perf reports: no escapes beyond the JSON
+/// basics, integers kept exact (pair counts exceed `f64`'s 2^53 mantissa
+/// only far beyond any dataset this workspace handles, but why round).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer (record/pair counts, bytes).
+    UInt(u64),
+    /// A float (seconds); non-finite values render as `null`.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Renders the value as pretty-printed JSON at the given indent level.
+    fn render_into(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let pad_inner = "  ".repeat(indent + 1);
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            JsonValue::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            JsonValue::Float(f) if f.is_finite() => {
+                let _ = write!(out, "{f:.6}");
+            }
+            JsonValue::Float(_) => out.push_str("null"),
+            JsonValue::String(s) => render_string(out, s),
+            JsonValue::Array(items) if items.is_empty() => out.push_str("[]"),
+            JsonValue::Array(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad_inner);
+                    item.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            JsonValue::Object(fields) if fields.is_empty() => out.push_str("{}"),
+            JsonValue::Object(fields) => {
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    out.push_str(&pad_inner);
+                    render_string(out, key);
+                    out.push_str(": ");
+                    value.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Renders the value as pretty-printed JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+}
+
+fn render_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Splits a JSON object document into its raw top-level `(key, value-text)`
+/// sections. Only documents produced by this module need to parse; anything
+/// unexpected returns `None` and the caller starts a fresh document.
+fn split_top_level(text: &str) -> Option<Vec<(String, String)>> {
+    let bytes = text.as_bytes();
+    let mut i = skip_ws(bytes, 0);
+    if bytes.get(i) != Some(&b'{') {
+        return None;
+    }
+    i = skip_ws(bytes, i + 1);
+    let mut sections = Vec::new();
+    if bytes.get(i) == Some(&b'}') {
+        return Some(sections);
+    }
+    loop {
+        let (key, after_key) = parse_string(bytes, i)?;
+        i = skip_ws(bytes, after_key);
+        if bytes.get(i) != Some(&b':') {
+            return None;
+        }
+        i = skip_ws(bytes, i + 1);
+        let value_start = i;
+        i = skip_value(bytes, i)?;
+        sections.push((key, text.get(value_start..i)?.trim_end().to_string()));
+        i = skip_ws(bytes, i);
+        match bytes.get(i) {
+            Some(&b',') => i = skip_ws(bytes, i + 1),
+            Some(&b'}') => return Some(sections),
+            _ => return None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+    while matches!(bytes.get(i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+        i += 1;
+    }
+    i
+}
+
+/// Parses a JSON string starting at `i` (which must be a `"`), returning the
+/// unescaped key and the index just past the closing quote. Escaped quotes
+/// are honoured; other escapes are kept verbatim (keys here are plain).
+fn parse_string(bytes: &[u8], i: usize) -> Option<(String, usize)> {
+    if bytes.get(i) != Some(&b'"') {
+        return None;
+    }
+    let mut out = Vec::new();
+    let mut j = i + 1;
+    loop {
+        match bytes.get(j)? {
+            b'"' => return Some((String::from_utf8(out).ok()?, j + 1)),
+            b'\\' => {
+                out.push(*bytes.get(j + 1)?);
+                j += 2;
+            }
+            &c => {
+                out.push(c);
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Skips one JSON value starting at `i`, tracking strings/escapes and
+/// bracket nesting; returns the index just past the value.
+fn skip_value(bytes: &[u8], i: usize) -> Option<usize> {
+    match bytes.get(i)? {
+        b'"' => parse_string(bytes, i).map(|(_, end)| end),
+        b'{' | b'[' => {
+            let mut depth = 0usize;
+            let mut j = i;
+            loop {
+                match bytes.get(j)? {
+                    b'{' | b'[' => depth += 1,
+                    b'}' | b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some(j + 1);
+                        }
+                    }
+                    b'"' => {
+                        j = parse_string(bytes, j)?.1;
+                        continue;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        _ => {
+            // Scalar: runs to the next comma or closing bracket.
+            let mut j = i;
+            while !matches!(bytes.get(j), None | Some(b',' | b'}' | b']')) {
+                j += 1;
+            }
+            (j > i).then_some(j)
+        }
+    }
+}
+
+/// Inserts or replaces one top-level section of a JSON report file, leaving
+/// every other section byte-for-byte intact (sections keep their first-write
+/// order; a replaced section keeps its position). An absent, empty or
+/// unparseable file starts a fresh single-section document.
+pub fn upsert_section(path: &Path, name: &str, value: &JsonValue) -> std::io::Result<()> {
+    let mut sections = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| split_top_level(&text))
+        .unwrap_or_default();
+    let rendered = {
+        // Re-indent the section body for its nesting depth of one.
+        let mut out = String::new();
+        value.render_into(&mut out, 1);
+        out
+    };
+    match sections.iter_mut().find(|(key, _)| key == name) {
+        Some((_, existing)) => *existing = rendered,
+        None => sections.push((name.to_string(), rendered)),
+    }
+    let mut out = String::from("{\n");
+    for (i, (key, body)) in sections.iter().enumerate() {
+        out.push_str("  ");
+        render_string(&mut out, key);
+        out.push_str(": ");
+        out.push_str(body);
+        out.push_str(if i + 1 < sections.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+/// The process's peak resident set size in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where that interface does not exist.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JsonValue {
+        JsonValue::Object(vec![
+            ("records".into(), JsonValue::UInt(292_892)),
+            ("gamma_count_s".into(), JsonValue::Float(68.6)),
+            ("label".into(), JsonValue::String("SA-LSH \"or\"\n".into())),
+            (
+                "points".into(),
+                JsonValue::Array(vec![JsonValue::UInt(1), JsonValue::Null, JsonValue::Bool(true)]),
+            ),
+            ("empty".into(), JsonValue::Object(vec![])),
+        ])
+    }
+
+    #[test]
+    fn rendering_is_stable_and_escaped() {
+        let rendered = sample().render();
+        assert!(rendered.contains("\"records\": 292892"));
+        assert!(rendered.contains("\"gamma_count_s\": 68.600000"));
+        assert!(rendered.contains("\\\"or\\\"\\n"));
+        assert!(rendered.contains("\"empty\": {}"));
+        assert!(!rendered.contains("NaN"));
+        assert_eq!(JsonValue::Float(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn split_round_trips_rendered_documents() {
+        let dir = std::env::temp_dir().join(format!("sablock-perf-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let _ = std::fs::remove_file(&path);
+
+        upsert_section(&path, "paper_scale", &sample()).unwrap();
+        upsert_section(&path, "ladder", &JsonValue::Array(vec![JsonValue::UInt(7)])).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let sections = split_top_level(&text).unwrap();
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[0].0, "paper_scale");
+        assert_eq!(sections[1].0, "ladder");
+
+        // Replacing a section keeps the other byte-for-byte.
+        let ladder_before = sections[1].1.clone();
+        upsert_section(&path, "paper_scale", &JsonValue::UInt(1)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let sections = split_top_level(&text).unwrap();
+        assert_eq!(sections[0].1, "1");
+        assert_eq!(sections[1].1, ladder_before);
+
+        // Garbage starts a fresh document instead of erroring.
+        std::fs::write(&path, "not json at all").unwrap();
+        upsert_section(&path, "only", &JsonValue::Bool(false)).unwrap();
+        let sections = split_top_level(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(sections, vec![("only".to_string(), "false".to_string())]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn peak_rss_is_plausible_on_linux() {
+        if let Some(bytes) = peak_rss_bytes() {
+            // A running test binary surely holds more than 64 KiB and less
+            // than 1 TiB.
+            assert!(bytes > 64 * 1024);
+            assert!(bytes < 1 << 40);
+        }
+    }
+}

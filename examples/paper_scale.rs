@@ -18,14 +18,23 @@
 //! 2. **Parallel blocking** — signatures are computed per record and the
 //!    banding/bucket phase is sharded per band, merged deterministically.
 //! 3. **Streaming Γ evaluation** — candidate pairs are counted (and probed
-//!    against ground truth) by a deduplicating sorted-merge fold over
-//!    pair-space slices; the full pair set is never materialised, so peak
-//!    memory stays at one slice per worker even at 236M+ LSH pairs.
+//!    against ground truth) by a loser-tree/galloping merge fold over
+//!    radix-sorted packed pair runs, one pair-space slice at a time; the
+//!    full pair set is never materialised, so peak memory stays at one
+//!    slice per worker even at 236M+ LSH pairs.
+//!
+//! The measured numbers (records, blocking times, Γ-count time, peak RSS)
+//! are also written to `BENCH_fig13.json` in the working directory — the
+//! machine-readable companion of `BENCH_NOTES.md` — under the
+//! `"paper_scale"` section (`"quick_scale"` for default runs, so quick
+//! smoke runs never clobber committed paper-scale numbers).
 
 use std::error::Error;
+use std::path::Path;
 use std::time::Instant;
 
 use sablock::eval::experiments::{voter_lsh, voter_salsh, VOTER_SEMANTIC_BITS};
+use sablock::eval::perf::{peak_rss_bytes, upsert_section, JsonValue};
 use sablock::prelude::*;
 
 /// The full NC Voter extract size used by the paper (Fig. 13).
@@ -83,18 +92,20 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("{}", salsh_result.summary());
 
     // --- 3. Stream the candidate-pair counts ---------------------------------
-    // `stream_pair_counts` folds per-shard sorted runs through a k-way
-    // deduplicating merge counter, probing ground truth per distinct pair —
-    // Γ itself is never resident.
+    // `stream_packed_counts` folds per-shard radix-sorted packed pair runs
+    // through the loser-tree/galloping merge counter, probing the dense
+    // ground-truth entity table per distinct pair — Γ itself is never
+    // resident.
     let stream_start = Instant::now();
     let truth = dataset.ground_truth();
-    let counts = blocks.stream_pair_counts(|pair| truth.is_match_pair(pair));
+    let counts = blocks.stream_packed_counts(EntityTableProbe::new(truth.entity_table()));
+    let gamma_count_time = stream_start.elapsed();
     println!(
         "{} blocks → {} distinct candidate pairs, {} true positives (streamed in {:.2}s, Γ never materialised)",
         blocks.num_blocks(),
         counts.distinct,
         counts.matching,
-        stream_start.elapsed().as_secs_f64(),
+        gamma_count_time.as_secs_f64(),
     );
     assert_eq!(counts.distinct, salsh_result.metrics.candidate_pairs);
     assert_eq!(counts.matching, salsh_result.metrics.true_positives);
@@ -104,6 +115,38 @@ fn main() -> Result<(), Box<dyn Error>> {
         let pairs = blocks.distinct_pairs();
         assert_eq!(pairs.len() as u64, counts.distinct, "streaming counts match the materialised Γ");
         assert!(pairs.windows(2).all(|w| w[0] < w[1]), "enumeration is sorted and deduplicated");
+    }
+
+    // --- 4. Record the measurements machine-readably -------------------------
+    let peak_rss = peak_rss_bytes();
+    let report = JsonValue::Object(vec![
+        ("records".into(), JsonValue::UInt(dataset.len() as u64)),
+        ("lsh_blocking_s".into(), JsonValue::Float(lsh_result.blocking_time.as_secs_f64())),
+        ("salsh_blocking_s".into(), JsonValue::Float(blocking_time.as_secs_f64())),
+        ("gamma_count_s".into(), JsonValue::Float(gamma_count_time.as_secs_f64())),
+        ("lsh_candidate_pairs".into(), JsonValue::UInt(lsh_result.metrics.candidate_pairs)),
+        ("salsh_candidate_pairs".into(), JsonValue::UInt(counts.distinct)),
+        ("salsh_true_positives".into(), JsonValue::UInt(counts.matching)),
+        ("salsh_blocks".into(), JsonValue::UInt(blocks.num_blocks() as u64)),
+        (
+            "peak_rss_bytes".into(),
+            peak_rss.map_or(JsonValue::Null, JsonValue::UInt),
+        ),
+    ]);
+    let section = if full { "paper_scale" } else { "quick_scale" };
+    // The facade crate's manifest dir *is* the workspace root, so the report
+    // lands next to BENCH_NOTES.md no matter where the example is run from.
+    // The write is best-effort: an unwritable workspace must not fail a run
+    // whose results were already computed and printed.
+    let path = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_fig13.json"));
+    match upsert_section(path, section, &report) {
+        Ok(()) => println!(
+            "wrote the measurements to {} (section \"{}\"{})",
+            path.display(),
+            section,
+            peak_rss.map_or(String::new(), |b| format!(", peak RSS {:.2} GB", b as f64 / 1e9)),
+        ),
+        Err(err) => eprintln!("could not write {}: {err}", path.display()),
     }
     Ok(())
 }

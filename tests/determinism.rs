@@ -148,13 +148,15 @@ fn streaming_evaluation_is_thread_count_invariant() {
     }
 }
 
-/// The parallel suffix-array and q-gram bucket constructions are thread-count
-/// invariant: 1 worker and 4 workers produce byte-identical block output on a
-/// dataset large enough to engage the chunked parallel path.
+/// The parallel suffix-array, q-gram and sorted-neighbourhood bucket
+/// constructions are thread-count invariant: 1 worker and 4 workers produce
+/// byte-identical block output on a dataset large enough to engage the
+/// chunked parallel path.
 #[test]
 fn baseline_bucket_construction_is_thread_count_invariant() {
     use sablock::baselines::{
-        AllSubstringsBlocking, BlockingKey, QGramBlocking, RobustSuffixArrayBlocking, SuffixArrayBlocking,
+        AdaptiveSortedNeighbourhood, AllSubstringsBlocking, BlockingKey, QGramBlocking, RobustSuffixArrayBlocking,
+        SortedNeighbourhoodArray, SortedNeighbourhoodInverted, SuffixArrayBlocking,
     };
     use sablock::textual::similarity::SimilarityFunction;
 
@@ -178,6 +180,21 @@ fn baseline_bucket_construction_is_thread_count_invariant() {
             }),
         ),
         ("QGr", Box::new(|t| Box::new(QGramBlocking::new(BlockingKey::ncvoter(), 2, 0.8).unwrap().with_threads(t)))),
+        ("SorA", Box::new(|t| Box::new(SortedNeighbourhoodArray::new(BlockingKey::ncvoter(), 3).unwrap().with_threads(t)))),
+        (
+            "SorII",
+            Box::new(|t| Box::new(SortedNeighbourhoodInverted::new(BlockingKey::ncvoter(), 3).unwrap().with_threads(t))),
+        ),
+        (
+            "ASor",
+            Box::new(|t| {
+                Box::new(
+                    AdaptiveSortedNeighbourhood::new(BlockingKey::ncvoter(), SimilarityFunction::JaroWinkler, 0.9)
+                        .unwrap()
+                        .with_threads(t),
+                )
+            }),
+        ),
     ];
     for (name, build) in blockers {
         let single = build(1).block(&dataset).unwrap();

@@ -5,12 +5,13 @@
 
 use proptest::prelude::*;
 
-use sablock::core::blocking::{Block, BlockCollection};
+use sablock::core::blocking::{merge_count_packed_runs, radix_sort_packed, Block, BlockCollection, PairCounts};
 use sablock::core::lsh::probability::{banding_collision_probability, salsh_collision_probability, w_way_probability};
 use sablock::core::semantic::semhash::SemhashFamily;
 use sablock::core::semantic::similarity::{concept_similarity, record_semantic_similarity};
 use sablock::core::semantic::Interpretation;
 use sablock::core::taxonomy::{ConceptId, TaxonomyTree};
+use sablock::datasets::record::RecordPair;
 use sablock::prelude::*;
 
 /// Builds a random taxonomy tree from a parent-pointer list: node `i + 1`
@@ -29,6 +30,53 @@ fn tree_from_parents(parents: &[u8]) -> TaxonomyTree {
 
 fn arb_tree() -> impl Strategy<Value = TaxonomyTree> {
     proptest::collection::vec(any::<u8>(), 1..20).prop_map(|parents| tree_from_parents(&parents))
+}
+
+/// Interprets a flat id list as consecutive `(a, b)` pairs, dropping the
+/// self-pairs (the vendored proptest has no tuple strategies).
+fn ids_to_pairs(ids: &[u32]) -> Vec<RecordPair> {
+    ids.chunks_exact(2)
+        .filter_map(|ab| RecordPair::new(RecordId(ab[0]), RecordId(ab[1])))
+        .collect()
+}
+
+/// Builds a sorted, deduplicated packed run from arbitrary id pairs (the
+/// invariant every input run of the merge counter satisfies).
+fn packed_run(ids: &[u32]) -> Vec<u64> {
+    let mut keys: Vec<u64> = ids_to_pairs(ids).into_iter().map(RecordPair::pack).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+/// The PR-3 reference merge: a binary heap of `(key, run)` heads, pop + push
+/// per redundant key, deduplicating on emission. The loser-tree/galloping
+/// merge must be observationally identical to this on every input.
+fn heap_merge_reference<F: Fn(u64) -> bool>(runs: &[Vec<u64>], probe: F) -> PairCounts {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut iters: Vec<_> = runs.iter().map(|run| run.iter().copied()).collect();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::with_capacity(iters.len());
+    for (idx, iter) in iters.iter_mut().enumerate() {
+        if let Some(key) = iter.next() {
+            heap.push(Reverse((key, idx)));
+        }
+    }
+    let mut counts = PairCounts::default();
+    let mut last: Option<u64> = None;
+    while let Some(Reverse((key, idx))) = heap.pop() {
+        if last != Some(key) {
+            counts.distinct += 1;
+            if probe(key) {
+                counts.matching += 1;
+            }
+            last = Some(key);
+        }
+        if let Some(next) = iters[idx].next() {
+            heap.push(Reverse((next, idx)));
+        }
+    }
+    counts
 }
 
 proptest! {
@@ -128,6 +176,82 @@ proptest! {
         prop_assert!(
             w_way_probability(s_prime, w, SemanticMode::Or) + 1e-12 >= w_way_probability(s_prime, w, SemanticMode::And)
         );
+    }
+
+    /// The packed pair key is a faithful, order-preserving encoding: packing
+    /// round-trips exactly and the numeric order of packed keys is the
+    /// derived `Ord` on [`RecordPair`].
+    #[test]
+    fn packed_keys_round_trip_and_preserve_ordering(
+        ids in proptest::collection::vec(any::<u32>(), 2..128),
+    ) {
+        let pairs = ids_to_pairs(&ids);
+        for &pair in &pairs {
+            prop_assert_eq!(RecordPair::from_packed(pair.pack()), pair);
+            prop_assert_eq!(RecordPair::pack_ascending(pair.first(), pair.second()), pair.pack());
+        }
+        for &a in &pairs {
+            for &b in &pairs {
+                prop_assert_eq!(a.cmp(&b), a.pack().cmp(&b.pack()), "{} vs {}", a, b);
+            }
+        }
+    }
+
+    /// The radix sort used for packed run construction is observationally
+    /// `sort_unstable` (keys have no identity, so stability is moot), across
+    /// the comparison-fallback threshold and beyond it.
+    #[test]
+    fn radix_sort_equals_comparison_sort(
+        ids in proptest::collection::vec(0u32..2_000, 0..6_000),
+    ) {
+        let mut keys: Vec<u64> = ids_to_pairs(&ids).into_iter().map(RecordPair::pack).collect();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        radix_sort_packed(&mut keys);
+        prop_assert_eq!(keys, expected);
+    }
+
+    /// The loser-tree/galloping merge counter is observationally identical
+    /// to the PR-3 binary-heap merge on duplicate-heavy run sets: many runs
+    /// drawn from a tiny id universe, so most keys repeat across runs and
+    /// cross-run ties are the common case.
+    #[test]
+    fn loser_tree_merge_matches_heap_merge_on_duplicate_heavy_runs(
+        runs in proptest::collection::vec(
+            proptest::collection::vec(0u32..6, 0..40),
+            0..12,
+        ),
+    ) {
+        let runs: Vec<Vec<u64>> = runs.iter().map(|ids| packed_run(ids)).collect();
+        let probe = |p: &RecordPair| p.first().0 % 2 == 0;
+        let reference = heap_merge_reference(&runs, |key| probe(&RecordPair::from_packed(key)));
+        prop_assert_eq!(merge_count_packed_runs(&runs, &probe), reference);
+        // A BTreeSet union is a second, independent witness for |Γ|.
+        let union: std::collections::BTreeSet<u64> = runs.iter().flatten().copied().collect();
+        prop_assert_eq!(reference.distinct, union.len() as u64);
+    }
+
+    /// The same equivalence on the gallop-friendly adversarial shape: one
+    /// long run (which the gallop path should swallow in large bites) plus
+    /// many short runs, with empty runs mixed in.
+    #[test]
+    fn loser_tree_merge_matches_heap_merge_on_one_long_many_short_runs(
+        long in proptest::collection::vec(0u32..1_000, 0..800),
+        shorts in proptest::collection::vec(
+            proptest::collection::vec(0u32..1_000, 0..6),
+            0..10,
+        ),
+        empty_positions in proptest::collection::vec(0usize..12, 0..4),
+    ) {
+        let mut runs: Vec<Vec<u64>> = Vec::new();
+        runs.push(packed_run(&long));
+        runs.extend(shorts.iter().map(|ids| packed_run(ids)));
+        for &at in &empty_positions {
+            runs.insert(at.min(runs.len()), Vec::new());
+        }
+        let probe = |p: &RecordPair| p.second().0 % 3 == 0;
+        let reference = heap_merge_reference(&runs, |key| probe(&RecordPair::from_packed(key)));
+        prop_assert_eq!(merge_count_packed_runs(&runs, &probe), reference);
     }
 
     /// The sort-dedup/sorted-merge pair enumeration is a drop-in replacement
