@@ -10,13 +10,18 @@
 //!
 //! Canopy clustering computes similarities between the seed and every
 //! remaining record, so it retains an O(n²)-flavoured cost — the paper lists
-//! it among the slower baselines.
+//! it among the slower baselines. On large datasets both the per-record
+//! representation build (q-gram sets / TF-IDF vectors, routed through
+//! `build_index_chunked`) and the per-centre similarity scan
+//! (`parallel_map`) run across worker threads; the canopy-forming sweep
+//! itself stays sequential, so the blocks are byte-identical for every
+//! worker count (pinned in `tests/determinism.rs`).
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use sablock_datasets::{Dataset, RecordId};
+use sablock_datasets::{Dataset, Record, RecordId};
 use sablock_textual::hashing::StableHashSet;
 use sablock_textual::qgrams::qgram_set;
 use sablock_textual::setsim::jaccard;
@@ -24,7 +29,9 @@ use sablock_textual::tfidf::{dot, SparseVector, TfIdfModel};
 
 use sablock_core::blocking::{Block, BlockCollection, Blocker};
 use sablock_core::error::{CoreError, Result};
+use sablock_core::parallel::{parallel_map, resolve_threads};
 
+use crate::build_index_chunked;
 use crate::key::BlockingKey;
 
 /// The cheap similarity used to form canopies.
@@ -55,18 +62,6 @@ enum Repr {
 }
 
 impl Repr {
-    fn build(similarity: CanopySimilarity, key_values: &[String]) -> Self {
-        match similarity {
-            CanopySimilarity::Jaccard { q } => {
-                Repr::Jaccard(key_values.iter().map(|v| qgram_set(v, q.max(1))).collect())
-            }
-            CanopySimilarity::TfIdfCosine => {
-                let model = TfIdfModel::fit(key_values.iter());
-                Repr::TfIdf(key_values.iter().map(|v| model.vectorize(v)).collect())
-            }
-        }
-    }
-
     fn similarity(&self, a: usize, b: usize) -> f64 {
         match self {
             Repr::Jaccard(sets) => jaccard(&sets[a], &sets[b]),
@@ -75,8 +70,73 @@ impl Repr {
     }
 }
 
-fn key_values(dataset: &Dataset, key: &BlockingKey) -> Vec<String> {
-    dataset.records().iter().map(|r| key.value(r)).collect()
+/// Extracts every record's blocking-key value and its similarity
+/// representation in one pass, indexing record chunks in parallel through
+/// [`build_index_chunked`] (per-chunk vectors append in ascending chunk
+/// order, so the result is byte-identical to a sequential pass for any
+/// worker count). The TF-IDF model's document frequencies are a global
+/// statistic, so that variant fits the model sequentially after the value
+/// pass and chunks only the per-record vectorisation ([`parallel_map`]).
+fn prepare_repr(
+    similarity: CanopySimilarity,
+    dataset: &Dataset,
+    key: &BlockingKey,
+    threads: Option<usize>,
+) -> (Vec<String>, Repr) {
+    match similarity {
+        CanopySimilarity::Jaccard { q } => {
+            let q = q.max(1);
+            let pairs: Vec<(String, StableHashSet<String>)> = build_index_chunked(
+                dataset.records(),
+                threads,
+                |records: &[Record]| {
+                    records
+                        .iter()
+                        .map(|r| {
+                            let value = key.value(r);
+                            let set = qgram_set(&value, q);
+                            (value, set)
+                        })
+                        .collect::<Vec<_>>()
+                },
+                |merged, partial| merged.extend(partial),
+            );
+            let mut values = Vec::with_capacity(pairs.len());
+            let mut sets = Vec::with_capacity(pairs.len());
+            for (value, set) in pairs {
+                values.push(value);
+                sets.push(set);
+            }
+            (values, Repr::Jaccard(sets))
+        }
+        CanopySimilarity::TfIdfCosine => {
+            let values: Vec<String> = build_index_chunked(
+                dataset.records(),
+                threads,
+                |records: &[Record]| records.iter().map(|r| key.value(r)).collect::<Vec<String>>(),
+                |merged, partial| merged.extend(partial),
+            );
+            let model = TfIdfModel::fit(values.iter());
+            let resolved = resolve_threads(threads, values.len());
+            let vectors = parallel_map(&values, resolved, |v| model.vectorize(v));
+            (values, Repr::TfIdf(vectors))
+        }
+    }
+}
+
+/// The similarities of one canopy centre against every keyed record, in
+/// record order ([`parallel_map`] across index chunks; empty-keyed records
+/// and the centre itself score −1 so they never pass a threshold). Keeping
+/// the scan order fixed keeps canopy formation thread-count invariant.
+fn centre_similarities(repr: &Repr, values: &[String], centre: usize, threads: usize) -> Vec<f64> {
+    let ids: Vec<usize> = (0..values.len()).collect();
+    parallel_map(&ids, threads, |&other| {
+        if other == centre || values[other].is_empty() {
+            -1.0
+        } else {
+            repr.similarity(centre, other)
+        }
+    })
 }
 
 /// Threshold-based canopy clustering (CaTh).
@@ -87,6 +147,7 @@ pub struct CanopyThreshold {
     loose: f64,
     tight: f64,
     seed: u64,
+    threads: Option<usize>,
 }
 
 impl CanopyThreshold {
@@ -109,12 +170,21 @@ impl CanopyThreshold {
             loose,
             tight,
             seed: 0xCA11,
+            threads: None,
         })
     }
 
     /// Sets the seed used to pick canopy centres.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Pins the worker-thread count for the representation build and the
+    /// per-centre similarity scans (clamped to at least 1). Canopy output is
+    /// identical for every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
         self
     }
 }
@@ -132,8 +202,8 @@ impl Blocker for CanopyThreshold {
 
     fn block(&self, dataset: &Dataset) -> Result<BlockCollection> {
         self.key.validate_against(dataset)?;
-        let values = key_values(dataset, &self.key);
-        let repr = Repr::build(self.similarity, &values);
+        let (values, repr) = prepare_repr(self.similarity, dataset, &self.key, self.threads);
+        let threads = resolve_threads(self.threads, dataset.len());
 
         // Candidate pool: records with a non-empty key, in random order.
         let mut pool: Vec<usize> = (0..values.len()).filter(|&i| !values[i].is_empty()).collect();
@@ -151,14 +221,14 @@ impl Blocker for CanopyThreshold {
                 continue;
             }
             in_pool[centre] = false;
+            // The O(n) similarity scan runs across workers; membership and
+            // tight claiming stay sequential in record order, so the canopy
+            // is identical for every worker count.
+            let sims = centre_similarities(&repr, &values, centre, threads);
             let mut members = vec![RecordId(centre as u32)];
-            for other in 0..values.len() {
-                if other == centre || values[other].is_empty() {
-                    continue;
-                }
+            for (other, &sim) in sims.iter().enumerate() {
                 // A record may appear in several canopies (loose membership),
                 // but only records still in the pool can be claimed tightly.
-                let sim = repr.similarity(centre, other);
                 if sim >= self.loose {
                     members.push(RecordId(other as u32));
                     if sim >= self.tight && in_pool[other] {
@@ -184,6 +254,7 @@ pub struct CanopyNearestNeighbour {
     include_nearest: usize,
     remove_nearest: usize,
     seed: u64,
+    threads: Option<usize>,
 }
 
 impl CanopyNearestNeighbour {
@@ -204,12 +275,21 @@ impl CanopyNearestNeighbour {
             include_nearest,
             remove_nearest,
             seed: 0xCA22,
+            threads: None,
         })
     }
 
     /// Sets the seed used to pick canopy centres.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Pins the worker-thread count for the representation build and the
+    /// per-centre similarity scans (clamped to at least 1). Canopy output is
+    /// identical for every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
         self
     }
 }
@@ -227,8 +307,8 @@ impl Blocker for CanopyNearestNeighbour {
 
     fn block(&self, dataset: &Dataset) -> Result<BlockCollection> {
         self.key.validate_against(dataset)?;
-        let values = key_values(dataset, &self.key);
-        let repr = Repr::build(self.similarity, &values);
+        let (values, repr) = prepare_repr(self.similarity, dataset, &self.key, self.threads);
+        let threads = resolve_threads(self.threads, dataset.len());
 
         let mut pool: Vec<usize> = (0..values.len()).filter(|&i| !values[i].is_empty()).collect();
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -245,10 +325,15 @@ impl Blocker for CanopyNearestNeighbour {
                 continue;
             }
             in_pool[centre] = false;
-            // Similarities to every other keyed record, most similar first.
-            let mut neighbours: Vec<(usize, f64)> = (0..values.len())
-                .filter(|&other| other != centre && !values[other].is_empty())
-                .map(|other| (other, repr.similarity(centre, other)))
+            // Similarities to every other keyed record (scanned across
+            // workers in record order), most similar first; the stable sort
+            // keeps ties in record order, so the ranking is thread-count
+            // invariant.
+            let sims = centre_similarities(&repr, &values, centre, threads);
+            let mut neighbours: Vec<(usize, f64)> = sims
+                .into_iter()
+                .enumerate()
+                .filter(|&(other, _)| other != centre && !values[other].is_empty())
                 .collect();
             neighbours.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
 
@@ -357,6 +442,19 @@ mod tests {
         assert!(blocks.theta(RecordId(3), RecordId(4)));
         // Empty records never join canopies.
         assert!(blocks.distinct_pairs().iter().all(|p| p.second().0 != 6));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_canopies() {
+        let ds = papers();
+        for similarity in [CanopySimilarity::Jaccard { q: 2 }, CanopySimilarity::TfIdfCosine] {
+            let single = CanopyThreshold::new(key(), similarity, 0.8, 0.4).unwrap().with_threads(1).block(&ds).unwrap();
+            let quad = CanopyThreshold::new(key(), similarity, 0.8, 0.4).unwrap().with_threads(4).block(&ds).unwrap();
+            assert_eq!(single.blocks(), quad.blocks(), "{similarity:?}");
+            let single = CanopyNearestNeighbour::new(key(), similarity, 1, 2).unwrap().with_threads(1).block(&ds).unwrap();
+            let quad = CanopyNearestNeighbour::new(key(), similarity, 1, 2).unwrap().with_threads(4).block(&ds).unwrap();
+            assert_eq!(single.blocks(), quad.blocks(), "{similarity:?}");
+        }
     }
 
     #[test]

@@ -9,16 +9,23 @@
 //! in the exact Euclidean distance check. The paper's Table 3 reports these
 //! two techniques as by far the slowest baselines, which this implementation
 //! reproduces qualitatively (embedding + neighbourhood search dominate).
+//! Both phases run across worker threads on large datasets — key extraction
+//! through `build_index_chunked`, embedding and candidate search through
+//! `parallel_map` — with blocks stitched back in record order, so the output
+//! is byte-identical for every worker count (pinned in
+//! `tests/determinism.rs`).
 
 use std::collections::HashMap;
 
-use sablock_datasets::{Dataset, RecordId};
+use sablock_datasets::{Dataset, Record, RecordId};
 use sablock_textual::edit::levenshtein;
 use sablock_textual::similarity::{SimilarityFunction, StringSimilarity};
 
 use sablock_core::blocking::{Block, BlockCollection, Blocker};
 use sablock_core::error::{CoreError, Result};
+use sablock_core::parallel::{parallel_map, resolve_threads};
 
+use crate::build_index_chunked;
 use crate::key::BlockingKey;
 
 /// A FastMap-style embedding of strings into `dimensions`-dimensional space.
@@ -98,21 +105,40 @@ struct Prepared {
     cell: f64,
 }
 
-fn prepare(dataset: &Dataset, key: &BlockingKey, dimensions: usize, grid_cell: f64) -> Result<Option<Prepared>> {
+fn prepare(
+    dataset: &Dataset,
+    key: &BlockingKey,
+    dimensions: usize,
+    grid_cell: f64,
+    threads: Option<usize>,
+) -> Result<Option<Prepared>> {
     key.validate_against(dataset)?;
-    let keyed: Vec<(usize, String)> = dataset
-        .records()
-        .iter()
-        .enumerate()
-        .map(|(i, r)| (i, key.compact_value(r)))
-        .filter(|(_, v)| !v.is_empty())
-        .collect();
+    // Key extraction is chunked through `build_index_chunked` (records are
+    // dense, so `record.id().index()` is the global position and per-chunk
+    // vectors append back in record order — byte-identical to a sequential
+    // pass for every worker count).
+    let keyed: Vec<(usize, String)> = build_index_chunked(
+        dataset.records(),
+        threads,
+        |records: &[Record]| {
+            records
+                .iter()
+                .map(|r| (r.id().index(), key.compact_value(r)))
+                .filter(|(_, v)| !v.is_empty())
+                .collect::<Vec<_>>()
+        },
+        |merged, partial| merged.extend(partial),
+    );
     if keyed.len() < 2 {
         return Ok(None);
     }
     let strings: Vec<String> = keyed.iter().map(|(_, v)| v.clone()).collect();
     let embedding = StringMapEmbedding::fit(&strings, dimensions)?;
-    let points: Vec<Vec<f64>> = strings.iter().map(|s| embedding.embed(s)).collect();
+    // Embedding a string costs `3 · dimensions` edit-distance evaluations —
+    // the dominant cost of string-map blocking — and each string embeds
+    // independently, so the projection runs across workers.
+    let resolved = resolve_threads(threads, strings.len());
+    let points: Vec<Vec<f64>> = parallel_map(&strings, resolved, |s| embedding.embed(s));
 
     let cell = grid_cell.max(1e-9);
     let mut grid: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
@@ -148,6 +174,7 @@ pub struct StringMapThreshold {
     grid_cell: f64,
     similarity: SimilarityFunction,
     threshold: f64,
+    threads: Option<usize>,
 }
 
 impl StringMapThreshold {
@@ -170,7 +197,16 @@ impl StringMapThreshold {
             grid_cell,
             similarity,
             threshold,
+            threads: None,
         })
+    }
+
+    /// Pins the worker-thread count for the embedding and candidate-search
+    /// phases (clamped to at least 1). Output is identical for every thread
+    /// count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
     }
 }
 
@@ -187,11 +223,16 @@ impl Blocker for StringMapThreshold {
     }
 
     fn block(&self, dataset: &Dataset) -> Result<BlockCollection> {
-        let Some(prepared) = prepare(dataset, &self.key, self.dimensions, self.grid_cell)? else {
+        let Some(prepared) = prepare(dataset, &self.key, self.dimensions, self.grid_cell, self.threads)? else {
             return Ok(BlockCollection::new());
         };
-        let mut blocks = Vec::new();
-        for idx in 0..prepared.keyed.len() {
+        // Each embedded point's candidate search is independent: the grid
+        // neighbourhood, the embedded-space screen and the string-similarity
+        // check read only shared immutable state, so the per-record loop runs
+        // across workers and stitches blocks back in record order.
+        let indices: Vec<usize> = (0..prepared.keyed.len()).collect();
+        let threads = resolve_threads(self.threads, prepared.keyed.len());
+        let blocks: Vec<Option<Block>> = parallel_map(&indices, threads, |&idx| {
             let mut members = vec![RecordId(prepared.keyed[idx].0 as u32)];
             for other in neighbourhood(&prepared, idx) {
                 if other <= idx {
@@ -208,11 +249,9 @@ impl Blocker for StringMapThreshold {
                     members.push(RecordId(prepared.keyed[other].0 as u32));
                 }
             }
-            if members.len() >= 2 {
-                blocks.push(Block::new(format!("stmt{idx}"), members));
-            }
-        }
-        Ok(BlockCollection::from_blocks(blocks))
+            (members.len() >= 2).then(|| Block::new(format!("stmt{idx}"), members))
+        });
+        Ok(BlockCollection::from_blocks(blocks.into_iter().flatten().collect()))
     }
 }
 
@@ -223,6 +262,7 @@ pub struct StringMapNearestNeighbour {
     dimensions: usize,
     grid_cell: f64,
     neighbours: usize,
+    threads: Option<usize>,
 }
 
 impl StringMapNearestNeighbour {
@@ -243,7 +283,16 @@ impl StringMapNearestNeighbour {
             dimensions,
             grid_cell,
             neighbours,
+            threads: None,
         })
+    }
+
+    /// Pins the worker-thread count for the embedding and candidate-search
+    /// phases (clamped to at least 1). Output is identical for every thread
+    /// count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
     }
 }
 
@@ -259,11 +308,16 @@ impl Blocker for StringMapNearestNeighbour {
     }
 
     fn block(&self, dataset: &Dataset) -> Result<BlockCollection> {
-        let Some(prepared) = prepare(dataset, &self.key, self.dimensions, self.grid_cell)? else {
+        let Some(prepared) = prepare(dataset, &self.key, self.dimensions, self.grid_cell, self.threads)? else {
             return Ok(BlockCollection::new());
         };
-        let mut blocks = Vec::new();
-        for idx in 0..prepared.keyed.len() {
+        // Per-record nearest-neighbour searches are independent reads of
+        // shared state (see `StringMapThreshold::block`), so they run across
+        // workers; the stable sort keeps equal distances in neighbourhood
+        // order, which is itself deterministic.
+        let indices: Vec<usize> = (0..prepared.keyed.len()).collect();
+        let threads = resolve_threads(self.threads, prepared.keyed.len());
+        let blocks: Vec<Option<Block>> = parallel_map(&indices, threads, |&idx| {
             let mut candidates: Vec<(usize, f64)> = neighbourhood(&prepared, idx)
                 .into_iter()
                 .filter(|&other| other != idx)
@@ -278,11 +332,9 @@ impl Blocker for StringMapNearestNeighbour {
                     .take(self.neighbours)
                     .map(|(other, _)| RecordId(prepared.keyed[other].0 as u32)),
             );
-            if members.len() >= 2 {
-                blocks.push(Block::new(format!("stmnn{idx}"), members));
-            }
-        }
-        Ok(BlockCollection::from_blocks(blocks))
+            (members.len() >= 2).then(|| Block::new(format!("stmnn{idx}"), members))
+        });
+        Ok(BlockCollection::from_blocks(blocks.into_iter().flatten().collect()))
     }
 }
 
@@ -380,6 +432,17 @@ mod tests {
         assert_eq!(blocks.num_blocks(), 0);
         let blocks = StringMapNearestNeighbour::new(key(), 4, 1.0, 2).unwrap().block(&ds).unwrap();
         assert_eq!(blocks.num_blocks(), 0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_blocks() {
+        let ds = people();
+        let build_t = |t: usize| {
+            StringMapThreshold::new(key(), 6, 2.0, SimilarityFunction::JaroWinkler, 0.85).unwrap().with_threads(t)
+        };
+        assert_eq!(build_t(1).block(&ds).unwrap().blocks(), build_t(4).block(&ds).unwrap().blocks());
+        let build_nn = |t: usize| StringMapNearestNeighbour::new(key(), 6, 5.0, 2).unwrap().with_threads(t);
+        assert_eq!(build_nn(1).block(&ds).unwrap().blocks(), build_nn(4).block(&ds).unwrap().blocks());
     }
 
     #[test]

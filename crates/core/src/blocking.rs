@@ -26,8 +26,10 @@ use sablock_datasets::record::RecordPair;
 use sablock_datasets::{Dataset, RecordId};
 use sablock_textual::hashing::StableHashSet;
 
-use crate::error::Result;
+use crate::error::{CoreError, Result};
 use crate::parallel::{default_threads, parallel_map};
+
+pub use sablock_datasets::record::MAX_RECORD_ID;
 
 /// How many blocks one shard of the pair-enumeration covers. Shards are
 /// enumerated and sorted independently (in parallel for large collections)
@@ -261,7 +263,7 @@ impl LoserTree {
 /// Finely interleaved runs therefore pay one replay per key — never the
 /// challenger walk — while skewed run shapes collapse to segment-sized
 /// work.
-fn merge_packed_runs_into<E: FnMut(&[u64])>(runs: &[Vec<u64>], mut emit: E) {
+pub(crate) fn merge_packed_runs_into<E: FnMut(&[u64])>(runs: &[Vec<u64>], mut emit: E) {
     let live: Vec<&[u64]> = runs.iter().map(Vec::as_slice).filter(|r| !r.is_empty()).collect();
     match live.len() {
         0 => return,
@@ -462,6 +464,22 @@ impl BlockCollection {
     pub fn from_blocks(blocks: Vec<Block>) -> Self {
         let blocks = blocks.into_iter().filter(|b| b.len() >= 2).collect();
         Self { blocks }
+    }
+
+    /// [`BlockCollection::from_blocks`] with record-id-width validation: every
+    /// member id must stay at or below [`MAX_RECORD_ID`]. An id of `u32::MAX`
+    /// would alias the `u64::MAX` exhausted-run sentinel of the loser-tree
+    /// merge when packed, silently corrupting pair counts — so it is rejected
+    /// here with a typed [`CoreError::RecordIdOverflow`]. Blockers that
+    /// assemble collections from externally supplied ids should construct
+    /// through this entry point.
+    pub fn try_from_blocks(blocks: Vec<Block>) -> Result<Self> {
+        for block in &blocks {
+            if let Some(&id) = block.members().iter().find(|id| id.0 > MAX_RECORD_ID) {
+                return Err(CoreError::RecordIdOverflow(u64::from(id.0)));
+            }
+        }
+        Ok(Self::from_blocks(blocks))
     }
 
     /// Builds a collection from a map of bucket key → member records,
@@ -1020,6 +1038,25 @@ mod tests {
         // Records beyond the table never match — not even each other.
         assert!(!probe.matches(pk(3, 17)));
         assert!(!probe.matches(pk(17, 18)));
+    }
+
+    #[test]
+    fn record_id_overflow_is_rejected_at_construction() {
+        // An id just over the boundary: u32::MAX packs into keys that collide
+        // with the merge sentinel, so checked construction must reject it.
+        let overflowing = vec![
+            Block::new("ok", vec![rid(0), rid(1)]),
+            Block::new("bad", vec![rid(3), rid(u32::MAX)]),
+        ];
+        let err = BlockCollection::try_from_blocks(overflowing).unwrap_err();
+        assert!(matches!(err, CoreError::RecordIdOverflow(id) if id == u64::from(u32::MAX)));
+        // The largest representable id is fine, and counts stay exact.
+        let edge = BlockCollection::try_from_blocks(vec![Block::new(
+            "edge",
+            vec![rid(MAX_RECORD_ID - 1), rid(MAX_RECORD_ID)],
+        )])
+        .unwrap();
+        assert_eq!(edge.num_distinct_pairs(), 1);
     }
 
     #[test]

@@ -11,6 +11,12 @@ pub enum CoreError {
     Config(String),
     /// A taxonomy operation failed (unknown concept, malformed tree).
     Taxonomy(String),
+    /// A record id does not fit the packed-pair representation (ids must stay
+    /// at or below [`MAX_RECORD_ID`](crate::blocking::MAX_RECORD_ID); the
+    /// value `u32::MAX` is reserved as the merge sentinel). Blocking such an
+    /// id would silently corrupt packed pair counts, so it is rejected with
+    /// this typed error instead.
+    RecordIdOverflow(u64),
     /// An error bubbled up from the dataset layer.
     Dataset(DatasetError),
 }
@@ -20,6 +26,11 @@ impl fmt::Display for CoreError {
         match self {
             Self::Config(msg) => write!(f, "configuration error: {msg}"),
             Self::Taxonomy(msg) => write!(f, "taxonomy error: {msg}"),
+            Self::RecordIdOverflow(id) => write!(
+                f,
+                "record id {id} exceeds the maximum packable record id {} (u32::MAX is reserved)",
+                u32::MAX - 1
+            ),
             Self::Dataset(err) => write!(f, "dataset error: {err}"),
         }
     }
@@ -51,6 +62,8 @@ mod tests {
     fn display_is_informative() {
         assert!(CoreError::Config("bands must be > 0".into()).to_string().contains("bands"));
         assert!(CoreError::Taxonomy("unknown concept c9".into()).to_string().contains("c9"));
+        let overflow = CoreError::RecordIdOverflow(u64::from(u32::MAX));
+        assert!(overflow.to_string().contains(&u32::MAX.to_string()));
         let err: CoreError = DatasetError::UnknownAttribute("title".into()).into();
         assert!(err.to_string().contains("title"));
         assert!(std::error::Error::source(&err).is_some());

@@ -1,0 +1,714 @@
+//! Incremental (online) blocking for streaming ingest.
+//!
+//! The paper evaluates SA-LSH on static snapshots; a production deployment
+//! serves a *live* record stream, and re-blocking hundreds of thousands of
+//! records from scratch on every arrival is a non-starter. This module keeps
+//! the banding index of [`SaLshBlocker`](crate::lsh::salsh::SaLshBlocker)
+//! *mutable*: new records compute their signatures through the same
+//! [`parallel_map`] path as one-shot blocking and are **appended** to the
+//! per-band bucket shards — no signature of an existing record is ever
+//! recomputed, and buckets the batch does not touch are left alone.
+//!
+//! # Delta pairs
+//!
+//! Each [`IncrementalBlocker::insert_batch`] emits the batch's **delta
+//! candidate pairs**: every pair that is in Γ after the batch but was not
+//! before. Because a pair between two *old* records cannot appear by adding
+//! new records, the delta is exactly the set of bucket-sharing pairs that
+//! involve at least one new record — enumerable from the touched buckets
+//! alone. Deltas are carried as sorted, deduplicated packed-`u64` runs
+//! ([`RecordPair::pack`]), the same representation every bulk pair path of
+//! [`crate::blocking`] runs on, so a delta (or the union of all deltas) is
+//! evaluated by the identical loser-tree/galloping merge counter — and,
+//! absent removals, deltas of successive batches are **disjoint**: summing
+//! per-batch [`PairCounts`] equals a from-scratch count of the merged whole,
+//! byte for byte.
+//!
+//! # Removals
+//!
+//! [`IncrementalBlocker::remove`] tombstones a record in O(1): the id stays
+//! in its buckets but is skipped by snapshots and by future delta
+//! enumerations. A removal therefore never shrinks the index — compaction is
+//! a rebuild (see `docs/ARCHITECTURE.md` for when rebuild beats insert) —
+//! and deltas emitted *before* the removal keep counting pairs of the
+//! removed record; cumulative delta counts are exact only for
+//! insert-only workloads, while [`IncrementalBlocker::snapshot`] is always
+//! exact.
+//!
+//! # Equivalence with one-shot blocking
+//!
+//! Ingesting any partition of a dataset batch by batch and taking a
+//! [`IncrementalBlocker::snapshot`] produces a [`BlockCollection`] that is
+//! **byte-identical** (same keys, same members, same order) to one-shot
+//! [`SaLshBlocker::block`](crate::blocking::Blocker::block) over the whole
+//! dataset — property-tested in `tests/incremental.rs`. For SA-LSH one
+//! caveat applies: the one-shot blocker derives its semhash family from the
+//! dataset's interpretations, which an incremental index cannot do (the
+//! family must not drift as batches arrive). The incremental blocker
+//! therefore pins the family at construction — an explicitly pinned one
+//! ([`SemanticConfig::with_pinned_family`]) or, by default, all leaves of
+//! the taxonomy — and equivalence holds against a one-shot blocker pinned to
+//! the same family (which, for datasets whose records reach every leaf, is
+//! exactly what Algorithm 1 derives; NC Voter does at any realistic scale).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sablock_datasets::record::RecordPair;
+use sablock_datasets::{DatasetError, Record, RecordId, Schema, MAX_RECORD_ID};
+
+use crate::blocking::{
+    merge_count_packed_runs, merge_packed_runs_into, radix_sort_packed, Block, BlockCollection, PackedProbe,
+    PairCounts,
+};
+use crate::error::{CoreError, Result};
+use crate::lsh::semantic_hash::WWaySemanticHash;
+use crate::lsh::{BandingScheme, SemanticConfig};
+use crate::minhash::shingle::RecordShingler;
+use crate::minhash::{MinHasher, MinhashConfig};
+use crate::parallel::{parallel_map, resolve_threads};
+use crate::semantic::semhash::SemhashFamily;
+
+/// The candidate pairs one ingest batch added to Γ, as sorted and
+/// individually deduplicated packed-`u64` runs (one run per band; a pair
+/// colliding in several bands appears in several runs and is deduplicated by
+/// the counting merge, exactly like the per-shard runs of
+/// [`BlockCollection::stream_packed_counts`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaPairs {
+    runs: Vec<Vec<u64>>,
+}
+
+impl DeltaPairs {
+    /// A delta with no pairs.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn from_runs(runs: Vec<Vec<u64>>) -> Self {
+        Self {
+            runs: runs.into_iter().filter(|run| !run.is_empty()).collect(),
+        }
+    }
+
+    /// The sorted, deduplicated packed runs.
+    pub fn runs(&self) -> &[Vec<u64>] {
+        &self.runs
+    }
+
+    /// Whether the delta holds no pairs at all.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Counts the delta's distinct pairs, probing each exactly once — the
+    /// same loser-tree/galloping merge fold the streaming Γ counter uses.
+    pub fn counts<P: PackedProbe>(&self, probe: &P) -> PairCounts {
+        merge_count_packed_runs(&self.runs, probe)
+    }
+
+    /// Number of distinct pairs in the delta.
+    pub fn num_pairs(&self) -> u64 {
+        self.counts(&|_: &RecordPair| false).distinct
+    }
+
+    /// Materialises the delta's distinct pairs in ascending order (tests,
+    /// goldens, small deltas — bulk consumers should stay on the packed
+    /// runs).
+    pub fn pairs(&self) -> Vec<RecordPair> {
+        let mut packed: Vec<u64> = Vec::new();
+        merge_packed_runs_into(&self.runs, |segment| packed.extend_from_slice(segment));
+        packed.into_iter().map(RecordPair::from_packed).collect()
+    }
+}
+
+/// An online blocker: records arrive in batches, candidate pairs leave as
+/// per-batch deltas, and the current blocking is available as a snapshot at
+/// any time.
+///
+/// Implementations must keep snapshots byte-identical to one-shot blocking
+/// of everything ingested so far (minus removed records) — batching is an
+/// operational choice, never a semantic one.
+pub trait IncrementalBlocker {
+    /// A short human-readable name used in reports.
+    fn name(&self) -> String;
+
+    /// Number of records ingested so far (including tombstoned ones — ids
+    /// are never reused).
+    fn num_records(&self) -> usize;
+
+    /// Ingests a batch of new records and returns the delta candidate pairs
+    /// the batch added to Γ. Record ids must continue the dense id space
+    /// (`num_records()`, `num_records() + 1`, …); ids beyond
+    /// [`MAX_RECORD_ID`] are rejected with
+    /// [`CoreError::RecordIdOverflow`].
+    fn insert_batch(&mut self, records: &[Record]) -> Result<&DeltaPairs>;
+
+    /// Tombstones a record: it stops appearing in snapshots and in future
+    /// deltas. Returns `false` when the record was already removed; errors
+    /// when the id was never ingested.
+    fn remove(&mut self, id: RecordId) -> Result<bool>;
+
+    /// The delta emitted by the most recent [`insert_batch`] call (empty
+    /// before the first batch).
+    ///
+    /// [`insert_batch`]: IncrementalBlocker::insert_batch
+    fn delta_pairs(&self) -> &DeltaPairs;
+
+    /// The current blocking as a [`BlockCollection`] — byte-identical to
+    /// one-shot blocking of all live (non-removed) records.
+    fn snapshot(&self) -> BlockCollection;
+}
+
+/// The pinned semantic state of an incremental SA-LSH index: family and
+/// per-band w-way hash functions are fixed at construction, so a record's
+/// sub-block keys never change after ingestion.
+#[derive(Debug, Clone)]
+struct IncrementalSemantic {
+    config: SemanticConfig,
+    family: SemhashFamily,
+    band_hashes: Vec<WWaySemanticHash>,
+}
+
+/// One band's bucket index: `(textual bucket key, semantic sub-key)` →
+/// members in ascending id order. Plain LSH stores everything under sub-key
+/// 0.
+type BandIndex = BTreeMap<(u64, u64), Vec<RecordId>>;
+
+/// The per-band update one ingest batch applies: where each new record lands
+/// and which packed delta pairs the band contributes.
+struct BandUpdate {
+    placements: Vec<((u64, u64), Vec<RecordId>)>,
+    delta_run: Vec<u64>,
+}
+
+/// Incremental LSH / SA-LSH blocking (see the module docs).
+///
+/// Built from a configured blocker via
+/// [`SaLshBlocker::into_incremental`](crate::lsh::salsh::SaLshBlocker::into_incremental)
+/// or directly from the builder via
+/// [`SaLshBlockerBuilder::into_incremental`](crate::lsh::salsh::SaLshBlockerBuilder::into_incremental).
+///
+/// The index is one ordered bucket map per band, keyed by
+/// `(textual bucket key, semantic sub-key)` — plain LSH uses a constant
+/// sub-key of 0 — with members kept in ascending id order (batches arrive in
+/// id order and append). Iterating the maps in band order therefore
+/// reproduces exactly the deterministic band-order merge of the one-shot
+/// sharded bucket phase.
+#[derive(Debug, Clone)]
+pub struct IncrementalSaLshBlocker {
+    shingler: RecordShingler,
+    minhash: MinhashConfig,
+    banding: BandingScheme,
+    hasher: MinHasher,
+    semantic: Option<IncrementalSemantic>,
+    threads: Option<usize>,
+    bands: Vec<BandIndex>,
+    next_id: u32,
+    removed: Vec<bool>,
+    removed_count: usize,
+    last_delta: DeltaPairs,
+    batches_ingested: usize,
+}
+
+impl IncrementalSaLshBlocker {
+    /// Assembles an incremental index from the (validated) parts of a
+    /// [`SaLshBlocker`](crate::lsh::salsh::SaLshBlocker).
+    pub(crate) fn from_parts(
+        shingler: RecordShingler,
+        minhash: MinhashConfig,
+        banding: BandingScheme,
+        semantic: Option<SemanticConfig>,
+        threads: Option<usize>,
+    ) -> Result<Self> {
+        let semantic = match semantic {
+            Some(config) => {
+                config.validate()?;
+                // The family must be fixed for the index's whole lifetime
+                // (module docs): pinned wins, all taxonomy leaves otherwise.
+                let family = match &config.pinned_family {
+                    Some(family) => family.clone(),
+                    None => SemhashFamily::from_all_leaves(&config.taxonomy)?,
+                };
+                let mut rng = StdRng::seed_from_u64(config.seed);
+                let band_hashes = (0..banding.bands())
+                    .map(|_| WWaySemanticHash::sample(family.len(), config.w, config.mode, &mut rng))
+                    .collect::<Result<Vec<_>>>()?;
+                Some(IncrementalSemantic { config, family, band_hashes })
+            }
+            None => None,
+        };
+        let hasher = MinHasher::from_config(&minhash);
+        let bands = vec![BTreeMap::new(); banding.bands()];
+        Ok(Self {
+            shingler,
+            minhash,
+            banding,
+            hasher,
+            semantic,
+            threads,
+            bands,
+            next_id: 0,
+            removed: Vec::new(),
+            removed_count: 0,
+            last_delta: DeltaPairs::empty(),
+            batches_ingested: 0,
+        })
+    }
+
+    /// The id the next ingested record must carry.
+    pub fn next_record_id(&self) -> RecordId {
+        RecordId(self.next_id)
+    }
+
+    /// Number of records removed (tombstoned) so far.
+    pub fn num_removed(&self) -> usize {
+        self.removed_count
+    }
+
+    /// Number of live (ingested and not removed) records.
+    pub fn num_live_records(&self) -> usize {
+        self.next_id as usize - self.removed_count
+    }
+
+    /// Number of batches ingested so far.
+    pub fn num_batches(&self) -> usize {
+        self.batches_ingested
+    }
+
+    /// The semhash family the semantic component is pinned to, if any —
+    /// pin the same family on a one-shot blocker to compare byte-for-byte.
+    pub fn pinned_family(&self) -> Option<&SemhashFamily> {
+        self.semantic.as_ref().map(|s| &s.family)
+    }
+
+    /// Convenience ingest from raw rows: wraps each row in a [`Record`] with
+    /// the next dense id and the given schema, then calls
+    /// [`IncrementalBlocker::insert_batch`].
+    pub fn insert_values(&mut self, schema: &Arc<Schema>, rows: Vec<Vec<Option<String>>>) -> Result<&DeltaPairs> {
+        let base = self.next_id;
+        let records = rows
+            .into_iter()
+            .enumerate()
+            .map(|(offset, values)| {
+                let index = base as usize + offset;
+                if index as u64 > u64::from(MAX_RECORD_ID) {
+                    return Err(CoreError::RecordIdOverflow(index as u64));
+                }
+                Record::new(RecordId(index as u32), Arc::clone(schema), values).map_err(CoreError::from)
+            })
+            .collect::<Result<Vec<Record>>>()?;
+        self.insert_batch_owned(records)
+    }
+
+    /// [`IncrementalBlocker::insert_batch`] taking ownership (avoids the
+    /// caller keeping a second copy of the batch alive).
+    pub fn insert_batch_owned(&mut self, records: Vec<Record>) -> Result<&DeltaPairs> {
+        self.ingest(&records)
+    }
+
+    /// Validates a batch: dense id continuation, id width, and that every
+    /// record's schema carries the shingled attributes. Batches almost
+    /// always share one `Arc<Schema>`, so the per-record check is a pointer
+    /// compare against the first validated schema; only records with a
+    /// genuinely different schema pay the by-name lookup.
+    fn validate_batch(&self, records: &[Record]) -> Result<()> {
+        let mut validated: Option<&Arc<Schema>> = None;
+        for (offset, record) in records.iter().enumerate() {
+            let expected = u64::from(self.next_id) + offset as u64;
+            if expected > u64::from(MAX_RECORD_ID) {
+                return Err(CoreError::RecordIdOverflow(expected));
+            }
+            if u64::from(record.id().0) != expected {
+                return Err(CoreError::Config(format!(
+                    "batch record at offset {offset} has id {}, expected the dense continuation r{expected}",
+                    record.id()
+                )));
+            }
+            if validated.is_some_and(|schema| Arc::ptr_eq(schema, record.schema())) {
+                continue;
+            }
+            for attribute in self.shingler.attributes() {
+                if record.schema().index_of(attribute).is_none() {
+                    return Err(CoreError::Config(format!(
+                        "attribute '{attribute}' selected for blocking does not exist in the schema of the \
+                         ingested record at offset {offset}"
+                    )));
+                }
+            }
+            validated = Some(record.schema());
+        }
+        Ok(())
+    }
+
+    fn ingest(&mut self, records: &[Record]) -> Result<&DeltaPairs> {
+        self.validate_batch(records)?;
+        if records.is_empty() {
+            self.last_delta = DeltaPairs::empty();
+            self.batches_ingested += 1;
+            return Ok(&self.last_delta);
+        }
+        let threads = resolve_threads(self.threads, records.len());
+
+        // Signatures of the new records only — the existing index is never
+        // recomputed. Same parallel shape as the one-shot pipeline.
+        let shingles = parallel_map(records, threads, |record| self.shingler.shingles(record));
+        let signatures = parallel_map(&shingles, threads, |set| self.hasher.signature(set));
+        let sem_signatures = match &self.semantic {
+            Some(semantic) => {
+                let function = &semantic.config.function;
+                let interpretations = parallel_map(records, threads, |record| function.interpret(record));
+                Some(parallel_map(&interpretations, threads, |interp| {
+                    semantic.family.signature(&semantic.config.taxonomy, interp)
+                }))
+            }
+            None => None,
+        };
+
+        // Each band's bucket index is independent, so placements and delta
+        // pairs are computed per band in parallel against the *immutable*
+        // current index, then applied in band order (deterministic for any
+        // worker count, like the one-shot bucket phase).
+        let band_ids: Vec<usize> = (0..self.banding.bands()).collect();
+        let updates: Vec<BandUpdate> = parallel_map(&band_ids, threads, |&band| {
+            let mut placements: BandIndex = BTreeMap::new();
+            for (offset, signature) in signatures.iter().enumerate() {
+                if shingles[offset].is_empty() {
+                    continue;
+                }
+                let id = records[offset].id();
+                let bucket = self.banding.band_key(signature, band);
+                match (&self.semantic, &sem_signatures) {
+                    (Some(semantic), Some(sems)) => {
+                        for sub in semantic.band_hashes[band].sub_keys(&sems[offset]) {
+                            placements.entry((bucket, sub as u64)).or_default().push(id);
+                        }
+                    }
+                    _ => placements.entry((bucket, 0)).or_default().push(id),
+                }
+            }
+
+            // Delta pairs of this band: existing live members × new members,
+            // plus the new-member pairs, per touched bucket. Old ids are all
+            // smaller than new ids and members arrive in ascending id order,
+            // so every pair packs ascending without canonicalisation.
+            let mut delta_run: Vec<u64> = Vec::new();
+            for (key, new_members) in &placements {
+                if let Some(existing) = self.bands[band].get(key) {
+                    for &old in existing {
+                        if self.removed[old.index()] {
+                            continue;
+                        }
+                        for &new in new_members {
+                            delta_run.push(RecordPair::pack_ascending(old, new));
+                        }
+                    }
+                }
+                for (i, &a) in new_members.iter().enumerate() {
+                    for &b in &new_members[i + 1..] {
+                        delta_run.push(RecordPair::pack_ascending(a, b));
+                    }
+                }
+            }
+            radix_sort_packed(&mut delta_run);
+            delta_run.dedup();
+            BandUpdate {
+                placements: placements.into_iter().collect(),
+                delta_run,
+            }
+        });
+
+        let mut runs: Vec<Vec<u64>> = Vec::with_capacity(updates.len());
+        for (band, update) in updates.into_iter().enumerate() {
+            for (key, members) in update.placements {
+                self.bands[band].entry(key).or_default().extend(members);
+            }
+            runs.push(update.delta_run);
+        }
+        self.next_id += records.len() as u32;
+        self.removed.resize(self.next_id as usize, false);
+        self.last_delta = DeltaPairs::from_runs(runs);
+        self.batches_ingested += 1;
+        Ok(&self.last_delta)
+    }
+}
+
+impl IncrementalBlocker for IncrementalSaLshBlocker {
+    fn name(&self) -> String {
+        let base = format!(
+            "k={},l={},q={}",
+            self.minhash.rows_per_band, self.minhash.bands, self.minhash.qgram
+        );
+        match &self.semantic {
+            Some(semantic) => format!("Incremental-SA-LSH({base},{})", semantic.config.describe()),
+            None => format!("Incremental-LSH({base})"),
+        }
+    }
+
+    fn num_records(&self) -> usize {
+        self.next_id as usize
+    }
+
+    fn insert_batch(&mut self, records: &[Record]) -> Result<&DeltaPairs> {
+        self.ingest(records)
+    }
+
+    fn remove(&mut self, id: RecordId) -> Result<bool> {
+        if id.0 >= self.next_id {
+            return Err(CoreError::Dataset(DatasetError::UnknownRecord(id.0)));
+        }
+        if self.removed[id.index()] {
+            return Ok(false);
+        }
+        self.removed[id.index()] = true;
+        self.removed_count += 1;
+        Ok(true)
+    }
+
+    fn delta_pairs(&self) -> &DeltaPairs {
+        &self.last_delta
+    }
+
+    fn snapshot(&self) -> BlockCollection {
+        let semantic = self.semantic.is_some();
+        let mut blocks = Vec::new();
+        for (band, buckets) in self.bands.iter().enumerate() {
+            for (&(bucket, sub), members) in buckets {
+                let live: Vec<RecordId> =
+                    members.iter().copied().filter(|id| !self.removed[id.index()]).collect();
+                if live.len() < 2 {
+                    continue;
+                }
+                let key = if semantic {
+                    format!("b{band}:{bucket:016x}:g{sub}")
+                } else {
+                    format!("b{band}:{bucket:016x}")
+                };
+                blocks.push(Block::new(key, live));
+            }
+        }
+        BlockCollection::from_blocks(blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocking::Blocker;
+    use crate::lsh::salsh::SaLshBlocker;
+    use crate::lsh::semantic_hash::SemanticMode;
+    use crate::semantic::pattern::PatternSemanticFunction;
+    use crate::taxonomy::bib::bibliographic_taxonomy;
+    use sablock_datasets::dataset::DatasetBuilder;
+    use sablock_datasets::ground_truth::EntityId;
+    use sablock_datasets::Dataset;
+
+    fn titles_dataset(rows: &[&str]) -> Dataset {
+        let schema = Schema::shared(["title"]).unwrap();
+        let mut builder = DatasetBuilder::new("titles", schema);
+        for (i, title) in rows.iter().enumerate() {
+            let value = if title.is_empty() { None } else { Some((*title).to_string()) };
+            builder.push_values(vec![value], EntityId(i as u32 / 2)).unwrap();
+        }
+        builder.build().unwrap()
+    }
+
+    fn sample_dataset() -> Dataset {
+        titles_dataset(&[
+            "the cascade correlation learning architecture",
+            "cascade correlation learning architecture",
+            "the cascade corelation learning architecture",
+            "efficient clustering of high dimensional data sets",
+            "efficient clustering of high dimensional data",
+            "",
+            "a theory for record linkage",
+            "a theory of record linkage",
+        ])
+    }
+
+    fn lsh_builder() -> crate::lsh::salsh::SaLshBlockerBuilder {
+        SaLshBlocker::builder().attributes(["title"]).qgram(2).bands(12).rows_per_band(2).seed(0xB10C)
+    }
+
+    fn salsh_pair() -> (SaLshBlocker, IncrementalSaLshBlocker) {
+        let tree = bibliographic_taxonomy();
+        let zeta = PatternSemanticFunction::cora_default(&tree).unwrap();
+        let family = SemhashFamily::from_all_leaves(&tree).unwrap();
+        let semantic = crate::lsh::SemanticConfig::new(tree, zeta)
+            .with_w(2)
+            .with_mode(SemanticMode::Or)
+            .with_seed(11)
+            .with_pinned_family(family);
+        let builder = SaLshBlocker::builder()
+            .attributes(["title"])
+            .qgram(2)
+            .bands(12)
+            .rows_per_band(2)
+            .seed(0xB10C)
+            .semantic(semantic);
+        let one_shot = builder.clone().build().unwrap();
+        let incremental = builder.into_incremental().unwrap();
+        (one_shot, incremental)
+    }
+
+    #[test]
+    fn batched_ingest_matches_one_shot_blocking() {
+        let dataset = sample_dataset();
+        let one_shot = lsh_builder().build().unwrap().block(&dataset).unwrap();
+        for batch_size in [1usize, 3, 8] {
+            let mut incremental = lsh_builder().into_incremental().unwrap();
+            let mut total_delta = 0u64;
+            for chunk in dataset.records().chunks(batch_size) {
+                total_delta += incremental.insert_batch(chunk).unwrap().num_pairs();
+            }
+            let snapshot = incremental.snapshot();
+            assert_eq!(snapshot.blocks(), one_shot.blocks(), "batch_size={batch_size}");
+            assert_eq!(total_delta, one_shot.num_distinct_pairs(), "batch_size={batch_size}");
+        }
+    }
+
+    #[test]
+    fn semantic_ingest_matches_pinned_one_shot() {
+        let dataset = sample_dataset();
+        let (one_shot, mut incremental) = salsh_pair();
+        let reference = one_shot.block(&dataset).unwrap();
+        let mut cumulative = 0u64;
+        for chunk in dataset.records().chunks(3) {
+            cumulative += incremental.insert_batch(chunk).unwrap().num_pairs();
+        }
+        assert_eq!(incremental.snapshot().blocks(), reference.blocks());
+        assert_eq!(cumulative, reference.num_distinct_pairs());
+        assert!(incremental.name().starts_with("Incremental-SA-LSH("));
+        assert_eq!(incremental.pinned_family().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn deltas_are_disjoint_and_sorted() {
+        let dataset = sample_dataset();
+        let mut incremental = lsh_builder().into_incremental().unwrap();
+        let mut seen: Vec<RecordPair> = Vec::new();
+        for chunk in dataset.records().chunks(2) {
+            let delta = incremental.insert_batch(chunk).unwrap();
+            for run in delta.runs() {
+                assert!(run.windows(2).all(|w| w[0] < w[1]), "runs are strictly ascending");
+            }
+            let pairs = delta.pairs();
+            assert_eq!(pairs.len() as u64, delta.num_pairs());
+            for pair in &pairs {
+                assert!(!seen.contains(pair), "pair {pair} emitted twice across batches");
+            }
+            seen.extend(pairs);
+        }
+        assert_eq!(seen.len() as u64, incremental.snapshot().num_distinct_pairs());
+    }
+
+    #[test]
+    fn removal_tombstones_and_matches_filtered_one_shot() {
+        let dataset = sample_dataset();
+        let one_shot = lsh_builder().build().unwrap().block(&dataset).unwrap();
+        let mut incremental = lsh_builder().into_incremental().unwrap();
+        incremental.insert_batch(dataset.records()).unwrap();
+        assert!(incremental.remove(RecordId(1)).unwrap());
+        assert!(!incremental.remove(RecordId(1)).unwrap(), "double removal reports false");
+        assert!(incremental.remove(RecordId(99)).is_err(), "unknown ids error");
+        assert_eq!(incremental.num_removed(), 1);
+        assert_eq!(incremental.num_live_records(), dataset.len() - 1);
+
+        // Reference: one-shot blocks with the removed id filtered out.
+        let filtered: Vec<Block> = one_shot
+            .blocks()
+            .iter()
+            .map(|b| {
+                Block::new(
+                    b.key().to_string(),
+                    b.members().iter().copied().filter(|&id| id != RecordId(1)).collect(),
+                )
+            })
+            .collect();
+        let filtered = BlockCollection::from_blocks(filtered);
+        assert_eq!(incremental.snapshot().blocks(), filtered.blocks());
+
+        // Pairs added after the removal never involve the tombstoned record.
+        let extra = titles_dataset(&[
+            "the cascade correlation learning architecture",
+            "cascade correlation learning architecture",
+            "the cascade corelation learning architecture",
+            "efficient clustering of high dimensional data sets",
+            "efficient clustering of high dimensional data",
+            "",
+            "a theory for record linkage",
+            "a theory of record linkage",
+            "cascade correlation learning architecture",
+        ]);
+        let delta = incremental.insert_batch(&extra.records()[8..]).unwrap();
+        assert!(delta
+            .pairs()
+            .iter()
+            .all(|p| p.first() != RecordId(1) && p.second() != RecordId(1)));
+    }
+
+    #[test]
+    fn batch_validation_rejects_bad_ids_and_schemas() {
+        let dataset = sample_dataset();
+        let mut incremental = lsh_builder().into_incremental().unwrap();
+        // Ids must continue densely from 0.
+        let err = incremental.insert_batch(&dataset.records()[2..4]).unwrap_err();
+        assert!(err.to_string().contains("dense continuation"));
+        // An id just over the packable boundary is a typed overflow.
+        let schema = Schema::shared(["title"]).unwrap();
+        let huge = Record::new(RecordId(u32::MAX), Arc::clone(&schema), vec![Some("x".into())]).unwrap();
+        let mut at_edge = lsh_builder().into_incremental().unwrap();
+        at_edge.next_id = u32::MAX;
+        let err = at_edge.insert_batch(std::slice::from_ref(&huge)).unwrap_err();
+        assert!(matches!(err, CoreError::RecordIdOverflow(id) if id == u64::from(u32::MAX)));
+        // Unknown blocking attributes fail up front.
+        let other_schema = Schema::shared(["name"]).unwrap();
+        let wrong = Record::new(RecordId(0), Arc::clone(&other_schema), vec![Some("x".into())]).unwrap();
+        let err = incremental.insert_batch(std::slice::from_ref(&wrong)).unwrap_err();
+        assert!(err.to_string().contains("title"));
+        // …even when the offending record is not the first of the batch
+        // (mixed-schema batches must not slip a never-indexed record in).
+        let ok = Record::new(RecordId(0), Arc::clone(&schema), vec![Some("y".into())]).unwrap();
+        let wrong_tail = Record::new(RecordId(1), other_schema, vec![Some("z".into())]).unwrap();
+        let err = incremental.insert_batch(&[ok, wrong_tail]).unwrap_err();
+        assert!(err.to_string().contains("offset 1"));
+        assert_eq!(incremental.num_records(), 0, "a rejected batch ingests nothing");
+    }
+
+    #[test]
+    fn empty_batches_and_empty_records_are_handled() {
+        let mut incremental = lsh_builder().into_incremental().unwrap();
+        let delta = incremental.insert_batch(&[]).unwrap();
+        assert!(delta.is_empty());
+        assert_eq!(delta.num_pairs(), 0);
+        assert_eq!(incremental.num_batches(), 1);
+        assert_eq!(incremental.num_records(), 0);
+        assert!(incremental.snapshot().is_empty());
+
+        // Records without text are ingested (they consume an id) but never
+        // indexed — exactly like the one-shot pipeline.
+        let dataset = titles_dataset(&["", ""]);
+        incremental.insert_batch(dataset.records()).unwrap();
+        assert_eq!(incremental.num_records(), 2);
+        assert!(incremental.snapshot().is_empty());
+        assert_eq!(incremental.next_record_id(), RecordId(2));
+    }
+
+    #[test]
+    fn insert_values_wraps_rows_with_dense_ids() {
+        let schema = Schema::shared(["title"]).unwrap();
+        let mut incremental = lsh_builder().into_incremental().unwrap();
+        let rows = vec![
+            vec![Some("a theory for record linkage".to_string())],
+            vec![Some("a theory of record linkage".to_string())],
+        ];
+        let delta = incremental.insert_values(&schema, rows).unwrap();
+        assert!(delta.num_pairs() > 0);
+        assert_eq!(incremental.num_records(), 2);
+        // The stored delta is identical to the returned one.
+        assert_eq!(incremental.delta_pairs().num_pairs(), incremental.snapshot().num_distinct_pairs());
+    }
+}

@@ -12,6 +12,7 @@ use sablock_textual::hashing::hash_one;
 use crate::error::{CoreError, Result};
 use crate::lsh::semantic_hash::SemanticMode;
 use crate::minhash::MinhashSignature;
+use crate::semantic::semhash::SemhashFamily;
 use crate::semantic::SemanticFunction;
 use crate::taxonomy::TaxonomyTree;
 
@@ -28,6 +29,14 @@ pub struct SemanticConfig {
     pub mode: SemanticMode,
     /// Seed for drawing the per-band semantic hash functions.
     pub seed: u64,
+    /// An explicitly pinned semhash family. When `None` (the default), the
+    /// blocker derives the family from the interpretations of the dataset it
+    /// blocks (Algorithm 1's `C = ⋃ leaf(ζ(R))`) — a *dataset-dependent*
+    /// choice. Pinning the family makes blocking output independent of which
+    /// records happen to be present, which is what the incremental blocker
+    /// needs: the family must not change as batches arrive, or every
+    /// previously computed sub-block assignment would be invalidated.
+    pub pinned_family: Option<SemhashFamily>,
 }
 
 impl std::fmt::Debug for SemanticConfig {
@@ -38,6 +47,7 @@ impl std::fmt::Debug for SemanticConfig {
             .field("w", &self.w)
             .field("mode", &self.mode)
             .field("seed", &self.seed)
+            .field("pinned_family", &self.pinned_family.as_ref().map(SemhashFamily::len))
             .finish()
     }
 }
@@ -52,6 +62,7 @@ impl SemanticConfig {
             w: 1,
             mode: SemanticMode::Or,
             seed: 0x5e3a,
+            pinned_family: None,
         }
     }
 
@@ -63,6 +74,7 @@ impl SemanticConfig {
             w: 1,
             mode: SemanticMode::Or,
             seed: 0x5e3a,
+            pinned_family: None,
         }
     }
 
@@ -84,6 +96,16 @@ impl SemanticConfig {
         self
     }
 
+    /// Pins the semhash family instead of deriving it from the blocked
+    /// dataset's interpretations. Required for byte-identical agreement
+    /// between one-shot and incremental blocking (the incremental index
+    /// cannot re-derive the family as records arrive), and useful whenever
+    /// blocking output must not depend on which records are present.
+    pub fn with_pinned_family(mut self, family: SemhashFamily) -> Self {
+        self.pinned_family = Some(family);
+        self
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.w == 0 {
@@ -91,6 +113,11 @@ impl SemanticConfig {
         }
         if self.taxonomy.is_empty() {
             return Err(CoreError::Taxonomy("the semantic taxonomy tree is empty".into()));
+        }
+        if let Some(family) = &self.pinned_family {
+            if family.is_empty() {
+                return Err(CoreError::Config("the pinned semhash family is empty".into()));
+            }
         }
         Ok(())
     }

@@ -92,8 +92,29 @@ impl SaLshBlocker {
         resolve_threads(self.threads, dataset.len())
     }
 
+    /// Converts this blocker into an incremental (online) index for
+    /// streaming ingest — see [`crate::incremental`]. The configuration
+    /// (attributes, minhash, banding, semantic component, thread knob) is
+    /// carried over unchanged. For SA-LSH the semhash family is pinned for
+    /// the index's lifetime: the explicitly pinned one when
+    /// [`SemanticConfig::with_pinned_family`] was used, all taxonomy leaves
+    /// otherwise.
+    pub fn into_incremental(self) -> Result<crate::incremental::IncrementalSaLshBlocker> {
+        crate::incremental::IncrementalSaLshBlocker::from_parts(
+            self.shingler,
+            self.minhash,
+            self.banding,
+            self.semantic,
+            self.threads,
+        )
+    }
+
     /// Computes the semhash signatures of every record, or `None` when no
     /// semantic component is configured.
+    ///
+    /// The semhash family is the pinned one when the configuration carries it
+    /// (see [`SemanticConfig::with_pinned_family`]); otherwise it is derived
+    /// from the interpretations of this dataset (Algorithm 1).
     fn semantic_signatures(&self, dataset: &Dataset, threads: usize) -> Result<Option<Vec<SemanticSignature>>> {
         let Some(semantic) = &self.semantic else {
             return Ok(None);
@@ -101,7 +122,10 @@ impl SaLshBlocker {
         semantic.validate()?;
         let function = &semantic.function;
         let interpretations = parallel_map(dataset.records(), threads, |record| function.interpret(record));
-        let family = SemhashFamily::build(&semantic.taxonomy, interpretations.iter())?;
+        let family = match &semantic.pinned_family {
+            Some(family) => family.clone(),
+            None => SemhashFamily::build(&semantic.taxonomy, interpretations.iter())?,
+        };
         let signatures = parallel_map(&interpretations, threads, |interp| family.signature(&semantic.taxonomy, interp));
         Ok(Some(signatures))
     }
@@ -134,7 +158,10 @@ impl Blocker for SaLshBlocker {
         // One independently drawn w-way semantic hash function per band.
         let band_hashes: Option<Vec<WWaySemanticHash>> = match (&self.semantic, &semantic_signatures) {
             (Some(semantic), Some(signatures)) => {
-                let num_features = signatures.first().map(SemanticSignature::len).unwrap_or(0);
+                let num_features = match &semantic.pinned_family {
+                    Some(family) => family.len(),
+                    None => signatures.first().map(SemanticSignature::len).unwrap_or(0),
+                };
                 if num_features == 0 {
                     return Err(CoreError::Config("the semhash family has no features".into()));
                 }
@@ -201,7 +228,7 @@ impl Blocker for SaLshBlocker {
             }
             blocks
         });
-        Ok(BlockCollection::from_blocks(per_band.into_iter().flatten().collect()))
+        BlockCollection::try_from_blocks(per_band.into_iter().flatten().collect())
     }
 }
 
@@ -269,6 +296,13 @@ impl SaLshBlockerBuilder {
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
         self
+    }
+
+    /// Builds the blocker and converts it straight into an incremental
+    /// (online) index — the streaming-ingest counterpart of
+    /// [`SaLshBlockerBuilder::build`].
+    pub fn into_incremental(self) -> Result<crate::incremental::IncrementalSaLshBlocker> {
+        self.build()?.into_incremental()
     }
 
     /// Builds the blocker, validating every component.

@@ -142,9 +142,12 @@ impl DatasetBuilder {
         self.entities.reserve(n);
     }
 
-    /// The id the next pushed record will receive.
+    /// The id the next pushed record will receive. Panics only in the
+    /// (unreachable in practice) case of more than `u32::MAX − 1` records;
+    /// [`DatasetBuilder::push_values`] reports that case as a typed
+    /// `RecordIdOverflow` error before this can be observed.
     pub fn next_id(&self) -> RecordId {
-        RecordId(self.records.len() as u32)
+        RecordId::try_from_index(self.records.len()).expect("record id space exhausted")
     }
 
     /// The schema being built against.
@@ -155,7 +158,7 @@ impl DatasetBuilder {
     /// Appends a record from raw values (one per schema attribute, `None`
     /// meaning missing) and its entity.
     pub fn push_values(&mut self, values: Vec<Option<String>>, entity: EntityId) -> Result<RecordId> {
-        let id = self.next_id();
+        let id = RecordId::try_from_index(self.records.len())?;
         let record = Record::new(id, Arc::clone(&self.schema), values)?;
         self.records.push(record);
         self.entities.push(entity);

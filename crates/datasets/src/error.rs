@@ -16,6 +16,11 @@ pub enum DatasetError {
     },
     /// A referenced record id is out of bounds.
     UnknownRecord(u32),
+    /// A record id would exceed the 32-bit id space the packed-pair fast path
+    /// relies on (`u32::MAX` itself is reserved as a merge sentinel).
+    /// Assigning such an id would silently truncate and corrupt pair counts
+    /// downstream, so construction fails with this typed error instead.
+    RecordIdOverflow(u64),
     /// A CSV document could not be parsed.
     Csv {
         /// 1-based line number where parsing failed.
@@ -37,6 +42,11 @@ impl fmt::Display for DatasetError {
                 write!(f, "record has {actual} values but the schema declares {expected} attributes")
             }
             Self::UnknownRecord(id) => write!(f, "unknown record id: {id}"),
+            Self::RecordIdOverflow(id) => write!(
+                f,
+                "record id {id} exceeds the maximum representable record id {} (u32::MAX is reserved)",
+                u32::MAX - 1
+            ),
             Self::Csv { line, message } => write!(f, "CSV parse error at line {line}: {message}"),
             Self::Io(err) => write!(f, "I/O error: {err}"),
             Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
@@ -76,6 +86,8 @@ mod tests {
         assert!(e.to_string().contains("line 7"));
         let e = DatasetError::InvalidConfig("records must be > 0".into());
         assert!(e.to_string().contains("records"));
+        let e = DatasetError::RecordIdOverflow(u64::from(u32::MAX) + 7);
+        assert!(e.to_string().contains("reserved"));
     }
 
     #[test]

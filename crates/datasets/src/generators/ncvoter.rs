@@ -361,13 +361,19 @@ impl NcVoterStream {
         &self.schema
     }
 
-    /// Number of records still to be streamed.
+    /// Number of records still to be streamed. Consistent at every point of
+    /// consumption: after a partial final chunk it reports exactly 0, never
+    /// wraps, and stays 0 on further `next_chunk` calls.
     pub fn records_remaining(&self) -> usize {
-        self.generator.config.num_records - self.emitted
+        self.generator.config.num_records.saturating_sub(self.emitted)
     }
 
     /// Pulls the next chunk of up to `chunk_size` records, or `None` once the
     /// stream is exhausted. The final chunk may be shorter.
+    ///
+    /// A `chunk_size` of 0 would otherwise request nothing and leave callers
+    /// looping forever on a stream that never drains; it is clamped to 1, so
+    /// every call on a non-exhausted stream makes progress.
     pub fn next_chunk(&mut self, chunk_size: usize) -> Option<Vec<(Vec<Option<String>>, EntityId)>> {
         let chunk: Vec<_> = self.by_ref().take(chunk_size.max(1)).collect();
         if chunk.is_empty() {
@@ -536,9 +542,43 @@ mod tests {
         }
         assert_eq!(total, 1_000);
         assert!(stream.next_chunk(256).is_none(), "exhausted stream stays exhausted");
-        // A zero chunk size is clamped rather than looping forever.
-        let mut tiny = generator.stream().unwrap();
-        assert_eq!(tiny.next_chunk(0).map(|c| c.len()), Some(1));
+    }
+
+    #[test]
+    fn zero_chunk_size_is_clamped_and_drains() {
+        // chunk_size == 0 must not loop forever or hand out empty chunks: it
+        // is clamped to 1 and the stream still drains completely.
+        let generator = NcVoterGenerator::new(NcVoterConfig { num_records: 25, ..NcVoterConfig::small() });
+        let mut stream = generator.stream().unwrap();
+        let mut total = 0usize;
+        let mut rounds = 0usize;
+        while let Some(chunk) = stream.next_chunk(0) {
+            assert_eq!(chunk.len(), 1, "clamped chunks hold exactly one record");
+            total += chunk.len();
+            rounds += 1;
+            assert!(rounds <= 25, "a zero chunk size must still make progress");
+        }
+        assert_eq!(total, 25);
+        assert_eq!(stream.records_remaining(), 0);
+    }
+
+    #[test]
+    fn records_remaining_is_consistent_after_a_partial_final_chunk() {
+        // 1,000 records in chunks of 300: the final chunk is partial (100
+        // records) and records_remaining must land exactly on 0 — and stay
+        // there — rather than going stale or wrapping.
+        let generator = NcVoterGenerator::new(NcVoterConfig { num_records: 1_000, ..NcVoterConfig::small() });
+        let mut stream = generator.stream().unwrap();
+        let mut sizes = Vec::new();
+        while let Some(chunk) = stream.next_chunk(300) {
+            sizes.push(chunk.len());
+            assert_eq!(stream.records_remaining(), 1_000 - sizes.iter().sum::<usize>());
+        }
+        assert_eq!(sizes, vec![300, 300, 300, 100]);
+        assert_eq!(stream.records_remaining(), 0);
+        assert_eq!(stream.size_hint(), (0, Some(0)));
+        assert!(stream.next_chunk(300).is_none());
+        assert_eq!(stream.records_remaining(), 0, "remaining stays 0 after exhaustion");
     }
 
     #[test]

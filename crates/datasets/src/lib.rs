@@ -39,5 +39,5 @@ pub use error::DatasetError;
 pub use generators::cora::{CoraConfig, CoraGenerator};
 pub use generators::ncvoter::{NcVoterConfig, NcVoterGenerator, NcVoterStream};
 pub use ground_truth::{EntityId, GroundTruth};
-pub use record::{Record, RecordId};
+pub use record::{Record, RecordId, MAX_RECORD_ID};
 pub use schema::Schema;

@@ -10,11 +10,31 @@ use crate::schema::Schema;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RecordId(pub u32);
 
+/// The largest record id the packed-pair fast path can represent:
+/// `u32::MAX` itself is reserved — `u64::MAX` doubles as the exhausted-run
+/// sentinel of the loser-tree merge, so a pair of ids at `u32::MAX` must
+/// never be packable. Construction paths that assign ids
+/// ([`crate::dataset::DatasetBuilder`], the incremental blocker) reject ids
+/// beyond this bound with a typed `RecordIdOverflow` error instead of
+/// truncating.
+pub const MAX_RECORD_ID: u32 = u32::MAX - 1;
+
 impl RecordId {
     /// The record id as a `usize` index.
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Converts a dense index into a record id, rejecting indices beyond
+    /// [`MAX_RECORD_ID`] (which would silently truncate in the `as u32`
+    /// casts of the packed-pair paths).
+    #[inline]
+    pub fn try_from_index(index: usize) -> Result<Self> {
+        if index as u64 > u64::from(MAX_RECORD_ID) {
+            return Err(DatasetError::RecordIdOverflow(index as u64));
+        }
+        Ok(Self(index as u32))
     }
 }
 
@@ -327,5 +347,14 @@ mod tests {
         let id: RecordId = 42u32.into();
         assert_eq!(id.to_string(), "r42");
         assert_eq!(id.index(), 42);
+    }
+
+    #[test]
+    fn record_id_width_is_validated() {
+        assert_eq!(RecordId::try_from_index(0).unwrap(), RecordId(0));
+        assert_eq!(RecordId::try_from_index(MAX_RECORD_ID as usize).unwrap(), RecordId(MAX_RECORD_ID));
+        // One past the boundary: the id that would alias the merge sentinel.
+        let err = RecordId::try_from_index(MAX_RECORD_ID as usize + 1).unwrap_err();
+        assert!(matches!(err, DatasetError::RecordIdOverflow(id) if id == u64::from(u32::MAX)));
     }
 }

@@ -10,8 +10,11 @@
 //!   best-FM setting (the selection rule of Table 3 / Fig. 11).
 //! * [`report`] — fixed-width text tables for printing results that mirror
 //!   the paper's tables and figure series.
+//! * [`incremental`] — cumulative evaluation of streaming ingest: per-batch
+//!   delta counts that sum to the one-shot metrics.
 //! * [`perf`] — machine-readable perf reports (`BENCH_fig13.json`): a tiny
-//!   JSON writer, per-producer section upserts and peak-RSS readout.
+//!   JSON writer, per-producer section upserts, latency percentiles and
+//!   peak-RSS readout.
 //! * [`experiments`] — one module per table/figure of the evaluation section
 //!   (E-FIG5 … E-FIG13 in `DESIGN.md`), each with a paper-scale and a quick
 //!   configuration.
@@ -20,12 +23,14 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod incremental;
 pub mod metrics;
 pub mod perf;
 pub mod report;
 pub mod runner;
 pub mod sweep;
 
+pub use incremental::IncrementalEvaluation;
 pub use metrics::BlockingMetrics;
 pub use report::TextTable;
 pub use runner::{run_blocker, RunResult};

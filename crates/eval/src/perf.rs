@@ -240,8 +240,81 @@ pub fn upsert_section(path: &Path, name: &str, value: &JsonValue) -> std::io::Re
     std::fs::write(path, out)
 }
 
-/// The process's peak resident set size in bytes (`VmHWM` from
-/// `/proc/self/status`), or `None` where that interface does not exist.
+/// Wall-clock latency samples (e.g. per-batch insert times of a streaming
+/// ingest) with the order statistics the perf reports record.
+///
+/// Percentiles use the nearest-rank method on a sorted copy of the samples:
+/// `p(q)` is the smallest sample such that at least `q`% of samples are ≤ it
+/// — exact for the few-hundred-sample populations these reports hold, no
+/// interpolation surprises.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    samples: Vec<std::time::Duration>,
+}
+
+impl LatencyStats {
+    /// An empty sample set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: std::time::Duration) {
+        self.samples.push(sample);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The nearest-rank `q`-th percentile in seconds (`q` in [0, 100]);
+    /// 0 when no samples were recorded.
+    pub fn percentile_secs(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut secs: Vec<f64> = self.samples.iter().map(std::time::Duration::as_secs_f64).collect();
+        secs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let q = q.clamp(0.0, 100.0);
+        let rank = ((q / 100.0) * secs.len() as f64).ceil() as usize;
+        secs[rank.saturating_sub(1)]
+    }
+
+    /// The median (p50) in seconds.
+    pub fn p50_secs(&self) -> f64 {
+        self.percentile_secs(50.0)
+    }
+
+    /// The 99th percentile in seconds.
+    pub fn p99_secs(&self) -> f64 {
+        self.percentile_secs(99.0)
+    }
+
+    /// The largest sample in seconds (0 when empty).
+    pub fn max_secs(&self) -> f64 {
+        self.samples.iter().map(std::time::Duration::as_secs_f64).fold(0.0, f64::max)
+    }
+
+    /// The sum of all samples in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.samples.iter().map(std::time::Duration::as_secs_f64).sum()
+    }
+}
+
+/// The process's peak resident set size in bytes.
+///
+/// **Linux-only**: the value is `VmHWM` from `/proc/self/status`, a Linux
+/// procfs interface with no portable equivalent — on every other platform
+/// (macOS, Windows, BSDs) this returns `None` and perf reports record the
+/// peak-RSS field as `null`. The high-water mark is also per-process and
+/// monotone: it never resets between phases of one run, so a later phase
+/// cannot report a smaller peak than an earlier one.
 pub fn peak_rss_bytes() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
@@ -306,6 +379,23 @@ mod tests {
         let sections = split_top_level(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert_eq!(sections, vec![("only".to_string(), "false".to_string())]);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn latency_percentiles_use_nearest_rank() {
+        let mut stats = LatencyStats::new();
+        assert!(stats.is_empty());
+        assert_eq!(stats.percentile_secs(50.0), 0.0);
+        assert_eq!(stats.max_secs(), 0.0);
+        for ms in [40u64, 10, 30, 20, 50] {
+            stats.record(std::time::Duration::from_millis(ms));
+        }
+        assert_eq!(stats.len(), 5);
+        assert!((stats.p50_secs() - 0.030).abs() < 1e-12, "median of 10..50ms is 30ms");
+        assert!((stats.p99_secs() - 0.050).abs() < 1e-12, "p99 of 5 samples is the max");
+        assert!((stats.percentile_secs(0.0) - 0.010).abs() < 1e-12);
+        assert!((stats.max_secs() - 0.050).abs() < 1e-12);
+        assert!((stats.total_secs() - 0.150).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Streaming ingest walk-through: incremental SA-LSH blocking over a live
+//! NC-Voter record stream, batch by batch.
+//!
+//! Run with `cargo run --release --example streaming_ingest`.
+//!
+//! By default the example ingests a 10,000-record stream in 1,024-record
+//! batches so it finishes in seconds and cross-checks every invariant
+//! against a from-scratch rebuild. Set `SABLOCK_STREAM_FULL=1` (and use
+//! `--release`) to ingest the full 292,892-record voter roll of Fig. 13's
+//! right-most point in 16,384-record batches:
+//!
+//! ```sh
+//! SABLOCK_STREAM_FULL=1 cargo run --release --example streaming_ingest
+//! ```
+//!
+//! The walk-through demonstrates:
+//!
+//! 1. **Bounded-batch ingest** — `NcVoterStream::next_chunk` hands out
+//!    records in bounded batches; `IncrementalBlocker::insert_batch` appends
+//!    them to the per-band bucket index without recomputing anything about
+//!    the records already ingested.
+//! 2. **Delta evaluation** — each batch emits its delta candidate pairs as
+//!    sorted packed runs; `IncrementalEvaluation` folds them into cumulative
+//!    PC/RR without ever touching old pairs again.
+//! 3. **Incremental ≡ one-shot** — after the last batch, the streamed totals
+//!    and a snapshot's streamed Γ count are asserted equal to a from-scratch
+//!    `SaLshBlocker::block` of the very same records (byte-identical pair
+//!    counts; at full scale that is the 56,156,606 of `BENCH_fig13.json`).
+//!
+//! Per-batch insert latencies (p50/p99/max) and the rebuild comparison are
+//! written to `BENCH_fig13.json` under the `"incremental"` section
+//! (`"incremental_quick"` for default runs).
+
+use std::error::Error;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use sablock::core::incremental::IncrementalBlocker;
+use sablock::eval::experiments::VOTER_SEMANTIC_BITS;
+use sablock::eval::perf::{peak_rss_bytes, upsert_section, JsonValue, LatencyStats};
+use sablock::prelude::*;
+
+/// The full NC Voter extract size used by the paper (Fig. 13).
+const FULL_SCALE: usize = 292_892;
+/// The affordable default for a debug-friendly walk-through.
+const QUICK_SCALE: usize = 10_000;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let full = std::env::var("SABLOCK_STREAM_FULL").is_ok_and(|v| v == "1");
+    let num_records = if full { FULL_SCALE } else { QUICK_SCALE };
+    let batch_size = if full { 16_384 } else { 1_024 };
+    println!(
+        "streaming_ingest: {} records in batches of {}{}",
+        num_records,
+        batch_size,
+        if full { " (full Fig. 13 scale)" } else { " (set SABLOCK_STREAM_FULL=1 for the full 292,892)" }
+    );
+
+    // The paper's NC Voter operating point (k = 9, l = 15; the same
+    // parameters as `voter_salsh(9, 15, …)`), with the semhash family pinned
+    // to all 12 taxonomy leaves *up front* so the incremental index and the
+    // one-shot rebuild below share it by construction — the documented
+    // contract for byte-level comparison. For NC Voter the pinned family is
+    // also exactly what an unpinned one-shot run derives, which the
+    // full-scale pair-count assertion below additionally witnesses.
+    let zeta = VoterSemanticFunction::default_voter();
+    let tree = zeta.taxonomy().clone();
+    let family = SemhashFamily::from_all_leaves(&tree)?;
+    let semantic = SemanticConfig::new(tree, zeta)
+        .with_w(VOTER_SEMANTIC_BITS)
+        .with_mode(SemanticMode::Or)
+        .with_seed(0x5eed)
+        .with_pinned_family(family);
+    let builder = SaLshBlocker::builder()
+        .attributes(["first_name", "last_name"])
+        .qgram(2)
+        .rows_per_band(9)
+        .bands(15)
+        .seed(0x7013)
+        .semantic(semantic);
+    let blocker = builder.clone().build()?;
+    let mut incremental = builder.into_incremental()?;
+
+    // --- 1. Ingest the stream batch by batch ---------------------------------
+    let generator = NcVoterGenerator::new(NcVoterConfig { num_records, ..NcVoterConfig::default() });
+    let mut stream = generator.stream()?;
+    let schema = Arc::clone(stream.schema());
+
+    // Kept only for ground truth and the final rebuild cross-check — the
+    // incremental index itself never needs the history.
+    let mut entities: Vec<EntityId> = Vec::with_capacity(num_records);
+    let mut all_rows: Vec<Vec<Option<String>>> = Vec::with_capacity(num_records);
+
+    let mut evaluation = IncrementalEvaluation::new();
+    let mut latencies = LatencyStats::new();
+    let mut batch_index = 0usize;
+    while let Some(chunk) = stream.next_chunk(batch_size) {
+        let mut rows = Vec::with_capacity(chunk.len());
+        for (values, entity) in chunk {
+            entities.push(entity);
+            all_rows.push(values.clone());
+            rows.push(values);
+        }
+        let batch_records = rows.len();
+        let start = Instant::now();
+        let _ = incremental.insert_values(&schema, rows)?;
+        let elapsed = start.elapsed();
+        latencies.record(elapsed);
+
+        // Cumulative quality so far: fold the batch's delta against the
+        // ground truth ingested up to now.
+        let truth = GroundTruth::from_assignments(entities.clone());
+        let batch_counts = evaluation.observe(incremental.delta_pairs(), &truth);
+        let cumulative = evaluation.metrics(&truth, 0);
+        batch_index += 1;
+        println!(
+            "batch {:>3}: +{:>7} records in {:>8.2} ms | +{:>9} delta pairs | cumulative PC={:.4} RR={:.4}",
+            batch_index,
+            batch_records,
+            elapsed.as_secs_f64() * 1e3,
+            batch_counts.distinct,
+            cumulative.pc(),
+            cumulative.rr(),
+        );
+    }
+    println!(
+        "ingested {} records in {} batches: insert p50 {:.2} ms, p99 {:.2} ms, max {:.2} ms, total {:.2} s",
+        incremental.num_records(),
+        incremental.num_batches(),
+        latencies.p50_secs() * 1e3,
+        latencies.p99_secs() * 1e3,
+        latencies.max_secs() * 1e3,
+        latencies.total_secs(),
+    );
+
+    // --- 2. Cross-check the cumulative deltas against a snapshot -------------
+    let truth = GroundTruth::from_assignments(entities.clone());
+    let snapshot = incremental.snapshot();
+    let stream_start = Instant::now();
+    let snapshot_counts = snapshot.stream_packed_counts(EntityTableProbe::new(truth.entity_table()));
+    let snapshot_count_time = stream_start.elapsed();
+    assert_eq!(
+        snapshot_counts.distinct,
+        evaluation.candidate_pairs(),
+        "summed per-batch deltas must equal the snapshot's streamed Γ count"
+    );
+    assert_eq!(snapshot_counts.matching, evaluation.true_positives());
+    println!(
+        "snapshot: {} blocks, {} distinct pairs, {} true positives (streamed in {:.2}s) — matches the delta sum",
+        snapshot.num_blocks(),
+        snapshot_counts.distinct,
+        snapshot_counts.matching,
+        snapshot_count_time.as_secs_f64(),
+    );
+
+    // --- 3. Rebuild from scratch and require byte-identical blocking ---------
+    let mut builder = sablock::datasets::dataset::DatasetBuilder::new("ncvoter-streamed", Arc::clone(&schema));
+    builder.reserve(all_rows.len());
+    for (values, entity) in all_rows.into_iter().zip(entities.iter()) {
+        builder.push_values(values, *entity)?;
+    }
+    let dataset = builder.build()?;
+    let rebuild_start = Instant::now();
+    let rebuilt = blocker.block(&dataset)?;
+    let rebuild_time = rebuild_start.elapsed();
+    assert_eq!(
+        rebuilt.blocks(),
+        snapshot.blocks(),
+        "incremental snapshot must be byte-identical to a from-scratch rebuild"
+    );
+    let reference = BlockingMetrics::evaluate(&rebuilt, dataset.ground_truth());
+    assert_eq!(reference.candidate_pairs, evaluation.candidate_pairs(), "delta ≡ rebuild |Γ|");
+    assert_eq!(reference.true_positives, evaluation.true_positives(), "delta ≡ rebuild |Γ_tp|");
+    println!(
+        "rebuild: blocked {} records from scratch in {:.2}s — blocks and pair counts identical \
+         (|Γ| = {}, final PC={:.4} RR={:.4})",
+        dataset.len(),
+        rebuild_time.as_secs_f64(),
+        reference.candidate_pairs,
+        reference.pc(),
+        reference.rr(),
+    );
+    if full {
+        assert_eq!(
+            reference.candidate_pairs, 56_156_606,
+            "full-scale SA-LSH pair count must match BENCH_fig13.json's one-shot run"
+        );
+    }
+
+    // --- 4. Record the measurements machine-readably -------------------------
+    let peak_rss = peak_rss_bytes();
+    let report = JsonValue::Object(vec![
+        ("records".into(), JsonValue::UInt(incremental.num_records() as u64)),
+        ("batch_size".into(), JsonValue::UInt(batch_size as u64)),
+        ("batches".into(), JsonValue::UInt(incremental.num_batches() as u64)),
+        ("insert_p50_s".into(), JsonValue::Float(latencies.p50_secs())),
+        ("insert_p99_s".into(), JsonValue::Float(latencies.p99_secs())),
+        ("insert_max_s".into(), JsonValue::Float(latencies.max_secs())),
+        ("insert_total_s".into(), JsonValue::Float(latencies.total_secs())),
+        ("rebuild_blocking_s".into(), JsonValue::Float(rebuild_time.as_secs_f64())),
+        ("snapshot_count_s".into(), JsonValue::Float(snapshot_count_time.as_secs_f64())),
+        ("salsh_candidate_pairs".into(), JsonValue::UInt(evaluation.candidate_pairs())),
+        ("salsh_true_positives".into(), JsonValue::UInt(evaluation.true_positives())),
+        ("peak_rss_bytes".into(), peak_rss.map_or(JsonValue::Null, JsonValue::UInt)),
+    ]);
+    let section = if full { "incremental" } else { "incremental_quick" };
+    let path = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_fig13.json"));
+    match upsert_section(path, section, &report) {
+        Ok(()) => println!("wrote the measurements to {} (section \"{section}\")", path.display()),
+        Err(err) => eprintln!("could not write {}: {err}", path.display()),
+    }
+    Ok(())
+}

@@ -207,3 +207,67 @@ fn baseline_bucket_construction_is_thread_count_invariant() {
         );
     }
 }
+
+/// Canopy and string-map — the last baselines to gain a parallel path — are
+/// thread-count invariant too: representation build and key extraction go
+/// through the chunked index construction, similarity scans through
+/// `parallel_map`, and 1-worker vs 4-worker runs produce byte-identical
+/// blocks on a dataset large enough to engage the chunked path.
+#[test]
+fn canopy_and_stringmap_are_thread_count_invariant() {
+    use sablock::baselines::{
+        BlockingKey, CanopyNearestNeighbour, CanopySimilarity, CanopyThreshold, StringMapNearestNeighbour,
+        StringMapThreshold,
+    };
+    use sablock::textual::SimilarityFunction;
+
+    // > 1,024 records so `build_index_chunked` actually chunks.
+    let dataset = NcVoterGenerator::new(NcVoterConfig { num_records: 1_100, ..NcVoterConfig::small() })
+        .generate()
+        .unwrap();
+
+    type BlockerFactory = Box<dyn Fn(usize) -> Box<dyn Blocker>>;
+    let blockers: Vec<(&str, BlockerFactory)> = vec![
+        (
+            "CaTh",
+            Box::new(|t| {
+                Box::new(
+                    CanopyThreshold::new(BlockingKey::ncvoter(), CanopySimilarity::TfIdfCosine, 0.9, 0.6)
+                        .unwrap()
+                        .with_seed(5)
+                        .with_threads(t),
+                )
+            }),
+        ),
+        (
+            "CaNN",
+            Box::new(|t| {
+                Box::new(
+                    CanopyNearestNeighbour::new(BlockingKey::ncvoter(), CanopySimilarity::Jaccard { q: 2 }, 5, 10)
+                        .unwrap()
+                        .with_seed(5)
+                        .with_threads(t),
+                )
+            }),
+        ),
+        (
+            "StMT",
+            Box::new(|t| {
+                Box::new(
+                    StringMapThreshold::new(BlockingKey::ncvoter(), 6, 2.0, SimilarityFunction::JaroWinkler, 0.85)
+                        .unwrap()
+                        .with_threads(t),
+                )
+            }),
+        ),
+        (
+            "StMNN",
+            Box::new(|t| Box::new(StringMapNearestNeighbour::new(BlockingKey::ncvoter(), 6, 5.0, 3).unwrap().with_threads(t))),
+        ),
+    ];
+    for (name, build) in blockers {
+        let single = build(1).block(&dataset).unwrap();
+        let quad = build(4).block(&dataset).unwrap();
+        assert_eq!(single.blocks(), quad.blocks(), "{name}: 1 vs 4 worker block output");
+    }
+}
