@@ -21,7 +21,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use sablock_datasets::{Dataset, Record, RecordId};
+use sablock_datasets::{Dataset, Record};
 use sablock_textual::hashing::StableHashSet;
 use sablock_textual::qgrams::qgram_set;
 use sablock_textual::setsim::jaccard;
@@ -31,8 +31,8 @@ use sablock_core::blocking::{Block, BlockCollection, Blocker};
 use sablock_core::error::{CoreError, Result};
 use sablock_core::parallel::{parallel_map, resolve_threads};
 
-use crate::build_index_chunked;
 use crate::key::BlockingKey;
+use crate::{build_index_chunked, record_id_of_index};
 
 /// The cheap similarity used to form canopies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -225,12 +225,12 @@ impl Blocker for CanopyThreshold {
             // tight claiming stay sequential in record order, so the canopy
             // is identical for every worker count.
             let sims = centre_similarities(&repr, &values, centre, threads);
-            let mut members = vec![RecordId(centre as u32)];
+            let mut members = vec![record_id_of_index(centre)];
             for (other, &sim) in sims.iter().enumerate() {
                 // A record may appear in several canopies (loose membership),
                 // but only records still in the pool can be claimed tightly.
                 if sim >= self.loose {
-                    members.push(RecordId(other as u32));
+                    members.push(record_id_of_index(other));
                     if sim >= self.tight && in_pool[other] {
                         in_pool[other] = false;
                     }
@@ -337,10 +337,10 @@ impl Blocker for CanopyNearestNeighbour {
                 .collect();
             neighbours.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
 
-            let mut members = vec![RecordId(centre as u32)];
+            let mut members = vec![record_id_of_index(centre)];
             for (rank, (other, _)) in neighbours.iter().enumerate() {
                 if rank < self.include_nearest {
-                    members.push(RecordId(*other as u32));
+                    members.push(record_id_of_index(*other));
                 }
                 if rank < self.remove_nearest && in_pool[*other] {
                     in_pool[*other] = false;
@@ -363,6 +363,7 @@ impl Blocker for CanopyNearestNeighbour {
 mod tests {
     use super::*;
     use sablock_datasets::dataset::DatasetBuilder;
+    use sablock_datasets::RecordId;
     use sablock_datasets::ground_truth::EntityId;
     use sablock_datasets::Schema;
 

@@ -53,6 +53,15 @@ pub use suffix::{AllSubstringsBlocking, RobustSuffixArrayBlocking, SuffixArrayBl
 /// covers (suffix-array and q-gram blocking).
 pub(crate) const INDEX_CHUNK_RECORDS: usize = 1_024;
 
+/// Checked dense-index → [`RecordId`](sablock_datasets::RecordId)
+/// conversion for indices obtained by enumerating a dataset's records.
+/// `DatasetBuilder` already bounds datasets to `MAX_RECORD_ID` records, so
+/// the conversion can only fail on an index that never came from a dataset.
+pub(crate) fn record_id_of_index(index: usize) -> sablock_datasets::RecordId {
+    sablock_datasets::RecordId::try_from_index(index)
+        .expect("dataset record ids are validated at construction")
+}
+
 /// Builds a record-keyed index in parallel: `index_chunk` indexes one run of
 /// records into a fresh map, chunks are processed via
 /// [`parallel_map`](sablock_core::parallel::parallel_map), and `merge_into`

@@ -152,7 +152,7 @@ impl BlockingGraph {
     /// Total number of record-to-block assignments (Σ_b |b|), used by the
     /// cardinality pruning algorithms to set their budgets.
     pub fn total_assignments(&self) -> usize {
-        self.blocks_per_record.values().sum()
+        self.blocks_per_record.values().sum() // sablock-lint: allow(hash-iter-order): integer sum is order-insensitive
     }
 
     /// Number of distinct records appearing in at least one block.

@@ -1,6 +1,6 @@
 //! The four pruning algorithms of meta-blocking: WEP, CEP, WNP and CNP.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use sablock_datasets::record::RecordPair;
 use sablock_datasets::RecordId;
@@ -100,8 +100,8 @@ impl PruningAlgorithm {
 }
 
 /// Groups weighted edges by endpoint.
-fn incident_edges(weighted: &[(RecordPair, f64)]) -> HashMap<RecordId, Vec<(RecordPair, f64)>> {
-    let mut per_node: HashMap<RecordId, Vec<(RecordPair, f64)>> = HashMap::new();
+fn incident_edges(weighted: &[(RecordPair, f64)]) -> BTreeMap<RecordId, Vec<(RecordPair, f64)>> {
+    let mut per_node: BTreeMap<RecordId, Vec<(RecordPair, f64)>> = BTreeMap::new();
     for (pair, weight) in weighted {
         per_node.entry(pair.first()).or_default().push((*pair, *weight));
         per_node.entry(pair.second()).or_default().push((*pair, *weight));

@@ -9,7 +9,7 @@
 //! number of sub-lists — which is why the survey's implementation (and ours)
 //! caps recursion depth.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 
 use sablock_datasets::{Dataset, Record, RecordId};
 use sablock_textual::qgrams::qgrams;
@@ -71,7 +71,7 @@ impl QGramBlocking {
             return Vec::new();
         }
         let min_len = ((grams.len() as f64) * self.threshold).ceil().max(1.0) as usize;
-        let mut results: HashSet<Vec<String>> = HashSet::new();
+        let mut results: BTreeSet<Vec<String>> = BTreeSet::new();
         results.insert(grams.clone());
 
         // Breadth-first deletion of grams down to min_len, bounded by the cap.

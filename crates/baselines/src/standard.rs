@@ -8,7 +8,7 @@
 //!   Highly redundant (a record belongs to many blocks), which is what makes
 //!   it the canonical *input* of meta-blocking (Fig. 12).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sablock_datasets::{Dataset, RecordId};
 
@@ -42,7 +42,7 @@ impl Blocker for StandardBlocking {
 
     fn block(&self, dataset: &Dataset) -> Result<BlockCollection> {
         self.key.validate_against(dataset)?;
-        let mut buckets: HashMap<String, Vec<RecordId>> = HashMap::new();
+        let mut buckets: BTreeMap<String, Vec<RecordId>> = BTreeMap::new();
         for record in dataset.records() {
             let key = self.key.value(record);
             if key.is_empty() {
@@ -97,7 +97,7 @@ impl Blocker for TokenBlocking {
 
     fn block(&self, dataset: &Dataset) -> Result<BlockCollection> {
         self.key.validate_against(dataset)?;
-        let mut buckets: HashMap<String, Vec<RecordId>> = HashMap::new();
+        let mut buckets: BTreeMap<String, Vec<RecordId>> = BTreeMap::new();
         for record in dataset.records() {
             let key = self.key.value(record);
             for token in key.split(' ') {

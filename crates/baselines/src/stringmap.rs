@@ -17,7 +17,7 @@
 
 use std::collections::HashMap;
 
-use sablock_datasets::{Dataset, Record, RecordId};
+use sablock_datasets::{Dataset, Record};
 use sablock_textual::edit::levenshtein;
 use sablock_textual::similarity::{SimilarityFunction, StringSimilarity};
 
@@ -25,8 +25,8 @@ use sablock_core::blocking::{Block, BlockCollection, Blocker};
 use sablock_core::error::{CoreError, Result};
 use sablock_core::parallel::{parallel_map, resolve_threads};
 
-use crate::build_index_chunked;
 use crate::key::BlockingKey;
+use crate::{build_index_chunked, record_id_of_index};
 
 /// A FastMap-style embedding of strings into `dimensions`-dimensional space.
 ///
@@ -233,7 +233,7 @@ impl Blocker for StringMapThreshold {
         let indices: Vec<usize> = (0..prepared.keyed.len()).collect();
         let threads = resolve_threads(self.threads, prepared.keyed.len());
         let blocks: Vec<Option<Block>> = parallel_map(&indices, threads, |&idx| {
-            let mut members = vec![RecordId(prepared.keyed[idx].0 as u32)];
+            let mut members = vec![record_id_of_index(prepared.keyed[idx].0)];
             for other in neighbourhood(&prepared, idx) {
                 if other <= idx {
                     continue;
@@ -246,7 +246,7 @@ impl Blocker for StringMapThreshold {
                 }
                 let sim = self.similarity.similarity(&prepared.keyed[idx].1, &prepared.keyed[other].1);
                 if sim >= self.threshold {
-                    members.push(RecordId(prepared.keyed[other].0 as u32));
+                    members.push(record_id_of_index(prepared.keyed[other].0));
                 }
             }
             (members.len() >= 2).then(|| Block::new(format!("stmt{idx}"), members))
@@ -325,12 +325,12 @@ impl Blocker for StringMapNearestNeighbour {
                 .collect();
             candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
             candidates.dedup_by_key(|(other, _)| *other);
-            let mut members = vec![RecordId(prepared.keyed[idx].0 as u32)];
+            let mut members = vec![record_id_of_index(prepared.keyed[idx].0)];
             members.extend(
                 candidates
                     .into_iter()
                     .take(self.neighbours)
-                    .map(|(other, _)| RecordId(prepared.keyed[other].0 as u32)),
+                    .map(|(other, _)| record_id_of_index(prepared.keyed[other].0)),
             );
             (members.len() >= 2).then(|| Block::new(format!("stmnn{idx}"), members))
         });
@@ -342,6 +342,7 @@ impl Blocker for StringMapNearestNeighbour {
 mod tests {
     use super::*;
     use sablock_datasets::dataset::DatasetBuilder;
+    use sablock_datasets::RecordId;
     use sablock_datasets::ground_truth::EntityId;
     use sablock_datasets::Schema;
 

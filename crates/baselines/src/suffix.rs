@@ -9,7 +9,7 @@
 //! suffixes in the sorted suffix array when they are highly similar, which
 //! recovers matches lost to typos inside the suffix itself.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use sablock_datasets::{Dataset, Record, RecordId};
 use sablock_textual::similarity::{SimilarityFunction, StringSimilarity};
@@ -47,7 +47,7 @@ fn substrings(value: &str, min_len: usize, cap: usize) -> Vec<String> {
     if chars.len() < min_len {
         return Vec::new();
     }
-    let mut out: HashSet<String> = HashSet::new();
+    let mut out: BTreeSet<String> = BTreeSet::new();
     'outer: for len in min_len..=chars.len() {
         for start in 0..=chars.len() - len {
             out.insert(chars[start..start + len].iter().collect());

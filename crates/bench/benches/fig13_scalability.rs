@@ -21,7 +21,7 @@ fn record_ladder(output: &fig13::Fig13Output) {
         .iter()
         .map(|p| {
             JsonValue::Object(vec![
-                ("records".into(), JsonValue::UInt(p.records as u64)),
+                ("records".into(), JsonValue::UInt(p.records as u64)), // sablock-lint: allow(lossy-id-cast): usize count → u64 widens losslessly
                 ("lsh_blocking_s".into(), JsonValue::Float(p.lsh.blocking_time.as_secs_f64())),
                 ("salsh_blocking_s".into(), JsonValue::Float(p.salsh.blocking_time.as_secs_f64())),
                 ("sf_s".into(), JsonValue::Float(p.semantic_function_time.as_secs_f64())),

@@ -97,8 +97,9 @@ fn synthetic_runs(runs: usize, blocks: usize, block_size: u64, universe: u64) ->
             for _ in 0..blocks {
                 let anchor = (rng.next() % universe) as u32;
                 let base = anchor + 1 + (rng.next() % 64) as u32;
-                for j in 0..block_size {
-                    keys.push(RecordPair::pack_ascending(RecordId(anchor), RecordId(base + j as u32)));
+                let width = u32::try_from(block_size).expect("synthetic block sizes fit u32");
+                for j in 0..width {
+                    keys.push(RecordPair::pack_ascending(RecordId(anchor), RecordId(base + j)));
                 }
             }
             keys.sort_unstable();

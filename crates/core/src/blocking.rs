@@ -96,6 +96,7 @@ pub fn radix_sort_packed(keys: &mut Vec<u64>) {
         std::mem::swap(&mut src, &mut dst);
     }
     *keys = src;
+    crate::invariants::assert_sorted(keys, "radix_sort_packed output");
 }
 
 /// Enumerates, radix-sorts and dedups the packed pairs of a slice of blocks —
@@ -104,6 +105,7 @@ fn packed_pair_run(blocks: &[Block]) -> Vec<u64> {
     let mut keys: Vec<u64> = blocks.iter().flat_map(|b| b.pairs().map(RecordPair::pack)).collect();
     radix_sort_packed(&mut keys);
     keys.dedup();
+    crate::invariants::assert_strictly_ascending(&keys, "packed_pair_run");
     keys
 }
 
@@ -264,6 +266,17 @@ impl LoserTree {
 /// challenger walk — while skewed run shapes collapse to segment-sized
 /// work.
 pub(crate) fn merge_packed_runs_into<E: FnMut(&[u64])>(runs: &[Vec<u64>], mut emit: E) {
+    #[cfg(feature = "check-invariants")]
+    let mut emit = {
+        for run in runs {
+            crate::invariants::assert_strictly_ascending(run, "merge_packed_runs_into input run");
+        }
+        let mut last: Option<u64> = None;
+        move |segment: &[u64]| {
+            crate::invariants::check_emission_monotone(&mut last, segment);
+            emit(segment);
+        }
+    };
     let live: Vec<&[u64]> = runs.iter().map(Vec::as_slice).filter(|r| !r.is_empty()).collect();
     match live.len() {
         0 => return,
@@ -367,7 +380,7 @@ fn slice_bounds(sorted_members: &[Vec<RecordId>], slices: usize) -> Vec<u64> {
         .iter()
         .flat_map(|members| {
             let n = members.len();
-            members.iter().enumerate().map(move |(i, &id)| (id, (n - 1 - i) as u64))
+            members.iter().enumerate().map(move |(i, &id)| (id, (n - 1 - i) as u64)) // sablock-lint: allow(lossy-id-cast): anchored-pair count, not an id; usize → u64 widens losslessly
         })
         .collect();
     weights.sort_unstable_by_key(|&(id, _)| id);
@@ -484,7 +497,9 @@ impl BlockCollection {
 
     /// Builds a collection from a map of bucket key → member records,
     /// which is the natural output shape of key-based blocking techniques.
-    pub fn from_key_map<K: std::fmt::Display>(map: HashMap<K, Vec<RecordId>>) -> Self {
+    /// Accepts any `(key, members)` iterator — `HashMap`, `BTreeMap`, or a
+    /// plain vec of entries — since the blocks are re-sorted by key anyway.
+    pub fn from_key_map<K: std::fmt::Display>(map: impl IntoIterator<Item = (K, Vec<RecordId>)>) -> Self {
         let mut blocks: Vec<Block> = map
             .into_iter()
             .map(|(key, members)| Block::new(key.to_string(), members))

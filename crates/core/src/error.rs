@@ -29,7 +29,7 @@ impl fmt::Display for CoreError {
             Self::RecordIdOverflow(id) => write!(
                 f,
                 "record id {id} exceeds the maximum packable record id {} (u32::MAX is reserved)",
-                u32::MAX - 1
+                sablock_datasets::MAX_RECORD_ID
             ),
             Self::Dataset(err) => write!(f, "dataset error: {err}"),
         }

@@ -212,6 +212,10 @@ pub struct IncrementalSaLshBlocker {
     removed_count: usize,
     last_delta: DeltaPairs,
     batches_ingested: usize,
+    /// Every packed pair key any batch's delta has ever reported — the
+    /// cross-batch disjointness sanitizer (`check-invariants` builds only).
+    #[cfg(feature = "check-invariants")]
+    emitted_delta_keys: std::collections::BTreeSet<u64>,
 }
 
 impl IncrementalSaLshBlocker {
@@ -256,6 +260,8 @@ impl IncrementalSaLshBlocker {
             removed_count: 0,
             last_delta: DeltaPairs::empty(),
             batches_ingested: 0,
+            #[cfg(feature = "check-invariants")]
+            emitted_delta_keys: std::collections::BTreeSet::new(),
         })
     }
 
@@ -294,11 +300,14 @@ impl IncrementalSaLshBlocker {
             .into_iter()
             .enumerate()
             .map(|(offset, values)| {
-                let index = base as usize + offset;
-                if index as u64 > u64::from(MAX_RECORD_ID) {
-                    return Err(CoreError::RecordIdOverflow(index as u64));
-                }
-                Record::new(RecordId(index as u32), Arc::clone(schema), values).map_err(CoreError::from)
+                // usize → u64 is lossless; the id bound check stays in u64.
+                let index = u64::from(base) + offset as u64;
+                let id = u32::try_from(index)
+                    .ok()
+                    .filter(|&raw| raw <= MAX_RECORD_ID)
+                    .map(RecordId)
+                    .ok_or(CoreError::RecordIdOverflow(index))?;
+                Record::new(id, Arc::clone(schema), values).map_err(CoreError::from)
             })
             .collect::<Result<Vec<Record>>>()?;
         self.insert_batch_owned(records)
@@ -318,7 +327,10 @@ impl IncrementalSaLshBlocker {
     fn validate_batch(&self, records: &[Record]) -> Result<()> {
         let mut validated: Option<&Arc<Schema>> = None;
         for (offset, record) in records.iter().enumerate() {
-            let expected = u64::from(self.next_id) + offset as u64;
+            // usize → u64 offset widening is lossless; the id arithmetic
+            // below stays entirely in u64.
+            let offset_wide = offset as u64;
+            let expected = u64::from(self.next_id) + offset_wide;
             if expected > u64::from(MAX_RECORD_ID) {
                 return Err(CoreError::RecordIdOverflow(expected));
             }
@@ -384,7 +396,9 @@ impl IncrementalSaLshBlocker {
                 match (&self.semantic, &sem_signatures) {
                     (Some(semantic), Some(sems)) => {
                         for sub in semantic.band_hashes[band].sub_keys(&sems[offset]) {
-                            placements.entry((bucket, sub as u64)).or_default().push(id);
+                            // usize → u64 sub-key widening is lossless.
+                            let sub = sub as u64;
+                            placements.entry((bucket, sub)).or_default().push(id);
                         }
                     }
                     _ => placements.entry((bucket, 0)).or_default().push(id),
@@ -428,10 +442,21 @@ impl IncrementalSaLshBlocker {
             }
             runs.push(update.delta_run);
         }
-        self.next_id += records.len() as u32;
+        if let Some(last) = records.last() {
+            // `validate_batch` proved the batch is the dense continuation of
+            // `next_id` with every id at most `MAX_RECORD_ID`, so the last
+            // id is exactly `next_id + len − 1` and the increment cannot
+            // overflow past the reserved `u32::MAX`.
+            self.next_id = last.id().0 + 1;
+        }
         self.removed.resize(self.next_id as usize, false);
         self.last_delta = DeltaPairs::from_runs(runs);
         self.batches_ingested += 1;
+        #[cfg(feature = "check-invariants")]
+        {
+            crate::invariants::check_delta_disjoint(&mut self.emitted_delta_keys, &self.last_delta);
+            crate::invariants::check_tombstones(&self.removed, self.removed_count, self.next_id);
+        }
         Ok(&self.last_delta)
     }
 }
@@ -465,6 +490,8 @@ impl IncrementalBlocker for IncrementalSaLshBlocker {
         }
         self.removed[id.index()] = true;
         self.removed_count += 1;
+        #[cfg(feature = "check-invariants")]
+        crate::invariants::check_tombstones(&self.removed, self.removed_count, self.next_id);
         Ok(true)
     }
 

@@ -49,6 +49,7 @@
 pub mod blocking;
 pub mod error;
 pub mod incremental;
+pub(crate) mod invariants;
 pub mod lsh;
 pub mod minhash;
 pub mod parallel;

@@ -191,7 +191,8 @@ impl Blocker for SaLshBlocker {
                     continue;
                 }
                 let key = self.banding.band_key(signature, band);
-                buckets.entry(key).or_default().push(RecordId(idx as u32));
+                let id = RecordId::try_from_index(idx).expect("dataset record ids are validated at construction");
+                buckets.entry(key).or_default().push(id);
             }
 
             let mut bucket_entries: Vec<(u64, Vec<RecordId>)> = buckets.into_iter().collect();

@@ -120,7 +120,7 @@ impl MinHasher {
     /// matching how empty values are treated elsewhere in the framework.
     pub fn signature<S: BuildHasher>(&self, shingles: &HashSet<u64, S>) -> MinhashSignature {
         let mut signature = vec![u64::MAX; self.seeds.len()];
-        for &shingle in shingles {
+        for &shingle in shingles { // sablock-lint: allow(hash-iter-order): per-slot min fold is order-insensitive
             for (slot, &seed) in signature.iter_mut().zip(self.seeds.iter()) {
                 let h = mix64(shingle ^ seed);
                 if h < *slot {

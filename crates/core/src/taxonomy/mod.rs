@@ -102,7 +102,10 @@ impl TaxonomyTree {
         if self.by_label.contains_key(&label) {
             return Err(CoreError::Taxonomy(format!("duplicate concept label: {label}")));
         }
-        let id = ConceptId(self.nodes.len() as u32);
+        let id = match u32::try_from(self.nodes.len()) {
+            Ok(raw) => ConceptId(raw),
+            Err(_) => return Err(CoreError::Taxonomy("concept count exceeds the u32 id space".into())),
+        };
         self.by_label.insert(label.clone(), id);
         self.nodes.push(ConceptNode {
             label,
@@ -169,7 +172,8 @@ impl TaxonomyTree {
 
     /// All concept ids, in insertion order.
     pub fn concepts(&self) -> impl Iterator<Item = ConceptId> + '_ {
-        (0..self.nodes.len() as u32).map(ConceptId)
+        let count = u32::try_from(self.nodes.len()).expect("insert_node bounds the concept count to u32");
+        (0..count).map(ConceptId)
     }
 
     /// All leaf concepts of the whole tree.
@@ -253,7 +257,7 @@ impl TaxonomyTree {
             return Err(CoreError::Taxonomy(format!("tree must have exactly one root, found {roots}")));
         }
         for (i, node) in self.nodes.iter().enumerate() {
-            let id = ConceptId(i as u32);
+            let id = ConceptId(u32::try_from(i).expect("insert_node bounds the concept count to u32"));
             if let Some(parent) = node.parent {
                 if !self.contains(parent) {
                     return Err(CoreError::Taxonomy(format!("concept {id} has unknown parent {parent}")));

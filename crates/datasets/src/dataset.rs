@@ -94,7 +94,7 @@ impl Dataset {
 
     /// Iterator over record ids.
     pub fn record_ids(&self) -> impl Iterator<Item = RecordId> + '_ {
-        (0..self.records.len() as u32).map(RecordId)
+        self.records.iter().map(|record| record.id())
     }
 
     /// Returns a new dataset containing only the first `n` records (ground

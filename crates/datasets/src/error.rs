@@ -45,7 +45,7 @@ impl fmt::Display for DatasetError {
             Self::RecordIdOverflow(id) => write!(
                 f,
                 "record id {id} exceeds the maximum representable record id {} (u32::MAX is reserved)",
-                u32::MAX - 1
+                crate::record::MAX_RECORD_ID
             ),
             Self::Csv { line, message } => write!(f, "CSV parse error at line {line}: {message}"),
             Self::Io(err) => write!(f, "I/O error: {err}"),

@@ -38,7 +38,8 @@ impl GroundTruth {
     pub fn from_assignments(entity_of: Vec<EntityId>) -> Self {
         let mut clusters: BTreeMap<EntityId, Vec<RecordId>> = BTreeMap::new();
         for (i, &entity) in entity_of.iter().enumerate() {
-            clusters.entry(entity).or_default().push(RecordId(i as u32));
+            let id = RecordId::try_from_index(i).expect("assignment table exceeds MAX_RECORD_ID records");
+            clusters.entry(entity).or_default().push(id);
         }
         Self { entity_of, clusters }
     }

@@ -17,7 +17,7 @@ pub struct RecordId(pub u32);
 /// ([`crate::dataset::DatasetBuilder`], the incremental blocker) reject ids
 /// beyond this bound with a typed `RecordIdOverflow` error instead of
 /// truncating.
-pub const MAX_RECORD_ID: u32 = u32::MAX - 1;
+pub const MAX_RECORD_ID: u32 = u32::MAX - 1; // sablock-lint: allow(raw-sentinel): this is the definition of the named sentinel bound itself
 
 impl RecordId {
     /// The record id as a `usize` index.
@@ -31,10 +31,12 @@ impl RecordId {
     /// casts of the packed-pair paths).
     #[inline]
     pub fn try_from_index(index: usize) -> Result<Self> {
-        if index as u64 > u64::from(MAX_RECORD_ID) {
-            return Err(DatasetError::RecordIdOverflow(index as u64));
+        // usize → u64 cannot lose width on any supported platform.
+        let wide = index as u64;
+        match u32::try_from(index) {
+            Ok(id) if id <= MAX_RECORD_ID => Ok(Self(id)),
+            _ => Err(DatasetError::RecordIdOverflow(wide)),
         }
-        Ok(Self(index as u32))
     }
 }
 
@@ -104,8 +106,8 @@ impl RecordPair {
     /// builds only, keeping the unpack on the counting hot path two shifts.
     #[inline]
     pub fn from_packed(key: u64) -> Self {
-        let smaller = RecordId((key >> 32) as u32);
-        let larger = RecordId(key as u32);
+        let smaller = RecordId((key >> 32) as u32); // sablock-lint: allow(lossy-id-cast): unpacking the id halves of a packed key is exact by construction
+        let larger = RecordId(key as u32); // sablock-lint: allow(lossy-id-cast): unpacking the id halves of a packed key is exact by construction
         debug_assert!(smaller < larger, "packed key {key:#x} does not encode a canonical pair");
         Self { smaller, larger }
     }

@@ -49,7 +49,7 @@ impl TfIdfModel {
         self.documents += 1;
         let mut seen = std::collections::HashSet::new();
         for token in tokenize(doc) {
-            let next_id = self.token_ids.len() as u32;
+            let next_id = u32::try_from(self.token_ids.len()).expect("token vocabulary exceeds the u32 id space");
             let id = *self.token_ids.entry(token).or_insert(next_id);
             if id as usize == self.document_frequency.len() {
                 self.document_frequency.push(0);

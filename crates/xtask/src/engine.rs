@@ -1,0 +1,465 @@
+//! The lint engine: scope classification, `#[cfg(test)]` region detection,
+//! allow-marker parsing and finding suppression.
+//!
+//! A file is lexed once ([`crate::lexer`]); comments feed the allow-marker
+//! scanner and the remaining tokens feed the rules ([`crate::rules`]). Every
+//! finding is then matched against the allow markers: a marker suppresses
+//! findings of its rule on the marker's own line (trailing-comment form) or
+//! on the first code line below it (own-line form), and a marker that
+//! suppresses nothing is itself an error — stale allows never accumulate.
+
+use std::fmt;
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::rules;
+
+/// Which part of the workspace a file belongs to; rules opt into scopes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Library sources (`crates/*/src`, root `src/`).
+    Lib,
+    /// Example binaries (`examples/`).
+    Example,
+    /// Benchmark sources (`crates/bench/benches`).
+    Bench,
+    /// Integration tests (`tests/`).
+    Test,
+}
+
+/// Classifies a workspace-relative path (with `/` separators) into a lint
+/// scope; `None` means the file is out of scope (vendored stand-ins, build
+/// artefacts).
+pub fn classify(path: &str) -> Option<Scope> {
+    if path.starts_with("vendor/") || path.starts_with("target/") || path.contains("/target/") {
+        return None;
+    }
+    if path.contains("/benches/") {
+        return Some(Scope::Bench);
+    }
+    if path.starts_with("tests/") || path.contains("/tests/") {
+        return Some(Scope::Test);
+    }
+    if path.starts_with("examples/") || path.contains("/examples/") {
+        return Some(Scope::Example);
+    }
+    if path.starts_with("src/") || path.contains("/src/") {
+        return Some(Scope::Lib);
+    }
+    None
+}
+
+/// One lint finding, before suppression.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The rule that fired (a name from [`rules::RULES`], or one of the
+    /// engine's own `allow`-hygiene pseudo-rules).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// A finding bound to its file, ready for rendering.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// The finding itself.
+    pub finding: Finding,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error[{}]: {}", self.finding.rule, self.finding.message)?;
+        writeln!(f, "  --> {}:{}:{}", self.file, self.finding.line, self.finding.col)?;
+        if let Some(help) = rules::help_for(self.finding.rule) {
+            writeln!(f, "   = help: {help}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A parsed `// sablock-lint: allow(<rule>): <reason>` marker.
+#[derive(Debug)]
+struct Allow {
+    rule: String,
+    /// Line of the marker comment itself.
+    line: u32,
+    col: u32,
+    /// The code line this marker covers, if any code follows it.
+    target_line: Option<u32>,
+    used: bool,
+}
+
+const MARKER: &str = "sablock-lint:";
+
+/// Parses one comment's text for an allow marker. Returns `Ok(None)` when the
+/// comment contains no marker at all, `Err` with a description when a marker
+/// is present but malformed.
+fn parse_marker(text: &str) -> Result<Option<(String, String)>, String> {
+    let Some(at) = text.find(MARKER) else {
+        return Ok(None);
+    };
+    let rest = text[at + MARKER.len()..].trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Err("expected `allow(<rule>)` after `sablock-lint:`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed `allow(` in lint marker".to_string());
+    };
+    let rule = rest[..close].trim().to_string();
+    let tail = rest[close + 1..].trim_start();
+    let Some(reason) = tail.strip_prefix(':') else {
+        return Err(format!("allow({rule}) is missing its `: <reason>` — every suppression must say why"));
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err(format!("allow({rule}) has an empty reason — every suppression must say why"));
+    }
+    Ok(Some((rule, reason.to_string())))
+}
+
+/// The per-file token view handed to rules: code tokens only (comments
+/// stripped), with a parallel test-region mask.
+pub struct FileTokens<'a> {
+    /// Workspace-relative path.
+    pub path: &'a str,
+    /// The file's lint scope.
+    pub scope: Scope,
+    /// All non-comment tokens of the file, in order.
+    pub tokens: Vec<Token>,
+    /// `in_test[i]` — whether `tokens[i]` sits inside a `#[cfg(test)]` /
+    /// `#[test]` item (such code is exempt from most rules).
+    pub in_test: Vec<bool>,
+}
+
+impl FileTokens<'_> {
+    /// The half-open token range of the statement containing `idx`: expands
+    /// left and right to the nearest statement-ish boundary (`;`, `{`, `}`).
+    /// Coarse, but statements are exactly the granularity the context
+    /// heuristics need.
+    pub fn statement_range(&self, idx: usize) -> (usize, usize) {
+        let mut start = idx;
+        while start > 0 {
+            let t = &self.tokens[start - 1];
+            if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+                break;
+            }
+            start -= 1;
+        }
+        let mut end = idx;
+        while end < self.tokens.len() {
+            let t = &self.tokens[end];
+            if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+                break;
+            }
+            end += 1;
+        }
+        (start, end)
+    }
+
+    /// Whether any identifier in `range` satisfies the predicate.
+    pub fn range_has_ident(&self, range: (usize, usize), pred: impl Fn(&str) -> bool) -> bool {
+        self.tokens[range.0..range.1]
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && pred(&t.text))
+    }
+
+    /// Whether `tokens[idx..]` starts with the given identifier/punct pattern
+    /// (each pattern entry is matched as an ident when alphanumeric, as a
+    /// punct character otherwise).
+    pub fn matches_seq(&self, idx: usize, pattern: &[&str]) -> bool {
+        pattern.iter().enumerate().all(|(k, want)| {
+            self.tokens.get(idx + k).is_some_and(|t| {
+                if want.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                    t.is_ident(want)
+                } else {
+                    t.kind == TokenKind::Punct && t.text == *want
+                }
+            })
+        })
+    }
+}
+
+/// Lower-cased word segments of an identifier, splitting on `_` and on
+/// camel-case transitions: `RecordIdOverflow` → `["record", "id",
+/// "overflow"]`, `next_id` → `["next", "id"]`.
+pub fn ident_segments(ident: &str) -> Vec<String> {
+    let mut segments = Vec::new();
+    for part in ident.split('_') {
+        let mut current = String::new();
+        let chars: Vec<char> = part.chars().collect();
+        for (i, &c) in chars.iter().enumerate() {
+            let boundary = c.is_uppercase()
+                && i > 0
+                && (chars[i - 1].is_lowercase() || chars.get(i + 1).is_some_and(|n| n.is_lowercase()));
+            if boundary && !current.is_empty() {
+                segments.push(std::mem::take(&mut current));
+            }
+            current.extend(c.to_lowercase());
+        }
+        if !current.is_empty() {
+            segments.push(current);
+        }
+    }
+    segments
+}
+
+/// Computes the test-region mask over code tokens: ranges covered by a
+/// `#[cfg(test)]` or `#[test]` attribute (the attributed item extends to the
+/// first top-level `;` or the close of its first top-level brace block).
+fn test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            // Collect the attribute's tokens up to the matching `]`.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut saw_test = false;
+            let mut saw_not = false;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.kind == TokenKind::Ident {
+                    // `#[test]` and `#[cfg(test)]` mark test items;
+                    // `#[cfg(not(test))]` is the opposite and must not.
+                    saw_test |= t.text == "test";
+                    saw_not |= t.text == "not";
+                }
+                j += 1;
+            }
+            if saw_test && !saw_not && j < tokens.len() {
+                // Skip any further attributes on the same item.
+                let mut k = j + 1;
+                while k < tokens.len() && tokens[k].is_punct('#') && tokens.get(k + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    let mut d = 0usize;
+                    while k < tokens.len() {
+                        if tokens[k].is_punct('[') {
+                            d += 1;
+                        } else if tokens[k].is_punct(']') {
+                            d -= 1;
+                            if d == 0 {
+                                k += 1;
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                }
+                // The item extends to the first `;` at depth 0 or to the
+                // close of its first depth-0 brace block.
+                let start = k;
+                let mut brace = 0usize;
+                let mut end = start;
+                while end < tokens.len() {
+                    let t = &tokens[end];
+                    if t.is_punct('{') {
+                        brace += 1;
+                    } else if t.is_punct('}') {
+                        brace = brace.saturating_sub(1);
+                        if brace == 0 {
+                            break;
+                        }
+                    } else if t.is_punct(';') && brace == 0 {
+                        break;
+                    }
+                    end += 1;
+                }
+                for flag in mask.iter_mut().take((end + 1).min(tokens.len())).skip(i) {
+                    *flag = true;
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Lints one file's source text. `path` must be workspace-relative with `/`
+/// separators — it picks the scope ([`classify`]) and labels diagnostics.
+pub fn analyze_source(path: &str, scope: Scope, source: &str) -> Vec<Diagnostic> {
+    let all_tokens = lex(source);
+
+    // Split comments (marker scanning) from code (rule input).
+    let mut comments: Vec<Token> = Vec::new();
+    let mut code: Vec<Token> = Vec::new();
+    for token in all_tokens {
+        if token.is_comment() {
+            comments.push(token);
+        } else {
+            code.push(token);
+        }
+    }
+    let in_test = test_regions(&code);
+    let file = FileTokens { path, scope, tokens: code, in_test };
+
+    let mut findings: Vec<Finding> = Vec::new();
+
+    // Parse allow markers; malformed ones are findings themselves.
+    let mut allows: Vec<Allow> = Vec::new();
+    for comment in &comments {
+        // Doc comments are rendered documentation — text like a LINTS.md
+        // example quoting the marker syntax must not parse as a directive.
+        let is_doc = comment.text.starts_with("///")
+            || comment.text.starts_with("//!")
+            || comment.text.starts_with("/**")
+            || comment.text.starts_with("/*!");
+        if is_doc {
+            continue;
+        }
+        match parse_marker(&comment.text) {
+            Ok(None) => {}
+            Ok(Some((rule, _reason))) => {
+                if !rules::RULES.iter().any(|r| r.name == rule) {
+                    findings.push(Finding {
+                        rule: "unknown-allow",
+                        message: format!(
+                            "allow marker names unknown rule `{rule}` (known rules: {})",
+                            rules::RULES.iter().map(|r| r.name).collect::<Vec<_>>().join(", ")
+                        ),
+                        line: comment.line,
+                        col: comment.col,
+                    });
+                    continue;
+                }
+                // Own-line markers cover the next code line; trailing markers
+                // cover their own line.
+                let trailing = file.tokens.iter().any(|t| t.line == comment.line);
+                let target_line = if trailing {
+                    Some(comment.line)
+                } else {
+                    file.tokens.iter().find(|t| t.line > comment.line).map(|t| t.line)
+                };
+                allows.push(Allow {
+                    rule,
+                    line: comment.line,
+                    col: comment.col,
+                    target_line,
+                    used: false,
+                });
+            }
+            Err(message) => {
+                findings.push(Finding {
+                    rule: "malformed-allow",
+                    message,
+                    line: comment.line,
+                    col: comment.col,
+                });
+            }
+        }
+    }
+
+    // Run every rule that applies to this scope.
+    for rule in rules::RULES {
+        if (rule.applies)(scope) {
+            (rule.check)(&file, &mut findings);
+        }
+    }
+
+    // Suppress findings covered by allow markers; track marker use.
+    findings.retain(|finding| {
+        let mut suppressed = false;
+        for allow in allows.iter_mut() {
+            if allow.rule == finding.rule && allow.target_line == Some(finding.line) {
+                allow.used = true;
+                suppressed = true;
+            }
+        }
+        !suppressed
+    });
+
+    // A marker that suppressed nothing is stale — error, never silence.
+    for allow in &allows {
+        if !allow.used {
+            findings.push(Finding {
+                rule: "unused-allow",
+                message: format!(
+                    "allow({}) suppresses nothing — the violation it covered is gone; remove the marker",
+                    allow.rule
+                ),
+                line: allow.line,
+                col: allow.col,
+            });
+        }
+    }
+
+    findings.sort_by_key(|f| (f.line, f.col, f.rule));
+    // One diagnostic per (rule, line): a statement can trip several of a
+    // rule's detectors at once (e.g. a `for` loop over `.iter()`), and one
+    // allow marker covers the whole line anyway.
+    findings.dedup_by_key(|f| (f.line, f.rule));
+    findings
+        .into_iter()
+        .map(|finding| Diagnostic { file: path.to_string(), finding })
+        .collect()
+}
+
+/// Lints one file, classifying its scope from the path. Returns `None` (no
+/// diagnostics) for out-of-scope files.
+pub fn analyze_path_source(path: &str, source: &str) -> Vec<Diagnostic> {
+    match classify(path) {
+        Some(scope) => analyze_source(path, scope, source),
+        None => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_workspace_paths() {
+        assert_eq!(classify("crates/core/src/blocking.rs"), Some(Scope::Lib));
+        assert_eq!(classify("src/lib.rs"), Some(Scope::Lib));
+        assert_eq!(classify("examples/paper_scale.rs"), Some(Scope::Example));
+        assert_eq!(classify("tests/determinism.rs"), Some(Scope::Test));
+        assert_eq!(classify("crates/xtask/tests/fixtures.rs"), Some(Scope::Test));
+        assert_eq!(classify("crates/bench/benches/micro.rs"), Some(Scope::Bench));
+        assert_eq!(classify("vendor/rand/src/lib.rs"), None);
+    }
+
+    #[test]
+    fn ident_segments_split_snake_and_camel() {
+        assert_eq!(ident_segments("next_id"), vec!["next", "id"]);
+        assert_eq!(ident_segments("RecordIdOverflow"), vec!["record", "id", "overflow"]);
+        assert_eq!(ident_segments("valid"), vec!["valid"]);
+        assert_eq!(ident_segments("MAX_RECORD_ID"), vec!["max", "record", "id"]);
+        assert_eq!(ident_segments("HTTPServer"), vec!["http", "server"]);
+    }
+
+    #[test]
+    fn marker_parsing_accepts_and_rejects() {
+        assert!(parse_marker("// ordinary comment").unwrap().is_none());
+        let (rule, reason) =
+            parse_marker("// sablock-lint: allow(raw-sentinel): defines the constant").unwrap().unwrap();
+        assert_eq!(rule, "raw-sentinel");
+        assert_eq!(reason, "defines the constant");
+        assert!(parse_marker("// sablock-lint: allow(raw-sentinel)").is_err(), "missing reason");
+        assert!(parse_marker("// sablock-lint: allow(raw-sentinel):   ").is_err(), "empty reason");
+        assert!(parse_marker("// sablock-lint: deny(x): y").is_err(), "not allow()");
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mod() {
+        let source = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn lib2() {}";
+        let tokens: Vec<Token> = lex(source).into_iter().filter(|t| !t.is_comment()).collect();
+        let mask = test_regions(&tokens);
+        let idx_of = |name: &str| tokens.iter().position(|t| t.is_ident(name)).unwrap();
+        assert!(!mask[idx_of("lib")]);
+        assert!(mask[idx_of("helper")]);
+        assert!(!mask[idx_of("lib2")]);
+    }
+}

@@ -1,0 +1,501 @@
+//! A hand-rolled Rust lexer — just enough of the language to drive the
+//! token-stream lint rules, with no dependency on `syn` or any other crate
+//! (this build environment has no crates.io access).
+//!
+//! The lexer understands exactly the constructs that would otherwise produce
+//! false positives in a substring-grepping linter:
+//!
+//! * string literals — plain (`"…"`, with escapes), byte (`b"…"`), raw
+//!   (`r"…"`, `r#"…"#` with any number of hashes) and raw byte (`br#"…"#`),
+//!   so lint patterns *inside* string content never fire;
+//! * character and byte-character literals (`'a'`, `'\n'`, `b'x'`),
+//!   disambiguated from lifetimes (`'a`, `'static`);
+//! * line comments (`//`, `///`, `//!`) and *nested* block comments
+//!   (`/* /* … */ */`), preserved as tokens so the allow-marker scanner can
+//!   read them;
+//! * numeric literals with radix prefixes, `_` separators and type suffixes
+//!   (`0xFFFF_FFFFu64`, `1_000`, `1.5e-3`), kept distinct from the ranges and
+//!   method calls that can follow an integer (`0..n`, `1.max(2)`);
+//! * raw identifiers (`r#fn`), kept distinct from raw strings.
+//!
+//! Every token carries a 1-based `line:col` position so rule findings render
+//! as rustc-style diagnostics.
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `for`, `as`, `r#fn`).
+    Ident,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// An integer literal (`42`, `0xFFFF_FFFF`, `1_000u64`).
+    Int,
+    /// A floating-point literal (`1.5`, `2e10`, `1.`).
+    Float,
+    /// A string literal of any flavour (plain, byte, raw, raw byte).
+    Str,
+    /// A character or byte-character literal (`'a'`, `b'\n'`).
+    Char,
+    /// A `//` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// A `/* … */` comment (nesting handled).
+    BlockComment,
+    /// Any single punctuation character (`.`, `:`, `{`, …).
+    Punct,
+}
+
+/// One lexed token: kind, verbatim text and 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token's verbatim source text.
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// 1-based source column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether the token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether the token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Whether the token is a punctuation character equal to `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// The numeric value of an integer-literal token, if it parses: underscores
+/// are stripped, radix prefixes honoured and any type suffix ignored, so
+/// `0xFFFF_FFFFu64` and `4294967295` compare equal.
+pub fn int_value(text: &str) -> Option<u128> {
+    let digits: String = text.chars().filter(|c| *c != '_').collect();
+    let (radix, body) = match digits.as_bytes() {
+        [b'0', b'x' | b'X', ..] => (16, &digits[2..]),
+        [b'0', b'o' | b'O', ..] => (8, &digits[2..]),
+        [b'0', b'b' | b'B', ..] => (2, &digits[2..]),
+        _ => (10, digits.as_str()),
+    };
+    let end = body
+        .char_indices()
+        .find(|(_, c)| !c.is_digit(radix))
+        .map_or(body.len(), |(i, _)| i);
+    u128::from_str_radix(&body[..end], radix).ok()
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer {
+    fn new(source: &str) -> Self {
+        Self {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes characters while `cond` holds, appending them to `text`.
+    fn take_while(&mut self, text: &mut String, cond: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek(0) {
+            if !cond(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.tokens.push(Token { kind, text, line, col });
+    }
+
+    /// Whether the input at the current position starts a raw string body:
+    /// zero or more `#` characters followed by `"`. `offset` skips the `r`
+    /// (and optional `b`) prefix already matched by the caller.
+    fn raw_string_follows(&self, offset: usize) -> bool {
+        let mut ahead = offset;
+        while self.peek(ahead) == Some('#') {
+            ahead += 1;
+        }
+        self.peek(ahead) == Some('"')
+    }
+
+    /// Lexes a raw string starting at the `r` (prefix characters such as the
+    /// leading `b` must already be in `text`).
+    fn raw_string(&mut self, mut text: String, line: u32, col: u32) {
+        text.push(self.bump().expect("caller matched 'r'"));
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            text.push(self.bump().expect("peeked"));
+            hashes += 1;
+        }
+        text.push(self.bump().expect("caller verified opening quote")); // the `"`
+        loop {
+            match self.bump() {
+                None => break, // unterminated; tolerate at EOF
+                Some('"') => {
+                    text.push('"');
+                    let mut matched = 0usize;
+                    while matched < hashes && self.peek(0) == Some('#') {
+                        text.push(self.bump().expect("peeked"));
+                        matched += 1;
+                    }
+                    if matched == hashes {
+                        break;
+                    }
+                }
+                Some(c) => text.push(c),
+            }
+        }
+        self.push(TokenKind::Str, text, line, col);
+    }
+
+    /// Lexes a plain (escaped) string starting at the `"` (prefixes already
+    /// in `text`).
+    fn quoted_string(&mut self, mut text: String, line: u32, col: u32) {
+        text.push(self.bump().expect("caller matched opening quote"));
+        loop {
+            match self.bump() {
+                None => break, // unterminated; tolerate at EOF
+                Some('\\') => {
+                    text.push('\\');
+                    if let Some(escaped) = self.bump() {
+                        text.push(escaped);
+                    }
+                }
+                Some('"') => {
+                    text.push('"');
+                    break;
+                }
+                Some(c) => text.push(c),
+            }
+        }
+        self.push(TokenKind::Str, text, line, col);
+    }
+
+    /// Lexes a character literal starting at the `'` (prefixes already in
+    /// `text`). The caller has established this is not a lifetime.
+    fn char_literal(&mut self, mut text: String, line: u32, col: u32) {
+        text.push(self.bump().expect("caller matched opening quote"));
+        loop {
+            match self.bump() {
+                None => break,
+                Some('\\') => {
+                    text.push('\\');
+                    if let Some(escaped) = self.bump() {
+                        text.push(escaped);
+                    }
+                }
+                Some('\'') => {
+                    text.push('\'');
+                    break;
+                }
+                Some(c) => text.push(c),
+            }
+        }
+        self.push(TokenKind::Char, text, line, col);
+    }
+
+    /// Lexes a `'…` token: a lifetime when an identifier follows without a
+    /// closing quote, a character literal otherwise.
+    fn lifetime_or_char(&mut self, line: u32, col: u32) {
+        // A lifetime is `'` + identifier not followed by `'`; everything
+        // else (`'a'`, `'\n'`, `'\''`) is a character literal.
+        if self.peek(1).is_some_and(is_ident_start) && self.peek(1) != Some('\\') {
+            let mut ahead = 2;
+            while self.peek(ahead).is_some_and(is_ident_continue) {
+                ahead += 1;
+            }
+            if self.peek(ahead) != Some('\'') {
+                let mut text = String::new();
+                text.push(self.bump().expect("caller matched quote"));
+                self.take_while(&mut text, is_ident_continue);
+                self.push(TokenKind::Lifetime, text, line, col);
+                return;
+            }
+        }
+        self.char_literal(String::new(), line, col);
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::LineComment, text, line, col);
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        text.push(self.bump().expect("caller matched '/'"));
+        text.push(self.bump().expect("caller matched '*'"));
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    text.push(self.bump().expect("peeked"));
+                    text.push(self.bump().expect("peeked"));
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    text.push(self.bump().expect("peeked"));
+                    text.push(self.bump().expect("peeked"));
+                }
+                (Some(_), _) => {
+                    text.push(self.bump().expect("peeked"));
+                }
+                (None, _) => break, // unterminated; tolerate at EOF
+            }
+        }
+        self.push(TokenKind::BlockComment, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut kind = TokenKind::Int;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B')) {
+            text.push(self.bump().expect("peeked"));
+            text.push(self.bump().expect("peeked"));
+            self.take_while(&mut text, |c| c.is_ascii_hexdigit() || c == '_');
+        } else {
+            self.take_while(&mut text, |c| c.is_ascii_digit() || c == '_');
+            // A `.` continues the literal only when it cannot start a range
+            // (`0..n`) or a method call on the literal (`1.max(2)`).
+            if self.peek(0) == Some('.') {
+                let after = self.peek(1);
+                let is_range = after == Some('.');
+                let is_method = after.is_some_and(is_ident_start);
+                if !is_range && !is_method {
+                    kind = TokenKind::Float;
+                    text.push(self.bump().expect("peeked"));
+                    self.take_while(&mut text, |c| c.is_ascii_digit() || c == '_');
+                }
+            }
+            if matches!(self.peek(0), Some('e' | 'E')) {
+                let exp_digit = match self.peek(1) {
+                    Some('+' | '-') => self.peek(2).is_some_and(|c| c.is_ascii_digit()),
+                    Some(c) => c.is_ascii_digit(),
+                    None => false,
+                };
+                if exp_digit {
+                    kind = TokenKind::Float;
+                    text.push(self.bump().expect("peeked"));
+                    if matches!(self.peek(0), Some('+' | '-')) {
+                        text.push(self.bump().expect("peeked"));
+                    }
+                    self.take_while(&mut text, |c| c.is_ascii_digit() || c == '_');
+                }
+            }
+        }
+        // Type suffix (`u32`, `f64`, `usize`) — consumed into the literal so
+        // the suffix never masquerades as a standalone identifier.
+        self.take_while(&mut text, is_ident_continue);
+        self.push(kind, text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        self.take_while(&mut text, is_ident_continue);
+        self.push(TokenKind::Ident, text, line, col);
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line, col);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line, col);
+            } else if c == 'r' && (self.peek(1) == Some('"') || self.raw_string_follows(1)) {
+                self.raw_string(String::new(), line, col);
+            } else if c == 'r' && self.peek(1) == Some('#') && self.peek(2).is_some_and(is_ident_start) {
+                // Raw identifier `r#fn`: lex as one identifier token.
+                let mut text = String::new();
+                text.push(self.bump().expect("peeked")); // r
+                text.push(self.bump().expect("peeked")); // #
+                self.take_while(&mut text, is_ident_continue);
+                self.push(TokenKind::Ident, text, line, col);
+            } else if c == 'b' && self.peek(1) == Some('r') && self.raw_string_follows(2) {
+                let mut text = String::new();
+                text.push(self.bump().expect("peeked")); // b
+                self.raw_string(text, line, col);
+            } else if c == 'b' && self.peek(1) == Some('"') {
+                let mut text = String::new();
+                text.push(self.bump().expect("peeked")); // b
+                self.quoted_string(text, line, col);
+            } else if c == 'b' && self.peek(1) == Some('\'') {
+                let mut text = String::new();
+                text.push(self.bump().expect("peeked")); // b
+                self.char_literal(text, line, col);
+            } else if c == '\'' {
+                self.lifetime_or_char(line, col);
+            } else if c.is_ascii_digit() {
+                self.number(line, col);
+            } else if is_ident_start(c) {
+                self.ident(line, col);
+            } else if c == '"' {
+                self.quoted_string(String::new(), line, col);
+            } else {
+                self.bump();
+                self.push(TokenKind::Punct, c.to_string(), line, col);
+            }
+        }
+        self.tokens
+    }
+}
+
+/// Lexes Rust source into a flat token stream (comments included).
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer::new(source).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<(TokenKind, String)> {
+        lex(source).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn lexes_idents_puncts_and_positions() {
+        let tokens = lex("let x = a.b;\nfoo()");
+        assert!(tokens[0].is_ident("let"));
+        assert_eq!((tokens[0].line, tokens[0].col), (1, 1));
+        assert!(tokens[3].is_ident("a"));
+        assert!(tokens[4].is_punct('.'));
+        let foo = tokens.iter().find(|t| t.is_ident("foo")).unwrap();
+        assert_eq!((foo.line, foo.col), (2, 1));
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        let tokens = kinds(r#"let s = "a \" b"; x"#);
+        assert!(tokens.iter().any(|(k, t)| *k == TokenKind::Str && t == "\"a \\\" b\""));
+        assert!(tokens.iter().any(|(k, t)| *k == TokenKind::Ident && t == "x"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let source = "let s = r#\"contains \"quoted\" text\"#; after";
+        let tokens = kinds(source);
+        assert!(tokens.iter().any(|(k, t)| *k == TokenKind::Str && t.contains("quoted")));
+        assert!(tokens.iter().any(|(k, t)| *k == TokenKind::Ident && t == "after"));
+        // Zero-hash raw string and raw byte string.
+        let tokens = kinds("r\"plain\" br##\"double\"## tail");
+        assert_eq!(tokens.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 2);
+        assert!(tokens.iter().any(|(k, t)| *k == TokenKind::Ident && t == "tail"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let tokens = kinds("let r#fn = 1;");
+        assert!(tokens.iter().any(|(k, t)| *k == TokenKind::Ident && t == "r#fn"));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let tokens = kinds("before /* outer /* inner */ still-comment */ after");
+        assert!(tokens.iter().any(|(k, t)| *k == TokenKind::BlockComment && t.contains("inner")));
+        assert!(tokens.iter().any(|(k, t)| *k == TokenKind::Ident && t == "after"));
+        // The nested close must not terminate the outer comment early.
+        assert!(!tokens.iter().any(|(k, t)| *k == TokenKind::Ident && t == "still"));
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_disambiguate() {
+        let tokens = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; let q = '\\''; }");
+        assert_eq!(tokens.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(), 2);
+        assert_eq!(tokens.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 3);
+        let tokens = kinds("'static b'x'");
+        assert_eq!(tokens[0].0, TokenKind::Lifetime);
+        assert_eq!(tokens[1].0, TokenKind::Char);
+    }
+
+    #[test]
+    fn numbers_with_radix_separators_and_suffixes() {
+        let tokens = kinds("0xFFFF_FFFF 1_000u64 2.5 1e9 0..n 1.max(2)");
+        assert_eq!(int_value("0xFFFF_FFFF"), Some(0xFFFF_FFFF));
+        assert_eq!(int_value("4294967295"), Some(0xFFFF_FFFF));
+        assert_eq!(int_value("1_000u64"), Some(1000));
+        assert!(tokens.iter().any(|(k, t)| *k == TokenKind::Float && t == "2.5"));
+        assert!(tokens.iter().any(|(k, t)| *k == TokenKind::Float && t == "1e9"));
+        // `0..n` stays an int plus range puncts; `1.max(2)` an int plus call.
+        assert!(tokens.iter().any(|(k, t)| *k == TokenKind::Int && t == "0"));
+        assert!(tokens.iter().any(|(k, t)| *k == TokenKind::Ident && t == "max"));
+    }
+
+    #[test]
+    fn line_comments_stop_at_newline() {
+        let tokens = lex("code // trailing comment\nnext");
+        assert!(tokens.iter().any(|t| t.kind == TokenKind::LineComment && t.text.contains("trailing")));
+        let next = tokens.iter().find(|t| t.is_ident("next")).unwrap();
+        assert_eq!(next.line, 2);
+    }
+
+    #[test]
+    fn lint_patterns_inside_strings_are_inert() {
+        // The content mentions HashMap iteration and u32::MAX, but only as
+        // string data — none of it may surface as identifier tokens.
+        let source = r##"let s = r#"for x in map.iter() { u32::MAX }"#; let t = "std::thread";"##;
+        let tokens = lex(source);
+        assert!(!tokens.iter().any(|t| t.is_ident("iter")));
+        assert!(!tokens.iter().any(|t| t.is_ident("MAX")));
+        assert!(!tokens.iter().any(|t| t.is_ident("thread")));
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_hang() {
+        assert!(!lex("/* never closed").is_empty());
+        assert!(!lex("\"never closed").is_empty());
+        assert!(!lex("r#\"never closed").is_empty());
+    }
+}

@@ -1,0 +1,81 @@
+//! `xtask` — the workspace determinism linter (`cargo xtask lint`).
+//!
+//! Every headline number this reproduction pins (the 236,744,750 LSH /
+//! 56,156,606 SA-LSH paper-scale pair counts, byte-identical 1-vs-N-thread
+//! output, per-batch deltas that sum exactly to one-shot metrics) rests on
+//! source-level invariants that `rustc` cannot enforce: ordered iteration on
+//! output paths, checked record-id narrowing, parallelism confined to
+//! `core::parallel`, and the named `MAX_RECORD_ID` sentinel. This crate is a
+//! dependency-free static-analysis pass over the workspace that enforces
+//! them at CI time, long before a golden test at paper scale could notice.
+//!
+//! Structure:
+//!
+//! * [`lexer`] — a hand-rolled Rust lexer (strings, raw strings, chars,
+//!   nested block comments) producing a position-tagged token stream;
+//! * [`engine`] — scope classification, `#[cfg(test)]` region masking,
+//!   `// sablock-lint: allow(<rule>): <reason>` markers (unused allows are
+//!   errors) and diagnostic assembly;
+//! * [`rules`] — the five project-specific rules; see `docs/LINTS.md`.
+//!
+//! The dynamic complement is the `check-invariants` cargo feature of
+//! `sablock_core`, which asserts at runtime what these rules cannot prove
+//! statically (run ordering, delta disjointness, tombstone consistency).
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use engine::{analyze_path_source, analyze_source, classify, Diagnostic, Scope};
+
+/// Recursively collects the workspace's lintable `.rs` files (relative to
+/// `root`), skipping `vendor/`, `target/` and hidden directories. Paths come
+/// back sorted for deterministic diagnostic order.
+pub fn collect_workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "vendor" || name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints every in-scope file under `root`; returns all diagnostics sorted by
+/// (file, line, col).
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diagnostics = Vec::new();
+    for path in collect_workspace_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let Some(scope) = classify(&rel) else { continue };
+        let source = std::fs::read_to_string(&path)?;
+        diagnostics.extend(analyze_source(&rel, scope, &source));
+    }
+    diagnostics.sort_by(|a, b| {
+        (a.file.as_str(), a.finding.line, a.finding.col).cmp(&(b.file.as_str(), b.finding.line, b.finding.col))
+    });
+    Ok(diagnostics)
+}

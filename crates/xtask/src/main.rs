@@ -1,0 +1,69 @@
+//! Command-line entry point: `cargo xtask lint [files…]`.
+
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask/ → two levels up, independent of the invoking cwd.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo xtask lint [files…]\n\n\
+         Runs the workspace determinism linter over every in-scope .rs file\n\
+         (or only the given workspace-relative files). Rules and the allow\n\
+         marker syntax are catalogued in docs/LINTS.md."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {}
+        _ => return usage(),
+    }
+    let root = workspace_root();
+
+    let diagnostics = if args.len() > 1 {
+        let mut all = Vec::new();
+        for rel in &args[1..] {
+            let path = root.join(rel);
+            let source = match std::fs::read_to_string(&path) {
+                Ok(source) => source,
+                Err(err) => {
+                    eprintln!("error: cannot read {rel}: {err}");
+                    return ExitCode::from(2);
+                }
+            };
+            all.extend(xtask::analyze_path_source(rel, &source));
+        }
+        all
+    } else {
+        match xtask::lint_workspace(&root) {
+            Ok(diagnostics) => diagnostics,
+            Err(err) => {
+                eprintln!("error: workspace walk failed: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    for diagnostic in &diagnostics {
+        eprintln!("{diagnostic}");
+    }
+    if diagnostics.is_empty() {
+        eprintln!("xtask lint: clean ({} rules, zero findings, zero unused allows)", xtask::rules::RULES.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: {} finding(s)", diagnostics.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,41 @@
+//! `thread-confinement`: direct `std::thread` use outside `core::parallel`.
+//!
+//! Determinism across thread counts holds because every parallel path in the
+//! workspace goes through `core::parallel::parallel_map` (chunk in input
+//! order, stitch in input order) and sizes itself via `resolve_threads`. A
+//! stray `std::thread::spawn` elsewhere would create an execution order the
+//! determinism tests cannot pin. The rule fires on any `std::thread` path or
+//! `thread::…` call in every scope — tests included, since a racy test is a
+//! flaky test — except inside `crates/core/src/parallel.rs` itself.
+
+use crate::engine::{FileTokens, Finding};
+
+/// The one module allowed to touch `std::thread` directly.
+const CONFINED_TO: &str = "crates/core/src/parallel.rs";
+
+pub(super) fn check(file: &FileTokens<'_>, findings: &mut Vec<Finding>) {
+    if file.path == CONFINED_TO {
+        return;
+    }
+    let tokens = &file.tokens;
+    for (i, token) in tokens.iter().enumerate() {
+        if !token.is_ident("thread") {
+            continue;
+        }
+        // `std :: thread` or `thread :: <anything>` — both directions catch
+        // `use std::thread;` followed by `thread::spawn(…)`.
+        let qualified = i >= 3 && file.matches_seq(i - 3, &["std", ":", ":", "thread"]);
+        let path_head = file.matches_seq(i, &["thread", ":", ":"]);
+        if !(qualified || path_head) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: "thread-confinement",
+            message: "direct `std::thread` use outside core::parallel — parallelism must go through \
+                      parallel_map/resolve_threads to stay deterministic across thread counts"
+                .to_string(),
+            line: token.line,
+            col: token.col,
+        });
+    }
+}

@@ -1,0 +1,67 @@
+//! `unwrap-in-lib`: `unwrap()` / `expect()` on fallible I/O or parse paths
+//! in library code.
+//!
+//! The workspace has typed error enums (`CoreError`, `DatasetError`,
+//! `EvalError`) precisely so that file reads, environment lookups and text
+//! parsing fail with context instead of a panic deep inside a blocking run.
+//! A blanket unwrap ban would be noise (lock poisoning, "peeked" invariants,
+//! infallible formatting) — the rule therefore fires only when the enclosing
+//! statement shows I/O or parsing flavour.
+
+use crate::engine::{FileTokens, Finding};
+
+/// Identifiers that mark a statement as doing I/O or parsing.
+const FALLIBLE_MARKERS: &[&str] = &[
+    "read",
+    "read_to_string",
+    "read_dir",
+    "read_line",
+    "write",
+    "create",
+    "create_dir_all",
+    "open",
+    "remove_file",
+    "File",
+    "OpenOptions",
+    "fs",
+    "stdin",
+    "stdout",
+    "stderr",
+    "parse",
+    "from_str",
+    "from_utf8",
+    "var",
+    "canonicalize",
+    "metadata",
+];
+
+pub(super) fn check(file: &FileTokens<'_>, findings: &mut Vec<Finding>) {
+    let tokens = &file.tokens;
+    for i in 0..tokens.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        let token = &tokens[i];
+        let is_panicky = (token.is_ident("unwrap") || token.is_ident("expect"))
+            && i >= 1
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('('));
+        if !is_panicky {
+            continue;
+        }
+        let range = file.statement_range(i);
+        if !file.range_has_ident(range, |name| FALLIBLE_MARKERS.contains(&name)) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: "unwrap-in-lib",
+            message: format!(
+                "`.{}()` on an I/O/parse path in library code — propagate a typed error instead of \
+                 panicking in production",
+                token.text
+            ),
+            line: token.line,
+            col: token.col,
+        });
+    }
+}

@@ -1,0 +1,331 @@
+//! Fixture-based positive/negative tests for every lint rule: each rule
+//! must fire on the violating fixture, stay silent on the idiomatic
+//! fixture, be silenced by a reasoned allow marker, and report an allow
+//! marker that silences nothing as `unused-allow`.
+
+use xtask::analyze_path_source;
+
+/// Path that classifies as library scope (all rules apply).
+const LIB: &str = "crates/core/src/fixture.rs";
+
+fn rules_at(path: &str, source: &str) -> Vec<&'static str> {
+    analyze_path_source(path, source).into_iter().map(|d| d.finding.rule).collect()
+}
+
+// --- hash-iter-order ------------------------------------------------------
+
+#[test]
+fn hash_iter_order_fires_on_unsorted_iteration() {
+    let source = r#"
+use std::collections::HashMap;
+fn leak(map: HashMap<u64, u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (k, _) in map.iter() {
+        out.push(*k);
+    }
+    out
+}
+"#;
+    assert_eq!(rules_at(LIB, source), ["hash-iter-order"]);
+}
+
+#[test]
+fn hash_iter_order_stays_silent_with_adjacent_sort() {
+    let source = r#"
+use std::collections::HashMap;
+fn ordered(map: HashMap<u64, u64>) -> Vec<u64> {
+    let mut out: Vec<u64> = map.keys().copied().collect();
+    out.sort_unstable();
+    out
+}
+"#;
+    assert_eq!(rules_at(LIB, source), Vec::<&str>::new());
+}
+
+#[test]
+fn hash_iter_order_stays_silent_on_stable_hash_aliases() {
+    // StableHashMap (seeded FxHash) is deterministic and exempt — only the
+    // std HashMap/HashSet type names are tracked.
+    let source = r#"
+fn stable(map: StableHashMap<u64, u64>) -> Vec<u64> {
+    map.keys().copied().collect()
+}
+"#;
+    assert_eq!(rules_at(LIB, source), Vec::<&str>::new());
+}
+
+#[test]
+fn hash_iter_order_ignores_test_code() {
+    let source = r#"
+use std::collections::HashMap;
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn order_does_not_matter_here() {
+        let map: HashMap<u64, u64> = HashMap::new();
+        for _ in map.iter() {}
+    }
+}
+"#;
+    assert_eq!(rules_at(LIB, source), Vec::<&str>::new());
+}
+
+// --- lossy-id-cast --------------------------------------------------------
+
+#[test]
+fn lossy_id_cast_fires_on_record_id_narrowing() {
+    let source = r#"
+fn truncate(index: usize) -> RecordId {
+    RecordId(index as u32)
+}
+"#;
+    assert_eq!(rules_at(LIB, source), ["lossy-id-cast"]);
+}
+
+#[test]
+fn lossy_id_cast_stays_silent_on_checked_conversion() {
+    let source = r#"
+fn checked(index: usize) -> Option<RecordId> {
+    u32::try_from(index).ok().map(RecordId)
+}
+"#;
+    assert_eq!(rules_at(LIB, source), Vec::<&str>::new());
+}
+
+#[test]
+fn lossy_id_cast_stays_silent_on_unflavoured_counts() {
+    // A cast in a statement with no id-flavoured identifier is fine — the
+    // rule targets record/entity/concept id paths, not arbitrary numerics.
+    let source = r#"
+fn widen(count: usize) -> u64 {
+    count as u64
+}
+"#;
+    assert_eq!(rules_at(LIB, source), Vec::<&str>::new());
+}
+
+// --- thread-confinement ---------------------------------------------------
+
+#[test]
+fn thread_confinement_fires_outside_core_parallel() {
+    let source = r#"
+fn race() {
+    std::thread::spawn(|| {});
+}
+"#;
+    assert_eq!(rules_at(LIB, source), ["thread-confinement"]);
+}
+
+#[test]
+fn thread_confinement_fires_on_use_plus_path_head() {
+    let source = r#"
+use std::thread;
+fn race() {
+    thread::spawn(|| {});
+}
+"#;
+    let rules = rules_at(LIB, source);
+    assert!(!rules.is_empty() && rules.iter().all(|r| *r == "thread-confinement"), "got {rules:?}");
+}
+
+#[test]
+fn thread_confinement_exempts_core_parallel_itself() {
+    let source = r#"
+fn confined() {
+    std::thread::spawn(|| {});
+}
+"#;
+    assert_eq!(rules_at("crates/core/src/parallel.rs", source), Vec::<&str>::new());
+}
+
+#[test]
+fn thread_confinement_fires_even_in_tests() {
+    // A racy test is a flaky test: unlike the other rules, this one does
+    // not get a #[cfg(test)] exemption.
+    let source = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn racy() {
+        std::thread::spawn(|| {});
+    }
+}
+"#;
+    assert_eq!(rules_at(LIB, source), ["thread-confinement"]);
+}
+
+// --- raw-sentinel ---------------------------------------------------------
+
+#[test]
+fn raw_sentinel_fires_on_u32_max_in_packing_context() {
+    let source = r#"
+fn pack(id: u32) -> u64 {
+    if id == u32::MAX { panic!() } else { 0 }
+}
+"#;
+    assert_eq!(rules_at(LIB, source), ["raw-sentinel"]);
+}
+
+#[test]
+fn raw_sentinel_fires_on_hex_literal_in_packing_context() {
+    let source = r#"
+fn tombstone_key(packed: u64) -> bool {
+    packed == 0xFFFF_FFFF
+}
+"#;
+    assert_eq!(rules_at(LIB, source), ["raw-sentinel"]);
+}
+
+#[test]
+fn raw_sentinel_stays_silent_outside_packing_contexts() {
+    let source = r#"
+fn saturate(x: u32) -> u32 {
+    if x == u32::MAX { x } else { x + 1 }
+}
+"#;
+    assert_eq!(rules_at(LIB, source), Vec::<&str>::new());
+}
+
+#[test]
+fn raw_sentinel_stays_silent_on_named_constant() {
+    let source = r#"
+fn bounded(id: u32) -> bool {
+    id <= MAX_RECORD_ID
+}
+"#;
+    assert_eq!(rules_at(LIB, source), Vec::<&str>::new());
+}
+
+// --- unwrap-in-lib --------------------------------------------------------
+
+#[test]
+fn unwrap_in_lib_fires_on_io_paths() {
+    let source = r#"
+fn slurp(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap()
+}
+"#;
+    assert_eq!(rules_at(LIB, source), ["unwrap-in-lib"]);
+}
+
+#[test]
+fn unwrap_in_lib_fires_on_expect_on_parse_paths() {
+    let source = r#"
+fn number(text: &str) -> u64 {
+    text.parse().expect("numeric")
+}
+"#;
+    assert_eq!(rules_at(LIB, source), ["unwrap-in-lib"]);
+}
+
+#[test]
+fn unwrap_in_lib_stays_silent_without_fallible_flavour() {
+    // Infallible unwraps (freshly checked options, lock poisoning) are not
+    // what the rule is for.
+    let source = r#"
+fn head(values: &[u64]) -> u64 {
+    values.first().copied().unwrap()
+}
+"#;
+    assert_eq!(rules_at(LIB, source), Vec::<&str>::new());
+}
+
+#[test]
+fn unwrap_in_lib_ignores_tests_and_examples() {
+    let source = r#"
+fn slurp(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap()
+}
+"#;
+    assert_eq!(rules_at("tests/fixture.rs", source), Vec::<&str>::new());
+    assert_eq!(rules_at("examples/fixture.rs", source), Vec::<&str>::new());
+}
+
+// --- allow markers --------------------------------------------------------
+
+#[test]
+fn allow_marker_silences_the_named_rule() {
+    let source = r#"
+fn truncate(index: usize) -> RecordId {
+    RecordId(index as u32) // sablock-lint: allow(lossy-id-cast): fixture proves marker works
+}
+"#;
+    assert_eq!(rules_at(LIB, source), Vec::<&str>::new());
+}
+
+#[test]
+fn own_line_allow_marker_covers_the_next_code_line() {
+    let source = r#"
+fn truncate(index: usize) -> RecordId {
+    // sablock-lint: allow(lossy-id-cast): fixture proves own-line markers work
+    RecordId(index as u32)
+}
+"#;
+    assert_eq!(rules_at(LIB, source), Vec::<&str>::new());
+}
+
+#[test]
+fn allow_marker_does_not_silence_other_rules() {
+    let source = r#"
+fn truncate(index: usize) -> RecordId {
+    RecordId(index as u32) // sablock-lint: allow(hash-iter-order): wrong rule named
+}
+"#;
+    let rules = rules_at(LIB, source);
+    // The cast still fires, and the marker for the wrong rule is unused.
+    assert!(rules.contains(&"lossy-id-cast"), "got {rules:?}");
+    assert!(rules.contains(&"unused-allow"), "got {rules:?}");
+}
+
+#[test]
+fn unused_allow_is_an_error() {
+    let source = r#"
+fn fine() -> u64 {
+    0 // sablock-lint: allow(lossy-id-cast): nothing here needs this
+}
+"#;
+    assert_eq!(rules_at(LIB, source), ["unused-allow"]);
+}
+
+#[test]
+fn unknown_rule_in_allow_marker_is_an_error() {
+    let source = r#"
+fn fine() -> u64 {
+    0 // sablock-lint: allow(no-such-rule): typo fixture
+}
+"#;
+    assert_eq!(rules_at(LIB, source), ["unknown-allow"]);
+}
+
+#[test]
+fn allow_marker_without_reason_is_an_error() {
+    let source = r#"
+fn truncate(index: usize) -> RecordId {
+    RecordId(index as u32) // sablock-lint: allow(lossy-id-cast)
+}
+"#;
+    let rules = rules_at(LIB, source);
+    assert!(rules.contains(&"malformed-allow"), "got {rules:?}");
+}
+
+// --- scope classification -------------------------------------------------
+
+#[test]
+fn vendor_and_target_are_out_of_scope() {
+    let source = "fn bad(id: usize) -> u32 { id as u32 }";
+    assert_eq!(rules_at("vendor/rand/src/lib.rs", source), Vec::<&str>::new());
+    assert_eq!(rules_at("target/debug/build/fixture.rs", source), Vec::<&str>::new());
+}
+
+#[test]
+fn diagnostics_carry_rustc_style_positions() {
+    let source = "fn truncate(index: usize) -> RecordId {\n    RecordId(index as u32)\n}\n";
+    let diagnostics = analyze_path_source(LIB, source);
+    assert_eq!(diagnostics.len(), 1);
+    let rendered = diagnostics[0].to_string();
+    assert!(
+        rendered.contains(&format!("--> {LIB}:2:")),
+        "diagnostic should carry a rustc-style `--> file:line:col` arrow, got: {rendered}"
+    );
+    assert!(rendered.starts_with("error[lossy-id-cast]"), "got: {rendered}");
+}

@@ -58,9 +58,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         observations.push(LabelledSimilarity::new(shingler.jaccard(a, b), true));
     }
     use rand::Rng;
+    let num_records = u32::try_from(dataset.len()).expect("dataset record ids are validated at construction");
     for _ in 0..4_000 {
-        let i = RecordId(rng.gen_range(0..dataset.len() as u32));
-        let j = RecordId(rng.gen_range(0..dataset.len() as u32));
+        let i = RecordId(rng.gen_range(0..num_records));
+        let j = RecordId(rng.gen_range(0..num_records));
         if i == j || dataset.ground_truth().is_match(i, j) {
             continue;
         }

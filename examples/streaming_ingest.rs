@@ -191,9 +191,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     // --- 4. Record the measurements machine-readably -------------------------
     let peak_rss = peak_rss_bytes();
     let report = JsonValue::Object(vec![
-        ("records".into(), JsonValue::UInt(incremental.num_records() as u64)),
-        ("batch_size".into(), JsonValue::UInt(batch_size as u64)),
-        ("batches".into(), JsonValue::UInt(incremental.num_batches() as u64)),
+        ("records".into(), JsonValue::UInt(incremental.num_records() as u64)), // sablock-lint: allow(lossy-id-cast): usize count → u64 widens losslessly
+        ("batch_size".into(), JsonValue::UInt(batch_size as u64)), // sablock-lint: allow(lossy-id-cast): usize count → u64 widens losslessly
+        ("batches".into(), JsonValue::UInt(incremental.num_batches() as u64)), // sablock-lint: allow(lossy-id-cast): usize count → u64 widens losslessly
         ("insert_p50_s".into(), JsonValue::Float(latencies.p50_secs())),
         ("insert_p99_s".into(), JsonValue::Float(latencies.p99_secs())),
         ("insert_max_s".into(), JsonValue::Float(latencies.max_secs())),
