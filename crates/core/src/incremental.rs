@@ -7,7 +7,11 @@
 //! *mutable*: new records compute their signatures through the same
 //! [`parallel_map`] path as one-shot blocking and are **appended** to the
 //! per-band bucket shards — no signature of an existing record is ever
-//! recomputed, and buckets the batch does not touch are left alone.
+//! recomputed, and buckets the batch does not touch are left alone. The
+//! shards themselves are cached per band as stable-hash bucket maps, so an
+//! insert pays O(1) per bucket it lands in, and each band's shard is updated
+//! by its own [`parallel_map_mut`] worker with the results stitched back in
+//! deterministic band order.
 //!
 //! # Delta pairs
 //!
@@ -18,22 +22,39 @@
 //! involve at least one new record — enumerable from the touched buckets
 //! alone. Deltas are carried as sorted, deduplicated packed-`u64` runs
 //! ([`RecordPair::pack`]), the same representation every bulk pair path of
-//! [`crate::blocking`] runs on, so a delta (or the union of all deltas) is
-//! evaluated by the identical loser-tree/galloping merge counter — and,
-//! absent removals, deltas of successive batches are **disjoint**: summing
+//! [`crate::blocking`] runs on; the runs are merged into the delta's
+//! distinct-key cache **once per generation** (during the ingest fold that
+//! updates the running counters), so [`DeltaPairs::counts`] and
+//! [`DeltaPairs::num_pairs`] never re-scan the redundant runs. Absent
+//! removals, deltas of successive batches are **disjoint**: summing
 //! per-batch [`PairCounts`] equals a from-scratch count of the merged whole,
 //! byte for byte.
 //!
-//! # Removals
+//! # Running counters
 //!
-//! [`IncrementalBlocker::remove`] tombstones a record in O(1): the id stays
-//! in its buckets but is skipped by snapshots and by future delta
-//! enumerations. A removal therefore never shrinks the index — compaction is
-//! a rebuild (see `docs/ARCHITECTURE.md` for when rebuild beats insert) —
-//! and deltas emitted *before* the removal keep counting pairs of the
-//! removed record; cumulative delta counts are exact only for
-//! insert-only workloads, while [`IncrementalBlocker::snapshot`] is always
-//! exact.
+//! The blocker folds every delta into a [`RunningCounts`] accumulator as it
+//! is produced: `pairs` is the live `|Γ|`, and — when batches carry entity
+//! annotations ([`IncrementalSaLshBlocker::insert_batch_with_entities`]) —
+//! `true_positives` is the live `|Γ_tp|`, probed through the same
+//! [`EntityTableProbe`] fast path as the streaming Γ counter. Reading
+//! snapshot metrics is therefore O(1) after O(delta) per-batch maintenance,
+//! instead of the O(corpus) re-count a snapshot stream costs.
+//!
+//! # Removals and compaction
+//!
+//! [`IncrementalBlocker::remove`] tombstones a record and *subtracts its
+//! live contribution* from the running counters by walking only the buckets
+//! the record occupies (per-record bucket back-references kept at insert
+//! time), deduplicating across bands so each retired pair is subtracted
+//! exactly once. Tombstoned members linger in their buckets until the
+//! bucket's dead fraction crosses the compaction threshold
+//! ([`IncrementalSaLshBlocker::set_compaction_threshold`]), at which point
+//! the `(band, bucket)` shard is rebuilt in place — an observation-
+//! equivalent operation: snapshots, running counts and all future deltas are
+//! byte-identical with or without compaction (property-tested in
+//! `tests/incremental_differential.rs`). [`IncrementalBlocker::snapshot`]
+//! is always exact, and with the running counters so are cumulative metrics
+//! under arbitrary insert/remove interleavings.
 //!
 //! # Equivalence with one-shot blocking
 //!
@@ -51,36 +72,61 @@
 //! the same family (which, for datasets whose records reach every leaf, is
 //! exactly what Algorithm 1 derives; NC Voter does at any realistic scale).
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::sync::OnceLock;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use sablock_datasets::ground_truth::EntityId;
 use sablock_datasets::record::RecordPair;
 use sablock_datasets::{DatasetError, Record, RecordId, Schema, MAX_RECORD_ID};
+use sablock_textual::hashing::StableHashMap;
 
 use crate::blocking::{
-    merge_count_packed_runs, merge_packed_runs_into, radix_sort_packed, Block, BlockCollection, PackedProbe,
-    PairCounts,
+    merge_packed_runs_into, radix_sort_packed, Block, BlockCollection, EntityTableProbe, PackedProbe, PairCounts,
 };
 use crate::error::{CoreError, Result};
 use crate::lsh::semantic_hash::WWaySemanticHash;
 use crate::lsh::{BandingScheme, SemanticConfig};
 use crate::minhash::shingle::RecordShingler;
 use crate::minhash::{MinHasher, MinhashConfig};
-use crate::parallel::{parallel_map, resolve_threads};
+use crate::parallel::{parallel_map, parallel_map_mut, resolve_threads};
 use crate::semantic::semhash::SemhashFamily;
 
 /// The candidate pairs one ingest batch added to Γ, as sorted and
 /// individually deduplicated packed-`u64` runs (one run per band; a pair
-/// colliding in several bands appears in several runs and is deduplicated by
-/// the counting merge, exactly like the per-shard runs of
-/// [`BlockCollection::stream_packed_counts`]).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// colliding in several bands appears in several runs), plus a lazily
+/// materialised cache of the **distinct** keys across all runs.
+///
+/// The cache is populated exactly once per delta generation — by the ingest
+/// fold that maintains the blocker's [`RunningCounts`], or on the first
+/// counting call for hand-built deltas — so repeated [`DeltaPairs::counts`]
+/// / [`DeltaPairs::num_pairs`] calls never re-merge the redundant runs.
+#[derive(Debug, Default)]
 pub struct DeltaPairs {
     runs: Vec<Vec<u64>>,
+    merged: OnceLock<Vec<u64>>,
 }
+
+impl Clone for DeltaPairs {
+    fn clone(&self) -> Self {
+        let merged = OnceLock::new();
+        if let Some(cached) = self.merged.get() {
+            let _ = merged.set(cached.clone());
+        }
+        Self { runs: self.runs.clone(), merged }
+    }
+}
+
+impl PartialEq for DeltaPairs {
+    fn eq(&self, other: &Self) -> bool {
+        // The cache is derived state: two deltas are equal iff their runs are.
+        self.runs == other.runs
+    }
+}
+
+impl Eq for DeltaPairs {}
 
 impl DeltaPairs {
     /// A delta with no pairs.
@@ -91,7 +137,16 @@ impl DeltaPairs {
     pub(crate) fn from_runs(runs: Vec<Vec<u64>>) -> Self {
         Self {
             runs: runs.into_iter().filter(|run| !run.is_empty()).collect(),
+            merged: OnceLock::new(),
         }
+    }
+
+    /// A delta whose distinct keys were already merged (the ingest fold
+    /// counts the runs while producing them, so the cache comes for free).
+    pub(crate) fn from_counted_runs(runs: Vec<Vec<u64>>, merged: Vec<u64>) -> Self {
+        let delta = Self::from_runs(runs);
+        let _ = delta.merged.set(merged);
+        delta
     }
 
     /// The sorted, deduplicated packed runs.
@@ -104,24 +159,74 @@ impl DeltaPairs {
         self.runs.is_empty()
     }
 
-    /// Counts the delta's distinct pairs, probing each exactly once — the
-    /// same loser-tree/galloping merge fold the streaming Γ counter uses.
-    pub fn counts<P: PackedProbe>(&self, probe: &P) -> PairCounts {
-        merge_count_packed_runs(&self.runs, probe)
+    /// The delta's distinct packed pair keys in ascending order. Merged from
+    /// the redundant per-band runs at most once per delta generation (the
+    /// loser-tree/galloping merge of [`crate::blocking`]) and cached.
+    pub fn distinct_packed(&self) -> &[u64] {
+        self.merged.get_or_init(|| {
+            let mut merged: Vec<u64> = Vec::with_capacity(self.runs.iter().map(Vec::len).sum());
+            merge_packed_runs_into(&self.runs, |segment| merged.extend_from_slice(segment));
+            merged
+        })
     }
 
-    /// Number of distinct pairs in the delta.
+    /// Whether the distinct-key cache is populated. Deltas returned by
+    /// [`IncrementalBlocker::insert_batch`] always are; a hand-built delta
+    /// becomes counted on its first [`DeltaPairs::counts`] /
+    /// [`DeltaPairs::num_pairs`] / [`DeltaPairs::pairs`] call.
+    pub fn is_counted(&self) -> bool {
+        self.merged.get().is_some()
+    }
+
+    /// Counts the delta's distinct pairs, probing each **exactly once** over
+    /// the cached distinct-key run — repeated calls never re-scan the
+    /// redundant per-band runs (regression-tested in this module).
+    pub fn counts<P: PackedProbe>(&self, probe: &P) -> PairCounts {
+        let distinct = self.distinct_packed();
+        let mut matching = 0u64;
+        for &key in distinct {
+            if probe.matches(key) {
+                matching += 1;
+            }
+        }
+        PairCounts { distinct: distinct.len() as u64, matching }
+    }
+
+    /// Number of distinct pairs in the delta — O(1) once counted.
     pub fn num_pairs(&self) -> u64 {
-        self.counts(&|_: &RecordPair| false).distinct
+        self.distinct_packed().len() as u64
     }
 
     /// Materialises the delta's distinct pairs in ascending order (tests,
     /// goldens, small deltas — bulk consumers should stay on the packed
     /// runs).
     pub fn pairs(&self) -> Vec<RecordPair> {
-        let mut packed: Vec<u64> = Vec::new();
-        merge_packed_runs_into(&self.runs, |segment| packed.extend_from_slice(segment));
-        packed.into_iter().map(RecordPair::from_packed).collect()
+        self.distinct_packed().iter().copied().map(RecordPair::from_packed).collect()
+    }
+}
+
+/// Running `|Γ|` / `|Γ_tp|` accumulators maintained by the incremental
+/// blocker in O(delta) per batch and O(buckets-of-record) per removal, so
+/// snapshot-level metrics are an O(1) read instead of an O(corpus) re-count.
+///
+/// `true_positives` is exact when every batch carried entity annotations
+/// ([`IncrementalSaLshBlocker::insert_batch_with_entities`]); pairs touching
+/// unannotated records are counted as non-matching, exactly like records
+/// beyond the table in [`EntityTableProbe`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunningCounts {
+    /// Distinct candidate pairs currently in Γ over the live (non-removed)
+    /// corpus.
+    pub pairs: u64,
+    /// Of those, the pairs whose two records share an annotated entity.
+    pub true_positives: u64,
+}
+
+impl RunningCounts {
+    /// The counters as a [`PairCounts`] — the shape the evaluation APIs
+    /// consume.
+    pub fn as_pair_counts(self) -> PairCounts {
+        PairCounts { distinct: self.pairs, matching: self.true_positives }
     }
 }
 
@@ -148,8 +253,9 @@ pub trait IncrementalBlocker {
     fn insert_batch(&mut self, records: &[Record]) -> Result<&DeltaPairs>;
 
     /// Tombstones a record: it stops appearing in snapshots and in future
-    /// deltas. Returns `false` when the record was already removed; errors
-    /// when the id was never ingested.
+    /// deltas, and its live pairs are subtracted from the running counters.
+    /// Returns `false` when the record was already removed; errors when the
+    /// id was never ingested.
     fn remove(&mut self, id: RecordId) -> Result<bool>;
 
     /// The delta emitted by the most recent [`insert_batch`] call (empty
@@ -173,17 +279,59 @@ struct IncrementalSemantic {
     band_hashes: Vec<WWaySemanticHash>,
 }
 
-/// One band's bucket index: `(textual bucket key, semantic sub-key)` →
-/// members in ascending id order. Plain LSH stores everything under sub-key
-/// 0.
-type BandIndex = BTreeMap<(u64, u64), Vec<RecordId>>;
+/// One bucket of a band shard: members in ascending id order (tombstoned
+/// members linger until compaction) plus the count of members currently
+/// tombstoned.
+#[derive(Debug, Clone, Default)]
+struct Bucket {
+    members: Vec<RecordId>,
+    dead: u32,
+}
 
-/// The per-band update one ingest batch applies: where each new record lands
-/// and which packed delta pairs the band contributes.
-struct BandUpdate {
-    placements: Vec<((u64, u64), Vec<RecordId>)>,
+impl Bucket {
+    /// Whether the bucket's dead fraction has reached the compaction
+    /// threshold. A threshold of 0.0 compacts on the first tombstone; a
+    /// threshold above 1.0 never compacts.
+    fn compaction_due(&self, threshold: f64) -> bool {
+        self.dead > 0 && f64::from(self.dead) >= threshold * self.members.len() as f64
+    }
+
+    /// Rebuilds the bucket in place, dropping tombstoned members. Keeps the
+    /// ascending-id member order, so snapshots are byte-identical before and
+    /// after.
+    fn compact(&mut self, removed: &[bool]) {
+        self.members.retain(|member| !removed[member.index()]);
+        self.dead = 0;
+    }
+}
+
+/// One band's bucket shard: `(textual bucket key, semantic sub-key)` →
+/// [`Bucket`]. Plain LSH stores everything under sub-key 0. A deterministic
+/// (seeded FxHash) map, so lookups are O(1) on the insert hot path; every
+/// order-sensitive consumer (snapshots) sorts the touched keys, which
+/// reproduces the previous ordered-map iteration byte for byte.
+type BandIndex = StableHashMap<(u64, u64), Bucket>;
+
+/// A back-reference from a record to one bucket it occupies — the removal
+/// path enumerates exactly these instead of scanning the index.
+#[derive(Debug, Clone, Copy)]
+struct BucketRef {
+    band: usize,
+    key: (u64, u64),
+}
+
+/// What one band's ingest worker hands back: the `(bucket key, record)`
+/// placements it applied to its own shard (sorted by key, ids ascending
+/// within a key — the source of the back-references) and the band's sorted,
+/// deduplicated delta run.
+struct BandOutcome {
+    touched: Vec<((u64, u64), RecordId)>,
     delta_run: Vec<u64>,
 }
+
+/// Default dead fraction at which a `(band, bucket)` shard is compacted in
+/// place after a removal touches it.
+pub const DEFAULT_COMPACTION_THRESHOLD: f64 = 0.5;
 
 /// Incremental LSH / SA-LSH blocking (see the module docs).
 ///
@@ -192,12 +340,12 @@ struct BandUpdate {
 /// or directly from the builder via
 /// [`SaLshBlockerBuilder::into_incremental`](crate::lsh::salsh::SaLshBlockerBuilder::into_incremental).
 ///
-/// The index is one ordered bucket map per band, keyed by
+/// The index is one bucket shard per band, keyed by
 /// `(textual bucket key, semantic sub-key)` — plain LSH uses a constant
 /// sub-key of 0 — with members kept in ascending id order (batches arrive in
-/// id order and append). Iterating the maps in band order therefore
-/// reproduces exactly the deterministic band-order merge of the one-shot
-/// sharded bucket phase.
+/// id order and append). Sorting each shard's keys and walking the shards in
+/// band order reproduces exactly the deterministic band-order merge of the
+/// one-shot sharded bucket phase.
 #[derive(Debug, Clone)]
 pub struct IncrementalSaLshBlocker {
     shingler: RecordShingler,
@@ -207,6 +355,16 @@ pub struct IncrementalSaLshBlocker {
     semantic: Option<IncrementalSemantic>,
     threads: Option<usize>,
     bands: Vec<BandIndex>,
+    /// Per-record bucket back-references; emptied when the record is
+    /// tombstoned (a dead record's buckets are never walked again).
+    bucket_refs: Vec<Vec<BucketRef>>,
+    /// Dense record → entity annotations accumulated from
+    /// `insert_batch_with_entities`; may be shorter than the id space when
+    /// batches were ingested unannotated.
+    entity_of: Vec<EntityId>,
+    running: RunningCounts,
+    compaction_threshold: f64,
+    compactions: u64,
     next_id: u32,
     removed: Vec<bool>,
     removed_count: usize,
@@ -246,7 +404,7 @@ impl IncrementalSaLshBlocker {
             None => None,
         };
         let hasher = MinHasher::from_config(&minhash);
-        let bands = vec![BTreeMap::new(); banding.bands()];
+        let bands = vec![BandIndex::default(); banding.bands()];
         Ok(Self {
             shingler,
             minhash,
@@ -255,6 +413,11 @@ impl IncrementalSaLshBlocker {
             semantic,
             threads,
             bands,
+            bucket_refs: Vec::new(),
+            entity_of: Vec::new(),
+            running: RunningCounts::default(),
+            compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
+            compactions: 0,
             next_id: 0,
             removed: Vec::new(),
             removed_count: 0,
@@ -285,6 +448,72 @@ impl IncrementalSaLshBlocker {
         self.batches_ingested
     }
 
+    /// The running `|Γ|` / `|Γ_tp|` over the live corpus — an O(1) read,
+    /// maintained from the delta folds and removal subtractions.
+    pub fn running_counts(&self) -> RunningCounts {
+        self.running
+    }
+
+    /// The entity annotations ingested so far (dense by record id; may be
+    /// shorter than [`IncrementalBlocker::num_records`] when batches were
+    /// ingested without annotations).
+    pub fn entity_table(&self) -> &[EntityId] {
+        &self.entity_of
+    }
+
+    /// The dead fraction at which a removal-touched bucket is rebuilt in
+    /// place. Defaults to [`DEFAULT_COMPACTION_THRESHOLD`].
+    pub fn compaction_threshold(&self) -> f64 {
+        self.compaction_threshold
+    }
+
+    /// Sets the compaction threshold: a bucket whose
+    /// `dead members / total members` fraction reaches the threshold after
+    /// a removal is compacted in place. `0.0` compacts a bucket on its first
+    /// tombstone; anything above `1.0` disables threshold compaction
+    /// (forced [`IncrementalSaLshBlocker::compact`] still works). Compaction
+    /// is observation-equivalent — snapshots, running counts and future
+    /// deltas do not depend on the threshold.
+    pub fn set_compaction_threshold(&mut self, fraction: f64) {
+        self.compaction_threshold = fraction;
+    }
+
+    /// Builder-style [`IncrementalSaLshBlocker::set_compaction_threshold`].
+    pub fn with_compaction_threshold(mut self, fraction: f64) -> Self {
+        self.set_compaction_threshold(fraction);
+        self
+    }
+
+    /// Number of bucket-local compactions performed so far (threshold-driven
+    /// and forced).
+    pub fn num_compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Compacts every bucket containing tombstoned members, regardless of
+    /// the threshold, and drops buckets left empty. Returns the number of
+    /// buckets compacted. Observation-equivalent: snapshots, running counts
+    /// and future deltas are unchanged.
+    pub fn compact(&mut self) -> u64 {
+        let removed = &self.removed;
+        let mut compacted = 0u64;
+        for band in &mut self.bands {
+            // Visit order over the shard is irrelevant: each bucket is
+            // compacted independently and the count is order-free.
+            band.retain(|_, bucket| {
+                if bucket.dead == 0 {
+                    return true;
+                }
+                bucket.compact(removed);
+                crate::invariants::check_bucket_tombstones(&bucket.members, bucket.dead, removed, "forced compaction");
+                compacted += 1;
+                !bucket.members.is_empty()
+            });
+        }
+        self.compactions += compacted;
+        compacted
+    }
+
     /// The semhash family the semantic component is pinned to, if any —
     /// pin the same family on a one-shot blocker to compare byte-for-byte.
     pub fn pinned_family(&self) -> Option<&SemhashFamily> {
@@ -295,9 +524,40 @@ impl IncrementalSaLshBlocker {
     /// the next dense id and the given schema, then calls
     /// [`IncrementalBlocker::insert_batch`].
     pub fn insert_values(&mut self, schema: &Arc<Schema>, rows: Vec<Vec<Option<String>>>) -> Result<&DeltaPairs> {
+        let records = self.wrap_rows(schema, rows)?;
+        self.ingest(&records, None)
+    }
+
+    /// [`IncrementalSaLshBlocker::insert_values`] with entity annotations,
+    /// so the running [`RunningCounts::true_positives`] stays exact.
+    pub fn insert_values_with_entities(
+        &mut self,
+        schema: &Arc<Schema>,
+        rows: Vec<Vec<Option<String>>>,
+        entities: &[EntityId],
+    ) -> Result<&DeltaPairs> {
+        let records = self.wrap_rows(schema, rows)?;
+        self.ingest(&records, Some(entities))
+    }
+
+    /// [`IncrementalBlocker::insert_batch`] with entity annotations (one
+    /// [`EntityId`] per batch record, in batch order). Annotated ingest must
+    /// start with the first batch and never lapse: once a batch arrives
+    /// unannotated, later annotated batches are rejected (the dense entity
+    /// table would misalign with the id space).
+    pub fn insert_batch_with_entities(&mut self, records: &[Record], entities: &[EntityId]) -> Result<&DeltaPairs> {
+        self.ingest(records, Some(entities))
+    }
+
+    /// [`IncrementalBlocker::insert_batch`] taking ownership (avoids the
+    /// caller keeping a second copy of the batch alive).
+    pub fn insert_batch_owned(&mut self, records: Vec<Record>) -> Result<&DeltaPairs> {
+        self.ingest(&records, None)
+    }
+
+    fn wrap_rows(&self, schema: &Arc<Schema>, rows: Vec<Vec<Option<String>>>) -> Result<Vec<Record>> {
         let base = self.next_id;
-        let records = rows
-            .into_iter()
+        rows.into_iter()
             .enumerate()
             .map(|(offset, values)| {
                 // usize → u64 is lossless; the id bound check stays in u64.
@@ -309,14 +569,7 @@ impl IncrementalSaLshBlocker {
                     .ok_or(CoreError::RecordIdOverflow(index))?;
                 Record::new(id, Arc::clone(schema), values).map_err(CoreError::from)
             })
-            .collect::<Result<Vec<Record>>>()?;
-        self.insert_batch_owned(records)
-    }
-
-    /// [`IncrementalBlocker::insert_batch`] taking ownership (avoids the
-    /// caller keeping a second copy of the batch alive).
-    pub fn insert_batch_owned(&mut self, records: Vec<Record>) -> Result<&DeltaPairs> {
-        self.ingest(&records)
+            .collect()
     }
 
     /// Validates a batch: dense id continuation, id width, and that every
@@ -356,8 +609,25 @@ impl IncrementalSaLshBlocker {
         Ok(())
     }
 
-    fn ingest(&mut self, records: &[Record]) -> Result<&DeltaPairs> {
+    fn ingest(&mut self, records: &[Record], entities: Option<&[EntityId]>) -> Result<&DeltaPairs> {
         self.validate_batch(records)?;
+        if let Some(entities) = entities {
+            if entities.len() != records.len() {
+                return Err(CoreError::Config(format!(
+                    "entity annotations cover {} records but the batch has {}",
+                    entities.len(),
+                    records.len()
+                )));
+            }
+            if self.entity_of.len() != self.next_id as usize {
+                return Err(CoreError::Config(
+                    "entity-annotated ingest must start with the first batch and never lapse: an earlier \
+                     batch was ingested without annotations, so the dense entity table no longer aligns \
+                     with the record id space"
+                        .to_string(),
+                ));
+            }
+        }
         if records.is_empty() {
             self.last_delta = DeltaPairs::empty();
             self.batches_ingested += 1;
@@ -380,68 +650,82 @@ impl IncrementalSaLshBlocker {
             None => None,
         };
 
-        // Each band's bucket index is independent, so placements and delta
-        // pairs are computed per band in parallel against the *immutable*
-        // current index, then applied in band order (deterministic for any
-        // worker count, like the one-shot bucket phase).
-        let band_ids: Vec<usize> = (0..self.banding.bands()).collect();
-        let updates: Vec<BandUpdate> = parallel_map(&band_ids, threads, |&band| {
-            let mut placements: BandIndex = BTreeMap::new();
+        // The entity table must cover the new ids before the counting fold
+        // below probes the delta pairs.
+        if let Some(entities) = entities {
+            self.entity_of.extend_from_slice(entities);
+        }
+
+        // Each band's bucket shard is independent, so placements, delta
+        // pairs and the shard update itself run per band in parallel
+        // (`parallel_map_mut` — each worker owns its band's map), with
+        // outcomes stitched back in ascending band order so every derived
+        // structure is deterministic for any worker count.
+        let removed: &[bool] = &self.removed;
+        let banding = &self.banding;
+        let semantic = &self.semantic;
+        let mut shards: Vec<(usize, &mut BandIndex)> = self.bands.iter_mut().enumerate().collect();
+        let outcomes: Vec<BandOutcome> = parallel_map_mut(&mut shards, threads, |(band, index)| {
+            let band = *band;
+            let mut slots: Vec<((u64, u64), RecordId)> = Vec::new();
             for (offset, signature) in signatures.iter().enumerate() {
                 if shingles[offset].is_empty() {
                     continue;
                 }
                 let id = records[offset].id();
-                let bucket = self.banding.band_key(signature, band);
-                match (&self.semantic, &sem_signatures) {
+                let bucket = banding.band_key(signature, band);
+                match (semantic, &sem_signatures) {
                     (Some(semantic), Some(sems)) => {
                         for sub in semantic.band_hashes[band].sub_keys(&sems[offset]) {
-                            // usize → u64 sub-key widening is lossless.
-                            let sub = sub as u64;
-                            placements.entry((bucket, sub)).or_default().push(id);
+                            slots.push(((bucket, sub as u64), id)); // sablock-lint: allow(lossy-id-cast): usize sub-key index → u64 widens losslessly
                         }
                     }
-                    _ => placements.entry((bucket, 0)).or_default().push(id),
+                    _ => slots.push(((bucket, 0), id)),
                 }
             }
+            // Group placements by bucket key; ids stay ascending within a
+            // key (the batch arrives in id order and the sort key ends on
+            // the id).
+            slots.sort_unstable();
 
             // Delta pairs of this band: existing live members × new members,
             // plus the new-member pairs, per touched bucket. Old ids are all
-            // smaller than new ids and members arrive in ascending id order,
-            // so every pair packs ascending without canonicalisation.
+            // smaller than new ids and members are ascending, so every pair
+            // packs ascending without canonicalisation. The shard update
+            // itself happens in the same pass: one O(1) bucket lookup per
+            // touched bucket, untouched buckets never rewritten.
             let mut delta_run: Vec<u64> = Vec::new();
-            for (key, new_members) in &placements {
-                if let Some(existing) = self.bands[band].get(key) {
-                    for &old in existing {
-                        if self.removed[old.index()] {
-                            continue;
-                        }
-                        for &new in new_members {
-                            delta_run.push(RecordPair::pack_ascending(old, new));
-                        }
+            let mut start = 0usize;
+            while start < slots.len() {
+                let key = slots[start].0;
+                let mut end = start;
+                while end < slots.len() && slots[end].0 == key {
+                    end += 1;
+                }
+                let new_members = &slots[start..end];
+                let bucket = index.entry(key).or_default();
+                for &old in &bucket.members {
+                    if removed[old.index()] {
+                        continue;
+                    }
+                    for &(_, new) in new_members {
+                        delta_run.push(RecordPair::pack_ascending(old, new));
                     }
                 }
-                for (i, &a) in new_members.iter().enumerate() {
-                    for &b in &new_members[i + 1..] {
+                for (i, &(_, a)) in new_members.iter().enumerate() {
+                    for &(_, b) in &new_members[i + 1..] {
                         delta_run.push(RecordPair::pack_ascending(a, b));
                     }
                 }
+                bucket.members.extend(new_members.iter().map(|&(_, id)| id));
+                start = end;
             }
             radix_sort_packed(&mut delta_run);
             delta_run.dedup();
-            BandUpdate {
-                placements: placements.into_iter().collect(),
-                delta_run,
-            }
+            BandOutcome { touched: slots, delta_run }
         });
+        drop(shards);
 
-        let mut runs: Vec<Vec<u64>> = Vec::with_capacity(updates.len());
-        for (band, update) in updates.into_iter().enumerate() {
-            for (key, members) in update.placements {
-                self.bands[band].entry(key).or_default().extend(members);
-            }
-            runs.push(update.delta_run);
-        }
         if let Some(last) = records.last() {
             // `validate_batch` proved the batch is the dense continuation of
             // `next_id` with every id at most `MAX_RECORD_ID`, so the last
@@ -450,7 +734,38 @@ impl IncrementalSaLshBlocker {
             self.next_id = last.id().0 + 1;
         }
         self.removed.resize(self.next_id as usize, false);
-        self.last_delta = DeltaPairs::from_runs(runs);
+        self.bucket_refs.resize(self.next_id as usize, Vec::new());
+
+        // Back-references accumulate in band order, then key order within a
+        // band (`touched` is sorted) — deterministic for any worker count.
+        let mut runs: Vec<Vec<u64>> = Vec::with_capacity(outcomes.len());
+        for (band, outcome) in outcomes.into_iter().enumerate() {
+            for &(key, id) in &outcome.touched {
+                self.bucket_refs[id.index()].push(BucketRef { band, key });
+            }
+            runs.push(outcome.delta_run);
+        }
+
+        // Fold the delta into the running counters in the same single merge
+        // pass that materialises the delta's distinct-key cache — the merge
+        // over the redundant runs happens exactly once per batch.
+        let mut merged: Vec<u64> = Vec::with_capacity(runs.iter().map(Vec::len).sum());
+        let mut batch_counts = PairCounts::default();
+        {
+            let probe = EntityTableProbe::new(&self.entity_of);
+            merge_packed_runs_into(&runs, |segment| {
+                batch_counts.distinct += segment.len() as u64;
+                for &key in segment {
+                    if probe.matches(key) {
+                        batch_counts.matching += 1;
+                    }
+                }
+                merged.extend_from_slice(segment);
+            });
+        }
+        self.running.pairs += batch_counts.distinct;
+        self.running.true_positives += batch_counts.matching;
+        self.last_delta = DeltaPairs::from_counted_runs(runs, merged);
         self.batches_ingested += 1;
         #[cfg(feature = "check-invariants")]
         {
@@ -478,7 +793,7 @@ impl IncrementalBlocker for IncrementalSaLshBlocker {
     }
 
     fn insert_batch(&mut self, records: &[Record]) -> Result<&DeltaPairs> {
-        self.ingest(records)
+        self.ingest(records, None)
     }
 
     fn remove(&mut self, id: RecordId) -> Result<bool> {
@@ -490,6 +805,63 @@ impl IncrementalBlocker for IncrementalSaLshBlocker {
         }
         self.removed[id.index()] = true;
         self.removed_count += 1;
+
+        // The record's live pairs, enumerated from only the buckets it
+        // occupies. The same pair can co-occur in several buckets/bands, so
+        // sort + dedup before subtracting — each retired pair exactly once.
+        // Pairs with partners tombstoned earlier were already subtracted at
+        // *their* removal and are skipped here.
+        let refs = std::mem::take(&mut self.bucket_refs[id.index()]);
+        let mut retired: Vec<u64> = Vec::new();
+        for reference in &refs {
+            if let Some(bucket) = self.bands[reference.band].get(&reference.key) {
+                for &member in &bucket.members {
+                    if self.removed[member.index()] {
+                        continue;
+                    }
+                    let (a, b) = if member < id { (member, id) } else { (id, member) };
+                    retired.push(RecordPair::pack_ascending(a, b));
+                }
+            }
+        }
+        radix_sort_packed(&mut retired);
+        retired.dedup();
+        let mut retired_matching = 0u64;
+        {
+            let probe = EntityTableProbe::new(&self.entity_of);
+            for &key in &retired {
+                if probe.matches(key) {
+                    retired_matching += 1;
+                }
+            }
+        }
+        crate::invariants::check_counter_subtraction(self.running.pairs, retired.len() as u64, "running |Γ|");
+        crate::invariants::check_counter_subtraction(self.running.true_positives, retired_matching, "running |Γ_tp|");
+        self.running.pairs -= retired.len() as u64;
+        self.running.true_positives -= retired_matching;
+
+        // Tombstone accounting per touched bucket, with bucket-local
+        // compaction once the dead fraction reaches the threshold.
+        let removed: &[bool] = &self.removed;
+        let threshold = self.compaction_threshold;
+        let mut compacted = 0u64;
+        for reference in &refs {
+            let band = &mut self.bands[reference.band];
+            let Some(bucket) = band.get_mut(&reference.key) else {
+                continue;
+            };
+            bucket.dead += 1;
+            crate::invariants::check_bucket_tombstones(&bucket.members, bucket.dead, removed, "removal touch");
+            if bucket.compaction_due(threshold) {
+                bucket.compact(removed);
+                crate::invariants::check_bucket_tombstones(&bucket.members, bucket.dead, removed, "threshold compaction");
+                compacted += 1;
+                if bucket.members.is_empty() {
+                    band.remove(&reference.key);
+                }
+            }
+        }
+        self.compactions += compacted;
         #[cfg(feature = "check-invariants")]
         crate::invariants::check_tombstones(&self.removed, self.removed_count, self.next_id);
         Ok(true)
@@ -503,9 +875,14 @@ impl IncrementalBlocker for IncrementalSaLshBlocker {
         let semantic = self.semantic.is_some();
         let mut blocks = Vec::new();
         for (band, buckets) in self.bands.iter().enumerate() {
-            for (&(bucket, sub), members) in buckets {
+            // The shard is a hash map for O(1) inserts; snapshot order is
+            // restored by sorting the keys, reproducing the ordered-map
+            // iteration of the one-shot bucket phase byte for byte.
+            let mut entries: Vec<(&(u64, u64), &Bucket)> = buckets.iter().collect();
+            entries.sort_unstable_by_key(|(key, _)| **key);
+            for (&(bucket, sub), shard) in entries {
                 let live: Vec<RecordId> =
-                    members.iter().copied().filter(|id| !self.removed[id.index()]).collect();
+                    shard.members.iter().copied().filter(|id| !self.removed[id.index()]).collect();
                 if live.len() < 2 {
                     continue;
                 }
@@ -581,6 +958,14 @@ mod tests {
         (one_shot, incremental)
     }
 
+    /// A from-scratch recount of the live corpus against the blocker's own
+    /// entity table — what the running counters must always equal.
+    fn recount(blocker: &IncrementalSaLshBlocker) -> PairCounts {
+        blocker
+            .snapshot()
+            .stream_packed_counts(EntityTableProbe::new(blocker.entity_table()))
+    }
+
     #[test]
     fn batched_ingest_matches_one_shot_blocking() {
         let dataset = sample_dataset();
@@ -594,6 +979,11 @@ mod tests {
             let snapshot = incremental.snapshot();
             assert_eq!(snapshot.blocks(), one_shot.blocks(), "batch_size={batch_size}");
             assert_eq!(total_delta, one_shot.num_distinct_pairs(), "batch_size={batch_size}");
+            assert_eq!(
+                incremental.running_counts().pairs,
+                one_shot.num_distinct_pairs(),
+                "running |Γ| equals the one-shot count (batch_size={batch_size})"
+            );
         }
     }
 
@@ -657,6 +1047,11 @@ mod tests {
             .collect();
         let filtered = BlockCollection::from_blocks(filtered);
         assert_eq!(incremental.snapshot().blocks(), filtered.blocks());
+        assert_eq!(
+            incremental.running_counts().pairs,
+            filtered.num_distinct_pairs(),
+            "removal subtracts exactly the retired pairs from the running |Γ|"
+        );
 
         // Pairs added after the removal never involve the tombstoned record.
         let extra = titles_dataset(&[
@@ -675,6 +1070,130 @@ mod tests {
             .pairs()
             .iter()
             .all(|p| p.first() != RecordId(1) && p.second() != RecordId(1)));
+    }
+
+    #[test]
+    fn running_counts_track_entities_through_inserts_and_removals() {
+        let dataset = sample_dataset();
+        let entities: Vec<EntityId> = dataset.ground_truth().entity_table().to_vec();
+        let mut incremental = lsh_builder().into_incremental().unwrap();
+        let mut offset = 0usize;
+        for chunk in dataset.records().chunks(3) {
+            incremental
+                .insert_batch_with_entities(chunk, &entities[offset..offset + chunk.len()])
+                .unwrap();
+            offset += chunk.len();
+            let counts = recount(&incremental);
+            assert_eq!(incremental.running_counts().pairs, counts.distinct);
+            assert_eq!(incremental.running_counts().true_positives, counts.matching);
+        }
+        assert!(incremental.running_counts().true_positives > 0, "the sample has true matches in Γ");
+        assert_eq!(incremental.entity_table(), &entities[..]);
+
+        for victim in [1u32, 6, 0] {
+            incremental.remove(RecordId(victim)).unwrap();
+            let counts = recount(&incremental);
+            assert_eq!(incremental.running_counts().pairs, counts.distinct, "after removing r{victim}");
+            assert_eq!(incremental.running_counts().true_positives, counts.matching, "after removing r{victim}");
+        }
+        assert_eq!(
+            incremental.running_counts().as_pair_counts().distinct,
+            incremental.running_counts().pairs
+        );
+    }
+
+    #[test]
+    fn entity_annotations_must_not_lapse() {
+        let dataset = sample_dataset();
+        let entities: Vec<EntityId> = dataset.ground_truth().entity_table().to_vec();
+        let mut incremental = lsh_builder().into_incremental().unwrap();
+        // Wrong arity is rejected up front.
+        let err = incremental
+            .insert_batch_with_entities(&dataset.records()[..2], &entities[..1])
+            .unwrap_err();
+        assert!(err.to_string().contains("annotations cover"));
+        // An unannotated batch followed by an annotated one is rejected.
+        incremental.insert_batch(&dataset.records()[..2]).unwrap();
+        let err = incremental
+            .insert_batch_with_entities(&dataset.records()[2..4], &entities[2..4])
+            .unwrap_err();
+        assert!(err.to_string().contains("never lapse"));
+        // Unannotated ingest keeps working; TPs simply stay at zero.
+        incremental.insert_batch(&dataset.records()[2..]).unwrap();
+        assert_eq!(incremental.running_counts().true_positives, 0);
+        assert!(incremental.running_counts().pairs > 0);
+    }
+
+    #[test]
+    fn threshold_compaction_is_observation_equivalent() {
+        let dataset = sample_dataset();
+        // Twin blockers: one never compacts, one compacts on every removal.
+        let run = |threshold: f64| {
+            let mut blocker = lsh_builder().into_incremental().unwrap().with_compaction_threshold(threshold);
+            blocker.insert_batch(dataset.records()).unwrap();
+            for victim in [0u32, 2, 7] {
+                blocker.remove(RecordId(victim)).unwrap();
+            }
+            blocker
+        };
+        let lazy = run(2.0);
+        let eager = run(0.0);
+        assert_eq!(lazy.num_compactions(), 0);
+        assert!(eager.num_compactions() > 0, "threshold 0.0 compacts every touched bucket");
+        assert_eq!(lazy.snapshot().blocks(), eager.snapshot().blocks());
+        assert_eq!(lazy.running_counts(), eager.running_counts());
+
+        // Forced compaction on the lazy twin is likewise observation-free.
+        let mut compacted = lazy.clone();
+        let before = compacted.snapshot();
+        assert!(compacted.compact() > 0);
+        assert_eq!(compacted.snapshot().blocks(), before.blocks());
+        assert_eq!(compacted.running_counts(), lazy.running_counts());
+        assert_eq!(compacted.compact(), 0, "a second pass finds nothing to compact");
+    }
+
+    #[test]
+    fn delta_counts_cache_avoids_rescanning_runs() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        struct CountingProbe(AtomicU64);
+        impl PackedProbe for CountingProbe {
+            fn matches(&self, _key: u64) -> bool {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+
+        // Hand-built delta: 6 redundant run entries, 4 distinct pairs.
+        let pack = |a: u32, b: u32| RecordPair::pack_ascending(RecordId(a), RecordId(b));
+        let runs = vec![
+            vec![pack(0, 1), pack(0, 2), pack(1, 2)],
+            vec![pack(0, 1), pack(1, 2), pack(2, 3)],
+        ];
+        let delta = DeltaPairs::from_runs(runs);
+        assert!(!delta.is_counted(), "a hand-built delta starts uncounted");
+        assert_eq!(delta.num_pairs(), 4);
+        assert!(delta.is_counted(), "the first count materialises the distinct-key cache");
+
+        let probe = CountingProbe(AtomicU64::new(0));
+        let first = delta.counts(&probe);
+        assert_eq!(first.distinct, 4);
+        assert_eq!(probe.0.load(Ordering::Relaxed), 4, "each distinct pair probed exactly once, not per run entry");
+        let second = delta.counts(&probe);
+        assert_eq!(second.distinct, first.distinct);
+        assert_eq!(probe.0.load(Ordering::Relaxed), 8, "a second call probes the cache, never the runs");
+
+        // Clones carry the cache; equality ignores it.
+        let cloned = delta.clone();
+        assert!(cloned.is_counted());
+        assert_eq!(cloned, delta);
+        assert!(!DeltaPairs::from_runs(vec![vec![pack(0, 1)]]).is_counted());
+
+        // Deltas produced by ingest are pre-counted by the counting fold.
+        let dataset = sample_dataset();
+        let mut incremental = lsh_builder().into_incremental().unwrap();
+        incremental.insert_batch(dataset.records()).unwrap();
+        assert!(incremental.delta_pairs().is_counted(), "insert_batch pre-populates the cache");
     }
 
     #[test]
@@ -722,6 +1241,10 @@ mod tests {
         assert_eq!(incremental.num_records(), 2);
         assert!(incremental.snapshot().is_empty());
         assert_eq!(incremental.next_record_id(), RecordId(2));
+
+        // Removing a never-indexed record subtracts nothing.
+        assert!(incremental.remove(RecordId(0)).unwrap());
+        assert_eq!(incremental.running_counts(), RunningCounts::default());
     }
 
     #[test]
@@ -737,5 +1260,17 @@ mod tests {
         assert_eq!(incremental.num_records(), 2);
         // The stored delta is identical to the returned one.
         assert_eq!(incremental.delta_pairs().num_pairs(), incremental.snapshot().num_distinct_pairs());
+
+        // The annotated variant feeds the running true-positive counter.
+        let mut annotated = lsh_builder().into_incremental().unwrap();
+        let rows = vec![
+            vec![Some("a theory for record linkage".to_string())],
+            vec![Some("a theory of record linkage".to_string())],
+        ];
+        annotated
+            .insert_values_with_entities(&schema, rows, &[EntityId(0), EntityId(0)])
+            .unwrap();
+        assert_eq!(annotated.running_counts().true_positives, annotated.running_counts().pairs);
+        assert!(annotated.running_counts().true_positives > 0);
     }
 }

@@ -18,7 +18,14 @@
 //!   the property that makes cumulative delta counts exact;
 //! * **tombstone set ⊆ inserted ids** — the removal bitmap covers exactly
 //!   the assigned id range and agrees with the removal counter
-//!   ([`check_tombstones`]).
+//!   ([`check_tombstones`]);
+//! * **running counters never go negative** — a removal subtracts at most
+//!   what the running Γ/Γ_tp accumulators currently hold, so the `u64`
+//!   subtraction can never wrap ([`check_counter_subtraction`]);
+//! * **bucket tombstone accounting** — each bucket's dead-member counter
+//!   equals the number of its members the tombstone bitmap marks removed,
+//!   checked after every removal touch and after every bucket-local
+//!   compaction ([`check_bucket_tombstones`]).
 //!
 //! Every helper compiles to an empty `#[inline]` function unless
 //! `sablock_core` is built with `--features check-invariants`, so the hot
@@ -115,6 +122,42 @@ pub(crate) fn check_tombstones(removed: &[bool], removed_count: usize, next_id: 
     );
 }
 
+/// Checks that subtracting `subtract` from the running counter `current`
+/// cannot underflow — the removal path derives `subtract` by enumerating
+/// only pairs that earlier deltas folded *into* the counter, so going
+/// negative would mean the back-references and the accumulator disagree.
+#[inline]
+#[allow(unused_variables)]
+pub(crate) fn check_counter_subtraction(current: u64, subtract: u64, context: &str) {
+    #[cfg(feature = "check-invariants")]
+    assert!(
+        subtract <= current,
+        "check-invariants: {context}: subtracting {subtract} from {current} would make the running counter negative",
+    );
+}
+
+/// Checks one bucket's tombstone accounting against the global removal
+/// bitmap: the bucket's dead counter must equal the number of its members
+/// currently marked removed (0 immediately after a compaction, which purges
+/// every dead member).
+#[inline]
+#[allow(unused_variables)]
+pub(crate) fn check_bucket_tombstones(
+    members: &[sablock_datasets::RecordId],
+    dead: u32,
+    removed: &[bool],
+    context: &str,
+) {
+    #[cfg(feature = "check-invariants")]
+    {
+        let marked = members.iter().filter(|member| removed[member.index()]).count();
+        assert!(
+            marked == dead as usize,
+            "check-invariants: {context}: bucket dead counter says {dead} but {marked} members are tombstoned",
+        );
+    }
+}
+
 // Trip tests: the sanitizer must actually fire on bad data, otherwise a
 // cfg/feature plumbing mistake would turn every check into a silent no-op
 // and CI's check-invariants step would prove nothing.
@@ -130,6 +173,24 @@ mod tests {
         check_emission_monotone(&mut last, &[1, 2]);
         check_emission_monotone(&mut last, &[5, 9]);
         check_tombstones(&[true, false, true], 2, 3);
+        check_counter_subtraction(10, 10, "test");
+        check_counter_subtraction(10, 0, "test");
+        let ids = [sablock_datasets::RecordId(0), sablock_datasets::RecordId(1)];
+        check_bucket_tombstones(&ids, 1, &[true, false], "test");
+        check_bucket_tombstones(&ids, 0, &[false, false], "test");
+    }
+
+    #[test]
+    #[should_panic(expected = "would make the running counter negative")]
+    fn trips_on_counter_underflow() {
+        check_counter_subtraction(3, 4, "test");
+    }
+
+    #[test]
+    #[should_panic(expected = "members are tombstoned")]
+    fn trips_on_bucket_dead_counter_mismatch() {
+        let ids = [sablock_datasets::RecordId(0), sablock_datasets::RecordId(1)];
+        check_bucket_tombstones(&ids, 2, &[true, false], "test");
     }
 
     #[test]

@@ -98,7 +98,10 @@ impl SaLshBlocker {
     /// carried over unchanged. For SA-LSH the semhash family is pinned for
     /// the index's lifetime: the explicitly pinned one when
     /// [`SemanticConfig::with_pinned_family`] was used, all taxonomy leaves
-    /// otherwise.
+    /// otherwise. The index maintains running `|Γ|`/`|Γ_tp|` counters in
+    /// O(delta) per batch (O(1) snapshot metrics) and compacts tombstoned
+    /// bucket members in place once a bucket's dead fraction crosses
+    /// [`crate::incremental::DEFAULT_COMPACTION_THRESHOLD`].
     pub fn into_incremental(self) -> Result<crate::incremental::IncrementalSaLshBlocker> {
         crate::incremental::IncrementalSaLshBlocker::from_parts(
             self.shingler,

@@ -13,7 +13,7 @@
 //! far.
 
 use sablock_core::blocking::{EntityTableProbe, PairCounts};
-use sablock_core::incremental::DeltaPairs;
+use sablock_core::incremental::{DeltaPairs, RunningCounts};
 use sablock_datasets::GroundTruth;
 
 use crate::metrics::BlockingMetrics;
@@ -23,9 +23,11 @@ use crate::metrics::BlockingMetrics;
 /// After observing every batch of a partition of a dataset, the cumulative
 /// counts equal the one-shot evaluation of the same blocking configuration
 /// over the whole dataset (property-tested in `tests/incremental.rs`).
-/// Removals invalidate the invariant — pairs of a removed record counted by
-/// earlier deltas stay counted — so workloads with removals should score
-/// snapshots instead.
+/// For workloads **with removals**, don't fold deltas by hand: the blocker's
+/// own [`RunningCounts`] already folds every delta *and* subtracts each
+/// tombstoned record's live pairs — mirror it into the evaluation with
+/// [`IncrementalEvaluation::sync_with`] (or `From`) and the cumulative
+/// metrics stay exact under arbitrary insert/remove interleavings.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IncrementalEvaluation {
     distinct: u64,
@@ -61,19 +63,50 @@ impl IncrementalEvaluation {
         self.matching
     }
 
+    /// Overwrites the running totals with the blocker's own O(1)
+    /// [`RunningCounts`] — the removal-aware path: the blocker folds every
+    /// delta as it is produced and subtracts retired pairs on `remove`, so
+    /// after a sync the evaluation scores the *live* corpus exactly, at no
+    /// per-pair cost to the caller.
+    pub fn sync_with(&mut self, counts: RunningCounts) {
+        self.distinct = counts.pairs;
+        self.matching = counts.true_positives;
+    }
+
     /// The cumulative quality measures against the ground truth ingested so
     /// far. `redundant_pairs` is the Γ_m of the current blocking (available
     /// from a snapshot's
     /// [`redundant_pair_count`](sablock_core::blocking::BlockCollection::redundant_pair_count),
     /// an O(blocks) scan); pass 0 when PQ*/FM* are not needed.
     pub fn metrics(&self, truth: &GroundTruth, redundant_pairs: u64) -> BlockingMetrics {
+        self.metrics_with_totals(truth.num_true_matches(), truth.num_total_pairs(), redundant_pairs)
+    }
+
+    /// [`IncrementalEvaluation::metrics`] with the ground-truth denominators
+    /// passed directly — for streaming callers that maintain
+    /// `total_true_matches` / `total_pairs` incrementally instead of
+    /// materialising a [`GroundTruth`] per batch.
+    pub fn metrics_with_totals(
+        &self,
+        total_true_matches: u64,
+        total_pairs: u64,
+        redundant_pairs: u64,
+    ) -> BlockingMetrics {
         BlockingMetrics {
             candidate_pairs: self.distinct,
             redundant_pairs,
             true_positives: self.matching,
-            total_true_matches: truth.num_true_matches(),
-            total_pairs: truth.num_total_pairs(),
+            total_true_matches,
+            total_pairs,
         }
+    }
+}
+
+impl From<RunningCounts> for IncrementalEvaluation {
+    fn from(counts: RunningCounts) -> Self {
+        let mut evaluation = Self::new();
+        evaluation.sync_with(counts);
+        evaluation
     }
 }
 
@@ -117,6 +150,43 @@ mod tests {
         assert_eq!(evaluation.candidate_pairs(), reference.candidate_pairs);
         assert_eq!(evaluation.true_positives(), reference.true_positives);
         assert!(cumulative.pc() > 0.0);
+    }
+
+    #[test]
+    fn syncing_with_running_counts_scores_the_live_corpus_under_removals() {
+        let dataset = NcVoterGenerator::new(NcVoterConfig { num_records: 300, ..NcVoterConfig::small() })
+            .generate()
+            .unwrap();
+        let truth = dataset.ground_truth();
+        let mut incremental = builder().into_incremental().unwrap();
+        let mut offset = 0usize;
+        for chunk in dataset.records().chunks(64) {
+            let entities = &truth.entity_table()[offset..offset + chunk.len()];
+            incremental.insert_batch_with_entities(chunk, entities).unwrap();
+            offset += chunk.len();
+        }
+        for victim in [3u32, 77, 150, 151] {
+            incremental.remove(sablock_datasets::RecordId(victim)).unwrap();
+        }
+
+        let mut evaluation = IncrementalEvaluation::new();
+        evaluation.sync_with(incremental.running_counts());
+        // Reference: a from-scratch streaming count over the live snapshot.
+        let snapshot = incremental.snapshot();
+        let reference = snapshot.stream_packed_counts(EntityTableProbe::new(truth.entity_table()));
+        assert_eq!(evaluation.candidate_pairs(), reference.distinct);
+        assert_eq!(evaluation.true_positives(), reference.matching);
+
+        // `From` and `metrics_with_totals` agree with the long-hand path.
+        let via_from = IncrementalEvaluation::from(incremental.running_counts());
+        assert_eq!(via_from, evaluation);
+        let metrics = evaluation.metrics(truth, snapshot.redundant_pair_count());
+        let direct = evaluation.metrics_with_totals(
+            truth.num_true_matches(),
+            truth.num_total_pairs(),
+            snapshot.redundant_pair_count(),
+        );
+        assert_eq!(metrics, direct);
     }
 
     #[test]

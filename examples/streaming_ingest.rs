@@ -1,5 +1,5 @@
 //! Streaming ingest walk-through: incremental SA-LSH blocking over a live
-//! NC-Voter record stream, batch by batch.
+//! NC-Voter record stream, batch by batch, with O(delta) running metrics.
 //!
 //! Run with `cargo run --release --example streaming_ingest`.
 //!
@@ -16,20 +16,33 @@
 //! The walk-through demonstrates:
 //!
 //! 1. **Bounded-batch ingest** — `NcVoterStream::next_chunk` hands out
-//!    records in bounded batches; `IncrementalBlocker::insert_batch` appends
-//!    them to the per-band bucket index without recomputing anything about
-//!    the records already ingested.
-//! 2. **Delta evaluation** — each batch emits its delta candidate pairs as
-//!    sorted packed runs; `IncrementalEvaluation` folds them into cumulative
-//!    PC/RR without ever touching old pairs again.
-//! 3. **Incremental ≡ one-shot** — after the last batch, the streamed totals
-//!    and a snapshot's streamed Γ count are asserted equal to a from-scratch
-//!    `SaLshBlocker::block` of the very same records (byte-identical pair
-//!    counts; at full scale that is the 56,156,606 of `BENCH_fig13.json`).
+//!    records in bounded batches; `insert_values_with_entities` appends them
+//!    to the cached per-band bucket shards (each insert touches only the
+//!    buckets it lands in) without recomputing anything about the records
+//!    already ingested.
+//! 2. **O(delta) running metrics** — the blocker folds each batch's delta
+//!    pairs and true positives into its `RunningCounts` as they are
+//!    produced, so cumulative PC/RR per batch — and the final snapshot
+//!    metrics — are an O(1) read, not an O(corpus) re-count. The ground
+//!    truth denominators (`|Ω_tp|`, `|Ω|`) are likewise maintained
+//!    incrementally from per-entity tallies.
+//! 3. **Incremental ≡ one-shot** — after the last batch, the running
+//!    counters are asserted equal to a from-scratch streamed re-count of the
+//!    snapshot AND to a from-scratch `SaLshBlocker::block` of the very same
+//!    records (byte-identical blocks; at full scale the 56,156,606 pairs /
+//!    112,220 true positives of `BENCH_fig13.json`).
+//! 4. **Removal + compaction** (quick mode) — tombstoning records subtracts
+//!    exactly their live pairs from the running counters by walking only the
+//!    buckets they occupy, and bucket-local compaction reclaims dead members
+//!    without observable effect.
 //!
-//! Per-batch insert latencies (p50/p99/max) and the rebuild comparison are
-//! written to `BENCH_fig13.json` under the `"incremental"` section
-//! (`"incremental_quick"` for default runs).
+//! Per-batch insert latencies (p50/p99/max), the O(1) snapshot-metrics time,
+//! and the rebuild comparison (including the ingest / rebuild-end-to-end
+//! ratio) are written to `BENCH_fig13.json` under the `"incremental"`
+//! section (`"incremental_quick"` for default runs). Set
+//! `SABLOCK_STREAM_BUDGET=1` to additionally *assert* that total ingest
+//! stays within 2× of the one-shot rebuild end-to-end (blocking + Γ count) —
+//! the CI streaming smoke runs with the assertion on.
 
 use std::error::Error;
 use std::path::Path;
@@ -46,8 +59,34 @@ const FULL_SCALE: usize = 292_892;
 /// The affordable default for a debug-friendly walk-through.
 const QUICK_SCALE: usize = 10_000;
 
+/// Incrementally maintained ground-truth denominators: appending a record of
+/// entity `e` to a cluster of current size `c` adds `c` true-match pairs to
+/// `|Ω_tp|` and `n−1` pairs to `|Ω|` — no per-batch `GroundTruth`
+/// materialisation needed.
+#[derive(Default)]
+struct TruthTotals {
+    cluster_sizes: Vec<u64>,
+    records: u64,
+    true_matches: u64,
+    total_pairs: u64,
+}
+
+impl TruthTotals {
+    fn push(&mut self, entity: EntityId) {
+        let slot = entity.0 as usize;
+        if slot >= self.cluster_sizes.len() {
+            self.cluster_sizes.resize(slot + 1, 0);
+        }
+        self.true_matches += self.cluster_sizes[slot];
+        self.cluster_sizes[slot] += 1;
+        self.total_pairs += self.records;
+        self.records += 1;
+    }
+}
+
 fn main() -> Result<(), Box<dyn Error>> {
     let full = std::env::var("SABLOCK_STREAM_FULL").is_ok_and(|v| v == "1");
+    let enforce_budget = std::env::var("SABLOCK_STREAM_BUDGET").is_ok_and(|v| v == "1");
     let num_records = if full { FULL_SCALE } else { QUICK_SCALE };
     let batch_size = if full { 16_384 } else { 1_024 };
     println!(
@@ -87,43 +126,48 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut stream = generator.stream()?;
     let schema = Arc::clone(stream.schema());
 
-    // Kept only for ground truth and the final rebuild cross-check — the
-    // incremental index itself never needs the history.
+    // Kept only for the final rebuild cross-check — the incremental index
+    // itself never needs the history.
     let mut entities: Vec<EntityId> = Vec::with_capacity(num_records);
     let mut all_rows: Vec<Vec<Option<String>>> = Vec::with_capacity(num_records);
 
+    let mut truth_totals = TruthTotals::default();
     let mut evaluation = IncrementalEvaluation::new();
     let mut latencies = LatencyStats::new();
     let mut batch_index = 0usize;
     while let Some(chunk) = stream.next_chunk(batch_size) {
         let mut rows = Vec::with_capacity(chunk.len());
+        let mut batch_entities = Vec::with_capacity(chunk.len());
         for (values, entity) in chunk {
             entities.push(entity);
+            truth_totals.push(entity);
+            batch_entities.push(entity);
             all_rows.push(values.clone());
             rows.push(values);
         }
         let batch_records = rows.len();
         let start = Instant::now();
-        let _ = incremental.insert_values(&schema, rows)?;
+        let delta_pairs = incremental.insert_values_with_entities(&schema, rows, &batch_entities)?.num_pairs();
         let elapsed = start.elapsed();
         latencies.record(elapsed);
 
-        // Cumulative quality so far: fold the batch's delta against the
-        // ground truth ingested up to now.
-        let truth = GroundTruth::from_assignments(entities.clone());
-        let batch_counts = evaluation.observe(incremental.delta_pairs(), &truth);
-        let cumulative = evaluation.metrics(&truth, 0);
+        // Cumulative quality so far: the running counters already fold the
+        // delta — reading them is O(1), no pair is ever re-probed.
+        evaluation.sync_with(incremental.running_counts());
+        let cumulative =
+            evaluation.metrics_with_totals(truth_totals.true_matches, truth_totals.total_pairs, 0);
         batch_index += 1;
         println!(
             "batch {:>3}: +{:>7} records in {:>8.2} ms | +{:>9} delta pairs | cumulative PC={:.4} RR={:.4}",
             batch_index,
             batch_records,
             elapsed.as_secs_f64() * 1e3,
-            batch_counts.distinct,
+            delta_pairs,
             cumulative.pc(),
             cumulative.rr(),
         );
     }
+    let insert_total_s = latencies.total_secs();
     println!(
         "ingested {} records in {} batches: insert p50 {:.2} ms, p99 {:.2} ms, max {:.2} ms, total {:.2} s",
         incremental.num_records(),
@@ -131,36 +175,62 @@ fn main() -> Result<(), Box<dyn Error>> {
         latencies.p50_secs() * 1e3,
         latencies.p99_secs() * 1e3,
         latencies.max_secs() * 1e3,
-        latencies.total_secs(),
+        insert_total_s,
     );
 
-    // --- 2. Cross-check the cumulative deltas against a snapshot -------------
+    // --- 2. Snapshot metrics in O(delta): an O(1) counter read ---------------
+    let metrics_start = Instant::now();
+    let running = incremental.running_counts();
+    let final_metrics = IncrementalEvaluation::from(running).metrics_with_totals(
+        truth_totals.true_matches,
+        truth_totals.total_pairs,
+        0,
+    );
+    let snapshot_metrics_time = metrics_start.elapsed();
+    println!(
+        "snapshot metrics (running counters): |Γ| = {}, |Γ_tp| = {}, PC={:.4} RR={:.4} in {:.6}s",
+        running.pairs,
+        running.true_positives,
+        final_metrics.pc(),
+        final_metrics.rr(),
+        snapshot_metrics_time.as_secs_f64(),
+    );
+    assert!(
+        snapshot_metrics_time.as_secs_f64() < 1.0,
+        "running-counter snapshot metrics must be an O(1) read, not an O(corpus) re-count"
+    );
+
+    // --- 3. Cross-check the counters against a from-scratch snapshot count ---
     let truth = GroundTruth::from_assignments(entities.clone());
+    assert_eq!(truth.num_true_matches(), truth_totals.true_matches, "incremental |Ω_tp| is exact");
+    assert_eq!(truth.num_total_pairs(), truth_totals.total_pairs, "incremental |Ω| is exact");
     let snapshot = incremental.snapshot();
     let stream_start = Instant::now();
     let snapshot_counts = snapshot.stream_packed_counts(EntityTableProbe::new(truth.entity_table()));
     let snapshot_count_time = stream_start.elapsed();
     assert_eq!(
         snapshot_counts.distinct,
-        evaluation.candidate_pairs(),
-        "summed per-batch deltas must equal the snapshot's streamed Γ count"
+        running.pairs,
+        "running |Γ| must equal the snapshot's streamed re-count"
     );
-    assert_eq!(snapshot_counts.matching, evaluation.true_positives());
+    assert_eq!(snapshot_counts.matching, running.true_positives, "running |Γ_tp| must match too");
     println!(
-        "snapshot: {} blocks, {} distinct pairs, {} true positives (streamed in {:.2}s) — matches the delta sum",
+        "snapshot re-count: {} blocks, {} distinct pairs, {} true positives (streamed in {:.2}s) — matches \
+         the running counters",
         snapshot.num_blocks(),
         snapshot_counts.distinct,
         snapshot_counts.matching,
         snapshot_count_time.as_secs_f64(),
     );
 
-    // --- 3. Rebuild from scratch and require byte-identical blocking ---------
-    let mut builder = sablock::datasets::dataset::DatasetBuilder::new("ncvoter-streamed", Arc::clone(&schema));
-    builder.reserve(all_rows.len());
+    // --- 4. Rebuild from scratch and require byte-identical blocking ---------
+    let mut dataset_builder =
+        sablock::datasets::dataset::DatasetBuilder::new("ncvoter-streamed", Arc::clone(&schema));
+    dataset_builder.reserve(all_rows.len());
     for (values, entity) in all_rows.into_iter().zip(entities.iter()) {
-        builder.push_values(values, *entity)?;
+        dataset_builder.push_values(values, *entity)?;
     }
-    let dataset = builder.build()?;
+    let dataset = dataset_builder.build()?;
     let rebuild_start = Instant::now();
     let rebuilt = blocker.block(&dataset)?;
     let rebuild_time = rebuild_start.elapsed();
@@ -170,38 +240,92 @@ fn main() -> Result<(), Box<dyn Error>> {
         "incremental snapshot must be byte-identical to a from-scratch rebuild"
     );
     let reference = BlockingMetrics::evaluate(&rebuilt, dataset.ground_truth());
-    assert_eq!(reference.candidate_pairs, evaluation.candidate_pairs(), "delta ≡ rebuild |Γ|");
-    assert_eq!(reference.true_positives, evaluation.true_positives(), "delta ≡ rebuild |Γ_tp|");
+    assert_eq!(reference.candidate_pairs, running.pairs, "running |Γ| ≡ rebuild |Γ|");
+    assert_eq!(reference.true_positives, running.true_positives, "running |Γ_tp| ≡ rebuild |Γ_tp|");
+    // A one-shot deployment pays blocking *plus* a full Γ count to get the
+    // numbers the running counters deliver for free — that is the
+    // end-to-end cost streaming ingest is budgeted against.
+    let rebuild_end_to_end_s = rebuild_time.as_secs_f64() + snapshot_count_time.as_secs_f64();
+    let ingest_ratio = insert_total_s / rebuild_end_to_end_s;
     println!(
-        "rebuild: blocked {} records from scratch in {:.2}s — blocks and pair counts identical \
-         (|Γ| = {}, final PC={:.4} RR={:.4})",
+        "rebuild: blocked {} records from scratch in {:.2}s (+{:.2}s one-shot Γ count = {:.2}s end-to-end) — \
+         blocks and pair counts identical (|Γ| = {}, final PC={:.4} RR={:.4}); ingest/rebuild ratio {:.2}×",
         dataset.len(),
         rebuild_time.as_secs_f64(),
+        snapshot_count_time.as_secs_f64(),
+        rebuild_end_to_end_s,
         reference.candidate_pairs,
         reference.pc(),
         reference.rr(),
+        ingest_ratio,
     );
     if full {
         assert_eq!(
             reference.candidate_pairs, 56_156_606,
             "full-scale SA-LSH pair count must match BENCH_fig13.json's one-shot run"
         );
+        assert_eq!(
+            running.true_positives, 112_220,
+            "full-scale SA-LSH true positives must match BENCH_fig13.json's one-shot run"
+        );
+    }
+    if enforce_budget {
+        assert!(
+            ingest_ratio <= 2.0,
+            "streaming ingest ({insert_total_s:.2}s) exceeded 2× the one-shot rebuild end-to-end \
+             ({rebuild_end_to_end_s:.2}s)"
+        );
+        println!("budget check: ingest within 2× of rebuild end-to-end ✓");
     }
 
-    // --- 4. Record the measurements machine-readably -------------------------
+    // --- 5. Removal + compaction demo (quick mode only) ----------------------
+    if !full {
+        let victims = [RecordId(17), RecordId(512), RecordId(513)];
+        for victim in victims {
+            incremental.remove(victim)?;
+        }
+        let after_removal = incremental.running_counts();
+        let live_truth = GroundTruth::from_assignments(entities.clone());
+        let recount = incremental
+            .snapshot()
+            .stream_packed_counts(EntityTableProbe::new(live_truth.entity_table()));
+        assert_eq!(after_removal.pairs, recount.distinct, "removal subtracts exactly the retired pairs");
+        assert_eq!(after_removal.true_positives, recount.matching);
+        let before_compaction = incremental.snapshot();
+        let compacted = incremental.compact();
+        assert_eq!(
+            incremental.snapshot().blocks(),
+            before_compaction.blocks(),
+            "compaction is observation-equivalent"
+        );
+        assert_eq!(incremental.running_counts(), after_removal);
+        println!(
+            "removals: tombstoned {} records, running counters subtracted exactly ({} pairs live); \
+             compacted {} buckets ({} total so far) with no observable change",
+            victims.len(),
+            after_removal.pairs,
+            compacted,
+            incremental.num_compactions(),
+        );
+    }
+
+    // --- 6. Record the measurements machine-readably -------------------------
     let peak_rss = peak_rss_bytes();
     let report = JsonValue::Object(vec![
-        ("records".into(), JsonValue::UInt(incremental.num_records() as u64)), // sablock-lint: allow(lossy-id-cast): usize count → u64 widens losslessly
-        ("batch_size".into(), JsonValue::UInt(batch_size as u64)), // sablock-lint: allow(lossy-id-cast): usize count → u64 widens losslessly
-        ("batches".into(), JsonValue::UInt(incremental.num_batches() as u64)), // sablock-lint: allow(lossy-id-cast): usize count → u64 widens losslessly
+        ("records".into(), JsonValue::UInt(dataset.len() as u64)),
+        ("batch_size".into(), JsonValue::UInt(batch_size as u64)),
+        ("batches".into(), JsonValue::UInt(batch_index as u64)),
         ("insert_p50_s".into(), JsonValue::Float(latencies.p50_secs())),
         ("insert_p99_s".into(), JsonValue::Float(latencies.p99_secs())),
         ("insert_max_s".into(), JsonValue::Float(latencies.max_secs())),
-        ("insert_total_s".into(), JsonValue::Float(latencies.total_secs())),
+        ("insert_total_s".into(), JsonValue::Float(insert_total_s)),
+        ("snapshot_metrics_s".into(), JsonValue::Float(snapshot_metrics_time.as_secs_f64())),
         ("rebuild_blocking_s".into(), JsonValue::Float(rebuild_time.as_secs_f64())),
         ("snapshot_count_s".into(), JsonValue::Float(snapshot_count_time.as_secs_f64())),
-        ("salsh_candidate_pairs".into(), JsonValue::UInt(evaluation.candidate_pairs())),
-        ("salsh_true_positives".into(), JsonValue::UInt(evaluation.true_positives())),
+        ("rebuild_end_to_end_s".into(), JsonValue::Float(rebuild_end_to_end_s)),
+        ("ingest_vs_rebuild_ratio".into(), JsonValue::Float(ingest_ratio)),
+        ("salsh_candidate_pairs".into(), JsonValue::UInt(running.pairs)),
+        ("salsh_true_positives".into(), JsonValue::UInt(running.true_positives)),
         ("peak_rss_bytes".into(), peak_rss.map_or(JsonValue::Null, JsonValue::UInt)),
     ]);
     let section = if full { "incremental" } else { "incremental_quick" };

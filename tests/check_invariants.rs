@@ -108,3 +108,36 @@ fn snapshots_under_sanitizer_are_reproducible() {
     let b = incremental.snapshot().stream_pair_counts(|_: &RecordPair| false).distinct;
     assert_eq!(a, b, "snapshot pair counts must be reproducible");
 }
+
+/// Running counters + compaction at Cora scale under the sanitizer: an
+/// annotated ingest followed by a removal storm (threshold 0.0, so every
+/// touched bucket compacts immediately) drives the counter-subtraction and
+/// bucket-tombstone-accounting checks on real data, and the counters must
+/// land exactly on a from-scratch recount of the survivors.
+#[test]
+fn removal_storm_with_compaction_under_sanitizer_keeps_counts_exact() {
+    let dataset = cora_dataset(400);
+    let entities = dataset.ground_truth().entity_table();
+    let mut incremental = salsh_builder().into_incremental().unwrap().with_compaction_threshold(0.0);
+    let mut offset = 0usize;
+    for chunk in dataset.records().chunks(80) {
+        incremental
+            .insert_batch_with_entities(chunk, &entities[offset..offset + chunk.len()])
+            .unwrap();
+        offset += chunk.len();
+    }
+    // Remove every third record — each removal subtracts its live pairs and
+    // compacts every bucket it touched.
+    for victim in (0..400u32).step_by(3) {
+        assert!(incremental.remove(RecordId(victim)).unwrap());
+    }
+    assert!(incremental.num_compactions() > 0, "threshold 0.0 must have compacted buckets");
+    // Forced compaction afterwards finds nothing left to do.
+    assert_eq!(incremental.compact(), 0);
+
+    let recount = incremental
+        .snapshot()
+        .stream_packed_counts(EntityTableProbe::new(incremental.entity_table()));
+    assert_eq!(incremental.running_counts().pairs, recount.distinct);
+    assert_eq!(incremental.running_counts().true_positives, recount.matching);
+}

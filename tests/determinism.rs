@@ -271,3 +271,47 @@ fn canopy_and_stringmap_are_thread_count_invariant() {
         assert_eq!(single.blocks(), quad.blocks(), "{name}: 1 vs 4 worker block output");
     }
 }
+
+/// The batch-parallel incremental insert path (per-band shard updates via
+/// `parallel_map_mut`, stitched in band order) must be thread-count
+/// invariant *per batch*, not just at the end: identical per-batch delta
+/// runs, identical running Γ/Γ_tp counters after every batch and removal,
+/// and a byte-identical final snapshot for 1 vs 4 ingest workers.
+#[test]
+fn incremental_insert_is_thread_count_invariant_per_batch() {
+    use sablock::core::incremental::IncrementalBlocker;
+
+    let dataset = small_cora();
+    let entities = dataset.ground_truth().entity_table();
+    let build = |threads: usize| {
+        let tree = bibliographic_taxonomy();
+        let zeta = PatternSemanticFunction::cora_default(&tree).unwrap();
+        SaLshBlocker::builder()
+            .attributes(["title", "authors"])
+            .qgram(3)
+            .rows_per_band(3)
+            .bands(12)
+            .seed(0xB10C)
+            .semantic(SemanticConfig::new(tree, zeta).with_w(2).with_mode(SemanticMode::Or))
+            .threads(threads)
+            .into_incremental()
+            .unwrap()
+    };
+    let mut single = build(1);
+    let mut quad = build(4);
+    let mut offset = 0usize;
+    for chunk in dataset.records().chunks(64) {
+        let batch_entities = &entities[offset..offset + chunk.len()];
+        let delta_1 = single.insert_batch_with_entities(chunk, batch_entities).unwrap().clone();
+        let delta_4 = quad.insert_batch_with_entities(chunk, batch_entities).unwrap().clone();
+        offset += chunk.len();
+        assert_eq!(delta_1, delta_4, "per-batch delta runs differ between 1 and 4 workers");
+        assert_eq!(single.running_counts(), quad.running_counts(), "running counters diverged mid-stream");
+        // Remove one record per batch so the subtraction path (built on the
+        // back-references the parallel insert recorded) is exercised too.
+        let victim = RecordId(offset as u32 - 1);
+        assert_eq!(single.remove(victim).unwrap(), quad.remove(victim).unwrap());
+        assert_eq!(single.running_counts(), quad.running_counts(), "removal subtraction diverged");
+    }
+    assert_eq!(single.snapshot().blocks(), quad.snapshot().blocks(), "1 vs 4 ingest workers");
+}

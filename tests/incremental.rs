@@ -193,22 +193,43 @@ proptest! {
 
 /// Golden Cora delta-pair trajectory: ingesting the deterministic 100-record
 /// Cora prefix in five 20-record batches through the pinned SA-LSH
-/// configuration must reproduce these exact per-batch delta counts (printed
-/// by `cargo test --test incremental -- --nocapture` when they shift). The
-/// cumulative sum is additionally pinned against the one-shot |Γ| so the
-/// table cannot drift as a whole.
+/// configuration must reproduce these exact per-batch delta counts **and**
+/// per-batch running Γ/Γ_tp counter values (printed by
+/// `cargo test --test incremental -- --nocapture` when they shift) — not
+/// just the final sums, so a drift in the running-counter maintenance cannot
+/// hide behind a correct total. The cumulative sum is additionally pinned
+/// against the one-shot |Γ| so the table cannot drift as a whole.
 #[test]
 fn golden_cora_delta_pair_counts() {
     const GOLDEN_DELTAS: [u64; 5] = [66, 84, 76, 77, 340];
+    const GOLDEN_RUNNING: [(u64, u64); 5] = [(66, 63), (150, 135), (226, 188), (303, 241), (643, 539)];
     let dataset = cora_dataset(100);
+    let entities = dataset.ground_truth().entity_table();
     let mut incremental = salsh_builder().into_incremental().unwrap();
     let mut deltas = Vec::new();
+    let mut running = Vec::new();
+    let mut offset = 0usize;
     for chunk in dataset.records().chunks(20) {
-        deltas.push(incremental.insert_batch(chunk).unwrap().num_pairs());
+        deltas.push(
+            incremental
+                .insert_batch_with_entities(chunk, &entities[offset..offset + chunk.len()])
+                .unwrap()
+                .num_pairs(),
+        );
+        offset += chunk.len();
+        let counts = incremental.running_counts();
+        running.push((counts.pairs, counts.true_positives));
     }
     println!("golden Cora delta counts: {deltas:?}");
+    println!("golden Cora running (|Γ|, |Γ_tp|): {running:?}");
     assert_eq!(deltas, GOLDEN_DELTAS, "per-batch delta pair counts shifted");
+    assert_eq!(running, GOLDEN_RUNNING, "per-batch running Γ/Γ_tp counters shifted");
     let reference = salsh_builder().build().unwrap().block(&dataset).unwrap();
     assert_eq!(deltas.iter().sum::<u64>(), reference.num_distinct_pairs());
     assert_eq!(incremental.snapshot().blocks(), reference.blocks());
+    // The final running counters equal a full evaluation of the one-shot
+    // blocking — PC's numerator straight from the counter.
+    let reference_metrics = BlockingMetrics::evaluate(&reference, dataset.ground_truth());
+    assert_eq!(incremental.running_counts().pairs, reference_metrics.candidate_pairs);
+    assert_eq!(incremental.running_counts().true_positives, reference_metrics.true_positives);
 }

@@ -1,0 +1,320 @@
+//! Differential tests of the O(delta) running counters: after **every**
+//! operation of a randomized `insert_batch` / `remove` / re-insert
+//! interleaving, the blocker's [`RunningCounts`] must equal a from-scratch
+//! recount of the live corpus (streamed Γ/Γ_tp over a fresh snapshot against
+//! the blocker's own entity table). The suite also pins the edge cases the
+//! random walk could miss — remove-then-reinsert of the same entity, removal
+//! of a record that never entered any pair — and proves bucket-local
+//! tombstone compaction observation-equivalent at the threshold boundaries
+//! (0 %, just-below, at, just-above the dead fraction, and 100 % dead).
+//!
+//! CI runs this file with `--features sablock_core/check-invariants`, so the
+//! runtime sanitizer (counter underflow, bucket tombstone accounting,
+//! cross-batch delta disjointness) is armed under the same interleavings.
+//! The vendored `proptest` derives its RNG seed from the test name, so every
+//! run replays the same fixed-seed case set.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use sablock::core::blocking::PairCounts;
+use sablock::core::incremental::{IncrementalBlocker, IncrementalSaLshBlocker, RunningCounts};
+use sablock::core::lsh::salsh::SaLshBlockerBuilder;
+use sablock::core::semantic::semhash::SemhashFamily;
+use sablock::prelude::*;
+
+fn cora_dataset(records: usize) -> Dataset {
+    CoraGenerator::new(CoraConfig { num_records: records, seed: 0xD5EED, ..CoraConfig::default() })
+        .generate()
+        .unwrap()
+}
+
+fn lsh_builder() -> SaLshBlockerBuilder {
+    SaLshBlocker::builder().attributes(["title", "authors"]).qgram(3).rows_per_band(2).bands(8).seed(0xB10C)
+}
+
+fn salsh_builder() -> SaLshBlockerBuilder {
+    let tree = bibliographic_taxonomy();
+    let zeta = PatternSemanticFunction::cora_default(&tree).unwrap();
+    let family = SemhashFamily::from_all_leaves(&tree).unwrap();
+    lsh_builder().semantic(
+        SemanticConfig::new(tree, zeta)
+            .with_w(2)
+            .with_mode(SemanticMode::Or)
+            .with_seed(11)
+            .with_pinned_family(family),
+    )
+}
+
+/// The ground truth the running counters must always agree with: a
+/// from-scratch streamed recount of the **live** corpus — fresh snapshot,
+/// every candidate pair probed against the blocker's own entity table.
+fn recount(blocker: &IncrementalSaLshBlocker) -> PairCounts {
+    blocker
+        .snapshot()
+        .stream_packed_counts(EntityTableProbe::new(blocker.entity_table()))
+}
+
+fn assert_counts_exact(blocker: &IncrementalSaLshBlocker, context: &str) {
+    let expected = recount(blocker);
+    let running = blocker.running_counts();
+    assert_eq!(running.pairs, expected.distinct, "running |Γ| drifted from the live recount {context}");
+    assert_eq!(
+        running.true_positives, expected.matching,
+        "running |Γ_tp| drifted from the live recount {context}"
+    );
+}
+
+/// One record's resurrectable payload: its row values and its entity.
+type Resurrectable = (Vec<Option<String>>, EntityId);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole differential: a seeded random interleaving of fresh
+    /// inserts, removals of live records, and re-inserts of previously
+    /// removed payloads (same entity, fresh id — ids are never reused).
+    /// After every single operation the running counters must equal the
+    /// from-scratch recount.
+    #[test]
+    fn randomized_interleavings_keep_running_counts_exact(
+        kinds in proptest::collection::vec(any::<u8>(), 1..28),
+        params in proptest::collection::vec(any::<u8>(), 1..28),
+        semantic in any::<bool>(),
+    ) {
+        let ops: Vec<(u8, u8)> = kinds.iter().copied().zip(params.iter().copied()).collect();
+        let dataset = cora_dataset(60);
+        let entities = dataset.ground_truth().entity_table().to_vec();
+        let schema = Arc::clone(dataset.records()[0].schema());
+        let builder = if semantic { salsh_builder() } else { lsh_builder() };
+        let mut blocker = builder.into_incremental().unwrap();
+
+        let mut source = 0usize; // next unseen dataset record
+        let mut live: Vec<RecordId> = Vec::new();
+        let mut graveyard: Vec<Resurrectable> = Vec::new();
+        let mut expected_entities: Vec<EntityId> = Vec::new();
+
+        for (step, &(kind, param)) in ops.iter().enumerate() {
+            let param = param as usize;
+            match kind % 3 {
+                // Insert a fresh batch of 1–4 unseen records.
+                0 => {
+                    let take = (1 + param % 4).min(dataset.len() - source);
+                    if take == 0 {
+                        continue;
+                    }
+                    let mut rows = Vec::with_capacity(take);
+                    let mut batch_entities = Vec::with_capacity(take);
+                    for record in &dataset.records()[source..source + take] {
+                        rows.push(record.values().to_vec());
+                        batch_entities.push(entities[record.id().index()]);
+                    }
+                    source += take;
+                    let first = blocker.next_record_id();
+                    blocker.insert_values_with_entities(&schema, rows, &batch_entities).unwrap();
+                    for offset in 0..take {
+                        // Ids are dense, so the batch occupies first..first+take.
+                        live.push(RecordId(first.0 + u32::try_from(offset).unwrap()));
+                    }
+                    expected_entities.extend_from_slice(&batch_entities);
+                }
+                // Remove a live record.
+                1 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let victim = live.swap_remove(param % live.len());
+                    let entity = expected_entities[victim.index()];
+                    let values = dataset.records()[..]
+                        .iter()
+                        .find(|r| r.id() == victim)
+                        .map(|r| r.values().to_vec());
+                    // Re-inserted copies are not in the source dataset; fall
+                    // back to remembering nothing extra for them (their
+                    // payload is already in the graveyard rotation).
+                    if let Some(values) = values {
+                        graveyard.push((values, entity));
+                    }
+                    prop_assert!(blocker.remove(victim).unwrap());
+                    prop_assert!(!blocker.remove(victim).unwrap(), "double removal must report false");
+                }
+                // Re-insert a removed payload under a fresh id — the
+                // remove-then-reinsert-same-entity scenario.
+                _ => {
+                    if graveyard.is_empty() {
+                        continue;
+                    }
+                    let (values, entity) = graveyard.swap_remove(param % graveyard.len());
+                    let id = blocker.next_record_id();
+                    blocker
+                        .insert_values_with_entities(&schema, vec![values], &[entity])
+                        .unwrap();
+                    live.push(id);
+                    expected_entities.push(entity);
+                }
+            }
+            prop_assert_eq!(
+                blocker.entity_table(),
+                &expected_entities[..],
+                "entity table mirrors the ingest"
+            );
+            assert_counts_exact(&blocker, &format!("after op {step}"));
+        }
+
+        // Drain: removing everything must land the counters exactly on zero.
+        for id in live.drain(..) {
+            blocker.remove(id).unwrap();
+        }
+        assert_counts_exact(&blocker, "after draining every live record");
+        prop_assert_eq!(blocker.running_counts(), RunningCounts::default());
+    }
+
+    /// Compaction is observation-equivalent under random interleavings: a
+    /// twin blocker that compacts aggressively (threshold 0.0, every
+    /// removal-touched bucket rebuilt at once) stays byte-identical — in
+    /// snapshots, running counts, and subsequent deltas — to a twin that
+    /// never compacts (threshold 2.0), and a forced mid-stream `compact()`
+    /// changes nothing observable either.
+    #[test]
+    fn compaction_is_observation_equivalent_under_interleavings(
+        sizes in proptest::collection::vec(1usize..20, 1..6),
+        removals in proptest::collection::vec(0u32..50, 1..14),
+        semantic in any::<bool>(),
+    ) {
+        let dataset = cora_dataset(50);
+        let builder = if semantic { salsh_builder() } else { lsh_builder() };
+        let mut lazy = builder.clone().into_incremental().unwrap().with_compaction_threshold(2.0);
+        let mut eager = builder.into_incremental().unwrap().with_compaction_threshold(0.0);
+
+        let mut offset = 0usize;
+        let mut sizes_iter = sizes.iter().copied();
+        let mut removal_queue: Vec<RecordId> = removals.iter().map(|&id| RecordId(id)).collect();
+        while offset < dataset.len() {
+            let size = sizes_iter.next().unwrap_or(dataset.len() - offset).clamp(1, dataset.len() - offset);
+            let batch = &dataset.records()[offset..offset + size];
+            let lazy_delta = lazy.insert_batch(batch).unwrap().clone();
+            let eager_delta = eager.insert_batch(batch).unwrap().clone();
+            prop_assert_eq!(lazy_delta, eager_delta, "deltas must not depend on compaction");
+            offset += size;
+            removal_queue.retain(|&id| {
+                if id.index() < offset {
+                    assert_eq!(lazy.remove(id).unwrap(), eager.remove(id).unwrap());
+                    false
+                } else {
+                    true
+                }
+            });
+            // Immediately before/after a forced compaction: byte-identical.
+            let before = lazy.snapshot();
+            let mut forced = lazy.clone();
+            forced.compact();
+            prop_assert_eq!(forced.snapshot().blocks(), before.blocks());
+            prop_assert_eq!(forced.running_counts(), lazy.running_counts());
+
+            prop_assert_eq!(lazy.snapshot().blocks(), eager.snapshot().blocks());
+            prop_assert_eq!(lazy.running_counts(), eager.running_counts());
+        }
+        prop_assert_eq!(lazy.num_compactions(), 0, "threshold 2.0 must never compact");
+        assert_counts_exact(&eager, "on the eagerly compacted twin");
+    }
+}
+
+/// Removing a record that never entered any candidate pair (its text is
+/// empty, so it was never indexed into any bucket) must subtract nothing and
+/// leave the counters exact.
+#[test]
+fn removing_a_never_paired_record_subtracts_nothing() {
+    let schema = Schema::shared(["title", "authors"]).unwrap();
+    let mut blocker = lsh_builder().into_incremental().unwrap();
+    let rows = vec![
+        vec![Some("a theory for record linkage".into()), Some("fellegi".into())],
+        vec![None, None], // never shingled → never in any bucket
+        vec![Some("a theory of record linkage".into()), Some("fellegi".into())],
+    ];
+    let entities = [EntityId(0), EntityId(7), EntityId(0)];
+    blocker.insert_values_with_entities(&schema, rows, &entities).unwrap();
+    let before = blocker.running_counts();
+    assert!(before.pairs > 0 && before.true_positives > 0);
+
+    assert!(blocker.remove(RecordId(1)).unwrap());
+    assert_eq!(blocker.running_counts(), before, "a pairless record contributes nothing to subtract");
+    assert_counts_exact(&blocker, "after removing the never-paired record");
+    assert_eq!(blocker.compact(), 0, "no bucket holds the never-indexed record");
+}
+
+/// Remove-then-reinsert of the same entity: the pairs disappear from the
+/// counters with the removal and come back (under the fresh id) with the
+/// re-insert, exactly.
+#[test]
+fn remove_then_reinsert_same_entity_restores_the_counts() {
+    let schema = Schema::shared(["title", "authors"]).unwrap();
+    let mut blocker = salsh_builder().into_incremental().unwrap();
+    let payload = vec![Some("efficient clustering of high dimensional data sets".to_string()), Some("cluto".to_string())];
+    let rows = vec![
+        payload.clone(),
+        vec![Some("efficient clustering of high dimensional data".into()), Some("cluto".into())],
+    ];
+    blocker.insert_values_with_entities(&schema, rows, &[EntityId(3), EntityId(3)]).unwrap();
+    let full = blocker.running_counts();
+    assert!(full.true_positives > 0, "the two spellings must collide");
+
+    assert!(blocker.remove(RecordId(0)).unwrap());
+    assert_eq!(blocker.running_counts(), RunningCounts::default(), "removing one of two live records empties Γ");
+
+    blocker.insert_values_with_entities(&schema, vec![payload], &[EntityId(3)]).unwrap();
+    let restored = blocker.running_counts();
+    assert_eq!(restored.pairs, full.pairs, "identical payload under a fresh id restores |Γ|");
+    assert_eq!(restored.true_positives, full.true_positives, "same entity ⇒ the pair is a true positive again");
+    assert_counts_exact(&blocker, "after the re-insert");
+}
+
+/// Threshold boundary semantics with an analytically known bucket: ten
+/// identical records share every bucket, so each bucket holds exactly ten
+/// members and the dead fraction after `r` removals is `r/10`. Compaction
+/// must first fire at 1 removal for threshold 0 %, at 5 for just-below and
+/// exactly 50 %, at 6 for just-above, and only at 10 (100 % dead) for
+/// threshold 1.0 — and never perturb the observable state.
+#[test]
+fn compaction_threshold_boundaries() {
+    let schema = Schema::shared(["title", "authors"]).unwrap();
+    let identical = || vec![Some("the cascade correlation learning architecture".to_string()), Some("fahlman".to_string())];
+    let cases = [
+        (0.0_f64, 1u32),
+        (0.499, 5),
+        (0.5, 5),
+        (0.501, 6),
+        (1.0, 10),
+    ];
+    for (threshold, expected_first_trigger) in cases {
+        let mut blocker = lsh_builder().into_incremental().unwrap().with_compaction_threshold(threshold);
+        let mut reference = lsh_builder().into_incremental().unwrap().with_compaction_threshold(2.0);
+        let rows: Vec<Vec<Option<String>>> = (0..10).map(|_| identical()).collect();
+        let entities: Vec<EntityId> = (0..10).map(EntityId).collect();
+        blocker.insert_values_with_entities(&schema, rows.clone(), &entities).unwrap();
+        reference.insert_values_with_entities(&schema, rows, &entities).unwrap();
+
+        let mut first_trigger: Option<u32> = None;
+        for victim in 0u32..10 {
+            blocker.remove(RecordId(victim)).unwrap();
+            reference.remove(RecordId(victim)).unwrap();
+            if first_trigger.is_none() && blocker.num_compactions() > 0 {
+                first_trigger = Some(victim + 1);
+            }
+            assert_eq!(
+                blocker.snapshot().blocks(),
+                reference.snapshot().blocks(),
+                "threshold {threshold} after {} removals",
+                victim + 1
+            );
+            assert_eq!(blocker.running_counts(), reference.running_counts());
+        }
+        assert_eq!(
+            first_trigger,
+            Some(expected_first_trigger),
+            "threshold {threshold}: first compaction at the wrong dead fraction"
+        );
+        assert_eq!(reference.num_compactions(), 0);
+        assert_eq!(blocker.running_counts(), RunningCounts::default());
+    }
+}
