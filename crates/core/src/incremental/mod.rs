@@ -72,6 +72,12 @@
 //! the same family (which, for datasets whose records reach every leaf, is
 //! exactly what Algorithm 1 derives; NC Voter does at any realistic scale).
 
+mod state;
+mod view;
+
+pub use state::{BucketDump, IndexDump};
+pub use view::IndexView;
+
 use std::sync::Arc;
 use std::sync::OnceLock;
 
@@ -310,6 +316,11 @@ impl Bucket {
 /// (seeded FxHash) map, so lookups are O(1) on the insert hot path; every
 /// order-sensitive consumer (snapshots) sorts the touched keys, which
 /// reproduces the previous ordered-map iteration byte for byte.
+///
+/// Shards are held behind [`Arc`]s so that publishing a read-only
+/// [`IndexView`] is O(bands): the view shares the shard allocations, and the
+/// next mutation copies only the shards it actually touches
+/// ([`Arc::make_mut`] — copy-on-write).
 type BandIndex = StableHashMap<(u64, u64), Bucket>;
 
 /// A back-reference from a record to one bucket it occupies — the removal
@@ -354,7 +365,7 @@ pub struct IncrementalSaLshBlocker {
     hasher: MinHasher,
     semantic: Option<IncrementalSemantic>,
     threads: Option<usize>,
-    bands: Vec<BandIndex>,
+    bands: Vec<Arc<BandIndex>>,
     /// Per-record bucket back-references; emptied when the record is
     /// tombstoned (a dead record's buckets are never walked again).
     bucket_refs: Vec<Vec<BucketRef>>,
@@ -404,7 +415,9 @@ impl IncrementalSaLshBlocker {
             None => None,
         };
         let hasher = MinHasher::from_config(&minhash);
-        let bands = vec![BandIndex::default(); banding.bands()];
+        // One Arc per band — `vec![Arc::new(..); n]` would alias a single
+        // allocation across all bands and defeat the per-band copy-on-write.
+        let bands = (0..banding.bands()).map(|_| Arc::new(BandIndex::default())).collect();
         Ok(Self {
             shingler,
             minhash,
@@ -498,6 +511,13 @@ impl IncrementalSaLshBlocker {
         let removed = &self.removed;
         let mut compacted = 0u64;
         for band in &mut self.bands {
+            // Skip clean shards before `Arc::make_mut`: a forced compaction
+            // must not deep-copy shards shared with published views unless
+            // it actually rewrites them.
+            if !band.values().any(|bucket| bucket.dead > 0) {
+                continue;
+            }
+            let band = Arc::make_mut(band);
             // Visit order over the shard is irrelevant: each bucket is
             // compacted independently and the count is order-free.
             band.retain(|_, bucket| {
@@ -518,6 +538,35 @@ impl IncrementalSaLshBlocker {
     /// pin the same family on a one-shot blocker to compare byte-for-byte.
     pub fn pinned_family(&self) -> Option<&SemhashFamily> {
         self.semantic.as_ref().map(|s| &s.family)
+    }
+
+    /// Publishes an immutable [`IndexView`] of the current index state.
+    ///
+    /// O(bands) plus the live-record bookkeeping: the per-band bucket shards
+    /// are shared by [`Arc`], not copied — the blocker's next mutation
+    /// copies only the shards it touches ([`Arc::make_mut`]), so the view
+    /// stays frozen at the publication point forever. This is the engine
+    /// under snapshot/epoch service layers: one writer keeps mutating, any
+    /// number of readers query their view without locks.
+    pub fn publish_view(&self) -> IndexView {
+        IndexView::capture(self)
+    }
+
+    /// The candidate partners a probe record would collide with, against the
+    /// current index state — sorted by id, deduplicated across bands, the
+    /// probe itself excluded. See [`IndexView::candidates`] for the
+    /// equivalence contract; this is the same lookup run directly on the
+    /// mutable head.
+    pub fn query_candidates(&self, record: &Record) -> Result<Vec<RecordId>> {
+        view::probe_candidates(
+            &self.shingler,
+            &self.hasher,
+            &self.banding,
+            self.semantic.as_ref(),
+            &self.bands,
+            &self.removed,
+            record,
+        )
     }
 
     /// Convenience ingest from raw rows: wraps each row in a [`Record`] with
@@ -664,7 +713,8 @@ impl IncrementalSaLshBlocker {
         let removed: &[bool] = &self.removed;
         let banding = &self.banding;
         let semantic = &self.semantic;
-        let mut shards: Vec<(usize, &mut BandIndex)> = self.bands.iter_mut().enumerate().collect();
+        let mut shards: Vec<(usize, &mut BandIndex)> =
+            self.bands.iter_mut().map(Arc::make_mut).enumerate().collect();
         let outcomes: Vec<BandOutcome> = parallel_map_mut(&mut shards, threads, |(band, index)| {
             let band = *band;
             let mut slots: Vec<((u64, u64), RecordId)> = Vec::new();
@@ -846,7 +896,7 @@ impl IncrementalBlocker for IncrementalSaLshBlocker {
         let threshold = self.compaction_threshold;
         let mut compacted = 0u64;
         for reference in &refs {
-            let band = &mut self.bands[reference.band];
+            let band = Arc::make_mut(&mut self.bands[reference.band]);
             let Some(bucket) = band.get_mut(&reference.key) else {
                 continue;
             };
@@ -872,30 +922,35 @@ impl IncrementalBlocker for IncrementalSaLshBlocker {
     }
 
     fn snapshot(&self) -> BlockCollection {
-        let semantic = self.semantic.is_some();
-        let mut blocks = Vec::new();
-        for (band, buckets) in self.bands.iter().enumerate() {
-            // The shard is a hash map for O(1) inserts; snapshot order is
-            // restored by sorting the keys, reproducing the ordered-map
-            // iteration of the one-shot bucket phase byte for byte.
-            let mut entries: Vec<(&(u64, u64), &Bucket)> = buckets.iter().collect();
-            entries.sort_unstable_by_key(|(key, _)| **key);
-            for (&(bucket, sub), shard) in entries {
-                let live: Vec<RecordId> =
-                    shard.members.iter().copied().filter(|id| !self.removed[id.index()]).collect();
-                if live.len() < 2 {
-                    continue;
-                }
-                let key = if semantic {
-                    format!("b{band}:{bucket:016x}:g{sub}")
-                } else {
-                    format!("b{band}:{bucket:016x}")
-                };
-                blocks.push(Block::new(key, live));
-            }
-        }
-        BlockCollection::from_blocks(blocks)
+        snapshot_bands(&self.bands, &self.removed, self.semantic.is_some())
     }
+}
+
+/// Renders the per-band bucket shards as a [`BlockCollection`] — the shared
+/// implementation of [`IncrementalBlocker::snapshot`] and
+/// [`IndexView::snapshot`].
+fn snapshot_bands(bands: &[Arc<BandIndex>], removed: &[bool], semantic: bool) -> BlockCollection {
+    let mut blocks = Vec::new();
+    for (band, buckets) in bands.iter().enumerate() {
+        // The shard is a hash map for O(1) inserts; snapshot order is
+        // restored by sorting the keys, reproducing the ordered-map
+        // iteration of the one-shot bucket phase byte for byte.
+        let mut entries: Vec<(&(u64, u64), &Bucket)> = buckets.iter().collect();
+        entries.sort_unstable_by_key(|(key, _)| **key);
+        for (&(bucket, sub), shard) in entries {
+            let live: Vec<RecordId> = shard.members.iter().copied().filter(|id| !removed[id.index()]).collect();
+            if live.len() < 2 {
+                continue;
+            }
+            let key = if semantic {
+                format!("b{band}:{bucket:016x}:g{sub}")
+            } else {
+                format!("b{band}:{bucket:016x}")
+            };
+            blocks.push(Block::new(key, live));
+        }
+    }
+    BlockCollection::from_blocks(blocks)
 }
 
 #[cfg(test)]
@@ -910,7 +965,7 @@ mod tests {
     use sablock_datasets::ground_truth::EntityId;
     use sablock_datasets::Dataset;
 
-    fn titles_dataset(rows: &[&str]) -> Dataset {
+    pub(crate) fn titles_dataset(rows: &[&str]) -> Dataset {
         let schema = Schema::shared(["title"]).unwrap();
         let mut builder = DatasetBuilder::new("titles", schema);
         for (i, title) in rows.iter().enumerate() {
@@ -920,7 +975,7 @@ mod tests {
         builder.build().unwrap()
     }
 
-    fn sample_dataset() -> Dataset {
+    pub(crate) fn sample_dataset() -> Dataset {
         titles_dataset(&[
             "the cascade correlation learning architecture",
             "cascade correlation learning architecture",
@@ -933,11 +988,11 @@ mod tests {
         ])
     }
 
-    fn lsh_builder() -> crate::lsh::salsh::SaLshBlockerBuilder {
+    pub(crate) fn lsh_builder() -> crate::lsh::salsh::SaLshBlockerBuilder {
         SaLshBlocker::builder().attributes(["title"]).qgram(2).bands(12).rows_per_band(2).seed(0xB10C)
     }
 
-    fn salsh_pair() -> (SaLshBlocker, IncrementalSaLshBlocker) {
+    pub(crate) fn salsh_pair() -> (SaLshBlocker, IncrementalSaLshBlocker) {
         let tree = bibliographic_taxonomy();
         let zeta = PatternSemanticFunction::cora_default(&tree).unwrap();
         let family = SemhashFamily::from_all_leaves(&tree).unwrap();

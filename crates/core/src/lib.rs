@@ -64,7 +64,9 @@ pub use error::CoreError;
 pub mod prelude {
     pub use crate::blocking::{Block, BlockCollection, Blocker, EntityTableProbe, PackedProbe, PairCounts};
     pub use crate::error::CoreError;
-    pub use crate::incremental::{DeltaPairs, IncrementalBlocker, IncrementalSaLshBlocker, RunningCounts};
+    pub use crate::incremental::{
+        BucketDump, DeltaPairs, IncrementalBlocker, IncrementalSaLshBlocker, IndexDump, IndexView, RunningCounts,
+    };
     pub use crate::lsh::probability::{banding_collision_probability, salsh_collision_probability, w_way_probability};
     pub use crate::lsh::salsh::{LshBlocker, SaLshBlocker, SaLshBlockerBuilder};
     pub use crate::lsh::semantic_hash::SemanticMode;

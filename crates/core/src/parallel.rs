@@ -80,6 +80,30 @@ where
     results.into_iter().flatten().collect()
 }
 
+/// Runs every task on its own scoped worker thread and returns their results
+/// in task order, after all of them finish.
+///
+/// The fork-join primitive for heterogeneous concurrent workloads — e.g. a
+/// service test driving one writer task against N reader tasks. Unlike
+/// [`parallel_map`], each task is a distinct closure (no shared element
+/// type), and every task always gets its own thread: this is about
+/// *concurrency* between different roles, not data-parallel speedup. Scoped
+/// threads mean the closures may borrow from the caller's stack.
+///
+/// All thread use in the workspace is confined to this module
+/// (`cargo xtask lint`, rule `thread-confinement`), so concurrent tests and
+/// services build on this helper instead of spawning threads themselves.
+pub fn join_all<R, F>(tasks: Vec<F>) -> Vec<R>
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = tasks.into_iter().map(|task| scope.spawn(task)).collect();
+        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+    })
+}
+
 /// Workloads over at least this many records engage parallel execution when
 /// no explicit worker count is configured (below it, thread spawn overhead
 /// outweighs the win). Shared by the SA-LSH blocker and the parallel
@@ -207,6 +231,25 @@ mod tests {
     fn default_threads_is_positive_and_capped() {
         let t = default_threads();
         assert!((1..=8).contains(&t));
+    }
+
+    #[test]
+    fn join_all_runs_every_task_and_preserves_order() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let counter = AtomicU64::new(0);
+        let tasks: Vec<_> = (0..6u64)
+            .map(|i| {
+                let counter = &counter;
+                move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    i * 10
+                }
+            })
+            .collect();
+        let results = join_all(tasks);
+        assert_eq!(results, vec![0, 10, 20, 30, 40, 50]);
+        assert_eq!(counter.load(Ordering::Relaxed), 6);
+        assert!(join_all(Vec::<fn() -> u8>::new()).is_empty());
     }
 
     #[test]

@@ -282,8 +282,26 @@ impl LatencyStats {
         let mut secs: Vec<f64> = self.samples.iter().map(std::time::Duration::as_secs_f64).collect();
         secs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let q = q.clamp(0.0, 100.0);
-        let rank = ((q / 100.0) * secs.len() as f64).ceil() as usize;
+        // Multiply before dividing: `q * n / 100` is exact in f64 for every
+        // integral q and realistic n, whereas `(q / 100) * n` rounds `q / 100`
+        // first (0.29, 0.58, …) and can push `ceil` one rank high or low.
+        let rank = ((q * secs.len() as f64) / 100.0).ceil() as usize;
         secs[rank.saturating_sub(1)]
+    }
+
+    /// The mean sample in seconds (0 when empty).
+    pub fn mean_secs(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.total_secs() / self.samples.len() as f64
+    }
+
+    /// Folds another sample set into this one (e.g. per-thread collectors
+    /// merged after a join). Percentiles over the merged set are identical
+    /// to recording every sample into a single collector.
+    pub fn merge(&mut self, other: &Self) {
+        self.samples.extend_from_slice(&other.samples);
     }
 
     /// The median (p50) in seconds.
@@ -396,6 +414,64 @@ mod tests {
         assert!((stats.percentile_secs(0.0) - 0.010).abs() < 1e-12);
         assert!((stats.max_secs() - 0.050).abs() < 1e-12);
         assert!((stats.total_secs() - 0.150).abs() < 1e-12);
+        assert!((stats.mean_secs() - 0.030).abs() < 1e-12);
+    }
+
+    /// Pins which sorted index nearest-rank selects for the two quantiles
+    /// the perf reports record, at the sample counts where ceil-rounding is
+    /// most fragile (singletons, pairs, and n straddling 100).
+    #[test]
+    fn latency_percentile_ranks_are_pinned() {
+        // With samples 1ms, 2ms, …, n·ms (recorded shuffled), the selected
+        // sorted index is the reported value in ms minus one.
+        let cases = [
+            (1usize, 0usize, 0usize), // (n, p50 index, p99 index)
+            (2, 0, 1),
+            (99, 49, 98),
+            (100, 49, 98),
+            (101, 50, 99),
+        ];
+        for (n, p50_index, p99_index) in cases {
+            let mut stats = LatencyStats::new();
+            // Record out of order to prove selection sorts first.
+            for ms in (1..=n).rev() {
+                stats.record(std::time::Duration::from_millis(ms as u64));
+            }
+            let expect = |index: usize| (index + 1) as f64 * 1e-3;
+            assert!(
+                (stats.p50_secs() - expect(p50_index)).abs() < 1e-12,
+                "p50 of n={n} must take sorted index {p50_index}, got {}",
+                stats.p50_secs()
+            );
+            assert!(
+                (stats.p99_secs() - expect(p99_index)).abs() < 1e-12,
+                "p99 of n={n} must take sorted index {p99_index}, got {}",
+                stats.p99_secs()
+            );
+            // Boundary quantiles: p0 is the min, p100 the max.
+            assert!((stats.percentile_secs(0.0) - 1e-3).abs() < 1e-12);
+            assert!((stats.percentile_secs(100.0) - n as f64 * 1e-3).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn latency_merge_matches_single_collector() {
+        let mut left = LatencyStats::new();
+        let mut right = LatencyStats::new();
+        let mut all = LatencyStats::new();
+        for ms in 1..=100u64 {
+            let sample = std::time::Duration::from_millis(ms);
+            if ms % 3 == 0 { left.record(sample) } else { right.record(sample) }
+            all.record(sample);
+        }
+        left.merge(&right);
+        left.merge(&LatencyStats::new());
+        assert_eq!(left.len(), all.len());
+        assert_eq!(left.p50_secs(), all.p50_secs());
+        assert_eq!(left.p99_secs(), all.p99_secs());
+        // Summation order differs between the split and single collectors,
+        // so the totals agree only up to float associativity.
+        assert!((left.total_secs() - all.total_secs()).abs() < 1e-9);
     }
 
     #[test]

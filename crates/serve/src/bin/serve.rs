@@ -1,0 +1,165 @@
+//! `sablock-serve` — a long-running candidate-lookup server.
+//!
+//! Speaks the [`sablock_serve::protocol`] line protocol over **stdin**
+//! (default) or a **TCP listener** (`--tcp ADDR`). The index configuration
+//! comes from a named profile; `--load` resumes from a checksummed snapshot
+//! written by a previous `SAVE` request.
+//!
+//! ```text
+//! sablock-serve [--profile cora|voter] [--tcp 127.0.0.1:7878] [--load PATH]
+//! ```
+//!
+//! The TCP loop serves one connection at a time (accept → drain → next);
+//! it is a demonstration front-end for the epoch machinery, not a
+//! production network stack — concurrency lives inside [`CandidateService`]
+//! (lock-free readers over published epochs), not in socket handling.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use sablock_core::prelude::*;
+use sablock_datasets::generators::cora::CORA_ATTRIBUTES;
+use sablock_datasets::generators::ncvoter::NCVOTER_ATTRIBUTES;
+use sablock_datasets::Schema;
+use sablock_serve::protocol::{handle_line, Outcome};
+use sablock_serve::{CandidateService, Result, ServeError};
+
+/// A named index configuration the server can start with.
+struct Profile {
+    schema: Arc<Schema>,
+    blocker: IncrementalSaLshBlocker,
+}
+
+fn profile(name: &str) -> Result<Profile> {
+    match name {
+        "cora" => {
+            let tree = bibliographic_taxonomy();
+            let zeta = PatternSemanticFunction::cora_default(&tree)?;
+            let family = SemhashFamily::from_all_leaves(&tree)?;
+            let semantic = SemanticConfig::new(tree, zeta)
+                .with_w(2)
+                .with_mode(SemanticMode::Or)
+                .with_seed(11)
+                .with_pinned_family(family);
+            let blocker = SaLshBlocker::builder()
+                .attributes(["title", "authors"])
+                .qgram(3)
+                .bands(8)
+                .rows_per_band(2)
+                .seed(0xB10C)
+                .semantic(semantic)
+                .into_incremental()?;
+            Ok(Profile { schema: Schema::shared(CORA_ATTRIBUTES)?, blocker })
+        }
+        "voter" => {
+            let blocker = SaLshBlocker::builder()
+                .attributes(["first_name", "last_name", "city"])
+                .qgram(2)
+                .bands(10)
+                .rows_per_band(3)
+                .seed(0xB10C)
+                .into_incremental()?;
+            Ok(Profile { schema: Schema::shared(NCVOTER_ATTRIBUTES)?, blocker })
+        }
+        other => Err(ServeError::Protocol(format!("unknown profile '{other}' (expected cora or voter)"))),
+    }
+}
+
+struct Options {
+    profile: String,
+    tcp: Option<String>,
+    load: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>> {
+    let mut options = Options { profile: "cora".into(), tcp: None, load: None };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| ServeError::Protocol(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--profile" => options.profile = value("--profile")?,
+            "--tcp" => options.tcp = Some(value("--tcp")?),
+            "--load" => options.load = Some(value("--load")?),
+            "--help" | "-h" => return Ok(None),
+            other => return Err(ServeError::Protocol(format!("unknown flag '{other}' (try --help)"))),
+        }
+    }
+    Ok(Some(options))
+}
+
+const USAGE: &str = "sablock-serve [--profile cora|voter] [--tcp ADDR] [--load SNAPSHOT]\n\
+                     Serves the line protocol (QUERY/QUERYK/INSERT/REMOVE/STATS/SAVE/QUIT,\n\
+                     tab-separated fields) on stdin, or on ADDR with --tcp.";
+
+/// Drains one line-protocol session from `input`, replying on `output`.
+fn serve_session(service: &CandidateService, input: impl BufRead, mut output: impl Write) -> Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        match handle_line(service, &line) {
+            Outcome::Reply(reply) => writeln!(output, "{reply}")?,
+            Outcome::Quit(reply) => {
+                writeln!(output, "{reply}")?;
+                break;
+            }
+        }
+        output.flush()?;
+    }
+    Ok(())
+}
+
+fn run() -> Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(options) = parse_args(&args)? else {
+        println!("{USAGE}");
+        return Ok(());
+    };
+    let Profile { schema, blocker } = profile(&options.profile)?;
+    let service = match &options.load {
+        Some(path) => CandidateService::load(blocker, schema, Path::new(path))?,
+        None => CandidateService::new(blocker, schema)?,
+    };
+    let state = service.current();
+    eprintln!(
+        "sablock-serve: profile {} ({}), {} records live",
+        options.profile,
+        service.name(),
+        state.view().num_live_records()
+    );
+
+    match &options.tcp {
+        Some(address) => {
+            let listener = std::net::TcpListener::bind(address)?;
+            eprintln!("sablock-serve: listening on {}", listener.local_addr()?);
+            for stream in listener.incoming() {
+                let stream = stream?;
+                let reader = BufReader::new(stream.try_clone()?);
+                // One session at a time: a failed client session is logged
+                // and the listener moves on to the next connection.
+                if let Err(error) = serve_session(&service, reader, &stream) {
+                    eprintln!("sablock-serve: session error: {error}");
+                }
+            }
+            Ok(())
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_session(&service, stdin.lock(), stdout.lock())
+        }
+    }
+}
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(error) => {
+            eprintln!("sablock-serve: {error}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}

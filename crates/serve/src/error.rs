@@ -1,0 +1,124 @@
+//! Typed errors for the service layer.
+//!
+//! Everything that can go wrong — protocol misuse, a corrupt or truncated
+//! snapshot file, a core-level rejection — surfaces as a [`ServeError`]
+//! variant. The crate never panics on untrusted input (I/O, snapshot bytes,
+//! protocol lines); the `unwrap-in-lib` lint rule enforces this at the token
+//! level and the persistence tests enforce it behaviourally.
+
+use sablock_core::CoreError;
+
+/// Everything the service layer can fail with.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An operating-system I/O failure (file or socket).
+    Io(std::io::Error),
+    /// A snapshot file that does not start with the `SABLKSNP` magic — not a
+    /// snapshot at all.
+    BadMagic,
+    /// A snapshot written by an unsupported format version.
+    UnsupportedVersion {
+        /// The version the file claims.
+        found: u32,
+        /// The version this build reads and writes.
+        supported: u32,
+    },
+    /// The snapshot's trailing checksum does not match its content — the
+    /// file was truncated or bit-flipped after writing.
+    ChecksumMismatch {
+        /// The checksum stored in the file.
+        expected: u64,
+        /// The checksum recomputed over the file's content.
+        found: u64,
+    },
+    /// A structurally invalid snapshot body (impossible lengths, non-UTF-8
+    /// strings, claims that overrun the file).
+    Corrupt {
+        /// Byte offset at which decoding failed.
+        offset: usize,
+        /// What was wrong there.
+        reason: String,
+    },
+    /// The snapshot was written by an index with a different configuration
+    /// fingerprint than the one it is being loaded into.
+    ConfigMismatch {
+        /// The fingerprint of the index the caller supplied.
+        expected: String,
+        /// The fingerprint stored in the snapshot.
+        found: String,
+    },
+    /// The snapshot's schema does not match the schema the caller supplied.
+    SchemaMismatch {
+        /// The attribute names the caller's schema carries.
+        expected: Vec<String>,
+        /// The attribute names stored in the snapshot.
+        found: Vec<String>,
+    },
+    /// A malformed protocol line (unknown verb, wrong arity, unparsable id).
+    Protocol(String),
+    /// An error from the core blocking layer (batch validation, restore
+    /// validation, probe schema checks).
+    Core(CoreError),
+    /// An error from the datasets layer (record/schema construction).
+    Dataset(sablock_datasets::DatasetError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+            Self::BadMagic => write!(f, "not a sablock snapshot (bad magic)"),
+            Self::UnsupportedVersion { found, supported } => {
+                write!(f, "snapshot format version {found} is not supported (this build reads v{supported})")
+            }
+            Self::ChecksumMismatch { expected, found } => write!(
+                f,
+                "snapshot checksum mismatch: file claims {expected:016x}, content hashes to {found:016x} \
+                 (truncated or corrupted)"
+            ),
+            Self::Corrupt { offset, reason } => write!(f, "corrupt snapshot at byte {offset}: {reason}"),
+            Self::ConfigMismatch { expected, found } => write!(
+                f,
+                "snapshot was written by index configuration '{found}' but is being loaded into '{expected}'"
+            ),
+            Self::SchemaMismatch { expected, found } => {
+                write!(f, "snapshot schema {found:?} does not match the supplied schema {expected:?}")
+            }
+            Self::Protocol(reason) => write!(f, "protocol error: {reason}"),
+            Self::Core(e) => write!(f, "core error: {e}"),
+            Self::Dataset(e) => write!(f, "dataset error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Core(e) => Some(e),
+            Self::Dataset(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        Self::Core(e)
+    }
+}
+
+impl From<sablock_datasets::DatasetError> for ServeError {
+    fn from(e: sablock_datasets::DatasetError) -> Self {
+        Self::Dataset(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;

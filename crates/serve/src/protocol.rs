@@ -1,0 +1,236 @@
+//! The line-delimited request protocol of the server binary.
+//!
+//! One request per line, fields separated by tabs (record values may contain
+//! spaces; they may not contain tabs or newlines). Responses are single
+//! lines starting with `OK` or `ERR`. The verbs:
+//!
+//! | request | response |
+//! |---|---|
+//! | `QUERY\t<v1>\t<v2>…` | `OK <n> <id:score>…` — all candidates of the probe row |
+//! | `QUERYK\t<k>\t<v1>…` | `OK <n> <id:score>…` — top-`k` candidates by Jaccard |
+//! | `INSERT\t<v1>\t<v2>…` | `OK <id> epoch <e>` — ingests the row, echoes its id |
+//! | `REMOVE\t<id>` | `OK removed <id> epoch <e>` (`OK absent …` when already removed) |
+//! | `STATS` | `OK epoch <e> records <n> live <l> pairs <Γ>` |
+//! | `SAVE\t<path>` | `OK saved <path>` — checksummed snapshot of the index |
+//! | `QUIT` | `OK bye` and the connection/loop ends |
+//!
+//! An empty value field means the attribute is missing (`None`); rows
+//! shorter than the schema are padded with missing values. Malformed
+//! requests get `ERR <reason>` and the loop continues — a client typo must
+//! not take the service down.
+
+use sablock_datasets::RecordId;
+
+use crate::error::{Result, ServeError};
+use crate::service::CandidateService;
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// All candidates of a probe row.
+    Query(Vec<Option<String>>),
+    /// Top-k candidates of a probe row.
+    QueryK(usize, Vec<Option<String>>),
+    /// Ingest one row.
+    Insert(Vec<Option<String>>),
+    /// Tombstone one record.
+    Remove(RecordId),
+    /// Service counters.
+    Stats,
+    /// Persist a snapshot to the given path.
+    Save(String),
+    /// End the session.
+    Quit,
+}
+
+/// What [`handle_line`] tells the caller to do next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Send this single-line reply and keep serving.
+    Reply(String),
+    /// Send this reply, then end the session.
+    Quit(String),
+}
+
+impl Outcome {
+    /// The reply line, whichever variant carries it.
+    pub fn reply(&self) -> &str {
+        match self {
+            Self::Reply(line) | Self::Quit(line) => line,
+        }
+    }
+}
+
+fn values_from(fields: &[&str], width: usize) -> Vec<Option<String>> {
+    let mut values: Vec<Option<String>> = fields
+        .iter()
+        .map(|field| if field.is_empty() { None } else { Some((*field).to_string()) })
+        .collect();
+    values.resize(width, None);
+    values
+}
+
+/// Parses one request line (verb and fields; see the module docs). The
+/// schema width pads short rows with missing values.
+pub fn parse_request(line: &str, schema_width: usize) -> Result<Request> {
+    let mut fields = line.split('\t');
+    let verb = fields.next().unwrap_or("");
+    let rest: Vec<&str> = fields.collect();
+    match verb {
+        "QUERY" => Ok(Request::Query(values_from(&rest, schema_width))),
+        "QUERYK" => {
+            let (k, rest) = rest
+                .split_first()
+                .ok_or_else(|| ServeError::Protocol("QUERYK needs a k field".into()))?;
+            let k: usize = k
+                .parse()
+                .map_err(|_| ServeError::Protocol(format!("QUERYK k must be a non-negative integer, got '{k}'")))?;
+            Ok(Request::QueryK(k, values_from(rest, schema_width)))
+        }
+        "INSERT" => Ok(Request::Insert(values_from(&rest, schema_width))),
+        "REMOVE" => {
+            let [raw] = rest.as_slice() else {
+                return Err(ServeError::Protocol("REMOVE takes exactly one record id".into()));
+            };
+            let id: u32 = raw
+                .parse()
+                .map_err(|_| ServeError::Protocol(format!("REMOVE id must be a u32, got '{raw}'")))?;
+            Ok(Request::Remove(RecordId(id)))
+        }
+        "STATS" if rest.is_empty() => Ok(Request::Stats),
+        "SAVE" => {
+            let [path] = rest.as_slice() else {
+                return Err(ServeError::Protocol("SAVE takes exactly one path".into()));
+            };
+            if path.is_empty() {
+                return Err(ServeError::Protocol("SAVE path must not be empty".into()));
+            }
+            Ok(Request::Save((*path).to_string()))
+        }
+        "QUIT" if rest.is_empty() => Ok(Request::Quit),
+        other => Err(ServeError::Protocol(format!("unknown request verb '{other}'"))),
+    }
+}
+
+fn render_scored(scored: &[(RecordId, f64)]) -> String {
+    let mut out = format!("OK {}", scored.len());
+    for (id, score) in scored {
+        out.push_str(&format!(" {}:{score:.4}", id.0));
+    }
+    out
+}
+
+fn execute(service: &CandidateService, request: Request) -> Result<Outcome> {
+    match request {
+        Request::Query(values) => {
+            let state = service.current();
+            let probe = service.probe_record(&state, values)?;
+            let scored = state.query_top_k(&probe, usize::MAX)?;
+            Ok(Outcome::Reply(render_scored(&scored)))
+        }
+        Request::QueryK(k, values) => {
+            let state = service.current();
+            let probe = service.probe_record(&state, values)?;
+            let scored = state.query_top_k(&probe, k)?;
+            Ok(Outcome::Reply(render_scored(&scored)))
+        }
+        Request::Insert(values) => {
+            let state = service.insert_rows(vec![values])?;
+            let id = state.view().num_records() - 1;
+            Ok(Outcome::Reply(format!("OK {id} epoch {}", state.epoch())))
+        }
+        Request::Remove(id) => {
+            let before = service.current();
+            let live_before = before.view().is_live(id);
+            let state = service.remove(id)?;
+            let word = if live_before { "removed" } else { "absent" };
+            Ok(Outcome::Reply(format!("OK {word} {} epoch {}", id.0, state.epoch())))
+        }
+        Request::Stats => {
+            let state = service.current();
+            let view = state.view();
+            Ok(Outcome::Reply(format!(
+                "OK epoch {} records {} live {} pairs {}",
+                state.epoch(),
+                view.num_records(),
+                view.num_live_records(),
+                view.running_counts().pairs
+            )))
+        }
+        Request::Save(path) => {
+            service.save(std::path::Path::new(&path))?;
+            Ok(Outcome::Reply(format!("OK saved {path}")))
+        }
+        Request::Quit => Ok(Outcome::Quit("OK bye".into())),
+    }
+}
+
+/// Parses and executes one protocol line against the service. Every failure
+/// — parse or execution — becomes an `ERR` reply; the session always gets
+/// exactly one line back and only `QUIT` ends it.
+pub fn handle_line(service: &CandidateService, line: &str) -> Outcome {
+    let line = line.trim_end_matches(['\r', '\n']);
+    match parse_request(line, service.schema().len()).and_then(|request| execute(service, request)) {
+        Ok(outcome) => outcome,
+        Err(error) => Outcome::Reply(format!("ERR {error}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sablock_core::prelude::SaLshBlocker;
+    use sablock_datasets::Schema;
+
+    fn service() -> CandidateService {
+        let schema = Schema::shared(["title", "authors"]).unwrap();
+        let blocker = SaLshBlocker::builder()
+            .attributes(["title"])
+            .qgram(2)
+            .bands(12)
+            .rows_per_band(2)
+            .seed(0xB10C)
+            .into_incremental()
+            .unwrap();
+        CandidateService::new(blocker, schema).unwrap()
+    }
+
+    #[test]
+    fn parses_and_rejects_requests() {
+        assert_eq!(
+            parse_request("QUERY\ta theory\tsmith", 2).unwrap(),
+            Request::Query(vec![Some("a theory".into()), Some("smith".into())])
+        );
+        assert_eq!(
+            parse_request("QUERY\ta theory", 2).unwrap(),
+            Request::Query(vec![Some("a theory".into()), None]),
+            "short rows pad with missing values"
+        );
+        assert_eq!(parse_request("QUERYK\t3\tx", 1).unwrap(), Request::QueryK(3, vec![Some("x".into())]));
+        assert_eq!(parse_request("INSERT\t\tsmith", 2).unwrap(), Request::Insert(vec![None, Some("smith".into())]));
+        assert_eq!(parse_request("REMOVE\t7", 2).unwrap(), Request::Remove(RecordId(7)));
+        assert_eq!(parse_request("STATS", 2).unwrap(), Request::Stats);
+        assert_eq!(parse_request("SAVE\t/tmp/x.snap", 2).unwrap(), Request::Save("/tmp/x.snap".into()));
+        assert_eq!(parse_request("QUIT", 2).unwrap(), Request::Quit);
+        for bad in ["", "NOPE", "QUERYK\tx\ty", "REMOVE\tnot-a-number", "REMOVE\t1\t2", "SAVE\t", "STATS\textra"] {
+            assert!(parse_request(bad, 2).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn end_to_end_session() {
+        let service = service();
+        assert_eq!(handle_line(&service, "INSERT\ta theory for record linkage\tfellegi").reply(), "OK 0 epoch 1");
+        assert_eq!(handle_line(&service, "INSERT\ta theory of record linkage\tsunter\n").reply(), "OK 1 epoch 2");
+        let reply = handle_line(&service, "QUERY\ta theory of record linkage");
+        assert!(reply.reply().starts_with("OK 2 "), "both stored records are candidates: {}", reply.reply());
+        let top1 = handle_line(&service, "QUERYK\t1\ta theory of record linkage");
+        assert!(top1.reply().starts_with("OK 1 1:"), "record 1 is the best match: {}", top1.reply());
+        assert_eq!(handle_line(&service, "STATS").reply(), "OK epoch 2 records 2 live 2 pairs 1");
+        assert_eq!(handle_line(&service, "REMOVE\t0").reply(), "OK removed 0 epoch 3");
+        assert_eq!(handle_line(&service, "REMOVE\t0").reply(), "OK absent 0 epoch 4");
+        assert!(handle_line(&service, "REMOVE\t99").reply().starts_with("ERR "), "unknown ids report an error");
+        assert!(handle_line(&service, "BOGUS\tx").reply().starts_with("ERR "));
+        assert_eq!(handle_line(&service, "QUIT"), Outcome::Quit("OK bye".into()));
+    }
+}

@@ -1,0 +1,450 @@
+//! The candidate-lookup service: single batched writer, lock-free readers.
+//!
+//! [`CandidateService`] wraps one [`IncrementalSaLshBlocker`] behind an
+//! epoch/snapshot publication scheme:
+//!
+//! * **Readers** grab the current [`EpochState`] — one `Arc` clone under a
+//!   briefly held read lock — and then query it with no locks at all. An
+//!   epoch is immutable forever: its [`IndexView`] shares the index shards
+//!   by `Arc` and its [`RecordStore`] shares the record chunks, so holding
+//!   an old epoch costs memory, never correctness.
+//! * **The writer** serialises all mutations through one internal lock,
+//!   applies each [`WriteOp`] to its private copy-on-write head (the next
+//!   epoch in the making), and **atomically publishes** the new epoch by
+//!   swapping the `Arc`. A reader therefore observes either the state
+//!   before a batch or after it — never a half-applied batch (the
+//!   concurrency differential test recounts every published epoch offline
+//!   to pin this down).
+//!
+//! Query results are observationally equivalent to one-shot blocking: for a
+//! published epoch, [`EpochState::query`] returns exactly the candidate set
+//! a from-scratch [`SaLshBlocker::block`] over `corpus ∪ {probe}` would
+//! pair the probe with (see [`IndexView::candidates`]; property-tested in
+//! `tests/service_equivalence.rs`). [`EpochState::query_top_k`] ranks that
+//! set by shingle-set Jaccard similarity against the stored records —
+//! candidates, not a raw bucket dump.
+//!
+//! [`SaLshBlocker::block`]: sablock_core::prelude::SaLshBlocker
+
+use std::path::Path;
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+
+use sablock_core::incremental::{IncrementalBlocker, IncrementalSaLshBlocker, IndexView, RunningCounts};
+use sablock_core::prelude::BlockCollection;
+use sablock_datasets::{Record, RecordId, Schema};
+use sablock_textual::jaccard_u64;
+
+use crate::error::{Result, ServeError};
+use crate::persist;
+use crate::store::RecordStore;
+
+/// One mutation the writer applies: a batch insert (records must continue
+/// the dense id space) or a single-record tombstone.
+#[derive(Debug, Clone)]
+pub enum WriteOp {
+    /// Ingest a batch of new records.
+    Insert(Vec<Record>),
+    /// Tombstone one record. Removing an already-removed id is a no-op.
+    Remove(RecordId),
+}
+
+/// One published, immutable epoch of the service: the index view, the
+/// record log, and the epoch counter. Cheap to clone-by-`Arc`; readers
+/// query it without any synchronisation.
+#[derive(Debug)]
+pub struct EpochState {
+    epoch: u64,
+    view: IndexView,
+    store: RecordStore,
+}
+
+impl EpochState {
+    /// The epoch counter — 0 is the initial (possibly empty) publication,
+    /// and every applied write batch increments it by exactly one.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The frozen index view.
+    pub fn view(&self) -> &IndexView {
+        &self.view
+    }
+
+    /// The candidate partners of a probe record in this epoch — sorted by
+    /// id, deduplicated, the probe excluded. Equivalent to the probe's
+    /// one-shot partner set (module docs).
+    pub fn query(&self, record: &Record) -> Result<Vec<RecordId>> {
+        self.view.candidates(record).map_err(ServeError::from)
+    }
+
+    /// [`EpochState::query`] ranked by shingle-set Jaccard similarity
+    /// against the stored records, best first (ties break on ascending id),
+    /// truncated to `k`. Candidates whose record is not in the store — which
+    /// cannot happen for epochs this crate publishes — score 0.
+    pub fn query_top_k(&self, record: &Record, k: usize) -> Result<Vec<(RecordId, f64)>> {
+        let candidates = self.view.candidates(record)?;
+        let probe = self.view.shingle_set(record);
+        let mut scored: Vec<(RecordId, f64)> = candidates
+            .into_iter()
+            .map(|id| {
+                let score = self
+                    .store
+                    .get(id)
+                    .map(|candidate| jaccard_u64(&probe, &self.view.shingle_set(candidate)))
+                    .unwrap_or(0.0);
+                (id, score)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        scored.truncate(k);
+        Ok(scored)
+    }
+
+    /// The stored record with the given id (present for every ingested id,
+    /// including tombstoned ones — the log is append-only).
+    pub fn record(&self, id: RecordId) -> Option<&Record> {
+        self.store.get(id)
+    }
+
+    /// The epoch's blocking as a [`BlockCollection`] — byte-identical to
+    /// one-shot blocking of the epoch's live records.
+    pub fn snapshot(&self) -> BlockCollection {
+        self.view.snapshot()
+    }
+
+    /// The epoch's running `|Γ|` / `|Γ_tp|` counters.
+    pub fn running_counts(&self) -> RunningCounts {
+        self.view.running_counts()
+    }
+}
+
+/// The writer's private side: the mutable head index, the record log, and
+/// the epoch counter. Guarded by [`CandidateService`]'s writer mutex.
+#[derive(Debug)]
+struct WriterState {
+    head: IncrementalSaLshBlocker,
+    store: RecordStore,
+    epoch: u64,
+}
+
+/// Blocking as a service (see the module docs). `Send + Sync`: share it by
+/// reference (or `Arc`) between one writer role and any number of readers.
+#[derive(Debug)]
+pub struct CandidateService {
+    schema: Arc<Schema>,
+    name: String,
+    writer: Mutex<WriterState>,
+    published: RwLock<Arc<EpochState>>,
+}
+
+impl CandidateService {
+    /// Wraps a freshly built (empty) incremental blocker. Epoch 0 — the
+    /// empty index — is published immediately, so readers always find a
+    /// state. Errors when the blocker has already ingested records (its
+    /// corpus would be missing from the record log).
+    pub fn new(head: IncrementalSaLshBlocker, schema: Arc<Schema>) -> Result<Self> {
+        if head.num_records() != 0 {
+            return Err(ServeError::Protocol(format!(
+                "CandidateService::new requires an empty index, got one with {} records \
+                 (use CandidateService::load to adopt persisted state)",
+                head.num_records()
+            )));
+        }
+        Ok(Self::from_parts(head, schema, RecordStore::new()))
+    }
+
+    /// Assembles a service around an index head and the matching record log
+    /// (the log must hold exactly the head's ingested records).
+    fn from_parts(head: IncrementalSaLshBlocker, schema: Arc<Schema>, store: RecordStore) -> Self {
+        let name = head.name();
+        let initial = Arc::new(EpochState { epoch: 0, view: head.publish_view(), store: store.clone() });
+        Self {
+            schema,
+            name,
+            writer: Mutex::new(WriterState { head, store, epoch: 0 }),
+            published: RwLock::new(initial),
+        }
+    }
+
+    /// The service's schema — every ingested and probe record must carry it
+    /// (or one with the same attributes).
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The configuration fingerprint of the wrapped index
+    /// ([`IncrementalBlocker::name`]); persisted snapshots embed it and
+    /// refuse to load into a differently configured index.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The current published epoch — one `Arc` clone under a briefly held
+    /// read lock; everything after that is lock-free.
+    pub fn current(&self) -> Arc<EpochState> {
+        Arc::clone(&self.published.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Applies a batch of write ops to the private head and publishes the
+    /// result as one new epoch. Returns the published epoch.
+    ///
+    /// On a mid-batch failure the *applied prefix* is still published (the
+    /// published sequence always equals some prefix of the accepted ops —
+    /// readers never see a torn batch) and the error is returned; the
+    /// failing op and everything after it are dropped.
+    pub fn apply(&self, ops: Vec<WriteOp>) -> Result<Arc<EpochState>> {
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut failure: Option<ServeError> = None;
+        for op in ops {
+            if let Err(error) = Self::apply_one(&mut writer, op) {
+                failure = Some(error);
+                break;
+            }
+        }
+        let state = Self::publish(&self.published, &mut writer);
+        match failure {
+            Some(error) => Err(error),
+            None => Ok(state),
+        }
+    }
+
+    fn apply_one(writer: &mut WriterState, op: WriteOp) -> Result<()> {
+        match op {
+            WriteOp::Insert(records) => {
+                // The head validates the batch (dense ids, schema attributes)
+                // before mutating anything; only then does the log grow, so
+                // head and log never disagree.
+                writer.head.insert_batch(&records)?;
+                writer.store.append(records)?;
+                Ok(())
+            }
+            WriteOp::Remove(id) => {
+                writer.head.remove(id)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn publish(published: &RwLock<Arc<EpochState>>, writer: &mut WriterState) -> Arc<EpochState> {
+        writer.epoch += 1;
+        let state = Arc::new(EpochState {
+            epoch: writer.epoch,
+            view: writer.head.publish_view(),
+            store: writer.store.clone(),
+        });
+        *published.write().unwrap_or_else(PoisonError::into_inner) = Arc::clone(&state);
+        state
+    }
+
+    /// Inserts one batch of records ([`WriteOp::Insert`]) as its own epoch.
+    pub fn insert_batch(&self, records: Vec<Record>) -> Result<Arc<EpochState>> {
+        self.apply(vec![WriteOp::Insert(records)])
+    }
+
+    /// Inserts raw value rows: each row is wrapped in a [`Record`] carrying
+    /// the service schema and the next dense id (assigned under the writer
+    /// lock, so concurrent callers cannot race the id space), then ingested
+    /// as one batch/epoch.
+    pub fn insert_rows(&self, rows: Vec<Vec<Option<String>>>) -> Result<Arc<EpochState>> {
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let base = writer.head.num_records();
+        let records = rows
+            .into_iter()
+            .enumerate()
+            .map(|(offset, values)| {
+                let id = RecordId::try_from_index(base + offset)?;
+                Record::new(id, Arc::clone(&self.schema), values)
+            })
+            .collect::<std::result::Result<Vec<Record>, _>>()?;
+        let outcome = Self::apply_one(&mut writer, WriteOp::Insert(records));
+        let state = Self::publish(&self.published, &mut writer);
+        outcome.map(|()| state)
+    }
+
+    /// Tombstones one record ([`WriteOp::Remove`]) as its own epoch.
+    pub fn remove(&self, id: RecordId) -> Result<Arc<EpochState>> {
+        self.apply(vec![WriteOp::Remove(id)])
+    }
+
+    /// Convenience: [`EpochState::query`] on the current epoch.
+    pub fn query(&self, record: &Record) -> Result<Vec<RecordId>> {
+        self.current().query(record)
+    }
+
+    /// Convenience: [`EpochState::query_top_k`] on the current epoch.
+    pub fn query_top_k(&self, record: &Record, k: usize) -> Result<Vec<(RecordId, f64)>> {
+        self.current().query_top_k(record, k)
+    }
+
+    /// Wraps probe values in a [`Record`] against the given epoch: the probe
+    /// carries the service schema and the epoch's next record id — the id it
+    /// *would* get if ingested, which is how the equivalence contract is
+    /// phrased (one-shot blocking over `corpus ∪ {probe}`).
+    pub fn probe_record(&self, state: &EpochState, values: Vec<Option<String>>) -> Result<Record> {
+        Record::new(state.view().next_record_id(), Arc::clone(&self.schema), values).map_err(ServeError::from)
+    }
+
+    /// Persists the current index state (shards, tombstones, counters,
+    /// record log) as a versioned, checksummed snapshot file. Taken under
+    /// the writer lock, so the snapshot is a real epoch boundary.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        persist::save_to_path(path, &self.name, &self.schema, &writer.head.dump(), &writer.store)
+    }
+
+    /// Restores a service from a snapshot file written by
+    /// [`CandidateService::save`]. The caller supplies a freshly built
+    /// (empty) blocker of the *same configuration* and the expected schema;
+    /// fingerprint or schema disagreement is a typed error
+    /// ([`ServeError::ConfigMismatch`] / [`ServeError::SchemaMismatch`]),
+    /// as is any corruption of the file. The restored service is
+    /// byte-identical to the saved one: same snapshots, same query results,
+    /// same behaviour under every future write sequence.
+    pub fn load(head: IncrementalSaLshBlocker, schema: Arc<Schema>, path: &Path) -> Result<Self> {
+        if head.num_records() != 0 {
+            return Err(ServeError::Protocol(
+                "CandidateService::load requires a freshly built, empty index to restore into".into(),
+            ));
+        }
+        let snapshot = persist::read_from_path(path)?;
+        if head.name() != snapshot.name {
+            return Err(ServeError::ConfigMismatch { expected: head.name(), found: snapshot.name });
+        }
+        if schema.names() != snapshot.attributes.as_slice() {
+            return Err(ServeError::SchemaMismatch {
+                expected: schema.names().to_vec(),
+                found: snapshot.attributes,
+            });
+        }
+        let claimed = snapshot.dump.removed.len();
+        if snapshot.rows.len() != claimed {
+            return Err(ServeError::Corrupt {
+                offset: 0,
+                reason: format!(
+                    "snapshot stores {} records but its index covers {claimed}",
+                    snapshot.rows.len()
+                ),
+            });
+        }
+        let head = head.restore(snapshot.dump)?;
+        let records = snapshot
+            .rows
+            .into_iter()
+            .enumerate()
+            .map(|(index, values)| {
+                let id = RecordId::try_from_index(index)?;
+                Record::new(id, Arc::clone(&schema), values)
+            })
+            .collect::<std::result::Result<Vec<Record>, _>>()?;
+        let mut store = RecordStore::new();
+        store.append(records)?;
+        Ok(Self::from_parts(head, schema, store))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sablock_core::prelude::SaLshBlocker;
+
+    fn builder() -> sablock_core::prelude::SaLshBlockerBuilder {
+        SaLshBlocker::builder().attributes(["title"]).qgram(2).bands(12).rows_per_band(2).seed(0xB10C)
+    }
+
+    fn service() -> CandidateService {
+        let schema = Schema::shared(["title"]).unwrap();
+        CandidateService::new(builder().into_incremental().unwrap(), schema).unwrap()
+    }
+
+    fn row(title: &str) -> Vec<Option<String>> {
+        vec![if title.is_empty() { None } else { Some(title.to_string()) }]
+    }
+
+    #[test]
+    fn epochs_advance_and_old_epochs_stay_frozen() {
+        let service = service();
+        let initial = service.current();
+        assert_eq!(initial.epoch(), 0);
+        assert_eq!(initial.view().num_records(), 0);
+
+        let first = service
+            .insert_rows(vec![row("a theory for record linkage"), row("a theory of record linkage")])
+            .unwrap();
+        assert_eq!(first.epoch(), 1);
+        assert_eq!(first.view().num_records(), 2);
+        assert_eq!(service.current().epoch(), 1);
+
+        let second = service.remove(RecordId(1)).unwrap();
+        assert_eq!(second.epoch(), 2);
+        assert_eq!(second.view().num_live_records(), 1);
+        // The earlier epochs still render their own state.
+        assert_eq!(first.view().num_live_records(), 2);
+        assert_eq!(initial.view().num_records(), 0);
+        assert_eq!(first.record(RecordId(1)).unwrap().value("title"), Some("a theory of record linkage"));
+
+        // Removing an unknown id errors but still publishes (a no-op epoch).
+        assert!(service.remove(RecordId(99)).is_err());
+        assert_eq!(service.current().epoch(), 3);
+        assert_eq!(service.current().snapshot().blocks(), second.snapshot().blocks());
+    }
+
+    #[test]
+    fn queries_rank_by_similarity_and_exclude_the_probe() {
+        let service = service();
+        service
+            .insert_rows(vec![
+                row("a theory for record linkage"),
+                row("a theory of record linkage"),
+                row("efficient clustering of high dimensional data sets"),
+                row(""),
+            ])
+            .unwrap();
+        let state = service.current();
+        let probe = service.probe_record(&state, row("a theory of record linkage!")).unwrap();
+        assert_eq!(probe.id(), RecordId(4));
+
+        let candidates = state.query(&probe).unwrap();
+        assert!(candidates.contains(&RecordId(0)) && candidates.contains(&RecordId(1)), "{candidates:?}");
+        assert!(!candidates.contains(&RecordId(4)));
+
+        let ranked = state.query_top_k(&probe, 10).unwrap();
+        assert_eq!(ranked.len(), candidates.len());
+        assert_eq!(ranked[0].0, RecordId(1), "the near-duplicate ranks first");
+        assert!(ranked[0].1 > 0.8);
+        assert!(ranked.windows(2).all(|w| w[0].1 >= w[1].1), "scores are descending");
+        assert_eq!(state.query_top_k(&probe, 1).unwrap().len(), 1);
+
+        // Service-level conveniences hit the current epoch.
+        assert_eq!(service.query(&probe).unwrap(), candidates);
+        assert_eq!(service.query_top_k(&probe, 10).unwrap(), ranked);
+
+        // An empty probe matches nothing; a wrong-schema probe errors.
+        let empty = service.probe_record(&state, row("")).unwrap();
+        assert!(state.query(&empty).unwrap().is_empty());
+        let wrong_schema = Schema::shared(["name"]).unwrap();
+        let wrong = Record::new(RecordId(4), wrong_schema, vec![Some("x".into())]).unwrap();
+        assert!(state.query(&wrong).is_err());
+    }
+
+    #[test]
+    fn a_failing_op_publishes_the_applied_prefix() {
+        let service = service();
+        let good = Record::new(RecordId(0), Arc::clone(service.schema()), row("a theory for record linkage")).unwrap();
+        let gap = Record::new(RecordId(7), Arc::clone(service.schema()), row("a theory of record linkage")).unwrap();
+        let err = service
+            .apply(vec![WriteOp::Insert(vec![good]), WriteOp::Insert(vec![gap]), WriteOp::Remove(RecordId(0))])
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Core(_)), "{err}");
+        let state = service.current();
+        assert_eq!(state.epoch(), 1, "the prefix before the failure was published");
+        assert_eq!(state.view().num_records(), 1, "ops after the failure were dropped");
+        assert!(state.view().is_live(RecordId(0)), "the remove after the failing op was not applied");
+
+        // A service must start from an empty index.
+        let mut seeded = builder().into_incremental().unwrap();
+        seeded
+            .insert_values(&Schema::shared(["title"]).unwrap(), vec![row("x")])
+            .unwrap();
+        assert!(CandidateService::new(seeded, Schema::shared(["title"]).unwrap()).is_err());
+    }
+}

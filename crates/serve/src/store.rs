@@ -1,0 +1,125 @@
+//! Append-only record storage shared across epochs.
+//!
+//! The candidate service keeps the full records around (scoring needs their
+//! text; the protocol echoes them back), but an epoch publication must not
+//! copy the corpus. [`RecordStore`] is a chunked append-only log: each write
+//! batch seals one immutable [`Arc`]'d chunk, so cloning the store for a new
+//! epoch copies only the chunk table — O(batches), never O(records) — and
+//! all epochs share the record allocations.
+
+use std::sync::Arc;
+
+use sablock_datasets::{Record, RecordId};
+
+use crate::error::{Result, ServeError};
+
+/// An immutable-chunk record log with O(log chunks) id lookup and
+/// O(chunks) clone (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct RecordStore {
+    chunks: Vec<Arc<Vec<Record>>>,
+    /// First record id of each chunk, ascending — the lookup index.
+    starts: Vec<u32>,
+    len: usize,
+}
+
+impl RecordStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of records appended so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one batch as a sealed chunk. The batch must continue the
+    /// dense id space (`len(), len()+1, …`) — the same contract the
+    /// incremental blocker enforces — so lookups stay a binary search plus
+    /// an offset. Empty batches are accepted and store nothing.
+    pub fn append(&mut self, batch: Vec<Record>) -> Result<()> {
+        for (offset, record) in batch.iter().enumerate() {
+            let expected = self.len + offset;
+            if record.id().index() != expected {
+                return Err(ServeError::Protocol(format!(
+                    "record batch does not continue the dense id space: offset {offset} carries id {} but the \
+                     store holds {} records",
+                    record.id(),
+                    self.len
+                )));
+            }
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let first = batch[0].id().0;
+        self.len += batch.len();
+        self.starts.push(first);
+        self.chunks.push(Arc::new(batch));
+        Ok(())
+    }
+
+    /// The record with the given id, if it was appended.
+    pub fn get(&self, id: RecordId) -> Option<&Record> {
+        if id.index() >= self.len {
+            return None;
+        }
+        // The last chunk whose first id is ≤ the probe id.
+        let chunk = self.starts.partition_point(|&start| start <= id.0).checked_sub(1)?;
+        self.chunks[chunk].get(id.index() - self.starts[chunk] as usize)
+    }
+
+    /// Iterates all records in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.chunks.iter().flat_map(|chunk| chunk.iter())
+    }
+
+    /// Number of sealed chunks (what a clone copies).
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sablock_datasets::Schema;
+
+    fn record(schema: &Arc<Schema>, id: u32, title: &str) -> Record {
+        Record::new(RecordId(id), Arc::clone(schema), vec![Some(title.to_string())]).unwrap()
+    }
+
+    #[test]
+    fn chunked_append_and_lookup() {
+        let schema = Schema::shared(["title"]).unwrap();
+        let mut store = RecordStore::new();
+        assert!(store.is_empty());
+        assert!(store.get(RecordId(0)).is_none());
+
+        store.append(vec![record(&schema, 0, "a"), record(&schema, 1, "b")]).unwrap();
+        store.append(Vec::new()).unwrap();
+        store.append(vec![record(&schema, 2, "c")]).unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.num_chunks(), 2, "empty batches seal no chunk");
+        assert_eq!(store.get(RecordId(1)).unwrap().value("title"), Some("b"));
+        assert_eq!(store.get(RecordId(2)).unwrap().value("title"), Some("c"));
+        assert!(store.get(RecordId(3)).is_none());
+        let titles: Vec<_> = store.iter().map(|r| r.value("title").unwrap().to_string()).collect();
+        assert_eq!(titles, ["a", "b", "c"]);
+
+        // Clones share chunks: cheap, and lookups agree.
+        let clone = store.clone();
+        assert_eq!(clone.get(RecordId(0)).unwrap().value("title"), Some("a"));
+
+        // A gap in the id space is rejected.
+        let err = store.append(vec![record(&schema, 5, "x")]).unwrap_err();
+        assert!(matches!(err, ServeError::Protocol(_)));
+        assert_eq!(store.len(), 3, "a rejected batch appends nothing");
+    }
+}

@@ -1,0 +1,268 @@
+//! Blocking-as-a-service under mixed load: one writer streams NC-Voter
+//! batches (with interleaved removals) into a [`CandidateService`] while
+//! several reader threads run candidate queries against whatever epoch is
+//! published — exactly the deployment shape the serve layer exists for.
+//!
+//! Run with `cargo run --release --example mixed_load`. The default is a
+//! quick 6,000-record load that finishes in seconds; set
+//! `SABLOCK_SERVICE_FULL=1` for a 50,000-record run.
+//!
+//! The example is also a **differential harness**: every reader records
+//! `(epoch, probe, result)` samples, and after the threads join, the write
+//! script is replayed op-by-op into a fresh mirror index — each sample must
+//! equal the mirror's answer at that exact epoch, proving readers only ever
+//! observe fully-applied write prefixes. Per-query latencies (merged across
+//! readers, p50/p99) and insert throughput land in `BENCH_fig13.json` under
+//! the `"service"` section (`"service_quick"` for default runs).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use sablock::core::parallel::join_all;
+use sablock::eval::experiments::VOTER_SEMANTIC_BITS;
+use sablock::eval::perf::{peak_rss_bytes, upsert_section, JsonValue, LatencyStats};
+use sablock::prelude::*;
+
+const QUICK_SCALE: usize = 6_000;
+const FULL_SCALE: usize = 50_000;
+const NUM_READERS: usize = 4;
+const NUM_PROBES: usize = 32;
+
+/// The scripted write load: batched inserts with a removal of the oldest
+/// still-live record interleaved every sixth op.
+enum Op {
+    Insert(Vec<Vec<Option<String>>>),
+    Remove(RecordId),
+}
+
+/// One reader observation, checked against the offline replay afterwards.
+type Sample = (u64, usize, Vec<RecordId>);
+
+fn builder() -> Result<sablock::core::lsh::salsh::SaLshBlockerBuilder, Box<dyn Error>> {
+    // The paper's NC-Voter operating point (k = 9, l = 15), semhash family
+    // pinned up front so the service head and the replay mirror share it by
+    // construction.
+    let zeta = VoterSemanticFunction::default_voter();
+    let tree = zeta.taxonomy().clone();
+    let family = SemhashFamily::from_all_leaves(&tree)?;
+    let semantic = SemanticConfig::new(tree, zeta)
+        .with_w(VOTER_SEMANTIC_BITS)
+        .with_mode(SemanticMode::Or)
+        .with_seed(0x5eed)
+        .with_pinned_family(family);
+    Ok(SaLshBlocker::builder()
+        .attributes(["first_name", "last_name"])
+        .qgram(2)
+        .rows_per_band(9)
+        .bands(15)
+        .seed(0x7013)
+        .semantic(semantic))
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let full = std::env::var("SABLOCK_SERVICE_FULL").is_ok_and(|v| v == "1");
+    let num_records = if full { FULL_SCALE } else { QUICK_SCALE };
+    let batch_size = if full { 2_048 } else { 256 };
+    println!(
+        "mixed_load: {num_records} records in batches of {batch_size}, {NUM_READERS} readers{}",
+        if full { " (full scale)" } else { " (set SABLOCK_SERVICE_FULL=1 for 50,000)" }
+    );
+
+    // --- Script the write load and the probe pool up front -------------------
+    let generator =
+        NcVoterGenerator::new(NcVoterConfig { num_records: num_records + NUM_PROBES, ..NcVoterConfig::default() });
+    let mut stream = generator.stream()?;
+    let schema = Arc::clone(stream.schema());
+    let mut rows: Vec<Vec<Option<String>>> = Vec::with_capacity(num_records + NUM_PROBES);
+    while let Some(chunk) = stream.next_chunk(8_192) {
+        rows.extend(chunk.into_iter().map(|(values, _entity)| values));
+    }
+    let probe_rows: Vec<Vec<Option<String>>> = rows.split_off(num_records);
+
+    let mut ops: Vec<Op> = Vec::new();
+    let mut next_victim = 0u32;
+    let mut cursor = 0usize;
+    while cursor < rows.len() {
+        if ops.len() % 6 == 5 && (next_victim as usize) < cursor {
+            ops.push(Op::Remove(RecordId(next_victim)));
+            next_victim += 1;
+        } else {
+            let end = (cursor + batch_size).min(rows.len());
+            ops.push(Op::Insert(rows[cursor..end].to_vec()));
+            cursor = end;
+        }
+    }
+    let final_epoch = ops.len() as u64;
+
+    // --- Run the mixed load ---------------------------------------------------
+    let sample_stride = if full { 16 } else { 1 };
+    let service = CandidateService::new(builder()?.into_incremental()?, Arc::clone(&schema))?;
+    let service_ref = &service;
+    let probes_ref = &probe_rows;
+
+    type Task<'scope> = Box<dyn FnOnce() -> (LatencyStats, Vec<Sample>) + Send + 'scope>;
+    let writer_ops: Vec<&Op> = ops.iter().collect();
+    let mut tasks: Vec<Task> = vec![Box::new(move || {
+        let mut inserts = LatencyStats::new();
+        for op in writer_ops {
+            let start = Instant::now();
+            match op {
+                Op::Insert(batch) => {
+                    service_ref.insert_rows(batch.clone()).expect("scripted insert");
+                }
+                Op::Remove(id) => {
+                    service_ref.remove(*id).expect("scripted removal");
+                }
+            }
+            inserts.record(start.elapsed());
+        }
+        (inserts, Vec::new())
+    })];
+    for reader in 0..NUM_READERS {
+        tasks.push(Box::new(move || {
+            let mut latencies = LatencyStats::new();
+            let mut samples: Vec<Sample> = Vec::new();
+            let mut turn = reader; // stagger the probe cycle per reader
+            loop {
+                let state = service_ref.current();
+                let probe_index = turn % probes_ref.len();
+                let start = Instant::now();
+                let probe =
+                    service_ref.probe_record(&state, probes_ref[probe_index].clone()).expect("probe row");
+                let result = state.query(&probe).expect("published epochs always answer");
+                latencies.record(start.elapsed());
+                // Keep a bounded differential trace: every 16th query in
+                // full, every query in quick mode.
+                if turn % sample_stride == 0 {
+                    samples.push((state.epoch(), probe_index, result));
+                }
+                if state.epoch() >= final_epoch {
+                    return (latencies, samples);
+                }
+                turn += NUM_READERS;
+            }
+        }));
+    }
+
+    let wall_start = Instant::now();
+    let mut outcomes = join_all(tasks).into_iter();
+    let wall_s = wall_start.elapsed().as_secs_f64();
+    let (insert_latencies, _) = outcomes.next().expect("writer outcome");
+    let mut query_latencies = LatencyStats::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    for (latencies, reader_samples) in outcomes {
+        query_latencies.merge(&latencies);
+        samples.extend(reader_samples);
+    }
+    let insert_throughput = num_records as f64 / insert_latencies.total_secs();
+    println!(
+        "mixed load done in {wall_s:.2}s wall: {} write ops ({:.0} records/s insert), {} queries \
+         (p50 {:.3} ms, p99 {:.3} ms)",
+        ops.len(),
+        insert_throughput,
+        query_latencies.len(),
+        query_latencies.p50_secs() * 1e3,
+        query_latencies.p99_secs() * 1e3,
+    );
+    assert!(query_latencies.len() >= NUM_READERS, "every reader completes at least one query");
+    assert!(insert_throughput > 0.0 && insert_throughput.is_finite());
+
+    // --- Differential replay: every sample must match its epoch exactly ------
+    let mut needed: BTreeMap<u64, BTreeSet<usize>> = BTreeMap::new();
+    for (epoch, probe_index, _) in &samples {
+        needed.entry(*epoch).or_default().insert(*probe_index);
+    }
+    let mut expected: BTreeMap<(u64, usize), Vec<RecordId>> = BTreeMap::new();
+    let mut mirror = builder()?.into_incremental()?;
+    let mut next_index = 0usize;
+    for epoch in 0..=ops.len() {
+        if let Some(probe_indices) = needed.get(&(epoch as u64)) {
+            for &probe_index in probe_indices {
+                let probe = Record::new(
+                    RecordId::try_from_index(next_index)?,
+                    Arc::clone(&schema),
+                    probe_rows[probe_index].clone(),
+                )?;
+                expected.insert((epoch as u64, probe_index), mirror.query_candidates(&probe)?);
+            }
+        }
+        if let Some(op) = ops.get(epoch) {
+            match op {
+                Op::Insert(batch) => {
+                    let records: Vec<Record> = batch
+                        .iter()
+                        .map(|values| {
+                            let id = RecordId::try_from_index(next_index).expect("dense ids");
+                            next_index += 1;
+                            Record::new(id, Arc::clone(&schema), values.clone()).expect("scripted row")
+                        })
+                        .collect();
+                    mirror.insert_batch(&records)?;
+                }
+                Op::Remove(id) => {
+                    mirror.remove(*id)?;
+                }
+            }
+        }
+    }
+    for (epoch, probe_index, result) in &samples {
+        assert_eq!(
+            result,
+            &expected[&(*epoch, *probe_index)],
+            "reader sample at epoch {epoch} / probe {probe_index} diverged from the offline replay"
+        );
+    }
+    println!(
+        "differential replay: {} samples across {} distinct epochs all match the op-by-op mirror",
+        samples.len(),
+        needed.len(),
+    );
+
+    // --- Final-state equivalence: service ≡ mirror wholesale ------------------
+    let final_state = service.current();
+    assert_eq!(final_state.epoch(), final_epoch);
+    assert_eq!(final_state.view().snapshot().blocks(), mirror.snapshot().blocks());
+    assert_eq!(final_state.view().running_counts(), mirror.running_counts());
+    println!(
+        "final epoch {}: {} records ({} live), |Γ| = {} — byte-identical to the mirror",
+        final_state.epoch(),
+        final_state.view().num_records(),
+        final_state.view().num_live_records(),
+        final_state.view().running_counts().pairs,
+    );
+
+    // --- Record the measurements machine-readably -----------------------------
+    let total_records = u64::try_from(num_records)?;
+    let batch_records = u64::try_from(batch_size)?;
+    let total_ops = u64::try_from(ops.len())?;
+    let reader_count = u64::try_from(NUM_READERS)?;
+    let query_count = u64::try_from(query_latencies.len())?;
+    let sample_count = u64::try_from(samples.len())?;
+    let report = JsonValue::Object(vec![
+        ("records".into(), JsonValue::UInt(total_records)),
+        ("batch_size".into(), JsonValue::UInt(batch_records)),
+        ("write_ops".into(), JsonValue::UInt(total_ops)),
+        ("readers".into(), JsonValue::UInt(reader_count)),
+        ("queries".into(), JsonValue::UInt(query_count)),
+        ("query_p50_s".into(), JsonValue::Float(query_latencies.p50_secs())),
+        ("query_p99_s".into(), JsonValue::Float(query_latencies.p99_secs())),
+        ("query_mean_s".into(), JsonValue::Float(query_latencies.mean_secs())),
+        ("insert_p50_s".into(), JsonValue::Float(insert_latencies.p50_secs())),
+        ("insert_p99_s".into(), JsonValue::Float(insert_latencies.p99_secs())),
+        ("insert_total_s".into(), JsonValue::Float(insert_latencies.total_secs())),
+        ("insert_throughput_rps".into(), JsonValue::Float(insert_throughput)),
+        ("wall_s".into(), JsonValue::Float(wall_s)),
+        ("samples_verified".into(), JsonValue::UInt(sample_count)),
+        ("peak_rss_bytes".into(), peak_rss_bytes().map_or(JsonValue::Null, JsonValue::UInt)),
+    ]);
+    let section = if full { "service" } else { "service_quick" };
+    let path = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_fig13.json"));
+    match upsert_section(path, section, &report) {
+        Ok(()) => println!("wrote the measurements to {} (section \"{section}\")", path.display()),
+        Err(err) => eprintln!("could not write {}: {err}", path.display()),
+    }
+    Ok(())
+}

@@ -12,7 +12,9 @@
 //!   similarity, semhash signatures, minhash LSH and the SA-LSH blocker,
 //! * [`baselines`] — the 12 comparison techniques of the paper's evaluation
 //!   plus meta-blocking,
-//! * [`eval`] — PC/PQ/RR/FM measures and the per-figure experiment harness.
+//! * [`eval`] — PC/PQ/RR/FM measures and the per-figure experiment harness,
+//! * [`serve`] — blocking as a service: the epoch-published candidate-lookup
+//!   engine, snapshot persistence and the `sablock-serve` line protocol.
 //!
 //! ## Quick start
 //!
@@ -56,6 +58,7 @@ pub use sablock_baselines as baselines;
 pub use sablock_core as core;
 pub use sablock_datasets as datasets;
 pub use sablock_eval as eval;
+pub use sablock_serve as serve;
 pub use sablock_textual as textual;
 
 /// The most commonly used types, re-exported for glob imports.
@@ -70,6 +73,7 @@ pub mod prelude {
     };
     pub use sablock_eval::experiments::Scale;
     pub use sablock_eval::{run_blocker, BlockingMetrics, IncrementalEvaluation, RunResult, TextTable};
+    pub use sablock_serve::{CandidateService, EpochState, ServeError, WriteOp};
     pub use sablock_textual::{jaccard, jaro_winkler, levenshtein, qgram_similarity, SimilarityFunction};
 }
 

@@ -1,0 +1,205 @@
+//! Concurrency differential: N reader threads hammer a [`CandidateService`]
+//! while one writer applies a scripted insert/remove op sequence. Every
+//! sample a reader takes — `(epoch, probe, result)` — must afterwards match
+//! an **offline replay** of that epoch: a fresh mirror blocker fed exactly
+//! the first `epoch` ops. That is the linearizability contract of epoch
+//! publication: a reader never sees a torn index, only some applied prefix.
+//!
+//! The file is deliberately *not* gated on `check-invariants`; CI runs the
+//! whole workspace test suite a second time with
+//! `--features sablock_core/check-invariants`, arming the runtime sanitizer
+//! under these same interleavings.
+
+use std::sync::Arc;
+
+use sablock::core::parallel::join_all;
+use sablock::core::lsh::salsh::SaLshBlockerBuilder;
+use sablock::prelude::*;
+
+fn builder() -> SaLshBlockerBuilder {
+    SaLshBlocker::builder().attributes(["title", "authors"]).qgram(3).rows_per_band(2).bands(8).seed(0xB10C)
+}
+
+fn schema() -> Arc<Schema> {
+    Schema::shared(["title", "authors"]).unwrap()
+}
+
+const TITLE_WORDS: &[&str] =
+    &["theory", "record", "linkage", "entity", "resolution", "semantic", "blocking", "errors"];
+
+fn row(index: usize) -> Vec<Option<String>> {
+    let first = TITLE_WORDS[index % TITLE_WORDS.len()];
+    let second = TITLE_WORDS[(index / 2) % TITLE_WORDS.len()];
+    vec![Some(format!("{first} {second} study")), Some(format!("author{}", index % 5))]
+}
+
+/// The scripted write load, applied once by the writer thread and replayed
+/// op-by-op by the offline mirror.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<Vec<Option<String>>>),
+    Remove(RecordId),
+}
+
+/// Deterministic mixed load: batched inserts with interleaved removals of
+/// the oldest still-live record every third op.
+fn scripted_ops() -> Vec<Op> {
+    let mut ops = Vec::new();
+    let mut inserted = 0usize;
+    let mut next_victim = 0u32;
+    for step in 0..24usize {
+        if step % 3 == 2 && u64::from(next_victim) < inserted as u64 {
+            ops.push(Op::Remove(RecordId(next_victim)));
+            next_victim += 1;
+        } else {
+            let batch: Vec<Vec<Option<String>>> = (0..1 + step % 3).map(|offset| row(inserted + offset)).collect();
+            inserted += batch.len();
+            ops.push(Op::Insert(batch));
+        }
+    }
+    ops
+}
+
+/// The probe rows readers cycle through.
+fn probes() -> Vec<Vec<Option<String>>> {
+    vec![row(0), row(7), vec![Some("unrelated zebra quartz".into()), None]]
+}
+
+/// One reader observation: which epoch it queried, which probe, what came
+/// back.
+type Sample = (u64, usize, Vec<RecordId>);
+
+/// Replays `ops[..prefix]` into a fresh mirror blocker and computes, for
+/// every probe, what a query over that exact prefix must return.
+fn replay_expectations(ops: &[Op]) -> Vec<Vec<Vec<RecordId>>> {
+    let schema = schema();
+    let probe_rows = probes();
+    let mut mirror = builder().into_incremental().unwrap();
+    let mut next_index = 0usize;
+    let mut per_epoch = Vec::with_capacity(ops.len() + 1);
+    let expectations = |mirror: &IncrementalSaLshBlocker, next_index: usize| {
+        probe_rows
+            .iter()
+            .map(|values| {
+                let probe = Record::new(
+                    RecordId::try_from_index(next_index).unwrap(),
+                    Arc::clone(&schema),
+                    values.clone(),
+                )
+                .unwrap();
+                mirror.query_candidates(&probe).unwrap()
+            })
+            .collect::<Vec<_>>()
+    };
+    per_epoch.push(expectations(&mirror, next_index));
+    for op in ops {
+        match op {
+            Op::Insert(rows) => {
+                let records: Vec<Record> = rows
+                    .iter()
+                    .map(|values| {
+                        let id = RecordId::try_from_index(next_index).unwrap();
+                        next_index += 1;
+                        Record::new(id, Arc::clone(&schema), values.clone()).unwrap()
+                    })
+                    .collect();
+                mirror.insert_batch(&records).unwrap();
+            }
+            Op::Remove(id) => {
+                mirror.remove(*id).unwrap();
+            }
+        }
+        per_epoch.push(expectations(&mirror, next_index));
+    }
+    per_epoch
+}
+
+#[test]
+fn concurrent_reads_always_match_a_published_epoch_replay() {
+    let ops = scripted_ops();
+    let probe_rows = probes();
+    let service = CandidateService::new(builder().into_incremental().unwrap(), schema()).unwrap();
+    let final_epoch = ops.len() as u64;
+
+    type Task<'scope> = Box<dyn FnOnce() -> Vec<Sample> + Send + 'scope>;
+    let writer_ops = ops.clone();
+    let service_ref = &service;
+    let probes_ref = &probe_rows;
+    let mut tasks: Vec<Task> = vec![Box::new(move || {
+        for op in writer_ops {
+            match op {
+                Op::Insert(rows) => {
+                    service_ref.insert_rows(rows).unwrap();
+                }
+                Op::Remove(id) => {
+                    service_ref.remove(id).unwrap();
+                }
+            }
+        }
+        Vec::new()
+    })];
+    for reader in 0..4usize {
+        tasks.push(Box::new(move || {
+            let mut samples: Vec<Sample> = Vec::new();
+            let mut probe_index = reader; // stagger the probe cycle per reader
+            loop {
+                let state = service_ref.current();
+                let values = &probes_ref[probe_index % probes_ref.len()];
+                let probe = service_ref.probe_record(&state, values.clone()).unwrap();
+                samples.push((state.epoch(), probe_index % probes_ref.len(), state.query(&probe).unwrap()));
+                if state.epoch() >= final_epoch {
+                    return samples;
+                }
+                probe_index += 1;
+            }
+        }));
+    }
+
+    let sampled: Vec<Sample> = join_all(tasks).into_iter().flatten().collect();
+    assert!(
+        sampled.iter().any(|(epoch, _, _)| *epoch == final_epoch),
+        "every reader runs until the final epoch is visible"
+    );
+
+    // Offline recount: epoch e is exactly `ops[..e]` applied to a fresh
+    // index, so each sample must equal the replay of its epoch.
+    let per_epoch = replay_expectations(&ops);
+    let mut epochs_seen = vec![false; per_epoch.len()];
+    for (epoch, probe_index, result) in &sampled {
+        let epoch = usize::try_from(*epoch).unwrap();
+        assert!(epoch < per_epoch.len(), "published epoch {epoch} beyond the op script");
+        epochs_seen[epoch] = true;
+        assert_eq!(
+            result, &per_epoch[epoch][*probe_index],
+            "reader sample at epoch {epoch} / probe {probe_index} diverged from the offline replay"
+        );
+    }
+    assert!(epochs_seen[ops.len()], "the final epoch was sampled");
+
+    // The published end state agrees with the mirror wholesale, not just on
+    // the sampled probes.
+    let final_state = service.current();
+    assert_eq!(final_state.epoch(), final_epoch);
+    let mut mirror = builder().into_incremental().unwrap();
+    let mut next_index = 0usize;
+    for op in &ops {
+        match op {
+            Op::Insert(rows) => {
+                let records: Vec<Record> = rows
+                    .iter()
+                    .map(|values| {
+                        let id = RecordId::try_from_index(next_index).unwrap();
+                        next_index += 1;
+                        Record::new(id, Arc::clone(&schema()), values.clone()).unwrap()
+                    })
+                    .collect();
+                mirror.insert_batch(&records).unwrap();
+            }
+            Op::Remove(id) => {
+                mirror.remove(*id).unwrap();
+            }
+        }
+    }
+    assert_eq!(final_state.view().snapshot().blocks(), mirror.snapshot().blocks());
+    assert_eq!(final_state.view().running_counts(), mirror.running_counts());
+}

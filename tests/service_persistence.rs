@@ -1,0 +1,200 @@
+//! Snapshot persistence round-trips and corruption handling for the serve
+//! layer: `save → load → save` must be **byte-identical**, a loaded service
+//! must behave exactly like the original under further writes, and every
+//! flavour of damaged file — truncation at any offset, a bit flip at any
+//! offset, a wrong magic/version — must come back as a typed [`ServeError`],
+//! never a panic and never a silently-wrong index.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use sablock::core::lsh::salsh::SaLshBlockerBuilder;
+use sablock::core::semantic::semhash::SemhashFamily;
+use sablock::prelude::*;
+use sablock::serve::persist;
+
+fn lsh_builder() -> SaLshBlockerBuilder {
+    SaLshBlocker::builder().attributes(["title", "authors"]).qgram(3).rows_per_band(2).bands(8).seed(0xB10C)
+}
+
+fn salsh_builder() -> SaLshBlockerBuilder {
+    let tree = bibliographic_taxonomy();
+    let zeta = PatternSemanticFunction::cora_default(&tree).unwrap();
+    let family = SemhashFamily::from_all_leaves(&tree).unwrap();
+    lsh_builder().semantic(
+        SemanticConfig::new(tree, zeta)
+            .with_w(2)
+            .with_mode(SemanticMode::Or)
+            .with_seed(11)
+            .with_pinned_family(family),
+    )
+}
+
+fn schema() -> Arc<Schema> {
+    Schema::shared(["title", "authors"]).unwrap()
+}
+
+/// A populated service with history: three insert batches, two removals, a
+/// missing value and a duplicate-ish pair, so the snapshot carries
+/// tombstones, multi-member buckets and `None` attributes.
+fn populated_service(builder: SaLshBlockerBuilder) -> CandidateService {
+    let service = CandidateService::new(builder.into_incremental().unwrap(), schema()).unwrap();
+    service
+        .insert_rows(vec![
+            vec![Some("a theory for record linkage".into()), Some("fellegi".into())],
+            vec![Some("a theory of record linkage".into()), Some("sunter".into())],
+            vec![None, Some("anonymous".into())],
+        ])
+        .unwrap();
+    service
+        .insert_rows(vec![
+            vec![Some("semantic aware blocking for entity resolution".into()), Some("wang".into())],
+            vec![Some("semantic-aware blocking for entity resolution".into()), None],
+        ])
+        .unwrap();
+    service.remove(RecordId(2)).unwrap();
+    service.insert_rows(vec![vec![Some("automatic linkage of vital records".into()), Some("newcombe".into())]]).unwrap();
+    service.remove(RecordId(0)).unwrap();
+    service
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sablock-serve-test-{}-{tag}.snap", std::process::id()))
+}
+
+struct TempFile(PathBuf);
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn save_load_save_is_byte_identical_and_behaviour_preserving() {
+    for (tag, builder) in [("lsh", lsh_builder as fn() -> SaLshBlockerBuilder), ("salsh", salsh_builder)] {
+        let original = populated_service(builder());
+        let first = TempFile(temp_path(&format!("{tag}-first")));
+        let second = TempFile(temp_path(&format!("{tag}-second")));
+        original.save(&first.0).unwrap();
+
+        let loaded = CandidateService::load(builder().into_incremental().unwrap(), schema(), &first.0).unwrap();
+        loaded.save(&second.0).unwrap();
+        let first_bytes = std::fs::read(&first.0).unwrap();
+        let second_bytes = std::fs::read(&second.0).unwrap();
+        assert_eq!(first_bytes, second_bytes, "{tag}: save → load → save must be byte-identical");
+
+        // The published state round-tripped wholesale.
+        let original_state = original.current();
+        let loaded_state = loaded.current();
+        assert_eq!(loaded_state.view().snapshot().blocks(), original_state.view().snapshot().blocks());
+        assert_eq!(loaded_state.view().running_counts(), original_state.view().running_counts());
+        assert_eq!(loaded_state.view().num_records(), original_state.view().num_records());
+        assert_eq!(loaded_state.view().num_live_records(), original_state.view().num_live_records());
+        for index in 0..original_state.view().num_records() {
+            let id = RecordId(u32::try_from(index).unwrap());
+            assert_eq!(loaded_state.view().is_live(id), original_state.view().is_live(id));
+            assert_eq!(
+                loaded_state.record(id).map(Record::values),
+                original_state.record(id).map(Record::values),
+                "{tag}: stored row {index} must round-trip"
+            );
+        }
+
+        // And the future is identical too: the same writes land the same.
+        let next = vec![vec![Some("a theory of record linkage".into()), Some("winkler".into())]];
+        let after_original = original.insert_rows(next.clone()).unwrap();
+        let after_loaded = loaded.insert_rows(next).unwrap();
+        assert_eq!(after_loaded.view().snapshot().blocks(), after_original.view().snapshot().blocks());
+        assert_eq!(after_loaded.view().running_counts(), after_original.view().running_counts());
+        let removed_original = original.remove(RecordId(1)).unwrap();
+        let removed_loaded = loaded.remove(RecordId(1)).unwrap();
+        assert_eq!(removed_loaded.view().snapshot().blocks(), removed_original.view().snapshot().blocks());
+    }
+}
+
+#[test]
+fn corrupted_snapshots_fail_typed_and_never_panic() {
+    let service = populated_service(lsh_builder());
+    let file = TempFile(temp_path("corrupt"));
+    service.save(&file.0).unwrap();
+    let good = std::fs::read(&file.0).unwrap();
+    let fresh = || lsh_builder().into_incremental().unwrap();
+
+    // Sanity: the untouched bytes parse.
+    persist::from_bytes(&good).unwrap();
+
+    // Truncation at every prefix length: typed error, no panic. (The whole
+    // file is a few KiB, so exhaustive truncation is affordable.)
+    for cut in 0..good.len() {
+        let error = persist::from_bytes(&good[..cut])
+            .err()
+            .unwrap_or_else(|| panic!("truncation to {cut} bytes must not parse"));
+        matches_corruption(&error, cut);
+    }
+
+    // A single flipped bit anywhere: the checksum (or an earlier magic
+    // check) catches it.
+    for offset in (0..good.len()).step_by(7) {
+        let mut bytes = good.clone();
+        bytes[offset] ^= 0x10;
+        let error = persist::from_bytes(&bytes)
+            .err()
+            .unwrap_or_else(|| panic!("bit flip at {offset} must not parse"));
+        matches_corruption(&error, offset);
+    }
+
+    // A wrong version with a *recomputed valid checksum* is still rejected,
+    // and with the dedicated variant rather than a checksum complaint.
+    let mut future = good.clone();
+    future[8..12].copy_from_slice(&2u32.to_le_bytes());
+    let body_end = future.len() - 8;
+    let checksum = persist::fnv1a64(&future[..body_end]);
+    future[body_end..].copy_from_slice(&checksum.to_le_bytes());
+    assert!(
+        matches!(persist::from_bytes(&future), Err(ServeError::UnsupportedVersion { found: 2, .. })),
+        "a future format version must be rejected as unsupported"
+    );
+
+    // Loading through the service surfaces the same typed errors.
+    std::fs::write(&file.0, &good[..good.len() / 2]).unwrap();
+    assert!(CandidateService::load(fresh(), schema(), &file.0).is_err());
+    let missing = temp_path("never-written");
+    assert!(matches!(CandidateService::load(fresh(), schema(), &missing), Err(ServeError::Io(_))));
+
+    // Config/schema mismatches are their own variants: same bytes, wrong
+    // head or wrong schema.
+    std::fs::write(&file.0, &good).unwrap();
+    let other_head = SaLshBlocker::builder()
+        .attributes(["title"])
+        .qgram(2)
+        .rows_per_band(2)
+        .bands(12)
+        .seed(1)
+        .into_incremental()
+        .unwrap();
+    assert!(matches!(
+        CandidateService::load(other_head, schema(), &file.0),
+        Err(ServeError::ConfigMismatch { .. })
+    ));
+    let other_schema = Schema::shared(["title", "authors", "venue"]).unwrap();
+    assert!(matches!(
+        CandidateService::load(fresh(), other_schema, &file.0),
+        Err(ServeError::SchemaMismatch { .. })
+    ));
+}
+
+/// Every corruption must map to one of the typed decode errors — which one
+/// depends on where the damage landed, but it must never be a mismatch
+/// variant that would misdirect the operator, and never a panic.
+fn matches_corruption(error: &ServeError, offset: usize) {
+    assert!(
+        matches!(
+            error,
+            ServeError::BadMagic
+                | ServeError::ChecksumMismatch { .. }
+                | ServeError::UnsupportedVersion { .. }
+                | ServeError::Corrupt { .. }
+        ),
+        "offset {offset}: unexpected error flavour: {error}"
+    );
+}
