@@ -52,6 +52,7 @@ pub struct IndexView {
     running: RunningCounts,
     next_id: u32,
     removed_count: usize,
+    compactions: u64,
 }
 
 impl IndexView {
@@ -70,6 +71,7 @@ impl IndexView {
             running: blocker.running,
             next_id: blocker.next_id,
             removed_count: blocker.removed_count,
+            compactions: blocker.compactions,
         }
     }
 
@@ -141,6 +143,17 @@ impl IndexView {
     /// may be shorter than [`IndexView::num_records`]).
     pub fn entity_table(&self) -> &[EntityId] {
         &self.entity_of
+    }
+
+    /// Number of tombstoned records at the publication point.
+    pub fn num_removed(&self) -> usize {
+        self.removed_count
+    }
+
+    /// Number of bucket compactions the index had performed at the
+    /// publication point (threshold-driven and forced).
+    pub fn num_compactions(&self) -> u64 {
+        self.compactions
     }
 }
 

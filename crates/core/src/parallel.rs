@@ -23,7 +23,10 @@
 //! threshold; everything stays deterministic because each output depends
 //! only on its own input and results are always stitched in input order.
 
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
 
 /// Applies `f` to every element of `items`, in parallel, preserving order.
 ///
@@ -101,6 +104,157 @@ where
     std::thread::scope(|scope| {
         let handles: Vec<_> = tasks.into_iter().map(|task| scope.spawn(task)).collect();
         handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+    })
+}
+
+/// Suspends the current worker for `duration`.
+///
+/// The workspace's only sanctioned sleep: backoff loops (e.g. the serve
+/// client's retry-with-exponential-backoff) and test choreography route
+/// through here so `std::thread` stays confined to this module
+/// (`thread-confinement` lint).
+pub fn sleep(duration: Duration) {
+    std::thread::sleep(duration);
+}
+
+/// The interior of a [`JobQueue`]: pending items plus the closed flag.
+#[derive(Debug)]
+struct JobQueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer/multi-consumer job queue (mutex + condvars).
+///
+/// The hand-off primitive behind [`worker_pool`]: producers [`JobQueue::push`]
+/// (blocking while full — natural backpressure) or [`JobQueue::try_push`]
+/// (failing while full — the admission-control probe an overload-shedding
+/// front-end needs), consumers [`JobQueue::pop`] until the queue is closed
+/// *and* drained. Closing wakes every waiter, so shutdown never hangs.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    state: Mutex<JobQueueState<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue holding at most `capacity` pending items (clamped to ≥ 1).
+    pub fn bounded(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(JobQueueState { items: VecDeque::new(), closed: false }),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Enqueues an item, blocking while the queue is full. Returns the item
+    /// back when the queue has been closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if state.closed {
+                return Err(item);
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.not_full.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Enqueues an item only if there is room right now. Returns the item
+    /// back when the queue is full or closed — the caller decides whether to
+    /// shed, retry, or block.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.closed || state.items.len() >= self.capacity {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty. Returns
+    /// `None` once the queue is closed *and* drained — the worker's signal
+    /// to exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: pending items still drain, new pushes fail, and
+    /// blocked waiters wake immediately.
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Number of items currently queued (a racy snapshot, for stats only).
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).items.len()
+    }
+
+    /// Whether the queue currently holds no items (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Runs a producer/consumer pool over a bounded [`JobQueue`]: `workers`
+/// scoped threads each loop `pop → consume`, while `producer` runs on the
+/// calling thread feeding the queue. When the producer returns, the queue is
+/// closed, the workers drain what is left and exit, and the producer's
+/// result is returned.
+///
+/// This is the long-lived sibling of [`join_all`] — the shape a concurrent
+/// connection front-end needs (one accept loop fanning sessions out to a
+/// bounded set of workers) while keeping every `std::thread` in this module.
+/// The queue bound (`capacity`, clamped to ≥ 1) is the admission-control
+/// knob: a producer that uses [`JobQueue::try_push`] sees "full" immediately
+/// and can shed load instead of accepting work it cannot serve.
+pub fn worker_pool<T, R, P, C>(workers: usize, capacity: usize, producer: P, consumer: C) -> R
+where
+    T: Send,
+    R: Send,
+    P: FnOnce(&JobQueue<T>) -> R + Send,
+    C: Fn(T) + Sync,
+{
+    let queue = JobQueue::bounded(capacity);
+    let queue_ref = &queue;
+    let consumer_ref = &consumer;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.max(1))
+            .map(|_| {
+                scope.spawn(move || {
+                    while let Some(job) = queue_ref.pop() {
+                        consumer_ref(job);
+                    }
+                })
+            })
+            .collect();
+        let result = producer(queue_ref);
+        queue_ref.close();
+        for handle in handles {
+            handle.join().expect("worker thread panicked");
+        }
+        result
     })
 }
 
@@ -250,6 +404,62 @@ mod tests {
         assert_eq!(results, vec![0, 10, 20, 30, 40, 50]);
         assert_eq!(counter.load(Ordering::Relaxed), 6);
         assert!(join_all(Vec::<fn() -> u8>::new()).is_empty());
+    }
+
+    #[test]
+    fn job_queue_hand_off_and_close_semantics() {
+        let queue: JobQueue<u32> = JobQueue::bounded(2);
+        assert!(queue.is_empty());
+        queue.push(1).unwrap();
+        queue.push(2).unwrap();
+        assert_eq!(queue.len(), 2);
+        // Full: try_push hands the item back instead of blocking.
+        assert_eq!(queue.try_push(3), Err(3));
+        assert_eq!(queue.pop(), Some(1));
+        queue.try_push(3).unwrap();
+        queue.close();
+        // Closed: pushes fail, pending items still drain, then None.
+        assert_eq!(queue.push(9), Err(9));
+        assert_eq!(queue.try_push(9), Err(9));
+        assert_eq!(queue.pop(), Some(2));
+        assert_eq!(queue.pop(), Some(3));
+        assert_eq!(queue.pop(), None);
+        assert_eq!(queue.pop(), None, "a drained closed queue stays drained");
+        // A zero capacity clamps to one.
+        let tiny: JobQueue<u8> = JobQueue::bounded(0);
+        tiny.push(7).unwrap();
+        assert_eq!(tiny.try_push(8), Err(8));
+    }
+
+    #[test]
+    fn worker_pool_consumes_every_item_and_returns_the_producer_result() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let sum = AtomicU64::new(0);
+        for workers in [1usize, 3] {
+            sum.store(0, Ordering::Relaxed);
+            let produced = worker_pool(
+                workers,
+                2,
+                |queue: &JobQueue<u64>| {
+                    for value in 1..=50u64 {
+                        queue.push(value).map_err(|_| ()).expect("queue open while producing");
+                    }
+                    "done"
+                },
+                |value| {
+                    sum.fetch_add(value, Ordering::Relaxed);
+                },
+            );
+            assert_eq!(produced, "done");
+            assert_eq!(sum.load(Ordering::Relaxed), 50 * 51 / 2, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn sleep_returns_after_the_requested_pause() {
+        let start = std::time::Instant::now();
+        sleep(Duration::from_millis(5));
+        assert!(start.elapsed() >= Duration::from_millis(4));
     }
 
     #[test]

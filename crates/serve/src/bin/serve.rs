@@ -3,27 +3,37 @@
 //! Speaks the [`sablock_serve::protocol`] line protocol over **stdin**
 //! (default) or a **TCP listener** (`--tcp ADDR`). The index configuration
 //! comes from a named profile; `--load` resumes from a checksummed snapshot
-//! written by a previous `SAVE` request.
+//! written by a previous `SAVE` request, and `--wal DIR` makes the service
+//! *durable*: every write batch is logged before it applies, `CHECKPOINT`
+//! compacts the log, and a restart recovers to exactly the last durable
+//! batch.
 //!
 //! ```text
-//! sablock-serve [--profile cora|voter] [--tcp 127.0.0.1:7878] [--load PATH]
+//! sablock-serve [--profile cora|voter] [--tcp ADDR] [--load SNAPSHOT]
+//!               [--wal DIR] [--fsync always|never|every=N] [--segment-bytes N]
+//!               [--workers N] [--queue-depth N] [--max-sessions N]
+//!               [--read-timeout-ms N] [--write-timeout-ms N]
+//!               [--deadline-ms N] [--budget N] [--max-line-bytes N] [--retry-ms N]
 //! ```
 //!
-//! The TCP loop serves one connection at a time (accept → drain → next);
-//! it is a demonstration front-end for the epoch machinery, not a
-//! production network stack — concurrency lives inside [`CandidateService`]
-//! (lock-free readers over published epochs), not in socket handling.
+//! The TCP front-end is a bounded worker pool ([`sablock_serve::frontend`]):
+//! admitted connections are served concurrently under per-connection
+//! timeouts and per-request deadlines, and connections past the queue depth
+//! get a `RETRY` backoff line instead of waiting unboundedly.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::Write;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
 
 use sablock_core::prelude::*;
 use sablock_datasets::generators::cora::CORA_ATTRIBUTES;
 use sablock_datasets::generators::ncvoter::NCVOTER_ATTRIBUTES;
 use sablock_datasets::Schema;
-use sablock_serve::protocol::{handle_line, Outcome};
-use sablock_serve::{CandidateService, Result, ServeError};
+use sablock_serve::protocol::{handle_line_with, read_bounded_line, Outcome, RequestLimits};
+use sablock_serve::{
+    serve_tcp, CandidateService, FrontendOptions, FsyncPolicy, Result, ServeError, WalOptions,
+};
 
 /// A named index configuration the server can start with.
 struct Profile {
@@ -70,10 +80,33 @@ struct Options {
     profile: String,
     tcp: Option<String>,
     load: Option<String>,
+    wal: Option<String>,
+    wal_options: WalOptions,
+    frontend: FrontendOptions,
+}
+
+fn parse_fsync(raw: &str) -> Result<FsyncPolicy> {
+    match raw {
+        "always" => Ok(FsyncPolicy::Always),
+        "never" => Ok(FsyncPolicy::Never),
+        other => match other.strip_prefix("every=").and_then(|n| n.parse::<u64>().ok()) {
+            Some(n) if n > 0 => Ok(FsyncPolicy::EveryN(n)),
+            _ => Err(ServeError::Protocol(format!(
+                "--fsync must be always, never, or every=N (N ≥ 1), got '{raw}'"
+            ))),
+        },
+    }
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Options>> {
-    let mut options = Options { profile: "cora".into(), tcp: None, load: None };
+    let mut options = Options {
+        profile: "cora".into(),
+        tcp: None,
+        load: None,
+        wal: None,
+        wal_options: WalOptions::default(),
+        frontend: FrontendOptions::default(),
+    };
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| {
@@ -81,35 +114,93 @@ fn parse_args(args: &[String]) -> Result<Option<Options>> {
                 .cloned()
                 .ok_or_else(|| ServeError::Protocol(format!("{name} needs a value")))
         };
+        let mut number = |name: &str| -> Result<u64> {
+            value(name)?
+                .parse()
+                .map_err(|_| ServeError::Protocol(format!("{name} needs a non-negative integer")))
+        };
         match flag.as_str() {
             "--profile" => options.profile = value("--profile")?,
             "--tcp" => options.tcp = Some(value("--tcp")?),
             "--load" => options.load = Some(value("--load")?),
+            "--wal" => options.wal = Some(value("--wal")?),
+            "--fsync" => options.wal_options.fsync = parse_fsync(&value("--fsync")?)?,
+            "--segment-bytes" => options.wal_options.segment_bytes = number("--segment-bytes")?.max(1),
+            "--workers" => options.frontend.workers = number("--workers")?.max(1) as usize,
+            "--queue-depth" => options.frontend.queue_depth = number("--queue-depth")?.max(1) as usize,
+            "--max-sessions" => options.frontend.max_sessions = Some(number("--max-sessions")?),
+            "--read-timeout-ms" => {
+                options.frontend.read_timeout = Duration::from_millis(number("--read-timeout-ms")?)
+            }
+            "--write-timeout-ms" => {
+                options.frontend.write_timeout = Duration::from_millis(number("--write-timeout-ms")?)
+            }
+            "--deadline-ms" => {
+                options.frontend.limits.deadline = Some(Duration::from_millis(number("--deadline-ms")?))
+            }
+            "--budget" => options.frontend.limits.candidate_budget = Some(number("--budget")? as usize),
+            "--max-line-bytes" => {
+                options.frontend.limits.max_line_bytes = number("--max-line-bytes")?.max(1) as usize
+            }
+            "--retry-ms" => options.frontend.retry_after_ms = number("--retry-ms")?,
             "--help" | "-h" => return Ok(None),
             other => return Err(ServeError::Protocol(format!("unknown flag '{other}' (try --help)"))),
         }
+    }
+    if options.wal.is_some() && options.load.is_some() {
+        return Err(ServeError::Protocol(
+            "--wal and --load conflict: a WAL directory recovers its own snapshots \
+             (checkpoint into the directory instead)"
+                .into(),
+        ));
     }
     Ok(Some(options))
 }
 
 const USAGE: &str = "sablock-serve [--profile cora|voter] [--tcp ADDR] [--load SNAPSHOT]\n\
-                     Serves the line protocol (QUERY/QUERYK/INSERT/REMOVE/STATS/SAVE/QUIT,\n\
-                     tab-separated fields) on stdin, or on ADDR with --tcp.";
+                     \x20             [--wal DIR] [--fsync always|never|every=N] [--segment-bytes N]\n\
+                     \x20             [--workers N] [--queue-depth N] [--max-sessions N]\n\
+                     \x20             [--read-timeout-ms N] [--write-timeout-ms N]\n\
+                     \x20             [--deadline-ms N] [--budget N] [--max-line-bytes N] [--retry-ms N]\n\
+                     Serves the line protocol (QUERY/QUERYK/INSERT/REMOVE/STATS/SAVE/CHECKPOINT/QUIT,\n\
+                     tab-separated fields) on stdin, or concurrently on ADDR with --tcp.\n\
+                     --wal makes writes durable: batches are logged before applying and a\n\
+                     restart recovers to the last durable batch.";
 
-/// Drains one line-protocol session from `input`, replying on `output`.
-fn serve_session(service: &CandidateService, input: impl BufRead, mut output: impl Write) -> Result<()> {
-    for line in input.lines() {
-        let line = line?;
-        match handle_line(service, &line) {
-            Outcome::Reply(reply) => writeln!(output, "{reply}")?,
-            Outcome::Quit(reply) => {
-                writeln!(output, "{reply}")?;
-                break;
+/// Drains one bounded line-protocol session from `input`, replying on
+/// `output`. An overlong line gets one `ERR` and ends the session (the rest
+/// of the line is unread garbage); other malformed input is reported and
+/// the session continues.
+fn serve_session(
+    service: &CandidateService,
+    limits: &RequestLimits,
+    mut input: impl std::io::BufRead,
+    mut output: impl Write,
+) -> Result<()> {
+    loop {
+        match read_bounded_line(&mut input, limits.max_line_bytes) {
+            Ok(None) => return Ok(()),
+            Ok(Some(line)) => {
+                match handle_line_with(service, limits, &line) {
+                    Outcome::Reply(reply) => writeln!(output, "{reply}")?,
+                    Outcome::Quit(reply) => {
+                        writeln!(output, "{reply}")?;
+                        return Ok(());
+                    }
+                }
+                output.flush()?;
             }
+            Err(error @ ServeError::LineTooLong { .. }) => {
+                writeln!(output, "ERR {error}")?;
+                return Ok(());
+            }
+            Err(error @ ServeError::Protocol(_)) => {
+                writeln!(output, "ERR {error}")?;
+                output.flush()?;
+            }
+            Err(error) => return Err(error),
         }
-        output.flush()?;
     }
-    Ok(())
 }
 
 fn run() -> Result<()> {
@@ -119,9 +210,19 @@ fn run() -> Result<()> {
         return Ok(());
     };
     let Profile { schema, blocker } = profile(&options.profile)?;
-    let service = match &options.load {
-        Some(path) => CandidateService::load(blocker, schema, Path::new(path))?,
-        None => CandidateService::new(blocker, schema)?,
+    let service = match (&options.wal, &options.load) {
+        (Some(dir), _) => {
+            let (service, report) =
+                CandidateService::open_durable(blocker, schema, Path::new(dir), options.wal_options.clone())?;
+            eprintln!(
+                "sablock-serve: recovered epoch {} (snapshot covered {}, replayed {} batches, \
+                 discarded {} torn bytes)",
+                report.recovered_seq, report.snapshot_ops, report.replayed_records, report.discarded_bytes
+            );
+            service
+        }
+        (None, Some(path)) => CandidateService::load(blocker, schema, Path::new(path))?,
+        (None, None) => CandidateService::new(blocker, schema)?,
     };
     let state = service.current();
     eprintln!(
@@ -134,22 +235,20 @@ fn run() -> Result<()> {
     match &options.tcp {
         Some(address) => {
             let listener = std::net::TcpListener::bind(address)?;
-            eprintln!("sablock-serve: listening on {}", listener.local_addr()?);
-            for stream in listener.incoming() {
-                let stream = stream?;
-                let reader = BufReader::new(stream.try_clone()?);
-                // One session at a time: a failed client session is logged
-                // and the listener moves on to the next connection.
-                if let Err(error) = serve_session(&service, reader, &stream) {
-                    eprintln!("sablock-serve: session error: {error}");
-                }
-            }
+            eprintln!(
+                "sablock-serve: listening on {} ({} workers, queue depth {})",
+                listener.local_addr()?,
+                options.frontend.workers,
+                options.frontend.queue_depth
+            );
+            let accepted = serve_tcp(&service, &listener, &options.frontend)?;
+            eprintln!("sablock-serve: served {accepted} connections");
             Ok(())
         }
         None => {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            serve_session(&service, stdin.lock(), stdout.lock())
+            serve_session(&service, &options.frontend.limits, stdin.lock(), stdout.lock())
         }
     }
 }

@@ -1,0 +1,189 @@
+//! A line-protocol client that honours the server's backpressure.
+//!
+//! [`Client`] speaks the [`crate::protocol`] line format over TCP and
+//! implements the polite half of overload protection: a `RETRY <ms>`
+//! response (or a refused connection — the listener's backlog overflowing)
+//! is retried with exponential backoff, capped and bounded by
+//! [`RetryPolicy`]. A failure *mid-request* — the connection dying after
+//! the request line was written — is **not** retried: the server may have
+//! applied a non-idempotent `INSERT` already, and guessing would double it.
+//! Such failures surface as [`ServeError::Io`] for the caller to resolve
+//! (e.g. with `STATS`/`QUERY` reconciliation).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use sablock_core::parallel::sleep;
+
+use crate::error::{Result, ServeError};
+
+/// How a [`Client`] backs off when the service pushes back.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per request (first try included). At least 1.
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single backoff.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { attempts: 6, base_delay: Duration::from_millis(50), max_delay: Duration::from_secs(2) }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before attempt `attempt + 1` (0-based): `base · 2^attempt`,
+    /// capped at [`RetryPolicy::max_delay`].
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        let factor = 2u32.saturating_pow(attempt.min(16));
+        self.base_delay.saturating_mul(factor).min(self.max_delay)
+    }
+}
+
+/// One server response, with the degradation flag made explicit so callers
+/// cannot mistake an unranked answer for a ranked one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// A normal `OK …` reply (the payload after `OK `).
+    Ok(String),
+    /// An `OK DEGRADED …` reply — the cheap-path answer, explicitly flagged
+    /// (the payload after `OK DEGRADED `).
+    Degraded(String),
+    /// An `ERR …` reply (the reason after `ERR `).
+    Err(String),
+}
+
+/// A reconnecting line-protocol client (see the module docs).
+#[derive(Debug)]
+pub struct Client {
+    addr: String,
+    policy: RetryPolicy,
+    timeout: Duration,
+    connection: Option<BufReader<TcpStream>>,
+}
+
+impl Client {
+    /// A client for the given address (`host:port`). No connection is made
+    /// until the first request.
+    pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> Self {
+        Self { addr: addr.into(), policy, timeout: Duration::from_secs(10), connection: None }
+    }
+
+    /// Overrides the per-socket read/write timeout (default 10 s).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    fn connect(&self) -> std::io::Result<BufReader<TcpStream>> {
+        let mut last = std::io::Error::other(format!("no socket address resolved for {}", self.addr));
+        for addr in self.addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, self.timeout) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(self.timeout))?;
+                    stream.set_write_timeout(Some(self.timeout))?;
+                    return Ok(BufReader::new(stream));
+                }
+                Err(error) => last = error,
+            }
+        }
+        Err(last)
+    }
+
+    /// Sends one request line and reads the one-line response, retrying
+    /// shed requests (`RETRY` responses) and refused connections with
+    /// exponential backoff. When every attempt is shed, returns
+    /// [`ServeError::Overloaded`] carrying the server's last backoff hint.
+    pub fn request(&mut self, line: &str) -> Result<Response> {
+        let mut retry_hint_ms = self.policy.retry_hint_floor();
+        for attempt in 0..self.policy.attempts.max(1) {
+            if attempt > 0 {
+                // Honour the server's hint when it exceeds our own schedule.
+                let backoff = self.policy.delay_for(attempt - 1).max(Duration::from_millis(retry_hint_ms));
+                sleep(backoff.min(self.policy.max_delay));
+            }
+            let mut connection = match self.connection.take() {
+                Some(connection) => connection,
+                None => match self.connect() {
+                    Ok(connection) => connection,
+                    // A refused/unreachable server before anything was sent
+                    // is safe to retry.
+                    Err(_) => continue,
+                },
+            };
+            connection.get_mut().write_all(format!("{line}\n").as_bytes())?;
+            let mut reply = String::new();
+            if connection.read_line(&mut reply)? == 0 {
+                return Err(ServeError::Io(std::io::Error::other(
+                    "connection closed before a response arrived; the request's outcome is unknown",
+                )));
+            }
+            let reply = reply.trim_end_matches(['\r', '\n']);
+            if let Some(hint) = reply.strip_prefix("RETRY ") {
+                // Shed: the server closed the connection after this line.
+                retry_hint_ms = hint.trim().parse().unwrap_or(retry_hint_ms);
+                continue;
+            }
+            let response = if let Some(rest) = reply.strip_prefix("OK DEGRADED ") {
+                Response::Degraded(rest.to_string())
+            } else if let Some(rest) = reply.strip_prefix("OK ") {
+                Response::Ok(rest.to_string())
+            } else if reply == "OK" {
+                Response::Ok(String::new())
+            } else if let Some(rest) = reply.strip_prefix("ERR ") {
+                Response::Err(rest.to_string())
+            } else {
+                return Err(ServeError::Protocol(format!("unrecognised response line '{reply}'")));
+            };
+            self.connection = Some(connection);
+            return Ok(response);
+        }
+        Err(ServeError::Overloaded { retry_after_ms: retry_hint_ms })
+    }
+}
+
+impl RetryPolicy {
+    /// The starting `RETRY` hint assumed before the server supplies one.
+    fn retry_hint_floor(&self) -> u64 {
+        u64::try_from(self.base_delay.as_millis()).unwrap_or(50)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_millis(300),
+        };
+        assert_eq!(policy.delay_for(0), Duration::from_millis(50));
+        assert_eq!(policy.delay_for(1), Duration::from_millis(100));
+        assert_eq!(policy.delay_for(2), Duration::from_millis(200));
+        assert_eq!(policy.delay_for(3), Duration::from_millis(300), "capped");
+        assert_eq!(policy.delay_for(30), Duration::from_millis(300), "huge attempts stay capped");
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_overloaded() {
+        // Nothing listens on a reserved-but-closed port: every connect is
+        // refused, every attempt retries, and the typed error comes back.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let mut client = Client::new(
+            addr.to_string(),
+            RetryPolicy { attempts: 2, base_delay: Duration::from_millis(1), max_delay: Duration::from_millis(2) },
+        )
+        .with_timeout(Duration::from_millis(200));
+        let error = client.request("STATS").unwrap_err();
+        assert!(matches!(error, ServeError::Overloaded { .. }), "{error}");
+    }
+}

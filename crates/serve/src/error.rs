@@ -56,6 +56,28 @@ pub enum ServeError {
     },
     /// A malformed protocol line (unknown verb, wrong arity, unparsable id).
     Protocol(String),
+    /// A protocol line longer than the configured bound — rejected before
+    /// allocation so a malicious client cannot balloon memory.
+    LineTooLong {
+        /// The configured maximum line length in bytes.
+        limit: usize,
+    },
+    /// The service shed the request under load; the client should retry
+    /// after the suggested delay.
+    Overloaded {
+        /// The server's suggested retry delay in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The write path is poisoned: a WAL append failed partway, so the
+    /// durable log no longer extends the in-memory state and further writes
+    /// are refused until the service is re-opened through recovery.
+    WriterPoisoned {
+        /// The failure that poisoned the writer.
+        reason: String,
+    },
+    /// WAL recovery found the log structurally unrecoverable (e.g. a gap
+    /// between the adopted snapshot and the surviving segments).
+    Recovery(String),
     /// An error from the core blocking layer (batch validation, restore
     /// validation, probe schema checks).
     Core(CoreError),
@@ -85,6 +107,16 @@ impl std::fmt::Display for ServeError {
                 write!(f, "snapshot schema {found:?} does not match the supplied schema {expected:?}")
             }
             Self::Protocol(reason) => write!(f, "protocol error: {reason}"),
+            Self::LineTooLong { limit } => {
+                write!(f, "protocol line exceeds the {limit}-byte limit")
+            }
+            Self::Overloaded { retry_after_ms } => {
+                write!(f, "service overloaded; retry after {retry_after_ms} ms")
+            }
+            Self::WriterPoisoned { reason } => {
+                write!(f, "write path poisoned by a durability failure ({reason}); re-open the service to recover")
+            }
+            Self::Recovery(reason) => write!(f, "write-ahead log unrecoverable: {reason}"),
             Self::Core(e) => write!(f, "core error: {e}"),
             Self::Dataset(e) => write!(f, "dataset error: {e}"),
         }

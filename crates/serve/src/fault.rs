@@ -1,0 +1,151 @@
+//! Deterministic fault injection for the durability layer.
+//!
+//! A [`FailpointPlan`] is a *value*, constructed by the caller and threaded
+//! through [`WalOptions`](crate::wal::WalOptions) into every write the WAL
+//! performs — no global registry, no environment variables, no
+//! thread-locals. Tests build one plan per scenario (e.g. "kill the very
+//! first write after byte 173") and the same plan always produces the same
+//! torn file, which is what makes the exhaustive
+//! kill-at-every-byte-offset recovery differential in
+//! `tests/service_recovery.rs` possible.
+//!
+//! The plan simulates a crash *honestly*: when a write trips the byte
+//! failpoint, the allowed prefix of the buffer is still written to the real
+//! file before the error is returned, so the on-disk state afterwards is
+//! exactly what a power cut mid-`write(2)` leaves behind — a torn record the
+//! recovery path must detect and discard.
+
+/// A deterministic schedule of injected I/O faults (see the module docs).
+///
+/// The default plan ([`FailpointPlan::none`]) injects nothing and costs one
+/// branch per write.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailpointPlan {
+    kill_at_byte: Option<u64>,
+    fail_fsyncs_from: Option<u64>,
+}
+
+impl FailpointPlan {
+    /// A plan that never fires.
+    pub const fn none() -> Self {
+        Self { kill_at_byte: None, fail_fsyncs_from: None }
+    }
+
+    /// Kills the write that would produce the `offset`-th byte (0-based,
+    /// counted over the WAL's whole lifetime, across segment rotations):
+    /// bytes before `offset` are written, the rest of that buffer is not,
+    /// and the write returns an I/O error.
+    pub const fn kill_at_byte(offset: u64) -> Self {
+        Self { kill_at_byte: Some(offset), fail_fsyncs_from: None }
+    }
+
+    /// Fails every fsync from the `count`-th one on (0-based): `0` fails the
+    /// first fsync already, `2` lets two succeed first.
+    pub const fn fail_fsyncs_from(count: u64) -> Self {
+        Self { kill_at_byte: None, fail_fsyncs_from: Some(count) }
+    }
+
+    /// A seeded plan killing one write at a pseudo-random byte offset in
+    /// `[0, horizon)` — SplitMix64 over the seed, so the same seed always
+    /// picks the same offset and a seed sweep covers the space without any
+    /// global RNG state.
+    pub fn seeded_kill(seed: u64, horizon: u64) -> Self {
+        if horizon == 0 {
+            return Self::none();
+        }
+        Self::kill_at_byte(splitmix64(seed) % horizon)
+    }
+
+    /// Whether this plan can fire at all.
+    pub fn is_armed(&self) -> bool {
+        self.kill_at_byte.is_some() || self.fail_fsyncs_from.is_some()
+    }
+
+    /// The byte offset the kill failpoint is armed at, if any.
+    pub fn kill_offset(&self) -> Option<u64> {
+        self.kill_at_byte
+    }
+
+    /// How many bytes of a `len`-byte write starting at lifetime offset
+    /// `written_before` are allowed through. Equal to `len` when the plan
+    /// does not fire inside the buffer.
+    pub(crate) fn allowed_write(&self, written_before: u64, len: usize) -> usize {
+        match self.kill_at_byte {
+            Some(kill) if kill < written_before.saturating_add(len as u64) => {
+                usize::try_from(kill.saturating_sub(written_before)).unwrap_or(len)
+            }
+            _ => len,
+        }
+    }
+
+    /// Whether the `fsyncs_before`-th fsync (0-based) is allowed to succeed.
+    pub(crate) fn allows_fsync(&self, fsyncs_before: u64) -> bool {
+        match self.fail_fsyncs_from {
+            Some(from) => fsyncs_before < from,
+            None => true,
+        }
+    }
+}
+
+/// SplitMix64 — the tiny, well-mixed step function used to derive seeded
+/// failpoint offsets without touching any RNG machinery.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_plans_allow_everything() {
+        let plan = FailpointPlan::none();
+        assert!(!plan.is_armed());
+        assert_eq!(plan.allowed_write(0, 100), 100);
+        assert_eq!(plan.allowed_write(u64::MAX - 10, 100), 100);
+        assert!(plan.allows_fsync(0));
+        assert!(plan.allows_fsync(u64::MAX));
+        assert_eq!(FailpointPlan::default(), plan);
+    }
+
+    #[test]
+    fn kill_at_byte_truncates_the_crossing_write() {
+        let plan = FailpointPlan::kill_at_byte(10);
+        assert!(plan.is_armed());
+        assert_eq!(plan.kill_offset(), Some(10));
+        // Entirely before the failpoint: untouched.
+        assert_eq!(plan.allowed_write(0, 10), 10);
+        // Crossing it: only the prefix up to the failpoint goes through.
+        assert_eq!(plan.allowed_write(0, 11), 10);
+        assert_eq!(plan.allowed_write(8, 5), 2);
+        // At or past it: nothing goes through.
+        assert_eq!(plan.allowed_write(10, 4), 0);
+        assert_eq!(plan.allowed_write(12, 4), 0);
+        // Byte zero kills the first write outright.
+        assert_eq!(FailpointPlan::kill_at_byte(0).allowed_write(0, 7), 0);
+    }
+
+    #[test]
+    fn fsync_failpoints_count_zero_based() {
+        let plan = FailpointPlan::fail_fsyncs_from(2);
+        assert!(plan.allows_fsync(0));
+        assert!(plan.allows_fsync(1));
+        assert!(!plan.allows_fsync(2));
+        assert!(!plan.allows_fsync(99));
+        assert!(!FailpointPlan::fail_fsyncs_from(0).allows_fsync(0));
+    }
+
+    #[test]
+    fn seeded_kills_are_deterministic_and_in_range() {
+        for seed in 0..64u64 {
+            let plan = FailpointPlan::seeded_kill(seed, 1000);
+            assert_eq!(plan, FailpointPlan::seeded_kill(seed, 1000), "seed {seed} must be stable");
+            let offset = plan.kill_offset().unwrap();
+            assert!(offset < 1000, "seed {seed} picked {offset}");
+        }
+        assert!(!FailpointPlan::seeded_kill(7, 0).is_armed(), "an empty horizon disarms the plan");
+    }
+}

@@ -17,7 +17,18 @@
 //!   resumes from disk instead of re-blocking the corpus, with corruption
 //!   surfacing as typed [`ServeError`]s.
 //! * [`protocol`] — the tab-separated line protocol the `sablock-serve`
-//!   binary speaks over stdin or TCP.
+//!   binary speaks over stdin or TCP, with bounded line reads, per-request
+//!   deadlines, and explicit `DEGRADED`/`RETRY` overload responses.
+//! * [`wal`] — write-ahead durability: checksummed op records appended
+//!   before each batch applies, segment rotation and fsync policy knobs,
+//!   and crash recovery that replays `snapshot + WAL suffix` to exactly the
+//!   last durable batch ([`CandidateService::open_durable`]).
+//! * [`frontend`] / [`client`] — a bounded worker-pool TCP front-end with
+//!   per-connection timeouts and queue-depth shedding, and a line client
+//!   that honours `RETRY` backpressure with exponential backoff.
+//! * [`fault`] — deterministic, value-threaded fault injection
+//!   ([`FailpointPlan`]) so tests can kill WAL I/O at every byte offset and
+//!   assert recovery to a differential-verified epoch.
 //!
 //! [`IndexView::candidates`]: sablock_core::incremental::IndexView::candidates
 //!
@@ -52,12 +63,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod error;
+pub mod fault;
+pub mod frontend;
+pub mod metrics;
 pub mod persist;
 pub mod protocol;
 pub mod service;
 pub mod store;
+pub mod wal;
 
+pub use client::{Client, RetryPolicy};
 pub use error::{Result, ServeError};
-pub use service::{CandidateService, EpochState, WriteOp};
+pub use fault::FailpointPlan;
+pub use frontend::{serve_tcp, FrontendOptions};
+pub use metrics::ServiceMetrics;
+pub use service::{CandidateService, DegradeReason, EpochState, QueryBudget, QueryOutcome, WriteOp};
 pub use store::RecordStore;
+pub use wal::{FsyncPolicy, RecoveryReport, WalOptions};

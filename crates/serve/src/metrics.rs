@@ -1,0 +1,97 @@
+//! Service-side observability counters.
+//!
+//! [`ServiceMetrics`] is the single sink every layer reports into: the
+//! front-end counts shed requests and reaped connections, the protocol
+//! layer counts degraded queries and feeds per-query latencies, and `STATS`
+//! renders the lot. Counters are atomics (the hot paths never block each
+//! other); the latency reservoir sits behind a mutex because
+//! [`LatencyStats`] percentile queries need the whole sample set.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+use sablock_eval::perf::LatencyStats;
+
+/// Shared counters for one service instance (see the module docs). Designed
+/// to be owned by the [`CandidateService`](crate::CandidateService) and
+/// reported by every layer above it.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    shed: AtomicU64,
+    degraded: AtomicU64,
+    reaped: AtomicU64,
+    query_latency: Mutex<LatencyStats>,
+}
+
+impl ServiceMetrics {
+    /// A zeroed metrics sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one request shed at the admission gate (queue full).
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one query answered in degraded (unranked) mode.
+    pub fn record_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one connection reaped by a timeout or I/O failure.
+    pub fn record_reaped(&self) {
+        self.reaped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Feeds one query's wall-clock latency into the percentile reservoir.
+    pub fn record_query_latency(&self, elapsed: Duration) {
+        self.query_latency.lock().unwrap_or_else(PoisonError::into_inner).record(elapsed);
+    }
+
+    /// Requests shed so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Queries degraded so far.
+    pub fn degraded(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Connections reaped so far.
+    pub fn reaped(&self) -> u64 {
+        self.reaped.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the query latency reservoir (for `STATS`
+    /// p50/p99 and for merging into offline reports).
+    pub fn query_latency_snapshot(&self) -> LatencyStats {
+        self.query_latency.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_latencies_summarise() {
+        let metrics = ServiceMetrics::new();
+        assert_eq!((metrics.shed(), metrics.degraded(), metrics.reaped()), (0, 0, 0));
+        metrics.record_shed();
+        metrics.record_shed();
+        metrics.record_degraded();
+        metrics.record_reaped();
+        assert_eq!((metrics.shed(), metrics.degraded(), metrics.reaped()), (2, 1, 1));
+
+        assert!(metrics.query_latency_snapshot().is_empty());
+        metrics.record_query_latency(Duration::from_micros(100));
+        metrics.record_query_latency(Duration::from_micros(300));
+        let snapshot = metrics.query_latency_snapshot();
+        assert_eq!(snapshot.len(), 2);
+        assert!(snapshot.p99_secs() >= snapshot.p50_secs());
+        assert!(snapshot.p50_secs() > 0.0);
+    }
+}

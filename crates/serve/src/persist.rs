@@ -81,22 +81,22 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
-fn push_u32(out: &mut Vec<u8>, value: u32) {
+pub(crate) fn push_u32(out: &mut Vec<u8>, value: u32) {
     out.extend_from_slice(&value.to_le_bytes());
 }
 
-fn push_u64(out: &mut Vec<u8>, value: u64) {
+pub(crate) fn push_u64(out: &mut Vec<u8>, value: u64) {
     out.extend_from_slice(&value.to_le_bytes());
 }
 
-fn push_len(out: &mut Vec<u8>, len: usize) -> Result<()> {
+pub(crate) fn push_len(out: &mut Vec<u8>, len: usize) -> Result<()> {
     let len = u32::try_from(len)
         .map_err(|_| ServeError::Protocol(format!("length {len} exceeds the u32 snapshot format limit")))?;
     push_u32(out, len);
     Ok(())
 }
 
-fn push_string(out: &mut Vec<u8>, text: &str) -> Result<()> {
+pub(crate) fn push_string(out: &mut Vec<u8>, text: &str) -> Result<()> {
     push_len(out, text.len())?;
     out.extend_from_slice(text.as_bytes());
     Ok(())
@@ -168,18 +168,25 @@ pub fn to_bytes(name: &str, schema: &Schema, dump: &IndexDump, store: &RecordSto
 }
 
 /// A bounds-checked cursor over snapshot bytes. Every read either returns
-/// data that is really there or a typed [`ServeError::Corrupt`].
-struct Reader<'a> {
+/// data that is really there or a typed [`ServeError::Corrupt`]. Shared with
+/// the WAL module (`wal.rs`), whose record payloads reuse this format's
+/// primitives.
+pub(crate) struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn corrupt(&self, reason: impl Into<String>) -> ServeError {
+    /// A cursor over `bytes` starting at offset 0.
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    pub(crate) fn corrupt(&self, reason: impl Into<String>) -> ServeError {
         ServeError::Corrupt { offset: self.pos, reason: reason.into() }
     }
 
-    fn take(&mut self, count: usize) -> Result<&'a [u8]> {
+    pub(crate) fn take(&mut self, count: usize) -> Result<&'a [u8]> {
         let end = self
             .pos
             .checked_add(count)
@@ -190,16 +197,16 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
-    fn u8(&mut self) -> Result<u8> {
+    pub(crate) fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32> {
+    pub(crate) fn u32(&mut self) -> Result<u32> {
         let bytes = self.take(4)?;
         Ok(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
     }
 
-    fn u64(&mut self) -> Result<u64> {
+    pub(crate) fn u64(&mut self) -> Result<u64> {
         let bytes = self.take(8)?;
         let mut raw = [0u8; 8];
         raw.copy_from_slice(bytes);
@@ -209,7 +216,7 @@ impl<'a> Reader<'a> {
     /// Reads a `u32` count and sanity-checks it against the bytes remaining
     /// (each counted item occupies at least `floor` bytes), so a corrupted
     /// count cannot drive a pathological allocation.
-    fn count(&mut self, floor: usize) -> Result<usize> {
+    pub(crate) fn count(&mut self, floor: usize) -> Result<usize> {
         let claimed = self.u32()? as usize;
         let remaining = self.bytes.len() - self.pos;
         if claimed.checked_mul(floor.max(1)).map_or(true, |need| need > remaining) {
@@ -218,13 +225,13 @@ impl<'a> Reader<'a> {
         Ok(claimed)
     }
 
-    fn string(&mut self) -> Result<String> {
+    pub(crate) fn string(&mut self) -> Result<String> {
         let len = self.count(1)?;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| self.corrupt("string is not valid UTF-8"))
     }
 
-    fn done(&self) -> bool {
+    pub(crate) fn done(&self) -> bool {
         self.pos == self.bytes.len()
     }
 }
@@ -248,7 +255,8 @@ pub fn from_bytes(bytes: &[u8]) -> Result<SnapshotFile> {
         return Err(ServeError::ChecksumMismatch { expected, found });
     }
 
-    let mut reader = Reader { bytes: &bytes[..body_end], pos: MAGIC.len() };
+    let mut reader = Reader::new(&bytes[..body_end]);
+    reader.take(MAGIC.len())?;
     let version = reader.u32()?;
     if version != VERSION {
         return Err(ServeError::UnsupportedVersion { found: version, supported: VERSION });
@@ -320,11 +328,46 @@ pub fn from_bytes(bytes: &[u8]) -> Result<SnapshotFile> {
     Ok(SnapshotFile { name, attributes, dump, rows })
 }
 
-/// Encodes and writes a snapshot file.
+/// Encodes and writes a snapshot file *atomically*: the bytes go to a
+/// sibling `.tmp` file which is fsynced and then renamed over the target, so
+/// a crash mid-write can leave a stale snapshot or a stray temp file but
+/// never a torn one under the target name. The containing directory is
+/// fsynced best-effort to persist the rename itself.
 pub fn save_to_path(path: &Path, name: &str, schema: &Schema, dump: &IndexDump, store: &RecordStore) -> Result<()> {
     let bytes = to_bytes(name, schema, dump, store)?;
-    std::fs::write(path, bytes)?;
+    write_atomically(path, &bytes)
+}
+
+/// The temp-write/fsync/rename discipline behind [`save_to_path`], shared
+/// with the WAL module's checkpoint snapshots.
+pub(crate) fn write_atomically(path: &Path, bytes: &[u8]) -> Result<()> {
+    let mut tmp = path.to_path_buf();
+    let file_name = tmp
+        .file_name()
+        .map(|name| name.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "snapshot".to_string());
+    tmp.set_file_name(format!("{file_name}.tmp"));
+    {
+        use std::io::Write;
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path);
     Ok(())
+}
+
+/// Best-effort fsync of the directory containing `path`, persisting renames
+/// and creations. Failures are ignored: not every filesystem supports
+/// opening directories, and the rename itself already succeeded.
+pub(crate) fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        let dir = if parent.as_os_str().is_empty() { Path::new(".") } else { parent };
+        if let Ok(handle) = std::fs::File::open(dir) {
+            let _ = handle.sync_all();
+        }
+    }
 }
 
 /// Reads and decodes a snapshot file.

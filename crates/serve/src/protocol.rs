@@ -2,34 +2,70 @@
 //!
 //! One request per line, fields separated by tabs (record values may contain
 //! spaces; they may not contain tabs or newlines). Responses are single
-//! lines starting with `OK` or `ERR`. The verbs:
+//! lines starting with `OK`, `ERR`, or the backpressure verb `RETRY`. The
+//! verbs:
 //!
 //! | request | response |
 //! |---|---|
-//! | `QUERY\t<v1>\t<v2>…` | `OK <n> <id:score>…` — all candidates of the probe row |
-//! | `QUERYK\t<k>\t<v1>…` | `OK <n> <id:score>…` — top-`k` candidates by Jaccard |
+//! | `QUERY\t<v1>\t<v2>…` | `OK <n> <id>…` — the probe row's unranked candidate ids (the cheap path) |
+//! | `QUERYK\t<k>\t<v1>…` | `OK <n> <id:score>…` — top-`k` by Jaccard; over budget: `OK DEGRADED <n> <id>…` (unranked) |
 //! | `INSERT\t<v1>\t<v2>…` | `OK <id> epoch <e>` — ingests the row, echoes its id |
 //! | `REMOVE\t<id>` | `OK removed <id> epoch <e>` (`OK absent …` when already removed) |
-//! | `STATS` | `OK epoch <e> records <n> live <l> pairs <Γ>` |
+//! | `STATS` | `OK epoch <e> records <n> live <l> tombstoned <t> compactions <c> pairs <Γ> shed <s> degraded <d> wal <base>:<bytes> q50us <p50> q99us <p99>` |
 //! | `SAVE\t<path>` | `OK saved <path>` — checksummed snapshot of the index |
+//! | `CHECKPOINT` | `OK checkpoint <epoch>` — durable services only: snapshot + WAL rotation |
 //! | `QUIT` | `OK bye` and the connection/loop ends |
+//!
+//! `STATS` reports `wal -` for an in-memory service and latencies as whole
+//! microseconds over the queries served so far. An overloaded front-end may
+//! answer any request with `RETRY <ms>` — resend after the suggested delay
+//! ([`crate::client`] does this automatically).
 //!
 //! An empty value field means the attribute is missing (`None`); rows
 //! shorter than the schema are padded with missing values. Malformed
 //! requests get `ERR <reason>` and the loop continues — a client typo must
-//! not take the service down.
+//! not take the service down. Lines are read through
+//! [`read_bounded_line`], which rejects anything over
+//! [`RequestLimits::max_line_bytes`] *before* buffering it, so a malicious
+//! client cannot drive unbounded allocation.
+
+use std::io::BufRead;
+use std::time::{Duration, Instant};
 
 use sablock_datasets::RecordId;
 
 use crate::error::{Result, ServeError};
-use crate::service::CandidateService;
+use crate::service::{CandidateService, QueryBudget, QueryOutcome};
+
+/// The default cap on one protocol line: 64 KiB.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Per-request admission limits, owned by whatever drives the session loop
+/// (the TCP front-end, the stdin loop, a test).
+#[derive(Debug, Clone, Copy)]
+pub struct RequestLimits {
+    /// Reject lines longer than this many bytes (newline excluded) with
+    /// [`ServeError::LineTooLong`].
+    pub max_line_bytes: usize,
+    /// Per-request deadline for ranked queries: scoring still running this
+    /// long after the request started degrades to the unranked answer.
+    pub deadline: Option<Duration>,
+    /// Candidate budget for ranked queries ([`QueryBudget::max_candidates`]).
+    pub candidate_budget: Option<usize>,
+}
+
+impl Default for RequestLimits {
+    fn default() -> Self {
+        Self { max_line_bytes: MAX_LINE_BYTES, deadline: None, candidate_budget: None }
+    }
+}
 
 /// A parsed protocol request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
-    /// All candidates of a probe row.
+    /// The unranked candidate ids of a probe row (the cheap path).
     Query(Vec<Option<String>>),
-    /// Top-k candidates of a probe row.
+    /// Top-k ranked candidates of a probe row.
     QueryK(usize, Vec<Option<String>>),
     /// Ingest one row.
     Insert(Vec<Option<String>>),
@@ -39,6 +75,8 @@ pub enum Request {
     Stats,
     /// Persist a snapshot to the given path.
     Save(String),
+    /// Snapshot + WAL rotation at the current epoch (durable services).
+    Checkpoint,
     /// End the session.
     Quit,
 }
@@ -58,6 +96,33 @@ impl Outcome {
         match self {
             Self::Reply(line) | Self::Quit(line) => line,
         }
+    }
+}
+
+/// Reads one newline-terminated line without ever buffering more than
+/// `max_bytes + 1` bytes: an overlong line surfaces as
+/// [`ServeError::LineTooLong`] (the caller should reply `ERR` and drop the
+/// connection — the rest of the oversized line is unread garbage), EOF
+/// before any byte as `None`. Invalid UTF-8 is a typed protocol error.
+pub fn read_bounded_line(reader: &mut impl BufRead, max_bytes: usize) -> Result<Option<String>> {
+    let mut raw = Vec::new();
+    let mut limited = std::io::Read::take(&mut *reader, max_bytes as u64 + 1);
+    let read = limited.read_until(b'\n', &mut raw)?;
+    if read == 0 {
+        return Ok(None);
+    }
+    if raw.last() == Some(&b'\n') {
+        raw.pop();
+        if raw.last() == Some(&b'\r') {
+            raw.pop();
+        }
+    }
+    if raw.len() > max_bytes {
+        return Err(ServeError::LineTooLong { limit: max_bytes });
+    }
+    match String::from_utf8(raw) {
+        Ok(line) => Ok(Some(line)),
+        Err(_) => Err(ServeError::Protocol("request line is not valid UTF-8".into())),
     }
 }
 
@@ -107,9 +172,18 @@ pub fn parse_request(line: &str, schema_width: usize) -> Result<Request> {
             }
             Ok(Request::Save((*path).to_string()))
         }
+        "CHECKPOINT" if rest.is_empty() => Ok(Request::Checkpoint),
         "QUIT" if rest.is_empty() => Ok(Request::Quit),
         other => Err(ServeError::Protocol(format!("unknown request verb '{other}'"))),
     }
+}
+
+fn render_ids(prefix: &str, ids: &[RecordId]) -> String {
+    let mut out = format!("{prefix} {}", ids.len());
+    for id in ids {
+        out.push_str(&format!(" {}", id.0));
+    }
+    out
 }
 
 fn render_scored(scored: &[(RecordId, f64)]) -> String {
@@ -120,19 +194,59 @@ fn render_scored(scored: &[(RecordId, f64)]) -> String {
     out
 }
 
-fn execute(service: &CandidateService, request: Request) -> Result<Outcome> {
+fn render_stats(service: &CandidateService) -> String {
+    let state = service.current();
+    let view = state.view();
+    let metrics = service.metrics();
+    let latency = metrics.query_latency_snapshot();
+    let to_us = |secs: f64| (secs * 1e6).round() as u64;
+    let wal = match service.wal_position() {
+        Some((base, bytes)) => format!("{base}:{bytes}"),
+        None => "-".to_string(),
+    };
+    format!(
+        "OK epoch {} records {} live {} tombstoned {} compactions {} pairs {} shed {} degraded {} \
+         wal {wal} q50us {} q99us {}",
+        state.epoch(),
+        view.num_records(),
+        view.num_live_records(),
+        view.num_removed(),
+        view.num_compactions(),
+        view.running_counts().pairs,
+        metrics.shed(),
+        metrics.degraded(),
+        to_us(latency.p50_secs()),
+        to_us(latency.p99_secs()),
+    )
+}
+
+fn execute(service: &CandidateService, limits: &RequestLimits, request: Request) -> Result<Outcome> {
     match request {
         Request::Query(values) => {
+            let started = Instant::now();
             let state = service.current();
             let probe = service.probe_record(&state, values)?;
-            let scored = state.query_top_k(&probe, usize::MAX)?;
-            Ok(Outcome::Reply(render_scored(&scored)))
+            let candidates = state.query(&probe)?;
+            service.metrics().record_query_latency(started.elapsed());
+            Ok(Outcome::Reply(render_ids("OK", &candidates)))
         }
         Request::QueryK(k, values) => {
+            let started = Instant::now();
+            let budget = QueryBudget {
+                max_candidates: limits.candidate_budget,
+                deadline: limits.deadline.map(|deadline| started + deadline),
+            };
             let state = service.current();
             let probe = service.probe_record(&state, values)?;
-            let scored = state.query_top_k(&probe, k)?;
-            Ok(Outcome::Reply(render_scored(&scored)))
+            let outcome = state.query_top_k_budgeted(&probe, k, &budget)?;
+            service.metrics().record_query_latency(started.elapsed());
+            Ok(Outcome::Reply(match outcome {
+                QueryOutcome::Ranked(scored) => render_scored(&scored),
+                QueryOutcome::Degraded { candidates, .. } => {
+                    service.metrics().record_degraded();
+                    render_ids("OK DEGRADED", &candidates)
+                }
+            }))
         }
         Request::Insert(values) => {
             let state = service.insert_rows(vec![values])?;
@@ -146,34 +260,35 @@ fn execute(service: &CandidateService, request: Request) -> Result<Outcome> {
             let word = if live_before { "removed" } else { "absent" };
             Ok(Outcome::Reply(format!("OK {word} {} epoch {}", id.0, state.epoch())))
         }
-        Request::Stats => {
-            let state = service.current();
-            let view = state.view();
-            Ok(Outcome::Reply(format!(
-                "OK epoch {} records {} live {} pairs {}",
-                state.epoch(),
-                view.num_records(),
-                view.num_live_records(),
-                view.running_counts().pairs
-            )))
-        }
+        Request::Stats => Ok(Outcome::Reply(render_stats(service))),
         Request::Save(path) => {
             service.save(std::path::Path::new(&path))?;
             Ok(Outcome::Reply(format!("OK saved {path}")))
+        }
+        Request::Checkpoint => {
+            let epoch = service.checkpoint()?;
+            Ok(Outcome::Reply(format!("OK checkpoint {epoch}")))
         }
         Request::Quit => Ok(Outcome::Quit("OK bye".into())),
     }
 }
 
-/// Parses and executes one protocol line against the service. Every failure
-/// — parse or execution — becomes an `ERR` reply; the session always gets
-/// exactly one line back and only `QUIT` ends it.
-pub fn handle_line(service: &CandidateService, line: &str) -> Outcome {
+/// [`handle_line`] with explicit per-request limits (the front-end threads
+/// its deadline and candidate budget through here).
+pub fn handle_line_with(service: &CandidateService, limits: &RequestLimits, line: &str) -> Outcome {
     let line = line.trim_end_matches(['\r', '\n']);
-    match parse_request(line, service.schema().len()).and_then(|request| execute(service, request)) {
+    match parse_request(line, service.schema().len()).and_then(|request| execute(service, limits, request)) {
         Ok(outcome) => outcome,
         Err(error) => Outcome::Reply(format!("ERR {error}")),
     }
+}
+
+/// Parses and executes one protocol line against the service with default
+/// limits (no deadline, no candidate budget). Every failure — parse or
+/// execution — becomes an `ERR` reply; the session always gets exactly one
+/// line back and only `QUIT` ends it.
+pub fn handle_line(service: &CandidateService, line: &str) -> Outcome {
+    handle_line_with(service, &RequestLimits::default(), line)
 }
 
 #[cfg(test)]
@@ -211,8 +326,18 @@ mod tests {
         assert_eq!(parse_request("REMOVE\t7", 2).unwrap(), Request::Remove(RecordId(7)));
         assert_eq!(parse_request("STATS", 2).unwrap(), Request::Stats);
         assert_eq!(parse_request("SAVE\t/tmp/x.snap", 2).unwrap(), Request::Save("/tmp/x.snap".into()));
+        assert_eq!(parse_request("CHECKPOINT", 2).unwrap(), Request::Checkpoint);
         assert_eq!(parse_request("QUIT", 2).unwrap(), Request::Quit);
-        for bad in ["", "NOPE", "QUERYK\tx\ty", "REMOVE\tnot-a-number", "REMOVE\t1\t2", "SAVE\t", "STATS\textra"] {
+        for bad in [
+            "",
+            "NOPE",
+            "QUERYK\tx\ty",
+            "REMOVE\tnot-a-number",
+            "REMOVE\t1\t2",
+            "SAVE\t",
+            "STATS\textra",
+            "CHECKPOINT\tnow",
+        ] {
             assert!(parse_request(bad, 2).is_err(), "{bad:?} must be rejected");
         }
     }
@@ -223,14 +348,97 @@ mod tests {
         assert_eq!(handle_line(&service, "INSERT\ta theory for record linkage\tfellegi").reply(), "OK 0 epoch 1");
         assert_eq!(handle_line(&service, "INSERT\ta theory of record linkage\tsunter\n").reply(), "OK 1 epoch 2");
         let reply = handle_line(&service, "QUERY\ta theory of record linkage");
-        assert!(reply.reply().starts_with("OK 2 "), "both stored records are candidates: {}", reply.reply());
+        assert_eq!(reply.reply(), "OK 2 0 1", "the cheap path returns unranked candidate ids");
         let top1 = handle_line(&service, "QUERYK\t1\ta theory of record linkage");
         assert!(top1.reply().starts_with("OK 1 1:"), "record 1 is the best match: {}", top1.reply());
-        assert_eq!(handle_line(&service, "STATS").reply(), "OK epoch 2 records 2 live 2 pairs 1");
         assert_eq!(handle_line(&service, "REMOVE\t0").reply(), "OK removed 0 epoch 3");
         assert_eq!(handle_line(&service, "REMOVE\t0").reply(), "OK absent 0 epoch 4");
         assert!(handle_line(&service, "REMOVE\t99").reply().starts_with("ERR "), "unknown ids report an error");
         assert!(handle_line(&service, "BOGUS\tx").reply().starts_with("ERR "));
+        assert!(
+            handle_line(&service, "CHECKPOINT").reply().starts_with("ERR "),
+            "in-memory services refuse checkpoints"
+        );
         assert_eq!(handle_line(&service, "QUIT"), Outcome::Quit("OK bye".into()));
+    }
+
+    #[test]
+    fn stats_format_is_pinned() {
+        let service = service();
+        // Freshly built, nothing counted: every field renders, in order.
+        assert_eq!(
+            handle_line(&service, "STATS").reply(),
+            "OK epoch 0 records 0 live 0 tombstoned 0 compactions 0 pairs 0 shed 0 degraded 0 \
+             wal - q50us 0 q99us 0"
+        );
+        handle_line(&service, "INSERT\ta theory for record linkage\tfellegi");
+        handle_line(&service, "INSERT\ta theory of record linkage\tsunter");
+        handle_line(&service, "REMOVE\t0");
+        let stats = handle_line(&service, "STATS");
+        assert_eq!(
+            stats.reply().split(" q50us ").next().unwrap(),
+            "OK epoch 3 records 2 live 1 tombstoned 1 compactions 12 pairs 0 shed 0 degraded 0 wal -"
+        );
+
+        // Queries move the latency percentiles off zero...
+        handle_line(&service, "QUERYK\t5\ta theory of record linkage");
+        let stats = handle_line(&service, "STATS");
+        let fields: Vec<&str> = stats.reply().split(' ').collect();
+        let q99 = fields.last().unwrap().parse::<u64>().unwrap();
+        assert!(q99 > 0, "a served query must register a latency: {}", stats.reply());
+        // ...and a degraded query bumps the degraded counter.
+        let limits = RequestLimits { candidate_budget: Some(0), ..RequestLimits::default() };
+        let reply = handle_line_with(&service, &limits, "QUERYK\t5\ta theory of record linkage");
+        assert!(reply.reply().starts_with("OK DEGRADED 1 "), "{}", reply.reply());
+        assert!(handle_line(&service, "STATS").reply().contains(" degraded 1 "));
+    }
+
+    #[test]
+    fn degraded_queries_flag_and_match_the_cheap_path() {
+        let service = service();
+        handle_line(&service, "INSERT\ta theory for record linkage\tx");
+        handle_line(&service, "INSERT\ta theory of record linkage\ty");
+        let cheap = handle_line(&service, "QUERY\ta theory of record linkage");
+        let limits = RequestLimits { candidate_budget: Some(1), ..RequestLimits::default() };
+        let degraded = handle_line_with(&service, &limits, "QUERYK\t5\ta theory of record linkage");
+        assert_eq!(
+            degraded.reply().replace("OK DEGRADED ", "OK "),
+            cheap.reply(),
+            "the degraded answer is exactly the cheap path's answer"
+        );
+        // Within budget the same limits rank normally.
+        let roomy = RequestLimits { candidate_budget: Some(100), ..RequestLimits::default() };
+        let ranked = handle_line_with(&service, &roomy, "QUERYK\t5\ta theory of record linkage");
+        assert!(ranked.reply().contains(':'), "{}", ranked.reply());
+    }
+
+    #[test]
+    fn bounded_reads_reject_overlong_lines() {
+        use std::io::Cursor;
+        // Under the limit: read normally, newline stripped.
+        let mut input = Cursor::new(b"STATS\r\nQUIT\n".to_vec());
+        assert_eq!(read_bounded_line(&mut input, 16).unwrap(), Some("STATS".to_string()));
+        assert_eq!(read_bounded_line(&mut input, 16).unwrap(), Some("QUIT".to_string()));
+        assert_eq!(read_bounded_line(&mut input, 16).unwrap(), None, "EOF is None");
+
+        // Exactly at the limit is fine; one byte over is a typed error.
+        let mut input = Cursor::new(b"1234\n".to_vec());
+        assert_eq!(read_bounded_line(&mut input, 4).unwrap(), Some("1234".to_string()));
+        let mut input = Cursor::new(b"12345\n".to_vec());
+        let error = read_bounded_line(&mut input, 4).unwrap_err();
+        assert!(matches!(error, ServeError::LineTooLong { limit: 4 }), "{error}");
+
+        // A huge unterminated flood errors without buffering it all.
+        let mut input = Cursor::new(vec![b'x'; 1 << 20]);
+        let error = read_bounded_line(&mut input, 64).unwrap_err();
+        assert!(matches!(error, ServeError::LineTooLong { limit: 64 }), "{error}");
+
+        // A last line without a newline still arrives.
+        let mut input = Cursor::new(b"QUIT".to_vec());
+        assert_eq!(read_bounded_line(&mut input, 16).unwrap(), Some("QUIT".to_string()));
+
+        // Invalid UTF-8 is a protocol error, not a panic.
+        let mut input = Cursor::new(vec![0xFF, 0xFE, b'\n']);
+        assert!(matches!(read_bounded_line(&mut input, 16).unwrap_err(), ServeError::Protocol(_)));
     }
 }

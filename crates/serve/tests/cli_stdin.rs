@@ -1,0 +1,62 @@
+//! End-to-end tests of the `sablock-serve` binary's stdin session: the
+//! bounded line reader applies to the stdin transport exactly as it does
+//! over TCP — an overlong line gets one typed `ERR` and ends the session —
+//! and the ordinary protocol round-trips.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_session(args: &[&str], input: &[u8]) -> (String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("the serve binary spawns");
+    child.stdin.take().expect("stdin is piped").write_all(input).expect("the session accepts input");
+    let output = child.wait_with_output().expect("the serve binary exits");
+    (String::from_utf8(output.stdout).expect("protocol replies are UTF-8"), output.status.success())
+}
+
+#[test]
+fn the_stdin_session_answers_the_protocol_and_exits_cleanly() {
+    let input = b"INSERT\tsemantic blocking study\tauthor1\n\
+                  QUERY\tsemantic blocking study\tauthor1\n\
+                  QUIT\n";
+    let (stdout, success) = run_session(&["--profile", "cora"], input);
+    assert!(success, "a clean session exits 0");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "one reply per request: {stdout:?}");
+    assert_eq!(lines[0], "OK 0 epoch 1", "INSERT echoes the assigned id and new epoch");
+    assert_eq!(lines[1], "OK 1 0", "the identical probe finds its stored duplicate");
+    assert_eq!(lines[2], "OK bye");
+}
+
+#[test]
+fn an_overlong_stdin_line_gets_one_typed_error_and_ends_the_session() {
+    let mut input = Vec::new();
+    input.extend_from_slice(b"QUERY\tsemantic blocking\t\n");
+    input.extend_from_slice(&[b'a'; 200]);
+    input.push(b'\n');
+    // Anything after the flood must not be parsed as a request.
+    input.extend_from_slice(b"QUERY\tnever seen\t\n");
+    let (stdout, success) = run_session(&["--profile", "cora", "--max-line-bytes", "64"], &input);
+    assert!(success, "rejecting a flood is an orderly session end, not a crash");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "the reply to the flood is the session's last line: {stdout:?}");
+    assert_eq!(lines[0], "OK 0", "the in-limit request is served first");
+    assert_eq!(lines[1], "ERR protocol line exceeds the 64-byte limit");
+}
+
+#[test]
+fn malformed_requests_report_and_the_session_continues() {
+    let input = b"NOSUCH\tthing\nSTATS\nQUIT\n";
+    let (stdout, success) = run_session(&["--profile", "voter"], input);
+    assert!(success);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "{stdout:?}");
+    assert_eq!(lines[0], "ERR protocol error: unknown request verb 'NOSUCH'");
+    assert!(lines[1].starts_with("OK epoch 0 records 0"), "STATS still answers after a typo: {}", lines[1]);
+    assert_eq!(lines[2], "OK bye");
+}

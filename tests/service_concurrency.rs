@@ -15,6 +15,7 @@ use std::sync::Arc;
 use sablock::core::parallel::join_all;
 use sablock::core::lsh::salsh::SaLshBlockerBuilder;
 use sablock::prelude::*;
+use sablock::serve::{FailpointPlan, FsyncPolicy, WalOptions};
 
 fn builder() -> SaLshBlockerBuilder {
     SaLshBlocker::builder().attributes(["title", "authors"]).qgram(3).rows_per_band(2).bands(8).seed(0xB10C)
@@ -202,4 +203,106 @@ fn concurrent_reads_always_match_a_published_epoch_replay() {
     }
     assert_eq!(final_state.view().snapshot().blocks(), mirror.snapshot().blocks());
     assert_eq!(final_state.view().running_counts(), mirror.running_counts());
+}
+
+/// The durable variant of the harness: the same scripted load runs against
+/// a WAL-backed service under concurrent readers, then the process "dies"
+/// (the service is dropped) and recovery must land on the final epoch with
+/// the exact mirror-replay state. Epoch publication and durability share
+/// one contract: epoch n ≡ `ops[..n]`, live or recovered.
+#[test]
+fn a_durable_writer_recovers_the_replayed_epoch_after_restart() {
+    let dir = std::env::temp_dir().join(format!("sablock-concurrency-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let options =
+        WalOptions { fsync: FsyncPolicy::Never, failpoints: FailpointPlan::none(), ..WalOptions::default() };
+
+    let ops = scripted_ops();
+    let probe_rows = probes();
+    let final_epoch = ops.len() as u64;
+    {
+        let (service, report) =
+            CandidateService::open_durable(builder().into_incremental().unwrap(), schema(), &dir, options.clone())
+                .unwrap();
+        assert_eq!(report.recovered_seq, 0, "a fresh WAL directory starts at epoch 0");
+
+        type Task<'scope> = Box<dyn FnOnce() -> Vec<Sample> + Send + 'scope>;
+        let writer_ops = ops.clone();
+        let service_ref = &service;
+        let probes_ref = &probe_rows;
+        let mut tasks: Vec<Task> = vec![Box::new(move || {
+            for op in writer_ops {
+                match op {
+                    Op::Insert(rows) => {
+                        service_ref.insert_rows(rows).unwrap();
+                    }
+                    Op::Remove(id) => {
+                        service_ref.remove(id).unwrap();
+                    }
+                }
+            }
+            Vec::new()
+        })];
+        for reader in 0..2usize {
+            tasks.push(Box::new(move || {
+                let mut samples: Vec<Sample> = Vec::new();
+                let mut probe_index = reader;
+                loop {
+                    let state = service_ref.current();
+                    let values = &probes_ref[probe_index % probes_ref.len()];
+                    let probe = service_ref.probe_record(&state, values.clone()).unwrap();
+                    samples.push((state.epoch(), probe_index % probes_ref.len(), state.query(&probe).unwrap()));
+                    if state.epoch() >= final_epoch {
+                        return samples;
+                    }
+                    probe_index += 1;
+                }
+            }));
+        }
+        let sampled: Vec<Sample> = join_all(tasks).into_iter().flatten().collect();
+
+        // WAL appends on the write path must not weaken the epoch contract.
+        let per_epoch = replay_expectations(&ops);
+        for (epoch, probe_index, result) in &sampled {
+            let epoch = usize::try_from(*epoch).unwrap();
+            assert!(epoch < per_epoch.len(), "published epoch {epoch} beyond the op script");
+            assert_eq!(
+                result, &per_epoch[epoch][*probe_index],
+                "durable-writer sample at epoch {epoch} / probe {probe_index} diverged from the replay"
+            );
+        }
+    }
+
+    // "Restart": recover from the WAL directory alone.
+    let (recovered, report) =
+        CandidateService::open_durable(builder().into_incremental().unwrap(), schema(), &dir, options).unwrap();
+    assert_eq!(report.recovered_seq, final_epoch, "recovery lands on the last durable epoch");
+    assert_eq!(report.replayed_records, final_epoch, "no checkpoint was taken, so every batch replays");
+    assert_eq!(report.replay_rejected_batches, 0);
+
+    let final_state = recovered.current();
+    assert_eq!(final_state.epoch(), final_epoch);
+    let mut mirror = builder().into_incremental().unwrap();
+    let mut next_index = 0usize;
+    for op in &ops {
+        match op {
+            Op::Insert(rows) => {
+                let records: Vec<Record> = rows
+                    .iter()
+                    .map(|values| {
+                        let id = RecordId::try_from_index(next_index).unwrap();
+                        next_index += 1;
+                        Record::new(id, Arc::clone(&schema()), values.clone()).unwrap()
+                    })
+                    .collect();
+                mirror.insert_batch(&records).unwrap();
+            }
+            Op::Remove(id) => {
+                mirror.remove(*id).unwrap();
+            }
+        }
+    }
+    assert_eq!(final_state.view().snapshot().blocks(), mirror.snapshot().blocks());
+    assert_eq!(final_state.view().running_counts(), mirror.running_counts());
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,306 @@
+//! Behavioural tests for the concurrent TCP front-end: a stalled client is
+//! reaped without blocking anyone else, overload sheds with a typed `RETRY`
+//! hint, degraded answers are flagged and byte-equal to the cheap path, the
+//! client honours `RETRY` backpressure, and overlong lines get one `ERR`
+//! and a closed session.
+//!
+//! All concurrency goes through `sablock::core::parallel` (`join_all`,
+//! `sleep`) — the `thread-confinement` lint forbids raw `std::thread` use
+//! here just as it does in library code.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use sablock::core::lsh::salsh::SaLshBlockerBuilder;
+use sablock::core::parallel::{join_all, sleep};
+use sablock::prelude::*;
+use sablock::serve::client::Response;
+use sablock::serve::protocol::RequestLimits;
+use sablock::serve::{serve_tcp, Client, FrontendOptions, RetryPolicy};
+
+fn builder() -> SaLshBlockerBuilder {
+    SaLshBlocker::builder().attributes(["title", "authors"]).qgram(3).rows_per_band(2).bands(8).seed(0xB10C)
+}
+
+fn row(index: usize) -> Vec<Option<String>> {
+    vec![Some(format!("semantic blocking study {}", index % 2)), Some(format!("author{}", index % 2))]
+}
+
+/// A service pre-loaded with a few near-duplicate rows so probes collide.
+fn populated_service() -> CandidateService {
+    let service =
+        CandidateService::new(builder().into_incremental().unwrap(), Schema::shared(["title", "authors"]).unwrap())
+            .unwrap();
+    service.insert_rows((0..6).map(row).collect()).unwrap();
+    service
+}
+
+/// The tab-separated request line for a verb over a probe row.
+fn line_for(verb: &str, values: &[Option<String>]) -> String {
+    let mut line = verb.to_string();
+    for value in values {
+        line.push('\t');
+        line.push_str(value.as_deref().unwrap_or(""));
+    }
+    line
+}
+
+/// `OK <n> <id>…` exactly as the protocol renders an id list.
+fn render_ids(prefix: &str, ids: &[RecordId]) -> String {
+    let mut out = format!("{prefix} {}", ids.len());
+    for id in ids {
+        out.push_str(&format!(" {}", id.0));
+    }
+    out
+}
+
+/// A raw protocol connection: writes lines, reads single-line replies.
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        stream.set_write_timeout(Some(Duration::from_secs(10))).unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Self { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.stream.write_all(format!("{line}\n").as_bytes()).unwrap();
+    }
+
+    fn reply(&mut self) -> String {
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).unwrap();
+        reply.trim_end().to_string()
+    }
+
+    /// Reads expecting the peer to have closed the connection.
+    fn expect_closed(&mut self) {
+        let mut reply = String::new();
+        let closed = matches!(self.reader.read_line(&mut reply), Ok(0) | Err(_));
+        assert!(closed, "expected a closed connection, read {reply:?}");
+    }
+}
+
+#[test]
+fn a_stalled_client_is_reaped_while_others_are_served() {
+    let service = populated_service();
+    let state = service.current();
+    let probe = service.probe_record(&state, row(0)).unwrap();
+    let expected = render_ids("OK", &state.query(&probe).unwrap());
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let options = FrontendOptions {
+        workers: 2,
+        read_timeout: Duration::from_millis(300),
+        max_sessions: Some(2),
+        ..FrontendOptions::default()
+    };
+
+    let service_ref = &service;
+    let listener_ref = &listener;
+    let options_ref = &options;
+    type Task<'scope> = Box<dyn FnOnce() -> u64 + Send + 'scope>;
+    let tasks: Vec<Task> = vec![
+        Box::new(move || serve_tcp(service_ref, listener_ref, options_ref).unwrap()),
+        Box::new(move || {
+            // The stalled peer connects first and never sends a byte.
+            let mut stalled = Conn::open(addr);
+            sleep(Duration::from_millis(50));
+            // A live client on the second worker is served immediately,
+            // well inside the stalled peer's read timeout.
+            let mut live = Conn::open(addr);
+            let started = Instant::now();
+            live.send(&line_for("QUERY", &row(0)));
+            assert_eq!(live.reply(), expected, "the live client's answer matches the direct query");
+            assert!(
+                started.elapsed() < Duration::from_secs(5),
+                "a stalled peer must not delay other connections"
+            );
+            live.send("QUIT");
+            assert_eq!(live.reply(), "OK bye");
+            // The front-end reaps the stalled peer once its read timeout
+            // fires; this read observes the closure.
+            stalled.expect_closed();
+            0
+        }),
+    ];
+    let results = join_all(tasks);
+    assert_eq!(results[0], 2, "both connections were accepted");
+    assert_eq!(service.metrics().reaped(), 1, "exactly the stalled connection was reaped");
+}
+
+#[test]
+fn overload_sheds_with_a_retry_hint_instead_of_queueing_unboundedly() {
+    let service = populated_service();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let options = FrontendOptions {
+        workers: 1,
+        queue_depth: 1,
+        retry_after_ms: 100,
+        read_timeout: Duration::from_secs(5),
+        max_sessions: Some(3),
+        ..FrontendOptions::default()
+    };
+
+    let service_ref = &service;
+    let listener_ref = &listener;
+    let options_ref = &options;
+    type Task<'scope> = Box<dyn FnOnce() -> u64 + Send + 'scope>;
+    let tasks: Vec<Task> = vec![
+        Box::new(move || serve_tcp(service_ref, listener_ref, options_ref).unwrap()),
+        Box::new(move || {
+            // One silent connection occupies the only worker…
+            let first = Conn::open(addr);
+            sleep(Duration::from_millis(100));
+            // …a second fills the depth-1 queue…
+            let mut second = Conn::open(addr);
+            sleep(Duration::from_millis(100));
+            // …so the third is shed: one RETRY line with the configured
+            // hint, then the connection closes. It never waits for a worker.
+            let mut third = Conn::open(addr);
+            assert_eq!(third.reply(), "RETRY 100", "the shed connection gets the backoff hint");
+            third.expect_closed();
+            // Releasing the worker lets the queued connection be served.
+            drop(first);
+            second.send("STATS");
+            assert!(second.reply().starts_with("OK epoch"), "the queued connection is served after the stall");
+            second.send("QUIT");
+            assert_eq!(second.reply(), "OK bye");
+            0
+        }),
+    ];
+    let results = join_all(tasks);
+    assert_eq!(results[0], 3, "all three connections were accepted (two admitted, one shed)");
+    assert_eq!(service.metrics().shed(), 1);
+}
+
+#[test]
+fn degraded_responses_are_flagged_and_equal_the_cheap_path() {
+    let service = populated_service();
+    let state = service.current();
+    let probe = service.probe_record(&state, row(0)).unwrap();
+    let candidates = state.query(&probe).unwrap();
+    assert!(!candidates.is_empty(), "the probe must collide for degradation to be observable");
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let options = FrontendOptions {
+        workers: 1,
+        limits: RequestLimits { candidate_budget: Some(0), ..RequestLimits::default() },
+        max_sessions: Some(1),
+        ..FrontendOptions::default()
+    };
+
+    let service_ref = &service;
+    let listener_ref = &listener;
+    let options_ref = &options;
+    let expected_degraded = render_ids("OK DEGRADED", &candidates);
+    let expected_cheap = render_ids("OK", &candidates);
+    type Task<'scope> = Box<dyn FnOnce() -> u64 + Send + 'scope>;
+    let tasks: Vec<Task> = vec![
+        Box::new(move || serve_tcp(service_ref, listener_ref, options_ref).unwrap()),
+        Box::new(move || {
+            let mut conn = Conn::open(addr);
+            // Over budget, the ranked query degrades: explicitly flagged,
+            // and its id list is byte-for-byte the cheap path's answer.
+            conn.send(&line_for("QUERYK\t5", &row(0)));
+            assert_eq!(conn.reply(), expected_degraded);
+            // The unranked query is never budgeted and stays exact.
+            conn.send(&line_for("QUERY", &row(0)));
+            assert_eq!(conn.reply(), expected_cheap);
+            conn.send("QUIT");
+            assert_eq!(conn.reply(), "OK bye");
+            0
+        }),
+    ];
+    join_all(tasks);
+    assert_eq!(service.metrics().degraded(), 1, "the degraded answer was counted");
+}
+
+#[test]
+fn the_client_honours_retry_hints_with_backoff() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    type Task<'scope> = Box<dyn FnOnce() -> u64 + Send + 'scope>;
+    let listener_ref = &listener;
+    let tasks: Vec<Task> = vec![
+        Box::new(move || {
+            // A scripted server: shed the first request with a hint, serve
+            // the retried one.
+            let (mut shed, _) = listener_ref.accept().unwrap();
+            shed.write_all(b"RETRY 30\n").unwrap();
+            drop(shed);
+            let (served, _) = listener_ref.accept().unwrap();
+            let mut reader = BufReader::new(served.try_clone().unwrap());
+            let mut request = String::new();
+            reader.read_line(&mut request).unwrap();
+            assert_eq!(request.trim_end(), "STATS");
+            let mut served = served;
+            served.write_all(b"OK epoch 0\n").unwrap();
+            0
+        }),
+        Box::new(move || {
+            let mut client = Client::new(
+                addr.to_string(),
+                RetryPolicy {
+                    attempts: 3,
+                    base_delay: Duration::from_millis(5),
+                    max_delay: Duration::from_secs(1),
+                },
+            )
+            .with_timeout(Duration::from_secs(5));
+            let started = Instant::now();
+            let response = client.request("STATS").unwrap();
+            assert_eq!(response, Response::Ok("epoch 0".into()));
+            assert!(
+                started.elapsed() >= Duration::from_millis(30),
+                "the client must wait out the server's RETRY hint before retrying"
+            );
+            0
+        }),
+    ];
+    join_all(tasks);
+}
+
+#[test]
+fn overlong_lines_over_tcp_get_one_typed_error_and_a_closed_session() {
+    let service = populated_service();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let options = FrontendOptions { workers: 1, max_sessions: Some(1), ..FrontendOptions::default() };
+    let limit = options.limits.max_line_bytes;
+
+    let service_ref = &service;
+    let listener_ref = &listener;
+    let options_ref = &options;
+    type Task<'scope> = Box<dyn FnOnce() -> u64 + Send + 'scope>;
+    let tasks: Vec<Task> = vec![
+        Box::new(move || serve_tcp(service_ref, listener_ref, options_ref).unwrap()),
+        Box::new(move || {
+            let mut conn = Conn::open(addr);
+            let mut flood = vec![b'a'; limit + 4096];
+            flood.push(b'\n');
+            conn.stream.write_all(&flood).unwrap();
+            assert_eq!(
+                conn.reply(),
+                format!("ERR protocol line exceeds the {limit}-byte limit"),
+                "the overlong line is rejected with the typed error"
+            );
+            // The rest of the flooded line is unread garbage, so the server
+            // closes the session rather than misparse it as requests.
+            conn.expect_closed();
+            0
+        }),
+    ];
+    join_all(tasks);
+}

@@ -1,0 +1,280 @@
+//! Crash-recovery differential for the durable [`CandidateService`].
+//!
+//! The acceptance contract of the WAL layer: for a scripted op sequence,
+//! *killing the log at every byte offset* and recovering must yield a
+//! service state identical to an op-by-op mirror replay of the recovered
+//! prefix — and recovery must never panic, whether the tail is torn
+//! (truncated mid-record) or bit-flipped anywhere in the file. The mirror
+//! is the same offline-replay oracle `tests/service_concurrency.rs` uses
+//! for its linearizability check, so "epoch ≡ applied-op-prefix" holds
+//! across crashes exactly as it holds across concurrent readers.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use sablock::core::lsh::salsh::SaLshBlockerBuilder;
+use sablock::prelude::*;
+use sablock::serve::wal::snapshot_path;
+use sablock::serve::{FailpointPlan, FsyncPolicy, RecoveryReport, WalOptions};
+
+fn builder() -> SaLshBlockerBuilder {
+    SaLshBlocker::builder().attributes(["title", "authors"]).qgram(3).rows_per_band(2).bands(8).seed(0xB10C)
+}
+
+fn schema() -> Arc<Schema> {
+    Schema::shared(["title", "authors"]).unwrap()
+}
+
+const TITLE_WORDS: &[&str] = &["theory", "record", "linkage", "entity", "semantic", "blocking"];
+
+fn row(index: usize) -> Vec<Option<String>> {
+    let first = TITLE_WORDS[index % TITLE_WORDS.len()];
+    let second = TITLE_WORDS[(index / 2) % TITLE_WORDS.len()];
+    vec![Some(format!("{first} {second} study")), Some(format!("author{}", index % 3))]
+}
+
+/// The scripted write load; each op is one batch, so epoch n ≡ `ops[..n]`.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<Vec<Option<String>>>),
+    Remove(RecordId),
+}
+
+/// Ten batches of mixed inserts and removals — small enough that the
+/// exhaustive per-byte kill loop stays fast, varied enough to cover batch
+/// sizes 1–3 and tombstones.
+fn scripted_ops() -> Vec<Op> {
+    let mut ops = Vec::new();
+    let mut inserted = 0usize;
+    let mut next_victim = 0u32;
+    for step in 0..10usize {
+        if step % 3 == 2 && u64::from(next_victim) < inserted as u64 {
+            ops.push(Op::Remove(RecordId(next_victim)));
+            next_victim += 1;
+        } else {
+            let batch: Vec<Vec<Option<String>>> = (0..1 + step % 3).map(|offset| row(inserted + offset)).collect();
+            inserted += batch.len();
+            ops.push(Op::Insert(batch));
+        }
+    }
+    ops
+}
+
+/// A self-deleting scratch directory for one recovery scenario.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path = std::env::temp_dir().join(format!("sablock-recovery-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        Self(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn open_service(dir: &Path, failpoints: FailpointPlan) -> sablock::serve::Result<(CandidateService, RecoveryReport)> {
+    CandidateService::open_durable(
+        builder().into_incremental().unwrap(),
+        schema(),
+        dir,
+        WalOptions { fsync: FsyncPolicy::Never, failpoints, ..WalOptions::default() },
+    )
+}
+
+/// Applies ops until the first failure; returns how many were acknowledged.
+fn apply_ops(service: &CandidateService, ops: &[Op]) -> usize {
+    for (acked, op) in ops.iter().enumerate() {
+        let result = match op {
+            Op::Insert(rows) => service.insert_rows(rows.clone()).map(|_| ()),
+            Op::Remove(id) => service.remove(*id).map(|_| ()),
+        };
+        if result.is_err() {
+            return acked;
+        }
+    }
+    ops.len()
+}
+
+/// One mirror blocker per op prefix: `mirrors[n]` is `ops[..n]` replayed
+/// into a fresh index, the ground truth for the state recovered at epoch n.
+fn mirrors(ops: &[Op]) -> Vec<IncrementalSaLshBlocker> {
+    let schema = schema();
+    (0..=ops.len())
+        .map(|prefix| {
+            let mut mirror = builder().into_incremental().unwrap();
+            let mut next_index = 0usize;
+            for op in &ops[..prefix] {
+                match op {
+                    Op::Insert(rows) => {
+                        let records: Vec<Record> = rows
+                            .iter()
+                            .map(|values| {
+                                let id = RecordId::try_from_index(next_index).unwrap();
+                                next_index += 1;
+                                Record::new(id, Arc::clone(&schema), values.clone()).unwrap()
+                            })
+                            .collect();
+                        mirror.insert_batch(&records).unwrap();
+                    }
+                    Op::Remove(id) => {
+                        mirror.remove(*id).unwrap();
+                    }
+                }
+            }
+            mirror
+        })
+        .collect()
+}
+
+/// The recovered service must match its prefix mirror wholesale: same
+/// blocking, same running counters, same epoch.
+fn assert_matches_mirror(service: &CandidateService, mirror: &IncrementalSaLshBlocker, prefix: usize, context: &str) {
+    let state = service.current();
+    assert_eq!(state.epoch(), prefix as u64, "recovered epoch ≠ replayed prefix ({context})");
+    assert_eq!(
+        state.view().snapshot().blocks(),
+        mirror.snapshot().blocks(),
+        "recovered blocking diverged from the mirror replay ({context})"
+    );
+    assert_eq!(
+        state.view().running_counts(),
+        mirror.running_counts(),
+        "recovered running counts diverged from the mirror replay ({context})"
+    );
+}
+
+/// Measures the byte length of the clean, single-segment log for `ops`.
+fn clean_log_bytes(ops: &[Op]) -> u64 {
+    let dir = TempDir::new("measure");
+    let (service, _) = open_service(dir.path(), FailpointPlan::none()).unwrap();
+    assert_eq!(apply_ops(&service, ops), ops.len());
+    let (base, bytes) = service.wal_position().expect("durable services report a WAL position");
+    assert_eq!(base, 0, "the measuring run must stay in one segment");
+    bytes
+}
+
+#[test]
+fn killing_the_wal_at_every_byte_offset_recovers_exactly_the_acked_prefix() {
+    let ops = scripted_ops();
+    let mirrors = mirrors(&ops);
+    let total_bytes = clean_log_bytes(&ops);
+
+    for kill in 0..=total_bytes {
+        let dir = TempDir::new("kill");
+        // Phase 1: run against a log that dies at byte `kill`. Opening can
+        // itself fail (the kill lands inside the segment header) — then
+        // nothing was acknowledged.
+        let acked = match open_service(dir.path(), FailpointPlan::kill_at_byte(kill)) {
+            Ok((service, _)) => apply_ops(&service, &ops),
+            Err(_) => 0,
+        };
+        // Phase 2: recover failpoint-free. This must never panic and never
+        // error — a torn tail is an expected crash artefact, not corruption.
+        let (recovered, report) = open_service(dir.path(), FailpointPlan::none())
+            .unwrap_or_else(|error| panic!("recovery failed after kill at byte {kill}: {error}"));
+        assert_eq!(
+            report.recovered_seq, acked as u64,
+            "kill at byte {kill}: acknowledged batches must be exactly the durable ones (fsync-free log)"
+        );
+        assert!(report.recovered_seq <= ops.len() as u64);
+        assert_matches_mirror(
+            &recovered,
+            &mirrors[report.recovered_seq as usize],
+            report.recovered_seq as usize,
+            &format!("kill at byte {kill}"),
+        );
+    }
+}
+
+#[test]
+fn bit_flips_anywhere_in_the_log_recover_a_verified_prefix_without_panicking() {
+    let ops = scripted_ops();
+    let mirrors = mirrors(&ops);
+
+    // Write one clean log, then corrupt copies of it byte by byte.
+    let clean_dir = TempDir::new("bitflip-clean");
+    let segment_name = "wal-0000000000000000.log";
+    {
+        let (service, _) = open_service(clean_dir.path(), FailpointPlan::none()).unwrap();
+        assert_eq!(apply_ops(&service, &ops), ops.len());
+    }
+    let clean = std::fs::read(clean_dir.path().join(segment_name)).unwrap();
+
+    for index in 0..clean.len() {
+        let mut corrupt = clean.clone();
+        corrupt[index] ^= 1 << (index % 8);
+        let dir = TempDir::new("bitflip");
+        std::fs::create_dir_all(dir.path()).unwrap();
+        std::fs::write(dir.path().join(segment_name), &corrupt).unwrap();
+
+        // A single-segment log can lose a suffix to a flip but can never
+        // become a typed recovery error (holes need multiple segments) —
+        // and it must never panic.
+        let (recovered, report) = open_service(dir.path(), FailpointPlan::none())
+            .unwrap_or_else(|error| panic!("bit flip at byte {index} broke recovery: {error}"));
+        assert!(report.recovered_seq <= ops.len() as u64);
+        assert_matches_mirror(
+            &recovered,
+            &mirrors[report.recovered_seq as usize],
+            report.recovered_seq as usize,
+            &format!("bit flip at byte {index}"),
+        );
+    }
+}
+
+#[test]
+fn checkpoints_compact_the_log_and_recovery_resumes_past_them() {
+    let ops = scripted_ops();
+    let mirrors = mirrors(&ops);
+    let half = ops.len() / 2;
+    let dir = TempDir::new("checkpoint");
+    {
+        let (service, _) = open_service(dir.path(), FailpointPlan::none()).unwrap();
+        assert_eq!(apply_ops(&service, &ops[..half]), half);
+        assert_eq!(service.checkpoint().unwrap(), half as u64);
+        assert!(snapshot_path(dir.path(), half as u64).exists(), "checkpoint writes its snapshot");
+        assert!(
+            !dir.path().join("wal-0000000000000000.log").exists(),
+            "checkpoint prunes segments the snapshot supersedes"
+        );
+        assert_eq!(apply_ops(&service, &ops[half..]), ops.len() - half);
+    }
+    let (recovered, report) = open_service(dir.path(), FailpointPlan::none()).unwrap();
+    assert_eq!(report.snapshot_ops, half as u64, "recovery adopts the checkpoint snapshot");
+    assert_eq!(report.skipped_snapshots, 0);
+    assert_eq!(report.replayed_records, (ops.len() - half) as u64);
+    assert_eq!(report.recovered_seq, ops.len() as u64);
+    assert_matches_mirror(&recovered, &mirrors[ops.len()], ops.len(), "checkpoint + suffix replay");
+}
+
+#[test]
+fn a_corrupt_checkpoint_over_a_pruned_log_is_a_typed_recovery_error() {
+    let ops = scripted_ops();
+    let half = ops.len() / 2;
+    let dir = TempDir::new("corrupt-checkpoint");
+    {
+        let (service, _) = open_service(dir.path(), FailpointPlan::none()).unwrap();
+        assert_eq!(apply_ops(&service, &ops[..half]), half);
+        assert_eq!(service.checkpoint().unwrap(), half as u64);
+        assert_eq!(apply_ops(&service, &ops[half..]), ops.len() - half);
+    }
+    // Destroy the only snapshot. The surviving segments start past batch 0,
+    // so the log provably cannot reproduce the full history: recovery must
+    // refuse with a typed error instead of silently serving a partial state.
+    std::fs::write(snapshot_path(dir.path(), half as u64), b"not a snapshot").unwrap();
+    let error = open_service(dir.path(), FailpointPlan::none()).unwrap_err();
+    assert!(
+        matches!(error, ServeError::Recovery(_)),
+        "expected ServeError::Recovery for a hole, got: {error}"
+    );
+    assert!(error.to_string().contains("hole"), "{error}");
+}
