@@ -48,6 +48,7 @@ where
             .chunks(chunk_size)
             .map(|chunk| scope.spawn(|| chunk.iter().map(&f).collect::<Vec<U>>()))
             .collect();
+        // sablock-lint: allow(panic-reachability): join only re-raises a panic that already happened on the worker; it introduces no new failure
         handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
     });
     results.into_iter().flatten().collect()
@@ -78,6 +79,7 @@ where
             .chunks_mut(chunk_size)
             .map(|chunk| scope.spawn(|| chunk.iter_mut().map(&f).collect::<Vec<U>>()))
             .collect();
+        // sablock-lint: allow(panic-reachability): join only re-raises a panic that already happened on the worker; it introduces no new failure
         handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
     });
     results.into_iter().flatten().collect()
@@ -252,6 +254,7 @@ where
         let result = producer(queue_ref);
         queue_ref.close();
         for handle in handles {
+            // sablock-lint: allow(panic-reachability): join only re-raises a panic that already happened on the worker; it introduces no new failure
             handle.join().expect("worker thread panicked");
         }
         result

@@ -172,6 +172,7 @@ impl TaxonomyTree {
 
     /// All concept ids, in insertion order.
     pub fn concepts(&self) -> impl Iterator<Item = ConceptId> + '_ {
+        // sablock-lint: allow(panic-reachability): insert_node rejects growth past u32, so this conversion cannot fail
         let count = u32::try_from(self.nodes.len()).expect("insert_node bounds the concept count to u32");
         (0..count).map(ConceptId)
     }

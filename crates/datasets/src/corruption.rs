@@ -155,8 +155,8 @@ pub fn typo<R: Rng>(word: &str, rng: &mut R) -> String {
     if chars.is_empty() {
         return word.to_string();
     }
-    let letters = "abcdefghijklmnopqrstuvwxyz";
-    let random_letter = |rng: &mut R| letters.chars().nth(rng.gen_range(0..letters.len())).unwrap();
+    let letters = b"abcdefghijklmnopqrstuvwxyz";
+    let random_letter = |rng: &mut R| char::from(letters[rng.gen_range(0..letters.len())]);
     let op = if chars.len() < 2 { 0 } else { rng.gen_range(0..4) };
     let mut chars = chars;
     match op {

@@ -67,6 +67,7 @@ pub mod client;
 pub mod error;
 pub mod fault;
 pub mod frontend;
+pub(crate) mod lockorder;
 pub mod metrics;
 pub mod persist;
 pub mod protocol;

@@ -1,0 +1,67 @@
+//! Runtime twin of the static `lock-order` rule (behind `check-invariants`).
+//!
+//! The service's canonical acquisition order is **writer mutex before the
+//! published-epoch `RwLock`**: `publish` swaps the epoch pointer while the
+//! writer mutex is held, so a thread that instead acquires the mutex *while
+//! holding* an epoch guard closes a cycle with the writer and can deadlock.
+//! `cargo xtask analyze` proves the order statically over the call graph;
+//! this module re-checks it dynamically so that code the static pass cannot
+//! see — trait objects, callbacks, future refactors that defeat the name
+//! heuristics — still trips loudly in `check-invariants` test runs instead
+//! of deadlocking silently in production.
+//!
+//! The mechanism is a thread-local count of live epoch-lock guards:
+//! [`note_epoch_guard`] increments it for the lifetime of the returned
+//! token, and [`check_writer_lock`] asserts it is zero immediately before
+//! every writer-mutex acquisition. Without the feature both are free no-ops
+//! (a zero-sized token, an empty check), so the hot read path pays nothing
+//! in release builds.
+
+/// RAII token recording that the current thread holds (or is about to take)
+/// a guard on the published-epoch `RwLock`. Keep it alive exactly as long
+/// as the lock guard itself.
+#[must_use = "the token must outlive the epoch lock guard it records"]
+pub(crate) struct EpochGuardToken {
+    _private: (),
+}
+
+#[cfg(feature = "check-invariants")]
+mod depth {
+    use std::cell::Cell;
+
+    thread_local! {
+        /// Live published-epoch guards on this thread.
+        pub(super) static EPOCH_GUARDS: Cell<u32> = const { Cell::new(0) };
+    }
+}
+
+/// Records an epoch-lock acquisition; call just before taking a
+/// `published.read()` / `published.write()` guard and bind the token for
+/// the guard's lifetime.
+pub(crate) fn note_epoch_guard() -> EpochGuardToken {
+    #[cfg(feature = "check-invariants")]
+    depth::EPOCH_GUARDS.with(|count| count.set(count.get() + 1));
+    EpochGuardToken { _private: () }
+}
+
+#[cfg(feature = "check-invariants")]
+impl Drop for EpochGuardToken {
+    fn drop(&mut self) {
+        depth::EPOCH_GUARDS.with(|count| count.set(count.get().saturating_sub(1)));
+    }
+}
+
+/// Asserts the canonical order before a writer-mutex acquisition: the
+/// current thread must not already hold a published-epoch guard.
+pub(crate) fn check_writer_lock() {
+    #[cfg(feature = "check-invariants")]
+    depth::EPOCH_GUARDS.with(|count| {
+        assert!(
+            count.get() == 0,
+            "check-invariants: lock-order violation: writer mutex requested while this thread \
+             holds {} published-epoch guard(s) (canonical order: writer mutex before the epoch \
+             RwLock — see docs/ARCHITECTURE.md, Invariant model)",
+            count.get()
+        );
+    });
+}

@@ -121,13 +121,13 @@ pub fn to_bytes(name: &str, schema: &Schema, dump: &IndexDump, store: &RecordSto
     }
 
     push_len(&mut out, records)?;
-    let mut bitset = vec![0u8; records.div_ceil(8)];
-    for (index, &removed) in dump.removed.iter().enumerate() {
-        if removed {
-            bitset[index / 8] |= 1 << (index % 8);
-        }
+    for flags in dump.removed.chunks(8) {
+        let byte = flags
+            .iter()
+            .enumerate()
+            .fold(0u8, |acc, (bit, &removed)| if removed { acc | (1 << bit) } else { acc });
+        out.push(byte);
     }
-    out.extend_from_slice(&bitset);
     push_len(&mut out, dump.entity_of.len())?;
     for entity in &dump.entity_of {
         push_u32(&mut out, entity.0);
@@ -192,24 +192,30 @@ impl<'a> Reader<'a> {
             .checked_add(count)
             .filter(|&end| end <= self.bytes.len())
             .ok_or_else(|| self.corrupt(format!("{count} bytes claimed but the file ends")))?;
-        let slice = &self.bytes[self.pos..end];
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.corrupt(format!("{count} bytes claimed but the file ends")))?;
         self.pos = end;
         Ok(slice)
     }
 
     pub(crate) fn u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
+        let bytes = self.take(1)?;
+        bytes.first().copied().ok_or_else(|| self.corrupt("1 byte claimed but the file ends"))
     }
 
     pub(crate) fn u32(&mut self) -> Result<u32> {
         let bytes = self.take(4)?;
-        Ok(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+        let raw: [u8; 4] =
+            bytes.try_into().map_err(|_| self.corrupt("4 bytes claimed but the file ends"))?;
+        Ok(u32::from_le_bytes(raw))
     }
 
     pub(crate) fn u64(&mut self) -> Result<u64> {
         let bytes = self.take(8)?;
-        let mut raw = [0u8; 8];
-        raw.copy_from_slice(bytes);
+        let raw: [u8; 8] =
+            bytes.try_into().map_err(|_| self.corrupt("8 bytes claimed but the file ends"))?;
         Ok(u64::from_le_bytes(raw))
     }
 

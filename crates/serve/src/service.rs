@@ -36,6 +36,7 @@ use sablock_datasets::{Record, RecordId, Schema};
 use sablock_textual::jaccard_u64;
 
 use crate::error::{Result, ServeError};
+use crate::lockorder;
 use crate::metrics::ServiceMetrics;
 use crate::persist::{self, SnapshotFile};
 use crate::store::RecordStore;
@@ -164,13 +165,15 @@ impl EpochState {
         }
         let probe = self.view.shingle_set(record);
         let mut scored: Vec<(RecordId, f64)> = Vec::with_capacity(candidates.len());
-        for start in (0..candidates.len()).step_by(SCORE_CHUNK) {
+        let mut deadline_hit = false;
+        for chunk in candidates.chunks(SCORE_CHUNK) {
             if let Some(deadline) = budget.deadline {
                 if Instant::now() >= deadline {
-                    return Ok(QueryOutcome::Degraded { candidates, reason: DegradeReason::Deadline });
+                    deadline_hit = true;
+                    break;
                 }
             }
-            for &id in &candidates[start..candidates.len().min(start + SCORE_CHUNK)] {
+            for &id in chunk {
                 let score = self
                     .store
                     .get(id)
@@ -178,6 +181,9 @@ impl EpochState {
                     .unwrap_or(0.0);
                 scored.push((id, score));
             }
+        }
+        if deadline_hit {
+            return Ok(QueryOutcome::Degraded { candidates, reason: DegradeReason::Deadline });
         }
         scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         scored.truncate(k);
@@ -291,6 +297,7 @@ impl CandidateService {
             let mut rejected = false;
             for op in logged {
                 let applied = Self::replay_op(&schema, op)
+                    // sablock-lint: allow(wal-append-before-apply): recovery replay — these ops are already durable in the log being read
                     .and_then(|op| Self::apply_one(&mut writer, op));
                 if applied.is_err() {
                     // The live writer dropped this op and the rest of its
@@ -423,7 +430,28 @@ impl CandidateService {
     /// The current published epoch — one `Arc` clone under a briefly held
     /// read lock; everything after that is lock-free.
     pub fn current(&self) -> Arc<EpochState> {
+        let _epoch_guard = lockorder::note_epoch_guard();
         Arc::clone(&self.published.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Acquires the writer mutex — the one entry point for every write-side
+    /// path, so the `check-invariants` lock-order guard (the runtime twin of
+    /// the static `lock-order` rule) sees every acquisition.
+    fn lock_writer(&self) -> std::sync::MutexGuard<'_, WriterState> {
+        lockorder::check_writer_lock();
+        self.writer.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Deliberately acquires the locks in the forbidden order (epoch guard
+    /// held, then the writer mutex) so tests can prove the runtime guard
+    /// trips. Compiled only under `check-invariants` — calling it panics by
+    /// design.
+    #[cfg(feature = "check-invariants")]
+    pub fn debug_trip_lock_order(&self) {
+        let _epoch_guard = lockorder::note_epoch_guard();
+        let _published = self.published.read().unwrap_or_else(PoisonError::into_inner);
+        // sablock-lint: allow(lock-order): deliberate inversion — the check-invariants trip seam proving the runtime guard fires
+        let _writer = self.lock_writer();
     }
 
     /// Applies a batch of write ops to the private head and publishes the
@@ -443,7 +471,7 @@ impl CandidateService {
     /// durable prefix. Reads keep serving the last published epoch
     /// throughout.
     pub fn apply(&self, ops: Vec<WriteOp>) -> Result<Arc<EpochState>> {
-        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut writer = self.lock_writer();
         self.apply_locked(&mut writer, ops)
     }
 
@@ -504,7 +532,10 @@ impl CandidateService {
             view: writer.head.publish_view(),
             store: writer.store.clone(),
         });
-        *published.write().unwrap_or_else(PoisonError::into_inner) = Arc::clone(&state);
+        {
+            let _epoch_guard = lockorder::note_epoch_guard();
+            *published.write().unwrap_or_else(PoisonError::into_inner) = Arc::clone(&state);
+        }
         state
     }
 
@@ -518,7 +549,7 @@ impl CandidateService {
     /// lock, so concurrent callers cannot race the id space), then ingested
     /// as one batch/epoch.
     pub fn insert_rows(&self, rows: Vec<Vec<Option<String>>>) -> Result<Arc<EpochState>> {
-        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut writer = self.lock_writer();
         let base = writer.head.num_records();
         let records = rows
             .into_iter()
@@ -558,7 +589,7 @@ impl CandidateService {
     /// record log) as a versioned, checksummed snapshot file. Taken under
     /// the writer lock, so the snapshot is a real epoch boundary.
     pub fn save(&self, path: &Path) -> Result<()> {
-        let writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let writer = self.lock_writer();
         persist::save_to_path(path, &self.name, &self.schema, &writer.head.dump(), &writer.store)
     }
 
@@ -590,7 +621,7 @@ impl CandidateService {
     /// failure poisons the writer (the snapshot itself is atomic, so the
     /// directory is never torn).
     pub fn checkpoint(&self) -> Result<u64> {
-        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut writer = self.lock_writer();
         if let Some(reason) = &writer.poisoned {
             return Err(ServeError::WriterPoisoned { reason: reason.clone() });
         }
@@ -612,7 +643,7 @@ impl CandidateService {
     /// The durable log's `(segment base, segment byte length)` position, or
     /// `None` for an in-memory service. What `STATS` reports as `wal`.
     pub fn wal_position(&self) -> Option<(u64, u64)> {
-        let writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let writer = self.lock_writer();
         writer.wal.as_ref().map(Wal::position)
     }
 

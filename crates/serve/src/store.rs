@@ -55,10 +55,9 @@ impl RecordStore {
                 )));
             }
         }
-        if batch.is_empty() {
+        let Some(first) = batch.first().map(|record| record.id().0) else {
             return Ok(());
-        }
-        let first = batch[0].id().0;
+        };
         self.len += batch.len();
         self.starts.push(first);
         self.chunks.push(Arc::new(batch));
@@ -72,7 +71,8 @@ impl RecordStore {
         }
         // The last chunk whose first id is ≤ the probe id.
         let chunk = self.starts.partition_point(|&start| start <= id.0).checked_sub(1)?;
-        self.chunks[chunk].get(id.index() - self.starts[chunk] as usize)
+        let start = *self.starts.get(chunk)?;
+        self.chunks.get(chunk)?.get(id.index() - start as usize)
     }
 
     /// Iterates all records in id order.

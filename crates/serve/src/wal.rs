@@ -342,6 +342,7 @@ impl Wal {
         fsyncs: u64,
         appends_since_sync: u64,
     ) -> Result<Self> {
+        // sablock-lint: allow(durable-rename): the active segment is append-only and lives at its final name by design; recovery discards a torn tail instead of trusting a rename barrier
         let file = File::create(segment_path(&dir, base))?;
         persist::sync_parent_dir(&segment_path(&dir, base));
         let mut wal = Self {
@@ -406,6 +407,7 @@ impl Wal {
     /// is returned, so tests observe honest torn tails.
     fn write_bytes(&mut self, bytes: &[u8]) -> Result<()> {
         let allowed = self.options.failpoints.allowed_write(self.written_total, bytes.len());
+        // sablock-lint: allow(panic-reachability): FailpointPlan::allowed_write returns at most bytes.len(), so the slice is always in bounds
         self.file.write_all(&bytes[..allowed])?;
         self.written_total += allowed as u64;
         self.segment_len += allowed as u64;

@@ -1,0 +1,8 @@
+//! Deliberately broken: trips `thread-confinement` (raw spawn and a held
+//! `JoinHandle` outside `core::parallel`). Never compiled.
+
+use std::thread;
+
+pub fn fan_out(n: usize) -> Vec<std::thread::JoinHandle<()>> {
+    (0..n).map(|_| thread::spawn(|| {})).collect()
+}

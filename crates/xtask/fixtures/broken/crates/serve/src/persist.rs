@@ -1,0 +1,7 @@
+//! Deliberately broken: trips `durable-rename` (bare `File::create` of the
+//! final path, no temp → fsync → rename). Never compiled.
+
+pub fn save(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut file = File::create(path)?;
+    file.write_all(bytes)
+}

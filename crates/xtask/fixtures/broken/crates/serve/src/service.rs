@@ -1,0 +1,27 @@
+//! Deliberately broken: trips `lock-order`, `wal-append-before-apply` and
+//! `panic-reachability`. Never compiled — see ../../../README.md.
+
+impl Service {
+    /// lock-order: the epoch RwLock is held when the writer mutex is taken.
+    pub fn stats(&self) -> u64 {
+        let guard = self.published.read();
+        let writer = self.writer.lock();
+        writer.epoch + guard.epoch
+    }
+
+    /// wal-append-before-apply: mutates the COW head, no append anywhere.
+    pub fn ingest(&mut self, records: &[Row]) {
+        self.head.insert_batch(records);
+    }
+
+    /// panic-reachability entry point.
+    pub fn handle_line(&self, line: &str) -> String {
+        self.decode(line)
+    }
+
+    /// panic-reachability: indexing on the request path.
+    fn decode(&self, line: &str) -> String {
+        let parts: Vec<&str> = line.split('\t').collect();
+        parts[0].to_string()
+    }
+}

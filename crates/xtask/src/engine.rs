@@ -69,6 +69,10 @@ pub struct Diagnostic {
     pub file: String,
     /// The finding itself.
     pub finding: Finding,
+    /// `Some(reason)` when an allow marker suppresses this finding — kept in
+    /// the machine-readable output so suppressions stay auditable; only
+    /// findings with `allowed == None` fail the build.
+    pub allowed: Option<String>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -86,12 +90,32 @@ impl fmt::Display for Diagnostic {
 #[derive(Debug)]
 struct Allow {
     rule: String,
+    reason: String,
     /// Line of the marker comment itself.
     line: u32,
     col: u32,
     /// The code line this marker covers, if any code follows it.
     target_line: Option<u32>,
     used: bool,
+}
+
+/// An allow marker naming one of the semantic (call-graph) rules. Single-file
+/// token analysis cannot judge whether such a marker is used — only the
+/// workspace pass ([`crate::semantic`]) can, so these are handed through.
+#[derive(Debug)]
+pub struct SemanticAllow {
+    /// The semantic rule the marker names.
+    pub rule: String,
+    /// The marker's stated reason.
+    pub reason: String,
+    /// Line of the marker comment itself.
+    pub line: u32,
+    /// Column of the marker comment.
+    pub col: u32,
+    /// The code line this marker covers, if any code follows it.
+    pub target_line: Option<u32>,
+    /// Whether the workspace pass found a finding this marker suppresses.
+    pub used: bool,
 }
 
 const MARKER: &str = "sablock-lint:";
@@ -211,7 +235,7 @@ pub fn ident_segments(ident: &str) -> Vec<String> {
 /// Computes the test-region mask over code tokens: ranges covered by a
 /// `#[cfg(test)]` or `#[test]` attribute (the attributed item extends to the
 /// first top-level `;` or the close of its first top-level brace block).
-fn test_regions(tokens: &[Token]) -> Vec<bool> {
+pub fn test_regions(tokens: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0;
     while i < tokens.len() {
@@ -288,9 +312,34 @@ fn test_regions(tokens: &[Token]) -> Vec<bool> {
     mask
 }
 
+/// Everything single-file analysis produces: token-rule diagnostics
+/// (suppressed ones included, flagged via [`Diagnostic::allowed`]), the
+/// semantic-rule allow markers for the workspace pass, and the code-token
+/// view the semantic parser consumes.
+pub struct SourceAnalysis {
+    /// Token-rule and allow-hygiene diagnostics, suppressed ones included.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Allow markers naming semantic rules, for [`crate::semantic`] to judge.
+    pub semantic_allows: Vec<SemanticAllow>,
+    /// The file's code tokens (comments stripped).
+    pub tokens: Vec<Token>,
+    /// Per-token `#[cfg(test)]` membership, parallel to `tokens`.
+    pub in_test: Vec<bool>,
+}
+
 /// Lints one file's source text. `path` must be workspace-relative with `/`
 /// separators — it picks the scope ([`classify`]) and labels diagnostics.
+/// Returns only the *active* (unsuppressed) diagnostics; see
+/// [`analyze_source_full`] for the complete view.
 pub fn analyze_source(path: &str, scope: Scope, source: &str) -> Vec<Diagnostic> {
+    let mut diagnostics = analyze_source_full(path, scope, source).diagnostics;
+    diagnostics.retain(|d| d.allowed.is_none());
+    diagnostics
+}
+
+/// Full single-file analysis: token rules, allow-marker hygiene, and the raw
+/// material (tokens, semantic allows) for the workspace semantic pass.
+pub fn analyze_source_full(path: &str, scope: Scope, source: &str) -> SourceAnalysis {
     let all_tokens = lex(source);
 
     // Split comments (marker scanning) from code (rule input).
@@ -308,8 +357,10 @@ pub fn analyze_source(path: &str, scope: Scope, source: &str) -> Vec<Diagnostic>
 
     let mut findings: Vec<Finding> = Vec::new();
 
-    // Parse allow markers; malformed ones are findings themselves.
+    // Parse allow markers; malformed ones are findings themselves. Markers
+    // naming semantic rules are handed through for the workspace pass.
     let mut allows: Vec<Allow> = Vec::new();
+    let mut semantic_allows: Vec<SemanticAllow> = Vec::new();
     for comment in &comments {
         // Doc comments are rendered documentation — text like a LINTS.md
         // example quoting the marker syntax must not parse as a directive.
@@ -322,13 +373,20 @@ pub fn analyze_source(path: &str, scope: Scope, source: &str) -> Vec<Diagnostic>
         }
         match parse_marker(&comment.text) {
             Ok(None) => {}
-            Ok(Some((rule, _reason))) => {
-                if !rules::RULES.iter().any(|r| r.name == rule) {
+            Ok(Some((rule, reason))) => {
+                let is_token_rule = rules::RULES.iter().any(|r| r.name == rule);
+                let is_semantic_rule = crate::semantic::RULES.iter().any(|r| r.name == rule);
+                if !is_token_rule && !is_semantic_rule {
+                    let known: Vec<&str> = rules::RULES
+                        .iter()
+                        .map(|r| r.name)
+                        .chain(crate::semantic::RULES.iter().map(|r| r.name))
+                        .collect();
                     findings.push(Finding {
                         rule: "unknown-allow",
                         message: format!(
                             "allow marker names unknown rule `{rule}` (known rules: {})",
-                            rules::RULES.iter().map(|r| r.name).collect::<Vec<_>>().join(", ")
+                            known.join(", ")
                         ),
                         line: comment.line,
                         col: comment.col,
@@ -343,13 +401,25 @@ pub fn analyze_source(path: &str, scope: Scope, source: &str) -> Vec<Diagnostic>
                 } else {
                     file.tokens.iter().find(|t| t.line > comment.line).map(|t| t.line)
                 };
-                allows.push(Allow {
-                    rule,
-                    line: comment.line,
-                    col: comment.col,
-                    target_line,
-                    used: false,
-                });
+                if is_token_rule {
+                    allows.push(Allow {
+                        rule,
+                        reason,
+                        line: comment.line,
+                        col: comment.col,
+                        target_line,
+                        used: false,
+                    });
+                } else {
+                    semantic_allows.push(SemanticAllow {
+                        rule,
+                        reason,
+                        line: comment.line,
+                        col: comment.col,
+                        target_line,
+                        used: false,
+                    });
+                }
             }
             Err(message) => {
                 findings.push(Finding {
@@ -369,42 +439,56 @@ pub fn analyze_source(path: &str, scope: Scope, source: &str) -> Vec<Diagnostic>
         }
     }
 
-    // Suppress findings covered by allow markers; track marker use.
-    findings.retain(|finding| {
-        let mut suppressed = false;
+    // Match findings against allow markers; track marker use. Suppressed
+    // findings stay in the output, flagged with the marker's reason.
+    let mut suppressions: Vec<Option<String>> = Vec::with_capacity(findings.len());
+    for finding in &findings {
+        let mut reason = None;
         for allow in allows.iter_mut() {
             if allow.rule == finding.rule && allow.target_line == Some(finding.line) {
                 allow.used = true;
-                suppressed = true;
+                reason = Some(allow.reason.clone());
             }
         }
-        !suppressed
-    });
+        suppressions.push(reason);
+    }
+    let mut findings: Vec<(Finding, Option<String>)> =
+        findings.into_iter().zip(suppressions).collect();
 
     // A marker that suppressed nothing is stale — error, never silence.
+    // (Semantic-rule markers are judged by the workspace pass instead.)
     for allow in &allows {
         if !allow.used {
-            findings.push(Finding {
-                rule: "unused-allow",
-                message: format!(
-                    "allow({}) suppresses nothing — the violation it covered is gone; remove the marker",
-                    allow.rule
-                ),
-                line: allow.line,
-                col: allow.col,
-            });
+            findings.push((
+                Finding {
+                    rule: "unused-allow",
+                    message: format!(
+                        "allow({}) suppresses nothing — the violation it covered is gone; remove the marker",
+                        allow.rule
+                    ),
+                    line: allow.line,
+                    col: allow.col,
+                },
+                None,
+            ));
         }
     }
 
-    findings.sort_by_key(|f| (f.line, f.col, f.rule));
+    findings.sort_by_key(|(f, _)| (f.line, f.col, f.rule));
     // One diagnostic per (rule, line): a statement can trip several of a
     // rule's detectors at once (e.g. a `for` loop over `.iter()`), and one
     // allow marker covers the whole line anyway.
-    findings.dedup_by_key(|f| (f.line, f.rule));
-    findings
+    findings.dedup_by_key(|(f, _)| (f.line, f.rule));
+    let diagnostics = findings
         .into_iter()
-        .map(|finding| Diagnostic { file: path.to_string(), finding })
-        .collect()
+        .map(|(finding, allowed)| Diagnostic { file: path.to_string(), finding, allowed })
+        .collect();
+    SourceAnalysis {
+        diagnostics,
+        semantic_allows,
+        tokens: file.tokens,
+        in_test: file.in_test,
+    }
 }
 
 /// Lints one file, classifying its scope from the path. Returns `None` (no

@@ -1,0 +1,417 @@
+//! Workspace symbol table and over-approximate call graph.
+//!
+//! Resolution is heuristic by design: calls are matched by name (free
+//! functions), by `Qualifier::name` (paths, with `Self` mapped to the
+//! enclosing impl type and `use … as …` renames unfolded), and by method
+//! name within the workspace's entire impl universe (`receiver.name(…)`
+//! links to *every* workspace method of that name when the receiver type is
+//! unknown — an over-approximation that can only add edges, never hide
+//! them). Calls that resolve to nothing inside the workspace (std, vendored
+//! crates) become **unknown** terminals: the analysis trusts external code
+//! not to violate workspace protocols, and `docs/LINTS.md` documents that
+//! trade-off.
+//!
+//! Everything iterates in `BTreeMap` order or input (path-sorted) order, so
+//! graph construction and every downstream diagnostic are deterministic.
+
+use std::collections::BTreeMap;
+
+use crate::engine::Scope;
+use crate::lexer::Token;
+use crate::parser::{CallTarget, ParsedFile};
+
+/// One workspace file loaded for semantic analysis: its code tokens (the
+/// comment-stripped stream), `#[cfg(test)]` mask, and parsed items.
+#[derive(Debug)]
+pub struct ModelFile {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// The lint scope the path classifies into.
+    pub scope: Scope,
+    /// Code tokens (comments stripped) — positions index into this.
+    pub tokens: Vec<Token>,
+    /// Per-token `#[cfg(test)]` membership, parallel to `tokens`.
+    pub in_test: Vec<bool>,
+    /// The item-level parse of the file.
+    pub parsed: ParsedFile,
+}
+
+/// The whole workspace as loaded files, path-sorted.
+#[derive(Debug, Default)]
+pub struct Model {
+    /// All files, sorted by path.
+    pub files: Vec<ModelFile>,
+}
+
+/// A function node: indexes into `model.files` and that file's `parsed.fns`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FnKey {
+    /// Index into [`Model::files`].
+    pub file: usize,
+    /// Index into that file's [`ParsedFile::fns`].
+    pub item: usize,
+}
+
+/// One resolved call edge, keeping the call site for path reporting.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Global node index of the callee.
+    pub callee: usize,
+    /// 1-based line of the call site in the caller's file.
+    pub line: u32,
+    /// 1-based column of the call site.
+    pub col: u32,
+}
+
+/// The workspace call graph over non-test functions.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Node order: files in path order, items in file order.
+    pub nodes: Vec<FnKey>,
+    /// Reverse lookup from (file, item) to global node index.
+    pub index: BTreeMap<FnKey, usize>,
+    /// Resolved out-edges per node, call-site order, deduped per callee.
+    pub edges: Vec<Vec<Edge>>,
+    /// Names of calls per node that resolved to nothing in the workspace
+    /// ("may call anything" terminals), deduped and sorted.
+    pub unknown: Vec<Vec<String>>,
+}
+
+impl CallGraph {
+    /// Human-readable name for a node: `Qualifier::name` or `name`.
+    pub fn display_name(&self, model: &Model, node: usize) -> String {
+        let key = self.nodes[node];
+        let item = &model.files[key.file].parsed.fns[key.item];
+        match &item.qualifier {
+            Some(q) => format!("{q}::{}", item.name),
+            None => item.name.clone(),
+        }
+    }
+
+    /// The `file:line` position of a node's definition.
+    pub fn position(&self, model: &Model, node: usize) -> (String, u32, u32) {
+        let key = self.nodes[node];
+        let file = &model.files[key.file];
+        let item = &file.parsed.fns[key.item];
+        (file.path.clone(), item.line, item.col)
+    }
+}
+
+/// Builds the call graph for a model. Functions inside `#[cfg(test)]`
+/// regions are excluded both as nodes and as resolution candidates, so test
+/// helpers can never satisfy (or pollute) a production call edge.
+pub fn build(model: &Model) -> CallGraph {
+    let mut graph = CallGraph::default();
+    for (file_idx, file) in model.files.iter().enumerate() {
+        for (item_idx, item) in file.parsed.fns.iter().enumerate() {
+            if item.in_test {
+                continue;
+            }
+            let key = FnKey { file: file_idx, item: item_idx };
+            graph.index.insert(key, graph.nodes.len());
+            graph.nodes.push(key);
+        }
+    }
+
+    // Symbol tables, all name-keyed with deterministic candidate order.
+    let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut methods_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut by_qualified: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    for (node, key) in graph.nodes.iter().enumerate() {
+        let item = &model.files[key.file].parsed.fns[key.item];
+        match &item.qualifier {
+            None => free_by_name.entry(&item.name).or_default().push(node),
+            Some(qualifier) => {
+                by_qualified.entry((qualifier, &item.name)).or_default().push(node);
+                if item.has_self {
+                    methods_by_name.entry(&item.name).or_default().push(node);
+                }
+            }
+        }
+    }
+
+    for (node, key) in graph.nodes.iter().enumerate() {
+        let file = &model.files[key.file];
+        let item = &file.parsed.fns[key.item];
+        // `use … as …` renames: local alias -> final real segment.
+        let aliases: BTreeMap<&str, &str> = file
+            .parsed
+            .uses
+            .iter()
+            .filter_map(|u| {
+                let last = u.path.last()?;
+                (!u.is_glob && u.alias != *last).then_some((u.alias.as_str(), last.as_str()))
+            })
+            .collect();
+        let mut out: Vec<Edge> = Vec::new();
+        let mut unknown: Vec<String> = Vec::new();
+        for call in &item.calls {
+            let candidates: Vec<usize> = match &call.target {
+                CallTarget::Free { name } => {
+                    let real = aliases.get(name.as_str()).copied().unwrap_or(name.as_str());
+                    let all = free_by_name.get(real).cloned().unwrap_or_default();
+                    // Prefer same-file definitions when any exist: a file's
+                    // own helper shadows same-named helpers elsewhere.
+                    let local: Vec<usize> =
+                        all.iter().copied().filter(|&n| graph.nodes[n].file == key.file).collect();
+                    if local.is_empty() { all } else { local }
+                }
+                CallTarget::Qualified { qualifier, name } => {
+                    let qualifier = if qualifier == "Self" {
+                        item.qualifier.as_deref().unwrap_or("Self")
+                    } else {
+                        aliases.get(qualifier.as_str()).copied().unwrap_or(qualifier.as_str())
+                    };
+                    let direct = by_qualified.get(&(qualifier, name.as_str())).cloned().unwrap_or_default();
+                    if direct.is_empty() {
+                        // A module-qualified free fn (`wal::recover(…)`).
+                        free_by_name.get(name.as_str()).cloned().unwrap_or_default()
+                    } else {
+                        direct
+                    }
+                }
+                CallTarget::Method { name, on_self } => {
+                    let own = item.qualifier.as_deref().and_then(|q| {
+                        by_qualified.get(&(q, name.as_str())).cloned()
+                    });
+                    match (on_self, own) {
+                        // `self.name(…)` with a matching method on the
+                        // enclosing type resolves exactly there.
+                        (true, Some(own)) if !own.is_empty() => own,
+                        // Otherwise: every workspace method of that name.
+                        _ => methods_by_name.get(name.as_str()).cloned().unwrap_or_default(),
+                    }
+                }
+            };
+            if candidates.is_empty() {
+                unknown.push(match &call.target {
+                    CallTarget::Free { name } => name.clone(),
+                    CallTarget::Qualified { qualifier, name } => format!("{qualifier}::{name}"),
+                    CallTarget::Method { name, .. } => format!(".{name}"),
+                });
+            } else {
+                for callee in candidates {
+                    if !out.iter().any(|e| e.callee == callee) {
+                        out.push(Edge { callee, line: call.line, col: call.col });
+                    }
+                }
+            }
+        }
+        unknown.sort();
+        unknown.dedup();
+        debug_assert_eq!(node, graph.edges.len());
+        graph.edges.push(out);
+        graph.unknown.push(unknown);
+    }
+    graph
+}
+
+/// BFS over resolved edges from `entries`. Returns, per node, the
+/// predecessor edge on one shortest path from an entry (`usize::MAX`
+/// predecessor marks an entry itself), or `None` when unreachable.
+pub fn reachable_from(graph: &CallGraph, entries: &[usize]) -> Vec<Option<usize>> {
+    let mut parent: Vec<Option<usize>> = vec![None; graph.nodes.len()];
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    for &entry in entries {
+        if parent[entry].is_none() {
+            parent[entry] = Some(usize::MAX);
+            queue.push_back(entry);
+        }
+    }
+    while let Some(node) = queue.pop_front() {
+        for edge in &graph.edges[node] {
+            if parent[edge.callee].is_none() {
+                parent[edge.callee] = Some(node);
+                queue.push_back(edge.callee);
+            }
+        }
+    }
+    parent
+}
+
+/// The call path from an entry point to `node`, as display names.
+pub fn path_to(graph: &CallGraph, model: &Model, parents: &[Option<usize>], node: usize) -> Vec<String> {
+    let mut chain = Vec::new();
+    let mut cursor = node;
+    loop {
+        chain.push(graph.display_name(model, cursor));
+        match parents[cursor] {
+            Some(prev) if prev != usize::MAX => cursor = prev,
+            _ => break,
+        }
+    }
+    chain.reverse();
+    chain
+}
+
+/// Renders the call graph as Graphviz DOT (the `--graph-dot` artifact).
+/// Nodes are `file-stem::Qualifier::name`; dashed self-loops mark functions
+/// with unresolved ("may call anything") calls.
+pub fn to_dot(model: &Model, graph: &CallGraph) -> String {
+    let label = |node: usize| -> String {
+        let key = graph.nodes[node];
+        let path = &model.files[key.file].path;
+        let stem = path.rsplit('/').next().unwrap_or(path).trim_end_matches(".rs");
+        format!("{stem}::{}", graph.display_name(model, node))
+    };
+    let mut out = String::from("digraph calls {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
+    for node in 0..graph.nodes.len() {
+        let shape = if graph.unknown[node].is_empty() { "" } else { ", style=dashed" }.to_string();
+        out.push_str(&format!("  \"{}\" [label=\"{}\"{shape}];\n", label(node), label(node)));
+    }
+    for (node, edges) in graph.edges.iter().enumerate() {
+        for edge in edges {
+            out.push_str(&format!("  \"{}\" -> \"{}\";\n", label(node), label(edge.callee)));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+
+    fn model_of(files: &[(&str, &str)]) -> Model {
+        let mut model = Model::default();
+        for (path, source) in files {
+            let tokens: Vec<Token> = lex(source).into_iter().filter(|t| !t.is_comment()).collect();
+            let in_test = crate::engine::test_regions(&tokens);
+            let parsed = parse_file(&tokens, &in_test);
+            model.files.push(ModelFile {
+                path: (*path).to_string(),
+                scope: Scope::Lib,
+                tokens,
+                in_test,
+                parsed,
+            });
+        }
+        model
+    }
+
+    fn node_named(model: &Model, graph: &CallGraph, name: &str) -> usize {
+        (0..graph.nodes.len())
+            .find(|&n| graph.display_name(model, n) == name)
+            .unwrap_or_else(|| panic!("no node {name}"))
+    }
+
+    fn callees(model: &Model, graph: &CallGraph, name: &str) -> Vec<String> {
+        let node = node_named(model, graph, name);
+        graph.edges[node].iter().map(|e| graph.display_name(model, e.callee)).collect()
+    }
+
+    #[test]
+    fn free_calls_prefer_same_file_then_any_file() {
+        let model = model_of(&[
+            ("crates/a/src/one.rs", "fn helper() {} fn caller() { helper(); other(); }"),
+            ("crates/a/src/two.rs", "fn helper() {} fn other() {}"),
+        ]);
+        let graph = build(&model);
+        assert_eq!(callees(&model, &graph, "caller"), vec!["helper", "other"]);
+        let helper = node_named(&model, &graph, "caller");
+        let target = graph.edges[helper][0].callee;
+        assert_eq!(graph.nodes[target].file, 0, "same-file helper wins");
+    }
+
+    #[test]
+    fn self_and_qualified_calls_resolve_within_the_impl_universe() {
+        let model = model_of(&[(
+            "crates/a/src/svc.rs",
+            r#"
+            struct Service;
+            impl Service {
+                fn outer(&self) { self.inner(); Self::assoc(); Other::build(); }
+                fn inner(&self) {}
+                fn assoc() {}
+            }
+            struct Other;
+            impl Other { fn build() {} }
+            "#,
+        )]);
+        let graph = build(&model);
+        assert_eq!(
+            callees(&model, &graph, "Service::outer"),
+            vec!["Service::inner", "Service::assoc", "Other::build"]
+        );
+    }
+
+    #[test]
+    fn unknown_receiver_methods_over_approximate_and_std_calls_are_unknown() {
+        let model = model_of(&[(
+            "crates/a/src/m.rs",
+            r#"
+            struct A; struct B;
+            impl A { fn go(&self) {} }
+            impl B { fn go(&self) {} }
+            fn driver(x: &A) { x.go(); x.missing(); }
+            "#,
+        )]);
+        let graph = build(&model);
+        assert_eq!(callees(&model, &graph, "driver"), vec!["A::go", "B::go"]);
+        let driver = node_named(&model, &graph, "driver");
+        assert_eq!(graph.unknown[driver], vec![".missing"]);
+    }
+
+    #[test]
+    fn use_renames_unfold_for_free_and_qualified_calls() {
+        let model = model_of(&[
+            (
+                "crates/a/src/caller.rs",
+                "use crate::lib2::{real_fn as short, Widget as W};\nfn go() { short(); W::new(); }",
+            ),
+            ("crates/a/src/lib2.rs", "fn real_fn() {} struct Widget; impl Widget { fn new() {} }"),
+        ]);
+        let graph = build(&model);
+        assert_eq!(callees(&model, &graph, "go"), vec!["real_fn", "Widget::new"]);
+    }
+
+    #[test]
+    fn test_functions_are_neither_nodes_nor_candidates() {
+        let model = model_of(&[(
+            "crates/a/src/t.rs",
+            r#"
+            fn prod() { shared(); }
+            fn shared() {}
+            #[cfg(test)]
+            mod tests {
+                fn shared() {}
+                #[test]
+                fn check() { super::prod(); }
+            }
+            "#,
+        )]);
+        let graph = build(&model);
+        assert_eq!(graph.nodes.len(), 2, "test fns excluded");
+        assert_eq!(callees(&model, &graph, "prod"), vec!["shared"]);
+    }
+
+    #[test]
+    fn reachability_reports_a_shortest_path() {
+        let model = model_of(&[(
+            "crates/a/src/chain.rs",
+            "fn a() { b(); } fn b() { c(); } fn c() {} fn island() { c(); }",
+        )]);
+        let graph = build(&model);
+        let entry = node_named(&model, &graph, "a");
+        let parents = reachable_from(&graph, &[entry]);
+        let c = node_named(&model, &graph, "c");
+        assert_eq!(path_to(&graph, &model, &parents, c), vec!["a", "b", "c"]);
+        let island = node_named(&model, &graph, "island");
+        assert!(parents[island].is_none());
+    }
+
+    #[test]
+    fn dot_output_is_deterministic_and_marks_unknown_calls() {
+        let model = model_of(&[(
+            "crates/a/src/d.rs",
+            "fn a() { b(); external(); } fn b() {}",
+        )]);
+        let graph = build(&model);
+        let dot = to_dot(&model, &graph);
+        assert_eq!(dot, to_dot(&model, &build(&model)));
+        assert!(dot.contains("\"d::a\" -> \"d::b\";"));
+        assert!(dot.contains("style=dashed"));
+    }
+}

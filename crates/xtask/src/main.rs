@@ -1,4 +1,5 @@
-//! Command-line entry point: `cargo xtask lint [files…]`.
+//! Command-line entry point: `cargo xtask lint [--json] [files…]` and
+//! `cargo xtask analyze [--json] [--graph-dot <file>] [--root <dir>]`.
 
 #![warn(missing_docs)]
 
@@ -16,26 +17,74 @@ fn workspace_root() -> PathBuf {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: cargo xtask lint [files…]\n\n\
-         Runs the workspace determinism linter over every in-scope .rs file\n\
-         (or only the given workspace-relative files). Rules and the allow\n\
-         marker syntax are catalogued in docs/LINTS.md."
+        "usage: cargo xtask lint [--json] [files…]\n\
+         \u{20}      cargo xtask analyze [--json] [--graph-dot <file>] [--root <dir>]\n\n\
+         `lint` runs the token rules and the call-graph semantic rules over\n\
+         every in-scope .rs file (or the token rules only, over the given\n\
+         workspace-relative files). `analyze` is the same full pass with the\n\
+         call-graph artifacts exposed: --graph-dot writes the resolved call\n\
+         graph as Graphviz DOT, --root analyzes a different workspace (used\n\
+         by the broken-fixture CI regression). --json writes the complete\n\
+         machine-readable finding set (suppressions included) to stdout.\n\
+         Rules and the allow-marker syntax are catalogued in docs/LINTS.md."
     );
     ExitCode::from(2)
 }
 
+struct Options {
+    json: bool,
+    graph_dot: Option<PathBuf>,
+    root: PathBuf,
+    files: Vec<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        json: false,
+        graph_dot: None,
+        root: workspace_root(),
+        files: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => options.json = true,
+            "--graph-dot" => {
+                let value = iter.next().ok_or("--graph-dot needs a file path")?;
+                options.graph_dot = Some(PathBuf::from(value));
+            }
+            "--root" => {
+                let value = iter.next().ok_or("--root needs a directory")?;
+                options.root = PathBuf::from(value);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => options.files.push(other.to_string()),
+        }
+    }
+    Ok(options)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("lint") => {}
+    let command = match args.first().map(String::as_str) {
+        Some(command @ ("lint" | "analyze")) => command,
         _ => return usage(),
-    }
-    let root = workspace_root();
+    };
+    let options = match parse_options(&args[1..]) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return usage();
+        }
+    };
 
-    let diagnostics = if args.len() > 1 {
-        let mut all = Vec::new();
-        for rel in &args[1..] {
-            let path = root.join(rel);
+    // Explicit-file mode (lint only): token rules on just those files.
+    // Semantic rules need the whole workspace, so they are skipped here —
+    // the workspace run in CI still judges every semantic allow.
+    if command == "lint" && !options.files.is_empty() {
+        let mut diagnostics = Vec::new();
+        for rel in &options.files {
+            let path = options.root.join(rel);
             let source = match std::fs::read_to_string(&path) {
                 Ok(source) => source,
                 Err(err) => {
@@ -43,27 +92,64 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
-            all.extend(xtask::analyze_path_source(rel, &source));
+            diagnostics.extend(xtask::analyze_path_source(rel, &source));
         }
-        all
-    } else {
-        match xtask::lint_workspace(&root) {
-            Ok(diagnostics) => diagnostics,
-            Err(err) => {
-                eprintln!("error: workspace walk failed: {err}");
-                return ExitCode::from(2);
-            }
+        return finish(command, &diagnostics, options.json, |d| {
+            xtask::render_json(d)
+        });
+    }
+
+    let analysis = match xtask::lint_workspace_all(&options.root) {
+        Ok(analysis) => analysis,
+        Err(err) => {
+            eprintln!("error: workspace walk failed: {err}");
+            return ExitCode::from(2);
         }
     };
+    if let Some(dot_path) = &options.graph_dot {
+        let dot = xtask::graph::to_dot(&analysis.model, &analysis.graph);
+        if let Err(err) = std::fs::write(dot_path, dot) {
+            eprintln!("error: cannot write {}: {err}", dot_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "xtask {command}: wrote call graph ({} functions) to {}",
+            analysis.graph.nodes.len(),
+            dot_path.display()
+        );
+    }
+    let active: Vec<xtask::Diagnostic> = analysis
+        .diagnostics
+        .iter()
+        .filter(|d| d.allowed.is_none())
+        .cloned()
+        .collect();
+    finish(command, &active, options.json, |_| xtask::render_json(&analysis.diagnostics))
+}
 
-    for diagnostic in &diagnostics {
+/// Prints diagnostics (and the JSON document when asked) and converts the
+/// active finding count into the exit code.
+fn finish(
+    command: &str,
+    active: &[xtask::Diagnostic],
+    json: bool,
+    render: impl Fn(&[xtask::Diagnostic]) -> String,
+) -> ExitCode {
+    for diagnostic in active {
         eprintln!("{diagnostic}");
     }
-    if diagnostics.is_empty() {
-        eprintln!("xtask lint: clean ({} rules, zero findings, zero unused allows)", xtask::rules::RULES.len());
+    if json {
+        print!("{}", render(active));
+    }
+    if active.is_empty() {
+        eprintln!(
+            "xtask {command}: clean ({} token rules, {} semantic rules, zero findings, zero unused allows)",
+            xtask::rules::RULES.len(),
+            xtask::semantic::RULES.len()
+        );
         ExitCode::SUCCESS
     } else {
-        eprintln!("xtask lint: {} finding(s)", diagnostics.len());
+        eprintln!("xtask {command}: {} finding(s)", active.len());
         ExitCode::FAILURE
     }
 }

@@ -1,0 +1,834 @@
+//! An item-level parser layered on the token stream: just enough structure
+//! — modules, `use` trees, free functions, impl/trait methods, call
+//! expressions and panic sites — for the call-graph semantic rules, with no
+//! dependency on `syn` (this build environment has no crates.io access).
+//!
+//! The parser is deliberately *shallow*: it never builds an expression tree.
+//! It walks the code-token stream (comments stripped), recognises item
+//! boundaries by keyword + balanced delimiters, and extracts three kinds of
+//! facts per function:
+//!
+//! * **call sites** — `name(…)`, `Qualifier::name(…)`, `.name(…)` (turbofish
+//!   handled), each with a source position;
+//! * **panic sites** — `panic!`/`unreachable!`/`todo!`/`unimplemented!`
+//!   macros, `.unwrap()` / `.expect(…)`, and `x[i]` indexing (an ident,
+//!   `)` or `]` directly before the `[`, so attributes, `vec![…]`, array
+//!   types and slice patterns never match);
+//! * **signature facts** — the enclosing impl's self type or trait name,
+//!   whether the function takes `self`, and whether it sits in a
+//!   `#[cfg(test)]` region.
+//!
+//! Anything the parser cannot classify is simply skipped — the resolver
+//! ([`crate::graph`]) treats calls it cannot resolve as "may call anything",
+//! so a parse gap degrades precision, never soundness of the diagnostics'
+//! suppression model.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Rust keywords — identifiers that can precede `(` or `[` without being a
+/// call or an indexing expression (`if (…)`, `match (…)`, slice patterns
+/// after `let`, …).
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern",
+    "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "self", "Self", "static", "struct", "super", "trait", "true", "type", "union", "unsafe", "use",
+    "where", "while", "yield",
+];
+
+/// Whether an identifier is a Rust keyword (per the `KEYWORDS` table).
+pub fn is_keyword(ident: &str) -> bool {
+    KEYWORDS.contains(&ident)
+}
+
+/// One leaf of a `use` tree: the name it binds locally and the path it
+/// resolves to. `use a::b::{c, d as e, f::*};` yields three items — `c`,
+/// `e` (a rename of `a::b::d`) and a glob over `a::b::f`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseItem {
+    /// The locally visible name (`e` for `d as e`; the last path segment
+    /// otherwise; the parent segment for `self`; empty for a glob).
+    pub alias: String,
+    /// The full path segments, rename resolved (`["a", "b", "d"]`).
+    pub path: Vec<String>,
+    /// Whether this leaf is a `*` glob import.
+    pub is_glob: bool,
+    /// 1-based line of the leaf's last segment.
+    pub line: u32,
+}
+
+/// How a call expression names its target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallTarget {
+    /// A bare call: `name(…)`.
+    Free {
+        /// The called name.
+        name: String,
+    },
+    /// A path-qualified call: `Qualifier::name(…)` (the qualifier is the
+    /// path segment directly before the name — a type, module or `Self`).
+    Qualified {
+        /// The last path segment before the name.
+        qualifier: String,
+        /// The called name.
+        name: String,
+    },
+    /// A method call: `receiver.name(…)`.
+    Method {
+        /// The called name.
+        name: String,
+        /// Whether the receiver is literally `self`.
+        on_self: bool,
+    },
+}
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// What the call names.
+    pub target: CallTarget,
+    /// 1-based line of the called name.
+    pub line: u32,
+    /// 1-based column of the called name.
+    pub col: u32,
+}
+
+/// The kind of a potential panic site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicKind {
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+    Macro,
+    /// `.unwrap()`.
+    Unwrap,
+    /// `.expect(…)`.
+    Expect,
+    /// `x[i]` / `x[a..b]` indexing (out-of-bounds panics).
+    Index,
+}
+
+/// One potential panic inside a function body.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// What kind of panic construct this is.
+    pub kind: PanicKind,
+    /// The construct, as written (`panic!`, `.unwrap()`, `candidates[…]`).
+    pub what: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// One function (free, impl method, or trait default method).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// The enclosing impl's self type or trait's name, if any.
+    pub qualifier: Option<String>,
+    /// Whether the parameter list contains a `self` receiver.
+    pub has_self: bool,
+    /// Whether the function has a body (`false` for trait required methods).
+    pub has_body: bool,
+    /// Whether the function sits in a `#[cfg(test)]` / `#[test]` region.
+    pub in_test: bool,
+    /// The module path from the crate file root (`mod` nesting), `/`-joined.
+    pub module: String,
+    /// 1-based line of the `fn` name.
+    pub line: u32,
+    /// 1-based column of the `fn` name.
+    pub col: u32,
+    /// Half-open token range of the body, braces included; `(0, 0)` when
+    /// there is no body.
+    pub body: (usize, usize),
+    /// Call expressions in the body (nested items excluded).
+    pub calls: Vec<CallSite>,
+    /// Panic sites in the body (nested items excluded).
+    pub panics: Vec<PanicSite>,
+}
+
+/// The parsed view of one file: its `use` leaves and its functions.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// All `use` leaves, file order.
+    pub uses: Vec<UseItem>,
+    /// All functions, file order (nested ones included).
+    pub fns: Vec<FnItem>,
+}
+
+/// Parses one file's code-token stream (comments stripped) with its
+/// `#[cfg(test)]` mask — exactly the shape `engine::FileTokens` holds.
+pub fn parse_file(tokens: &[Token], in_test: &[bool]) -> ParsedFile {
+    let mut parsed = ParsedFile::default();
+    let mut parser = Parser { tokens, in_test, out: &mut parsed };
+    parser.scan_items(0, tokens.len(), None, "");
+    // Event extraction needs every nested fn's range excluded from its
+    // parent, so it runs after the full item scan.
+    let ranges: Vec<(usize, usize)> = parsed.fns.iter().map(|f| f.body).collect();
+    for item in &mut parsed.fns {
+        if !item.has_body {
+            continue;
+        }
+        let nested: Vec<(usize, usize)> = ranges
+            .iter()
+            .copied()
+            .filter(|&(start, end)| start > item.body.0 && end <= item.body.1 && (start, end) != item.body)
+            .collect();
+        extract_events(tokens, item, &nested);
+    }
+    parsed
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    in_test: &'a [bool],
+    out: &'a mut ParsedFile,
+}
+
+impl Parser<'_> {
+    /// Scans `[start, end)` for items; `qualifier` is the enclosing impl's
+    /// self type / trait name, `module` the `mod` nesting path.
+    fn scan_items(&mut self, start: usize, end: usize, qualifier: Option<&str>, module: &str) {
+        let mut i = start;
+        while i < end {
+            let token = &self.tokens[i];
+            if token.kind != TokenKind::Ident {
+                i += 1;
+                continue;
+            }
+            match token.text.as_str() {
+                "use" => i = self.scan_use(i + 1, end),
+                "fn" => i = self.scan_fn(i, end, qualifier, module),
+                "impl" => i = self.scan_impl(i, end, module),
+                "trait" => i = self.scan_trait(i, end, module),
+                "mod" => i = self.scan_mod(i, end, module),
+                "struct" | "enum" | "union" => i = self.skip_struct_like(i + 1, end),
+                "macro_rules" => i = self.skip_macro_rules(i + 1, end),
+                _ => i += 1,
+            }
+        }
+    }
+
+    /// Parses the `use` tree starting after the `use` keyword; returns the
+    /// index past the closing `;`.
+    fn scan_use(&mut self, start: usize, end: usize) -> usize {
+        let mut i = start;
+        let mut prefix: Vec<String> = Vec::new();
+        self.scan_use_tree(&mut i, end, &mut prefix);
+        while i < end && !self.tokens[i].is_punct(';') {
+            i += 1;
+        }
+        i + 1
+    }
+
+    /// Recursive descent over one `use` subtree; `i` is left on the token
+    /// that ends the subtree (`,`, `}`, or `;`).
+    fn scan_use_tree(&mut self, i: &mut usize, end: usize, prefix: &mut Vec<String>) {
+        let depth_at_entry = prefix.len();
+        let mut last_leaf: Option<(String, u32)> = None;
+        while *i < end {
+            let token = &self.tokens[*i];
+            if token.is_punct(';') || token.is_punct(',') || token.is_punct('}') {
+                break;
+            }
+            if token.is_punct('{') {
+                *i += 1;
+                loop {
+                    self.scan_use_tree(i, end, prefix);
+                    if *i >= end || !self.tokens[*i].is_punct(',') {
+                        break;
+                    }
+                    *i += 1;
+                }
+                if *i < end && self.tokens[*i].is_punct('}') {
+                    *i += 1;
+                }
+                last_leaf = None;
+                continue;
+            }
+            if token.is_punct('*') {
+                self.out.uses.push(UseItem {
+                    alias: String::new(),
+                    path: prefix.clone(),
+                    is_glob: true,
+                    line: token.line,
+                });
+                last_leaf = None;
+                *i += 1;
+                continue;
+            }
+            if token.is_ident("as") {
+                if let Some(next) = self.tokens.get(*i + 1) {
+                    if next.kind == TokenKind::Ident {
+                        self.out.uses.push(UseItem {
+                            alias: next.text.clone(),
+                            path: prefix.clone(),
+                            is_glob: false,
+                            line: next.line,
+                        });
+                        last_leaf = None;
+                        *i += 2;
+                        continue;
+                    }
+                }
+                *i += 1;
+                continue;
+            }
+            if token.kind == TokenKind::Ident {
+                if token.text == "self" {
+                    // `use a::b::{self}` binds `b`.
+                    if let Some(parent) = prefix.last().cloned() {
+                        last_leaf = Some((parent, token.line));
+                    }
+                } else {
+                    prefix.push(token.text.clone());
+                    last_leaf = Some((token.text.clone(), token.line));
+                }
+                *i += 1;
+                continue;
+            }
+            // `::` and anything else between segments.
+            *i += 1;
+        }
+        if let Some((alias, line)) = last_leaf {
+            self.out.uses.push(UseItem { alias, path: prefix.clone(), is_glob: false, line });
+        }
+        prefix.truncate(depth_at_entry);
+    }
+
+    /// Parses one `fn` item starting at the `fn` keyword; registers it and
+    /// recurses into its body for nested items. Returns the index past the
+    /// body (or past the `;` for a bodiless trait method).
+    fn scan_fn(&mut self, fn_kw: usize, end: usize, qualifier: Option<&str>, module: &str) -> usize {
+        let Some(name_token) = self.tokens.get(fn_kw + 1) else {
+            return fn_kw + 1;
+        };
+        // `fn(usize) -> bool` function-pointer types have no name: skip them.
+        if name_token.kind != TokenKind::Ident {
+            return fn_kw + 1;
+        }
+        let name = name_token.text.clone();
+        let mut i = fn_kw + 2;
+        // Generic parameters.
+        if i < end && self.tokens[i].is_punct('<') {
+            i = skip_angles(self.tokens, i, end);
+        }
+        // Parameter list: find the matching `)`, noting a `self` receiver.
+        let mut has_self = false;
+        if i < end && self.tokens[i].is_punct('(') {
+            let mut depth = 0usize;
+            while i < end {
+                let t = &self.tokens[i];
+                if t.is_punct('(') {
+                    depth += 1;
+                } else if t.is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                } else if depth == 1 && t.is_ident("self") {
+                    has_self = true;
+                }
+                i += 1;
+            }
+        }
+        // Return type / where clause: up to the body `{` or a `;`.
+        while i < end && !self.tokens[i].is_punct('{') && !self.tokens[i].is_punct(';') {
+            i += 1;
+        }
+        let in_test = self.in_test.get(fn_kw).copied().unwrap_or(false);
+        if i >= end || self.tokens[i].is_punct(';') {
+            self.out.fns.push(FnItem {
+                name,
+                qualifier: qualifier.map(str::to_string),
+                has_self,
+                has_body: false,
+                in_test,
+                module: module.to_string(),
+                line: name_token.line,
+                col: name_token.col,
+                body: (0, 0),
+                calls: Vec::new(),
+                panics: Vec::new(),
+            });
+            return (i + 1).min(end);
+        }
+        let body_end = skip_braces(self.tokens, i, end);
+        self.out.fns.push(FnItem {
+            name,
+            qualifier: qualifier.map(str::to_string),
+            has_self,
+            has_body: true,
+            in_test,
+            module: module.to_string(),
+            line: name_token.line,
+            col: name_token.col,
+            body: (i, body_end),
+            calls: Vec::new(),
+            panics: Vec::new(),
+        });
+        // Nested items (fns inside fns, inner modules) still register.
+        self.scan_items(i + 1, body_end.saturating_sub(1), None, module);
+        body_end
+    }
+
+    /// Parses one `impl` block header and scans its body with the self
+    /// type as qualifier. Returns the index past the block.
+    fn scan_impl(&mut self, impl_kw: usize, end: usize, module: &str) -> usize {
+        let mut i = impl_kw + 1;
+        if i < end && self.tokens[i].is_punct('<') {
+            i = skip_angles(self.tokens, i, end);
+        }
+        // Collect depth-0 path idents until the block opens; `for` switches
+        // from the trait to the self type.
+        let mut before_for: Vec<String> = Vec::new();
+        let mut after_for: Vec<String> = Vec::new();
+        let mut saw_for = false;
+        while i < end && !self.tokens[i].is_punct('{') {
+            let t = &self.tokens[i];
+            if t.is_punct('<') {
+                i = skip_angles(self.tokens, i, end);
+                continue;
+            }
+            if t.is_ident("for") {
+                saw_for = true;
+            } else if t.is_ident("where") {
+                // The rest is bounds; the self type is already collected.
+            } else if t.kind == TokenKind::Ident && !is_keyword(&t.text) {
+                if saw_for {
+                    after_for.push(t.text.clone());
+                } else {
+                    before_for.push(t.text.clone());
+                }
+            }
+            i += 1;
+        }
+        let self_type = if saw_for { after_for.last() } else { before_for.last() };
+        let self_type = self_type.cloned();
+        if i >= end {
+            return end;
+        }
+        let block_end = skip_braces(self.tokens, i, end);
+        self.scan_items(i + 1, block_end.saturating_sub(1), self_type.as_deref(), module);
+        block_end
+    }
+
+    /// Parses one `trait` block; default methods get the trait name as
+    /// qualifier. Returns the index past the block.
+    fn scan_trait(&mut self, trait_kw: usize, end: usize, module: &str) -> usize {
+        let Some(name_token) = self.tokens.get(trait_kw + 1) else {
+            return trait_kw + 1;
+        };
+        if name_token.kind != TokenKind::Ident {
+            return trait_kw + 1;
+        }
+        let name = name_token.text.clone();
+        let mut i = trait_kw + 2;
+        while i < end && !self.tokens[i].is_punct('{') && !self.tokens[i].is_punct(';') {
+            if self.tokens[i].is_punct('<') {
+                i = skip_angles(self.tokens, i, end);
+            } else {
+                i += 1;
+            }
+        }
+        if i >= end || self.tokens[i].is_punct(';') {
+            return (i + 1).min(end);
+        }
+        let block_end = skip_braces(self.tokens, i, end);
+        self.scan_items(i + 1, block_end.saturating_sub(1), Some(&name), module);
+        block_end
+    }
+
+    /// Parses `mod name { … }` (recursing with the extended module path) or
+    /// skips `mod name;`. Returns the index past the item.
+    fn scan_mod(&mut self, mod_kw: usize, end: usize, module: &str) -> usize {
+        let Some(name_token) = self.tokens.get(mod_kw + 1) else {
+            return mod_kw + 1;
+        };
+        if name_token.kind != TokenKind::Ident {
+            return mod_kw + 1;
+        }
+        let i = mod_kw + 2;
+        if i < end && self.tokens[i].is_punct(';') {
+            return i + 1;
+        }
+        if i >= end || !self.tokens[i].is_punct('{') {
+            return i;
+        }
+        let inner = if module.is_empty() {
+            name_token.text.clone()
+        } else {
+            format!("{module}/{}", name_token.text)
+        };
+        let block_end = skip_braces(self.tokens, i, end);
+        self.scan_items(i + 1, block_end.saturating_sub(1), None, &inner);
+        block_end
+    }
+
+    /// Skips a struct/enum/union item: to its `{…}` block or its `;`.
+    fn skip_struct_like(&mut self, start: usize, end: usize) -> usize {
+        let mut i = start;
+        while i < end {
+            let t = &self.tokens[i];
+            if t.is_punct('<') {
+                i = skip_angles(self.tokens, i, end);
+                continue;
+            }
+            if t.is_punct('{') {
+                return skip_braces(self.tokens, i, end);
+            }
+            if t.is_punct(';') {
+                return i + 1;
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Skips `macro_rules! name { … }` entirely — macro bodies are token
+    /// soup the item scanner must not read.
+    fn skip_macro_rules(&mut self, start: usize, end: usize) -> usize {
+        let mut i = start;
+        while i < end && !self.tokens[i].is_punct('{') {
+            i += 1;
+        }
+        if i >= end {
+            return end;
+        }
+        skip_braces(self.tokens, i, end)
+    }
+}
+
+/// Skips a balanced `<…>` group starting at an opening `<`; returns the
+/// index past the matching `>`. (`>>` lexes as two tokens, so nested
+/// generics close one level per token.)
+fn skip_angles(tokens: &[Token], start: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = start;
+    while i < end {
+        let t = &tokens[i];
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i + 1;
+            }
+        } else if t.is_punct(';') || t.is_punct('{') {
+            // Safety valve: `<` was a comparison, not generics.
+            return i;
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Skips a balanced `{…}` block starting at an opening `{`; returns the
+/// index past the matching `}`.
+fn skip_braces(tokens: &[Token], start: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = start;
+    while i < end {
+        let t = &tokens[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    end
+}
+
+/// The index of the `(` that makes `tokens[name_idx]` a call, if any:
+/// either directly after the name or after a `::<…>` turbofish.
+fn call_paren(tokens: &[Token], name_idx: usize, end: usize) -> Option<usize> {
+    let next = name_idx + 1;
+    if next < end && tokens[next].is_punct('(') {
+        return Some(next);
+    }
+    if next + 2 < end
+        && tokens[next].is_punct(':')
+        && tokens[next + 1].is_punct(':')
+        && tokens[next + 2].is_punct('<')
+    {
+        let after = skip_angles(tokens, next + 2, end);
+        if after < end && tokens[after].is_punct('(') {
+            return Some(after);
+        }
+    }
+    None
+}
+
+/// Extracts call and panic sites from `item`'s body, skipping the token
+/// ranges of items nested inside it.
+fn extract_events(tokens: &[Token], item: &mut FnItem, nested: &[(usize, usize)]) {
+    let (start, end) = item.body;
+    let mut i = start;
+    while i < end {
+        if let Some(&(_, nested_end)) = nested.iter().find(|&&(s, e)| i >= s && i < e) {
+            i = nested_end;
+            continue;
+        }
+        let token = &tokens[i];
+        // Indexing: `x[…]` with an ident, `)`, `]` or `?` directly before
+        // the `[`. Attributes (`#[…]`), macros (`vec![…]`), array types
+        // (`: [u8; 4]`) and slice patterns (`let [a, b] = …`) all fail the
+        // previous-token test.
+        if token.is_punct('[') && i > start {
+            let prev = &tokens[i - 1];
+            let indexes = (prev.kind == TokenKind::Ident && !is_keyword(&prev.text))
+                || prev.is_punct(')')
+                || prev.is_punct(']')
+                || prev.is_punct('?');
+            if indexes {
+                item.panics.push(PanicSite {
+                    kind: PanicKind::Index,
+                    what: format!("{}[…]", prev.text),
+                    line: token.line,
+                    col: token.col,
+                });
+            }
+            i += 1;
+            continue;
+        }
+        if token.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        // Panic macros. `assert!`/`debug_assert!` are deliberately not
+        // panic sites: the check-invariants sanitizer uses them as its
+        // reporting mechanism.
+        if i + 1 < end && tokens[i + 1].is_punct('!') {
+            if matches!(token.text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented") {
+                item.panics.push(PanicSite {
+                    kind: PanicKind::Macro,
+                    what: format!("{}!", token.text),
+                    line: token.line,
+                    col: token.col,
+                });
+            }
+            i += 2;
+            continue;
+        }
+        let Some(paren) = call_paren(tokens, i, end) else {
+            i += 1;
+            continue;
+        };
+        let after_dot = i >= 1 && tokens[i - 1].is_punct('.');
+        if after_dot && (token.text == "unwrap" || token.text == "expect") {
+            item.panics.push(PanicSite {
+                kind: if token.text == "unwrap" { PanicKind::Unwrap } else { PanicKind::Expect },
+                what: format!(".{}()", token.text),
+                line: token.line,
+                col: token.col,
+            });
+            i = paren + 1;
+            continue;
+        }
+        if is_keyword(&token.text) && token.text != "Self" {
+            i += 1;
+            continue;
+        }
+        let target = if after_dot {
+            let on_self = i >= 2 && tokens[i - 2].is_ident("self");
+            CallTarget::Method { name: token.text.clone(), on_self }
+        } else if i >= 3
+            && tokens[i - 1].is_punct(':')
+            && tokens[i - 2].is_punct(':')
+            && tokens[i - 3].kind == TokenKind::Ident
+        {
+            CallTarget::Qualified { qualifier: tokens[i - 3].text.clone(), name: token.text.clone() }
+        } else if token.text == "Self" {
+            // `Self(…)` tuple-struct construction, not a call.
+            i = paren + 1;
+            continue;
+        } else {
+            CallTarget::Free { name: token.text.clone() }
+        };
+        item.calls.push(CallSite { target, line: token.line, col: token.col });
+        i = paren + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(source: &str) -> ParsedFile {
+        let tokens: Vec<Token> = lex(source).into_iter().filter(|t| !t.is_comment()).collect();
+        let in_test = vec![false; tokens.len()];
+        parse_file(&tokens, &in_test)
+    }
+
+    #[test]
+    fn free_fns_methods_and_trait_defaults() {
+        let source = r#"
+            fn alpha() { beta(); }
+            impl Widget {
+                fn beta(&self) -> usize { self.gamma() }
+                fn gamma(&self) -> usize { 1 }
+            }
+            trait Render {
+                fn required(&self);
+                fn fallback(&self) { self.required(); }
+            }
+        "#;
+        let parsed = parse(source);
+        let names: Vec<(String, Option<String>, bool)> =
+            parsed.fns.iter().map(|f| (f.name.clone(), f.qualifier.clone(), f.has_body)).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("alpha".into(), None, true),
+                ("beta".into(), Some("Widget".into()), true),
+                ("gamma".into(), Some("Widget".into()), true),
+                ("required".into(), Some("Render".into()), false),
+                ("fallback".into(), Some("Render".into()), true),
+            ]
+        );
+        assert!(parsed.fns[1].has_self);
+        assert!(!parsed.fns[0].has_self);
+        assert_eq!(parsed.fns[0].calls.len(), 1);
+        assert!(matches!(&parsed.fns[0].calls[0].target, CallTarget::Free { name } if name == "beta"));
+        assert!(
+            matches!(&parsed.fns[1].calls[0].target, CallTarget::Method { name, on_self: true } if name == "gamma")
+        );
+    }
+
+    #[test]
+    fn impl_headers_pick_the_self_type() {
+        let source = r#"
+            impl fmt::Display for Report { fn fmt(&self) {} }
+            impl<'a, T: Clone> Cursor<'a, T> { fn advance(&mut self) {} }
+            impl From<u32> for Wrapper { fn from(x: u32) -> Self { Wrapper(x) } }
+        "#;
+        let parsed = parse(source);
+        let quals: Vec<Option<String>> = parsed.fns.iter().map(|f| f.qualifier.clone()).collect();
+        assert_eq!(
+            quals,
+            vec![Some("Report".into()), Some("Cursor".into()), Some("Wrapper".into())]
+        );
+        // `Wrapper(x)` is tuple construction, not a call; `from` has no self.
+        assert!(!parsed.fns[2].has_self);
+    }
+
+    #[test]
+    fn use_trees_with_globs_and_renames() {
+        let parsed = parse("use a::b::{c, d as e, f::*, self};\nuse x::y;\n");
+        let leaves: Vec<(String, Vec<String>, bool)> =
+            parsed.uses.iter().map(|u| (u.alias.clone(), u.path.clone(), u.is_glob)).collect();
+        assert_eq!(
+            leaves,
+            vec![
+                ("c".into(), vec!["a".into(), "b".into(), "c".into()], false),
+                ("e".into(), vec!["a".into(), "b".into(), "d".into()], false),
+                (String::new(), vec!["a".into(), "b".into(), "f".into()], true),
+                ("b".into(), vec!["a".into(), "b".into()], false),
+                ("y".into(), vec!["x".into(), "y".into()], false),
+            ]
+        );
+    }
+
+    #[test]
+    fn panic_sites_are_classified_and_false_positives_excluded() {
+        let source = r#"
+            fn risky(xs: &[u32], i: usize) -> u32 {
+                let v = vec![1, 2];
+                let [_a, _b] = [0u8, 1];
+                let _t: [u8; 4] = [0; 4];
+                let first = xs.first().unwrap();
+                let second = xs.get(1).expect("has two");
+                if i > xs.len() { panic!("oob"); }
+                assert!(i < xs.len());
+                xs[i] + v[0] + first + second
+            }
+        "#;
+        let parsed = parse(source);
+        let kinds: Vec<PanicKind> = parsed.fns[0].panics.iter().map(|p| p.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![PanicKind::Unwrap, PanicKind::Expect, PanicKind::Macro, PanicKind::Index, PanicKind::Index]
+        );
+        // `unwrap_or_else` and chained non-panicking calls never match.
+        let benign = parse("fn ok(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0) }");
+        assert!(benign.fns[0].panics.is_empty());
+    }
+
+    #[test]
+    fn calls_resolve_shapes_including_turbofish_and_qualified_paths() {
+        let source = r#"
+            fn driver(rows: Vec<u32>) {
+                helper(1);
+                Widget::build(2);
+                rows.iter().collect::<Vec<_>>();
+                self_like.finish();
+                crate::wal::recover(3);
+            }
+        "#;
+        let parsed = parse(source);
+        let shapes: Vec<String> = parsed.fns[0]
+            .calls
+            .iter()
+            .map(|c| match &c.target {
+                CallTarget::Free { name } => format!("free:{name}"),
+                CallTarget::Qualified { qualifier, name } => format!("qual:{qualifier}::{name}"),
+                CallTarget::Method { name, on_self } => format!("method:{name}:{on_self}"),
+            })
+            .collect();
+        assert_eq!(
+            shapes,
+            vec![
+                "free:helper",
+                "qual:Widget::build",
+                "method:iter:false",
+                "method:collect:false",
+                "method:finish:false",
+                "qual:wal::recover",
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_fns_keep_their_events_out_of_the_parent() {
+        let source = r#"
+            fn outer() {
+                fn inner(xs: &[u8]) -> u8 { xs[0] }
+                inner(&[1]);
+            }
+        "#;
+        let parsed = parse(source);
+        let outer = parsed.fns.iter().find(|f| f.name == "outer").unwrap();
+        let inner = parsed.fns.iter().find(|f| f.name == "inner").unwrap();
+        assert!(outer.panics.is_empty(), "{:?}", outer.panics);
+        assert_eq!(inner.panics.len(), 1);
+        assert!(matches!(&outer.calls[0].target, CallTarget::Free { name } if name == "inner"));
+    }
+
+    #[test]
+    fn modules_nest_and_macro_bodies_are_skipped() {
+        let source = r#"
+            mod outer {
+                mod inner { fn deep() {} }
+                fn shallow() {}
+            }
+            macro_rules! noise { () => { fn phantom() {} }; }
+            fn top() {}
+        "#;
+        let parsed = parse(source);
+        let mods: Vec<(String, String)> =
+            parsed.fns.iter().map(|f| (f.name.clone(), f.module.clone())).collect();
+        assert_eq!(
+            mods,
+            vec![
+                ("deep".into(), "outer/inner".into()),
+                ("shallow".into(), "outer".into()),
+                ("top".into(), String::new()),
+            ]
+        );
+    }
+}

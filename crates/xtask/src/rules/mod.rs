@@ -62,7 +62,8 @@ pub const RULES: &[Rule] = &[
         applies: everywhere,
         check: thread_confinement::check,
         help: "all parallelism goes through core::parallel (deterministic chunk-and-stitch); call \
-               parallel_map/resolve_threads instead of spawning threads directly",
+               parallel_map/parallel_map_mut, join_all, or worker_pool/JobQueue instead of spawning \
+               threads or holding JoinHandles directly",
     },
     Rule {
         name: "raw-sentinel",
@@ -80,10 +81,15 @@ pub const RULES: &[Rule] = &[
     },
 ];
 
-/// The help text for a rule name, if registered (engine pseudo-rules like
+/// The help text for a rule name — token rules here, semantic rules from
+/// [`crate::semantic`] — if registered (engine pseudo-rules like
 /// `unused-allow` have none).
 pub fn help_for(name: &str) -> Option<&'static str> {
-    RULES.iter().find(|r| r.name == name).map(|r| r.help)
+    RULES
+        .iter()
+        .find(|r| r.name == name)
+        .map(|r| r.help)
+        .or_else(|| crate::semantic::help_for(name))
 }
 
 /// Whether an identifier is record-id-flavoured: one of the id newtypes, or

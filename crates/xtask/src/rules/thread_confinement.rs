@@ -1,12 +1,16 @@
 //! `thread-confinement`: direct `std::thread` use outside `core::parallel`.
 //!
 //! Determinism across thread counts holds because every parallel path in the
-//! workspace goes through `core::parallel::parallel_map` (chunk in input
-//! order, stitch in input order) and sizes itself via `resolve_threads`. A
-//! stray `std::thread::spawn` elsewhere would create an execution order the
-//! determinism tests cannot pin. The rule fires on any `std::thread` path or
-//! `thread::…` call in every scope — tests included, since a racy test is a
-//! flaky test — except inside `crates/core/src/parallel.rs` itself.
+//! workspace goes through `core::parallel` — `parallel_map` /
+//! `parallel_map_mut` (chunk in input order, stitch in input order),
+//! `join_all` (results in spawn order), or the bounded `worker_pool` /
+//! `JobQueue` pair the service front-end runs on — and sizes itself via
+//! `resolve_threads`. A stray `std::thread::spawn` elsewhere would create an
+//! execution order the determinism tests cannot pin, and a hand-held
+//! `JoinHandle` is the telltale of exactly that. The rule fires on any
+//! `std::thread` path, `thread::…` call, or `JoinHandle` type mention in
+//! every scope — tests included, since a racy test is a flaky test — except
+//! inside `crates/core/src/parallel.rs` itself.
 
 use crate::engine::{FileTokens, Finding};
 
@@ -19,6 +23,18 @@ pub(super) fn check(file: &FileTokens<'_>, findings: &mut Vec<Finding>) {
     }
     let tokens = &file.tokens;
     for (i, token) in tokens.iter().enumerate() {
+        if token.is_ident("JoinHandle") {
+            findings.push(Finding {
+                rule: "thread-confinement",
+                message: "`JoinHandle` held outside core::parallel — spawn through the sanctioned \
+                          confinement points (parallel_map/parallel_map_mut, join_all, or \
+                          worker_pool/JobQueue), which own their joins"
+                    .to_string(),
+                line: token.line,
+                col: token.col,
+            });
+            continue;
+        }
         if !token.is_ident("thread") {
             continue;
         }
@@ -32,7 +48,8 @@ pub(super) fn check(file: &FileTokens<'_>, findings: &mut Vec<Finding>) {
         findings.push(Finding {
             rule: "thread-confinement",
             message: "direct `std::thread` use outside core::parallel — parallelism must go through \
-                      parallel_map/resolve_threads to stay deterministic across thread counts"
+                      the sanctioned confinement points (parallel_map/resolve_threads, join_all, \
+                      worker_pool/JobQueue) to stay deterministic across thread counts"
                 .to_string(),
             line: token.line,
             col: token.col,

@@ -1,0 +1,68 @@
+//! `durable-rename`: file creation on the durable-state paths
+//! (`crates/serve/src/persist.rs`, `crates/serve/src/wal.rs`) must follow
+//! the temp-file → fsync → rename sequence.
+//!
+//! A bare `File::create` of the final path, written in place, can be seen
+//! half-written by recovery after a crash; the checkpoint discipline is to
+//! create a temp file, `sync_all` it, rename it over the final name, and
+//! fsync the parent directory (see `persist::write_atomically`). The rule
+//! flags every `File::create(…)` in those files whose enclosing function
+//! does not also mention `sync_all` *and* `rename` later in its body.
+//! Deliberate exceptions — the WAL's append-only active segment, whose torn
+//! tail is discarded by recovery — carry reasoned allows.
+
+use crate::graph::Model;
+use crate::lexer::TokenKind;
+
+use super::{seq_at, FileFinding};
+use crate::engine::Finding;
+
+const CREATE: &[&str] = &["File", ":", ":", "create", "("];
+
+/// The files this rule audits.
+fn in_scope(path: &str) -> bool {
+    path.ends_with("crates/serve/src/persist.rs") || path.ends_with("crates/serve/src/wal.rs")
+}
+
+/// Runs the rule; see the module docs.
+pub fn check(model: &Model) -> Vec<FileFinding> {
+    let mut findings = Vec::new();
+    for (file_idx, file) in model.files.iter().enumerate() {
+        if !in_scope(&file.path) {
+            continue;
+        }
+        for item in &file.parsed.fns {
+            if item.in_test || !item.has_body {
+                continue;
+            }
+            let (start, end) = item.body;
+            for i in start..end {
+                if !seq_at(&file.tokens, i, CREATE) {
+                    continue;
+                }
+                let rest = &file.tokens[i..end];
+                let mentions = |name: &str| {
+                    rest.iter().any(|t| t.kind == TokenKind::Ident && t.text == name)
+                };
+                if mentions("sync_all") && mentions("rename") {
+                    continue;
+                }
+                let t = &file.tokens[i];
+                findings.push((
+                    file_idx,
+                    Finding {
+                        rule: "durable-rename",
+                        message: format!(
+                            "`File::create` in `{}` is not followed by the temp-file → \
+                             fsync (`sync_all`) → `rename` sequence in this function",
+                            item.name
+                        ),
+                        line: t.line,
+                        col: t.col,
+                    },
+                ));
+            }
+        }
+    }
+    findings
+}

@@ -1,0 +1,156 @@
+//! `lock-order`: the writer mutex and the published-epoch `RwLock` nest in
+//! one global order — **mutex first** — everywhere in the graph.
+//!
+//! The service's deadlock-freedom argument is exactly this total order: the
+//! writer takes `writer.lock()` and publishes through a transient
+//! `published.write()` while holding it; readers take transient
+//! `published.read()` guards and never touch the mutex. A function that
+//! *holds* a `published` guard (a `let`-bound acquisition, alive past its
+//! statement) and then acquires the mutex — directly or through anything it
+//! transitively calls — inverts that order and is reported. Transient
+//! acquisitions (`*published.write()… = …`, `Arc::clone(&published.read()…)`)
+//! release their guard at the end of the statement and cannot participate in
+//! an inversion.
+//!
+//! Acquisition sites are recognised by token shape (`writer.lock(`,
+//! `published.read(` / `published.write(`), so the rule keys on the
+//! service's field names; fixtures mirror them.
+
+use std::collections::BTreeMap;
+
+use crate::graph::{CallGraph, Model};
+
+use super::{seq_at, statement_is_let, FileFinding};
+use crate::engine::Finding;
+
+/// One lock-acquisition site inside a function body.
+#[derive(Debug, Clone, Copy)]
+struct Acquire {
+    /// Token index of the acquisition.
+    idx: usize,
+    /// Whether this acquires the writer mutex (else the epoch RwLock).
+    mutex: bool,
+    /// Whether the guard is `let`-bound (held past its statement).
+    held: bool,
+    line: u32,
+    col: u32,
+}
+
+/// Scans a node's body for mutex / RwLock acquisition sites.
+fn acquires(model: &Model, graph: &CallGraph, node: usize) -> Vec<Acquire> {
+    let key = graph.nodes[node];
+    let file = &model.files[key.file];
+    let item = &file.parsed.fns[key.item];
+    let (start, end) = item.body;
+    let mut out = Vec::new();
+    for i in start..end {
+        let mutex = seq_at(&file.tokens, i, &["writer", ".", "lock", "("]);
+        let rwlock = seq_at(&file.tokens, i, &["published", ".", "read", "("])
+            || seq_at(&file.tokens, i, &["published", ".", "write", "("]);
+        if mutex || rwlock {
+            out.push(Acquire {
+                idx: i,
+                mutex,
+                held: statement_is_let(&file.tokens, i),
+                line: file.tokens[i].line,
+                col: file.tokens[i].col,
+            });
+        }
+    }
+    out
+}
+
+/// Whether `node` acquires the writer mutex, directly or transitively
+/// (memoized; cycles resolve to `false`, which is sound here because a
+/// cycle member that *does* acquire gets `true` from its own direct scan).
+fn takes_mutex(
+    model: &Model,
+    graph: &CallGraph,
+    node: usize,
+    memo: &mut BTreeMap<usize, bool>,
+    visiting: &mut Vec<usize>,
+) -> bool {
+    if let Some(&known) = memo.get(&node) {
+        return known;
+    }
+    if visiting.contains(&node) {
+        return false;
+    }
+    if acquires(model, graph, node).iter().any(|a| a.mutex) {
+        memo.insert(node, true);
+        return true;
+    }
+    visiting.push(node);
+    let result = graph.edges[node]
+        .iter()
+        .any(|e| takes_mutex(model, graph, e.callee, memo, visiting));
+    visiting.pop();
+    memo.insert(node, result);
+    result
+}
+
+/// Runs the rule; see the module docs.
+pub fn check(model: &Model, graph: &CallGraph) -> Vec<FileFinding> {
+    let mut findings = Vec::new();
+    let mut memo: BTreeMap<usize, bool> = BTreeMap::new();
+    for node in 0..graph.nodes.len() {
+        let key = graph.nodes[node];
+        let file = &model.files[key.file];
+        if !file.path.contains("crates/serve/src/") {
+            continue;
+        }
+        let item = &file.parsed.fns[key.item];
+        let sites = acquires(model, graph, node);
+        let Some(first_held_rw) = sites.iter().find(|a| !a.mutex && a.held) else {
+            continue;
+        };
+        // Direct inversion: the mutex acquired later in the same body.
+        for later in sites.iter().filter(|a| a.mutex && a.idx > first_held_rw.idx) {
+            findings.push((
+                key.file,
+                Finding {
+                    rule: "lock-order",
+                    message: format!(
+                        "`{}` acquires the writer mutex while holding the published-epoch \
+                         RwLock (held since line {}); the global order is mutex before RwLock",
+                        item.name, first_held_rw.line
+                    ),
+                    line: later.line,
+                    col: later.col,
+                },
+            ));
+        }
+        // Interprocedural inversion: a call made while the guard is held,
+        // into something that transitively acquires the mutex.
+        for edge in &graph.edges[node] {
+            // The call site must come after the held acquisition.
+            let call_after = (first_held_rw.idx..item.body.1).any(|i| {
+                let t = &file.tokens[i];
+                t.line == edge.line && t.col == edge.col
+            });
+            if !call_after {
+                continue;
+            }
+            let mut visiting = Vec::new();
+            if takes_mutex(model, graph, edge.callee, &mut memo, &mut visiting) {
+                findings.push((
+                    key.file,
+                    Finding {
+                        rule: "lock-order",
+                        message: format!(
+                            "`{}` calls `{}` while holding the published-epoch RwLock \
+                             (held since line {}), and that call transitively acquires \
+                             the writer mutex; the global order is mutex before RwLock",
+                            item.name,
+                            graph.display_name(model, edge.callee),
+                            first_held_rw.line
+                        ),
+                        line: edge.line,
+                        col: edge.col,
+                    },
+                ));
+            }
+        }
+    }
+    findings
+}

@@ -1,0 +1,162 @@
+//! The workspace semantic-analysis pass (`cargo xtask analyze`, also folded
+//! into `cargo xtask lint`): four interprocedural rules riding the
+//! [`crate::graph`] call graph, enforcing the service layer's concurrency
+//! and durability protocols that token-local rules structurally cannot see.
+//!
+//! * [`panic_reachability`] — no panic construct transitively reachable
+//!   from a `sablock_serve` request entry point;
+//! * [`lock_order`] — the writer mutex and the epoch `RwLock` nest in one
+//!   global order (mutex first), checked across function boundaries;
+//! * [`wal_append`] — COW head mutations in `CandidateService` write paths
+//!   are dominated by `wal.append` (append-before-apply);
+//! * [`durable_rename`] — durable files under `persist.rs`/`wal.rs` follow
+//!   the temp-file → fsync → rename sequence.
+//!
+//! Findings use the same diagnostics, allow markers and staleness rules as
+//! the token engine; the only difference is that suppression is judged here,
+//! against the whole-workspace finding set.
+
+pub mod durable_rename;
+pub mod lock_order;
+pub mod panic_reachability;
+pub mod wal_append;
+
+use crate::engine::{Diagnostic, Finding, SemanticAllow};
+use crate::graph::{CallGraph, Model};
+use crate::lexer::{Token, TokenKind};
+
+/// One semantic rule's registry entry (the checks themselves run over the
+/// whole model, so there is no per-file `check` hook here).
+pub struct SemanticRule {
+    /// The rule's name, as used in diagnostics and allow markers.
+    pub name: &'static str,
+    /// One-line remediation guidance appended to diagnostics.
+    pub help: &'static str,
+}
+
+/// All semantic rules, in diagnostic-name order.
+pub const RULES: &[SemanticRule] = &[
+    SemanticRule {
+        name: "durable-rename",
+        help: "create durable files as a temp file, fsync, then rename into place \
+               (see persist::write_atomically); a bare File::create of the final \
+               path can be seen half-written after a crash",
+    },
+    SemanticRule {
+        name: "lock-order",
+        help: "acquire the writer mutex before the published-epoch RwLock, \
+               everywhere; holding the RwLock while taking the mutex can deadlock \
+               against the writer's publish step",
+    },
+    SemanticRule {
+        name: "panic-reachability",
+        help: "request paths must degrade, not panic: return a protocol error \
+               instead, or prove the construct unreachable and carry a reasoned \
+               allow",
+    },
+    SemanticRule {
+        name: "wal-append-before-apply",
+        help: "append the op to the WAL before mutating the COW head index, so a \
+               crash never leaves applied-but-unlogged state (append-before-apply)",
+    },
+];
+
+/// The help text for a semantic rule, if `name` names one.
+pub fn help_for(name: &str) -> Option<&'static str> {
+    RULES.iter().find(|r| r.name == name).map(|r| r.help)
+}
+
+/// Whether `tokens[idx..]` starts with the given ident/punct pattern (same
+/// matching convention as `FileTokens::matches_seq`, but over a plain slice
+/// so the semantic rules can scan function bodies).
+pub fn seq_at(tokens: &[Token], idx: usize, pattern: &[&str]) -> bool {
+    pattern.iter().enumerate().all(|(k, want)| {
+        tokens.get(idx + k).is_some_and(|t| {
+            if want.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                t.is_ident(want)
+            } else {
+                t.kind == TokenKind::Punct && t.text == *want
+            }
+        })
+    })
+}
+
+/// Whether a statement beginning is a `let` binding: walks left from `idx`
+/// to the nearest statement boundary and checks the first token after it.
+/// Used to tell a *held* guard (`let guard = x.lock()…`) from a transient
+/// one dropped at the end of its statement.
+pub fn statement_is_let(tokens: &[Token], idx: usize) -> bool {
+    let mut start = idx;
+    while start > 0 {
+        let t = &tokens[start - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        start -= 1;
+    }
+    tokens.get(start).is_some_and(|t| t.is_ident("let"))
+}
+
+/// A finding bound to the model file it fires in.
+pub type FileFinding = (usize, Finding);
+
+/// Runs every semantic rule over the model and judges the files'
+/// semantic-rule allow markers: suppressed findings keep the marker's
+/// reason, and a marker that suppresses nothing becomes an `unused-allow`
+/// error. `allows` is indexed like `model.files`.
+pub fn run(model: &Model, graph: &CallGraph, allows: &mut [Vec<SemanticAllow>]) -> Vec<Diagnostic> {
+    let mut findings: Vec<FileFinding> = Vec::new();
+    findings.extend(panic_reachability::check(model, graph));
+    findings.extend(lock_order::check(model, graph));
+    findings.extend(wal_append::check(model, graph));
+    findings.extend(durable_rename::check(model));
+
+    let mut out: Vec<Diagnostic> = Vec::new();
+    for (file_idx, finding) in findings {
+        let mut reason = None;
+        if let Some(file_allows) = allows.get_mut(file_idx) {
+            for allow in file_allows.iter_mut() {
+                if allow.rule == finding.rule && allow.target_line == Some(finding.line) {
+                    allow.used = true;
+                    reason = Some(allow.reason.clone());
+                }
+            }
+        }
+        out.push(Diagnostic {
+            file: model.files[file_idx].path.clone(),
+            finding,
+            allowed: reason,
+        });
+    }
+    for (file_idx, file_allows) in allows.iter().enumerate() {
+        for allow in file_allows {
+            if !allow.used {
+                out.push(Diagnostic {
+                    file: model.files[file_idx].path.clone(),
+                    finding: Finding {
+                        rule: "unused-allow",
+                        message: format!(
+                            "allow({}) suppresses nothing — the violation it covered is gone; remove the marker",
+                            allow.rule
+                        ),
+                        line: allow.line,
+                        col: allow.col,
+                    },
+                    allowed: None,
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.finding.line, a.finding.col, a.finding.rule).cmp(&(
+            b.file.as_str(),
+            b.finding.line,
+            b.finding.col,
+            b.finding.rule,
+        ))
+    });
+    out.dedup_by(|a, b| {
+        a.file == b.file && a.finding.line == b.finding.line && a.finding.rule == b.finding.rule
+    });
+    out
+}

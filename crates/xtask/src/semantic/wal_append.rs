@@ -1,0 +1,177 @@
+//! `wal-append-before-apply`: inside `CandidateService` write paths, every
+//! mutation of the COW head index (`head.insert_batch(…)`, `head.remove(…)`)
+//! must be dominated by a `wal.append(…)` call.
+//!
+//! Domination is checked the way the tentpole specifies: *ordering* on the
+//! token stream within one function body (the append textually precedes the
+//! mutation), *reachability* on the call graph. A function that mutates the
+//! head without a local preceding append is fine exactly when every one of
+//! its in-workspace callers guards the call site — i.e. appends before the
+//! call in its own body, or is itself only entered through guarded call
+//! sites (recursive). An unguarded direct call is reported at that call
+//! site, which is where the reasoned allow belongs when the path is
+//! legitimately append-free (WAL replay during recovery: the ops being
+//! applied are already durable in the log).
+
+use std::collections::BTreeMap;
+
+use crate::graph::{CallGraph, Model};
+
+use super::{seq_at, FileFinding};
+use crate::engine::Finding;
+
+const MUTATIONS: &[&[&str]] = &[
+    &["head", ".", "insert_batch", "("],
+    &["head", ".", "remove", "("],
+];
+const APPEND: &[&str] = &["wal", ".", "append", "("];
+
+/// Token index + position + rendering of the first head mutation in a
+/// node's body, if any.
+fn first_mutation(model: &Model, graph: &CallGraph, node: usize) -> Option<(usize, u32, u32, String)> {
+    let key = graph.nodes[node];
+    let file = &model.files[key.file];
+    let item = &file.parsed.fns[key.item];
+    let (start, end) = item.body;
+    (start..end).find_map(|i| {
+        MUTATIONS.iter().find(|m| seq_at(&file.tokens, i, m)).map(|m| {
+            let t = &file.tokens[i];
+            (i, t.line, t.col, format!("{}.{}(…)", m[0], m[2]))
+        })
+    })
+}
+
+/// Token index of the first `wal.append(` in a node's body, if any.
+fn first_append(model: &Model, graph: &CallGraph, node: usize) -> Option<usize> {
+    let key = graph.nodes[node];
+    let file = &model.files[key.file];
+    let item = &file.parsed.fns[key.item];
+    let (start, end) = item.body;
+    (start..end).find(|&i| seq_at(&file.tokens, i, APPEND))
+}
+
+/// The token index of the call site at (`line`, `col`) inside a caller's
+/// body, if the position resolves.
+fn site_index(model: &Model, graph: &CallGraph, caller: usize, line: u32, col: u32) -> Option<usize> {
+    let key = graph.nodes[caller];
+    let file = &model.files[key.file];
+    let item = &file.parsed.fns[key.item];
+    (item.body.0..item.body.1).find(|&i| {
+        let t = &file.tokens[i];
+        t.line == line && t.col == col
+    })
+}
+
+/// Whether one call site into `node` is guarded: the caller appends before
+/// the site in its own body, or the caller itself is only entered through
+/// guarded sites (memoized per caller; cycles resolve to unguarded).
+fn site_guarded(
+    model: &Model,
+    graph: &CallGraph,
+    caller: usize,
+    site: Option<usize>,
+    memo: &mut BTreeMap<usize, bool>,
+    visiting: &mut Vec<usize>,
+) -> bool {
+    if let (Some(append_idx), Some(site_idx)) = (first_append(model, graph, caller), site) {
+        if append_idx < site_idx {
+            return true;
+        }
+    }
+    callers_guard(model, graph, caller, memo, visiting)
+}
+
+/// Whether every call path into `node` is guarded. A function nobody calls
+/// is unguarded (nothing proves an append happened first).
+fn callers_guard(
+    model: &Model,
+    graph: &CallGraph,
+    node: usize,
+    memo: &mut BTreeMap<usize, bool>,
+    visiting: &mut Vec<usize>,
+) -> bool {
+    if let Some(&known) = memo.get(&node) {
+        return known;
+    }
+    if visiting.contains(&node) {
+        return false;
+    }
+    visiting.push(node);
+    let mut any_caller = false;
+    let mut guarded = true;
+    for caller in 0..graph.nodes.len() {
+        for edge in graph.edges[caller].iter().filter(|e| e.callee == node) {
+            any_caller = true;
+            let site = site_index(model, graph, caller, edge.line, edge.col);
+            if !site_guarded(model, graph, caller, site, memo, visiting) {
+                guarded = false;
+            }
+        }
+    }
+    visiting.pop();
+    let result = any_caller && guarded;
+    memo.insert(node, result);
+    result
+}
+
+/// Runs the rule; see the module docs.
+pub fn check(model: &Model, graph: &CallGraph) -> Vec<FileFinding> {
+    let mut findings = Vec::new();
+    let mut memo: BTreeMap<usize, bool> = BTreeMap::new();
+    for node in 0..graph.nodes.len() {
+        let key = graph.nodes[node];
+        if !model.files[key.file].path.contains("crates/serve/src/") {
+            continue;
+        }
+        let Some((mutation_idx, line, col, what)) = first_mutation(model, graph, node) else {
+            continue;
+        };
+        if let Some(append_idx) = first_append(model, graph, node) {
+            if append_idx < mutation_idx {
+                continue; // locally dominated: append precedes the mutation
+            }
+        }
+        // Judge each direct caller's call site; report the unguarded ones
+        // there (that's where a replay-style allow belongs).
+        let mut any_caller = false;
+        for caller in 0..graph.nodes.len() {
+            for edge in graph.edges[caller].iter().filter(|e| e.callee == node) {
+                any_caller = true;
+                let site = site_index(model, graph, caller, edge.line, edge.col);
+                let mut visiting = vec![node];
+                if site_guarded(model, graph, caller, site, &mut memo, &mut visiting) {
+                    continue;
+                }
+                findings.push((
+                    graph.nodes[caller].file,
+                    Finding {
+                        rule: "wal-append-before-apply",
+                        message: format!(
+                            "call into `{}`, which mutates the COW head (`{what}`), is not \
+                             preceded by `wal.append` on this path",
+                            graph.display_name(model, node)
+                        ),
+                        line: edge.line,
+                        col: edge.col,
+                    },
+                ));
+            }
+        }
+        if !any_caller {
+            findings.push((
+                key.file,
+                Finding {
+                    rule: "wal-append-before-apply",
+                    message: format!(
+                        "`{}` mutates the COW head (`{what}`) with no preceding `wal.append` \
+                         in its body and no guarded caller",
+                        graph.display_name(model, node)
+                    ),
+                    line,
+                    col,
+                },
+            ));
+        }
+    }
+    findings
+}

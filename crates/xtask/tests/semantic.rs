@@ -1,0 +1,658 @@
+//! Fixture tests for the semantic (call-graph) rules: each rule exercised
+//! positive / negative / allowed / stale-allow through [`xtask::analyze_sources`],
+//! the thread-confinement fixtures both ways, the `--json` golden format,
+//! and the determinism contract (byte-identical, file-order independent).
+//!
+//! Fixture sources only need to *lex* like the service layer — they mirror
+//! its field names (`writer`, `published`, `head`, `wal`) and paths
+//! (`crates/serve/src/…`) because that is what the rules key on; they are
+//! never compiled.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use xtask::engine::Finding;
+use xtask::{analyze_sources, render_json, Diagnostic, WorkspaceAnalysis};
+
+fn sources(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+    pairs.iter().map(|(p, s)| (p.to_string(), s.to_string())).collect()
+}
+
+fn analyze(pairs: &[(&str, &str)]) -> WorkspaceAnalysis {
+    analyze_sources(&sources(pairs))
+}
+
+/// Active findings of one rule.
+fn active_of<'a>(analysis: &'a WorkspaceAnalysis, rule: &str) -> Vec<&'a Diagnostic> {
+    analysis
+        .active()
+        .into_iter()
+        .filter(|d| d.finding.rule == rule)
+        .collect()
+}
+
+/// Asserts the analysis is completely clean: no active findings of any rule
+/// (a stale allow would surface as `unused-allow` and fail here too).
+fn assert_clean(analysis: &WorkspaceAnalysis) {
+    let active = analysis.active();
+    assert!(
+        active.is_empty(),
+        "expected a clean analysis, got:\n{}",
+        active.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+// ---------------------------------------------------------------------------
+// panic-reachability
+// ---------------------------------------------------------------------------
+
+#[test]
+fn panic_reachability_reports_indexing_on_a_request_path() {
+    let analysis = analyze(&[(
+        "crates/serve/src/protocol.rs",
+        r#"
+pub fn handle_line(line: &str) -> String {
+    decode(line)
+}
+
+fn decode(line: &str) -> String {
+    let parts: Vec<&str> = line.split('\t').collect();
+    parts[0].to_string()
+}
+"#,
+    )]);
+    let findings = active_of(&analysis, "panic-reachability");
+    assert_eq!(findings.len(), 1, "one indexing site on the request path");
+    let message = &findings[0].finding.message;
+    assert!(
+        message.contains("handle_line") && message.contains("decode"),
+        "the diagnostic shows the call path from the entry point: {message}"
+    );
+}
+
+#[test]
+fn panic_reachability_ignores_unreachable_and_panic_free_code() {
+    let analysis = analyze(&[(
+        "crates/serve/src/protocol.rs",
+        r#"
+pub fn handle_line(line: &str) -> Option<String> {
+    decode(line)
+}
+
+fn decode(line: &str) -> Option<String> {
+    let parts: Vec<&str> = line.split('\t').collect();
+    parts.first().map(|field| field.to_string())
+}
+
+/// Panics, but nothing on a request path reaches it.
+pub fn offline_report(rows: &[u64]) -> u64 {
+    rows[0]
+}
+"#,
+    )]);
+    assert!(active_of(&analysis, "panic-reachability").is_empty());
+}
+
+#[test]
+fn panic_reachability_honours_a_reasoned_allow() {
+    let analysis = analyze(&[(
+        "crates/serve/src/protocol.rs",
+        r#"
+pub fn handle_line(line: &str) -> String {
+    decode(line)
+}
+
+fn decode(line: &str) -> String {
+    let parts: Vec<&str> = line.split('\t').collect();
+    // sablock-lint: allow(panic-reachability): split always yields at least one field
+    parts[0].to_string()
+}
+"#,
+    )]);
+    assert_clean(&analysis);
+    let suppressed: Vec<&Diagnostic> = analysis
+        .diagnostics
+        .iter()
+        .filter(|d| d.finding.rule == "panic-reachability" && d.allowed.is_some())
+        .collect();
+    assert_eq!(suppressed.len(), 1, "the finding is retained, flagged as allowed");
+    assert_eq!(
+        suppressed[0].allowed.as_deref(),
+        Some("split always yields at least one field")
+    );
+}
+
+#[test]
+fn panic_reachability_stale_allow_is_an_error() {
+    let analysis = analyze(&[(
+        "crates/serve/src/protocol.rs",
+        r#"
+pub fn handle_line(line: &str) -> String {
+    // sablock-lint: allow(panic-reachability): nothing here panics any more
+    line.to_string()
+}
+"#,
+    )]);
+    let unused = active_of(&analysis, "unused-allow");
+    assert_eq!(unused.len(), 1, "a semantic allow that suppresses nothing is an error");
+}
+
+// ---------------------------------------------------------------------------
+// lock-order
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lock_order_reports_direct_inversion() {
+    let analysis = analyze(&[(
+        "crates/serve/src/service.rs",
+        r#"
+impl Service {
+    pub fn bad_snapshot(&self) -> u64 {
+        let guard = self.published.read();
+        let writer = self.writer.lock();
+        writer.epoch + guard.epoch
+    }
+}
+"#,
+    )]);
+    let findings = active_of(&analysis, "lock-order");
+    assert_eq!(findings.len(), 1);
+    assert!(findings[0].finding.message.contains("bad_snapshot"));
+}
+
+#[test]
+fn lock_order_reports_transitive_inversion() {
+    let analysis = analyze(&[(
+        "crates/serve/src/service.rs",
+        r#"
+impl Service {
+    fn grab(&self) -> u64 {
+        let writer = self.writer.lock();
+        writer.epoch
+    }
+
+    pub fn bad_stats(&self) -> u64 {
+        let guard = self.published.read();
+        self.grab() + guard.epoch
+    }
+}
+"#,
+    )]);
+    let findings = active_of(&analysis, "lock-order");
+    assert_eq!(findings.len(), 1, "the inversion goes through `grab`");
+    let message = &findings[0].finding.message;
+    assert!(
+        message.contains("grab") && message.contains("transitively"),
+        "the diagnostic names the call that closes the cycle: {message}"
+    );
+}
+
+#[test]
+fn lock_order_accepts_the_canonical_order_and_transient_guards() {
+    let analysis = analyze(&[(
+        "crates/serve/src/service.rs",
+        r#"
+impl Service {
+    /// Mutex first, epoch RwLock second: the canonical writer path.
+    pub fn publish_epoch(&self) {
+        let writer = self.writer.lock();
+        *self.published.write() = writer.epoch;
+    }
+
+    /// A transient read guard (not `let`-bound) never inverts the order.
+    pub fn peek(&self) -> u64 {
+        clone_of(&self.published.read());
+        let writer = self.writer.lock();
+        writer.epoch
+    }
+}
+"#,
+    )]);
+    assert!(active_of(&analysis, "lock-order").is_empty());
+}
+
+#[test]
+fn lock_order_allow_and_stale_allow() {
+    let allowed = analyze(&[(
+        "crates/serve/src/service.rs",
+        r#"
+impl Service {
+    pub fn trip_seam(&self) {
+        let guard = self.published.read();
+        // sablock-lint: allow(lock-order): deliberate inversion for the runtime guard test
+        let writer = self.writer.lock();
+        drop((guard, writer));
+    }
+}
+"#,
+    )]);
+    assert_clean(&allowed);
+
+    let stale = analyze(&[(
+        "crates/serve/src/service.rs",
+        r#"
+impl Service {
+    pub fn tidy(&self) -> u64 {
+        // sablock-lint: allow(lock-order): no inversion here
+        let writer = self.writer.lock();
+        writer.epoch
+    }
+}
+"#,
+    )]);
+    assert_eq!(active_of(&stale, "unused-allow").len(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// wal-append-before-apply
+// ---------------------------------------------------------------------------
+
+#[test]
+fn wal_append_reports_unlogged_mutation_with_no_caller() {
+    let analysis = analyze(&[(
+        "crates/serve/src/service.rs",
+        r#"
+impl Service {
+    fn apply_unlogged(&mut self, records: &[Row]) {
+        self.head.insert_batch(records);
+    }
+}
+"#,
+    )]);
+    let findings = active_of(&analysis, "wal-append-before-apply");
+    assert_eq!(findings.len(), 1);
+    assert!(findings[0].finding.message.contains("no guarded caller"));
+}
+
+#[test]
+fn wal_append_reports_the_unguarded_call_site() {
+    let analysis = analyze(&[(
+        "crates/serve/src/service.rs",
+        r#"
+impl Service {
+    fn apply_unlogged(&mut self, records: &[Row]) {
+        self.head.insert_batch(records);
+    }
+
+    pub fn ingest(&mut self, records: &[Row]) {
+        self.apply_unlogged(records);
+    }
+}
+"#,
+    )]);
+    let findings = active_of(&analysis, "wal-append-before-apply");
+    assert_eq!(findings.len(), 1, "reported at the caller, not inside the mutator");
+    assert!(findings[0].finding.message.contains("apply_unlogged"));
+}
+
+#[test]
+fn wal_append_accepts_local_and_interprocedural_domination() {
+    let analysis = analyze(&[(
+        "crates/serve/src/service.rs",
+        r#"
+impl Service {
+    /// Locally dominated: the append textually precedes the mutation.
+    fn apply_logged(&mut self, records: &[Row]) {
+        self.wal.append(records);
+        self.head.insert_batch(records);
+    }
+
+    /// Dominated through the caller: every call site appends first.
+    fn mutate(&mut self, records: &[Row]) {
+        self.head.insert_batch(records);
+    }
+
+    pub fn commit(&mut self, records: &[Row]) {
+        self.wal.append(records);
+        self.mutate(records);
+    }
+}
+"#,
+    )]);
+    assert!(active_of(&analysis, "wal-append-before-apply").is_empty());
+}
+
+#[test]
+fn wal_append_allow_and_stale_allow() {
+    let allowed = analyze(&[(
+        "crates/serve/src/service.rs",
+        r#"
+impl Service {
+    fn apply_unlogged(&mut self, records: &[Row]) {
+        self.head.insert_batch(records);
+    }
+
+    pub fn replay(&mut self, records: &[Row]) {
+        // sablock-lint: allow(wal-append-before-apply): replayed ops are already durable in the log
+        self.apply_unlogged(records);
+    }
+}
+"#,
+    )]);
+    assert_clean(&allowed);
+
+    let stale = analyze(&[(
+        "crates/serve/src/service.rs",
+        r#"
+impl Service {
+    pub fn commit(&mut self, records: &[Row]) {
+        self.wal.append(records);
+        // sablock-lint: allow(wal-append-before-apply): already guarded, marker is stale
+        self.head.insert_batch(records);
+    }
+}
+"#,
+    )]);
+    assert_eq!(active_of(&stale, "unused-allow").len(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// durable-rename
+// ---------------------------------------------------------------------------
+
+#[test]
+fn durable_rename_reports_bare_create_on_durable_paths() {
+    let analysis = analyze(&[(
+        "crates/serve/src/persist.rs",
+        r#"
+pub fn save(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut file = File::create(path)?;
+    file.write_all(bytes)
+}
+"#,
+    )]);
+    let findings = active_of(&analysis, "durable-rename");
+    assert_eq!(findings.len(), 1);
+    assert!(findings[0].finding.message.contains("save"));
+}
+
+#[test]
+fn durable_rename_accepts_temp_fsync_rename_and_ignores_other_files() {
+    let atomic = r#"
+pub fn save_atomically(dir: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = dir.join("snapshot.tmp");
+    let mut file = File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    fs::rename(&tmp, dir.join("snapshot.bin"))
+}
+"#;
+    let bare = r#"
+pub fn scratch(path: &Path) -> io::Result<File> {
+    File::create(path)
+}
+"#;
+    let analysis = analyze(&[
+        ("crates/serve/src/persist.rs", atomic),
+        // The same bare create outside the durable-state files is not audited.
+        ("crates/serve/src/store.rs", bare),
+    ]);
+    assert!(active_of(&analysis, "durable-rename").is_empty());
+}
+
+#[test]
+fn durable_rename_allow_and_stale_allow() {
+    let allowed = analyze(&[(
+        "crates/serve/src/wal.rs",
+        r#"
+pub fn open_segment(dir: &Path) -> io::Result<File> {
+    // sablock-lint: allow(durable-rename): append-only segment lives at its final name by design
+    File::create(dir.join("segment.wal"))
+}
+"#,
+    )]);
+    assert_clean(&allowed);
+
+    let stale = analyze(&[(
+        "crates/serve/src/persist.rs",
+        r#"
+pub fn save_atomically(dir: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = dir.join("snapshot.tmp");
+    // sablock-lint: allow(durable-rename): already atomic, marker is stale
+    let mut file = File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    fs::rename(&tmp, dir.join("snapshot.bin"))
+}
+"#,
+    )]);
+    assert_eq!(active_of(&stale, "unused-allow").len(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// thread-confinement (token rule; the PR-8/9 sanctioned primitives)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn thread_confinement_flags_spawns_and_join_handles_outside_core_parallel() {
+    let analysis = analyze(&[(
+        "crates/core/src/pipeline.rs",
+        r#"
+pub struct Pool {
+    workers: Vec<JoinHandle<()>>,
+}
+
+pub fn fan_out(pool: &mut Pool) {
+    pool.workers.push(std::thread::spawn(|| {}));
+}
+"#,
+    )]);
+    let findings = active_of(&analysis, "thread-confinement");
+    assert!(
+        findings.len() >= 2,
+        "both the thread path and the held JoinHandle are flagged, got {}",
+        findings.len()
+    );
+    assert!(findings.iter().any(|d| d.finding.message.contains("JoinHandle")));
+}
+
+#[test]
+fn thread_confinement_accepts_sanctioned_primitives_and_the_confined_module() {
+    let analysis = analyze(&[
+        (
+            // The sanctioned confinement points are plain calls everywhere.
+            "crates/core/src/tasks.rs",
+            r#"
+pub fn run_parallel(items: &[u32], queue: &JobQueue) -> Vec<u32> {
+    let doubled = parallel_map(items, double);
+    join_all(queue.jobs());
+    worker_pool(queue);
+    doubled
+}
+"#,
+        ),
+        (
+            // core::parallel itself is the one module allowed raw threads.
+            "crates/core/src/parallel.rs",
+            r#"
+pub fn spawn_workers(n: usize) -> Vec<std::thread::JoinHandle<()>> {
+    (0..n).map(|_| std::thread::spawn(|| {})).collect()
+}
+"#,
+        ),
+    ]);
+    assert!(active_of(&analysis, "thread-confinement").is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// --json golden format (bump `version` in render_json on any change)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn json_format_is_pinned() {
+    let diagnostics = vec![
+        Diagnostic {
+            file: "crates/serve/src/service.rs".to_string(),
+            finding: Finding {
+                rule: "lock-order",
+                message: "a \"quoted\" message with a\nnewline, a \\ backslash and a \t tab".to_string(),
+                line: 42,
+                col: 7,
+            },
+            allowed: None,
+        },
+        Diagnostic {
+            file: "crates/serve/src/wal.rs".to_string(),
+            finding: Finding {
+                rule: "durable-rename",
+                message: "suppressed finding".to_string(),
+                line: 3,
+                col: 1,
+            },
+            allowed: Some("append-only segment".to_string()),
+        },
+    ];
+    let expected = concat!(
+        "{\n",
+        "  \"version\": 1,\n",
+        "  \"findings\": [\n",
+        "    {\"rule\": \"lock-order\", \"file\": \"crates/serve/src/service.rs\", ",
+        "\"line\": 42, \"col\": 7, ",
+        "\"message\": \"a \\\"quoted\\\" message with a\\nnewline, a \\\\ backslash and a \\t tab\", ",
+        "\"allowed\": false, \"allow_reason\": null},\n",
+        "    {\"rule\": \"durable-rename\", \"file\": \"crates/serve/src/wal.rs\", ",
+        "\"line\": 3, \"col\": 1, ",
+        "\"message\": \"suppressed finding\", ",
+        "\"allowed\": true, \"allow_reason\": \"append-only segment\"}\n",
+        "  ]\n",
+        "}\n",
+    );
+    assert_eq!(render_json(&diagnostics), expected);
+    assert_eq!(render_json(&[]), "{\n  \"version\": 1,\n  \"findings\": [\n  ]\n}\n");
+}
+
+// ---------------------------------------------------------------------------
+// determinism: byte-identical output, independent of input file order
+// ---------------------------------------------------------------------------
+
+/// Every fixture above with at least one active finding, as one workspace.
+fn mixed_fixture() -> Vec<(String, String)> {
+    sources(&[
+        (
+            "crates/serve/src/protocol.rs",
+            r#"
+pub fn handle_line(line: &str) -> String {
+    decode(line)
+}
+
+fn decode(line: &str) -> String {
+    let parts: Vec<&str> = line.split('\t').collect();
+    parts[0].to_string()
+}
+"#,
+        ),
+        (
+            "crates/serve/src/service.rs",
+            r#"
+impl Service {
+    pub fn bad_snapshot(&self) -> u64 {
+        let guard = self.published.read();
+        let writer = self.writer.lock();
+        writer.epoch + guard.epoch
+    }
+
+    fn apply_unlogged(&mut self, records: &[Row]) {
+        self.head.insert_batch(records);
+    }
+}
+"#,
+        ),
+        (
+            "crates/serve/src/persist.rs",
+            r#"
+pub fn save(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut file = File::create(path)?;
+    file.write_all(bytes)
+}
+"#,
+        ),
+        (
+            "crates/core/src/pipeline.rs",
+            r#"
+use std::thread;
+
+pub fn fan_out() {
+    let handle = thread::spawn(|| {});
+    let _ = handle.join();
+}
+"#,
+        ),
+    ])
+}
+
+fn render_all(analysis: &WorkspaceAnalysis) -> (String, String) {
+    let text = analysis
+        .diagnostics
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    (text, render_json(&analysis.diagnostics))
+}
+
+#[test]
+fn analysis_is_deterministic_and_file_order_independent() {
+    let fixture = mixed_fixture();
+    let (text_a, json_a) = render_all(&analyze_sources(&fixture));
+    let (text_b, json_b) = render_all(&analyze_sources(&fixture));
+    assert_eq!(text_a, text_b, "two runs over the same sources are byte-identical");
+    assert_eq!(json_a, json_b);
+
+    let mut reversed = fixture.clone();
+    reversed.reverse();
+    let (text_c, json_c) = render_all(&analyze_sources(&reversed));
+    assert_eq!(text_a, text_c, "input file order must not leak into the output");
+    assert_eq!(json_a, json_c);
+
+    // The fixture covers all four semantic rules plus thread-confinement.
+    let analysis = analyze_sources(&fixture);
+    let rules: BTreeSet<&str> = analysis.active().iter().map(|d| d.finding.rule).collect();
+    for rule in [
+        "panic-reachability",
+        "lock-order",
+        "wal-append-before-apply",
+        "durable-rename",
+        "thread-confinement",
+    ] {
+        assert!(rules.contains(rule), "mixed fixture misses {rule}: {rules:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// lexer/parser robustness: panic-looking text in strings is not code
+// ---------------------------------------------------------------------------
+
+#[test]
+fn string_contents_never_trigger_rules() {
+    let analysis = analyze(&[(
+        "crates/serve/src/protocol.rs",
+        r##"
+pub fn handle_line(line: &str) -> String {
+    let help = "call .unwrap() or panic!() or index[0] as documented";
+    let raw = r#"writer.lock() then published.read()"#;
+    format!("{help} {raw} {line}")
+}
+"##,
+    )]);
+    assert_clean(&analysis);
+}
+
+// ---------------------------------------------------------------------------
+// the on-disk broken fixture CI runs `analyze --root` against
+// ---------------------------------------------------------------------------
+
+#[test]
+fn broken_fixture_workspace_trips_every_rule() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/broken");
+    let diagnostics = xtask::lint_workspace(&root).expect("fixture tree is readable");
+    let rules: BTreeSet<&str> = diagnostics.iter().map(|d| d.finding.rule).collect();
+    for rule in [
+        "panic-reachability",
+        "lock-order",
+        "wal-append-before-apply",
+        "durable-rename",
+        "thread-confinement",
+    ] {
+        assert!(rules.contains(rule), "fixtures/broken misses {rule}: {rules:?}");
+    }
+}
